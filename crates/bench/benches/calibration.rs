@@ -1,0 +1,42 @@
+//! Criterion benches for fabrication and the leave-one-out calibration
+//! procedure across ring sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_core::calibrate::calibrate;
+use ropuf_core::ro::ConfigurableRo;
+use ropuf_silicon::board::BoardId;
+use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+
+fn bench_grow_board(c: &mut Criterion) {
+    let sim = SiliconSim::default_spartan();
+    let mut group = c.benchmark_group("grow_board");
+    for units in [64usize, 512, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(units), &units, |b, &units| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| sim.grow_board_with_id(&mut rng, BoardId(0), units, 32))
+        });
+    }
+    group.finish();
+}
+
+fn bench_calibrate(c: &mut Criterion) {
+    let sim = SiliconSim::default_spartan();
+    let mut rng = StdRng::seed_from_u64(2);
+    let board = sim.grow_board_with_id(&mut rng, BoardId(0), 1024, 32);
+    let probe = DelayProbe::new(0.25, 4);
+    let env = Environment::nominal();
+    let mut group = c.benchmark_group("calibrate_ring");
+    for n in [3usize, 7, 15, 31, 63] {
+        let ro = ConfigurableRo::from_range(&board, 0..n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| calibrate(&mut rng, &ro, &probe, env, sim.technology()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grow_board, bench_calibrate);
+criterion_main!(benches);

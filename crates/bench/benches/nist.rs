@@ -1,0 +1,52 @@
+//! Criterion benches for the NIST SP 800-22 implementation: individual
+//! tests on a 1 Mbit stream and the short-stream suite used by the
+//! paper's tables.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use ropuf_nist::suite::{run_one, run_suite, SuiteConfig, TestId};
+use ropuf_num::bits::BitVec;
+
+fn random_bits(n: usize, seed: u64) -> BitVec {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<bool>()).collect()
+}
+
+fn bench_individual_tests(c: &mut Criterion) {
+    let bits = random_bits(1 << 20, 5);
+    let config = SuiteConfig::default();
+    let mut group = c.benchmark_group("nist_1mbit");
+    group.throughput(Throughput::Elements(bits.len() as u64));
+    group.sample_size(10);
+    for test in [
+        TestId::Frequency,
+        TestId::BlockFrequency,
+        TestId::Runs,
+        TestId::LongestRun,
+        TestId::Rank,
+        TestId::Fft,
+        TestId::Serial,
+        TestId::ApproximateEntropy,
+        TestId::CumulativeSums,
+        TestId::LinearComplexity,
+        TestId::Universal,
+        TestId::RandomExcursionsVariant,
+    ] {
+        group.bench_function(test.name(), |b| {
+            b.iter(|| run_one(test, std::hint::black_box(&bits), &config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_short_stream_suite(c: &mut Criterion) {
+    // The paper's regime: 97 streams of 96 bits.
+    let streams: Vec<BitVec> = (0..97).map(|i| random_bits(96, i)).collect();
+    let config = SuiteConfig::short_streams();
+    c.bench_function("suite_97x96", |b| {
+        b.iter(|| run_suite(std::hint::black_box(&streams), &config))
+    });
+}
+
+criterion_group!(benches, bench_individual_tests, bench_short_stream_suite);
+criterion_main!(benches);

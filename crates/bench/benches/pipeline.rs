@@ -1,0 +1,122 @@
+//! Criterion benches for the end-to-end pipeline pieces: enrollment,
+//! response, distillation, and dataset extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_core::config::ParityPolicy;
+use ropuf_core::distill::Distiller;
+use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions, SelectionMode};
+use ropuf_dataset::extract::{select_board, VirtualLayout};
+use ropuf_dataset::vt::{VtConfig, VtDataset};
+use ropuf_silicon::board::BoardId;
+use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+
+fn bench_enroll_respond(c: &mut Criterion) {
+    let sim = SiliconSim::default_spartan();
+    let mut rng = StdRng::seed_from_u64(1);
+    let board = sim.grow_board_with_id(&mut rng, BoardId(0), 480, 16);
+    let env = Environment::nominal();
+    let mut group = c.benchmark_group("silicon_pipeline");
+    for n in [3usize, 5, 7, 9] {
+        let puf = ConfigurableRoPuf::tiled_interleaved(480, n);
+        group.bench_with_input(BenchmarkId::new("enroll", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                puf.enroll(&mut rng, &board, sim.technology(), env, &EnrollOptions::default())
+            })
+        });
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let enrollment =
+            puf.enroll(&mut rng2, &board, sim.technology(), env, &EnrollOptions::default());
+        let probe = DelayProbe::new(0.25, 1);
+        group.bench_with_input(BenchmarkId::new("respond", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| enrollment.respond(&mut rng, &board, sim.technology(), env, &probe))
+        });
+    }
+    group.finish();
+}
+
+fn bench_distiller_and_extraction(c: &mut Criterion) {
+    let data = VtDataset::generate(&VtConfig {
+        boards: 1,
+        swept_boards: 0,
+        ..VtConfig::default()
+    });
+    let board = &data.boards()[0];
+    let freqs = board.nominal().to_vec();
+    let positions = board.positions();
+    c.bench_function("distill_512_ros", |b| {
+        let d = Distiller::default();
+        b.iter(|| d.residuals(std::hint::black_box(&freqs), &positions).unwrap())
+    });
+    let values = Distiller::default().residuals(&freqs, &positions).unwrap();
+    let mut group = c.benchmark_group("extract_board");
+    for n in [5usize, 15] {
+        let layout = VirtualLayout::new(480, n);
+        group.bench_with_input(BenchmarkId::new("case2", n), &n, |b, _| {
+            b.iter(|| {
+                select_board(
+                    std::hint::black_box(&values[..480]),
+                    layout,
+                    SelectionMode::Case2,
+                    ParityPolicy::Ignore,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fleet_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_generation");
+    group.sample_size(10);
+    group.bench_function("vt_10_boards", |b| {
+        b.iter(|| {
+            VtDataset::generate(&VtConfig {
+                boards: 10,
+                swept_boards: 1,
+                ..VtConfig::default()
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_enroll_respond,
+    bench_distiller_and_extraction,
+    bench_fleet_generation,
+    bench_fuzzy_and_attack
+);
+criterion_main!(benches);
+
+fn bench_fuzzy_and_attack(c: &mut Criterion) {
+    use rand::Rng;
+    use ropuf_core::crp::{Challenge, LinearDelayAttack};
+    use ropuf_core::fuzzy::FuzzyExtractor;
+    use ropuf_num::bits::BitVec;
+
+    let mut rng = StdRng::seed_from_u64(8);
+    let response: BitVec = (0..384).map(|_| rng.gen::<bool>()).collect();
+    let fx = FuzzyExtractor::new(3);
+    c.bench_function("fuzzy_generate_128bit_key", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| fx.generate(&mut rng, std::hint::black_box(&response)))
+    });
+    let (_, helper) = fx.generate(&mut rng, &response);
+    c.bench_function("fuzzy_reproduce_128bit_key", |b| {
+        b.iter(|| fx.reproduce(std::hint::black_box(&response), &helper).unwrap())
+    });
+
+    let n = 15;
+    let challenges: Vec<Challenge> = (0..200)
+        .map(|_| Challenge::random(&mut rng, n, ropuf_core::ParityPolicy::Ignore))
+        .collect();
+    let responses: Vec<bool> = (0..200).map(|_| rng.gen()).collect();
+    c.bench_function("attack_train_200_crps", |b| {
+        b.iter(|| LinearDelayAttack::train(std::hint::black_box(&challenges), &responses).unwrap())
+    });
+}

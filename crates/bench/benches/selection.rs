@@ -1,0 +1,68 @@
+//! Criterion benches for the inverter-selection algorithms: the
+//! polynomial-time solvers across ring sizes, against the exponential
+//! brute-force oracle at small n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_core::config::ParityPolicy;
+use ropuf_core::select::{
+    brute_force_case1, brute_force_case2, case1, case1_local_search, case2,
+};
+
+fn delays(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut h = seed | 1;
+    let mut next = move || {
+        h ^= h << 13;
+        h ^= h >> 7;
+        h ^= h << 17;
+        100.0 + (h % 4096) as f64 / 1024.0
+    };
+    ((0..n).map(|_| next()).collect(), (0..n).map(|_| next()).collect())
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    for n in [5usize, 15, 63, 255, 1023] {
+        let (a, b) = delays(n, 7);
+        group.bench_with_input(BenchmarkId::new("case1", n), &n, |bench, _| {
+            bench.iter(|| case1(std::hint::black_box(&a), std::hint::black_box(&b), ParityPolicy::Ignore))
+        });
+        group.bench_with_input(BenchmarkId::new("case2", n), &n, |bench, _| {
+            bench.iter(|| case2(std::hint::black_box(&a), std::hint::black_box(&b), ParityPolicy::Ignore))
+        });
+        group.bench_with_input(BenchmarkId::new("case1_force_odd", n), &n, |bench, _| {
+            bench.iter(|| case1(std::hint::black_box(&a), std::hint::black_box(&b), ParityPolicy::ForceOdd))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("selection_local_search");
+    for n in [15usize, 63] {
+        let (a, b) = delays(n, 11);
+        group.bench_with_input(BenchmarkId::new("hill_climb_x8", n), &n, |bench, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            bench.iter(|| {
+                case1_local_search(&mut rng, std::hint::black_box(&a), &b, ParityPolicy::Ignore, 8)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("selection_brute_oracle");
+    for n in [5usize, 9, 13] {
+        let (a, b) = delays(n, 9);
+        group.bench_with_input(BenchmarkId::new("case1_brute", n), &n, |bench, _| {
+            bench.iter(|| brute_force_case1(std::hint::black_box(&a), &b, ParityPolicy::Ignore))
+        });
+        if n <= 9 {
+            group.bench_with_input(BenchmarkId::new("case2_brute", n), &n, |bench, _| {
+                bench.iter(|| brute_force_case2(std::hint::black_box(&a), &b, ParityPolicy::Ignore))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

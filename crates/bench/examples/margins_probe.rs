@@ -1,0 +1,41 @@
+//! Diagnostic: margin distributions of the in-house dataset.
+//!
+//! Prints the quantiles of the traditional and configurable (Case-2)
+//! pair margins over the 9-board in-house dataset — the distributions
+//! the §IV.E threshold sweep slices through. Useful when re-tuning
+//! `SiliconParams` or checking a real dataset loaded from CSV.
+//!
+//! ```sh
+//! cargo run --release -p ropuf-bench --example margins_probe
+//! ```
+
+fn main() {
+    use ropuf_core::config::ParityPolicy;
+    use ropuf_core::select::case2;
+    use ropuf_dataset::inhouse::{InHouseConfig, InHouseDataset};
+
+    let data = InHouseDataset::generate(&InHouseConfig {
+        seed: 41,
+        ..InHouseConfig::default()
+    });
+    let mut trad = vec![];
+    let mut conf = vec![];
+    for board in data.boards() {
+        for p in 0..board.ros.len() / 2 {
+            let top = &board.ros[2 * p].ddiffs_ps[..13];
+            let bot = &board.ros[2 * p + 1].ddiffs_ps[..13];
+            let t: f64 = top.iter().sum::<f64>() - bot.iter().sum::<f64>();
+            trad.push(t.abs());
+            conf.push(case2(top, bot, ParityPolicy::Ignore).margin());
+        }
+    }
+    trad.sort_by(f64::total_cmp);
+    conf.sort_by(f64::total_cmp);
+    let q = |v: &Vec<f64>, p: f64| v[((p * v.len() as f64) as usize).min(v.len() - 1)];
+    for (name, v) in [("traditional", &trad), ("configurable", &conf)] {
+        println!(
+            "{name:>12}: min {:6.2}  q10 {:6.2}  q25 {:6.2}  median {:6.2}  q75 {:6.2}  max {:6.2}  (ps)",
+            v[0], q(v, 0.10), q(v, 0.25), q(v, 0.50), q(v, 0.75), v[v.len() - 1],
+        );
+    }
+}

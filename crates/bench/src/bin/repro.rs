@@ -1,0 +1,292 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p ropuf-bench --bin repro -- all
+//! cargo run --release -p ropuf-bench --bin repro -- table1 --boards 60
+//! ```
+//!
+//! Subcommands: `table1 table2 fig3 table3 table4 fig4 temp table5 sec4e
+//! ablate-distiller ablate-parity ablate-noise ablate-config-voltage
+//! ablate-layout all`. Options: `--seed <u64>` (default 2015),
+//! `--boards <n>` (fleet size, default 198; smaller is faster),
+//! `--quick` (shorthand for `--boards 60`).
+
+use std::process::ExitCode;
+
+use ropuf_bench::experiments::{
+    ablations, budget_table, configs, randomness, reliability, threshold, uniqueness,
+};
+use ropuf_core::puf::SelectionMode;
+
+struct Options {
+    seed: u64,
+    boards: usize,
+    out_dir: Option<std::path::PathBuf>,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut opts = Options {
+        seed: 2015,
+        boards: 198,
+        out_dir: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.seed = v,
+                None => return usage("--seed needs an integer value"),
+            },
+            "--boards" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.boards = v,
+                None => return usage("--boards needs an integer value"),
+            },
+            "--quick" => opts.boards = 60,
+            "--out" => match iter.next() {
+                Some(dir) => opts.out_dir = Some(std::path::PathBuf::from(dir)),
+                None => return usage("--out needs a directory"),
+            },
+            other if command.is_none() && !other.starts_with('-') => {
+                command = Some(other.to_string());
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(command) = command else {
+        return usage("missing subcommand");
+    };
+    let known = run(&command, &opts);
+    if !known {
+        return usage(&format!("unknown subcommand {command:?}"));
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!(
+        "error: {problem}\n\n\
+         usage: repro <subcommand> [--seed N] [--boards N] [--quick] [--out DIR]\n\n\
+         subcommands:\n\
+           table1            NIST randomness, Case-1 (Table I)\n\
+           table2            NIST randomness, Case-2 (Table II)\n\
+           fig3              inter-chip HD histograms (Figure 3)\n\
+           table3            Case-1 configuration distances (Table III)\n\
+           table4            Case-2 configuration distances (Table IV)\n\
+           fig4              bit flips under voltage sweep (Figure 4)\n\
+           temp              bit flips under temperature sweep (4.D)\n\
+           table5            bits per board (Table V)\n\
+           sec4e             reliable bits vs Rth on in-house data (4.E)\n\
+           ablate-distiller  randomness with/without the distiller\n\
+           ablate-parity     margin cost of odd-parity selection\n\
+           ablate-noise      calibration quality vs probe noise\n\
+           ablate-config-voltage  flip rate vs configuration point\n\
+           ablate-layout     blocked vs interleaved pair placement\n\
+           ablate-ecc        repetition-code need per scheme\n\
+           ablate-aging      flip rates after years of drift\n\
+           ablate-baselines  four-scheme bits/utilization/flips\n\
+           ablate-defects    yield/reliability under injected defects\n\
+           verify            check every paper-shape invariant (CI)\n\
+           all               everything above"
+    );
+    ExitCode::FAILURE
+}
+
+/// Dispatches one subcommand, teeing its stdout into
+/// `<out>/<subcommand>.txt` when `--out` is given; returns false if the
+/// subcommand is unknown.
+fn run(command: &str, opts: &Options) -> bool {
+    // `all` fans out to per-command captures; `verify` must keep its
+    // process exit semantics (a failing verification exits nonzero,
+    // which the capture path would misreport as an unknown command).
+    if command != "all" && command != "verify" {
+        if let Some(dir) = &opts.out_dir {
+            let text = capture(command, opts);
+            if let Some(text) = text {
+                if let Err(e) = std::fs::create_dir_all(dir)
+                    .and_then(|()| std::fs::write(dir.join(format!("{command}.txt")), &text))
+                {
+                    eprintln!("warning: could not write {command}.txt: {e}");
+                }
+                print!("{text}");
+                return true;
+            }
+            return false;
+        }
+    }
+    run_to_stdout(command, opts)
+}
+
+/// Runs one subcommand with stdout captured into a string (used by
+/// `--out`). Returns `None` for unknown subcommands.
+fn capture(command: &str, opts: &Options) -> Option<String> {
+    use std::io::Read;
+    // Capture by re-running in a child with --out stripped: simplest
+    // reliable tee without global stdout redirection.
+    let exe = std::env::current_exe().ok()?;
+    let mut child = std::process::Command::new(exe)
+        .arg(command)
+        .args(["--seed", &opts.seed.to_string()])
+        .args(["--boards", &opts.boards.to_string()])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .ok()?;
+    let mut text = String::new();
+    child.stdout.take()?.read_to_string(&mut text).ok()?;
+    let status = child.wait().ok()?;
+    status.success().then_some(text)
+}
+
+/// Dispatches one subcommand straight to stdout; returns false if
+/// unknown.
+fn run_to_stdout(command: &str, opts: &Options) -> bool {
+    match command {
+        "table1" | "table2" => {
+            let mode = if command == "table1" {
+                SelectionMode::Case1
+            } else {
+                SelectionMode::Case2
+            };
+            banner(&format!(
+                "{} — NIST SP 800-22 on {:?} output",
+                if command == "table1" { "Table I" } else { "Table II" },
+                mode
+            ));
+            for distill in [false, true] {
+                let out = randomness::run(&randomness::Config {
+                    seed: opts.seed,
+                    boards: opts.boards,
+                    mode,
+                    distill,
+                    ..randomness::Config::default()
+                });
+                println!("{}", out.render());
+            }
+        }
+        "fig3" => {
+            banner("Figure 3 — inter-chip Hamming distance");
+            let out = uniqueness::run(&uniqueness::Config {
+                seed: opts.seed,
+                boards: opts.boards,
+                ..uniqueness::Config::default()
+            });
+            println!("{}", out.render());
+        }
+        "table3" | "table4" => {
+            let mode = if command == "table3" {
+                SelectionMode::Case1
+            } else {
+                SelectionMode::Case2
+            };
+            banner(&format!(
+                "{} — best-configuration distances ({mode:?})",
+                if command == "table3" { "Table III" } else { "Table IV" }
+            ));
+            let out = configs::run(&configs::Config {
+                seed: opts.seed,
+                boards: opts.boards,
+                mode,
+                ..configs::Config::default()
+            });
+            println!("{}", out.render());
+        }
+        "fig4" | "temp" => {
+            let sweep = if command == "fig4" {
+                reliability::Sweep::Voltage
+            } else {
+                reliability::Sweep::Temperature
+            };
+            banner(&format!(
+                "{} — bit flips under {sweep:?} sweep",
+                if command == "fig4" { "Figure 4" } else { "Section IV.D" }
+            ));
+            let out = reliability::run(&reliability::Config {
+                seed: opts.seed,
+                sweep,
+                ..reliability::Config::default()
+            });
+            println!("{}", out.render());
+            let by_point = out.mean_by_config_point();
+            println!(
+                "mean configurable flip rate by configuration point: {:?}",
+                by_point.map(|v| format!("{:.3}%", 100.0 * v))
+            );
+        }
+        "table5" => {
+            banner("Table V — bits per board");
+            println!("{}", budget_table::run(&budget_table::Config::default()).render());
+        }
+        "sec4e" => {
+            banner("Section IV.E — reliable bits vs Rth (in-house data)");
+            let out = threshold::run(&threshold::Config {
+                seed: opts.seed,
+                ..threshold::Config::default()
+            });
+            println!("{}", out.render());
+        }
+        "ablate-distiller" => {
+            banner("Ablation — regression distiller");
+            println!("{}", ablations::distiller(opts.seed, opts.boards.min(60)).render());
+        }
+        "ablate-parity" => {
+            banner("Ablation — oscillation parity constraint");
+            println!("{}", ablations::parity(opts.seed).render());
+        }
+        "ablate-noise" => {
+            banner("Ablation — probe measurement noise");
+            println!("{}", ablations::noise(opts.seed).render());
+        }
+        "ablate-config-voltage" => {
+            banner("Ablation — configuration operating point");
+            println!(
+                "{}",
+                ablations::config_point(opts.seed, opts.boards.min(60)).render()
+            );
+        }
+        "ablate-layout" => {
+            banner("Ablation — pair placement");
+            println!("{}", ablations::layout(opts.seed, 24).render());
+        }
+        "ablate-ecc" => {
+            banner("Ablation — error-correction overhead");
+            println!("{}", ablations::ecc(opts.seed).render());
+        }
+        "ablate-aging" => {
+            banner("Ablation — lifetime drift");
+            println!("{}", ablations::aging(opts.seed).render());
+        }
+        "ablate-baselines" => {
+            banner("Ablation — four-scheme comparison");
+            println!("{}", ablations::baselines(opts.seed).render());
+        }
+        "ablate-defects" => {
+            banner("Ablation — fabrication defects");
+            println!("{}", ablations::defects(opts.seed).render());
+        }
+        "verify" => {
+            banner("Verification — paper-shape invariants");
+            let out = ropuf_bench::experiments::verify::run(opts.seed, opts.boards.min(60));
+            println!("{}", out.render());
+            if !out.all_passed() {
+                std::process::exit(1);
+            }
+        }
+        "all" => {
+            for sub in [
+                "table1", "table2", "fig3", "table3", "table4", "fig4", "temp", "table5",
+                "sec4e", "ablate-distiller", "ablate-parity", "ablate-noise",
+                "ablate-config-voltage", "ablate-layout", "ablate-ecc", "ablate-aging",
+                "ablate-baselines", "ablate-defects",
+            ] {
+                run(sub, opts);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===\n");
+}

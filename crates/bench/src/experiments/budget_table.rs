@@ -1,0 +1,89 @@
+//! Table V — total number of bits per board.
+
+use ropuf_core::budget::{bits_per_board, BitBudget};
+
+use crate::render;
+
+/// Experiment configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// RO pool per board (paper: 480 usable of 512).
+    pub total_ros: usize,
+    /// Ring sizes (paper: 3, 5, 7, 9).
+    pub stages_list: Vec<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            total_ros: 480,
+            stages_list: vec![3, 5, 7, 9],
+        }
+    }
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// `(n, budget)` per ring size.
+    pub budgets: Vec<(usize, BitBudget)>,
+    /// Echo of the configuration.
+    pub config: Config,
+}
+
+impl Outcome {
+    /// Renders Table V.
+    pub fn render(&self) -> String {
+        let mut header = vec!["scheme".to_string()];
+        header.extend(self.budgets.iter().map(|(n, _)| format!("n={n}")));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let row = |name: &str, f: &dyn Fn(&BitBudget) -> usize| -> Vec<String> {
+            let mut r = vec![name.to_string()];
+            r.extend(self.budgets.iter().map(|(_, b)| f(b).to_string()));
+            r
+        };
+        format!(
+            "bits per board from {} ROs:\n{}",
+            self.config.total_ros,
+            render::table(
+                &header_refs,
+                &[
+                    row("Configurable PUFs", &|b| b.configurable),
+                    row("Traditional PUFs", &|b| b.traditional),
+                    row("1-out-of-8 PUFs", &|b| b.one_of_eight),
+                ],
+            )
+        )
+    }
+}
+
+/// Runs the (purely arithmetic) experiment.
+pub fn run(config: &Config) -> Outcome {
+    Outcome {
+        budgets: config
+            .stages_list
+            .iter()
+            .map(|&n| (n, bits_per_board(config.total_ros, n)))
+            .collect(),
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_numbers() {
+        let out = run(&Config::default());
+        let expect = [(3usize, 80usize, 20usize), (5, 48, 12), (7, 32, 8), (9, 24, 6)];
+        for ((n, budget), (en, epairs, egroups)) in out.budgets.iter().zip(expect) {
+            assert_eq!(*n, en);
+            assert_eq!(budget.configurable, epairs);
+            assert_eq!(budget.traditional, epairs);
+            assert_eq!(budget.one_of_eight, egroups);
+        }
+        let s = out.render();
+        assert!(s.contains("80") && s.contains("n=9"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Tables III & IV — distances between the best configurations.
+//!
+//! With n = 15 stages per virtual ring, each of the 194 boards hosts 16
+//! ring pairs; the paper inspects the pairwise Hamming distance of the
+//! 3104 resulting configuration vectors (15-bit shared vectors for
+//! Case-1; 30-bit `top ‖ bottom` vectors for Case-2) and finds no
+//! duplicates, with the mass concentrated at HD 6–8 (Case-1) and 14–16
+//! (Case-2).
+
+use std::collections::BTreeMap;
+
+use ropuf_core::puf::SelectionMode;
+use ropuf_metrics::hamming::{has_duplicates, hd_distribution};
+use ropuf_num::bits::BitVec;
+
+use crate::fleet::{board_pairs, nominal_slice, paper_fleet};
+use crate::render;
+
+/// Experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Fleet seed.
+    pub seed: u64,
+    /// Fleet size.
+    pub boards: usize,
+    /// Stages per virtual ring (paper: 15).
+    pub stages: usize,
+    /// Case-1 (Table III) or Case-2 (Table IV).
+    pub mode: SelectionMode,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            seed: 2015,
+            boards: 198,
+            stages: 15,
+            mode: SelectionMode::Case1,
+        }
+    }
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Distance → percentage of configuration pairs.
+    pub distribution: BTreeMap<usize, f64>,
+    /// Whether any two configurations are identical.
+    pub duplicates: bool,
+    /// Number of configuration vectors compared.
+    pub configurations: usize,
+    /// Bits per configuration vector (n or 2n).
+    pub config_bits: usize,
+    /// Mean number of selected stages per ring.
+    pub mean_selected: f64,
+    /// Echo of the configuration.
+    pub config: Config,
+}
+
+impl Outcome {
+    /// Renders the distance distribution table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .distribution
+            .iter()
+            .map(|(d, p)| vec![d.to_string(), format!("{p:.3}%")])
+            .collect();
+        format!(
+            "{:?} best-configuration distances ({} vectors x {} bits):\n{}\
+             duplicates: {}   mean selected stages: {:.2} of {}\n",
+            self.config.mode,
+            self.configurations,
+            self.config_bits,
+            render::table(&["HD", "share"], &rows),
+            if self.duplicates { "YES" } else { "none" },
+            self.mean_selected,
+            self.config.stages,
+        )
+    }
+
+    /// The distance with the largest share (the distribution's mode).
+    pub fn modal_distance(&self) -> usize {
+        self.distribution
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(d, _)| *d)
+            .unwrap_or(0)
+    }
+}
+
+/// Runs the experiment (distilled values).
+pub fn run(config: &Config) -> Outcome {
+    let data = paper_fleet(config.seed, config.boards);
+    let mut vectors: Vec<BitVec> = Vec::new();
+    let mut selected_total = 0usize;
+    let mut rings = 0usize;
+    for board in nominal_slice(&data) {
+        for pair in board_pairs(board, config.stages, config.mode, true) {
+            selected_total += pair.top.selected_count() + pair.bottom.selected_count();
+            rings += 2;
+            let vector = match config.mode {
+                SelectionMode::Case1 => pair.top.as_bits().clone(),
+                SelectionMode::Case2 => pair.combined_config().as_bits().clone(),
+            };
+            vectors.push(vector);
+        }
+    }
+    Outcome {
+        distribution: hd_distribution(&vectors),
+        duplicates: has_duplicates(&vectors),
+        configurations: vectors.len(),
+        config_bits: vectors.first().map_or(0, BitVec::len),
+        mean_selected: selected_total as f64 / rings as f64,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case1_mass_concentrates_midway() {
+        let out = run(&Config {
+            boards: 30,
+            ..Config::default()
+        });
+        assert_eq!(out.config_bits, 15);
+        assert_eq!(out.configurations, 30 * 16);
+        // Paper: mode at HD 6 or 8; binomial over 15 bits peaks near 7.
+        let m = out.modal_distance();
+        assert!((5..=9).contains(&m), "modal distance {m}");
+        // §III.D conjecture: about half the stages selected. (Slightly
+        // above n/2 on average: the chosen sign class is the one with
+        // the larger total, which correlates with having more members.)
+        assert!((out.mean_selected - 7.5).abs() < 2.0, "{}", out.mean_selected);
+        let total: f64 = out.distribution.values().sum();
+        assert!((total - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn case2_mass_concentrates_midway() {
+        let out = run(&Config {
+            boards: 30,
+            mode: SelectionMode::Case2,
+            ..Config::default()
+        });
+        assert_eq!(out.config_bits, 30);
+        let m = out.modal_distance();
+        assert!((12..=18).contains(&m), "modal distance {m}");
+        assert!(!out.duplicates, "30-bit configurations collided");
+        assert!(out.render().contains("Case2"));
+    }
+}

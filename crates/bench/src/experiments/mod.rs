@@ -1,0 +1,10 @@
+//! The paper's experiments, one module per table/figure, plus ablations.
+
+pub mod ablations;
+pub mod budget_table;
+pub mod configs;
+pub mod randomness;
+pub mod reliability;
+pub mod threshold;
+pub mod uniqueness;
+pub mod verify;

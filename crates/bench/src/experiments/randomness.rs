@@ -1,0 +1,123 @@
+//! Tables I & II — NIST randomness of the configurable PUF output.
+//!
+//! 194 boards at nominal conditions, n = 5 stages per virtual ring,
+//! 48 bits per board, two boards concatenated per stream → 97 streams of
+//! 96 bits, run through the applicable SP 800-22 battery. The paper's
+//! finding: raw bits fail (systematic variation), distilled bits pass
+//! every test with PROPORTION ≥ 93/97.
+
+use ropuf_core::puf::SelectionMode;
+use ropuf_nist::suite::{run_suite, SuiteConfig, SuiteReport};
+
+use crate::fleet::{board_bits, paired_streams, paper_fleet};
+
+/// Experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Fleet seed.
+    pub seed: u64,
+    /// Fleet size (paper: 198; ≥ 2·streams+… any even count ≥ 8 works).
+    pub boards: usize,
+    /// Stages per virtual ring (paper: 5).
+    pub stages: usize,
+    /// Case-1 (Table I) or Case-2 (Table II).
+    pub mode: SelectionMode,
+    /// Whether the regression distiller runs before selection.
+    pub distill: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            seed: 2015,
+            boards: 198,
+            stages: 5,
+            mode: SelectionMode::Case1,
+            distill: true,
+        }
+    }
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The aggregated suite report.
+    pub report: SuiteReport,
+    /// Streams tested.
+    pub streams: usize,
+    /// Bits per stream.
+    pub bits_per_stream: usize,
+    /// Echo of the configuration.
+    pub config: Config,
+}
+
+impl Outcome {
+    /// Renders the paper-style table plus a verdict line.
+    pub fn render(&self) -> String {
+        format!(
+            "NIST SP 800-22 on {} streams x {} bits ({:?}, {}):\n{}\nverdict: {}\n",
+            self.streams,
+            self.bits_per_stream,
+            self.config.mode,
+            if self.config.distill { "distilled" } else { "raw" },
+            self.report.to_table(),
+            if self.report.all_passed() { "PASS" } else { "FAIL" },
+        )
+    }
+}
+
+/// Runs the experiment.
+pub fn run(config: &Config) -> Outcome {
+    let data = paper_fleet(config.seed, config.boards);
+    let per_board = board_bits(&data, config.stages, config.mode, config.distill);
+    let streams = paired_streams(&per_board);
+    let report = run_suite(&streams, &SuiteConfig::short_streams());
+    Outcome {
+        streams: streams.len(),
+        bits_per_stream: streams.first().map_or(0, ropuf_num::bits::BitVec::len),
+        report,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_fleet_distilled_passes_raw_fails() {
+        let mut cfg = Config {
+            boards: 40,
+            ..Config::default()
+        };
+        cfg.distill = true;
+        let distilled = run(&cfg);
+        assert_eq!(distilled.streams, 20);
+        assert_eq!(distilled.bits_per_stream, 96);
+        assert!(
+            distilled.report.all_passed(),
+            "distilled must pass:\n{}",
+            distilled.report.to_table()
+        );
+
+        cfg.distill = false;
+        let raw = run(&cfg);
+        assert!(
+            !raw.report.all_passed(),
+            "raw must fail:\n{}",
+            raw.report.to_table()
+        );
+    }
+
+    #[test]
+    fn case2_also_passes() {
+        let cfg = Config {
+            boards: 40,
+            mode: SelectionMode::Case2,
+            ..Config::default()
+        };
+        let out = run(&cfg);
+        assert!(out.report.all_passed(), "{}", out.report.to_table());
+        assert!(out.render().contains("PASS"));
+    }
+}

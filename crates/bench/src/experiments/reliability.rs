@@ -1,0 +1,297 @@
+//! Figure 4 (voltage) and the §IV.D temperature remark — bit flips under
+//! environmental variation on the five swept boards.
+//!
+//! For every swept board and every n ∈ {3, 5, 7, 9}, seven bars:
+//!
+//! 1–5. the configurable PUF configured from the measurements at each of
+//!      the five sweep points, evaluated at the other four points;
+//! 6.   the traditional PUF (baseline at nominal);
+//! 7.   the 1-out-of-8 PUF (baseline at nominal).
+//!
+//! Paper observations to reproduce: the traditional bar is tallest; the
+//! configurable bars shrink with n and reach 0 % at n = 7; the
+//! 1-out-of-8 bar is always 0; the mid-sweep configuration point tends
+//! to be best; under temperature sweep only the traditional PUF flips.
+
+use ropuf_core::config::ParityPolicy;
+use ropuf_core::puf::SelectionMode;
+use ropuf_dataset::extract::{
+    apply_board, one_of_eight_apply, one_of_eight_select, select_board, traditional_pairs,
+    VirtualLayout,
+};
+use ropuf_dataset::vt::{Condition, VtBoard, VtDataset};
+use ropuf_metrics::reliability::FlipSummary;
+use ropuf_num::bits::BitVec;
+
+use crate::fleet::{paper_fleet, USABLE_ROS};
+use crate::render;
+
+/// Which environmental axis is swept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sweep {
+    /// The five supply-voltage corners at 25 °C (Figure 4).
+    #[default]
+    Voltage,
+    /// The five temperature corners at 1.20 V (§IV.D remark).
+    Temperature,
+}
+
+impl Sweep {
+    /// The five sweep conditions, ascending.
+    pub fn conditions(self) -> Vec<Condition> {
+        match self {
+            Sweep::Voltage => [0.98, 1.08, 1.20, 1.32, 1.44]
+                .iter()
+                .map(|&v| Condition { voltage_v: v, temperature_c: 25.0 })
+                .collect(),
+            Sweep::Temperature => [25.0, 35.0, 45.0, 55.0, 65.0]
+                .iter()
+                .map(|&t| Condition { voltage_v: 1.20, temperature_c: t })
+                .collect(),
+        }
+    }
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Fleet seed.
+    pub seed: u64,
+    /// The swept axis.
+    pub sweep: Sweep,
+    /// Ring sizes to evaluate (paper: 3, 5, 7, 9).
+    pub stages_list: Vec<usize>,
+    /// Selection mode for the configurable bars (paper figures: Case-1;
+    /// §IV.D notes Case-2 is slightly better still).
+    pub mode: SelectionMode,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            seed: 2015,
+            sweep: Sweep::Voltage,
+            stages_list: vec![3, 5, 7, 9],
+            mode: SelectionMode::Case1,
+        }
+    }
+}
+
+/// One subplot of Figure 4: a board × n cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Board id.
+    pub board: u32,
+    /// Stages per virtual ring.
+    pub stages: usize,
+    /// Flip fraction of the configurable PUF configured at each of the
+    /// five sweep points (bars 1–5).
+    pub configurable: [f64; 5],
+    /// Flip fraction of the traditional PUF (bar 6).
+    pub traditional: f64,
+    /// Flip fraction of the 1-out-of-8 PUF (bar 7).
+    pub one_of_eight: f64,
+    /// Bits each pair-based scheme produced.
+    pub pair_bits: usize,
+}
+
+/// Full result grid.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// One cell per (board, stages) combination.
+    pub cells: Vec<Cell>,
+    /// Echo of the configuration.
+    pub config: Config,
+}
+
+impl Outcome {
+    /// All cells of one board, ascending n.
+    pub fn board_cells(&self, board: u32) -> Vec<&Cell> {
+        self.cells.iter().filter(|c| c.board == board).collect()
+    }
+
+    /// Mean configurable flip fraction per configuration point index
+    /// (isolates the paper's observation #4: mid-sweep configuration is
+    /// best).
+    pub fn mean_by_config_point(&self) -> [f64; 5] {
+        let mut sums = [0.0f64; 5];
+        for cell in &self.cells {
+            for (s, v) in sums.iter_mut().zip(&cell.configurable) {
+                *s += v;
+            }
+        }
+        sums.map(|s| s / self.cells.len() as f64)
+    }
+
+    /// Renders the grid, one row per (board, n).
+    pub fn render(&self) -> String {
+        let header = [
+            "board", "n", "cfg@1", "cfg@2", "cfg@3", "cfg@4", "cfg@5", "trad", "1of8",
+        ];
+        let rows: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut row = vec![c.board.to_string(), c.stages.to_string()];
+                row.extend(c.configurable.iter().map(|v| render::pct(*v)));
+                row.push(render::pct(c.traditional));
+                row.push(render::pct(c.one_of_eight));
+                row
+            })
+            .collect();
+        format!(
+            "bit-flip rates under {:?} sweep ({:?} selection):\n{}",
+            self.config.sweep,
+            self.config.mode,
+            render::table(&header, &rows),
+        )
+    }
+}
+
+/// Runs the experiment on the fleet's five swept boards.
+pub fn run(config: &Config) -> Outcome {
+    let data = paper_fleet(config.seed, 198);
+    run_on(&data, config)
+}
+
+/// Runs the experiment on an existing fleet (for tests and quick mode).
+pub fn run_on(data: &VtDataset, config: &Config) -> Outcome {
+    let conditions = config.sweep.conditions();
+    let mut cells = Vec::new();
+    for board in data.swept_boards() {
+        for &stages in &config.stages_list {
+            cells.push(evaluate_cell(board, stages, &conditions, config.mode));
+        }
+    }
+    Outcome {
+        cells,
+        config: config.clone(),
+    }
+}
+
+fn values_at(board: &VtBoard, condition: Condition) -> Vec<f64> {
+    board
+        .at(condition)
+        .expect("swept board has all sweep conditions")[..USABLE_ROS]
+        .to_vec()
+}
+
+fn evaluate_cell(
+    board: &VtBoard,
+    stages: usize,
+    conditions: &[Condition],
+    mode: SelectionMode,
+) -> Cell {
+    let layout = VirtualLayout::new(USABLE_ROS, stages);
+    let nominal = Condition::nominal();
+
+    // Bars 1–5: configure at each sweep point, evaluate at the others.
+    let mut configurable = [0.0f64; 5];
+    for (k, &config_cond) in conditions.iter().enumerate() {
+        let pairs = select_board(&values_at(board, config_cond), layout, mode, ParityPolicy::Ignore);
+        let baseline: BitVec = pairs.iter().map(|p| p.bit).collect();
+        let samples: Vec<BitVec> = conditions
+            .iter()
+            .filter(|&&c| c != config_cond)
+            .map(|&c| apply_board(&pairs, &values_at(board, c), layout))
+            .collect();
+        configurable[k] = FlipSummary::against_baseline(&baseline, &samples).flip_rate();
+    }
+
+    // Bar 6: traditional, baseline at nominal.
+    let trad_pairs = traditional_pairs(&values_at(board, nominal), layout);
+    let trad_base: BitVec = trad_pairs.iter().map(|p| p.bit).collect();
+    let trad_samples: Vec<BitVec> = conditions
+        .iter()
+        .filter(|&&c| c != nominal)
+        .map(|&c| apply_board(&trad_pairs, &values_at(board, c), layout))
+        .collect();
+    let traditional = FlipSummary::against_baseline(&trad_base, &trad_samples).flip_rate();
+
+    // Bar 7: 1-out-of-8, baseline at nominal.
+    let picks = one_of_eight_select(&values_at(board, nominal), layout);
+    let one8_base: BitVec = picks.iter().map(|p| p.bit).collect();
+    let one8_samples: Vec<BitVec> = conditions
+        .iter()
+        .filter(|&&c| c != nominal)
+        .map(|&c| one_of_eight_apply(&picks, &values_at(board, c), layout))
+        .collect();
+    let one_of_eight = FlipSummary::against_baseline(&one8_base, &one8_samples).flip_rate();
+
+    Cell {
+        board: board.id,
+        stages,
+        configurable,
+        traditional,
+        one_of_eight,
+        pair_bits: layout.pair_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_outcome(sweep: Sweep) -> Outcome {
+        let data = paper_fleet(7, 12);
+        run_on(
+            &data,
+            &Config {
+                sweep,
+                ..Config::default()
+            },
+        )
+    }
+
+    #[test]
+    fn voltage_sweep_reproduces_figure_4_shape() {
+        let out = quick_outcome(Sweep::Voltage);
+        assert_eq!(out.cells.len(), 5 * 4);
+        let mean = |f: &dyn Fn(&Cell) -> f64| {
+            out.cells.iter().map(f).sum::<f64>() / out.cells.len() as f64
+        };
+        let conf_mean = mean(&|c: &Cell| c.configurable.iter().sum::<f64>() / 5.0);
+        let trad_mean = mean(&|c: &Cell| c.traditional);
+        let one8_mean = mean(&|c: &Cell| c.one_of_eight);
+        // Observation 1: traditional is the least reliable.
+        assert!(trad_mean > conf_mean, "trad {trad_mean} !> conf {conf_mean}");
+        assert!(trad_mean > 0.0, "traditional must show flips");
+        // Observation 2: 1-out-of-8 is flip-free.
+        assert_eq!(one8_mean, 0.0);
+        // Observation 3: reliability improves with n.
+        let mean_for_n = |n: usize| {
+            let cells: Vec<&Cell> = out.cells.iter().filter(|c| c.stages == n).collect();
+            cells
+                .iter()
+                .map(|c| c.configurable.iter().sum::<f64>() / 5.0)
+                .sum::<f64>()
+                / cells.len() as f64
+        };
+        assert!(mean_for_n(3) >= mean_for_n(7), "n=3 {} n=7 {}", mean_for_n(3), mean_for_n(7));
+        assert!(mean_for_n(9) <= 0.02, "n=9 flip rate {}", mean_for_n(9));
+    }
+
+    #[test]
+    fn temperature_sweep_mostly_flips_traditional_only() {
+        let out = quick_outcome(Sweep::Temperature);
+        let conf_total: f64 = out
+            .cells
+            .iter()
+            .map(|c| c.configurable.iter().sum::<f64>())
+            .sum();
+        let one8_total: f64 = out.cells.iter().map(|c| c.one_of_eight).sum();
+        assert_eq!(one8_total, 0.0);
+        // Configurable flips are (near) zero; traditional may flip.
+        assert!(conf_total <= 0.05, "configurable temp flips {conf_total}");
+    }
+
+    #[test]
+    fn render_contains_grid() {
+        let out = quick_outcome(Sweep::Voltage);
+        let s = out.render();
+        assert!(s.contains("board"));
+        assert!(s.contains("1of8"));
+        assert_eq!(out.board_cells(out.cells[0].board).len(), 4);
+        let _ = out.mean_by_config_point();
+    }
+}

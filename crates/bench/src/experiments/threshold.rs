@@ -1,0 +1,204 @@
+//! §IV.E — reliable bits versus the threshold `Rth` on the in-house
+//! inverter-level data.
+//!
+//! 9 boards × 64 ROs of 16 delay units (13 used), paired into 32
+//! pair-bits per board. Raising `Rth` — the minimum delay-difference for
+//! a pair to yield a bit — prunes traditional bits quickly (the paper:
+//! 32 → 13 at `Rth = 3`) while the configurable PUF's maximized margins
+//! keep all 32.
+
+use ropuf_core::config::ParityPolicy;
+use ropuf_core::select::case2;
+use ropuf_dataset::inhouse::{InHouseConfig, InHouseDataset};
+
+use crate::render;
+
+/// Experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Dataset seed.
+    pub seed: u64,
+    /// Boards (paper: 9).
+    pub boards: usize,
+    /// ROs per board (paper: 64 → 32 pairs).
+    pub ros_per_board: usize,
+    /// Units available per RO (paper: 16 on silicon, 13 usable).
+    pub units_per_ro: usize,
+    /// Units actually used per RO (paper: "up to 13").
+    pub usable_units: usize,
+    /// Thresholds to sweep, picoseconds.
+    pub rth_list_ps: Vec<f64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            seed: 41,
+            boards: 9,
+            ros_per_board: 64,
+            units_per_ro: 16,
+            usable_units: 13,
+            rth_list_ps: vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        }
+    }
+}
+
+/// Bits surviving one threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdRow {
+    /// The threshold, picoseconds.
+    pub rth_ps: f64,
+    /// Mean surviving traditional bits per board.
+    pub traditional_bits: f64,
+    /// Mean surviving configurable bits per board.
+    pub configurable_bits: f64,
+}
+
+/// Structured result.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// One row per threshold, ascending.
+    pub rows: Vec<ThresholdRow>,
+    /// Pair-bits available per board before thresholding.
+    pub pairs_per_board: usize,
+    /// Echo of the configuration.
+    pub config: Config,
+}
+
+impl Outcome {
+    /// Renders the sweep table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:.1}", r.rth_ps),
+                    format!("{:.1}", r.traditional_bits),
+                    format!("{:.1}", r.configurable_bits),
+                ]
+            })
+            .collect();
+        format!(
+            "reliable bits per board vs Rth ({} boards, {} pairs/board):\n{}",
+            self.config.boards,
+            self.pairs_per_board,
+            render::table(&["Rth (ps)", "traditional", "configurable"], &rows),
+        )
+    }
+
+    /// Bits at a given threshold (nearest row).
+    pub fn at(&self, rth_ps: f64) -> Option<&ThresholdRow> {
+        self.rows
+            .iter()
+            .min_by(|a, b| (a.rth_ps - rth_ps).abs().total_cmp(&(b.rth_ps - rth_ps).abs()))
+    }
+}
+
+/// Runs the experiment.
+///
+/// # Panics
+///
+/// Panics if `usable_units > units_per_ro` or `ros_per_board` is odd.
+pub fn run(config: &Config) -> Outcome {
+    assert!(
+        config.usable_units <= config.units_per_ro,
+        "cannot use more units than exist"
+    );
+    assert!(
+        config.ros_per_board.is_multiple_of(2),
+        "ROs must pair up evenly"
+    );
+    let data = InHouseDataset::generate(&InHouseConfig {
+        boards: config.boards,
+        ros_per_board: config.ros_per_board,
+        units_per_ro: config.units_per_ro,
+        seed: config.seed,
+        ..InHouseConfig::default()
+    });
+    let pairs_per_board = config.ros_per_board / 2;
+
+    // Per pair: traditional margin (all usable units) and configurable
+    // margin (Case-2 over the same units).
+    let mut trad_margins: Vec<Vec<f64>> = Vec::new();
+    let mut conf_margins: Vec<Vec<f64>> = Vec::new();
+    for board in data.boards() {
+        let mut trad = Vec::with_capacity(pairs_per_board);
+        let mut conf = Vec::with_capacity(pairs_per_board);
+        for p in 0..pairs_per_board {
+            let top = &board.ros[2 * p].ddiffs_ps[..config.usable_units];
+            let bottom = &board.ros[2 * p + 1].ddiffs_ps[..config.usable_units];
+            let t: f64 = top.iter().sum::<f64>() - bottom.iter().sum::<f64>();
+            trad.push(t.abs());
+            conf.push(case2(top, bottom, ParityPolicy::Ignore).margin());
+        }
+        trad_margins.push(trad);
+        conf_margins.push(conf);
+    }
+
+    let surviving = |margins: &[Vec<f64>], rth: f64| -> f64 {
+        margins
+            .iter()
+            .map(|board| board.iter().filter(|&&m| m >= rth).count() as f64)
+            .sum::<f64>()
+            / margins.len() as f64
+    };
+    let rows = config
+        .rth_list_ps
+        .iter()
+        .map(|&rth| ThresholdRow {
+            rth_ps: rth,
+            traditional_bits: surviving(&trad_margins, rth),
+            configurable_bits: surviving(&conf_margins, rth),
+        })
+        .collect();
+    Outcome {
+        rows,
+        pairs_per_board,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_section_4e_shape() {
+        let out = run(&Config::default());
+        assert_eq!(out.pairs_per_board, 32);
+        let at0 = out.at(0.0).unwrap();
+        // Rth = 0: both schemes give all 32 bits.
+        assert_eq!(at0.traditional_bits, 32.0);
+        assert_eq!(at0.configurable_bits, 32.0);
+        // Rth = 3: traditional drops to roughly 40-60 % of its bits
+        // (paper: 13 of 32); configurable keeps everything (paper: 32).
+        let at3 = out.at(3.0).unwrap();
+        assert!(
+            (8.0..=22.0).contains(&at3.traditional_bits),
+            "traditional at Rth=3: {}",
+            at3.traditional_bits
+        );
+        assert!(
+            at3.configurable_bits >= 31.5,
+            "configurable at Rth=3: {}",
+            at3.configurable_bits
+        );
+        // Monotone decrease in Rth for both schemes.
+        for w in out.rows.windows(2) {
+            assert!(w[1].traditional_bits <= w[0].traditional_bits);
+            assert!(w[1].configurable_bits <= w[0].configurable_bits);
+        }
+        assert!(out.render().contains("Rth"));
+    }
+
+    #[test]
+    #[should_panic(expected = "more units than exist")]
+    fn too_many_usable_units_panics() {
+        let cfg = Config {
+            usable_units: 17,
+            ..Config::default()
+        };
+        let _ = run(&cfg);
+    }
+}

@@ -1,0 +1,241 @@
+//! One-command verification: re-runs a reduced-scale version of every
+//! experiment and checks the paper-shape invariants recorded in
+//! `EXPERIMENTS.md`.
+//!
+//! This is the harness a CI job (or a skeptical reader) runs:
+//! `repro verify` exits nonzero if any invariant breaks.
+
+use ropuf_core::puf::SelectionMode;
+
+use crate::experiments::{
+    ablations, budget_table, configs, randomness, reliability, threshold, uniqueness,
+};
+use crate::render;
+
+/// One checked invariant.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Which invariant.
+    pub name: &'static str,
+    /// Whether it held.
+    pub pass: bool,
+    /// The measured value(s) behind the verdict.
+    pub detail: String,
+}
+
+impl Check {
+    fn new(name: &'static str, pass: bool, detail: impl Into<String>) -> Self {
+        Self {
+            name,
+            pass,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Result of a verification run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Every checked invariant, in experiment order.
+    pub checks: Vec<Check>,
+}
+
+impl Outcome {
+    /// Whether every invariant held.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Renders the verdict table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .checks
+            .iter()
+            .map(|c| {
+                vec![
+                    if c.pass { "PASS" } else { "FAIL" }.to_string(),
+                    c.name.to_string(),
+                    c.detail.clone(),
+                ]
+            })
+            .collect();
+        format!(
+            "{}\noverall: {}\n",
+            render::table(&["verdict", "invariant", "measured"], &rows),
+            if self.all_passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Runs the verification battery at `boards` fleet scale (60 is enough
+/// for every invariant and finishes in tens of seconds).
+pub fn run(seed: u64, boards: usize) -> Outcome {
+    let mut checks = Vec::new();
+
+    // Tables I/II: distilled passes, raw fails.
+    for (name, distill, expect_pass) in [
+        ("Table I/II: raw bits fail NIST", false, false),
+        ("Table I/II: distilled bits pass NIST", true, true),
+    ] {
+        let out = randomness::run(&randomness::Config {
+            seed,
+            boards,
+            distill,
+            ..randomness::Config::default()
+        });
+        let pass = out.report.all_passed() == expect_pass;
+        checks.push(Check::new(
+            name,
+            pass,
+            format!("all_passed = {}", out.report.all_passed()),
+        ));
+    }
+
+    // Figure 3: HD mean near n/2, sigma near binomial.
+    let fig3 = uniqueness::run(&uniqueness::Config {
+        seed,
+        boards,
+        ..uniqueness::Config::default()
+    });
+    for m in &fig3.modes {
+        let ok = (m.stats.normalized_mean() - 0.5).abs() < 0.05
+            && (3.0..7.0).contains(&m.stats.std_dev_bits);
+        checks.push(Check::new(
+            "Fig 3: inter-chip HD is binomial-shaped",
+            ok,
+            format!(
+                "{:?}: {:.2} ± {:.2} of {}",
+                m.mode, m.stats.mean_bits, m.stats.std_dev_bits, m.stats.response_bits
+            ),
+        ));
+    }
+
+    // Tables III/IV: modal distances and Case-2 even-only support.
+    let t3 = configs::run(&configs::Config {
+        seed,
+        boards,
+        mode: SelectionMode::Case1,
+        ..configs::Config::default()
+    });
+    checks.push(Check::new(
+        "Table III: Case-1 config HD mode near n/2",
+        (5..=9).contains(&t3.modal_distance()),
+        format!("mode = {}", t3.modal_distance()),
+    ));
+    let t4 = configs::run(&configs::Config {
+        seed,
+        boards,
+        mode: SelectionMode::Case2,
+        ..configs::Config::default()
+    });
+    let even_only = t4.distribution.keys().all(|d| d % 2 == 0);
+    checks.push(Check::new(
+        "Table IV: Case-2 config HD even-only, mode near n",
+        even_only && (12..=18).contains(&t4.modal_distance()) && !t4.duplicates,
+        format!(
+            "mode = {}, even_only = {even_only}, duplicates = {}",
+            t4.modal_distance(),
+            t4.duplicates
+        ),
+    ));
+
+    // Figure 4 + temperature: reliability orderings.
+    for (name, sweep) in [
+        ("Fig 4: voltage reliability ordering", reliability::Sweep::Voltage),
+        ("4.D: temperature reliability ordering", reliability::Sweep::Temperature),
+    ] {
+        let out = reliability::run_on(
+            &crate::fleet::paper_fleet(seed, boards.max(7)),
+            &reliability::Config {
+                seed,
+                sweep,
+                ..reliability::Config::default()
+            },
+        );
+        let conf: f64 = out
+            .cells
+            .iter()
+            .map(|c| c.configurable.iter().sum::<f64>())
+            .sum();
+        let trad: f64 = out.cells.iter().map(|c| c.traditional).sum();
+        let one8: f64 = out.cells.iter().map(|c| c.one_of_eight).sum();
+        let conf_n7: f64 = out
+            .cells
+            .iter()
+            .filter(|c| c.stages >= 7)
+            .map(|c| c.configurable.iter().sum::<f64>())
+            .sum();
+        let ok = trad > conf && one8 == 0.0 && conf_n7 == 0.0;
+        checks.push(Check::new(
+            name,
+            ok,
+            format!("trad Σ {trad:.3}, conf Σ {conf:.3}, 1of8 Σ {one8:.3}, conf@n≥7 Σ {conf_n7:.3}"),
+        ));
+    }
+
+    // Table V: exact integers.
+    let t5 = budget_table::run(&budget_table::Config::default());
+    let expect = [(3usize, 80usize, 20usize), (5, 48, 12), (7, 32, 8), (9, 24, 6)];
+    let ok = t5
+        .budgets
+        .iter()
+        .zip(expect)
+        .all(|((n, b), (en, ep, eg))| *n == en && b.configurable == ep && b.one_of_eight == eg);
+    let summary = t5
+        .budgets
+        .iter()
+        .map(|(n, b)| format!("n={n}:{}/{}", b.configurable, b.one_of_eight))
+        .collect::<Vec<_>>()
+        .join(" ");
+    checks.push(Check::new("Table V: exact bit budgets", ok, summary));
+
+    // §IV.E: threshold headroom.
+    let t = threshold::run(&threshold::Config {
+        seed,
+        ..threshold::Config::default()
+    });
+    let at3 = t.at(3.0).expect("Rth=3 row");
+    let ok = at3.configurable_bits >= 31.5 && at3.traditional_bits < at3.configurable_bits - 5.0;
+    checks.push(Check::new(
+        "4.E: Rth=3 keeps configurable at 32 bits",
+        ok,
+        format!(
+            "traditional {:.1}, configurable {:.1}",
+            at3.traditional_bits, at3.configurable_bits
+        ),
+    ));
+
+    // Four-scheme comparison orderings.
+    let b = ablations::baselines(seed);
+    let trad = b.row("traditional").copied().expect("row");
+    let conf = b.row("configurable").copied().expect("row");
+    let one8 = b.row("1-out-of-8").copied().expect("row");
+    let coop = b.row("cooperative").copied().expect("row");
+    let ok = trad.3 > conf.3
+        && conf.3 == 0.0
+        && one8.1 * 4 == trad.1
+        && coop.2 > 0.25;
+    checks.push(Check::new(
+        "§II: four-scheme bits/utilization/reliability",
+        ok,
+        format!(
+            "flips t/c/1of8/coop = {:.3}/{:.3}/{:.3}/{:.3}; coop util {:.2}",
+            trad.3, conf.3, one8.3, coop.3, coop.2
+        ),
+    ));
+
+    Outcome { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verification_passes_at_reduced_scale() {
+        let out = run(2015, 40);
+        assert!(out.all_passed(), "{}", out.render());
+        assert!(out.checks.len() >= 9);
+        assert!(out.render().contains("overall: PASS"));
+    }
+}

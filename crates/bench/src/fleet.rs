@@ -1,0 +1,116 @@
+//! Shared dataset construction and bit-stream extraction for the
+//! reproduction experiments.
+
+use ropuf_core::config::ParityPolicy;
+use ropuf_core::puf::SelectionMode;
+use ropuf_dataset::extract::{distill_values, select_board, ExtractedPair, VirtualLayout};
+use ropuf_dataset::vt::{VtBoard, VtConfig, VtDataset};
+use ropuf_num::bits::BitVec;
+
+/// ROs per board the paper's analyses consume (of the 512 measured).
+pub const USABLE_ROS: usize = 480;
+/// Boards whose nominal measurements feed the randomness/uniqueness
+/// experiments (the paper's 194).
+pub const NOMINAL_BOARDS: usize = 194;
+
+/// Generates the paper-scale fleet (198 boards, 5 swept), or a reduced
+/// fleet for quick runs.
+pub fn paper_fleet(seed: u64, boards: usize) -> VtDataset {
+    let boards = boards.max(7);
+    VtDataset::generate(&VtConfig {
+        boards,
+        swept_boards: 5,
+        seed,
+        ..VtConfig::default()
+    })
+}
+
+/// The boards used at nominal conditions: the first
+/// `min(NOMINAL_BOARDS, fleet size)` boards (each carries a nominal
+/// measurement whether swept or not).
+pub fn nominal_slice(data: &VtDataset) -> &[VtBoard] {
+    &data.boards()[..data.boards().len().min(NOMINAL_BOARDS)]
+}
+
+/// The per-board values selection consumes: nominal frequencies,
+/// optionally distilled.
+pub fn board_values(board: &VtBoard, distill: bool) -> Vec<f64> {
+    let freqs = &board.nominal()[..USABLE_ROS.min(board.ro_count())];
+    if distill {
+        distill_values(freqs, &board.positions()[..freqs.len()])
+            .expect("grid positions are non-degenerate")
+    } else {
+        freqs.to_vec()
+    }
+}
+
+/// Selection results for every pair of one board.
+pub fn board_pairs(
+    board: &VtBoard,
+    stages: usize,
+    mode: SelectionMode,
+    distill: bool,
+) -> Vec<ExtractedPair> {
+    let values = board_values(board, distill);
+    let layout = VirtualLayout::new(values.len(), stages);
+    select_board(&values, layout, mode, ParityPolicy::Ignore)
+}
+
+/// One PUF bit-string per board.
+pub fn board_bits(
+    data: &VtDataset,
+    stages: usize,
+    mode: SelectionMode,
+    distill: bool,
+) -> Vec<BitVec> {
+    nominal_slice(data)
+        .iter()
+        .map(|b| {
+            ropuf_dataset::extract::board_bits(b, stages, mode, distill)
+                .expect("grid positions are non-degenerate")
+        })
+        .collect()
+}
+
+/// The paper's stream construction: concatenate the bits of two boards
+/// into one stream (194 boards → 97 streams of 96 bits at n = 5).
+pub fn paired_streams(per_board: &[BitVec]) -> Vec<BitVec> {
+    per_board
+        .chunks(2)
+        .filter(|c| c.len() == 2)
+        .map(|c| {
+            let mut s = c[0].clone();
+            s.extend_bits(&c[1]);
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_fleet_yields_streams() {
+        let data = paper_fleet(1, 12);
+        let bits = board_bits(&data, 5, SelectionMode::Case1, true);
+        assert_eq!(bits.len(), 12);
+        assert_eq!(bits[0].len(), 48);
+        let streams = paired_streams(&bits);
+        assert_eq!(streams.len(), 6);
+        assert_eq!(streams[0].len(), 96);
+    }
+
+    #[test]
+    fn nominal_slice_caps_at_194() {
+        let data = paper_fleet(2, 10);
+        assert_eq!(nominal_slice(&data).len(), 10);
+    }
+
+    #[test]
+    fn odd_board_counts_drop_the_tail() {
+        let data = paper_fleet(3, 9);
+        let bits = board_bits(&data, 5, SelectionMode::Case2, true);
+        assert_eq!(paired_streams(&bits).len(), 4);
+    }
+}

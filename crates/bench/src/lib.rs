@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Reproduction harness for every table and figure of the DAC 2014
+//! paper, plus ablation experiments for the design choices `DESIGN.md`
+//! calls out.
+//!
+//! Each experiment lives in [`experiments`] as a pure function from a
+//! configuration to a structured result with a `render()` method; the
+//! `repro` binary is a thin CLI over them, and the workspace integration
+//! tests assert on the same structured results the binary prints.
+//!
+//! | Paper artifact | Function | `repro` subcommand |
+//! |---|---|---|
+//! | Table I (NIST, Case-1) | [`experiments::randomness::run`] | `table1` |
+//! | Table II (NIST, Case-2) | [`experiments::randomness::run`] | `table2` |
+//! | Figure 3 (inter-chip HD) | [`experiments::uniqueness::run`] | `fig3` |
+//! | Table III (Case-1 config HD) | [`experiments::configs::run`] | `table3` |
+//! | Table IV (Case-2 config HD) | [`experiments::configs::run`] | `table4` |
+//! | Figure 4 (voltage reliability) | [`experiments::reliability::run`] | `fig4` |
+//! | §IV.D temperature remark | [`experiments::reliability::run`] | `temp` |
+//! | Table V (bits per board) | [`experiments::budget_table::run`] | `table5` |
+//! | §IV.E (Rth sweep) | [`experiments::threshold::run`] | `sec4e` |
+
+pub mod experiments;
+pub mod fleet;
+pub mod render;

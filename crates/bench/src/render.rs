@@ -1,0 +1,72 @@
+//! Small text-table rendering helpers for experiment output.
+
+/// Renders a table with a header row, aligning columns to the widest
+/// cell.
+///
+/// # Panics
+///
+/// Panics if rows have different lengths than the header.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:>w$} "));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = table(
+            &["n", "bits"],
+            &[
+                vec!["3".into(), "80".into()],
+                vec!["5".into(), "48".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n') && lines[0].contains("bits"));
+        assert!(lines[2].trim_start().starts_with('3'));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(pct(0.0), "0.00%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        let _ = table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

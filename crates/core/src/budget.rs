@@ -1,0 +1,100 @@
+//! Hardware budgeting: how many PUF bits a board yields (Table V).
+//!
+//! The paper evaluates all three schemes on the same pool of ring
+//! oscillators, partitioned into groups of `8·n` ROs. Each group hosts
+//! either four traditional/configurable ring pairs (4 bits) or one
+//! 1-out-of-8 group (1 bit) — which is how Table V's 80/48/32/24 versus
+//! 20/12/8/6 bits-per-board arise from 480 usable ROs.
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_core::budget::bits_per_board;
+//!
+//! // Table V, n = 5 column.
+//! let b = bits_per_board(480, 5);
+//! assert_eq!(b.configurable, 48);
+//! assert_eq!(b.traditional, 48);
+//! assert_eq!(b.one_of_eight, 12);
+//! ```
+
+/// Bits each scheme extracts from one board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BitBudget {
+    /// Bits from the configurable RO PUF.
+    pub configurable: usize,
+    /// Bits from the traditional RO PUF (always equals `configurable`;
+    /// both use two rings per bit).
+    pub traditional: usize,
+    /// Bits from the 1-out-of-8 scheme (one quarter of the above).
+    pub one_of_eight: usize,
+}
+
+impl BitBudget {
+    /// Hardware utilization of the 1-out-of-8 scheme relative to the
+    /// configurable scheme (0.25 whenever any group fits).
+    pub fn one_of_eight_utilization(&self) -> f64 {
+        if self.configurable == 0 {
+            0.0
+        } else {
+            self.one_of_eight as f64 / self.configurable as f64
+        }
+    }
+}
+
+/// Computes per-board bit budgets for rings of `n` stages drawn from a
+/// pool of `total_ros` ring oscillators, using the paper's grouping rule
+/// (groups of `8n` ROs; 4 pair-bits or 1 group-bit per group).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn bits_per_board(total_ros: usize, n: usize) -> BitBudget {
+    assert!(n > 0, "rings need at least one stage");
+    let groups = total_ros / (8 * n);
+    BitBudget {
+        configurable: groups * 4,
+        traditional: groups * 4,
+        one_of_eight: groups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table_v() {
+        // Table V of the paper: 480 usable ROs per board.
+        let expect = [(3, 80, 20), (5, 48, 12), (7, 32, 8), (9, 24, 6)];
+        for (n, pair_bits, group_bits) in expect {
+            let b = bits_per_board(480, n);
+            assert_eq!(b.configurable, pair_bits, "n={n}");
+            assert_eq!(b.traditional, pair_bits, "n={n}");
+            assert_eq!(b.one_of_eight, group_bits, "n={n}");
+        }
+    }
+
+    #[test]
+    fn one_of_eight_is_quarter_utilization() {
+        for n in 1..10 {
+            let b = bits_per_board(960, n);
+            if b.configurable > 0 {
+                assert!((b.one_of_eight_utilization() - 0.25).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn too_few_ros_yield_zero() {
+        let b = bits_per_board(10, 5);
+        assert_eq!(b, BitBudget::default());
+        assert_eq!(b.one_of_eight_utilization(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_panics() {
+        let _ = bits_per_board(480, 0);
+    }
+}

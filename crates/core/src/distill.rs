@@ -1,0 +1,282 @@
+//! The regression-based distiller (Yin & Qu, DAC 2013 — the paper's
+//! reference \[18\]).
+//!
+//! Raw RO frequencies carry a large *systematic* spatial component
+//! (process gradients across the die) that is common to all chips of a
+//! design and therefore leaks structure: the paper reports that PUF bits
+//! extracted from raw data fail the NIST randomness tests. The distiller
+//! fits a low-order bivariate polynomial of the measurement value over
+//! die coordinates and keeps only the residual — the local random
+//! variation that is actually unique per chip.
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_core::distill::Distiller;
+//!
+//! let positions = [(-1.0, -1.0), (1.0, -1.0), (-1.0, 1.0), (1.0, 1.0)];
+//! // A linear gradient across the die plus a local bump.
+//! let values = [9.0, 10.5, 11.0, 12.0];
+//! let distiller = Distiller::new(1);
+//! let residuals = distiller.residuals(&values, &positions)?;
+//! // The linear trend is gone; residuals sum to ~0.
+//! assert!(residuals.iter().sum::<f64>().abs() < 1e-9);
+//! # Ok::<(), ropuf_core::distill::DistillError>(())
+//! ```
+
+use std::fmt;
+
+use ropuf_num::linalg::{poly2d_design_matrix, poly2d_terms, SolveError};
+
+/// Removes systematic spatial variation by polynomial regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Distiller {
+    degree: usize,
+}
+
+impl Default for Distiller {
+    /// Degree-2 surface — matches the simulator's systematic field and
+    /// the DAC'13 distiller's recommendation.
+    fn default() -> Self {
+        Self::new(2)
+    }
+}
+
+impl Distiller {
+    /// Creates a distiller fitting a total-degree-`degree` bivariate
+    /// polynomial (degree 0 removes just the mean).
+    pub fn new(degree: usize) -> Self {
+        Self { degree }
+    }
+
+    /// The polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of basis terms the fit uses.
+    pub fn basis_size(&self) -> usize {
+        poly2d_terms(self.degree).len()
+    }
+
+    /// Fits the systematic surface to `(values, positions)` and returns
+    /// the residuals `value − fit`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistillError::LengthMismatch`] if the slices differ in length
+    ///   or are empty.
+    /// * [`DistillError::Underdetermined`] if there are fewer samples
+    ///   than basis terms.
+    /// * [`DistillError::Singular`] if the positions are degenerate
+    ///   (e.g. all samples at one point).
+    pub fn residuals(
+        &self,
+        values: &[f64],
+        positions: &[(f64, f64)],
+    ) -> Result<Vec<f64>, DistillError> {
+        if values.is_empty() || values.len() != positions.len() {
+            return Err(DistillError::LengthMismatch {
+                values: values.len(),
+                positions: positions.len(),
+            });
+        }
+        let basis = self.basis_size();
+        if values.len() < basis {
+            return Err(DistillError::Underdetermined {
+                samples: values.len(),
+                basis,
+            });
+        }
+        let design = poly2d_design_matrix(positions, self.degree);
+        let beta = design.least_squares(values).map_err(|e| match e {
+            SolveError::Singular { .. } => DistillError::Singular,
+            other => DistillError::Internal(other),
+        })?;
+        let fitted = design.matvec(&beta);
+        Ok(values.iter().zip(&fitted).map(|(v, f)| v - f).collect())
+    }
+
+    /// Returns the fitted systematic surface values (the complement of
+    /// [`residuals`](Self::residuals)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`residuals`](Self::residuals).
+    pub fn fitted(
+        &self,
+        values: &[f64],
+        positions: &[(f64, f64)],
+    ) -> Result<Vec<f64>, DistillError> {
+        let residuals = self.residuals(values, positions)?;
+        Ok(values.iter().zip(&residuals).map(|(v, r)| v - r).collect())
+    }
+}
+
+/// Errors from [`Distiller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistillError {
+    /// Input slices are empty or differ in length.
+    LengthMismatch {
+        /// Length of the value slice.
+        values: usize,
+        /// Length of the position slice.
+        positions: usize,
+    },
+    /// Fewer samples than polynomial basis terms.
+    Underdetermined {
+        /// Number of samples supplied.
+        samples: usize,
+        /// Number of basis terms required.
+        basis: usize,
+    },
+    /// Degenerate sample positions (rank-deficient design matrix).
+    Singular,
+    /// Unexpected solver failure (should not occur for valid inputs).
+    Internal(SolveError),
+}
+
+impl fmt::Display for DistillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistillError::LengthMismatch { values, positions } => write!(
+                f,
+                "values ({values}) and positions ({positions}) must be equal-length and non-empty"
+            ),
+            DistillError::Underdetermined { samples, basis } => write!(
+                f,
+                "{samples} samples cannot determine a {basis}-term polynomial surface"
+            ),
+            DistillError::Singular => {
+                write!(f, "sample positions are degenerate; the surface fit is singular")
+            }
+            DistillError::Internal(e) => write!(f, "internal solver failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistillError::Internal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<(f64, f64)> {
+        let mut pts = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let norm = |k: usize| 2.0 * k as f64 / (n - 1) as f64 - 1.0;
+                pts.push((norm(i), norm(j)));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn removes_exact_polynomial_field() {
+        let pts = grid(5);
+        let values: Vec<f64> = pts
+            .iter()
+            .map(|&(x, y)| 100.0 + 3.0 * x - 2.0 * y + 0.5 * x * x - 0.7 * x * y + 0.2 * y * y)
+            .collect();
+        let res = Distiller::new(2).residuals(&values, &pts).unwrap();
+        for r in res {
+            assert!(r.abs() < 1e-9, "residual {r}");
+        }
+    }
+
+    #[test]
+    fn preserves_random_component() {
+        let pts = grid(6);
+        // Systematic field + deterministic pseudo-random bumps.
+        let noise: Vec<f64> = (0..pts.len())
+            .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+            .collect();
+        let values: Vec<f64> = pts
+            .iter()
+            .zip(&noise)
+            .map(|(&(x, y), &n)| 50.0 + 4.0 * x + 1.0 * y + n)
+            .collect();
+        let res = Distiller::new(2).residuals(&values, &pts).unwrap();
+        // Residuals should correlate strongly with the injected noise.
+        let corr = ropuf_num::stats::pearson(&res, &noise).unwrap();
+        assert!(corr > 0.95, "corr {corr}");
+    }
+
+    #[test]
+    fn degree_zero_removes_mean_only() {
+        let pts = grid(3);
+        let values: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let res = Distiller::new(0).residuals(&values, &pts).unwrap();
+        let mean = 4.0;
+        for (r, v) in res.iter().zip(&values) {
+            assert!((r - (v - mean)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn residuals_plus_fitted_reconstruct_values() {
+        let pts = grid(4);
+        let values: Vec<f64> = pts.iter().map(|&(x, y)| 7.0 + x * y + (x * 9.0).sin()).collect();
+        let d = Distiller::default();
+        let res = d.residuals(&values, &pts).unwrap();
+        let fit = d.fitted(&values, &pts).unwrap();
+        for ((v, r), f) in values.iter().zip(&res).zip(&fit) {
+            assert!((v - (r + f)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let err = Distiller::default()
+            .residuals(&[1.0, 2.0], &[(0.0, 0.0)])
+            .unwrap_err();
+        assert_eq!(err, DistillError::LengthMismatch { values: 2, positions: 1 });
+        assert!(err.to_string().contains("equal-length"));
+    }
+
+    #[test]
+    fn underdetermined_is_reported() {
+        let err = Distiller::new(2)
+            .residuals(&[1.0, 2.0, 3.0], &[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)])
+            .unwrap_err();
+        assert!(matches!(err, DistillError::Underdetermined { samples: 3, basis: 6 }));
+    }
+
+    #[test]
+    fn degenerate_positions_are_singular() {
+        let pts = vec![(0.5, 0.5); 10];
+        let values = vec![1.0; 10];
+        let err = Distiller::new(1).residuals(&values, &pts).unwrap_err();
+        assert_eq!(err, DistillError::Singular);
+    }
+
+    #[test]
+    fn works_on_simulated_board() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use ropuf_silicon::board::BoardId;
+        use ropuf_silicon::SiliconSim;
+
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(31);
+        let board = sim.grow_board_with_id(&mut rng, BoardId(0), 256, 16);
+        let values: Vec<f64> = board.units().iter().map(|u| u.inverter_ps()).collect();
+        let positions = board.positions();
+        let res = Distiller::default().residuals(&values, &positions).unwrap();
+        // Distillation shrinks the spread: systematic + inter-die
+        // variation is removed, leaving only the local random part.
+        let spread = |v: &[f64]| ropuf_num::stats::std_dev(v).unwrap();
+        assert!(spread(&res) < spread(&values), "{} !< {}", spread(&res), spread(&values));
+        // And the residual spread should be close to sigma_random × 100 ps.
+        assert!(spread(&res) < 2.0, "residual spread {}", spread(&res));
+        assert!(spread(&res) > 0.5, "residual spread {}", spread(&res));
+    }
+}

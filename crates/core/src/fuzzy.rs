@@ -1,0 +1,567 @@
+//! A repetition-code fuzzy extractor (code-offset construction).
+//!
+//! §III.C of the paper argues that maximizing pair margins "can
+//! eliminate the cost of ECC circuitry" that traditional RO PUFs need.
+//! This module provides that ECC machinery — the standard code-offset
+//! secure sketch of Dodis et al. (the paper's reference \[11\]) with a
+//! majority-voted repetition code — both because a practical key-storage
+//! deployment wants it as a safety net, and so the `repro ablate-ecc`
+//! experiment can quantify exactly how much ECC the traditional scheme
+//! needs to match a bare configurable PUF.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ropuf_core::fuzzy::FuzzyExtractor;
+//! use ropuf_num::bits::BitVec;
+//!
+//! let fx = FuzzyExtractor::new(3);
+//! let response = BitVec::from_binary_str("110010011100101101100111").unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (key, helper) = fx.generate(&mut rng, &response);
+//! assert_eq!(key.len(), 8); // 24 response bits / repetition 3
+//!
+//! // One flipped response bit per block is corrected.
+//! let mut noisy = response.clone();
+//! noisy.set(0, !noisy.get(0).unwrap());
+//! assert_eq!(fx.reproduce(&noisy, &helper)?, key);
+//! # Ok::<(), ropuf_core::fuzzy::ReproduceError>(())
+//! ```
+
+use rand::Rng;
+use ropuf_num::bits::BitVec;
+
+/// A fuzzy extractor over an odd-length repetition code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzyExtractor {
+    repetition: usize,
+}
+
+impl FuzzyExtractor {
+    /// Creates an extractor with the given repetition factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repetition` is zero or even (majority voting needs an
+    /// odd block).
+    pub fn new(repetition: usize) -> Self {
+        assert!(
+            repetition % 2 == 1,
+            "repetition factor must be odd, got {repetition}"
+        );
+        Self { repetition }
+    }
+
+    /// The repetition factor.
+    pub fn repetition(&self) -> usize {
+        self.repetition
+    }
+
+    /// Errors per block the code corrects: `(r − 1) / 2`.
+    pub fn correctable_errors(&self) -> usize {
+        (self.repetition - 1) / 2
+    }
+
+    /// Key bits extracted from a response of `response_bits`.
+    pub fn key_bits(&self, response_bits: usize) -> usize {
+        response_bits / self.repetition
+    }
+
+    /// Generation phase: derives a key and public helper data from an
+    /// enrollment-time response.
+    ///
+    /// Code-offset construction: a uniform key is drawn, encoded with
+    /// the repetition code, and XORed onto the response; the helper data
+    /// is the XOR (information-theoretically independent of the key when
+    /// the response is uniform). Trailing response bits that do not fill
+    /// a block are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response holds fewer bits than one block.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, response: &BitVec) -> (BitVec, BitVec) {
+        let k = self.key_bits(response.len());
+        assert!(k > 0, "response too short for repetition {}", self.repetition);
+        let key: BitVec = (0..k).map(|_| rng.gen::<bool>()).collect();
+        let codeword = self.encode(&key);
+        let used: BitVec = response.iter().take(k * self.repetition).collect();
+        (key, used.xor(&codeword))
+    }
+
+    /// Reproduction phase: recovers the key from a (noisy) response and
+    /// the helper data.
+    ///
+    /// # Errors
+    ///
+    /// [`ReproduceError`] if the response is shorter than the helper
+    /// data or the helper length is not a multiple of the repetition
+    /// factor.
+    pub fn reproduce(&self, response: &BitVec, helper: &BitVec) -> Result<BitVec, ReproduceError> {
+        if !helper.len().is_multiple_of(self.repetition) {
+            return Err(ReproduceError::MalformedHelper {
+                helper_bits: helper.len(),
+                repetition: self.repetition,
+            });
+        }
+        if response.len() < helper.len() {
+            return Err(ReproduceError::ResponseTooShort {
+                response_bits: response.len(),
+                required: helper.len(),
+            });
+        }
+        let used: BitVec = response.iter().take(helper.len()).collect();
+        let offset = used.xor(helper);
+        Ok(self.decode(&offset))
+    }
+
+    /// Expected key-failure probability for i.i.d. response bit error
+    /// rate `ber`: `1 − (1 − p_block)^k` where `p_block` is the tail of
+    /// the binomial beyond the correction radius.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is outside `[0, 1]`.
+    pub fn failure_probability(&self, ber: f64, key_bits: usize) -> f64 {
+        assert!((0.0..=1.0).contains(&ber), "bit error rate must be in [0,1]");
+        let r = self.repetition;
+        let t = self.correctable_errors();
+        // P(block fails) = P(Binomial(r, ber) > t).
+        let mut p_ok = 0.0;
+        for e in 0..=t {
+            p_ok += binomial(r, e) * ber.powi(e as i32) * (1.0 - ber).powi((r - e) as i32);
+        }
+        1.0 - p_ok.powi(key_bits as i32)
+    }
+
+    fn encode(&self, key: &BitVec) -> BitVec {
+        let mut out = BitVec::with_capacity(key.len() * self.repetition);
+        for b in key.iter() {
+            for _ in 0..self.repetition {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    fn decode(&self, blocks: &BitVec) -> BitVec {
+        let k = blocks.len() / self.repetition;
+        (0..k)
+            .map(|i| {
+                let ones = (0..self.repetition)
+                    .filter(|&j| blocks.get(i * self.repetition + j).expect("in range"))
+                    .count();
+                ones * 2 > self.repetition
+            })
+            .collect()
+    }
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    let mut acc = 1.0;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Errors from [`FuzzyExtractor::reproduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReproduceError {
+    /// Helper length is not a whole number of repetition blocks.
+    MalformedHelper {
+        /// Helper data length in bits.
+        helper_bits: usize,
+        /// The extractor's repetition factor.
+        repetition: usize,
+    },
+    /// The response carries fewer bits than the helper data covers.
+    ResponseTooShort {
+        /// Response length in bits.
+        response_bits: usize,
+        /// Bits required.
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for ReproduceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReproduceError::MalformedHelper { helper_bits, repetition } => write!(
+                f,
+                "helper data of {helper_bits} bits is not a multiple of repetition {repetition}"
+            ),
+            ReproduceError::ResponseTooShort { response_bits, required } => {
+                write!(f, "response of {response_bits} bits cannot cover {required} helper bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReproduceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_response(n: usize, seed: u64) -> BitVec {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let fx = FuzzyExtractor::new(5);
+        let response = random_response(100, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (key, helper) = fx.generate(&mut rng, &response);
+        assert_eq!(key.len(), 20);
+        assert_eq!(helper.len(), 100);
+        assert_eq!(fx.reproduce(&response, &helper).unwrap(), key);
+    }
+
+    #[test]
+    fn corrects_up_to_radius_per_block() {
+        let fx = FuzzyExtractor::new(5);
+        let response = random_response(50, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (key, helper) = fx.generate(&mut rng, &response);
+        // Flip 2 bits in every 5-bit block: still within radius.
+        let mut noisy = response.clone();
+        for block in 0..10 {
+            noisy.set(block * 5, !noisy.get(block * 5).unwrap());
+            noisy.set(block * 5 + 3, !noisy.get(block * 5 + 3).unwrap());
+        }
+        assert_eq!(fx.reproduce(&noisy, &helper).unwrap(), key);
+    }
+
+    #[test]
+    fn fails_beyond_radius() {
+        let fx = FuzzyExtractor::new(3);
+        let response = random_response(30, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let (key, helper) = fx.generate(&mut rng, &response);
+        // Flip an entire block: that key bit must invert.
+        let mut noisy = response.clone();
+        for j in 0..3 {
+            noisy.set(j, !noisy.get(j).unwrap());
+        }
+        let recovered = fx.reproduce(&noisy, &helper).unwrap();
+        assert_ne!(recovered, key);
+        assert_eq!(recovered.get(0), key.get(0).map(|b| !b));
+        assert_eq!(
+            recovered.iter().skip(1).collect::<Vec<_>>(),
+            key.iter().skip(1).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn trailing_bits_are_ignored() {
+        let fx = FuzzyExtractor::new(3);
+        let response = random_response(32, 7); // 10 blocks + 2 spare bits
+        let mut rng = StdRng::seed_from_u64(8);
+        let (key, helper) = fx.generate(&mut rng, &response);
+        assert_eq!(key.len(), 10);
+        assert_eq!(helper.len(), 30);
+        assert_eq!(fx.reproduce(&response, &helper).unwrap(), key);
+    }
+
+    #[test]
+    fn repetition_one_is_plain_masking() {
+        let fx = FuzzyExtractor::new(1);
+        assert_eq!(fx.correctable_errors(), 0);
+        let response = random_response(16, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let (key, helper) = fx.generate(&mut rng, &response);
+        assert_eq!(fx.reproduce(&response, &helper).unwrap(), key);
+    }
+
+    #[test]
+    fn reproduce_errors() {
+        let fx = FuzzyExtractor::new(3);
+        let helper = random_response(7, 11); // not a multiple of 3
+        let response = random_response(10, 12);
+        assert!(matches!(
+            fx.reproduce(&response, &helper),
+            Err(ReproduceError::MalformedHelper { .. })
+        ));
+        let helper = random_response(12, 13);
+        let short = random_response(6, 14);
+        let e = fx.reproduce(&short, &helper).unwrap_err();
+        assert!(matches!(e, ReproduceError::ResponseTooShort { .. }));
+        assert!(e.to_string().contains("cannot cover"));
+    }
+
+    #[test]
+    fn failure_probability_sanity() {
+        let fx = FuzzyExtractor::new(3);
+        assert_eq!(fx.failure_probability(0.0, 128), 0.0);
+        // p_block = 3 p² (1-p) + p³ at r = 3.
+        let p: f64 = 0.01;
+        let p_block = 3.0 * p * p * (1.0 - p) + p * p * p;
+        let expect = 1.0 - (1.0 - p_block).powi(128);
+        assert!((fx.failure_probability(p, 128) - expect).abs() < 1e-12);
+        // Larger repetition lowers the failure rate.
+        assert!(
+            FuzzyExtractor::new(5).failure_probability(0.05, 64)
+                < FuzzyExtractor::new(3).failure_probability(0.05, 64)
+        );
+    }
+
+    #[test]
+    fn empirical_failure_rate_matches_model() {
+        let fx = FuzzyExtractor::new(3);
+        let ber = 0.08;
+        let key_bits = 16;
+        let trials = 3000;
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut failures = 0;
+        for t in 0..trials {
+            let response = random_response(key_bits * 3, 1000 + t);
+            let (key, helper) = fx.generate(&mut rng, &response);
+            let noisy: BitVec = response
+                .iter()
+                .map(|b| if rng.gen::<f64>() < ber { !b } else { b })
+                .collect();
+            if fx.reproduce(&noisy, &helper).unwrap() != key {
+                failures += 1;
+            }
+        }
+        let empirical = failures as f64 / trials as f64;
+        let model = fx.failure_probability(ber, key_bits);
+        assert!(
+            (empirical - model).abs() < 0.05,
+            "empirical {empirical} vs model {model}"
+        );
+    }
+
+    #[test]
+    fn helper_is_uncorrelated_with_key_bits() {
+        // Code-offset: with a uniform response, helper bits are uniform
+        // regardless of the key. Check gross balance.
+        let fx = FuzzyExtractor::new(3);
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut ones = 0usize;
+        let mut total = 0usize;
+        for t in 0..200 {
+            let response = random_response(60, 2000 + t);
+            let (_, helper) = fx.generate(&mut rng, &response);
+            ones += helper.count_ones();
+            total += helper.len();
+        }
+        let frac = ones as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.02, "helper ones fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_repetition_panics() {
+        let _ = FuzzyExtractor::new(4);
+    }
+}
+
+/// A Toeplitz-matrix universal hash for privacy amplification.
+///
+/// The repetition-code sketch corrects errors but leaks `n − k` bits of
+/// the response through the helper data; compressing the corrected key
+/// with a seeded universal hash (the classic leftover-hash construction)
+/// concentrates the remaining min-entropy into a shorter, near-uniform
+/// key. The Toeplitz family is the standard choice: the matrix is
+/// defined by one diagonal-constant seed of `input + output − 1` bits,
+/// and hashing is GF(2) matrix-vector multiplication.
+///
+/// The seed is *public* (store it with the helper data); only the PUF
+/// response is secret.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use ropuf_core::fuzzy::ToeplitzHash;
+/// use ropuf_num::bits::BitVec;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let hash = ToeplitzHash::sample(&mut rng, 32, 16);
+/// let x = BitVec::from_binary_str(&"10".repeat(16)).unwrap();
+/// let digest = hash.hash(&x);
+/// assert_eq!(digest.len(), 16);
+/// // Linear over GF(2): H(a ⊕ b) = H(a) ⊕ H(b).
+/// let y = BitVec::from_binary_str(&"01".repeat(16)).unwrap();
+/// assert_eq!(hash.hash(&x.xor(&y)), hash.hash(&x).xor(&hash.hash(&y)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToeplitzHash {
+    seed: BitVec,
+    input_bits: usize,
+    output_bits: usize,
+}
+
+impl ToeplitzHash {
+    /// Builds a hash from an explicit seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or
+    /// `seed.len() != input_bits + output_bits − 1`.
+    pub fn new(seed: BitVec, input_bits: usize, output_bits: usize) -> Self {
+        assert!(input_bits > 0 && output_bits > 0, "dimensions must be nonzero");
+        assert_eq!(
+            seed.len(),
+            input_bits + output_bits - 1,
+            "a Toeplitz seed needs input + output - 1 bits"
+        );
+        Self {
+            seed,
+            input_bits,
+            output_bits,
+        }
+    }
+
+    /// Samples a uniform seed for the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, input_bits: usize, output_bits: usize) -> Self {
+        assert!(input_bits > 0 && output_bits > 0, "dimensions must be nonzero");
+        let seed: BitVec = (0..input_bits + output_bits - 1)
+            .map(|_| rng.gen::<bool>())
+            .collect();
+        Self::new(seed, input_bits, output_bits)
+    }
+
+    /// The public seed.
+    pub fn seed(&self) -> &BitVec {
+        &self.seed
+    }
+
+    /// Input length in bits.
+    pub fn input_bits(&self) -> usize {
+        self.input_bits
+    }
+
+    /// Output length in bits.
+    pub fn output_bits(&self) -> usize {
+        self.output_bits
+    }
+
+    /// Hashes `input` to `output_bits` bits:
+    /// `out[i] = ⊕_j seed[i + j] · input[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != input_bits`.
+    pub fn hash(&self, input: &BitVec) -> BitVec {
+        assert_eq!(input.len(), self.input_bits, "input length mismatch");
+        (0..self.output_bits)
+            .map(|i| {
+                let mut acc = false;
+                for j in 0..self.input_bits {
+                    if input.get(j).expect("in range") && self.seed.get(i + j).expect("in range") {
+                        acc = !acc;
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod toeplitz_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_bits(rng: &mut StdRng, n: usize) -> BitVec {
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn deterministic_and_seed_dependent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h1 = ToeplitzHash::sample(&mut rng, 64, 16);
+        let h2 = ToeplitzHash::sample(&mut rng, 64, 16);
+        let x = random_bits(&mut rng, 64);
+        assert_eq!(h1.hash(&x), h1.hash(&x));
+        assert_ne!(h1.hash(&x), h2.hash(&x), "different seeds, different digests");
+    }
+
+    #[test]
+    fn linearity_over_gf2() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = ToeplitzHash::sample(&mut rng, 48, 12);
+        for _ in 0..20 {
+            let a = random_bits(&mut rng, 48);
+            let b = random_bits(&mut rng, 48);
+            assert_eq!(h.hash(&a.xor(&b)), h.hash(&a).xor(&h.hash(&b)));
+        }
+    }
+
+    #[test]
+    fn universal_collision_bound_holds_empirically() {
+        // Pairwise: for fixed distinct a ≠ b, over random seeds,
+        // P[H(a) = H(b)] = 2^{-output}. Check at output = 6.
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_bits(&mut rng, 32);
+        let mut b = a.clone();
+        b.set(5, !b.get(5).unwrap());
+        let trials = 20_000;
+        let collisions = (0..trials)
+            .filter(|_| {
+                let h = ToeplitzHash::sample(&mut rng, 32, 6);
+                h.hash(&a) == h.hash(&b)
+            })
+            .count();
+        let rate = collisions as f64 / trials as f64;
+        let ideal = 1.0 / 64.0;
+        assert!((rate - ideal).abs() < 0.006, "collision rate {rate} vs {ideal}");
+    }
+
+    #[test]
+    fn digests_are_balanced() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let h = ToeplitzHash::sample(&mut rng, 128, 32);
+        let mut ones = 0usize;
+        let trials = 500;
+        for _ in 0..trials {
+            ones += h.hash(&random_bits(&mut rng, 128)).count_ones();
+        }
+        let frac = ones as f64 / (trials * 32) as f64;
+        assert!((frac - 0.5).abs() < 0.02, "ones fraction {frac}");
+    }
+
+    #[test]
+    fn end_to_end_key_hardening() {
+        // reproduce() then hash(): the full Gen/Rep + privacy
+        // amplification pipeline, stable under correctable noise.
+        let mut rng = StdRng::seed_from_u64(5);
+        let fx = FuzzyExtractor::new(3);
+        let response = random_bits(&mut rng, 3 * 96);
+        let (raw_key, helper) = fx.generate(&mut rng, &response);
+        let hash = ToeplitzHash::sample(&mut rng, raw_key.len(), 64);
+        let key = hash.hash(&raw_key);
+
+        let mut noisy = response.clone();
+        noisy.set(0, !noisy.get(0).unwrap()); // one correctable flip
+        let raw_again = fx.reproduce(&noisy, &helper).unwrap();
+        assert_eq!(hash.hash(&raw_again), key);
+        assert_eq!(key.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "input + output - 1")]
+    fn wrong_seed_length_panics() {
+        let _ = ToeplitzHash::new(BitVec::zeros(10), 8, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn wrong_input_length_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let h = ToeplitzHash::sample(&mut rng, 16, 8);
+        let _ = h.hash(&BitVec::zeros(15));
+    }
+}

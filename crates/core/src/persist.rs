@@ -1,0 +1,305 @@
+//! Plain-text persistence for enrollments.
+//!
+//! An [`Enrollment`] is exactly the helper data a verifier stores per
+//! device: which units form each ring pair, the chosen configurations,
+//! the expected bit, and the margin. This module round-trips it through
+//! a line-oriented text format with no serialization dependencies (the
+//! `serde` cargo feature additionally derives `Serialize`/`Deserialize`
+//! on the same types for users who prefer a structured format).
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ropuf_core::persist::{enrollment_from_text, enrollment_to_text};
+//! use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+//! use ropuf_silicon::board::BoardId;
+//! use ropuf_silicon::{Environment, SiliconSim};
+//!
+//! let sim = SiliconSim::default_spartan();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let board = sim.grow_board_with_id(&mut rng, BoardId(0), 40, 8);
+//! let enrollment = ConfigurableRoPuf::tiled(40, 5).enroll(
+//!     &mut rng, &board, sim.technology(),
+//!     Environment::nominal(), &EnrollOptions::default(),
+//! );
+//! let text = enrollment_to_text(&enrollment);
+//! assert_eq!(enrollment_from_text(&text)?, enrollment);
+//! # Ok::<(), ropuf_core::persist::ParseEnrollmentError>(())
+//! ```
+
+use std::fmt;
+
+use ropuf_silicon::Environment;
+
+use crate::config::ConfigVector;
+use crate::puf::{EnrolledPair, Enrollment, PairSpec};
+
+/// First line of the format, bumped on breaking changes.
+pub const HEADER: &str = "ropuf-enrollment v1";
+
+/// Serializes an enrollment to the portable text format.
+pub fn enrollment_to_text(enrollment: &Enrollment) -> String {
+    let env = enrollment.enrolled_at();
+    let mut out = format!("{HEADER}\nenv,{},{}\n", env.voltage_v, env.temperature_c);
+    for (i, pair) in enrollment.pairs().iter().enumerate() {
+        match pair {
+            None => out.push_str(&format!("pair,{i},excluded\n")),
+            Some(p) => {
+                let join = |units: &[usize]| -> String {
+                    units
+                        .iter()
+                        .map(usize::to_string)
+                        .collect::<Vec<_>>()
+                        .join(";")
+                };
+                out.push_str(&format!(
+                    "pair,{i},{},{},{},{},{},{}\n",
+                    join(p.spec().top()),
+                    join(p.spec().bottom()),
+                    p.top_config(),
+                    p.bottom_config(),
+                    u8::from(p.expected_bit()),
+                    p.margin_ps(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses an enrollment from the portable text format.
+///
+/// # Errors
+///
+/// Returns [`ParseEnrollmentError`] describing the first offending line.
+pub fn enrollment_from_text(text: &str) -> Result<Enrollment, ParseEnrollmentError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        _ => return Err(err(1, format!("expected header {HEADER:?}"))),
+    }
+    let (line_no, env_line) = lines
+        .next()
+        .ok_or_else(|| err(2, "missing env line"))?;
+    let env = parse_env(env_line, line_no + 1)?;
+
+    let mut pairs: Vec<Option<EnrolledPair>> = Vec::new();
+    for (i, line) in lines {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.first() != Some(&"pair") {
+            return Err(err(line_no, "expected a pair line"));
+        }
+        let index: usize = parse(&fields, 1, line_no, "index")?;
+        if index != pairs.len() {
+            return Err(err(line_no, format!("pair index {index} out of order")));
+        }
+        if fields.get(2) == Some(&"excluded") {
+            pairs.push(None);
+            continue;
+        }
+        if fields.len() != 8 {
+            return Err(err(line_no, "pair line needs 8 comma-separated fields"));
+        }
+        let units = |idx: usize| -> Result<Vec<usize>, ParseEnrollmentError> {
+            fields[idx]
+                .split(';')
+                .map(|u| {
+                    u.parse::<usize>()
+                        .map_err(|_| err(line_no, format!("bad unit index {u:?}")))
+                })
+                .collect()
+        };
+        let config = |idx: usize| -> Result<ConfigVector, ParseEnrollmentError> {
+            let bits = ropuf_num::bits::BitVec::from_binary_str(fields[idx])
+                .map_err(|e| err(line_no, format!("bad configuration: {e}")))?;
+            Ok(ConfigVector::from_flags(&bits.to_bools()))
+        };
+        let spec = PairSpec::new(units(2)?, units(3)?);
+        let top_config = config(4)?;
+        let bottom_config = config(5)?;
+        if top_config.len() != spec.stages() || bottom_config.len() != spec.stages() {
+            return Err(err(line_no, "configuration length does not match the pair"));
+        }
+        let bit: u8 = parse(&fields, 6, line_no, "bit")?;
+        if bit > 1 {
+            return Err(err(line_no, "bit must be 0 or 1"));
+        }
+        let margin: f64 = parse(&fields, 7, line_no, "margin")?;
+        if !(margin.is_finite() && margin >= 0.0) {
+            return Err(err(line_no, "margin must be finite and non-negative"));
+        }
+        pairs.push(Some(EnrolledPair::from_parts(
+            spec,
+            top_config,
+            bottom_config,
+            bit == 1,
+            margin,
+        )));
+    }
+    if pairs.is_empty() {
+        return Err(err(1, "enrollment contains no pairs"));
+    }
+    Ok(Enrollment::from_parts(pairs, env))
+}
+
+fn parse_env(line: &str, line_no: usize) -> Result<Environment, ParseEnrollmentError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.first() != Some(&"env") {
+        return Err(err(line_no, "expected the env line"));
+    }
+    let v: f64 = parse(&fields, 1, line_no, "voltage")?;
+    let t: f64 = parse(&fields, 2, line_no, "temperature")?;
+    if !(v.is_finite() && v > 0.0 && t.is_finite()) {
+        return Err(err(line_no, "invalid operating point"));
+    }
+    Ok(Environment::new(v, t))
+}
+
+fn parse<T: std::str::FromStr>(
+    fields: &[&str],
+    idx: usize,
+    line_no: usize,
+    name: &str,
+) -> Result<T, ParseEnrollmentError> {
+    fields
+        .get(idx)
+        .ok_or_else(|| err(line_no, format!("missing field {name}")))?
+        .trim()
+        .parse::<T>()
+        .map_err(|_| err(line_no, format!("field {name} is malformed")))
+}
+
+fn err(line: usize, message: impl Into<String>) -> ParseEnrollmentError {
+    ParseEnrollmentError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Error from [`enrollment_from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEnrollmentError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseEnrollmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "enrollment parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseEnrollmentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::puf::{ConfigurableRoPuf, EnrollOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_silicon::board::BoardId;
+    use ropuf_silicon::{DelayProbe, SiliconSim};
+
+    fn sample(threshold: f64) -> (Enrollment, ropuf_silicon::Board, ropuf_silicon::Technology) {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(3);
+        let board = sim.grow_board_with_id(&mut rng, BoardId(0), 60, 10);
+        let e = ConfigurableRoPuf::tiled_interleaved(60, 5).enroll(
+            &mut rng,
+            &board,
+            sim.technology(),
+            Environment::nominal(),
+            &EnrollOptions {
+                threshold_ps: threshold,
+                ..EnrollOptions::default()
+            },
+        );
+        (e, board, *sim.technology())
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (e, _, _) = sample(0.0);
+        let text = enrollment_to_text(&e);
+        assert!(text.starts_with(HEADER));
+        let back = enrollment_from_text(&text).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn round_trip_with_excluded_pairs() {
+        // Threshold at the median margin so roughly half the pairs are
+        // excluded regardless of the silicon draw.
+        let (all, _, _) = sample(0.0);
+        let mut margins = all.margins_ps();
+        margins.sort_by(f64::total_cmp);
+        let (e, _, _) = sample(margins[margins.len() / 2] + 1e-9);
+        assert!(e.pairs().iter().any(Option::is_none), "want some exclusions");
+        assert!(e.pairs().iter().any(Option::is_some), "want some survivors");
+        let back = enrollment_from_text(&enrollment_to_text(&e)).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn reloaded_enrollment_responds_identically() {
+        let (e, board, tech) = sample(0.0);
+        let back = enrollment_from_text(&enrollment_to_text(&e)).unwrap();
+        let probe = DelayProbe::noiseless();
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = e.respond(&mut r1, &board, &tech, Environment::nominal(), &probe);
+        let b = back.respond(&mut r2, &board, &tech, Environment::nominal(), &probe);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let e = enrollment_from_text("nope\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("header"));
+    }
+
+    #[test]
+    fn rejects_missing_env() {
+        let e = enrollment_from_text(HEADER).unwrap_err();
+        assert!(e.message.contains("env"));
+    }
+
+    #[test]
+    fn rejects_out_of_order_pairs() {
+        let text = format!("{HEADER}\nenv,1.2,25\npair,1,excluded\n");
+        let e = enrollment_from_text(&text).unwrap_err();
+        assert!(e.message.contains("out of order"));
+    }
+
+    #[test]
+    fn rejects_config_length_mismatch() {
+        let text = format!("{HEADER}\nenv,1.2,25\npair,0,0;1,2;3,101,10,1,5.0\n");
+        let e = enrollment_from_text(&text).unwrap_err();
+        assert!(e.message.contains("length"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_bit_and_margin() {
+        let text = format!("{HEADER}\nenv,1.2,25\npair,0,0;1,2;3,10,01,2,5.0\n");
+        assert!(enrollment_from_text(&text).unwrap_err().message.contains("0 or 1"));
+        let text = format!("{HEADER}\nenv,1.2,25\npair,0,0;1,2;3,10,01,1,-2.0\n");
+        assert!(enrollment_from_text(&text)
+            .unwrap_err()
+            .message
+            .contains("non-negative"));
+    }
+
+    #[test]
+    fn rejects_empty_enrollment() {
+        let text = format!("{HEADER}\nenv,1.2,25\n");
+        assert!(enrollment_from_text(&text).unwrap_err().message.contains("no pairs"));
+    }
+}

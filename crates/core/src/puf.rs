@@ -1,0 +1,841 @@
+//! The end-to-end configurable RO-PUF pipeline: floorplan → enrollment →
+//! response.
+//!
+//! Enrollment happens once, at chip-test time, at a chosen operating
+//! point: every ring pair is calibrated ([`crate::calibrate`]), the
+//! selection algorithm picks its configuration
+//! ([`crate::select`]), and the configuration plus expected bit are
+//! stored. Deployed devices then [`Enrollment::respond`] by measuring the
+//! *configured* rings only — possibly at a different operating point,
+//! which is exactly where reliability is decided.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+//! use ropuf_silicon::board::BoardId;
+//! use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+//!
+//! let sim = SiliconSim::default_spartan();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+//! let board = sim.grow_board_with_id(&mut rng, BoardId(0), 64, 8);
+//!
+//! let puf = ConfigurableRoPuf::tiled(board.len(), 4); // 8 pairs of 4-stage rings
+//! let enrollment = puf.enroll(
+//!     &mut rng,
+//!     &board,
+//!     sim.technology(),
+//!     Environment::nominal(),
+//!     &EnrollOptions::default(),
+//! );
+//! let bits = enrollment.respond(
+//!     &mut rng,
+//!     &board,
+//!     sim.technology(),
+//!     Environment::nominal(),
+//!     &DelayProbe::noiseless(),
+//! );
+//! assert_eq!(bits.len(), 8);
+//! ```
+
+use rand::Rng;
+use ropuf_num::bits::BitVec;
+use ropuf_silicon::{Board, DelayProbe, Environment, Technology};
+
+use crate::calibrate::calibrate;
+use crate::config::{ConfigVector, ParityPolicy};
+use crate::ro::{ConfigurableRo, RoPair};
+use crate::select::{case1_with_offset, case2_with_offset};
+
+/// Which selection algorithm enrollment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SelectionMode {
+    /// Case-1: one shared configuration for both rings.
+    Case1,
+    /// Case-2: independent configurations with equal selected counts.
+    #[default]
+    Case2,
+}
+
+/// Enrollment options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnrollOptions {
+    /// Selection algorithm.
+    pub mode: SelectionMode,
+    /// Oscillation-parity policy for the selected configurations.
+    pub parity: ParityPolicy,
+    /// Reliability threshold `Rth` (ps): pairs whose selection margin
+    /// falls below it produce no bit (§IV.E). Zero keeps every pair.
+    pub threshold_ps: f64,
+    /// Plausibility band for calibrated per-stage `ddiff` values, ps.
+    /// Pairs with any stage outside the band are excluded — the
+    /// §III.C escape hatch applied to *defective* silicon (see
+    /// [`ropuf_silicon::defects`]). `None` disables screening.
+    pub plausible_ddiff_ps: Option<(f64, f64)>,
+    /// Delay probe used for calibration measurements.
+    pub probe: DelayProbe,
+}
+
+impl Default for EnrollOptions {
+    fn default() -> Self {
+        Self {
+            mode: SelectionMode::Case2,
+            parity: ParityPolicy::ForceOdd,
+            threshold_ps: 0.0,
+            plausible_ddiff_ps: None,
+            probe: DelayProbe::new(0.25, 4),
+        }
+    }
+}
+
+/// Device-independent floorplan: which board units form each ring pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PairSpec {
+    top: Vec<usize>,
+    bottom: Vec<usize>,
+}
+
+impl PairSpec {
+    /// Builds a pair from explicit unit index lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists are empty or have different lengths.
+    pub fn new(top: Vec<usize>, bottom: Vec<usize>) -> Self {
+        assert!(!top.is_empty(), "rings need at least one stage");
+        assert_eq!(top.len(), bottom.len(), "paired rings must be equally sized");
+        Self { top, bottom }
+    }
+
+    /// Splits `2n` consecutive units starting at `start` into a
+    /// top/bottom pair.
+    pub fn split_at(start: usize, stages: usize) -> Self {
+        Self::new(
+            (start..start + stages).collect(),
+            (start + stages..start + 2 * stages).collect(),
+        )
+    }
+
+    /// Interleaves `2n` consecutive units starting at `start`: even
+    /// offsets form the top ring, odd offsets the bottom ring.
+    ///
+    /// Interleaving makes each stage's Δd a difference of *physically
+    /// adjacent* devices, so the smooth systematic process gradient
+    /// cancels stage-by-stage instead of accumulating into a
+    /// board-global bias that correlates bits across chips. This is the
+    /// classic "adjacent RO pairs" layout rule; the
+    /// `repro ablate-layout` experiment quantifies the difference.
+    pub fn interleaved_at(start: usize, stages: usize) -> Self {
+        Self::new(
+            (0..stages).map(|i| start + 2 * i).collect(),
+            (0..stages).map(|i| start + 2 * i + 1).collect(),
+        )
+    }
+
+    /// Unit indices of the top ring.
+    pub fn top(&self) -> &[usize] {
+        &self.top
+    }
+
+    /// Unit indices of the bottom ring.
+    pub fn bottom(&self) -> &[usize] {
+        &self.bottom
+    }
+
+    /// Stages per ring.
+    pub fn stages(&self) -> usize {
+        self.top.len()
+    }
+
+    /// Materializes the pair as ring views over a board.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is outside the board.
+    pub fn bind<'a>(&self, board: &'a Board) -> RoPair<'a> {
+        RoPair::new(
+            ConfigurableRo::new(board, self.top.clone()),
+            ConfigurableRo::new(board, self.bottom.clone()),
+        )
+    }
+}
+
+/// A configurable RO PUF floorplan: a list of ring pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigurableRoPuf {
+    specs: Vec<PairSpec>,
+}
+
+impl ConfigurableRoPuf {
+    /// Builds a PUF from explicit pair specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn new(specs: Vec<PairSpec>) -> Self {
+        assert!(!specs.is_empty(), "a PUF needs at least one ring pair");
+        Self { specs }
+    }
+
+    /// Tiles `total_units` board units into as many consecutive
+    /// `stages`-per-ring pairs as fit (`⌊total / 2·stages⌋` pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one pair fits.
+    pub fn tiled(total_units: usize, stages: usize) -> Self {
+        assert!(stages > 0, "rings need at least one stage");
+        let pairs = total_units / (2 * stages);
+        assert!(pairs > 0, "{total_units} units cannot host a {stages}-stage pair");
+        Self::new(
+            (0..pairs)
+                .map(|p| PairSpec::split_at(p * 2 * stages, stages))
+                .collect(),
+        )
+    }
+
+    /// Like [`tiled`](Self::tiled) but with interleaved pairs (see
+    /// [`PairSpec::interleaved_at`]) — the layout that decorrelates bits
+    /// from the board's systematic process gradient. Prefer this for
+    /// fleet-scale deployments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one pair fits.
+    pub fn tiled_interleaved(total_units: usize, stages: usize) -> Self {
+        assert!(stages > 0, "rings need at least one stage");
+        let pairs = total_units / (2 * stages);
+        assert!(pairs > 0, "{total_units} units cannot host a {stages}-stage pair");
+        Self::new(
+            (0..pairs)
+                .map(|p| PairSpec::interleaved_at(p * 2 * stages, stages))
+                .collect(),
+        )
+    }
+
+    /// The floorplan's pair specs.
+    pub fn specs(&self) -> &[PairSpec] {
+        &self.specs
+    }
+
+    /// Number of ring pairs (= maximum bits).
+    pub fn pair_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Enrolls the PUF on `board` at operating point `env`:
+    /// calibrates every pair, runs selection, and applies the
+    /// reliability threshold.
+    pub fn enroll<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        board: &Board,
+        tech: &Technology,
+        env: Environment,
+        opts: &EnrollOptions,
+    ) -> Enrollment {
+        let pairs = self
+            .specs
+            .iter()
+            .map(|spec| {
+                let pair = spec.bind(board);
+                let cal_top = calibrate(rng, pair.top(), &opts.probe, env, tech);
+                let cal_bottom = calibrate(rng, pair.bottom(), &opts.probe, env, tech);
+                if let Some((lo, hi)) = opts.plausible_ddiff_ps {
+                    let suspicious = cal_top
+                        .ddiffs_ps()
+                        .iter()
+                        .chain(cal_bottom.ddiffs_ps())
+                        .any(|&d| !(lo..=hi).contains(&d));
+                    if suspicious {
+                        return None;
+                    }
+                }
+                let offset = cal_top.bypass_ps() - cal_bottom.bypass_ps();
+                let (top_config, bottom_config, margin, bit) = match opts.mode {
+                    SelectionMode::Case1 => {
+                        let s = case1_with_offset(
+                            cal_top.ddiffs_ps(),
+                            cal_bottom.ddiffs_ps(),
+                            offset,
+                            opts.parity,
+                        );
+                        (s.config().clone(), s.config().clone(), s.margin(), s.bit())
+                    }
+                    SelectionMode::Case2 => {
+                        let s = case2_with_offset(
+                            cal_top.ddiffs_ps(),
+                            cal_bottom.ddiffs_ps(),
+                            offset,
+                            opts.parity,
+                        );
+                        (s.top().clone(), s.bottom().clone(), s.margin(), s.bit())
+                    }
+                };
+                if margin < opts.threshold_ps {
+                    None
+                } else {
+                    Some(EnrolledPair {
+                        spec: spec.clone(),
+                        top_config,
+                        bottom_config,
+                        expected_bit: bit,
+                        margin_ps: margin,
+                    })
+                }
+            })
+            .collect();
+        Enrollment {
+            pairs,
+            enrolled_at: env,
+        }
+    }
+}
+
+/// One enrolled ring pair: its configurations, expected bit, and margin.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EnrolledPair {
+    spec: PairSpec,
+    top_config: ConfigVector,
+    bottom_config: ConfigVector,
+    expected_bit: bool,
+    margin_ps: f64,
+}
+
+impl EnrolledPair {
+    /// Reassembles a pair record from parsed parts (used by
+    /// [`crate::persist`]).
+    pub(crate) fn from_parts(
+        spec: PairSpec,
+        top_config: ConfigVector,
+        bottom_config: ConfigVector,
+        expected_bit: bool,
+        margin_ps: f64,
+    ) -> Self {
+        Self {
+            spec,
+            top_config,
+            bottom_config,
+            expected_bit,
+            margin_ps,
+        }
+    }
+
+    /// The floorplan entry this enrollment configures.
+    pub fn spec(&self) -> &PairSpec {
+        &self.spec
+    }
+
+    /// Configuration applied to the top ring.
+    pub fn top_config(&self) -> &ConfigVector {
+        &self.top_config
+    }
+
+    /// Configuration applied to the bottom ring.
+    pub fn bottom_config(&self) -> &ConfigVector {
+        &self.bottom_config
+    }
+
+    /// The bit recorded at enrollment (`true` = top ring slower).
+    pub fn expected_bit(&self) -> bool {
+        self.expected_bit
+    }
+
+    /// The selection margin achieved at enrollment, picoseconds.
+    pub fn margin_ps(&self) -> f64 {
+        self.margin_ps
+    }
+}
+
+/// An enrolled PUF: per-pair configurations ready to generate responses.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Enrollment {
+    pairs: Vec<Option<EnrolledPair>>,
+    enrolled_at: Environment,
+}
+
+impl Enrollment {
+    /// Reassembles an enrollment from parsed parts (used by
+    /// [`crate::persist`]).
+    pub(crate) fn from_parts(pairs: Vec<Option<EnrolledPair>>, enrolled_at: Environment) -> Self {
+        Self { pairs, enrolled_at }
+    }
+
+    /// Per-pair enrollment records; `None` marks pairs excluded by the
+    /// reliability threshold.
+    pub fn pairs(&self) -> &[Option<EnrolledPair>] {
+        &self.pairs
+    }
+
+    /// The operating point enrollment was performed at.
+    pub fn enrolled_at(&self) -> Environment {
+        self.enrolled_at
+    }
+
+    /// Number of pairs producing bits (after threshold exclusion).
+    pub fn bit_count(&self) -> usize {
+        self.pairs.iter().flatten().count()
+    }
+
+    /// The bits recorded at enrollment, in pair order (excluded pairs
+    /// skipped).
+    pub fn expected_bits(&self) -> BitVec {
+        self.pairs
+            .iter()
+            .flatten()
+            .map(EnrolledPair::expected_bit)
+            .collect()
+    }
+
+    /// Enrollment margins in pair order (excluded pairs skipped),
+    /// picoseconds.
+    pub fn margins_ps(&self) -> Vec<f64> {
+        self.pairs
+            .iter()
+            .flatten()
+            .map(EnrolledPair::margin_ps)
+            .collect()
+    }
+
+    /// Generates a majority-voted response: reads the PUF `votes` times
+    /// at `env` and takes the per-bit majority — the cheap first line of
+    /// defence against measurement noise before any error correction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` is zero or even, or if a spec references units
+    /// outside `board`.
+    pub fn respond_majority<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        board: &Board,
+        tech: &Technology,
+        env: Environment,
+        probe: &DelayProbe,
+        votes: usize,
+    ) -> BitVec {
+        assert!(votes % 2 == 1, "majority voting needs an odd vote count, got {votes}");
+        let reads: Vec<BitVec> = (0..votes)
+            .map(|_| self.respond(rng, board, tech, env, probe))
+            .collect();
+        (0..reads[0].len())
+            .map(|i| {
+                let ones = reads.iter().filter(|r| r.get(i).expect("in range")).count();
+                ones * 2 > votes
+            })
+            .collect()
+    }
+
+    /// Generates a response at operating point `env` by measuring every
+    /// configured ring pair with `probe`. Bit = `true` when the top ring
+    /// measures slower.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec references units outside `board` (enrolling and
+    /// responding must use the same board).
+    pub fn respond<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        board: &Board,
+        tech: &Technology,
+        env: Environment,
+        probe: &DelayProbe,
+    ) -> BitVec {
+        self.pairs
+            .iter()
+            .flatten()
+            .map(|p| {
+                let pair = p.spec.bind(board);
+                let d_top =
+                    probe.measure_ps(rng, pair.top().ring_delay_ps(&p.top_config, env, tech));
+                let d_bottom = probe
+                    .measure_ps(rng, pair.bottom().ring_delay_ps(&p.bottom_config, env, tech));
+                d_top > d_bottom
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_silicon::board::BoardId;
+    use ropuf_silicon::SiliconSim;
+
+    fn setup(units: usize) -> (Board, Technology, StdRng) {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(123);
+        let board = sim.grow_board_with_id(&mut rng, BoardId(0), units, 16);
+        (board, *sim.technology(), rng)
+    }
+
+    #[test]
+    fn tiled_floorplan_counts() {
+        let puf = ConfigurableRoPuf::tiled(64, 4);
+        assert_eq!(puf.pair_count(), 8);
+        assert_eq!(puf.specs()[1].top(), &[8, 9, 10, 11]);
+        assert_eq!(puf.specs()[1].bottom(), &[12, 13, 14, 15]);
+        // Leftover units are unused.
+        assert_eq!(ConfigurableRoPuf::tiled(65, 4).pair_count(), 8);
+    }
+
+    #[test]
+    fn interleaved_floorplan_alternates_units() {
+        let puf = ConfigurableRoPuf::tiled_interleaved(24, 3);
+        assert_eq!(puf.pair_count(), 4);
+        assert_eq!(puf.specs()[0].top(), &[0, 2, 4]);
+        assert_eq!(puf.specs()[0].bottom(), &[1, 3, 5]);
+        assert_eq!(puf.specs()[1].top(), &[6, 8, 10]);
+    }
+
+    #[test]
+    fn interleaving_decorrelates_fleet_bits() {
+        // With blocked pairs, the per-board systematic gradient pushes
+        // all pairs of a board the same way, inflating the inter-chip HD
+        // spread far beyond binomial; interleaved pairs cancel it.
+        use ropuf_metrics_free::hd_sigma;
+        mod ropuf_metrics_free {
+            use ropuf_num::bits::BitVec;
+            pub fn hd_sigma(responses: &[BitVec]) -> f64 {
+                let mut hds = Vec::new();
+                for i in 0..responses.len() {
+                    for j in i + 1..responses.len() {
+                        hds.push(responses[i].hamming_distance(&responses[j]).unwrap() as f64);
+                    }
+                }
+                let m = hds.iter().sum::<f64>() / hds.len() as f64;
+                (hds.iter().map(|h| (h - m) * (h - m)).sum::<f64>() / (hds.len() - 1) as f64)
+                    .sqrt()
+            }
+        }
+
+        let sim = ropuf_silicon::SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(31);
+        let boards: Vec<Board> = (0..24)
+            .map(|i| sim.grow_board_with_id(&mut rng, BoardId(i), 320, 16))
+            .collect();
+        let opts = EnrollOptions {
+            probe: DelayProbe::noiseless(),
+            ..EnrollOptions::default()
+        };
+        let collect = |puf: &ConfigurableRoPuf, rng: &mut StdRng| {
+            boards
+                .iter()
+                .map(|b| {
+                    puf.enroll(rng, b, sim.technology(), Environment::nominal(), &opts)
+                        .expected_bits()
+                })
+                .collect::<Vec<_>>()
+        };
+        let blocked = collect(&ConfigurableRoPuf::tiled(320, 5), &mut rng);
+        let interleaved = collect(&ConfigurableRoPuf::tiled_interleaved(320, 5), &mut rng);
+        let s_blocked = hd_sigma(&blocked);
+        let s_inter = hd_sigma(&interleaved);
+        // 32 bits: binomial sigma = sqrt(32)/2 = 2.83.
+        assert!(s_inter < 5.0, "interleaved sigma {s_inter}");
+        assert!(s_blocked > s_inter, "blocked {s_blocked} !> interleaved {s_inter}");
+    }
+
+    #[test]
+    fn enrollment_produces_bits_and_margins() {
+        let (board, tech, mut rng) = setup(80);
+        let puf = ConfigurableRoPuf::tiled(80, 5);
+        let enrollment = puf.enroll(
+            &mut rng,
+            &board,
+            &tech,
+            Environment::nominal(),
+            &EnrollOptions::default(),
+        );
+        assert_eq!(enrollment.bit_count(), 8);
+        assert_eq!(enrollment.expected_bits().len(), 8);
+        assert!(enrollment.margins_ps().iter().all(|&m| m >= 0.0));
+    }
+
+    #[test]
+    fn response_at_enrollment_point_matches_expected_bits() {
+        let (board, tech, mut rng) = setup(96);
+        let puf = ConfigurableRoPuf::tiled(96, 6);
+        let env = Environment::nominal();
+        let opts = EnrollOptions {
+            probe: DelayProbe::noiseless(),
+            ..EnrollOptions::default()
+        };
+        let enrollment = puf.enroll(&mut rng, &board, &tech, env, &opts);
+        let response = enrollment.respond(&mut rng, &board, &tech, env, &DelayProbe::noiseless());
+        assert_eq!(response, enrollment.expected_bits());
+    }
+
+    #[test]
+    fn case1_configs_are_shared() {
+        let (board, tech, mut rng) = setup(60);
+        let puf = ConfigurableRoPuf::tiled(60, 5);
+        let opts = EnrollOptions {
+            mode: SelectionMode::Case1,
+            ..EnrollOptions::default()
+        };
+        let enrollment = puf.enroll(&mut rng, &board, &tech, Environment::nominal(), &opts);
+        for pair in enrollment.pairs().iter().flatten() {
+            assert_eq!(pair.top_config(), pair.bottom_config());
+        }
+    }
+
+    #[test]
+    fn case2_counts_are_equal() {
+        let (board, tech, mut rng) = setup(60);
+        let puf = ConfigurableRoPuf::tiled(60, 5);
+        let enrollment = puf.enroll(
+            &mut rng,
+            &board,
+            &tech,
+            Environment::nominal(),
+            &EnrollOptions::default(),
+        );
+        for pair in enrollment.pairs().iter().flatten() {
+            assert_eq!(
+                pair.top_config().selected_count(),
+                pair.bottom_config().selected_count()
+            );
+        }
+    }
+
+    #[test]
+    fn force_odd_configs_oscillate() {
+        let (board, tech, mut rng) = setup(60);
+        let puf = ConfigurableRoPuf::tiled(60, 5);
+        let enrollment = puf.enroll(
+            &mut rng,
+            &board,
+            &tech,
+            Environment::nominal(),
+            &EnrollOptions::default(),
+        );
+        for pair in enrollment.pairs().iter().flatten() {
+            assert!(pair.top_config().oscillates());
+            assert!(pair.bottom_config().oscillates());
+        }
+    }
+
+    #[test]
+    fn threshold_excludes_weak_pairs() {
+        let (board, tech, mut rng) = setup(120);
+        let puf = ConfigurableRoPuf::tiled(120, 5);
+        let env = Environment::nominal();
+        let all = puf.enroll(&mut rng, &board, &tech, env, &EnrollOptions::default());
+        let strict = puf.enroll(
+            &mut rng,
+            &board,
+            &tech,
+            env,
+            &EnrollOptions {
+                threshold_ps: f64::MAX,
+                ..EnrollOptions::default()
+            },
+        );
+        assert_eq!(all.bit_count(), 12);
+        assert_eq!(strict.bit_count(), 0);
+        let min_margin = all.margins_ps().iter().copied().fold(f64::INFINITY, f64::min);
+        let mid = puf.enroll(
+            &mut rng,
+            &board,
+            &tech,
+            env,
+            &EnrollOptions {
+                threshold_ps: min_margin + 0.01,
+                ..EnrollOptions::default()
+            },
+        );
+        assert!(mid.bit_count() < all.bit_count());
+    }
+
+    #[test]
+    fn case2_margins_dominate_case1() {
+        let (board, tech, _) = setup(150);
+        let puf = ConfigurableRoPuf::tiled(150, 5);
+        let env = Environment::nominal();
+        let opts1 = EnrollOptions {
+            mode: SelectionMode::Case1,
+            parity: ParityPolicy::Ignore,
+            probe: DelayProbe::noiseless(),
+            ..EnrollOptions::default()
+        };
+        let opts2 = EnrollOptions {
+            mode: SelectionMode::Case2,
+            parity: ParityPolicy::Ignore,
+            probe: DelayProbe::noiseless(),
+            ..EnrollOptions::default()
+        };
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let e1 = puf.enroll(&mut rng1, &board, &tech, env, &opts1);
+        let e2 = puf.enroll(&mut rng2, &board, &tech, env, &opts2);
+        for (m1, m2) in e1.margins_ps().iter().zip(e2.margins_ps()) {
+            assert!(m2 >= m1 - 1e-9, "case2 {m2} < case1 {m1}");
+        }
+    }
+
+    #[test]
+    fn majority_vote_matches_single_reads_when_clean() {
+        let (board, tech, mut rng) = setup(60);
+        let puf = ConfigurableRoPuf::tiled(60, 5);
+        let env = Environment::nominal();
+        let e = puf.enroll(&mut rng, &board, &tech, env, &EnrollOptions::default());
+        let probe = DelayProbe::noiseless();
+        let single = e.respond(&mut rng, &board, &tech, env, &probe);
+        let voted = e.respond_majority(&mut rng, &board, &tech, env, &probe, 5);
+        assert_eq!(single, voted);
+    }
+
+    #[test]
+    fn majority_vote_suppresses_noise() {
+        let (board, tech, mut rng) = setup(60);
+        let puf = ConfigurableRoPuf::tiled(60, 3); // small margins
+        let env = Environment::nominal();
+        let e = puf.enroll(&mut rng, &board, &tech, env, &EnrollOptions::default());
+        // A brutally noisy probe: single reads flip bits, 9-vote
+        // majorities flip (strictly) fewer on aggregate.
+        let noisy = DelayProbe::new(8.0, 1);
+        let truth = e.expected_bits();
+        let count_errors = |r: &ropuf_num::bits::BitVec| r.hamming_distance(&truth).unwrap();
+        let mut single_errors = 0;
+        let mut voted_errors = 0;
+        for _ in 0..40 {
+            single_errors += count_errors(&e.respond(&mut rng, &board, &tech, env, &noisy));
+            voted_errors +=
+                count_errors(&e.respond_majority(&mut rng, &board, &tech, env, &noisy, 9));
+        }
+        assert!(
+            voted_errors < single_errors,
+            "voted {voted_errors} !< single {single_errors}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd vote count")]
+    fn even_votes_panic() {
+        let (board, tech, mut rng) = setup(60);
+        let puf = ConfigurableRoPuf::tiled(60, 5);
+        let e = puf.enroll(
+            &mut rng,
+            &board,
+            &tech,
+            Environment::nominal(),
+            &EnrollOptions::default(),
+        );
+        let _ = e.respond_majority(
+            &mut rng,
+            &board,
+            &tech,
+            Environment::nominal(),
+            &DelayProbe::noiseless(),
+            4,
+        );
+    }
+
+    #[test]
+    fn responses_stay_stable_near_enrollment_conditions() {
+        let (board, tech, mut rng) = setup(140);
+        let puf = ConfigurableRoPuf::tiled(140, 7);
+        let env = Environment::nominal();
+        let enrollment = puf.enroll(&mut rng, &board, &tech, env, &EnrollOptions::default());
+        let probe = DelayProbe::new(0.25, 1);
+        for _ in 0..20 {
+            let r = enrollment.respond(&mut rng, &board, &tech, env, &probe);
+            assert_eq!(r, enrollment.expected_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ring pair")]
+    fn empty_floorplan_panics() {
+        let _ = ConfigurableRoPuf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn tiled_too_small_panics() {
+        let _ = ConfigurableRoPuf::tiled(5, 3);
+    }
+}
+
+#[cfg(test)]
+mod defect_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_silicon::board::BoardId;
+    use ropuf_silicon::{DefectModel, SiliconSim};
+
+    #[test]
+    fn screening_excludes_exactly_the_defective_pairs() {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(61);
+        let clean = sim.grow_board_with_id(&mut rng, BoardId(0), 400, 20);
+        let model = DefectModel {
+            stuck_slow_rate: 0.02,
+            stuck_fast_rate: 0.01,
+            ..DefectModel::default()
+        };
+        let (board, defects) = model.inject(&mut rng, &clean);
+        assert!(!defects.is_empty(), "expect defects at these rates");
+
+        let stages = 5;
+        let puf = ConfigurableRoPuf::tiled(400, stages);
+        // Plausible band around the Spartan-3E nominal ddiff (~105 ps).
+        let opts = EnrollOptions {
+            plausible_ddiff_ps: Some((50.0, 200.0)),
+            probe: DelayProbe::noiseless(),
+            ..EnrollOptions::default()
+        };
+        let e = puf.enroll(&mut rng, &board, sim.technology(), Environment::nominal(), &opts);
+
+        let defective_units: std::collections::HashSet<usize> =
+            defects.iter().map(|(i, _)| *i).collect();
+        for (spec, enrolled) in puf.specs().iter().zip(e.pairs()) {
+            let touches_defect = spec
+                .top()
+                .iter()
+                .chain(spec.bottom())
+                .any(|u| defective_units.contains(u));
+            assert_eq!(
+                enrolled.is_none(),
+                touches_defect,
+                "pair {spec:?}: exclusion must track defects exactly"
+            );
+        }
+        // The surviving pairs still respond correctly.
+        let r = e.respond(
+            &mut rng,
+            &board,
+            sim.technology(),
+            Environment::nominal(),
+            &DelayProbe::noiseless(),
+        );
+        assert_eq!(r, e.expected_bits());
+    }
+
+    #[test]
+    fn screening_disabled_keeps_every_pair() {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(62);
+        let clean = sim.grow_board_with_id(&mut rng, BoardId(0), 200, 20);
+        let (board, _) = DefectModel::default().inject(&mut rng, &clean);
+        let puf = ConfigurableRoPuf::tiled(200, 5);
+        let e = puf.enroll(
+            &mut rng,
+            &board,
+            sim.technology(),
+            Environment::nominal(),
+            &EnrollOptions::default(),
+        );
+        assert_eq!(e.bit_count(), puf.pair_count());
+    }
+}

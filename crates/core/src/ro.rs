@@ -1,0 +1,409 @@
+//! Configurable ring oscillators over simulated silicon.
+//!
+//! A [`ConfigurableRo`] is a view of a contiguous-or-not group of delay
+//! units on a [`Board`], in ring order. Applying a
+//! [`ConfigVector`] yields the ring's round-trip delay; a
+//! [`FrequencyCounter`] can read its oscillation frequency when the
+//! configuration selects an odd number of inverters.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ropuf_core::ro::{ConfigurableRo, RoPair};
+//! use ropuf_core::ConfigVector;
+//! use ropuf_silicon::{Environment, SiliconSim};
+//! use ropuf_silicon::board::BoardId;
+//!
+//! let sim = SiliconSim::default_spartan();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let board = sim.grow_board_with_id(&mut rng, BoardId(0), 10, 5);
+//! let pair = RoPair::split_range(&board, 0..10);
+//! let config = ConfigVector::all_selected(5);
+//! let env = Environment::nominal();
+//! let d_top = pair.top().ring_delay_ps(&config, env, sim.technology());
+//! assert!(d_top > 0.0);
+//! ```
+
+use std::ops::Range;
+
+use rand::Rng;
+use ropuf_silicon::{Board, DelayUnit, Environment, FrequencyCounter, Technology};
+
+use crate::config::ConfigVector;
+
+/// A configurable ring oscillator: an ordered group of delay units on one
+/// board.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigurableRo<'a> {
+    board: &'a Board,
+    stages: Vec<usize>,
+}
+
+impl<'a> ConfigurableRo<'a> {
+    /// Builds a ring from explicit unit indices (ring order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty, contains duplicates, or references a
+    /// unit outside the board.
+    pub fn new(board: &'a Board, stages: Vec<usize>) -> Self {
+        assert!(!stages.is_empty(), "a ring needs at least one stage");
+        let mut seen = vec![false; board.len()];
+        for &i in &stages {
+            assert!(i < board.len(), "unit index {i} out of range {}", board.len());
+            assert!(!seen[i], "unit index {i} appears twice in the ring");
+            seen[i] = true;
+        }
+        Self { board, stages }
+    }
+
+    /// Builds a ring from a contiguous unit range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn from_range(board: &'a Board, range: Range<usize>) -> Self {
+        Self::new(board, range.collect())
+    }
+
+    /// The board this ring lives on.
+    pub fn board(&self) -> &'a Board {
+        self.board
+    }
+
+    /// Number of stages (delay units) in the ring.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Always false: rings are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The board-unit indices of the stages, in ring order.
+    pub fn stage_indices(&self) -> &[usize] {
+        &self.stages
+    }
+
+    /// The delay unit backing stage `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn stage(&self, i: usize) -> &DelayUnit {
+        let idx = self.stages[i];
+        self.board.unit(idx).expect("stage indices validated at construction")
+    }
+
+    /// True (noise-free) round-trip delay of the ring under `config`, in
+    /// picoseconds. Every stage contributes: selected stages add
+    /// `d + d1`, bypassed stages add `d0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.len() != self.len()`.
+    pub fn ring_delay_ps(
+        &self,
+        config: &ConfigVector,
+        env: Environment,
+        tech: &Technology,
+    ) -> f64 {
+        assert_eq!(
+            config.len(),
+            self.len(),
+            "configuration has {} stages but the ring has {}",
+            config.len(),
+            self.len()
+        );
+        (0..self.len())
+            .map(|i| self.stage(i).path_delay(config.is_selected(i), env, tech))
+            .sum()
+    }
+
+    /// Total bypass delay (the all-zero configuration): the
+    /// configuration-independent floor `B = Σ d0_i`.
+    pub fn bypass_delay_ps(&self, env: Environment, tech: &Technology) -> f64 {
+        (0..self.len())
+            .map(|i| self.stage(i).path_delay(false, env, tech))
+            .sum()
+    }
+
+    /// True per-stage `ddiff` values at `env` (an oracle for calibration
+    /// tests; real flows recover these through
+    /// [`crate::calibrate`]).
+    pub fn true_ddiffs_ps(&self, env: Environment, tech: &Technology) -> Vec<f64> {
+        (0..self.len()).map(|i| self.stage(i).ddiff(env, tech)).collect()
+    }
+
+    /// Oscillation frequency (MHz) of the configured ring as read by
+    /// `counter`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::DoesNotOscillate`] if `config` selects an
+    /// even number of inverters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.len() != self.len()`.
+    pub fn frequency_mhz<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        counter: &FrequencyCounter,
+        config: &ConfigVector,
+        env: Environment,
+        tech: &Technology,
+    ) -> Result<f64, RingError> {
+        if !config.oscillates() {
+            return Err(RingError::DoesNotOscillate {
+                selected: config.selected_count(),
+            });
+        }
+        let delay = self.ring_delay_ps(config, env, tech);
+        Ok(counter.measure_mhz(rng, delay))
+    }
+}
+
+/// A top/bottom pair of configurable rings — the unit that produces one
+/// PUF bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoPair<'a> {
+    top: ConfigurableRo<'a>,
+    bottom: ConfigurableRo<'a>,
+}
+
+impl<'a> RoPair<'a> {
+    /// Pairs two rings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rings have different stage counts (the paper's
+    /// architecture deploys identically sized rings).
+    pub fn new(top: ConfigurableRo<'a>, bottom: ConfigurableRo<'a>) -> Self {
+        assert_eq!(
+            top.len(),
+            bottom.len(),
+            "paired rings must have equal stage counts"
+        );
+        Self { top, bottom }
+    }
+
+    /// Splits a contiguous range of `2n` units into a top ring (first
+    /// half) and bottom ring (second half).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range length is odd, empty, or out of bounds.
+    pub fn split_range(board: &'a Board, range: Range<usize>) -> Self {
+        let len = range.end.saturating_sub(range.start);
+        assert!(len > 0 && len.is_multiple_of(2), "range must contain an even, nonzero number of units");
+        let mid = range.start + len / 2;
+        Self::new(
+            ConfigurableRo::from_range(board, range.start..mid),
+            ConfigurableRo::from_range(board, mid..range.end),
+        )
+    }
+
+    /// The top ring.
+    pub fn top(&self) -> &ConfigurableRo<'a> {
+        &self.top
+    }
+
+    /// The bottom ring.
+    pub fn bottom(&self) -> &ConfigurableRo<'a> {
+        &self.bottom
+    }
+
+    /// Stages per ring.
+    pub fn stages(&self) -> usize {
+        self.top.len()
+    }
+
+    /// Signed configured delay difference `top − bottom` (ps), the
+    /// quantity whose sign is the PUF bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either configuration length mismatches its ring.
+    pub fn delay_difference_ps(
+        &self,
+        top_config: &ConfigVector,
+        bottom_config: &ConfigVector,
+        env: Environment,
+        tech: &Technology,
+    ) -> f64 {
+        self.top.ring_delay_ps(top_config, env, tech)
+            - self.bottom.ring_delay_ps(bottom_config, env, tech)
+    }
+}
+
+/// Errors from ring measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingError {
+    /// The configuration selects an even number of inverters, so the ring
+    /// is combinationally stable and produces no frequency.
+    DoesNotOscillate {
+        /// Number of inverters the offending configuration selects.
+        selected: usize,
+    },
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::DoesNotOscillate { selected } => write!(
+                f,
+                "ring with {selected} selected inverters does not oscillate (even count)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_silicon::board::BoardId;
+    use ropuf_silicon::SiliconSim;
+
+    fn board() -> (Board, Technology) {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(99);
+        (
+            sim.grow_board_with_id(&mut rng, BoardId(0), 20, 5),
+            *sim.technology(),
+        )
+    }
+
+    #[test]
+    fn ring_delay_sums_stage_paths() {
+        let (board, tech) = board();
+        let ro = ConfigurableRo::from_range(&board, 0..5);
+        let env = Environment::nominal();
+        let config = ConfigVector::from_flags(&[true, false, true, false, true]);
+        let expect: f64 = (0..5)
+            .map(|i| board.unit(i).unwrap().path_delay(config.is_selected(i), env, &tech))
+            .sum();
+        assert!((ro.ring_delay_ps(&config, env, &tech) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bypass_delay_is_all_zero_config() {
+        let (board, tech) = board();
+        let ro = ConfigurableRo::from_range(&board, 5..10);
+        let env = Environment::nominal();
+        let zero = ConfigVector::from_flags(&[false; 5]);
+        assert!(
+            (ro.bypass_delay_ps(env, &tech) - ro.ring_delay_ps(&zero, env, &tech)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn more_selected_stages_slow_the_ring() {
+        let (board, tech) = board();
+        let ro = ConfigurableRo::from_range(&board, 0..5);
+        let env = Environment::nominal();
+        let mut prev = 0.0;
+        for k in 0..=5 {
+            let flags: Vec<bool> = (0..5).map(|i| i < k).collect();
+            let d = ro.ring_delay_ps(&ConfigVector::from_flags(&flags), env, &tech);
+            assert!(d > prev, "k={k}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn frequency_requires_odd_selection() {
+        let (board, tech) = board();
+        let ro = ConfigurableRo::from_range(&board, 0..5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let counter = FrequencyCounter::ideal();
+        let even = ConfigVector::from_selected(5, &[0, 1]);
+        let err = ro
+            .frequency_mhz(&mut rng, &counter, &even, Environment::nominal(), &tech)
+            .unwrap_err();
+        assert_eq!(err, RingError::DoesNotOscillate { selected: 2 });
+        assert!(err.to_string().contains("does not oscillate"));
+
+        let odd = ConfigVector::from_selected(5, &[0, 1, 2]);
+        let f = ro
+            .frequency_mhz(&mut rng, &counter, &odd, Environment::nominal(), &tech)
+            .unwrap();
+        assert!(f > 0.0);
+    }
+
+    #[test]
+    fn frequency_matches_delay() {
+        let (board, tech) = board();
+        let ro = ConfigurableRo::from_range(&board, 0..5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let counter = FrequencyCounter::ideal();
+        let config = ConfigVector::all_selected(5);
+        let env = Environment::nominal();
+        let f = ro
+            .frequency_mhz(&mut rng, &counter, &config, env, &tech)
+            .unwrap();
+        let expect = 1e6 / (2.0 * ro.ring_delay_ps(&config, env, &tech));
+        assert!((f - expect).abs() / expect < 1e-3, "{f} vs {expect}");
+    }
+
+    #[test]
+    fn true_ddiffs_match_units() {
+        let (board, tech) = board();
+        let ro = ConfigurableRo::new(&board, vec![3, 1, 4]);
+        let env = Environment::nominal();
+        let dd = ro.true_ddiffs_ps(env, &tech);
+        assert_eq!(dd.len(), 3);
+        assert!((dd[0] - board.unit(3).unwrap().ddiff(env, &tech)).abs() < 1e-12);
+        assert!((dd[1] - board.unit(1).unwrap().ddiff(env, &tech)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_range_halves() {
+        let (board, _) = board();
+        let pair = RoPair::split_range(&board, 4..14);
+        assert_eq!(pair.stages(), 5);
+        assert_eq!(pair.top().stage_indices(), &[4, 5, 6, 7, 8]);
+        assert_eq!(pair.bottom().stage_indices(), &[9, 10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn delay_difference_is_antisymmetric_in_configs() {
+        let (board, tech) = board();
+        let pair = RoPair::split_range(&board, 0..10);
+        let env = Environment::nominal();
+        let c = ConfigVector::from_selected(5, &[0, 2, 4]);
+        let d1 = pair.delay_difference_ps(&c, &c, env, &tech);
+        let swapped = RoPair::new(pair.bottom().clone(), pair.top().clone());
+        let d2 = swapped.delay_difference_ps(&c, &c, env, &tech);
+        assert!((d1 + d2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_stage_panics() {
+        let (board, _) = board();
+        let _ = ConfigurableRo::new(&board, vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even, nonzero")]
+    fn odd_split_panics() {
+        let (board, _) = board();
+        let _ = RoPair::split_range(&board, 0..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal stage counts")]
+    fn unequal_pair_panics() {
+        let (board, _) = board();
+        let top = ConfigurableRo::from_range(&board, 0..3);
+        let bottom = ConfigurableRo::from_range(&board, 3..7);
+        let _ = RoPair::new(top, bottom);
+    }
+}

@@ -1,0 +1,208 @@
+//! Exhaustive selection oracles.
+//!
+//! These enumerate every admissible configuration and are exponential in
+//! the stage count — they exist so the test suite can prove the
+//! polynomial-time solvers in [`case1`](crate::select::case1) and
+//! [`case2`](crate::select::case2) optimal, and so ablation experiments
+//! can quantify the cost the paper's equal-count security constraint
+//! imposes.
+
+use crate::config::{ConfigVector, ParityPolicy};
+use crate::select::{validate_inputs, PairSelection, Selection};
+
+/// Maximum stage count accepted by the oracles (2^2n pair subsets).
+const MAX_BRUTE_STAGES: usize = 16;
+
+/// Exhaustive Case-1 solver: tries all `2^n` shared configurations.
+///
+/// # Panics
+///
+/// Panics on invalid inputs (see [`case1`](crate::select::case1)) or if
+/// `alpha.len() > 16`.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_core::select::{brute_force_case1, case1};
+/// use ropuf_core::config::ParityPolicy;
+///
+/// let top = [10.3, 9.8, 10.1];
+/// let bottom = [10.0, 10.0, 10.0];
+/// let fast = case1(&top, &bottom, ParityPolicy::Ignore);
+/// let brute = brute_force_case1(&top, &bottom, ParityPolicy::Ignore);
+/// assert!((fast.margin() - brute.margin()).abs() < 1e-12);
+/// ```
+pub fn brute_force_case1(alpha: &[f64], beta: &[f64], parity: ParityPolicy) -> Selection {
+    validate_inputs(alpha, beta);
+    let n = alpha.len();
+    assert!(n <= MAX_BRUTE_STAGES, "brute force limited to {MAX_BRUTE_STAGES} stages");
+    let mut best: Option<(u32, f64, bool)> = None;
+    for mask in 0u32..(1 << n) {
+        let count = mask.count_ones() as usize;
+        if !parity.admits(count) {
+            continue;
+        }
+        let mut diff = 0.0;
+        for i in 0..n {
+            if mask >> i & 1 == 1 {
+                diff += alpha[i] - beta[i];
+            }
+        }
+        let margin = diff.abs();
+        if best.is_none_or(|(_, m, _)| margin > m + 1e-15) {
+            best = Some((mask, margin, diff > 0.0));
+        }
+    }
+    let (mask, margin, top_slower) =
+        best.expect("at least one admissible configuration exists");
+    Selection::new(mask_to_config(n, mask), margin, top_slower)
+}
+
+/// Exhaustive Case-2 solver: tries all configuration pairs with equal
+/// selected counts.
+///
+/// # Panics
+///
+/// Panics on invalid inputs or if `alpha.len() > 16` (the search is
+/// `O(4^n)`).
+pub fn brute_force_case2(alpha: &[f64], beta: &[f64], parity: ParityPolicy) -> PairSelection {
+    validate_inputs(alpha, beta);
+    let n = alpha.len();
+    assert!(n <= MAX_BRUTE_STAGES, "brute force limited to {MAX_BRUTE_STAGES} stages");
+    let mut best: Option<(u32, u32, f64, bool)> = None;
+    for x in 0u32..(1 << n) {
+        let count = x.count_ones();
+        if !parity.admits(count as usize) {
+            continue;
+        }
+        let top: f64 = (0..n).filter(|&i| x >> i & 1 == 1).map(|i| alpha[i]).sum();
+        for y in 0u32..(1 << n) {
+            if y.count_ones() != count {
+                continue;
+            }
+            let bottom: f64 = (0..n).filter(|&i| y >> i & 1 == 1).map(|i| beta[i]).sum();
+            let diff = top - bottom;
+            let margin = diff.abs();
+            if best.is_none_or(|(_, _, m, _)| margin > m + 1e-15) {
+                best = Some((x, y, margin, diff > 0.0));
+            }
+        }
+    }
+    let (x, y, margin, top_slower) =
+        best.expect("at least one admissible configuration pair exists");
+    PairSelection::new(mask_to_config(n, x), mask_to_config(n, y), margin, top_slower)
+}
+
+fn mask_to_config(n: usize, mask: u32) -> ConfigVector {
+    let flags: Vec<bool> = (0..n).map(|i| mask >> i & 1 == 1).collect();
+    ConfigVector::from_flags(&flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{case1, case2};
+
+    fn delays(seed: u64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        // Simple deterministic pseudo-random delays around 100.
+        let mut h = seed | 1;
+        let mut next = move || {
+            h ^= h << 13;
+            h ^= h >> 7;
+            h ^= h << 17;
+            100.0 + ((h % 1000) as f64 / 500.0 - 1.0)
+        };
+        let a: Vec<f64> = (0..n).map(|_| next()).collect();
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn case1_is_optimal_ignore_parity() {
+        for seed in 0..50 {
+            for n in 1..=8 {
+                let (a, b) = delays(seed, n);
+                let fast = case1(&a, &b, ParityPolicy::Ignore);
+                let brute = brute_force_case1(&a, &b, ParityPolicy::Ignore);
+                assert!(
+                    (fast.margin() - brute.margin()).abs() < 1e-9,
+                    "seed {seed} n {n}: {} vs {}",
+                    fast.margin(),
+                    brute.margin()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn case1_is_optimal_force_odd() {
+        for seed in 0..50 {
+            for n in 1..=8 {
+                let (a, b) = delays(seed, n);
+                let fast = case1(&a, &b, ParityPolicy::ForceOdd);
+                let brute = brute_force_case1(&a, &b, ParityPolicy::ForceOdd);
+                assert!(fast.config().oscillates());
+                assert!(
+                    (fast.margin() - brute.margin()).abs() < 1e-9,
+                    "seed {seed} n {n}: {} vs {}",
+                    fast.margin(),
+                    brute.margin()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn case2_is_optimal_ignore_parity() {
+        for seed in 0..30 {
+            for n in 1..=6 {
+                let (a, b) = delays(seed, n);
+                let fast = case2(&a, &b, ParityPolicy::Ignore);
+                let brute = brute_force_case2(&a, &b, ParityPolicy::Ignore);
+                assert!(
+                    (fast.margin() - brute.margin()).abs() < 1e-9,
+                    "seed {seed} n {n}: {} vs {}",
+                    fast.margin(),
+                    brute.margin()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn case2_is_optimal_force_odd() {
+        for seed in 0..30 {
+            for n in 1..=6 {
+                let (a, b) = delays(seed, n);
+                let fast = case2(&a, &b, ParityPolicy::ForceOdd);
+                let brute = brute_force_case2(&a, &b, ParityPolicy::ForceOdd);
+                assert!(fast.top().oscillates() && fast.bottom().oscillates());
+                assert!(
+                    (fast.margin() - brute.margin()).abs() < 1e-9,
+                    "seed {seed} n {n}: {} vs {}",
+                    fast.margin(),
+                    brute.margin()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brute_bits_agree_with_fast_solvers_when_margin_positive() {
+        for seed in 0..20 {
+            let (a, b) = delays(seed, 6);
+            let fast = case1(&a, &b, ParityPolicy::Ignore);
+            let brute = brute_force_case1(&a, &b, ParityPolicy::Ignore);
+            if fast.margin() > 1e-9 {
+                assert_eq!(fast.bit(), brute.bit(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to")]
+    fn brute_rejects_large_n() {
+        let a = vec![1.0; 20];
+        let _ = brute_force_case1(&a, &a, ParityPolicy::Ignore);
+    }
+}

@@ -1,0 +1,270 @@
+//! Case-1: both rings share one configuration vector.
+//!
+//! With `Δd_i = α_i − β_i`, the objective `max_x |Σ Δd_i x_i|` is solved
+//! exactly by sign partitioning (§III.D of the paper): the absolute sum is
+//! maximal when every included term has the same sign, so the optimum is
+//! whichever of {positive-Δd stages, negative-Δd stages} has the larger
+//! total magnitude. Under [`ParityPolicy::ForceOdd`](crate::config::ParityPolicy::ForceOdd) the chosen class is
+//! adjusted by the cheapest single insertion or removal, which is optimal
+//! for a fixed sign class (any removal costs at least the smallest member,
+//! any insertion at least the smallest outsider).
+//!
+//! [`case1_with_offset`] additionally accounts for a configuration-
+//! independent delay offset between the two rings (the bypass-path total
+//! `B_top − B_bottom` of real hardware): it maximizes `|offset + Σ Δd_i
+//! x_i|`, which is still achieved by one of the two sign-class extremes.
+
+use crate::config::{ConfigVector, ParityPolicy};
+use crate::select::{validate_inputs, Selection};
+
+/// Solves the Case-1 inverter selection problem.
+///
+/// Returns the shared configuration, the achieved margin
+/// `|Σ (α_i − β_i) x_i|`, and the enrolled bit (`true` = top slower).
+///
+/// # Panics
+///
+/// Panics if the inputs are empty, of different lengths, or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_core::select::case1;
+/// use ropuf_core::config::ParityPolicy;
+///
+/// let top =    [10.0, 12.0, 9.0];
+/// let bottom = [11.0, 10.0, 10.5];
+/// let s = case1(&top, &bottom, ParityPolicy::Ignore);
+/// // Δd = [-1, +2, -1.5]: the negative class (stages 0 and 2, total 2.5)
+/// // beats the positive class (stage 1, total 2).
+/// assert_eq!(s.config().to_string(), "101");
+/// assert!((s.margin() - 2.5).abs() < 1e-12);
+/// assert!(!s.bit()); // bottom is slower on the selected stages
+/// ```
+pub fn case1(alpha: &[f64], beta: &[f64], parity: ParityPolicy) -> Selection {
+    case1_with_offset(alpha, beta, 0.0, parity)
+}
+
+/// Case-1 selection maximizing `|offset_ps + Σ (α_i − β_i) x_i|`.
+///
+/// `offset_ps` models the configuration-independent part of the ring
+/// delay difference — on real hardware, the difference of the two rings'
+/// total bypass (`d0`) delays. The paper's idealized formulation is the
+/// `offset_ps == 0` special case.
+///
+/// # Panics
+///
+/// Panics if the inputs are invalid (see [`case1`]) or `offset_ps` is not
+/// finite.
+pub fn case1_with_offset(
+    alpha: &[f64],
+    beta: &[f64],
+    offset_ps: f64,
+    parity: ParityPolicy,
+) -> Selection {
+    validate_inputs(alpha, beta);
+    assert!(offset_ps.is_finite(), "offset must be finite, got {offset_ps}");
+    let n = alpha.len();
+    let delta: Vec<f64> = alpha.iter().zip(beta).map(|(a, b)| a - b).collect();
+
+    // The extremes of Σ Δd·x over admissible subsets.
+    let (max_set, max_sum) = extreme_subset(&delta, true, parity);
+    let (min_set, min_sum) = extreme_subset(&delta, false, parity);
+
+    let d_high = offset_ps + max_sum;
+    let d_low = offset_ps + min_sum;
+    let (set, diff) = if d_high.abs() >= d_low.abs() {
+        (max_set, d_high)
+    } else {
+        (min_set, d_low)
+    };
+    Selection::new(ConfigVector::from_selected(n, &set), diff.abs(), diff > 0.0)
+}
+
+/// Subset extremizing `Σ Δd_i x_i` subject to the parity policy:
+/// the maximum when `maximize`, the minimum otherwise. Returns the chosen
+/// indices (ascending) and the achieved signed sum.
+fn extreme_subset(delta: &[f64], maximize: bool, parity: ParityPolicy) -> (Vec<usize>, f64) {
+    let signed = |d: f64| if maximize { d } else { -d };
+    let mut class: Vec<usize> = (0..delta.len())
+        .filter(|&i| signed(delta[i]) > 0.0)
+        .collect();
+    let mut gain: f64 = class.iter().map(|&i| signed(delta[i])).sum();
+
+    if !parity.admits(class.len()) {
+        // Flip parity by one stage. Two candidate repairs: drop the
+        // smallest in-class contribution, or add the outsider with the
+        // smallest cost (its signed value is ≤ 0).
+        let drop = class
+            .iter()
+            .copied()
+            .min_by(|&a, &b| signed(delta[a]).total_cmp(&signed(delta[b])));
+        let add = (0..delta.len())
+            .filter(|i| !class.contains(i))
+            .max_by(|&a, &b| signed(delta[a]).total_cmp(&signed(delta[b])));
+        let drop_gain = drop.map(|i| gain - signed(delta[i]));
+        let add_gain = add.map(|i| gain + signed(delta[i]));
+        match (drop_gain, add_gain) {
+            (Some(dg), Some(ag)) if dg >= ag => {
+                class.retain(|&i| Some(i) != drop);
+                gain = dg;
+            }
+            (Some(_) | None, Some(ag)) => {
+                class.push(add.expect("add candidate exists"));
+                class.sort_unstable();
+                gain = ag;
+            }
+            (Some(dg), None) => {
+                class.retain(|&i| Some(i) != drop);
+                gain = dg;
+            }
+            (None, None) => unreachable!("a non-empty delay vector always offers a repair"),
+        }
+    }
+    let sum = if maximize { gain } else { -gain };
+    (class, sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_dominant_positive_class() {
+        let top = [12.0, 13.0, 10.0, 14.0];
+        let bottom = [10.0, 10.0, 11.0, 10.0];
+        // Δd = [2, 3, -1, 4]: positive class {0,1,3} total 9 vs 1.
+        let s = case1(&top, &bottom, ParityPolicy::Ignore);
+        assert_eq!(s.config().selected_indices(), vec![0, 1, 3]);
+        assert!((s.margin() - 9.0).abs() < 1e-12);
+        assert!(s.bit());
+    }
+
+    #[test]
+    fn picks_dominant_negative_class() {
+        let top = [10.0, 10.0, 10.0];
+        let bottom = [12.0, 9.0, 13.0];
+        // Δd = [-2, 1, -3]: negative class {0,2} total 5 vs 1.
+        let s = case1(&top, &bottom, ParityPolicy::Ignore);
+        assert_eq!(s.config().selected_indices(), vec![0, 2]);
+        assert!((s.margin() - 5.0).abs() < 1e-12);
+        assert!(!s.bit());
+    }
+
+    #[test]
+    fn zero_deltas_are_never_selected() {
+        let top = [10.0, 11.0, 10.0];
+        let bottom = [10.0, 10.0, 10.0];
+        let s = case1(&top, &bottom, ParityPolicy::Ignore);
+        assert_eq!(s.config().selected_indices(), vec![1]);
+    }
+
+    #[test]
+    fn all_equal_delays_give_zero_margin() {
+        let d = [10.0, 10.0, 10.0];
+        let s = case1(&d, &d, ParityPolicy::Ignore);
+        assert_eq!(s.margin(), 0.0);
+        assert_eq!(s.config().selected_count(), 0);
+    }
+
+    #[test]
+    fn force_odd_adds_free_stage_when_cheaper() {
+        let top = [15.0, 13.0, 10.0, 10.0];
+        let bottom = [10.0, 10.0, 10.0, 10.0];
+        // Δd = [5, 3, 0, 0]: class {0,1} is even. Dropping stage 1 keeps
+        // margin 5; adding a zero-Δd stage keeps margin 8. Add wins.
+        let s = case1(&top, &bottom, ParityPolicy::ForceOdd);
+        assert_eq!(s.config().selected_count(), 3);
+        assert!((s.margin() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_odd_prefers_drop_when_adding_is_expensive() {
+        let top = [15.0, 13.0, 5.0];
+        let bottom = [10.0, 10.0, 10.0];
+        // Δd = [5, 3, -5]: class {0,1} even. Drop stage 1 → 5;
+        // add stage 2 → 8 − 5 = 3. Drop wins.
+        let s = case1(&top, &bottom, ParityPolicy::ForceOdd);
+        assert_eq!(s.config().selected_indices(), vec![0]);
+        assert!((s.margin() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_odd_on_already_odd_class_is_untouched() {
+        let top = [15.0, 13.0, 12.0];
+        let bottom = [10.0, 10.0, 10.0];
+        let ignore = case1(&top, &bottom, ParityPolicy::Ignore);
+        let odd = case1(&top, &bottom, ParityPolicy::ForceOdd);
+        assert_eq!(ignore, odd);
+    }
+
+    #[test]
+    fn force_odd_handles_all_zero_deltas() {
+        let d = [10.0, 10.0];
+        let s = case1(&d, &d, ParityPolicy::ForceOdd);
+        assert_eq!(s.config().selected_count(), 1);
+        assert_eq!(s.margin(), 0.0);
+    }
+
+    #[test]
+    fn margin_is_symmetric_in_ring_order() {
+        let top = [11.0, 9.5, 10.2];
+        let bottom = [10.0, 10.0, 10.0];
+        let ab = case1(&top, &bottom, ParityPolicy::Ignore);
+        let ba = case1(&bottom, &top, ParityPolicy::Ignore);
+        assert!((ab.margin() - ba.margin()).abs() < 1e-12);
+        assert_eq!(ab.config(), ba.config());
+        assert_ne!(ab.bit(), ba.bit());
+    }
+
+    #[test]
+    fn offset_shifts_the_choice() {
+        let top = [11.0, 10.0];
+        let bottom = [10.0, 11.0];
+        // Δd = [1, -1]. Without offset either class gives margin 1.
+        // With offset +3 the positive class reaches |3+1| = 4 while the
+        // negative class reaches |3-1| = 2.
+        let s = case1_with_offset(&top, &bottom, 3.0, ParityPolicy::Ignore);
+        assert_eq!(s.config().selected_indices(), vec![0]);
+        assert!((s.margin() - 4.0).abs() < 1e-12);
+        assert!(s.bit());
+    }
+
+    #[test]
+    fn negative_offset_can_prefer_negative_class() {
+        let top = [11.0, 10.0];
+        let bottom = [10.0, 11.0];
+        let s = case1_with_offset(&top, &bottom, -3.0, ParityPolicy::Ignore);
+        assert_eq!(s.config().selected_indices(), vec![1]);
+        assert!((s.margin() - 4.0).abs() < 1e-12);
+        assert!(!s.bit());
+    }
+
+    #[test]
+    fn zero_offset_matches_plain_case1() {
+        let top = [10.3, 9.7, 10.1, 9.9];
+        let bottom = [10.0, 10.1, 9.8, 10.2];
+        assert_eq!(
+            case1(&top, &bottom, ParityPolicy::Ignore),
+            case1_with_offset(&top, &bottom, 0.0, ParityPolicy::Ignore)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of stages")]
+    fn length_mismatch_panics() {
+        let _ = case1(&[1.0], &[1.0, 2.0], ParityPolicy::Ignore);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_panics() {
+        let _ = case1(&[f64::NAN], &[1.0], ParityPolicy::Ignore);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset must be finite")]
+    fn non_finite_offset_panics() {
+        let _ = case1_with_offset(&[1.0], &[1.0], f64::INFINITY, ParityPolicy::Ignore);
+    }
+}

@@ -1,0 +1,269 @@
+//! Case-2: independent configurations with equal selected counts.
+//!
+//! For a fixed count `k`, the delay difference `Σ α x − Σ β y` is
+//! maximized by taking the `k` slowest stages of the top ring and the `k`
+//! fastest of the bottom ring (and symmetrically for the opposite
+//! orientation). Sorting both delay vectors therefore reduces the problem
+//! to choosing the best prefix length: exactly the paper's "pair the i-th
+//! slowest with the i-th fastest and accumulate while the discrepancy
+//! keeps its sign" procedure. Both orientations are evaluated and the
+//! larger magnitude wins.
+//!
+//! [`case2_with_offset`] extends the objective to
+//! `|offset + Σ α x − Σ β y|` for the configuration-independent bypass
+//! delay offset of real hardware.
+
+use crate::config::{ConfigVector, ParityPolicy};
+use crate::select::{validate_inputs, PairSelection};
+
+/// Solves the Case-2 inverter selection problem.
+///
+/// Returns independent top/bottom configurations with equal selected
+/// counts, the achieved margin, and the enrolled bit (`true` = top
+/// slower).
+///
+/// # Panics
+///
+/// Panics if the inputs are empty, of different lengths, or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_core::select::case2;
+/// use ropuf_core::config::ParityPolicy;
+///
+/// let top =    [10.0, 12.0, 11.0];
+/// let bottom = [11.5, 10.5, 9.0];
+/// let s = case2(&top, &bottom, ParityPolicy::Ignore);
+/// assert_eq!(s.top().selected_count(), s.bottom().selected_count());
+/// // Slowest-top {12, 11} against fastest-bottom {9, 10.5}:
+/// // margin = (12+11) − (9+10.5) = 3.5.
+/// assert!((s.margin() - 3.5).abs() < 1e-12);
+/// assert!(s.bit());
+/// ```
+pub fn case2(alpha: &[f64], beta: &[f64], parity: ParityPolicy) -> PairSelection {
+    case2_with_offset(alpha, beta, 0.0, parity)
+}
+
+/// Case-2 selection maximizing `|offset_ps + Σ α_i x_i − Σ β_i y_i|`
+/// subject to `Σ x = Σ y`.
+///
+/// # Panics
+///
+/// Panics if the inputs are invalid (see [`case2`]) or `offset_ps` is not
+/// finite.
+pub fn case2_with_offset(
+    alpha: &[f64],
+    beta: &[f64],
+    offset_ps: f64,
+    parity: ParityPolicy,
+) -> PairSelection {
+    validate_inputs(alpha, beta);
+    assert!(offset_ps.is_finite(), "offset must be finite, got {offset_ps}");
+    let n = alpha.len();
+
+    // Orientation A maximizes the signed difference D = offset + Σαx − Σβy:
+    // slowest-k of α against fastest-k of β.
+    let (k_max, d_max) = extreme_prefix(alpha, beta, offset_ps, parity);
+    // Orientation B minimizes D: fastest-k of α against slowest-k of β,
+    // equivalently maximizes −D = −offset + Σβy' − Σαx'.
+    let (k_min, neg_d_min) = extreme_prefix(beta, alpha, -offset_ps, parity);
+    let d_min = -neg_d_min;
+
+    if d_max.abs() >= d_min.abs() {
+        let top = select_extreme(alpha, k_max, Extreme::Slowest);
+        let bottom = select_extreme(beta, k_max, Extreme::Fastest);
+        PairSelection::new(
+            ConfigVector::from_selected(n, &top),
+            ConfigVector::from_selected(n, &bottom),
+            d_max.abs(),
+            d_max > 0.0,
+        )
+    } else {
+        let top = select_extreme(alpha, k_min, Extreme::Fastest);
+        let bottom = select_extreme(beta, k_min, Extreme::Slowest);
+        PairSelection::new(
+            ConfigVector::from_selected(n, &top),
+            ConfigVector::from_selected(n, &bottom),
+            d_min.abs(),
+            d_min > 0.0,
+        )
+    }
+}
+
+/// Maximizes `offset + Σ_{i≤k}(slow_desc[i] − fast_asc[i])` over
+/// admissible `k`. Under `ParityPolicy::Ignore` the scan includes `k = 0`
+/// (value `offset`); under `ForceOdd` only odd `k` qualify.
+fn extreme_prefix(slow: &[f64], fast: &[f64], offset: f64, parity: ParityPolicy) -> (usize, f64) {
+    let n = slow.len();
+    let mut slow_sorted = slow.to_vec();
+    slow_sorted.sort_by(|a, b| b.total_cmp(a)); // descending
+    let mut fast_sorted = fast.to_vec();
+    fast_sorted.sort_by(|a, b| a.total_cmp(b)); // ascending
+
+    let mut best: Option<(usize, f64)> = match parity {
+        ParityPolicy::Ignore => Some((0, offset)),
+        ParityPolicy::ForceOdd => None,
+    };
+    let mut acc = offset;
+    for k in 1..=n {
+        acc += slow_sorted[k - 1] - fast_sorted[k - 1];
+        if parity.admits(k) && best.is_none_or(|(_, m)| acc > m) {
+            best = Some((k, acc));
+        }
+    }
+    best.expect("at least one admissible k exists for n >= 1")
+}
+
+#[derive(Clone, Copy)]
+enum Extreme {
+    Slowest,
+    Fastest,
+}
+
+/// Indices of the `k` slowest (largest delay) or fastest stages; ties are
+/// broken by original index, matching the sorts in [`extreme_prefix`].
+fn select_extreme(delays: &[f64], k: usize, which: Extreme) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..delays.len()).collect();
+    match which {
+        Extreme::Slowest => order.sort_by(|&a, &b| delays[b].total_cmp(&delays[a]).then(a.cmp(&b))),
+        Extreme::Fastest => order.sort_by(|&a, &b| delays[a].total_cmp(&delays[b]).then(a.cmp(&b))),
+    }
+    let mut chosen: Vec<usize> = order.into_iter().take(k).collect();
+    chosen.sort_unstable();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signed_diff(alpha: &[f64], beta: &[f64], offset: f64, sel: &PairSelection) -> f64 {
+        let top: f64 = sel.top().selected_indices().iter().map(|&i| alpha[i]).sum();
+        let bottom: f64 = sel.bottom().selected_indices().iter().map(|&i| beta[i]).sum();
+        offset + top - bottom
+    }
+
+    #[test]
+    fn reported_margin_matches_configs() {
+        let alpha = [10.0, 12.5, 11.0, 9.0];
+        let beta = [11.0, 10.0, 12.0, 10.5];
+        let s = case2(&alpha, &beta, ParityPolicy::Ignore);
+        assert!((s.margin() - signed_diff(&alpha, &beta, 0.0, &s).abs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_counts_enforced() {
+        let alpha = [10.0, 12.5, 11.0, 9.0, 10.3];
+        let beta = [11.0, 10.0, 12.0, 10.5, 9.9];
+        for parity in [ParityPolicy::Ignore, ParityPolicy::ForceOdd] {
+            let s = case2(&alpha, &beta, parity);
+            assert_eq!(s.top().selected_count(), s.bottom().selected_count());
+        }
+    }
+
+    #[test]
+    fn orientation_flip_swaps_bit() {
+        let alpha = [13.0, 11.0, 10.0];
+        let beta = [10.0, 9.5, 10.2];
+        let ab = case2(&alpha, &beta, ParityPolicy::Ignore);
+        let ba = case2(&beta, &alpha, ParityPolicy::Ignore);
+        assert!((ab.margin() - ba.margin()).abs() < 1e-12);
+        assert_ne!(ab.bit(), ba.bit());
+    }
+
+    #[test]
+    fn case2_beats_or_matches_case1() {
+        use crate::select::case1;
+        let alpha = [10.0, 12.5, 11.0, 9.0, 10.3, 11.7];
+        let beta = [11.0, 10.0, 12.0, 10.5, 9.9, 10.8];
+        let c1 = case1(&alpha, &beta, ParityPolicy::Ignore);
+        let c2 = case2(&alpha, &beta, ParityPolicy::Ignore);
+        assert!(c2.margin() >= c1.margin() - 1e-12);
+    }
+
+    #[test]
+    fn identical_rings_still_find_margin() {
+        let d = [10.0, 11.0, 12.0];
+        let s = case2(&d, &d, ParityPolicy::Ignore);
+        // Slowest of top (12) vs fastest of bottom (10): margin 2.
+        assert!((s.margin() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_rings_zero_margin() {
+        let d = [10.0, 10.0, 10.0];
+        let s = case2(&d, &d, ParityPolicy::Ignore);
+        assert_eq!(s.margin(), 0.0);
+        assert_eq!(s.top().selected_count(), 0);
+    }
+
+    #[test]
+    fn force_odd_yields_odd_counts() {
+        let alpha = [10.0, 12.5, 11.0, 9.0];
+        let beta = [11.0, 10.0, 12.0, 10.5];
+        let s = case2(&alpha, &beta, ParityPolicy::ForceOdd);
+        assert_eq!(s.top().selected_count() % 2, 1);
+        assert_eq!(s.bottom().selected_count() % 2, 1);
+    }
+
+    #[test]
+    fn force_odd_constant_rings_pick_one_stage() {
+        let d = [10.0, 10.0];
+        let s = case2(&d, &d, ParityPolicy::ForceOdd);
+        assert_eq!(s.top().selected_count(), 1);
+        assert_eq!(s.margin(), 0.0);
+    }
+
+    #[test]
+    fn hand_worked_example() {
+        // α sorted desc: [12, 11, 10]; β sorted asc: [9, 10.5, 11.5].
+        // increments: 3, 0.5, -1.5 → best k=2, margin 3.5, top slower.
+        let alpha = [10.0, 12.0, 11.0];
+        let beta = [11.5, 10.5, 9.0];
+        let s = case2(&alpha, &beta, ParityPolicy::Ignore);
+        assert_eq!(s.top().selected_indices(), vec![1, 2]);
+        assert_eq!(s.bottom().selected_indices(), vec![1, 2]);
+        assert!((s.margin() - 3.5).abs() < 1e-12);
+        assert!(s.bit());
+    }
+
+    #[test]
+    fn offset_is_added_to_margin() {
+        let alpha = [10.0, 12.0, 11.0];
+        let beta = [11.5, 10.5, 9.0];
+        // Base optimum is +3.5 (top slower); an offset of +2 rides along.
+        let s = case2_with_offset(&alpha, &beta, 2.0, ParityPolicy::Ignore);
+        assert!((s.margin() - 5.5).abs() < 1e-12);
+        assert!(s.bit());
+        // An offset of −10 flips the preferred orientation.
+        let s = case2_with_offset(&alpha, &beta, -10.0, ParityPolicy::Ignore);
+        assert!(!s.bit());
+        assert!((signed_diff(&alpha, &beta, -10.0, &s) + s.margin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_only_margin_with_empty_selection() {
+        let d = [10.0, 10.0];
+        let s = case2_with_offset(&d, &d, 4.0, ParityPolicy::Ignore);
+        assert_eq!(s.top().selected_count(), 0);
+        assert!((s.margin() - 4.0).abs() < 1e-12);
+        assert!(s.bit());
+    }
+
+    #[test]
+    fn combined_config_is_concatenation() {
+        let alpha = [10.0, 12.0];
+        let beta = [11.0, 9.0];
+        let s = case2(&alpha, &beta, ParityPolicy::Ignore);
+        let combined = s.combined_config();
+        assert_eq!(combined.len(), 4);
+        assert_eq!(combined.to_string(), format!("{}{}", s.top(), s.bottom()));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_inputs_panic() {
+        let _ = case2(&[], &[], ParityPolicy::Ignore);
+    }
+}

@@ -1,0 +1,196 @@
+//! A randomized local-search selector, for comparison with the exact
+//! solvers.
+//!
+//! §III.C observes that exhaustively evaluating all
+//! `C(n,1) + C(n,3) + … + C(n,n)` configurations "will be expensive,
+//! particularly when n is large", and §III.D answers with closed-form
+//! optimal algorithms. This module implements the obvious alternative a
+//! practitioner might reach for instead — restart hill climbing over
+//! single-bit flips — so the `select_local_search` Criterion bench and
+//! the test suite can quantify what the exact solution buys.
+//!
+//! Spoiler (see the tests): hill climbing matches the Case-1 optimum
+//! almost always on small rings but needs many restarts as `n` grows,
+//! while the exact solver is `O(n log n)` and always right.
+
+use rand::Rng;
+
+use crate::config::{ConfigVector, ParityPolicy};
+use crate::select::{validate_inputs, Selection};
+
+/// Case-1 selection by restart hill climbing: from random starting
+/// configurations, greedily flip the single stage that most improves
+/// `|Σ Δd_i x_i|` until no flip helps; keep the best of `restarts`
+/// climbs.
+///
+/// Under [`ParityPolicy::ForceOdd`] the search moves by *pairs* of flips
+/// (preserving parity) after an odd-parity start.
+///
+/// # Panics
+///
+/// Panics if the inputs are invalid (see
+/// [`case1`](crate::select::case1)) or `restarts == 0`.
+pub fn case1_local_search<R: Rng + ?Sized>(
+    rng: &mut R,
+    alpha: &[f64],
+    beta: &[f64],
+    parity: ParityPolicy,
+    restarts: usize,
+) -> Selection {
+    validate_inputs(alpha, beta);
+    assert!(restarts > 0, "local search needs at least one restart");
+    let n = alpha.len();
+    let delta: Vec<f64> = alpha.iter().zip(beta).map(|(a, b)| a - b).collect();
+
+    let mut best: Option<(Vec<bool>, f64)> = None;
+    for _ in 0..restarts {
+        // Random start satisfying the parity policy.
+        let mut x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        if !parity.admits(x.iter().filter(|&&b| b).count()) {
+            let i = rng.gen_range(0..n);
+            x[i] = !x[i];
+        }
+        let mut sum: f64 = (0..n).map(|i| if x[i] { delta[i] } else { 0.0 }).sum();
+        loop {
+            let (next_x, next_sum) = match parity {
+                ParityPolicy::Ignore => best_single_flip(&x, sum, &delta),
+                ParityPolicy::ForceOdd => best_double_flip(&x, sum, &delta),
+            };
+            if next_sum.abs() > sum.abs() + 1e-15 {
+                x = next_x;
+                sum = next_sum;
+            } else {
+                break;
+            }
+        }
+        if best.as_ref().is_none_or(|(_, b)| sum.abs() > b.abs()) {
+            best = Some((x, sum));
+        }
+    }
+    let (x, sum) = best.expect("at least one restart ran");
+    Selection::new(ConfigVector::from_flags(&x), sum.abs(), sum > 0.0)
+}
+
+fn best_single_flip(x: &[bool], sum: f64, delta: &[f64]) -> (Vec<bool>, f64) {
+    let mut best_sum = sum;
+    let mut best_i = None;
+    for i in 0..x.len() {
+        let s = if x[i] { sum - delta[i] } else { sum + delta[i] };
+        if s.abs() > best_sum.abs() {
+            best_sum = s;
+            best_i = Some(i);
+        }
+    }
+    match best_i {
+        Some(i) => {
+            let mut nx = x.to_vec();
+            nx[i] = !nx[i];
+            (nx, best_sum)
+        }
+        None => (x.to_vec(), sum),
+    }
+}
+
+fn best_double_flip(x: &[bool], sum: f64, delta: &[f64]) -> (Vec<bool>, f64) {
+    let mut best_sum = sum;
+    let mut best_pair = None;
+    let contribution = |i: usize| if x[i] { -delta[i] } else { delta[i] };
+    for i in 0..x.len() {
+        for j in i + 1..x.len() {
+            let s = sum + contribution(i) + contribution(j);
+            if s.abs() > best_sum.abs() {
+                best_sum = s;
+                best_pair = Some((i, j));
+            }
+        }
+    }
+    match best_pair {
+        Some((i, j)) => {
+            let mut nx = x.to_vec();
+            nx[i] = !nx[i];
+            nx[j] = !nx[j];
+            (nx, best_sum)
+        }
+        None => (x.to_vec(), sum),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::case1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn delays(seed: u64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut h = seed | 1;
+        let mut next = move || {
+            h ^= h << 13;
+            h ^= h >> 7;
+            h ^= h << 17;
+            100.0 + (h % 997) as f64 / 100.0
+        };
+        ((0..n).map(|_| next()).collect(), (0..n).map(|_| next()).collect())
+    }
+
+    #[test]
+    fn never_beats_the_exact_solver() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for seed in 0..40 {
+            for n in 1..=12 {
+                let (a, b) = delays(seed, n);
+                let exact = case1(&a, &b, ParityPolicy::Ignore);
+                let heur = case1_local_search(&mut rng, &a, &b, ParityPolicy::Ignore, 4);
+                assert!(
+                    heur.margin() <= exact.margin() + 1e-9,
+                    "seed {seed} n {n}: heuristic {} > exact {}",
+                    heur.margin(),
+                    exact.margin()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn usually_finds_the_optimum_on_small_rings() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut optimal = 0usize;
+        let trials = 60;
+        for seed in 0..trials {
+            let (a, b) = delays(seed as u64, 7);
+            let exact = case1(&a, &b, ParityPolicy::Ignore);
+            let heur = case1_local_search(&mut rng, &a, &b, ParityPolicy::Ignore, 8);
+            if (heur.margin() - exact.margin()).abs() < 1e-9 {
+                optimal += 1;
+            }
+        }
+        assert!(optimal * 10 >= trials * 9, "optimal only {optimal}/{trials}");
+    }
+
+    #[test]
+    fn force_odd_yields_odd_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for seed in 0..20 {
+            let (a, b) = delays(seed, 9);
+            let s = case1_local_search(&mut rng, &a, &b, ParityPolicy::ForceOdd, 4);
+            assert!(s.config().oscillates(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn more_restarts_do_not_hurt() {
+        let (a, b) = delays(11, 15);
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let one = case1_local_search(&mut rng1, &a, &b, ParityPolicy::Ignore, 1);
+        let many = case1_local_search(&mut rng2, &a, &b, ParityPolicy::Ignore, 16);
+        assert!(many.margin() >= one.margin() - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one restart")]
+    fn zero_restarts_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = case1_local_search(&mut rng, &[1.0], &[2.0], ParityPolicy::Ignore, 0);
+    }
+}

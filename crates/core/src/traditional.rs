@@ -1,0 +1,284 @@
+//! The traditional RO PUF baseline.
+//!
+//! Two identically designed rings with *every* inverter included; the bit
+//! is the sign of their frequency (here: delay) difference. This is the
+//! baseline the paper's Figure 4 and §IV.E compare against: it wastes the
+//! per-stage delay information, so its margins — and therefore its
+//! reliability — are whatever fabrication happened to produce.
+
+use rand::Rng;
+use ropuf_num::bits::BitVec;
+use ropuf_silicon::{Board, DelayProbe, Environment, Technology};
+
+use crate::config::ConfigVector;
+use crate::puf::PairSpec;
+
+/// A traditional RO PUF: the same pair floorplan as
+/// [`ConfigurableRoPuf`](crate::puf::ConfigurableRoPuf), with all
+/// inverters always selected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraditionalRoPuf {
+    specs: Vec<PairSpec>,
+}
+
+/// One enrolled traditional pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraditionalPair {
+    spec: PairSpec,
+    expected_bit: bool,
+    margin_ps: f64,
+}
+
+impl TraditionalPair {
+    /// The floorplan entry.
+    pub fn spec(&self) -> &PairSpec {
+        &self.spec
+    }
+
+    /// Bit recorded at enrollment (`true` = top slower).
+    pub fn expected_bit(&self) -> bool {
+        self.expected_bit
+    }
+
+    /// Measured delay-difference magnitude at enrollment, picoseconds.
+    pub fn margin_ps(&self) -> f64 {
+        self.margin_ps
+    }
+}
+
+/// An enrolled traditional PUF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraditionalEnrollment {
+    pairs: Vec<Option<TraditionalPair>>,
+    stages: usize,
+}
+
+impl TraditionalRoPuf {
+    /// Builds a traditional PUF from explicit pair specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn new(specs: Vec<PairSpec>) -> Self {
+        assert!(!specs.is_empty(), "a PUF needs at least one ring pair");
+        Self { specs }
+    }
+
+    /// Tiles `total_units` into consecutive `stages`-per-ring pairs,
+    /// identical to
+    /// [`ConfigurableRoPuf::tiled`](crate::puf::ConfigurableRoPuf::tiled)
+    /// so comparisons are apples-to-apples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than one pair fits.
+    pub fn tiled(total_units: usize, stages: usize) -> Self {
+        assert!(stages > 0, "rings need at least one stage");
+        let pairs = total_units / (2 * stages);
+        assert!(pairs > 0, "{total_units} units cannot host a {stages}-stage pair");
+        Self::new(
+            (0..pairs)
+                .map(|p| PairSpec::split_at(p * 2 * stages, stages))
+                .collect(),
+        )
+    }
+
+    /// The floorplan's pair specs.
+    pub fn specs(&self) -> &[PairSpec] {
+        &self.specs
+    }
+
+    /// Number of ring pairs.
+    pub fn pair_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Enrolls: measures every pair at `env` and records the sign and
+    /// magnitude of the delay difference. Pairs with a magnitude below
+    /// `threshold_ps` are excluded (§IV.E's `Rth`).
+    pub fn enroll<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        board: &Board,
+        tech: &Technology,
+        env: Environment,
+        probe: &DelayProbe,
+        threshold_ps: f64,
+    ) -> TraditionalEnrollment {
+        let stages = self.specs[0].stages();
+        let config = ConfigVector::all_selected(stages);
+        let pairs = self
+            .specs
+            .iter()
+            .map(|spec| {
+                let pair = spec.bind(board);
+                let d_top =
+                    probe.measure_ps(rng, pair.top().ring_delay_ps(&config, env, tech));
+                let d_bottom =
+                    probe.measure_ps(rng, pair.bottom().ring_delay_ps(&config, env, tech));
+                let diff = d_top - d_bottom;
+                if diff.abs() < threshold_ps {
+                    None
+                } else {
+                    Some(TraditionalPair {
+                        spec: spec.clone(),
+                        expected_bit: diff > 0.0,
+                        margin_ps: diff.abs(),
+                    })
+                }
+            })
+            .collect();
+        TraditionalEnrollment { pairs, stages }
+    }
+}
+
+impl TraditionalEnrollment {
+    /// Per-pair records; `None` marks threshold-excluded pairs.
+    pub fn pairs(&self) -> &[Option<TraditionalPair>] {
+        &self.pairs
+    }
+
+    /// Number of pairs producing bits.
+    pub fn bit_count(&self) -> usize {
+        self.pairs.iter().flatten().count()
+    }
+
+    /// Bits recorded at enrollment (excluded pairs skipped).
+    pub fn expected_bits(&self) -> BitVec {
+        self.pairs
+            .iter()
+            .flatten()
+            .map(TraditionalPair::expected_bit)
+            .collect()
+    }
+
+    /// Enrollment margins (excluded pairs skipped), picoseconds.
+    pub fn margins_ps(&self) -> Vec<f64> {
+        self.pairs
+            .iter()
+            .flatten()
+            .map(TraditionalPair::margin_ps)
+            .collect()
+    }
+
+    /// Generates a response at `env`.
+    pub fn respond<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        board: &Board,
+        tech: &Technology,
+        env: Environment,
+        probe: &DelayProbe,
+    ) -> BitVec {
+        let config = ConfigVector::all_selected(self.stages);
+        self.pairs
+            .iter()
+            .flatten()
+            .map(|p| {
+                let pair = p.spec.bind(board);
+                let d_top = probe.measure_ps(rng, pair.top().ring_delay_ps(&config, env, tech));
+                let d_bottom =
+                    probe.measure_ps(rng, pair.bottom().ring_delay_ps(&config, env, tech));
+                d_top > d_bottom
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ropuf_silicon::board::BoardId;
+    use ropuf_silicon::SiliconSim;
+
+    fn setup(units: usize) -> (Board, Technology, StdRng) {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(77);
+        let board = sim.grow_board_with_id(&mut rng, BoardId(0), units, 16);
+        (board, *sim.technology(), rng)
+    }
+
+    #[test]
+    fn bit_count_matches_floorplan() {
+        let (board, tech, mut rng) = setup(80);
+        let puf = TraditionalRoPuf::tiled(80, 5);
+        assert_eq!(puf.pair_count(), 8);
+        let e = puf.enroll(
+            &mut rng,
+            &board,
+            &tech,
+            Environment::nominal(),
+            &DelayProbe::noiseless(),
+            0.0,
+        );
+        assert_eq!(e.bit_count(), 8);
+        assert_eq!(e.expected_bits().len(), 8);
+    }
+
+    #[test]
+    fn noiseless_response_reproduces_enrollment() {
+        let (board, tech, mut rng) = setup(60);
+        let puf = TraditionalRoPuf::tiled(60, 5);
+        let env = Environment::nominal();
+        let e = puf.enroll(&mut rng, &board, &tech, env, &DelayProbe::noiseless(), 0.0);
+        let r = e.respond(&mut rng, &board, &tech, env, &DelayProbe::noiseless());
+        assert_eq!(r, e.expected_bits());
+    }
+
+    #[test]
+    fn threshold_prunes_low_margin_pairs() {
+        let (board, tech, mut rng) = setup(200);
+        let puf = TraditionalRoPuf::tiled(200, 5);
+        let env = Environment::nominal();
+        let all = puf.enroll(&mut rng, &board, &tech, env, &DelayProbe::noiseless(), 0.0);
+        let margins = all.margins_ps();
+        let median = {
+            let mut m = margins.clone();
+            m.sort_by(f64::total_cmp);
+            m[m.len() / 2]
+        };
+        let pruned = puf.enroll(&mut rng, &board, &tech, env, &DelayProbe::noiseless(), median);
+        assert!(pruned.bit_count() < all.bit_count());
+        assert!(pruned.margins_ps().iter().all(|&m| m >= median));
+    }
+
+    #[test]
+    fn configurable_margins_beat_traditional() {
+        use crate::puf::{ConfigurableRoPuf, EnrollOptions, SelectionMode};
+        use crate::ParityPolicy;
+        let (board, tech, _) = setup(150);
+        let env = Environment::nominal();
+        let trad = TraditionalRoPuf::tiled(150, 5);
+        let conf = ConfigurableRoPuf::tiled(150, 5);
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let et = trad.enroll(&mut rng1, &board, &tech, env, &DelayProbe::noiseless(), 0.0);
+        let ec = conf.enroll(
+            &mut rng2,
+            &board,
+            &tech,
+            env,
+            &EnrollOptions {
+                mode: SelectionMode::Case2,
+                parity: ParityPolicy::Ignore,
+                probe: DelayProbe::noiseless(),
+                ..EnrollOptions::default()
+            },
+        );
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&ec.margins_ps()) > mean(&et.margins_ps()),
+            "configurable {} !> traditional {}",
+            mean(&ec.margins_ps()),
+            mean(&et.margins_ps())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one ring pair")]
+    fn empty_specs_panic() {
+        let _ = TraditionalRoPuf::new(vec![]);
+    }
+}

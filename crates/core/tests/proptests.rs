@@ -1,0 +1,251 @@
+//! Property-based tests for the selection algorithms, calibration, and
+//! distiller.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_core::calibrate::calibrate;
+use ropuf_core::config::ParityPolicy;
+use ropuf_core::distill::Distiller;
+use ropuf_core::ro::ConfigurableRo;
+use ropuf_core::select::{
+    brute_force_case1, brute_force_case2, case1, case1_with_offset, case2, case2_with_offset,
+};
+use ropuf_silicon::board::BoardId;
+use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+
+fn delay_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(90.0f64..110.0, n..=n)
+}
+
+proptest! {
+    #[test]
+    fn case1_matches_brute_force(
+        n in 1usize..9,
+        seed in any::<u32>(),
+        parity_odd in any::<bool>(),
+    ) {
+        let mut h = seed as u64 | 1;
+        let mut next = move || { h ^= h << 13; h ^= h >> 7; h ^= h << 17; 100.0 + (h % 997) as f64 / 100.0 };
+        let a: Vec<f64> = (0..n).map(|_| next()).collect();
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let parity = if parity_odd { ParityPolicy::ForceOdd } else { ParityPolicy::Ignore };
+        let fast = case1(&a, &b, parity);
+        let brute = brute_force_case1(&a, &b, parity);
+        prop_assert!((fast.margin() - brute.margin()).abs() < 1e-9);
+        prop_assert!(parity.admits(fast.config().selected_count()));
+    }
+
+    #[test]
+    fn case2_matches_brute_force(
+        n in 1usize..7,
+        seed in any::<u32>(),
+        parity_odd in any::<bool>(),
+    ) {
+        let mut h = seed as u64 | 1;
+        let mut next = move || { h ^= h << 13; h ^= h >> 7; h ^= h << 17; 100.0 + (h % 997) as f64 / 100.0 };
+        let a: Vec<f64> = (0..n).map(|_| next()).collect();
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let parity = if parity_odd { ParityPolicy::ForceOdd } else { ParityPolicy::Ignore };
+        let fast = case2(&a, &b, parity);
+        let brute = brute_force_case2(&a, &b, parity);
+        prop_assert!((fast.margin() - brute.margin()).abs() < 1e-9,
+            "fast {} brute {}", fast.margin(), brute.margin());
+        prop_assert_eq!(fast.top().selected_count(), fast.bottom().selected_count());
+    }
+
+    #[test]
+    fn case2_dominates_case1(a in delay_vec(8), b in delay_vec(8)) {
+        let c1 = case1(&a, &b, ParityPolicy::Ignore);
+        let c2 = case2(&a, &b, ParityPolicy::Ignore);
+        prop_assert!(c2.margin() >= c1.margin() - 1e-9);
+    }
+
+    #[test]
+    fn case1_margin_equals_config_evaluation(a in delay_vec(10), b in delay_vec(10)) {
+        let s = case1(&a, &b, ParityPolicy::Ignore);
+        let diff: f64 = s
+            .config()
+            .selected_indices()
+            .iter()
+            .map(|&i| a[i] - b[i])
+            .sum();
+        prop_assert!((s.margin() - diff.abs()).abs() < 1e-9);
+        if s.margin() > 1e-9 {
+            prop_assert_eq!(s.bit(), diff > 0.0);
+        }
+    }
+
+    #[test]
+    fn case2_margin_equals_config_evaluation(a in delay_vec(10), b in delay_vec(10)) {
+        let s = case2(&a, &b, ParityPolicy::Ignore);
+        let top: f64 = s.top().selected_indices().iter().map(|&i| a[i]).sum();
+        let bottom: f64 = s.bottom().selected_indices().iter().map(|&i| b[i]).sum();
+        prop_assert!((s.margin() - (top - bottom).abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_variants_agree_with_shifted_objective(
+        a in delay_vec(6),
+        b in delay_vec(6),
+        offset in -20.0f64..20.0,
+    ) {
+        // The with-offset margin must dominate every explicit subset we
+        // can check against the zero-offset solutions.
+        let s1 = case1_with_offset(&a, &b, offset, ParityPolicy::Ignore);
+        let base = case1(&a, &b, ParityPolicy::Ignore);
+        let base_cfg_diff: f64 = base
+            .config()
+            .selected_indices()
+            .iter()
+            .map(|&i| a[i] - b[i])
+            .sum();
+        prop_assert!(s1.margin() >= (offset + base_cfg_diff).abs() - 1e-9);
+        prop_assert!(s1.margin() >= offset.abs() - 1e-9); // empty set reachable
+
+        let s2 = case2_with_offset(&a, &b, offset, ParityPolicy::Ignore);
+        prop_assert!(s2.margin() >= s1.margin() - 1e-9);
+    }
+
+    #[test]
+    fn margins_scale_linearly(a in delay_vec(7), b in delay_vec(7), k in 0.1f64..10.0) {
+        // Scaling all delays by k scales the optimal margin by k.
+        let s = case1(&a, &b, ParityPolicy::Ignore);
+        let ka: Vec<f64> = a.iter().map(|x| x * k).collect();
+        let kb: Vec<f64> = b.iter().map(|x| x * k).collect();
+        let sk = case1(&ka, &kb, ParityPolicy::Ignore);
+        prop_assert!((sk.margin() - k * s.margin()).abs() < 1e-6 * (1.0 + k * s.margin()));
+    }
+
+    #[test]
+    fn calibration_is_exact_without_noise(seed in any::<u64>(), n in 2usize..12) {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let board = sim.grow_board_with_id(&mut rng, BoardId(0), n, n);
+        let ro = ConfigurableRo::from_range(&board, 0..n);
+        let env = Environment::nominal();
+        let cal = calibrate(&mut rng, &ro, &DelayProbe::noiseless(), env, sim.technology());
+        let truth = ro.true_ddiffs_ps(env, sim.technology());
+        for (e, t) in cal.ddiffs_ps().iter().zip(&truth) {
+            prop_assert!((e - t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn distiller_exactly_removes_its_own_basis(
+        coeffs in proptest::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        // Any degree-2 surface must be annihilated by the degree-2
+        // distiller.
+        let pts: Vec<(f64, f64)> = (0..36)
+            .map(|i| {
+                let x = (i % 6) as f64 / 2.5 - 1.0;
+                let y = (i / 6) as f64 / 2.5 - 1.0;
+                (x, y)
+            })
+            .collect();
+        let values: Vec<f64> = pts
+            .iter()
+            .map(|&(x, y)| {
+                coeffs[0] + coeffs[1] * x + coeffs[2] * y + coeffs[3] * x * x
+                    + coeffs[4] * x * y + coeffs[5] * y * y
+            })
+            .collect();
+        let res = Distiller::new(2).residuals(&values, &pts).unwrap();
+        for r in res {
+            prop_assert!(r.abs() < 1e-8, "residual {r}");
+        }
+    }
+
+    #[test]
+    fn distiller_residuals_are_fit_orthogonal(values in proptest::collection::vec(-3.0f64..3.0, 25)) {
+        let pts: Vec<(f64, f64)> = (0..25)
+            .map(|i| ((i % 5) as f64 / 2.0 - 1.0, (i / 5) as f64 / 2.0 - 1.0))
+            .collect();
+        let d = Distiller::new(2);
+        let res = d.residuals(&values, &pts).unwrap();
+        // Residuals are orthogonal to every basis column — in particular
+        // they sum to (numerically) zero.
+        let sum: f64 = res.iter().sum();
+        prop_assert!(sum.abs() < 1e-7, "sum {sum}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn fuzzy_extractor_round_trips_any_response(
+        bits in proptest::collection::vec(any::<bool>(), 3..200),
+        repetition in proptest::sample::select(vec![1usize, 3, 5, 7]),
+        seed in any::<u64>(),
+    ) {
+        use ropuf_core::fuzzy::FuzzyExtractor;
+        use ropuf_num::bits::BitVec;
+        let response: BitVec = bits.iter().copied().collect();
+        let fx = FuzzyExtractor::new(repetition);
+        prop_assume!(fx.key_bits(response.len()) > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (key, helper) = fx.generate(&mut rng, &response);
+        prop_assert_eq!(fx.reproduce(&response, &helper).unwrap(), key);
+    }
+
+    #[test]
+    fn fuzzy_extractor_corrects_within_radius(
+        key_bits in 1usize..20,
+        repetition in proptest::sample::select(vec![3usize, 5, 7]),
+        seed in any::<u64>(),
+    ) {
+        use ropuf_core::fuzzy::FuzzyExtractor;
+        use ropuf_num::bits::BitVec;
+        let fx = FuzzyExtractor::new(repetition);
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let response: BitVec = (0..key_bits * repetition).map(|_| rng.gen::<bool>()).collect();
+        let (key, helper) = fx.generate(&mut rng, &response);
+        // Flip exactly `correctable_errors` bits in every block.
+        let t = fx.correctable_errors();
+        let mut noisy = response.clone();
+        for block in 0..key_bits {
+            for j in 0..t {
+                let idx = block * repetition + j;
+                noisy.set(idx, !noisy.get(idx).unwrap());
+            }
+        }
+        prop_assert_eq!(fx.reproduce(&noisy, &helper).unwrap(), key);
+    }
+
+    #[test]
+    fn random_challenges_respect_structure(
+        n in 1usize..24,
+        seed in any::<u64>(),
+        odd in any::<bool>(),
+    ) {
+        use ropuf_core::crp::Challenge;
+        let parity = if odd { ParityPolicy::ForceOdd } else { ParityPolicy::Ignore };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = Challenge::random(&mut rng, n, parity);
+        prop_assert_eq!(c.top().len(), n);
+        prop_assert_eq!(c.top().selected_count(), c.bottom().selected_count());
+        if odd {
+            prop_assert!(c.top().oscillates());
+        }
+    }
+
+    #[test]
+    fn enrollment_text_round_trip(seed in any::<u64>(), stages in 2usize..8) {
+        use ropuf_core::persist::{enrollment_from_text, enrollment_to_text};
+        use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let units = stages * 2 * 4;
+        let board = sim.grow_board_with_id(&mut rng, BoardId(0), units, 8);
+        let e = ConfigurableRoPuf::tiled(units, stages).enroll(
+            &mut rng,
+            &board,
+            sim.technology(),
+            Environment::nominal(),
+            &EnrollOptions::default(),
+        );
+        let back = enrollment_from_text(&enrollment_to_text(&e)).unwrap();
+        prop_assert_eq!(back, e);
+    }
+}

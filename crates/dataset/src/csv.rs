@@ -1,0 +1,299 @@
+//! Plain-text CSV round-trip for the datasets.
+//!
+//! Hand-rolled on purpose: the formats are two fixed five-column tables,
+//! and keeping them dependency-free means exported files double as an
+//! interchange point with the *real* datasets — fill a file with the
+//! same header from actual measurements and every experiment reruns
+//! unchanged.
+
+use std::fmt;
+
+use crate::inhouse::{InHouseBoard, InHouseDataset, InHouseRo};
+use crate::vt::{Condition, VtBoard, VtDataset, VtMeasurement};
+
+/// Header of the VT-fleet CSV format.
+pub const VT_HEADER: &str = "board,voltage_v,temperature_c,ro,freq_mhz";
+/// Header of the in-house CSV format.
+pub const INHOUSE_HEADER: &str = "board,ro,unit,ddiff_ps,bypass_ps";
+
+/// Error from parsing a dataset CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCsvError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseCsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "csv parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseCsvError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseCsvError {
+    ParseCsvError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(
+    fields: &[&str],
+    idx: usize,
+    line: usize,
+    name: &str,
+) -> Result<T, ParseCsvError> {
+    fields
+        .get(idx)
+        .ok_or_else(|| err(line, format!("missing column {name}")))?
+        .trim()
+        .parse::<T>()
+        .map_err(|_| err(line, format!("column {name} is not a valid number")))
+}
+
+impl VtDataset {
+    /// Serializes the fleet as CSV (one row per board × condition × RO).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(VT_HEADER);
+        out.push('\n');
+        for b in self.boards() {
+            for m in &b.measurements {
+                for (i, f) in m.freqs_mhz.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{},{},{},{},{}\n",
+                        b.id, m.condition.voltage_v, m.condition.temperature_c, i, f
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a fleet from [`VtDataset::to_csv`]-format text.
+    ///
+    /// Rows must be grouped by board and condition, with RO indices
+    /// ascending from zero within each group — the layout `to_csv`
+    /// produces. `cols` is the placement grid width (not stored in the
+    /// CSV) and `swept_boards` the number of trailing boards to treat as
+    /// environmentally swept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCsvError`] on a malformed header, field, or
+    /// out-of-order RO index.
+    pub fn from_csv(
+        text: &str,
+        cols: usize,
+        swept_boards: usize,
+    ) -> Result<VtDataset, ParseCsvError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h.trim() == VT_HEADER => {}
+            _ => return Err(err(1, format!("expected header {VT_HEADER:?}"))),
+        }
+        let mut boards: Vec<VtBoard> = Vec::new();
+        for (i, row) in lines {
+            let line = i + 1;
+            if row.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = row.split(',').collect();
+            let board_id: u32 = parse_field(&fields, 0, line, "board")?;
+            let voltage_v: f64 = parse_field(&fields, 1, line, "voltage_v")?;
+            let temperature_c: f64 = parse_field(&fields, 2, line, "temperature_c")?;
+            let ro: usize = parse_field(&fields, 3, line, "ro")?;
+            let freq: f64 = parse_field(&fields, 4, line, "freq_mhz")?;
+            let condition = Condition {
+                voltage_v,
+                temperature_c,
+            };
+            if boards.last().map(|b| b.id) != Some(board_id) {
+                boards.push(VtBoard {
+                    id: board_id,
+                    cols,
+                    measurements: Vec::new(),
+                });
+            }
+            let board = boards.last_mut().expect("just pushed");
+            let same_condition = board
+                .measurements
+                .last()
+                .is_some_and(|m| m.condition == condition);
+            if !same_condition {
+                board.measurements.push(VtMeasurement {
+                    condition,
+                    freqs_mhz: Vec::new(),
+                });
+            }
+            let m = board.measurements.last_mut().expect("just pushed");
+            if m.freqs_mhz.len() != ro {
+                return Err(err(line, format!("RO index {ro} out of order")));
+            }
+            m.freqs_mhz.push(freq);
+        }
+        if boards.is_empty() {
+            return Err(err(1, "dataset contains no rows"));
+        }
+        if swept_boards > boards.len() {
+            return Err(err(1, "swept_boards exceeds board count"));
+        }
+        Ok(VtDataset::from_parts(boards, swept_boards))
+    }
+}
+
+impl InHouseDataset {
+    /// Serializes the dataset as CSV (one row per board × RO × unit).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(INHOUSE_HEADER);
+        out.push('\n');
+        for b in self.boards() {
+            for (r, ro) in b.ros.iter().enumerate() {
+                for (u, dd) in ro.ddiffs_ps.iter().enumerate() {
+                    out.push_str(&format!("{},{},{},{},{}\n", b.id, r, u, dd, ro.bypass_ps));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a dataset from [`InHouseDataset::to_csv`]-format text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseCsvError`] on a malformed header, field, or
+    /// out-of-order index.
+    pub fn from_csv(text: &str) -> Result<InHouseDataset, ParseCsvError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h.trim() == INHOUSE_HEADER => {}
+            _ => return Err(err(1, format!("expected header {INHOUSE_HEADER:?}"))),
+        }
+        let mut boards: Vec<InHouseBoard> = Vec::new();
+        for (i, row) in lines {
+            let line = i + 1;
+            if row.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = row.split(',').collect();
+            let board_id: u32 = parse_field(&fields, 0, line, "board")?;
+            let ro: usize = parse_field(&fields, 1, line, "ro")?;
+            let unit: usize = parse_field(&fields, 2, line, "unit")?;
+            let ddiff: f64 = parse_field(&fields, 3, line, "ddiff_ps")?;
+            let bypass: f64 = parse_field(&fields, 4, line, "bypass_ps")?;
+            if boards.last().map(|b| b.id) != Some(board_id) {
+                boards.push(InHouseBoard {
+                    id: board_id,
+                    ros: Vec::new(),
+                });
+            }
+            let board = boards.last_mut().expect("just pushed");
+            if board.ros.len() == ro {
+                board.ros.push(InHouseRo {
+                    ddiffs_ps: Vec::new(),
+                    bypass_ps: bypass,
+                });
+            } else if board.ros.len() != ro + 1 {
+                return Err(err(line, format!("RO index {ro} out of order")));
+            }
+            let r = board.ros.last_mut().expect("just pushed");
+            if r.ddiffs_ps.len() != unit {
+                return Err(err(line, format!("unit index {unit} out of order")));
+            }
+            r.ddiffs_ps.push(ddiff);
+        }
+        if boards.is_empty() {
+            return Err(err(1, "dataset contains no rows"));
+        }
+        let units = boards[0].ros.first().map_or(0, |r| r.ddiffs_ps.len());
+        Ok(InHouseDataset::from_parts(boards, units))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inhouse::InHouseConfig;
+    use crate::vt::VtConfig;
+
+    fn small_vt() -> VtDataset {
+        VtDataset::generate(&VtConfig {
+            boards: 4,
+            swept_boards: 1,
+            ros_per_board: 6,
+            cols: 3,
+            ..VtConfig::default()
+        })
+    }
+
+    #[test]
+    fn vt_round_trip() {
+        let data = small_vt();
+        let csv = data.to_csv();
+        let back = VtDataset::from_csv(&csv, 3, 1).unwrap();
+        assert_eq!(data, back);
+    }
+
+    #[test]
+    fn vt_header_is_first_line() {
+        let csv = small_vt().to_csv();
+        assert!(csv.starts_with(VT_HEADER));
+    }
+
+    #[test]
+    fn vt_bad_header_rejected() {
+        let e = VtDataset::from_csv("nope\n1,1,1,0,5", 4, 0).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("header"));
+    }
+
+    #[test]
+    fn vt_bad_number_rejected() {
+        let text = format!("{VT_HEADER}\n0,1.2,25,0,abc\n");
+        let e = VtDataset::from_csv(&text, 4, 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("freq_mhz"));
+    }
+
+    #[test]
+    fn vt_out_of_order_ro_rejected() {
+        let text = format!("{VT_HEADER}\n0,1.2,25,1,500\n");
+        let e = VtDataset::from_csv(&text, 4, 0).unwrap_err();
+        assert!(e.message.contains("out of order"));
+    }
+
+    #[test]
+    fn vt_empty_rejected() {
+        let e = VtDataset::from_csv(VT_HEADER, 4, 0).unwrap_err();
+        assert!(e.message.contains("no rows"));
+    }
+
+    #[test]
+    fn inhouse_round_trip() {
+        let data = InHouseDataset::generate(&InHouseConfig {
+            boards: 2,
+            ros_per_board: 4,
+            units_per_ro: 4,
+            cols: 4,
+            ..InHouseConfig::default()
+        });
+        let csv = data.to_csv();
+        let back = InHouseDataset::from_csv(&csv).unwrap();
+        assert_eq!(data, back);
+    }
+
+    #[test]
+    fn inhouse_bad_header_rejected() {
+        let e = InHouseDataset::from_csv("x,y\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn inhouse_missing_column_rejected() {
+        let text = format!("{INHOUSE_HEADER}\n0,0,0,1.5\n");
+        let e = InHouseDataset::from_csv(&text).unwrap_err();
+        assert!(e.message.contains("bypass_ps"));
+    }
+}

@@ -1,0 +1,501 @@
+//! PUF-bit extraction from RO-frequency datasets.
+//!
+//! The paper's public-dataset experiments treat **each measured RO as one
+//! inverter** of a larger *virtual* configurable RO (§IV: "We treat each
+//! RO as an inverter in our experimentation"). This module implements
+//! that adapter:
+//!
+//! * [`VirtualLayout`] — partitions a board's RO list into groups of
+//!   `8n` ROs; each group hosts either four 2×n ring pairs (one bit each
+//!   for the traditional/configurable schemes) or one 1-out-of-8 group
+//!   — exactly the accounting behind the paper's Table V.
+//! * [`select_board`] / [`apply_board`] — run Case-1/Case-2 selection on
+//!   one board's (optionally distilled) values, and re-evaluate the
+//!   stored configurations on values measured at a *different* operating
+//!   point — the Figure 4 reliability workflow.
+//! * [`traditional_board`] and [`one_of_eight_select`] /
+//!   [`one_of_eight_apply`] — the two baselines on the same layout.
+//!
+//! Values may be raw frequencies or distiller residuals; only
+//! comparisons matter. The bit convention is "top value-sum greater",
+//! i.e. for frequencies: top ring *faster*.
+
+use ropuf_core::config::{ConfigVector, ParityPolicy};
+use ropuf_core::distill::{DistillError, Distiller};
+use ropuf_core::puf::SelectionMode;
+use ropuf_core::select::{case1, case2};
+use ropuf_num::bits::BitVec;
+
+/// Partition of a board's ROs into virtual ring pairs and 8-RO groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VirtualLayout {
+    stages: usize,
+    groups: usize,
+}
+
+impl VirtualLayout {
+    /// Creates a layout for rings of `stages` ROs over `total_ros`
+    /// measured ROs; `⌊total / 8·stages⌋` groups are formed and the
+    /// remainder is unused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0` or no complete group fits.
+    pub fn new(total_ros: usize, stages: usize) -> Self {
+        assert!(stages > 0, "rings need at least one stage");
+        let groups = total_ros / (8 * stages);
+        assert!(
+            groups > 0,
+            "{total_ros} ROs cannot host a group of {} ROs",
+            8 * stages
+        );
+        Self { stages, groups }
+    }
+
+    /// Stages (ROs) per virtual ring.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Number of 8-RO groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Ring pairs available (4 per group) — the configurable and
+    /// traditional schemes' bit count.
+    pub fn pair_count(&self) -> usize {
+        self.groups * 4
+    }
+
+    /// RO index ranges `(top, bottom)` of pair `pair` (`< pair_count`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` is out of range.
+    pub fn pair_ranges(&self, pair: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        assert!(pair < self.pair_count(), "pair {pair} out of range");
+        let start = pair * 2 * self.stages;
+        (
+            start..start + self.stages,
+            start + self.stages..start + 2 * self.stages,
+        )
+    }
+
+    /// RO index ranges of the eight virtual rings of group `group` —
+    /// the 1-out-of-8 scheme's unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn group_rings(&self, group: usize) -> [std::ops::Range<usize>; 8] {
+        assert!(group < self.groups, "group {group} out of range");
+        let base = group * 8 * self.stages;
+        std::array::from_fn(|r| base + r * self.stages..base + (r + 1) * self.stages)
+    }
+
+    /// Total ROs the layout consumes.
+    pub fn ros_used(&self) -> usize {
+        self.groups * 8 * self.stages
+    }
+}
+
+/// One extracted pair: the chosen configurations and the enrolled bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractedPair {
+    /// Configuration of the top virtual ring.
+    pub top: ConfigVector,
+    /// Configuration of the bottom virtual ring.
+    pub bottom: ConfigVector,
+    /// Enrolled bit (`true` = top value-sum greater).
+    pub bit: bool,
+    /// Selection margin in value units.
+    pub margin: f64,
+}
+
+impl ExtractedPair {
+    /// The combined `top ‖ bottom` configuration (Table IV's 2n-bit
+    /// vectors).
+    pub fn combined_config(&self) -> ConfigVector {
+        self.top.concat(&self.bottom)
+    }
+}
+
+/// Runs selection on every pair of `layout` over one board's values.
+///
+/// # Panics
+///
+/// Panics if `values` is shorter than `layout.ros_used()`.
+pub fn select_board(
+    values: &[f64],
+    layout: VirtualLayout,
+    mode: SelectionMode,
+    parity: ParityPolicy,
+) -> Vec<ExtractedPair> {
+    assert!(
+        values.len() >= layout.ros_used(),
+        "{} values cannot fill a layout of {} ROs",
+        values.len(),
+        layout.ros_used()
+    );
+    (0..layout.pair_count())
+        .map(|p| {
+            let (tr, br) = layout.pair_ranges(p);
+            let alpha = &values[tr];
+            let beta = &values[br];
+            match mode {
+                SelectionMode::Case1 => {
+                    let s = case1(alpha, beta, parity);
+                    ExtractedPair {
+                        top: s.config().clone(),
+                        bottom: s.config().clone(),
+                        bit: s.bit(),
+                        margin: s.margin(),
+                    }
+                }
+                SelectionMode::Case2 => {
+                    let s = case2(alpha, beta, parity);
+                    ExtractedPair {
+                        top: s.top().clone(),
+                        bottom: s.bottom().clone(),
+                        bit: s.bit(),
+                        margin: s.margin(),
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Re-evaluates stored pair configurations over (possibly different)
+/// values, returning one bit per pair: `true` when the configured top
+/// sum exceeds the configured bottom sum.
+///
+/// # Panics
+///
+/// Panics if `values` is too short or a configuration length mismatches
+/// the layout.
+pub fn apply_board(pairs: &[ExtractedPair], values: &[f64], layout: VirtualLayout) -> BitVec {
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(p, pair)| {
+            let (tr, br) = layout.pair_ranges(p);
+            let top = config_sum(&pair.top, &values[tr]);
+            let bottom = config_sum(&pair.bottom, &values[br]);
+            top > bottom
+        })
+        .collect()
+}
+
+fn config_sum(config: &ConfigVector, values: &[f64]) -> f64 {
+    assert_eq!(config.len(), values.len(), "configuration length mismatch");
+    config
+        .selected_indices()
+        .iter()
+        .map(|&i| values[i])
+        .sum()
+}
+
+/// The traditional RO PUF over the same layout: every stage selected.
+/// Returns the bits and the per-pair margins `|Σ top − Σ bottom|`.
+pub fn traditional_board(values: &[f64], layout: VirtualLayout) -> (BitVec, Vec<f64>) {
+    let pairs = traditional_pairs(values, layout);
+    let bits = pairs.iter().map(|p| p.bit).collect();
+    let margins = pairs.iter().map(|p| p.margin).collect();
+    (bits, margins)
+}
+
+/// The traditional scheme expressed as [`ExtractedPair`]s (all-ones
+/// configurations), so [`apply_board`] can re-evaluate it at other
+/// operating points.
+pub fn traditional_pairs(values: &[f64], layout: VirtualLayout) -> Vec<ExtractedPair> {
+    let all = ConfigVector::all_selected(layout.stages());
+    (0..layout.pair_count())
+        .map(|p| {
+            let (tr, br) = layout.pair_ranges(p);
+            let top: f64 = values[tr].iter().sum();
+            let bottom: f64 = values[br].iter().sum();
+            ExtractedPair {
+                top: all.clone(),
+                bottom: all.clone(),
+                bit: top > bottom,
+                margin: (top - bottom).abs(),
+            }
+        })
+        .collect()
+}
+
+/// One enrolled 1-out-of-8 group: positions of the extreme rings within
+/// the group and the enrolled bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupPick {
+    /// Lower-positioned chosen ring (0–7).
+    pub ring_a: usize,
+    /// Higher-positioned chosen ring (0–7).
+    pub ring_b: usize,
+    /// Enrolled bit (`true` = ring A's value-sum greater).
+    pub bit: bool,
+    /// Value-sum separation of the extreme rings.
+    pub margin: f64,
+}
+
+/// Enrolls the 1-out-of-8 scheme: per group, picks the rings with the
+/// largest and smallest value sums.
+pub fn one_of_eight_select(values: &[f64], layout: VirtualLayout) -> Vec<GroupPick> {
+    (0..layout.groups())
+        .map(|g| {
+            let sums: Vec<f64> = layout.group_rings(g)
+                .into_iter()
+                .map(|r| values[r].iter().sum())
+                .collect();
+            let (hi, _) = sums
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .expect("eight rings");
+            let (lo, _) = sums
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("eight rings");
+            let (a, b) = (hi.min(lo), hi.max(lo));
+            GroupPick {
+                ring_a: a,
+                ring_b: b,
+                bit: sums[a] > sums[b],
+                margin: sums[hi] - sums[lo],
+            }
+        })
+        .collect()
+}
+
+/// Re-evaluates 1-out-of-8 picks over new values.
+pub fn one_of_eight_apply(picks: &[GroupPick], values: &[f64], layout: VirtualLayout) -> BitVec {
+    picks
+        .iter()
+        .enumerate()
+        .map(|(g, pick)| {
+            let rings = layout.group_rings(g);
+            let sum = |r: usize| -> f64 { values[rings[r].clone()].iter().sum() };
+            sum(pick.ring_a) > sum(pick.ring_b)
+        })
+        .collect()
+}
+
+/// Extracts one board's PUF bit-string: optionally distill the nominal
+/// frequencies, lay out the largest whole number of 8·stages-RO groups,
+/// and run the selected algorithm on every pair.
+///
+/// This is the per-board step of the paper's Tables I–IV pipeline; the
+/// CLI `extract` command and the reproduction harness both call it.
+///
+/// # Errors
+///
+/// Propagates [`DistillError`] from the distiller fit.
+///
+/// # Panics
+///
+/// Panics if the board cannot host a single group (see
+/// [`VirtualLayout::new`]).
+pub fn board_bits(
+    board: &crate::vt::VtBoard,
+    stages: usize,
+    mode: SelectionMode,
+    distill: bool,
+) -> Result<BitVec, DistillError> {
+    let usable = board.ro_count() - board.ro_count() % (8 * stages);
+    let freqs = &board.nominal()[..usable.min(board.ro_count())];
+    let values = if distill {
+        distill_values(freqs, &board.positions()[..freqs.len()])?
+    } else {
+        freqs.to_vec()
+    };
+    let layout = VirtualLayout::new(values.len(), stages);
+    Ok(select_board(&values, layout, mode, ParityPolicy::Ignore)
+        .iter()
+        .map(|p| p.bit)
+        .collect())
+}
+
+/// Applies the default degree-2 regression distiller to one board's
+/// frequencies, returning the residual values selection should consume.
+///
+/// # Errors
+///
+/// Propagates [`DistillError`] from the underlying fit.
+pub fn distill_values(
+    freqs: &[f64],
+    positions: &[(f64, f64)],
+) -> Result<Vec<f64>, DistillError> {
+    Distiller::default().residuals(freqs, positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, seed: u64) -> Vec<f64> {
+        let mut h = seed | 1;
+        (0..n)
+            .map(|_| {
+                h ^= h << 13;
+                h ^= h >> 7;
+                h ^= h << 17;
+                100.0 + (h % 1000) as f64 / 250.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn layout_reproduces_table_v_counts() {
+        for (n, pairs, groups) in [(3usize, 80, 20), (5, 48, 12), (7, 32, 8), (9, 24, 6)] {
+            let layout = VirtualLayout::new(480, n);
+            assert_eq!(layout.pair_count(), pairs, "n={n}");
+            assert_eq!(layout.groups(), groups, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pair_ranges_are_disjoint_and_ordered() {
+        let layout = VirtualLayout::new(480, 5);
+        let mut next = 0usize;
+        for p in 0..layout.pair_count() {
+            let (t, b) = layout.pair_ranges(p);
+            assert_eq!(t.start, next);
+            assert_eq!(t.end, b.start);
+            assert_eq!(t.len(), 5);
+            assert_eq!(b.len(), 5);
+            next = b.end;
+        }
+        assert_eq!(next, layout.ros_used());
+    }
+
+    #[test]
+    fn group_rings_tile_the_group() {
+        let layout = VirtualLayout::new(480, 5);
+        let rings = layout.group_rings(1);
+        assert_eq!(rings[0].start, 40);
+        assert_eq!(rings[7].end, 80);
+    }
+
+    #[test]
+    fn select_then_apply_reproduces_bits() {
+        let values = ramp(480, 3);
+        let layout = VirtualLayout::new(480, 5);
+        for mode in [SelectionMode::Case1, SelectionMode::Case2] {
+            let pairs = select_board(&values, layout, mode, ParityPolicy::Ignore);
+            let bits = apply_board(&pairs, &values, layout);
+            let expected: BitVec = pairs.iter().map(|p| p.bit).collect();
+            assert_eq!(bits, expected, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn case1_pairs_share_configuration() {
+        let values = ramp(240, 9);
+        let layout = VirtualLayout::new(240, 3);
+        for p in select_board(&values, layout, SelectionMode::Case1, ParityPolicy::Ignore) {
+            assert_eq!(p.top, p.bottom);
+        }
+    }
+
+    #[test]
+    fn case2_margins_dominate_case1() {
+        let values = ramp(480, 17);
+        let layout = VirtualLayout::new(480, 5);
+        let c1 = select_board(&values, layout, SelectionMode::Case1, ParityPolicy::Ignore);
+        let c2 = select_board(&values, layout, SelectionMode::Case2, ParityPolicy::Ignore);
+        for (a, b) in c1.iter().zip(&c2) {
+            assert!(b.margin >= a.margin - 1e-9);
+        }
+    }
+
+    #[test]
+    fn configurable_margins_dominate_traditional() {
+        let values = ramp(480, 21);
+        let layout = VirtualLayout::new(480, 5);
+        let conf = select_board(&values, layout, SelectionMode::Case2, ParityPolicy::Ignore);
+        let (_, trad_margins) = traditional_board(&values, layout);
+        for (c, t) in conf.iter().zip(&trad_margins) {
+            assert!(c.margin >= *t - 1e-9);
+        }
+    }
+
+    #[test]
+    fn traditional_apply_roundtrip() {
+        let values = ramp(240, 5);
+        let layout = VirtualLayout::new(240, 3);
+        let pairs = traditional_pairs(&values, layout);
+        let (bits, _) = traditional_board(&values, layout);
+        assert_eq!(apply_board(&pairs, &values, layout), bits);
+    }
+
+    #[test]
+    fn one_of_eight_picks_extremes_and_roundtrips() {
+        let values = ramp(240, 7);
+        let layout = VirtualLayout::new(240, 3);
+        let picks = one_of_eight_select(&values, layout);
+        assert_eq!(picks.len(), layout.groups());
+        for pick in &picks {
+            assert!(pick.margin > 0.0);
+            assert!(pick.ring_a < pick.ring_b);
+        }
+        let bits = one_of_eight_apply(&picks, &values, layout);
+        let expected: BitVec = picks.iter().map(|p| p.bit).collect();
+        assert_eq!(bits, expected);
+    }
+
+    #[test]
+    fn one_of_eight_margin_beats_pair_margins() {
+        let values = ramp(480, 11);
+        let layout = VirtualLayout::new(480, 5);
+        let picks = one_of_eight_select(&values, layout);
+        let (_, trad) = traditional_board(&values, layout);
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let pick_margins: Vec<f64> = picks.iter().map(|p| p.margin).collect();
+        assert!(mean(&pick_margins) > mean(&trad));
+    }
+
+    #[test]
+    fn combined_config_length() {
+        let values = ramp(240, 13);
+        let layout = VirtualLayout::new(240, 3);
+        let pairs = select_board(&values, layout, SelectionMode::Case2, ParityPolicy::Ignore);
+        assert_eq!(pairs[0].combined_config().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn too_few_ros_panics() {
+        let _ = VirtualLayout::new(10, 5);
+    }
+
+    #[test]
+    fn board_bits_matches_manual_pipeline() {
+        use crate::vt::{VtConfig, VtDataset};
+        let data = VtDataset::generate(&VtConfig {
+            boards: 2,
+            swept_boards: 0,
+            ros_per_board: 128,
+            cols: 8,
+            ..VtConfig::default()
+        });
+        let board = &data.boards()[0];
+        let bits = board_bits(board, 3, SelectionMode::Case1, true).unwrap();
+        // 128 ROs → 120 usable at n=3 → 20 bits.
+        assert_eq!(bits.len(), 20);
+        let values =
+            distill_values(&board.nominal()[..120], &board.positions()[..120]).unwrap();
+        let manual: BitVec = select_board(
+            &values,
+            VirtualLayout::new(120, 3),
+            SelectionMode::Case1,
+            ParityPolicy::Ignore,
+        )
+        .iter()
+        .map(|p| p.bit)
+        .collect();
+        assert_eq!(bits, manual);
+    }
+}

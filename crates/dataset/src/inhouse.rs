@@ -1,0 +1,275 @@
+//! The synthetic in-house inverter-level dataset.
+//!
+//! Mirrors the paper's §IV.E data: nine Virtex-5-class boards, each with
+//! 1024 delay units organized as 64 ring oscillators of 16 units. The
+//! per-unit `ddiff` values are obtained by *running the paper's
+//! calibration procedure* ([`ropuf_core::calibrate`]) on simulated
+//! silicon — probe noise included — not by copying the simulator's
+//! ground truth, so the dataset carries realistic measurement error.
+//!
+//! Consecutive rings form comparison pairs (ring 2p with ring 2p+1).
+//! With [`InHouseConfig::interleaved_pairs`] (the default, matching how
+//! RO pairs are actually placed on FPGAs) the two rings of a pair take
+//! alternating units of one 2×16-unit window, so their per-stage delay
+//! differences carry only *local* random variation; the blocked
+//! alternative exposes them to the die's systematic gradient.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use ropuf_core::calibrate::calibrate;
+use ropuf_core::ro::ConfigurableRo;
+use ropuf_silicon::board::BoardId;
+use ropuf_silicon::{DelayProbe, Environment, SiliconParams, SiliconSim};
+
+/// Calibration result of one ring oscillator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InHouseRo {
+    /// Measured per-unit delay differences, picoseconds.
+    pub ddiffs_ps: Vec<f64>,
+    /// Measured total bypass delay of the ring, picoseconds.
+    pub bypass_ps: f64,
+}
+
+/// One calibrated board.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InHouseBoard {
+    /// Board index within the set.
+    pub id: u32,
+    /// Calibrated rings in placement order.
+    pub ros: Vec<InHouseRo>,
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InHouseConfig {
+    /// Number of boards (real: 9).
+    pub boards: usize,
+    /// Rings per board (real: 64).
+    pub ros_per_board: usize,
+    /// Delay units per ring (real: 16, of which up to 13 are used).
+    pub units_per_ro: usize,
+    /// Placement grid width for the underlying silicon.
+    pub cols: usize,
+    /// Whether the two rings of a pair interleave their units on the
+    /// die (adjacent-device pairing) rather than occupying two separate
+    /// blocks.
+    pub interleaved_pairs: bool,
+    /// Single-reading probe noise, picoseconds.
+    pub probe_sigma_ps: f64,
+    /// Probe readings averaged per measurement.
+    pub probe_repeats: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Silicon process parameters.
+    pub params: SiliconParams,
+}
+
+impl Default for InHouseConfig {
+    fn default() -> Self {
+        Self {
+            boards: 9,
+            ros_per_board: 64,
+            units_per_ro: 16,
+            cols: 32,
+            interleaved_pairs: true,
+            probe_sigma_ps: 0.25,
+            probe_repeats: 4,
+            seed: 0x5eed_0002,
+            params: SiliconParams::virtex5(),
+        }
+    }
+}
+
+/// The calibrated in-house dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InHouseDataset {
+    boards: Vec<InHouseBoard>,
+    units_per_ro: usize,
+}
+
+impl InHouseDataset {
+    /// Grows the boards and calibrates every ring with the leave-one-out
+    /// procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or the silicon parameters fail
+    /// validation.
+    pub fn generate(config: &InHouseConfig) -> Self {
+        assert!(
+            config.boards > 0 && config.ros_per_board > 0 && config.units_per_ro > 0,
+            "dataset dimensions must be nonzero"
+        );
+        assert!(
+            !config.interleaved_pairs || config.ros_per_board.is_multiple_of(2),
+            "interleaved pairing requires an even ring count"
+        );
+        let sim = SiliconSim::new(config.params);
+        let probe = DelayProbe::new(config.probe_sigma_ps, config.probe_repeats);
+        let env = Environment::nominal();
+        let units_per_board = config.ros_per_board * config.units_per_ro;
+        // Per-board RNG derived from (seed, id): boards are individually
+        // reproducible and generation is embarrassingly parallel (kept
+        // sequential here; board counts are small).
+        let boards = (0..config.boards)
+            .map(|b| {
+                let mut rng = StdRng::seed_from_u64(
+                    config
+                        .seed
+                        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(b as u64 + 1)),
+                );
+                let silicon = sim.grow_board_with_id(
+                    &mut rng,
+                    BoardId(b as u32),
+                    units_per_board,
+                    config.cols,
+                );
+                let ros = (0..config.ros_per_board)
+                    .map(|r| {
+                        let stages: Vec<usize> = if config.interleaved_pairs {
+                            // Pair (2p, 2p+1) shares a 2×units window;
+                            // even offsets belong to ring 2p, odd to
+                            // ring 2p+1.
+                            let window = (r / 2) * 2 * config.units_per_ro;
+                            let parity = r % 2;
+                            (0..config.units_per_ro)
+                                .map(|i| window + 2 * i + parity)
+                                .collect()
+                        } else {
+                            let start = r * config.units_per_ro;
+                            (start..start + config.units_per_ro).collect()
+                        };
+                        let ro = ConfigurableRo::new(&silicon, stages);
+                        let cal = calibrate(&mut rng, &ro, &probe, env, sim.technology());
+                        InHouseRo {
+                            ddiffs_ps: cal.ddiffs_ps().to_vec(),
+                            bypass_ps: cal.bypass_ps(),
+                        }
+                    })
+                    .collect();
+                InHouseBoard { id: b as u32, ros }
+            })
+            .collect();
+        Self {
+            boards,
+            units_per_ro: config.units_per_ro,
+        }
+    }
+
+    /// Reassembles a dataset from parsed parts (used by the CSV reader).
+    pub(crate) fn from_parts(boards: Vec<InHouseBoard>, units_per_ro: usize) -> Self {
+        Self {
+            boards,
+            units_per_ro,
+        }
+    }
+
+    /// All boards, in id order.
+    pub fn boards(&self) -> &[InHouseBoard] {
+        &self.boards
+    }
+
+    /// Units per ring.
+    pub fn units_per_ro(&self) -> usize {
+        self.units_per_ro
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> InHouseConfig {
+        InHouseConfig {
+            boards: 2,
+            ros_per_board: 8,
+            units_per_ro: 6,
+            cols: 8,
+            ..InHouseConfig::default()
+        }
+    }
+
+    #[test]
+    fn structure_matches_config() {
+        let data = InHouseDataset::generate(&small_config());
+        assert_eq!(data.boards().len(), 2);
+        assert_eq!(data.units_per_ro(), 6);
+        for b in data.boards() {
+            assert_eq!(b.ros.len(), 8);
+            for ro in &b.ros {
+                assert_eq!(ro.ddiffs_ps.len(), 6);
+                assert!(ro.bypass_ps > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = small_config();
+        assert_eq!(InHouseDataset::generate(&c), InHouseDataset::generate(&c));
+    }
+
+    #[test]
+    fn ddiffs_cluster_around_inverter_plus_mux_gap() {
+        // Virtex-5 nominal: d + d1 − d0 = 70 + 25 − 22 = 73 ps.
+        let data = InHouseDataset::generate(&small_config());
+        let all: Vec<f64> = data
+            .boards()
+            .iter()
+            .flat_map(|b| b.ros.iter().flat_map(|r| r.ddiffs_ps.iter().copied()))
+            .collect();
+        let mean = all.iter().sum::<f64>() / all.len() as f64;
+        assert!((mean - 73.0).abs() < 8.0, "mean {mean}");
+    }
+
+    #[test]
+    fn ddiffs_vary_between_units() {
+        let data = InHouseDataset::generate(&small_config());
+        let ro = &data.boards()[0].ros[0];
+        let spread = ropuf_num::stats::std_dev(&ro.ddiffs_ps).unwrap();
+        assert!(spread > 0.1, "spread {spread}");
+    }
+
+    #[test]
+    fn interleaving_shrinks_pair_deltas() {
+        // Adjacent-device pairing should leave much smaller per-stage
+        // deltas than blocked pairing, which picks up the systematic
+        // gradient between the two blocks.
+        let spread = |interleaved: bool| {
+            let data = InHouseDataset::generate(&InHouseConfig {
+                boards: 2,
+                ros_per_board: 16,
+                units_per_ro: 8,
+                interleaved_pairs: interleaved,
+                ..InHouseConfig::default()
+            });
+            let mut deltas = Vec::new();
+            for b in data.boards() {
+                for p in 0..8 {
+                    let top = &b.ros[2 * p].ddiffs_ps;
+                    let bot = &b.ros[2 * p + 1].ddiffs_ps;
+                    let sum: f64 =
+                        top.iter().sum::<f64>() - bot.iter().sum::<f64>();
+                    deltas.push(sum.abs());
+                }
+            }
+            deltas.iter().sum::<f64>() / deltas.len() as f64
+        };
+        assert!(
+            spread(true) < spread(false),
+            "interleaved {} !< blocked {}",
+            spread(true),
+            spread(false)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        let mut c = small_config();
+        c.ros_per_board = 0;
+        let _ = InHouseDataset::generate(&c);
+    }
+}

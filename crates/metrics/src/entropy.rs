@@ -1,0 +1,225 @@
+//! Entropy estimates for PUF response fleets.
+//!
+//! Complements the NIST battery with the two estimators PUF papers
+//! quote directly: per-position min-entropy from the bit-aliasing
+//! profile, and the serial autocorrelation of a response.
+
+use ropuf_num::bits::BitVec;
+
+use crate::uniformity::bit_aliasing;
+
+/// NIST SP 800-90B most-common-value (MCV) min-entropy estimate per
+/// bit of one stream: `−log₂ p_u` where `p_u` is the upper end of the
+/// 99 % confidence interval on the most common symbol's frequency.
+///
+/// Returns `None` for an empty stream.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_metrics::entropy::mcv_min_entropy;
+/// let biased = BitVec::from_binary_str(&"1".repeat(1000)).unwrap();
+/// assert_eq!(mcv_min_entropy(&biased), Some(0.0));
+/// ```
+pub fn mcv_min_entropy(stream: &BitVec) -> Option<f64> {
+    let n = stream.len();
+    if n == 0 {
+        return None;
+    }
+    let ones = stream.count_ones();
+    let p_hat = ones.max(n - ones) as f64 / n as f64;
+    // 99 % upper confidence bound (SP 800-90B §6.3.1).
+    let p_u = (p_hat + 2.576 * (p_hat * (1.0 - p_hat) / (n as f64 - 1.0).max(1.0)).sqrt()).min(1.0);
+    Some(-p_u.log2())
+}
+
+/// SP 800-90B collision-style min-entropy estimate per bit: from the
+/// empirical collision probability of adjacent non-overlapping bit
+/// pairs, `H = −log₂ p_max` with
+/// `p_max = ½ + √(max(0, p_c − ½) / 2)` (binary collision bound).
+///
+/// Returns `None` for streams under 4 bits.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_metrics::entropy::collision_min_entropy;
+/// let constant = BitVec::from_binary_str(&"0".repeat(64)).unwrap();
+/// assert_eq!(collision_min_entropy(&constant), Some(0.0));
+/// ```
+pub fn collision_min_entropy(stream: &BitVec) -> Option<f64> {
+    let n = stream.len();
+    if n < 4 {
+        return None;
+    }
+    let pairs = n / 2;
+    let collisions = (0..pairs)
+        .filter(|&i| stream.get(2 * i) == stream.get(2 * i + 1))
+        .count();
+    let p_c = collisions as f64 / pairs as f64;
+    // For a binary source with bias p: P(collision) = p² + (1−p)²
+    //   = ½ + 2(p − ½)² ⇒ |p − ½| = √(max(0, p_c − ½)/2).
+    let p_max = 0.5 + (f64::max(0.0, p_c - 0.5) / 2.0).sqrt();
+    Some(-p_max.log2())
+}
+
+/// Min-entropy per bit position across a fleet, from the bit-aliasing
+/// profile: `−log₂ max(p, 1−p)` at each position, averaged. Ideal 1.0;
+/// a position stuck at the same value across devices contributes 0.
+///
+/// Returns `None` for an empty fleet.
+///
+/// # Panics
+///
+/// Panics if the responses differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_metrics::entropy::min_entropy_per_bit;
+/// let fleet = [
+///     BitVec::from_binary_str("10").unwrap(),
+///     BitVec::from_binary_str("11").unwrap(),
+/// ];
+/// // Position 0 is stuck (entropy 0), position 1 is balanced (entropy 1).
+/// assert_eq!(min_entropy_per_bit(&fleet), Some(0.5));
+/// ```
+pub fn min_entropy_per_bit(responses: &[BitVec]) -> Option<f64> {
+    let alias = bit_aliasing(responses);
+    if alias.is_empty() {
+        return None;
+    }
+    let total: f64 = alias
+        .iter()
+        .map(|&p| -p.max(1.0 - p).log2())
+        .sum();
+    Some(total / alias.len() as f64)
+}
+
+/// Serial autocorrelation of one response at the given lag:
+/// the correlation of bit `i` with bit `i + lag` over the stream, in
+/// `[−1, 1]` (0 for ideal responses).
+///
+/// Returns `None` if fewer than two overlapping positions exist or the
+/// overlapping bits are constant.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_metrics::entropy::autocorrelation;
+/// let alternating = BitVec::from_binary_str("10101010").unwrap();
+/// assert!((autocorrelation(&alternating, 1).unwrap() + 1.0).abs() < 1e-12);
+/// assert!((autocorrelation(&alternating, 2).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn autocorrelation(response: &BitVec, lag: usize) -> Option<f64> {
+    if lag == 0 || response.len() < lag + 2 {
+        return None;
+    }
+    let n = response.len() - lag;
+    let a: Vec<f64> = (0..n)
+        .map(|i| if response.get(i).expect("in range") { 1.0 } else { 0.0 })
+        .collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| if response.get(i + lag).expect("in range") { 1.0 } else { 0.0 })
+        .collect();
+    ropuf_num::stats::pearson(&a, &b)
+}
+
+/// Maximum absolute autocorrelation over lags `1..=max_lag`, or `None`
+/// if no lag is evaluable.
+///
+/// A quick screen: ideal PUF responses keep this near
+/// `O(1/√n)`; structure (e.g. the systematic gradient leaking through)
+/// pushes it up.
+pub fn max_autocorrelation(response: &BitVec, max_lag: usize) -> Option<f64> {
+    (1..=max_lag)
+        .filter_map(|lag| autocorrelation(response, lag))
+        .map(f64::abs)
+        .reduce(f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn min_entropy_of_random_fleet_near_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let fleet: Vec<BitVec> = (0..300)
+            .map(|_| (0..64).map(|_| rng.gen::<bool>()).collect())
+            .collect();
+        let h = min_entropy_per_bit(&fleet).unwrap();
+        assert!(h > 0.85, "min-entropy {h}");
+    }
+
+    #[test]
+    fn min_entropy_of_identical_fleet_is_zero() {
+        let one = BitVec::from_binary_str("1100").unwrap();
+        let fleet = vec![one; 10];
+        assert_eq!(min_entropy_per_bit(&fleet), Some(0.0));
+    }
+
+    #[test]
+    fn min_entropy_empty_fleet_is_none() {
+        assert_eq!(min_entropy_per_bit(&[]), None);
+    }
+
+    #[test]
+    fn autocorrelation_of_random_stream_is_small() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let bits: BitVec = (0..4096).map(|_| rng.gen::<bool>()).collect();
+        let m = max_autocorrelation(&bits, 16).unwrap();
+        assert!(m < 0.08, "max autocorrelation {m}");
+    }
+
+    #[test]
+    fn autocorrelation_detects_period() {
+        let bits: BitVec = (0..256).map(|i| (i / 4) % 2 == 0).collect();
+        // Period 8: lag 8 correlates perfectly.
+        assert!((autocorrelation(&bits, 8).unwrap() - 1.0).abs() < 1e-9);
+        assert!((autocorrelation(&bits, 4).unwrap() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mcv_estimates_track_bias() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let fair: BitVec = (0..20_000).map(|_| rng.gen::<bool>()).collect();
+        let h_fair = mcv_min_entropy(&fair).unwrap();
+        assert!(h_fair > 0.95, "fair stream {h_fair}");
+        let biased: BitVec = (0..20_000).map(|_| rng.gen::<f64>() < 0.75).collect();
+        let h_biased = mcv_min_entropy(&biased).unwrap();
+        // −log2(0.75) ≈ 0.415.
+        assert!((h_biased - 0.415).abs() < 0.05, "biased stream {h_biased}");
+        assert_eq!(mcv_min_entropy(&BitVec::new()), None);
+    }
+
+    #[test]
+    fn collision_estimates_track_bias() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let fair: BitVec = (0..40_000).map(|_| rng.gen::<bool>()).collect();
+        let h = collision_min_entropy(&fair).unwrap();
+        assert!(h > 0.85, "fair stream {h}");
+        let biased: BitVec = (0..40_000).map(|_| rng.gen::<f64>() < 0.8).collect();
+        let hb = collision_min_entropy(&biased).unwrap();
+        // −log2(0.8) ≈ 0.32.
+        assert!((hb - 0.32).abs() < 0.06, "biased stream {hb}");
+        assert_eq!(collision_min_entropy(&BitVec::from_binary_str("10").unwrap()), None);
+    }
+
+    #[test]
+    fn degenerate_lags_are_none() {
+        let bits = BitVec::from_binary_str("1010").unwrap();
+        assert_eq!(autocorrelation(&bits, 0), None);
+        assert_eq!(autocorrelation(&bits, 4), None);
+        let constant = BitVec::from_binary_str("11111111").unwrap();
+        assert_eq!(autocorrelation(&constant, 1), None);
+        assert_eq!(max_autocorrelation(&bits, 0), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! Pairwise Hamming-distance analysis.
+
+use std::collections::BTreeMap;
+
+use ropuf_num::bits::BitVec;
+use ropuf_num::stats::{mean, std_dev};
+
+/// All pairwise Hamming distances of a set of equal-length responses,
+/// in `(i, j)` lexicographic order with `i < j`.
+///
+/// # Panics
+///
+/// Panics if the responses differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_metrics::hamming::pairwise_hamming;
+/// let set = [
+///     BitVec::from_binary_str("111").unwrap(),
+///     BitVec::from_binary_str("000").unwrap(),
+///     BitVec::from_binary_str("101").unwrap(),
+/// ];
+/// assert_eq!(pairwise_hamming(&set), vec![3, 1, 2]);
+/// ```
+pub fn pairwise_hamming(responses: &[BitVec]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(responses.len() * responses.len().saturating_sub(1) / 2);
+    for i in 0..responses.len() {
+        for j in i + 1..responses.len() {
+            let d = responses[i]
+                .hamming_distance(&responses[j])
+                .unwrap_or_else(|| {
+                    panic!(
+                        "responses {i} ({} bits) and {j} ({} bits) differ in length",
+                        responses[i].len(),
+                        responses[j].len()
+                    )
+                });
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// Summary statistics of an inter-chip Hamming-distance distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HdStats {
+    /// Mean pairwise distance, bits.
+    pub mean_bits: f64,
+    /// Sample standard deviation, bits.
+    pub std_dev_bits: f64,
+    /// Number of pairs measured.
+    pub pairs: usize,
+    /// Response length, bits.
+    pub response_bits: usize,
+}
+
+impl HdStats {
+    /// Computes mean/σ of the pairwise HD of a fleet of responses —
+    /// the numbers the paper reports for Figure 3 (46.88 ± 4.89 bits of
+    /// 96 for Case-1).
+    ///
+    /// Returns `None` for fewer than two responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the responses differ in length.
+    pub fn of_fleet(responses: &[BitVec]) -> Option<HdStats> {
+        if responses.len() < 2 {
+            return None;
+        }
+        let hds: Vec<f64> = pairwise_hamming(responses)
+            .into_iter()
+            .map(|d| d as f64)
+            .collect();
+        Some(HdStats {
+            mean_bits: mean(&hds)?,
+            std_dev_bits: std_dev(&hds).unwrap_or(0.0),
+            pairs: hds.len(),
+            response_bits: responses[0].len(),
+        })
+    }
+
+    /// Mean distance normalized by the response length (ideal 0.5).
+    pub fn normalized_mean(&self) -> f64 {
+        self.mean_bits / self.response_bits as f64
+    }
+}
+
+/// Distribution of pairwise Hamming distances as percentages, keyed by
+/// distance — the layout of the paper's Tables III and IV.
+///
+/// # Panics
+///
+/// Panics if the responses differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_metrics::hamming::hd_distribution;
+/// let set = [
+///     BitVec::from_binary_str("11").unwrap(),
+///     BitVec::from_binary_str("00").unwrap(),
+///     BitVec::from_binary_str("10").unwrap(),
+/// ];
+/// let dist = hd_distribution(&set);
+/// // Distances 2, 1, 1 → 1 appears 66.7 %, 2 appears 33.3 %.
+/// assert!((dist[&1] - 66.666).abs() < 0.01);
+/// ```
+pub fn hd_distribution(responses: &[BitVec]) -> BTreeMap<usize, f64> {
+    let hds = pairwise_hamming(responses);
+    let total = hds.len().max(1) as f64;
+    let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+    for d in hds {
+        *counts.entry(d).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .map(|(d, c)| (d, 100.0 * c as f64 / total))
+        .collect()
+}
+
+/// Whether any two responses in the set are identical (HD 0) — the
+/// "no duplicate configurations" check of Table III.
+pub fn has_duplicates(responses: &[BitVec]) -> bool {
+    pairwise_hamming(responses).into_iter().any(|d| d == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(s: &str) -> BitVec {
+        BitVec::from_binary_str(s).unwrap()
+    }
+
+    #[test]
+    fn pairwise_count_is_n_choose_2() {
+        let set: Vec<BitVec> = (0..10u32)
+            .map(|i| (0..8).map(|b| (i >> (b % 4)) & 1 == 1).collect())
+            .collect();
+        assert_eq!(pairwise_hamming(&set).len(), 45);
+    }
+
+    #[test]
+    fn stats_of_identical_fleet() {
+        let set = vec![bv("1010"); 5];
+        let stats = HdStats::of_fleet(&set).unwrap();
+        assert_eq!(stats.mean_bits, 0.0);
+        assert_eq!(stats.std_dev_bits, 0.0);
+        assert_eq!(stats.pairs, 10);
+        assert_eq!(stats.normalized_mean(), 0.0);
+        assert!(has_duplicates(&set));
+    }
+
+    #[test]
+    fn stats_of_complementary_pair() {
+        let set = [bv("1100"), bv("0011")];
+        let stats = HdStats::of_fleet(&set).unwrap();
+        assert_eq!(stats.mean_bits, 4.0);
+        assert_eq!(stats.normalized_mean(), 1.0);
+        assert!(!has_duplicates(&set));
+    }
+
+    #[test]
+    fn too_small_fleet_is_none() {
+        assert!(HdStats::of_fleet(&[bv("1")]).is_none());
+        assert!(HdStats::of_fleet(&[]).is_none());
+    }
+
+    #[test]
+    fn random_fleet_is_near_half() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let set: Vec<BitVec> = (0..50)
+            .map(|_| (0..96).map(|_| rng.gen::<bool>()).collect())
+            .collect();
+        let stats = HdStats::of_fleet(&set).unwrap();
+        assert!((stats.normalized_mean() - 0.5).abs() < 0.02);
+        // σ of Binomial(96, 0.5) ≈ 4.9 — the paper's Figure 3 numbers.
+        assert!((stats.std_dev_bits - 4.9).abs() < 1.0);
+    }
+
+    #[test]
+    fn distribution_sums_to_100() {
+        let set = [bv("110"), bv("011"), bv("101"), bv("000")];
+        let dist = hd_distribution(&set);
+        let total: f64 = dist.values().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn mismatched_lengths_panic() {
+        let _ = pairwise_hamming(&[bv("10"), bv("100")]);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! PUF quality metrics.
+//!
+//! The figures of merit every PUF paper reports, implemented over
+//! [`ropuf_num::bits::BitVec`] responses:
+//!
+//! * [`hamming`] — pairwise Hamming-distance analysis (the paper's
+//!   Figure 3 inter-chip histograms and Tables III/IV configuration
+//!   distance distributions),
+//! * [`mod@uniqueness`] — normalized mean inter-chip distance (ideal 0.5),
+//! * [`reliability`] — bit-flip counting between a baseline response and
+//!   re-measurements under environmental stress (Figure 4),
+//! * [`mod@uniformity`] — ones-fraction per response and per-bit-position
+//!   bit-aliasing across a fleet,
+//! * [`entropy`] — per-position min-entropy, SP 800-90B estimators,
+//!   and response autocorrelation,
+//! * [`report`] — a one-call [`report::QualityReport`] bundling all of
+//!   the above.
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_num::bits::BitVec;
+//! use ropuf_metrics::uniqueness::uniqueness;
+//!
+//! let fleet = [
+//!     BitVec::from_binary_str("1010").unwrap(),
+//!     BitVec::from_binary_str("0110").unwrap(),
+//!     BitVec::from_binary_str("1001").unwrap(),
+//! ];
+//! // Mean pairwise HD = (2 + 3 + 3)/3 = 8/3; normalized by 4 bits.
+//! assert!((uniqueness(&fleet).unwrap() - 8.0 / 12.0).abs() < 1e-12);
+//! ```
+
+pub mod entropy;
+pub mod hamming;
+pub mod report;
+pub mod reliability;
+pub mod uniformity;
+pub mod uniqueness;
+
+pub use entropy::{autocorrelation, min_entropy_per_bit};
+pub use hamming::{hd_distribution, pairwise_hamming, HdStats};
+pub use reliability::{flip_positions, flip_rate_against_baseline, FlipSummary};
+pub use report::QualityReport;
+pub use uniformity::{bit_aliasing, uniformity};
+pub use uniqueness::uniqueness;

@@ -1,0 +1,182 @@
+//! Bit-flip analysis between a baseline response and re-measurements.
+//!
+//! The paper's Figure 4 metric: extract a baseline at the enrollment
+//! operating point, re-extract under stress, and count the *positions*
+//! that changed at least once ("the number of bit positions that have
+//! one or multiple changes is considered as the total number of bit
+//! flips").
+
+use ropuf_num::bits::BitVec;
+
+/// Positions at which `sample` differs from `baseline`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_metrics::reliability::flip_positions;
+/// let base = BitVec::from_binary_str("1100").unwrap();
+/// let resp = BitVec::from_binary_str("1001").unwrap();
+/// assert_eq!(flip_positions(&base, &resp), vec![1, 3]);
+/// ```
+pub fn flip_positions(baseline: &BitVec, sample: &BitVec) -> Vec<usize> {
+    assert_eq!(
+        baseline.len(),
+        sample.len(),
+        "baseline ({}) and sample ({}) differ in length",
+        baseline.len(),
+        sample.len()
+    );
+    baseline
+        .iter()
+        .zip(sample.iter())
+        .enumerate()
+        .filter_map(|(i, (a, b))| (a != b).then_some(i))
+        .collect()
+}
+
+/// Summary of flip behaviour across a set of re-measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlipSummary {
+    flipped_positions: Vec<bool>,
+    total_bit_errors: usize,
+    samples: usize,
+}
+
+impl FlipSummary {
+    /// Compares every sample against the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample length differs from the baseline's.
+    pub fn against_baseline(baseline: &BitVec, samples: &[BitVec]) -> Self {
+        let mut flipped = vec![false; baseline.len()];
+        let mut total = 0usize;
+        for s in samples {
+            for pos in flip_positions(baseline, s) {
+                flipped[pos] = true;
+                total += 1;
+            }
+        }
+        Self {
+            flipped_positions: flipped,
+            total_bit_errors: total,
+            samples: samples.len(),
+        }
+    }
+
+    /// Number of positions that flipped in at least one sample — the
+    /// paper's Figure-4 statistic.
+    pub fn flipped_position_count(&self) -> usize {
+        self.flipped_positions.iter().filter(|&&f| f).count()
+    }
+
+    /// Fraction of positions that flipped at least once (`[0, 1]`).
+    pub fn flip_rate(&self) -> f64 {
+        if self.flipped_positions.is_empty() {
+            0.0
+        } else {
+            self.flipped_position_count() as f64 / self.flipped_positions.len() as f64
+        }
+    }
+
+    /// Mean bit-error rate across all samples and positions (a softer
+    /// metric than [`flip_rate`](Self::flip_rate)).
+    pub fn bit_error_rate(&self) -> f64 {
+        let cells = self.flipped_positions.len() * self.samples;
+        if cells == 0 {
+            0.0
+        } else {
+            self.total_bit_errors as f64 / cells as f64
+        }
+    }
+
+    /// Number of samples compared.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Response length in bits.
+    pub fn bits(&self) -> usize {
+        self.flipped_positions.len()
+    }
+}
+
+/// Convenience wrapper: the flip rate of `samples` against `baseline`.
+///
+/// # Panics
+///
+/// Panics if any sample length differs from the baseline's.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_metrics::reliability::flip_rate_against_baseline;
+/// let base = BitVec::from_binary_str("1111").unwrap();
+/// let s1 = BitVec::from_binary_str("1110").unwrap();
+/// let s2 = BitVec::from_binary_str("1101").unwrap();
+/// // Positions 2 and 3 each flipped once: 2/4 positions affected.
+/// assert_eq!(flip_rate_against_baseline(&base, &[s1, s2]), 0.5);
+/// ```
+pub fn flip_rate_against_baseline(baseline: &BitVec, samples: &[BitVec]) -> f64 {
+    FlipSummary::against_baseline(baseline, samples).flip_rate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(s: &str) -> BitVec {
+        BitVec::from_binary_str(s).unwrap()
+    }
+
+    #[test]
+    fn no_samples_no_flips() {
+        let base = bv("1010");
+        let summary = FlipSummary::against_baseline(&base, &[]);
+        assert_eq!(summary.flipped_position_count(), 0);
+        assert_eq!(summary.flip_rate(), 0.0);
+        assert_eq!(summary.bit_error_rate(), 0.0);
+        assert_eq!(summary.samples(), 0);
+        assert_eq!(summary.bits(), 4);
+    }
+
+    #[test]
+    fn repeated_flip_counts_position_once() {
+        let base = bv("0000");
+        let samples = vec![bv("1000"), bv("1000"), bv("1000")];
+        let summary = FlipSummary::against_baseline(&base, &samples);
+        assert_eq!(summary.flipped_position_count(), 1);
+        assert_eq!(summary.flip_rate(), 0.25);
+        // 3 errors over 12 cells.
+        assert_eq!(summary.bit_error_rate(), 0.25);
+    }
+
+    #[test]
+    fn distinct_positions_accumulate() {
+        let base = bv("0000");
+        let samples = vec![bv("1000"), bv("0100"), bv("0010")];
+        let summary = FlipSummary::against_baseline(&base, &samples);
+        assert_eq!(summary.flipped_position_count(), 3);
+        assert_eq!(summary.flip_rate(), 0.75);
+        assert!((summary.bit_error_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_samples_are_flip_free() {
+        let base = bv("101010");
+        let summary = FlipSummary::against_baseline(&base, &vec![base.clone(); 4]);
+        assert_eq!(summary.flip_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn length_mismatch_panics() {
+        let _ = flip_positions(&bv("10"), &bv("100"));
+    }
+}

@@ -1,0 +1,205 @@
+//! A one-call PUF quality report.
+//!
+//! Bundles the fleet-level figures of merit — uniqueness, uniformity,
+//! bit-aliasing extremes, positional min-entropy, and (when
+//! re-measurements are supplied) reliability — into one struct with a
+//! rendered summary, so applications can gate deployment on a single
+//! evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_metrics::report::QualityReport;
+//! use ropuf_num::bits::BitVec;
+//!
+//! let fleet = [
+//!     BitVec::from_binary_str("10110100").unwrap(),
+//!     BitVec::from_binary_str("01101001").unwrap(),
+//!     BitVec::from_binary_str("11010010").unwrap(),
+//! ];
+//! let report = QualityReport::evaluate(&fleet, &[]).unwrap();
+//! assert!(report.uniqueness > 0.0);
+//! println!("{}", report.render());
+//! ```
+
+use ropuf_num::bits::BitVec;
+
+use crate::entropy::min_entropy_per_bit;
+use crate::hamming::HdStats;
+use crate::reliability::FlipSummary;
+use crate::uniformity::{bit_aliasing, uniformity};
+
+/// Fleet-level quality summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Normalized mean inter-chip Hamming distance (ideal 0.5).
+    pub uniqueness: f64,
+    /// Standard deviation of the inter-chip HD, bits.
+    pub hd_sigma_bits: f64,
+    /// Mean ones fraction across responses (ideal 0.5).
+    pub mean_uniformity: f64,
+    /// Largest per-position deviation of the bit-aliasing profile from
+    /// 0.5 (0 is ideal; 0.5 means a stuck position).
+    pub worst_aliasing: f64,
+    /// Mean positional min-entropy per bit (ideal 1.0, bounded by the
+    /// fleet-size estimator ceiling).
+    pub min_entropy_per_bit: f64,
+    /// Reliability results per device, when re-measurements were given:
+    /// `(device index, flip rate)`.
+    pub reliability: Vec<(usize, f64)>,
+    /// Devices evaluated.
+    pub devices: usize,
+    /// Bits per response.
+    pub bits: usize,
+}
+
+impl QualityReport {
+    /// Evaluates a fleet of enrollment responses plus optional
+    /// re-measurement sets: `remeasured[i] = (device index, samples)`
+    /// compares each sample set against that device's enrollment
+    /// response.
+    ///
+    /// Returns `None` for fewer than two responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if responses differ in length, a device index is out of
+    /// range, or a re-measurement's length differs from its device's
+    /// response.
+    pub fn evaluate(
+        fleet: &[BitVec],
+        remeasured: &[(usize, Vec<BitVec>)],
+    ) -> Option<QualityReport> {
+        let stats = HdStats::of_fleet(fleet)?;
+        let uniformities: Vec<f64> = fleet.iter().filter_map(uniformity).collect();
+        let mean_uniformity =
+            uniformities.iter().sum::<f64>() / uniformities.len().max(1) as f64;
+        let alias = bit_aliasing(fleet);
+        let worst_aliasing = alias
+            .iter()
+            .map(|p| (p - 0.5).abs())
+            .fold(0.0f64, f64::max);
+        let reliability = remeasured
+            .iter()
+            .map(|(device, samples)| {
+                let baseline = fleet
+                    .get(*device)
+                    .unwrap_or_else(|| panic!("device index {device} out of range"));
+                (
+                    *device,
+                    FlipSummary::against_baseline(baseline, samples).flip_rate(),
+                )
+            })
+            .collect();
+        Some(QualityReport {
+            uniqueness: stats.normalized_mean(),
+            hd_sigma_bits: stats.std_dev_bits,
+            mean_uniformity,
+            worst_aliasing,
+            min_entropy_per_bit: min_entropy_per_bit(fleet)?,
+            reliability,
+            devices: fleet.len(),
+            bits: stats.response_bits,
+        })
+    }
+
+    /// Worst flip rate across the evaluated devices, if any
+    /// re-measurements were supplied.
+    pub fn worst_flip_rate(&self) -> Option<f64> {
+        self.reliability
+            .iter()
+            .map(|(_, r)| *r)
+            .reduce(f64::max)
+    }
+
+    /// Renders a compact human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "PUF quality report ({} devices x {} bits)\n\
+             uniqueness        {:.4}  (ideal 0.5)\n\
+             HD sigma          {:.2} bits (binomial ideal {:.2})\n\
+             mean uniformity   {:.4}  (ideal 0.5)\n\
+             worst aliasing    {:.4}  (ideal 0)\n\
+             min-entropy/bit   {:.4}  (ideal 1)\n",
+            self.devices,
+            self.bits,
+            self.uniqueness,
+            self.hd_sigma_bits,
+            (self.bits as f64).sqrt() / 2.0,
+            self.mean_uniformity,
+            self.worst_aliasing,
+            self.min_entropy_per_bit,
+        );
+        match self.worst_flip_rate() {
+            Some(worst) => out.push_str(&format!(
+                "reliability       {} device(s) re-measured, worst flip rate {:.3}%\n",
+                self.reliability.len(),
+                100.0 * worst
+            )),
+            None => out.push_str("reliability       (no re-measurements supplied)\n"),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_fleet(devices: usize, bits: usize, seed: u64) -> Vec<BitVec> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..devices)
+            .map(|_| (0..bits).map(|_| rng.gen::<bool>()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn ideal_fleet_scores_well() {
+        let fleet = random_fleet(60, 128, 1);
+        let r = QualityReport::evaluate(&fleet, &[]).unwrap();
+        assert!((r.uniqueness - 0.5).abs() < 0.02, "{}", r.uniqueness);
+        assert!((r.mean_uniformity - 0.5).abs() < 0.02);
+        assert!(r.worst_aliasing < 0.25);
+        assert!(r.min_entropy_per_bit > 0.8);
+        assert_eq!(r.worst_flip_rate(), None);
+        assert!(r.render().contains("no re-measurements"));
+    }
+
+    #[test]
+    fn stuck_position_is_flagged() {
+        let mut fleet = random_fleet(40, 32, 2);
+        for resp in &mut fleet {
+            resp.set(3, true); // position 3 stuck across the fleet
+        }
+        let r = QualityReport::evaluate(&fleet, &[]).unwrap();
+        assert_eq!(r.worst_aliasing, 0.5);
+        assert!(r.min_entropy_per_bit < 1.0);
+    }
+
+    #[test]
+    fn reliability_section_reports_flips() {
+        let fleet = random_fleet(10, 64, 3);
+        let mut noisy = fleet[2].clone();
+        noisy.set(0, !noisy.get(0).unwrap());
+        let remeasured = vec![(2usize, vec![noisy]), (5usize, vec![fleet[5].clone()])];
+        let r = QualityReport::evaluate(&fleet, &remeasured).unwrap();
+        assert_eq!(r.reliability.len(), 2);
+        assert_eq!(r.reliability[1].1, 0.0);
+        assert!((r.reliability[0].1 - 1.0 / 64.0).abs() < 1e-12);
+        assert_eq!(r.worst_flip_rate(), Some(1.0 / 64.0));
+        assert!(r.render().contains("worst flip rate"));
+    }
+
+    #[test]
+    fn tiny_fleet_is_none() {
+        assert!(QualityReport::evaluate(&random_fleet(1, 8, 4), &[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_device_index_panics() {
+        let fleet = random_fleet(3, 8, 5);
+        let _ = QualityReport::evaluate(&fleet, &[(7, vec![])]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Uniformity and bit-aliasing.
+
+use ropuf_num::bits::BitVec;
+
+/// Ones fraction of one response (ideal 0.5), or `None` if empty.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_metrics::uniformity::uniformity;
+/// let r = BitVec::from_binary_str("1100").unwrap();
+/// assert_eq!(uniformity(&r), Some(0.5));
+/// ```
+pub fn uniformity(response: &BitVec) -> Option<f64> {
+    response.ones_fraction()
+}
+
+/// Per-bit-position ones fraction across a fleet (ideal 0.5 at every
+/// position). A position stuck near 0 or 1 is "aliased": it encodes the
+/// design, not the device.
+///
+/// Returns one fraction per bit position, or an empty vector for an
+/// empty fleet.
+///
+/// # Panics
+///
+/// Panics if the responses differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_metrics::uniformity::bit_aliasing;
+/// let fleet = [
+///     BitVec::from_binary_str("10").unwrap(),
+///     BitVec::from_binary_str("11").unwrap(),
+/// ];
+/// assert_eq!(bit_aliasing(&fleet), vec![1.0, 0.5]);
+/// ```
+pub fn bit_aliasing(responses: &[BitVec]) -> Vec<f64> {
+    let Some(first) = responses.first() else {
+        return Vec::new();
+    };
+    let bits = first.len();
+    let mut ones = vec![0usize; bits];
+    for r in responses {
+        assert_eq!(r.len(), bits, "responses differ in length");
+        for (i, b) in r.iter().enumerate() {
+            if b {
+                ones[i] += 1;
+            }
+        }
+    }
+    ones.into_iter()
+        .map(|c| c as f64 / responses.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniformity_extremes() {
+        assert_eq!(uniformity(&BitVec::new()), None);
+        let ones = BitVec::from_binary_str("111").unwrap();
+        assert_eq!(uniformity(&ones), Some(1.0));
+    }
+
+    #[test]
+    fn aliasing_detects_stuck_positions() {
+        let fleet: Vec<BitVec> = (0..8u32)
+            .map(|i| {
+                // Position 0 always 1 (stuck); position 1 alternates.
+                [true, i % 2 == 0].iter().copied().collect()
+            })
+            .collect();
+        let alias = bit_aliasing(&fleet);
+        assert_eq!(alias[0], 1.0);
+        assert_eq!(alias[1], 0.5);
+    }
+
+    #[test]
+    fn aliasing_of_empty_fleet_is_empty() {
+        assert!(bit_aliasing(&[]).is_empty());
+    }
+
+    #[test]
+    fn aliasing_of_random_fleet_is_centered() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let fleet: Vec<BitVec> = (0..400)
+            .map(|_| (0..32).map(|_| rng.gen::<bool>()).collect())
+            .collect();
+        for a in bit_aliasing(&fleet) {
+            assert!((a - 0.5).abs() < 0.12, "aliasing {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn aliasing_length_mismatch_panics() {
+        let fleet = [
+            BitVec::from_binary_str("10").unwrap(),
+            BitVec::from_binary_str("100").unwrap(),
+        ];
+        let _ = bit_aliasing(&fleet);
+    }
+}

@@ -1,0 +1,51 @@
+//! Inter-chip uniqueness.
+
+use ropuf_num::bits::BitVec;
+
+use crate::hamming::HdStats;
+
+/// Normalized mean pairwise Hamming distance of a fleet of responses
+/// (ideal 0.5), or `None` for fewer than two responses.
+///
+/// # Panics
+///
+/// Panics if the responses differ in length.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_metrics::uniqueness::uniqueness;
+/// let fleet = [
+///     BitVec::from_binary_str("1111").unwrap(),
+///     BitVec::from_binary_str("0000").unwrap(),
+/// ];
+/// assert_eq!(uniqueness(&fleet), Some(1.0));
+/// ```
+pub fn uniqueness(responses: &[BitVec]) -> Option<f64> {
+    HdStats::of_fleet(responses).map(|s| s.normalized_mean())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniqueness_of_random_fleet_near_half() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let fleet: Vec<BitVec> = (0..40)
+            .map(|_| (0..128).map(|_| rng.gen::<bool>()).collect())
+            .collect();
+        let u = uniqueness(&fleet).unwrap();
+        assert!((u - 0.5).abs() < 0.02, "u {u}");
+    }
+
+    #[test]
+    fn degenerate_fleets() {
+        assert_eq!(uniqueness(&[]), None);
+        let one = BitVec::from_binary_str("1").unwrap();
+        assert_eq!(uniqueness(std::slice::from_ref(&one)), None);
+        assert_eq!(uniqueness(&[one.clone(), one]), Some(0.0));
+    }
+}

@@ -1,0 +1,414 @@
+//! The five "basic" tests: Frequency, Block Frequency, Runs, Longest Run
+//! of Ones, and Cumulative Sums (SP 800-22 §2.1–§2.4, §2.13).
+
+use ropuf_num::bits::BitVec;
+use ropuf_num::special::{erfc, igamc, normal_cdf};
+
+use crate::error::TestError;
+
+/// §2.1 Frequency (monobit) test.
+///
+/// `p = erfc(|S_n| / √n / √2)` where `S_n` is the ±1 sum.
+///
+/// # Errors
+///
+/// [`TestError::TooShort`] for streams under 2 bits.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_nist::basic::frequency;
+/// // §2.1.4 example: ε = 1011010101, p = 0.527089.
+/// let bits = BitVec::from_binary_str("1011010101").unwrap();
+/// assert!((frequency(&bits)? - 0.527089).abs() < 1e-6);
+/// # Ok::<(), ropuf_nist::TestError>(())
+/// ```
+pub fn frequency(bits: &BitVec) -> Result<f64, TestError> {
+    let n = bits.len();
+    if n < 2 {
+        return Err(TestError::TooShort { required: 2, actual: n });
+    }
+    let s: i64 = bits.iter().map(|b| if b { 1i64 } else { -1 }).sum();
+    let s_obs = (s.abs() as f64) / (n as f64).sqrt();
+    Ok(erfc(s_obs / std::f64::consts::SQRT_2))
+}
+
+/// §2.2 Block Frequency test with block length `m`.
+///
+/// `χ² = 4m Σ (π_i − ½)²`, `p = igamc(N/2, χ²/2)` over the `N = ⌊n/m⌋`
+/// complete blocks.
+///
+/// # Errors
+///
+/// [`TestError::BadParameter`] if `m == 0`; [`TestError::TooShort`] if
+/// no complete block fits.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_nist::basic::block_frequency;
+/// // §2.2.4 example: ε = 0110011010, m = 3, p = 0.801252.
+/// let bits = BitVec::from_binary_str("0110011010").unwrap();
+/// assert!((block_frequency(&bits, 3)? - 0.801252).abs() < 1e-6);
+/// # Ok::<(), ropuf_nist::TestError>(())
+/// ```
+pub fn block_frequency(bits: &BitVec, m: usize) -> Result<f64, TestError> {
+    if m == 0 {
+        return Err(TestError::BadParameter { name: "m", constraint: "m >= 1" });
+    }
+    let n = bits.len();
+    if n < m {
+        return Err(TestError::TooShort { required: m, actual: n });
+    }
+    let blocks = n / m;
+    let mut chi2 = 0.0;
+    for b in 0..blocks {
+        let ones = (0..m)
+            .filter(|&i| bits.get(b * m + i).expect("in range"))
+            .count();
+        let pi = ones as f64 / m as f64;
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * m as f64;
+    Ok(igamc(blocks as f64 / 2.0, chi2 / 2.0))
+}
+
+/// §2.3 Runs test.
+///
+/// Counts maximal runs of identical bits; under randomness the count is
+/// approximately normal around `2nπ(1−π)`.
+///
+/// Per the specification, if the ones fraction `π` fails the prerequisite
+/// `|π − ½| < 2/√n`, the test returns `p = 0` (the Frequency test has
+/// already failed).
+///
+/// # Errors
+///
+/// [`TestError::TooShort`] for streams under 2 bits.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_nist::basic::runs;
+/// // §2.3.4 example: ε = 1001101011, p = 0.147232.
+/// let bits = BitVec::from_binary_str("1001101011").unwrap();
+/// assert!((runs(&bits)? - 0.147232).abs() < 1e-6);
+/// # Ok::<(), ropuf_nist::TestError>(())
+/// ```
+pub fn runs(bits: &BitVec) -> Result<f64, TestError> {
+    let n = bits.len();
+    if n < 2 {
+        return Err(TestError::TooShort { required: 2, actual: n });
+    }
+    let pi = bits.count_ones() as f64 / n as f64;
+    // The spec's prerequisite |π − ½| ≥ 2/√n, plus the constant-stream
+    // degenerate case it only covers for n ≥ 16 (π(1−π) = 0 would
+    // divide by zero below).
+    if (pi - 0.5).abs() >= 2.0 / (n as f64).sqrt() || pi == 0.0 || pi == 1.0 {
+        return Ok(0.0);
+    }
+    let mut v_obs = 1usize;
+    let mut prev = bits.get(0).expect("non-empty");
+    for b in bits.iter().skip(1) {
+        if b != prev {
+            v_obs += 1;
+        }
+        prev = b;
+    }
+    let num = (v_obs as f64 - 2.0 * n as f64 * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n as f64).sqrt() * pi * (1.0 - pi);
+    Ok(erfc(num / den))
+}
+
+/// §2.4 Longest Run of Ones test.
+///
+/// The block length `M`, category count, and reference probabilities are
+/// chosen from the stream length per the specification (`M = 8` for
+/// `128 ≤ n < 6272`, `M = 128` for `n < 750 000`, `M = 10⁴` beyond).
+///
+/// # Errors
+///
+/// [`TestError::TooShort`] for streams under 128 bits.
+pub fn longest_run_of_ones(bits: &BitVec) -> Result<f64, TestError> {
+    let n = bits.len();
+    if n < 128 {
+        return Err(TestError::TooShort { required: 128, actual: n });
+    }
+    // (M, category lower bounds, reference probabilities).
+    let (m, lows, probs): (usize, &[usize], &[f64]) = if n < 6272 {
+        (8, &[1, 2, 3, 4], &[0.2148, 0.3672, 0.2305, 0.1875])
+    } else if n < 750_000 {
+        (
+            128,
+            &[4, 5, 6, 7, 8, 9],
+            &[0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124],
+        )
+    } else {
+        (
+            10_000,
+            &[10, 11, 12, 13, 14, 15, 16],
+            &[0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727],
+        )
+    };
+    let blocks = n / m;
+    let k = lows.len() - 1; // degrees of freedom
+    let mut counts = vec![0usize; lows.len()];
+    for b in 0..blocks {
+        let mut longest = 0usize;
+        let mut current = 0usize;
+        for i in 0..m {
+            if bits.get(b * m + i).expect("in range") {
+                current += 1;
+                longest = longest.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        // Clamp into [lows[0], lows[last]].
+        let mut cat = 0;
+        for (c, &low) in lows.iter().enumerate() {
+            if longest >= low {
+                cat = c;
+            }
+        }
+        counts[cat] += 1;
+    }
+    let nf = blocks as f64;
+    let chi2: f64 = counts
+        .iter()
+        .zip(probs)
+        .map(|(&v, &p)| {
+            let e = nf * p;
+            (v as f64 - e) * (v as f64 - e) / e
+        })
+        .sum();
+    Ok(igamc(k as f64 / 2.0, chi2 / 2.0))
+}
+
+/// Direction of the [`cumulative_sums`] scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CusumMode {
+    /// Partial sums from the start of the stream.
+    #[default]
+    Forward,
+    /// Partial sums from the end of the stream.
+    Backward,
+}
+
+/// §2.13 Cumulative Sums test.
+///
+/// `z` is the maximum absolute partial ±1 sum; the p-value sums normal
+/// CDF differences per the specification's two-series formula.
+///
+/// # Errors
+///
+/// [`TestError::TooShort`] for streams under 2 bits.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_nist::basic::{cumulative_sums, CusumMode};
+/// // §2.13.4 example: ε = 1011010111, forward p = 0.411658.
+/// let bits = BitVec::from_binary_str("1011010111").unwrap();
+/// let p = cumulative_sums(&bits, CusumMode::Forward)?;
+/// assert!((p - 0.4116).abs() < 2e-4);
+/// # Ok::<(), ropuf_nist::TestError>(())
+/// ```
+pub fn cumulative_sums(bits: &BitVec, mode: CusumMode) -> Result<f64, TestError> {
+    let n = bits.len();
+    if n < 2 {
+        return Err(TestError::TooShort { required: 2, actual: n });
+    }
+    let seq: Vec<i64> = match mode {
+        CusumMode::Forward => bits.iter().map(|b| if b { 1 } else { -1 }).collect(),
+        CusumMode::Backward => bits
+            .to_bools()
+            .into_iter()
+            .rev()
+            .map(|b| if b { 1 } else { -1 })
+            .collect(),
+    };
+    let mut s = 0i64;
+    let mut z = 0i64;
+    for v in seq {
+        s += v;
+        z = z.max(s.abs());
+    }
+    if z == 0 {
+        // Degenerate (impossible for real ±1 data of n ≥ 1, but keep a
+        // defined answer): maximally uniform walk is wildly non-random.
+        return Ok(0.0);
+    }
+    let nf = n as f64;
+    let zf = z as f64;
+    let sqrt_n = nf.sqrt();
+    let mut p = 1.0;
+    let k_lo = ((-nf / zf + 1.0) / 4.0).floor() as i64;
+    let k_hi = ((nf / zf - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let kf = k as f64;
+        p -= normal_cdf((4.0 * kf + 1.0) * zf / sqrt_n)
+            - normal_cdf((4.0 * kf - 1.0) * zf / sqrt_n);
+    }
+    let k_lo = ((-nf / zf - 3.0) / 4.0).floor() as i64;
+    let k_hi = ((nf / zf - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let kf = k as f64;
+        p += normal_cdf((4.0 * kf + 3.0) * zf / sqrt_n)
+            - normal_cdf((4.0 * kf + 1.0) * zf / sqrt_n);
+    }
+    Ok(p.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(s: &str) -> BitVec {
+        BitVec::from_binary_str(s).unwrap()
+    }
+
+    /// First 100 bits of the binary expansion of π from SP 800-22 §2.1.8.
+    const PI_100: &str = "11001001000011111101101010100010001000010110100011\
+                          00001000110100110001001100011001100010100010111000";
+
+    fn pi100() -> BitVec {
+        bv(&PI_100.replace(char::is_whitespace, ""))
+    }
+
+    #[test]
+    fn frequency_worked_examples() {
+        assert!((frequency(&bv("1011010101")).unwrap() - 0.527089).abs() < 1e-6);
+        // §2.1.8: first 100 bits of π, p = 0.109599.
+        assert!((frequency(&pi100()).unwrap() - 0.109599).abs() < 1e-5);
+    }
+
+    #[test]
+    fn frequency_extremes() {
+        let ones = BitVec::from_binary_str(&"1".repeat(1000)).unwrap();
+        assert!(frequency(&ones).unwrap() < 1e-10);
+        let balanced: BitVec = (0..1000).map(|i| i % 2 == 0).collect();
+        assert!((frequency(&balanced).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_frequency_worked_example() {
+        assert!((block_frequency(&bv("0110011010"), 3).unwrap() - 0.801252).abs() < 1e-6);
+    }
+
+    #[test]
+    fn block_frequency_detects_clustered_bias() {
+        // Alternating blocks of ones and zeros: each block wildly biased.
+        let mut s = String::new();
+        for i in 0..50 {
+            s.push_str(if i % 2 == 0 { "11111111" } else { "00000000" });
+        }
+        let p = block_frequency(&bv(&s), 8).unwrap();
+        assert!(p < 1e-10, "p {p}");
+    }
+
+    #[test]
+    fn runs_worked_example() {
+        assert!((runs(&bv("1001101011")).unwrap() - 0.147232).abs() < 1e-6);
+        // §2.3.8: the 100 π bits, p = 0.500798.
+        assert!((runs(&pi100()).unwrap() - 0.500798).abs() < 1e-5);
+    }
+
+    #[test]
+    fn runs_prerequisite_failure_returns_zero() {
+        let biased = BitVec::from_binary_str(&("1".repeat(90) + &"0".repeat(10))).unwrap();
+        assert_eq!(runs(&biased).unwrap(), 0.0);
+        // Degenerate constant streams short enough to pass the π
+        // prerequisite must not divide by zero.
+        assert_eq!(runs(&bv("11")).unwrap(), 0.0);
+        assert_eq!(runs(&bv("000")).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn runs_detects_alternation() {
+        let alt: BitVec = (0..1000).map(|i| i % 2 == 0).collect();
+        assert!(runs(&alt).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn longest_run_matches_spec_example() {
+        // §2.4.8 example: the given 128-bit sequence, p = 0.180609.
+        let eps = "11001100000101010110110001001100111000000000001001\
+                   00110101010001000100111101011010000000110101111100\
+                   1100111001101101100010110010";
+        let p = longest_run_of_ones(&bv(&eps.replace(char::is_whitespace, ""))).unwrap();
+        assert!((p - 0.18060).abs() < 2e-4, "p {p}");
+    }
+
+    #[test]
+    fn longest_run_rejects_short_input() {
+        assert_eq!(
+            longest_run_of_ones(&bv(&"10".repeat(30))),
+            Err(TestError::TooShort { required: 128, actual: 60 })
+        );
+    }
+
+    #[test]
+    fn longest_run_detects_long_blocks() {
+        let s = "1".repeat(64).to_string() + &"01".repeat(512);
+        let p = longest_run_of_ones(&bv(&s)).unwrap();
+        assert!(p < 1e-6, "p {p}");
+    }
+
+    #[test]
+    fn cusum_worked_example() {
+        let bits = bv("1011010111");
+        assert!((cumulative_sums(&bits, CusumMode::Forward).unwrap() - 0.4116).abs() < 2e-4);
+        // §2.13.8: 100 π bits: forward 0.219194, backward 0.114866.
+        assert!(
+            (cumulative_sums(&pi100(), CusumMode::Forward).unwrap() - 0.2192).abs() < 5e-4
+        );
+        assert!(
+            (cumulative_sums(&pi100(), CusumMode::Backward).unwrap() - 0.1149).abs() < 5e-4
+        );
+    }
+
+    #[test]
+    fn cusum_detects_drift() {
+        let drift = BitVec::from_binary_str(&("1".repeat(400) + &"0".repeat(200))).unwrap();
+        assert!(cumulative_sums(&drift, CusumMode::Forward).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn short_inputs_rejected() {
+        let one = bv("1");
+        assert!(matches!(frequency(&one), Err(TestError::TooShort { .. })));
+        assert!(matches!(runs(&one), Err(TestError::TooShort { .. })));
+        assert!(matches!(
+            cumulative_sums(&one, CusumMode::Forward),
+            Err(TestError::TooShort { .. })
+        ));
+        assert!(matches!(
+            block_frequency(&one, 0),
+            Err(TestError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn p_values_in_unit_interval_on_random_data() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let bits: BitVec = (0..512).map(|_| rng.gen::<bool>()).collect();
+            for p in [
+                frequency(&bits).unwrap(),
+                block_frequency(&bits, 16).unwrap(),
+                runs(&bits).unwrap(),
+                longest_run_of_ones(&bits).unwrap(),
+                cumulative_sums(&bits, CusumMode::Forward).unwrap(),
+                cumulative_sums(&bits, CusumMode::Backward).unwrap(),
+            ] {
+                assert!((0.0..=1.0).contains(&p), "p {p}");
+            }
+        }
+    }
+}

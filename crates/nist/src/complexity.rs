@@ -1,0 +1,236 @@
+//! §2.10 Linear Complexity and §2.9 Maurer's Universal Statistical tests.
+
+use ropuf_num::bits::BitVec;
+use ropuf_num::gf2;
+use ropuf_num::special::{erfc, igamc};
+
+use crate::error::TestError;
+
+/// Reference probabilities of the seven `T` buckets of the Linear
+/// Complexity test (SP 800-22 §3.10).
+const LC_PI: [f64; 7] = [
+    0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833,
+];
+
+/// §2.10 Linear Complexity test with block length `m` (the specification
+/// recommends `500 ≤ m ≤ 5000`).
+///
+/// Computes the Berlekamp–Massey complexity of each block, centers it
+/// with the theoretical mean `μ`, buckets the `T` statistic into seven
+/// categories, and χ²-tests against the reference probabilities.
+///
+/// # Errors
+///
+/// * [`TestError::BadParameter`] if `m < 4`.
+/// * [`TestError::TooShort`] if fewer than one block fits.
+pub fn linear_complexity(bits: &BitVec, m: usize) -> Result<f64, TestError> {
+    if m < 4 {
+        return Err(TestError::BadParameter { name: "m", constraint: "m >= 4" });
+    }
+    let n = bits.len();
+    if n < m {
+        return Err(TestError::TooShort { required: m, actual: n });
+    }
+    let blocks = n / m;
+    let mf = m as f64;
+    let sign = if m.is_multiple_of(2) { 1.0 } else { -1.0 };
+    let mu = mf / 2.0 + (9.0 + sign) / 36.0 - (mf / 3.0 + 2.0 / 9.0) / 2f64.powi(m as i32);
+    let t_sign = if m.is_multiple_of(2) { 1.0 } else { -1.0 };
+
+    let mut counts = [0usize; 7];
+    let bools = bits.to_bools();
+    for b in 0..blocks {
+        let block = &bools[b * m..(b + 1) * m];
+        let l = gf2::linear_complexity(block) as f64;
+        let t = t_sign * (l - mu) + 2.0 / 9.0;
+        let bucket = if t <= -2.5 {
+            0
+        } else if t <= -1.5 {
+            1
+        } else if t <= -0.5 {
+            2
+        } else if t <= 0.5 {
+            3
+        } else if t <= 1.5 {
+            4
+        } else if t <= 2.5 {
+            5
+        } else {
+            6
+        };
+        counts[bucket] += 1;
+    }
+    let nf = blocks as f64;
+    let chi2: f64 = counts
+        .iter()
+        .zip(&LC_PI)
+        .map(|(&c, &p)| {
+            let e = nf * p;
+            (c as f64 - e) * (c as f64 - e) / e
+        })
+        .sum();
+    Ok(igamc(3.0, chi2 / 2.0))
+}
+
+/// Expected value and variance tables for Maurer's Universal test,
+/// indexed by `L − 6` (SP 800-22 §2.9.4, Table 2-10: L = 6..16).
+const UNIVERSAL_EXPECTED: [f64; 11] = [
+    5.2177052, 6.1962507, 7.1836656, 8.1764248, 9.1723243, 10.170032, 11.168765,
+    12.168070, 13.167693, 14.167488, 15.167379,
+];
+const UNIVERSAL_VARIANCE: [f64; 11] = [
+    2.954, 3.125, 3.238, 3.311, 3.356, 3.384, 3.401, 3.410, 3.416, 3.419, 3.421,
+];
+
+/// Selects the block length `L` from the stream length per the
+/// specification's table (`n ≥ 387 840` → `L = 6`, rising to `L = 16`
+/// beyond 10⁹ bits). Returns `None` for shorter streams.
+pub fn universal_block_length(n: usize) -> Option<usize> {
+    const THRESHOLDS: [(usize, usize); 11] = [
+        (387_840, 6),
+        (904_960, 7),
+        (2_068_480, 8),
+        (4_654_080, 9),
+        (10_342_400, 10),
+        (22_753_280, 11),
+        (49_643_520, 12),
+        (107_560_960, 13),
+        (231_669_760, 14),
+        (496_435_200, 15),
+        (1_059_061_760, 16),
+    ];
+    let mut chosen = None;
+    for &(min_n, l) in &THRESHOLDS {
+        if n >= min_n {
+            chosen = Some(l);
+        }
+    }
+    chosen
+}
+
+/// §2.9 Maurer's Universal Statistical test.
+///
+/// Uses the spec-mandated parameterization: block length `L` from
+/// [`universal_block_length`], `Q = 10·2^L` initialization blocks, and
+/// the remaining `K` blocks for the statistic
+/// `fn = (1/K) Σ log₂(distance to previous occurrence)`.
+///
+/// # Errors
+///
+/// [`TestError::TooShort`] for streams under 387 840 bits.
+pub fn universal(bits: &BitVec) -> Result<f64, TestError> {
+    let n = bits.len();
+    let Some(l) = universal_block_length(n) else {
+        return Err(TestError::TooShort { required: 387_840, actual: n });
+    };
+    let q = 10 * (1usize << l);
+    let total_blocks = n / l;
+    let k = total_blocks - q;
+    let mut last_seen = vec![0usize; 1 << l];
+
+    let block_value = |idx: usize| -> usize {
+        let mut v = 0usize;
+        for j in 0..l {
+            v = (v << 1) | usize::from(bits.get(idx * l + j).expect("in range"));
+        }
+        v
+    };
+    for i in 0..q {
+        last_seen[block_value(i)] = i + 1;
+    }
+    let mut sum = 0.0;
+    for i in q..total_blocks {
+        let v = block_value(i);
+        let distance = (i + 1) - last_seen[v];
+        sum += (distance as f64).log2();
+        last_seen[v] = i + 1;
+    }
+    let f_n = sum / k as f64;
+    let expected = UNIVERSAL_EXPECTED[l - 6];
+    let variance = UNIVERSAL_VARIANCE[l - 6];
+    // Finite-K correction factor c from §2.9.4.
+    let c = 0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
+    let sigma = c * (variance / k as f64).sqrt();
+    Ok(erfc(((f_n - expected) / sigma).abs() / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> BitVec {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn lc_reference_probabilities_sum_to_one() {
+        let s: f64 = LC_PI.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5, "sum {s}");
+    }
+
+    #[test]
+    fn lc_random_passes() {
+        let bits = random_bits(500 * 100, 3);
+        let p = linear_complexity(&bits, 500).unwrap();
+        assert!(p > 0.001, "p {p}");
+    }
+
+    #[test]
+    fn lc_lfsr_stream_fails() {
+        // A short LFSR has constant low complexity in every block.
+        let mut state = 0b1001u32;
+        let bits: BitVec = (0..500 * 50)
+            .map(|_| {
+                let out = state & 1 == 1;
+                let fb = ((state >> 3) ^ state) & 1;
+                state = (state >> 1) | (fb << 3);
+                out
+            })
+            .collect();
+        let p = linear_complexity(&bits, 500).unwrap();
+        assert!(p < 1e-10, "p {p}");
+    }
+
+    #[test]
+    fn lc_errors() {
+        let bits = random_bits(100, 0);
+        assert!(matches!(
+            linear_complexity(&bits, 2),
+            Err(TestError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            linear_complexity(&bits, 500),
+            Err(TestError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn universal_block_length_table() {
+        assert_eq!(universal_block_length(100), None);
+        assert_eq!(universal_block_length(387_840), Some(6));
+        assert_eq!(universal_block_length(904_960), Some(7));
+        assert_eq!(universal_block_length(2_068_480), Some(8));
+    }
+
+    #[test]
+    fn universal_random_passes() {
+        let bits = random_bits(400_000, 11);
+        let p = universal(&bits).unwrap();
+        assert!(p > 0.001, "p {p}");
+    }
+
+    #[test]
+    fn universal_periodic_fails() {
+        let bits: BitVec = (0..400_000).map(|i| (i / 3) % 2 == 0).collect();
+        let p = universal(&bits).unwrap();
+        assert!(p < 1e-10, "p {p}");
+    }
+
+    #[test]
+    fn universal_too_short() {
+        let bits = random_bits(1000, 0);
+        assert!(matches!(universal(&bits), Err(TestError::TooShort { .. })));
+    }
+}

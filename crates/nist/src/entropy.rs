@@ -1,0 +1,215 @@
+//! §2.11 Serial and §2.12 Approximate Entropy tests.
+//!
+//! Both tests count overlapping `m`-bit patterns with wraparound
+//! (the stream is treated as circular, per the specification).
+
+use ropuf_num::bits::BitVec;
+use ropuf_num::special::igamc;
+
+use crate::error::TestError;
+
+/// Counts of all `2^m` overlapping patterns with wraparound.
+/// `psi2(m) = (2^m / n) Σ c_i² − n`; `psi2(0) = psi2(-1) = 0`.
+fn psi_squared(bits: &BitVec, m: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let n = bits.len();
+    let mut counts = vec![0u64; 1 << m];
+    let mask = (1usize << m) - 1;
+    // Build the initial window.
+    let bit = |i: usize| usize::from(bits.get(i % n).expect("mod n"));
+    let mut window = 0usize;
+    for i in 0..m {
+        window = (window << 1) | bit(i);
+    }
+    for i in 0..n {
+        counts[window] += 1;
+        window = ((window << 1) | bit(i + m)) & mask;
+    }
+    let sum_sq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    (1 << m) as f64 / n as f64 * sum_sq - n as f64
+}
+
+/// §2.11 Serial test with pattern length `m`, returning the two p-values
+/// `(P-value1, P-value2)` from the first and second ψ² differences.
+///
+/// # Errors
+///
+/// * [`TestError::BadParameter`] if `m < 2`.
+/// * [`TestError::TooShort`] if `n < m + 2` (no overlapping patterns
+///   exist). The specification's *recommendation* `m < log2(n) − 2` is a
+///   matter of suite configuration, not a hard bound — its own worked
+///   example runs m = 3 on 10 bits.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_nist::entropy::serial;
+/// // §2.11.4 example: ε = 0011011101, m = 3 → p1 = 0.808792,
+/// // p2 = 0.670320.
+/// let bits = BitVec::from_binary_str("0011011101").unwrap();
+/// let [p1, p2] = serial(&bits, 3)?;
+/// assert!((p1 - 0.808792).abs() < 1e-5);
+/// assert!((p2 - 0.670320).abs() < 1e-5);
+/// # Ok::<(), ropuf_nist::TestError>(())
+/// ```
+pub fn serial(bits: &BitVec, m: usize) -> Result<[f64; 2], TestError> {
+    if m < 2 {
+        return Err(TestError::BadParameter { name: "m", constraint: "m >= 2" });
+    }
+    let n = bits.len();
+    let required = m + 2;
+    if n < required {
+        return Err(TestError::TooShort { required, actual: n });
+    }
+    let psi_m = psi_squared(bits, m);
+    let psi_m1 = psi_squared(bits, m - 1);
+    let psi_m2 = psi_squared(bits, m.saturating_sub(2));
+    // The differences are non-negative in exact arithmetic; clamp the
+    // floating-point dust so igamc never sees a negative statistic.
+    let d1 = (psi_m - psi_m1).max(0.0);
+    let d2 = (psi_m - 2.0 * psi_m1 + psi_m2).max(0.0);
+    let p1 = igamc(2f64.powi(m as i32 - 2), d1 / 2.0);
+    let p2 = igamc(2f64.powi(m as i32 - 3), d2 / 2.0);
+    Ok([p1, p2])
+}
+
+/// §2.12 Approximate Entropy test with pattern length `m`.
+///
+/// `ApEn(m) = φ(m) − φ(m+1)`; the statistic `χ² = 2n (ln 2 − ApEn)` is
+/// χ²-distributed with `2^m` degrees of freedom.
+///
+/// # Errors
+///
+/// * [`TestError::BadParameter`] if `m == 0`.
+/// * [`TestError::TooShort`] if `n < m + 3` (no `m+1`-patterns exist).
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_nist::entropy::approximate_entropy;
+/// // §2.12.4 example: ε = 0100110101, m = 3 → p = 0.261961.
+/// let bits = BitVec::from_binary_str("0100110101").unwrap();
+/// let p = approximate_entropy(&bits, 3)?;
+/// assert!((p - 0.261961).abs() < 1e-5);
+/// # Ok::<(), ropuf_nist::TestError>(())
+/// ```
+pub fn approximate_entropy(bits: &BitVec, m: usize) -> Result<f64, TestError> {
+    if m == 0 {
+        return Err(TestError::BadParameter { name: "m", constraint: "m >= 1" });
+    }
+    let n = bits.len();
+    let required = m + 3;
+    if n < required {
+        return Err(TestError::TooShort { required, actual: n });
+    }
+    let phi = |mm: usize| -> f64 {
+        let nn = bits.len();
+        let mut counts = vec![0u64; 1 << mm];
+        let mask = (1usize << mm) - 1;
+        let bit = |i: usize| usize::from(bits.get(i % nn).expect("mod n"));
+        let mut window = 0usize;
+        for i in 0..mm {
+            window = (window << 1) | bit(i);
+        }
+        for i in 0..nn {
+            counts[window] += 1;
+            window = ((window << 1) | bit(i + mm)) & mask;
+        }
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let pi = c as f64 / nn as f64;
+                pi * pi.ln()
+            })
+            .sum()
+    };
+    let apen = phi(m) - phi(m + 1);
+    let chi2 = (2.0 * n as f64 * (std::f64::consts::LN_2 - apen)).max(0.0);
+    Ok(igamc(2f64.powi(m as i32 - 1), chi2 / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn bv(s: &str) -> BitVec {
+        BitVec::from_binary_str(s).unwrap()
+    }
+
+    #[test]
+    fn psi_squared_hand_computed() {
+        // ε = 0011011101 (§2.11.4): ψ²₃ = 2.8, ψ²₂ = 1.2, ψ²₁ = 0.4.
+        let bits = bv("0011011101");
+        assert!((psi_squared(&bits, 3) - 2.8).abs() < 1e-9);
+        assert!((psi_squared(&bits, 2) - 1.2).abs() < 1e-9);
+        assert!((psi_squared(&bits, 1) - 0.4).abs() < 1e-9);
+        assert_eq!(psi_squared(&bits, 0), 0.0);
+    }
+
+    #[test]
+    fn serial_worked_example() {
+        let [p1, p2] = serial(&bv("0011011101"), 3).unwrap();
+        assert!((p1 - 0.808792).abs() < 1e-5, "p1 {p1}");
+        assert!((p2 - 0.670320).abs() < 1e-5, "p2 {p2}");
+    }
+
+    #[test]
+    fn serial_detects_periodicity() {
+        let bits: BitVec = (0..4096).map(|i| i % 2 == 0).collect();
+        let [p1, _] = serial(&bits, 3).unwrap();
+        assert!(p1 < 1e-10, "p1 {p1}");
+    }
+
+    #[test]
+    fn serial_random_passes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let bits: BitVec = (0..4096).map(|_| rng.gen::<bool>()).collect();
+        let [p1, p2] = serial(&bits, 5).unwrap();
+        assert!(p1 > 0.001 && p2 > 0.001, "{p1} {p2}");
+    }
+
+    #[test]
+    fn serial_errors() {
+        assert!(matches!(serial(&bv("0101"), 1), Err(TestError::BadParameter { .. })));
+        assert!(matches!(serial(&bv("0101"), 4), Err(TestError::TooShort { .. })));
+    }
+
+    #[test]
+    fn apen_worked_example() {
+        let p = approximate_entropy(&bv("0100110101"), 3).unwrap();
+        assert!((p - 0.261961).abs() < 1e-5, "p {p}");
+    }
+
+    #[test]
+    fn apen_of_constant_stream_is_zero_entropy() {
+        let bits = BitVec::from_binary_str(&"1".repeat(1024)).unwrap();
+        let p = approximate_entropy(&bits, 2).unwrap();
+        assert!(p < 1e-10, "p {p}");
+    }
+
+    #[test]
+    fn apen_random_passes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let bits: BitVec = (0..8192).map(|_| rng.gen::<bool>()).collect();
+        let p = approximate_entropy(&bits, 4).unwrap();
+        assert!(p > 0.001, "p {p}");
+    }
+
+    #[test]
+    fn apen_errors() {
+        assert!(matches!(
+            approximate_entropy(&bv("0101"), 0),
+            Err(TestError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            approximate_entropy(&bv("0101"), 2),
+            Err(TestError::TooShort { .. })
+        ));
+    }
+}

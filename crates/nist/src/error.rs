@@ -1,0 +1,63 @@
+//! Error type shared by every statistical test.
+
+use std::fmt;
+
+/// Reasons a test cannot produce a p-value for the given input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestError {
+    /// The stream is shorter than the test's hard minimum.
+    TooShort {
+        /// Minimum bits the test's mathematics requires.
+        required: usize,
+        /// Bits actually supplied.
+        actual: usize,
+    },
+    /// A test parameter is out of its valid range.
+    BadParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint description.
+        constraint: &'static str,
+    },
+    /// The random-excursions tests observed too few cycles to form
+    /// their statistic.
+    TooFewCycles {
+        /// Cycles observed.
+        observed: usize,
+        /// Cycles required.
+        required: usize,
+    },
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestError::TooShort { required, actual } => {
+                write!(f, "stream of {actual} bits is below the required {required}")
+            }
+            TestError::BadParameter { name, constraint } => {
+                write!(f, "parameter {name} violates constraint: {constraint}")
+            }
+            TestError::TooFewCycles { observed, required } => {
+                write!(f, "only {observed} zero-crossing cycles observed; {required} required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TestError::TooShort { required: 100, actual: 10 };
+        assert!(e.to_string().contains("below the required 100"));
+        let e = TestError::BadParameter { name: "m", constraint: "m >= 2" };
+        assert!(e.to_string().contains("parameter m"));
+        let e = TestError::TooFewCycles { observed: 1, required: 2 };
+        assert!(e.to_string().contains("cycles"));
+    }
+}

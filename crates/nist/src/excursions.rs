@@ -1,0 +1,222 @@
+//! §2.14 Random Excursions and §2.15 Random Excursions Variant tests.
+
+use ropuf_num::bits::BitVec;
+use ropuf_num::special::{erfc, igamc};
+
+use crate::error::TestError;
+
+/// The eight states examined by the Random Excursions test.
+pub const EXCURSION_STATES: [i32; 8] = [-4, -3, -2, -1, 1, 2, 3, 4];
+
+/// The eighteen states examined by the Variant test.
+pub const VARIANT_STATES: [i32; 18] = [
+    -9, -8, -7, -6, -5, -4, -3, -2, -1, 1, 2, 3, 4, 5, 6, 7, 8, 9,
+];
+
+/// Splits the ±1 random walk into zero-crossing cycles. Returns the list
+/// of cycles, each a vector of partial-sum values (excluding the leading
+/// and trailing zeros).
+fn cycles(bits: &BitVec) -> Vec<Vec<i32>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut s = 0i32;
+    for b in bits.iter() {
+        s += if b { 1 } else { -1 };
+        if s == 0 {
+            out.push(std::mem::take(&mut current));
+        } else {
+            current.push(s);
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Theoretical probability that state `x` is visited exactly `k` times
+/// in one cycle (SP 800-22 §3.14): `π_0 = 1 − 1/(2|x|)`,
+/// `π_k = (1/(4x²)) (1 − 1/(2|x|))^{k−1}` for `1 ≤ k ≤ 4`,
+/// `π_5 = (1/(2|x|)) (1 − 1/(2|x|))⁴` (the ≥5 tail).
+fn pi_k(x: i32, k: usize) -> f64 {
+    let ax = x.unsigned_abs() as f64;
+    let q = 1.0 - 1.0 / (2.0 * ax);
+    match k {
+        0 => q,
+        1..=4 => q.powi(k as i32 - 1) / (4.0 * ax * ax),
+        5 => q.powi(4) / (2.0 * ax),
+        _ => unreachable!("buckets are 0..=5"),
+    }
+}
+
+/// §2.14 Random Excursions test.
+///
+/// Returns one p-value per state in [`EXCURSION_STATES`] order.
+///
+/// # Errors
+///
+/// * [`TestError::TooShort`] for streams under 128 bits.
+/// * [`TestError::TooFewCycles`] if the walk completes fewer cycles than
+///   `max(0.005·√n, 500)` — the specification's applicability bound.
+pub fn random_excursions(bits: &BitVec) -> Result<[f64; 8], TestError> {
+    let n = bits.len();
+    if n < 128 {
+        return Err(TestError::TooShort { required: 128, actual: n });
+    }
+    let cyc = cycles(bits);
+    let j = cyc.len();
+    let required = (0.005 * (n as f64).sqrt()).max(500.0) as usize;
+    if j < required {
+        return Err(TestError::TooFewCycles { observed: j, required });
+    }
+    let mut p_values = [0.0f64; 8];
+    for (si, &x) in EXCURSION_STATES.iter().enumerate() {
+        // Bucket the per-cycle visit counts of state x into 0..=5+.
+        let mut buckets = [0usize; 6];
+        for c in &cyc {
+            let visits = c.iter().filter(|&&v| v == x).count();
+            buckets[visits.min(5)] += 1;
+        }
+        let jf = j as f64;
+        let chi2: f64 = (0..6)
+            .map(|k| {
+                let e = jf * pi_k(x, k);
+                (buckets[k] as f64 - e) * (buckets[k] as f64 - e) / e
+            })
+            .sum();
+        p_values[si] = igamc(2.5, chi2 / 2.0);
+    }
+    Ok(p_values)
+}
+
+/// §2.15 Random Excursions Variant test.
+///
+/// Returns one p-value per state in [`VARIANT_STATES`] order:
+/// `p = erfc(|ξ(x) − J| / √(2J(4|x| − 2)))` where `ξ(x)` is the total
+/// number of visits to state `x` across the whole walk.
+///
+/// # Errors
+///
+/// Same applicability conditions as [`random_excursions`].
+pub fn random_excursions_variant(bits: &BitVec) -> Result<[f64; 18], TestError> {
+    let n = bits.len();
+    if n < 128 {
+        return Err(TestError::TooShort { required: 128, actual: n });
+    }
+    let cyc = cycles(bits);
+    let j = cyc.len();
+    let required = (0.005 * (n as f64).sqrt()).max(500.0) as usize;
+    if j < required {
+        return Err(TestError::TooFewCycles { observed: j, required });
+    }
+    let jf = j as f64;
+    let mut p_values = [0.0f64; 18];
+    for (si, &x) in VARIANT_STATES.iter().enumerate() {
+        let xi: usize = cyc
+            .iter()
+            .map(|c| c.iter().filter(|&&v| v == x).count())
+            .sum();
+        let denom = (2.0 * jf * (4.0 * x.abs() as f64 - 2.0)).sqrt();
+        p_values[si] = erfc((xi as f64 - jf).abs() / denom);
+    }
+    Ok(p_values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_bits(n: usize, seed: u64) -> BitVec {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<bool>()).collect()
+    }
+
+    #[test]
+    fn cycles_of_simple_walk() {
+        // 1 -1 1 -1 → two cycles [1], [1].
+        let bits = BitVec::from_binary_str("1010").unwrap();
+        let c = cycles(&bits);
+        assert_eq!(c, vec![vec![1], vec![1]]);
+        // Unterminated tail forms a final cycle.
+        let bits = BitVec::from_binary_str("1011").unwrap();
+        let c = cycles(&bits);
+        assert_eq!(c, vec![vec![1], vec![1, 2]]);
+    }
+
+    #[test]
+    fn pi_probabilities_sum_to_one() {
+        for &x in &EXCURSION_STATES {
+            let s: f64 = (0..=5).map(|k| pi_k(x, k)).sum();
+            assert!((s - 1.0).abs() < 1e-12, "x={x} sum={s}");
+        }
+    }
+
+    #[test]
+    fn pi_values_match_spec_table_for_x1() {
+        // §3.14 table: x = 1 → π₀ = 0.5, π₁ = 0.25, π₂ = 0.125.
+        assert!((pi_k(1, 0) - 0.5).abs() < 1e-12);
+        assert!((pi_k(1, 1) - 0.25).abs() < 1e-12);
+        assert!((pi_k(1, 2) - 0.125).abs() < 1e-12);
+        // x = 4 → π₀ = 0.875, π₁ = 0.015625.
+        assert!((pi_k(4, 0) - 0.875).abs() < 1e-12);
+        assert!((pi_k(4, 1) - 0.015625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_stream_passes_both_tests() {
+        // The cycle count of a random walk is half-normal with a large
+        // spread, so scan seeds for a stream the test accepts (this is
+        // exactly what NIST's applicability rule does: it simply skips
+        // streams with too few cycles).
+        let bits = (0..20u64)
+            .map(|seed| random_bits(1 << 20, seed))
+            .find(|b| random_excursions(b).is_ok())
+            .expect("some seed yields >= 500 cycles");
+        let ps = random_excursions(&bits).unwrap();
+        for (i, &p) in ps.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p > 1e-4, "state {} p {p}", EXCURSION_STATES[i]);
+        }
+        let ps = random_excursions_variant(&bits).unwrap();
+        for &p in &ps {
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p > 1e-4);
+        }
+    }
+
+    #[test]
+    fn biased_walk_has_too_few_cycles() {
+        // 75 % ones: the walk drifts away and rarely crosses zero.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let bits: BitVec = (0..1 << 18).map(|_| rng.gen::<f64>() < 0.75).collect();
+        assert!(matches!(
+            random_excursions(&bits),
+            Err(TestError::TooFewCycles { .. })
+        ));
+        assert!(matches!(
+            random_excursions_variant(&bits),
+            Err(TestError::TooFewCycles { .. })
+        ));
+    }
+
+    #[test]
+    fn short_stream_rejected() {
+        let bits = random_bits(64, 1);
+        assert!(matches!(random_excursions(&bits), Err(TestError::TooShort { .. })));
+        assert!(matches!(
+            random_excursions_variant(&bits),
+            Err(TestError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn structured_walk_fails_excursions() {
+        // A walk that oscillates 0→1→0 forever: state 1 visited exactly
+        // once per cycle, never states 2..4 — grossly non-random bucket
+        // distribution.
+        let bits: BitVec = (0..1 << 18).map(|i| i % 2 == 0).collect();
+        let ps = random_excursions(&bits).unwrap();
+        assert!(ps[4] < 1e-10, "state +1 p {}", ps[4]); // state +1
+    }
+}

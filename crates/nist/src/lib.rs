@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! NIST SP 800-22 Rev 1a statistical test suite, from scratch.
+//!
+//! The DAC 2014 configurable RO-PUF paper validates the randomness of its
+//! PUF output with the NIST suite (Tables I and II); this crate
+//! implements the full fifteen-test battery plus the suite-level
+//! `C1..C10 / P-VALUE / PROPORTION` report those tables are excerpts of.
+//!
+//! * [`basic`] — Frequency (monobit), Block Frequency, Runs, Longest Run
+//!   of Ones, Cumulative Sums.
+//! * [`spectral`] — Discrete Fourier Transform test.
+//! * [`matrix`] — Binary Matrix Rank test.
+//! * [`template`] — Non-overlapping and Overlapping Template Matching.
+//! * [`complexity`] — Linear Complexity and Maurer's Universal test.
+//! * [`entropy`] — Serial and Approximate Entropy tests.
+//! * [`excursions`] — Random Excursions and Random Excursions Variant.
+//! * [`suite`] — the multi-stream harness: runs every applicable test on
+//!   a set of bitstreams and aggregates decile counts, the uniformity
+//!   p-value, and the pass proportion with NIST's confidence-interval
+//!   threshold.
+//!
+//! Every p-value is computed with the same [`ropuf_num::special`]
+//! functions (`erfc`, `igamc`), and the individual tests are validated
+//! against the worked examples in SP 800-22 Rev 1a §2.
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_num::bits::BitVec;
+//! use ropuf_nist::basic::frequency;
+//!
+//! // SP 800-22 §2.1.4 worked example.
+//! let bits = BitVec::from_binary_str("1011010101").unwrap();
+//! let p = frequency(&bits)?;
+//! assert!((p - 0.527089).abs() < 1e-6);
+//! # Ok::<(), ropuf_nist::TestError>(())
+//! ```
+
+pub mod basic;
+pub mod complexity;
+pub mod entropy;
+pub mod error;
+pub mod excursions;
+pub mod matrix;
+pub mod spectral;
+pub mod suite;
+pub mod template;
+
+pub use error::TestError;
+pub use suite::{run_suite, SuiteConfig, SuiteReport, TestId};

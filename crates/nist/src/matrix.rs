@@ -1,0 +1,121 @@
+//! §2.5 Binary Matrix Rank test.
+
+use ropuf_num::bits::BitVec;
+use ropuf_num::gf2::binary_rank;
+use ropuf_num::special::igamc;
+
+use crate::error::TestError;
+
+/// Matrix side used by the specification.
+const M: usize = 32;
+/// Bits consumed per matrix.
+const BITS_PER_MATRIX: usize = M * M;
+
+/// Asymptotic probabilities of rank 32, 31, and ≤ 30 for a random
+/// 32×32 GF(2) matrix (SP 800-22 §3.5).
+const P_FULL: f64 = 0.288_8;
+const P_MINUS1: f64 = 0.577_6;
+const P_REST: f64 = 0.133_6;
+
+/// §2.5 Binary Matrix Rank test.
+///
+/// Packs the stream into disjoint 32×32 matrices (row-major), ranks them
+/// over GF(2), and χ²-tests the counts of {full rank, rank − 1, lower}
+/// against the asymptotic probabilities.
+///
+/// # Errors
+///
+/// [`TestError::TooShort`] if fewer than one full matrix (1024 bits)
+/// fits. (The specification recommends 38 matrices; the suite harness
+/// enforces that stricter bound.)
+pub fn binary_matrix_rank(bits: &BitVec) -> Result<f64, TestError> {
+    let n = bits.len();
+    if n < BITS_PER_MATRIX {
+        return Err(TestError::TooShort { required: BITS_PER_MATRIX, actual: n });
+    }
+    let matrices = n / BITS_PER_MATRIX;
+    let mut counts = [0usize; 3]; // full, full-1, rest
+    for k in 0..matrices {
+        let base = k * BITS_PER_MATRIX;
+        let rank = binary_rank(M, M, |i, j| bits.get(base + i * M + j).expect("in range"));
+        if rank == M {
+            counts[0] += 1;
+        } else if rank == M - 1 {
+            counts[1] += 1;
+        } else {
+            counts[2] += 1;
+        }
+    }
+    let nf = matrices as f64;
+    let expected = [nf * P_FULL, nf * P_MINUS1, nf * P_REST];
+    let chi2: f64 = counts
+        .iter()
+        .zip(&expected)
+        .map(|(&c, &e)| (c as f64 - e) * (c as f64 - e) / e)
+        .sum();
+    Ok(igamc(1.0, chi2 / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn random_streams_pass() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let bits: BitVec = (0..40 * 1024).map(|_| rng.gen::<bool>()).collect();
+        let p = binary_matrix_rank(&bits).unwrap();
+        assert!(p > 0.01, "p {p}");
+    }
+
+    #[test]
+    fn constant_stream_fails() {
+        // All-zero matrices have rank 0: every matrix lands in the
+        // "rest" bucket, which has probability 0.1336.
+        let bits = BitVec::zeros(40 * 1024);
+        let p = binary_matrix_rank(&bits).unwrap();
+        assert!(p < 1e-10, "p {p}");
+    }
+
+    #[test]
+    fn periodic_rows_fail() {
+        // Every row identical ⇒ rank 1 matrices.
+        let row: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+        let bits: BitVec = (0..40 * 1024).map(|i| row[i % 32]).collect();
+        let p = binary_matrix_rank(&bits).unwrap();
+        assert!(p < 1e-10, "p {p}");
+    }
+
+    #[test]
+    fn rejects_too_short() {
+        let bits = BitVec::zeros(1000);
+        assert_eq!(
+            binary_matrix_rank(&bits),
+            Err(TestError::TooShort { required: 1024, actual: 1000 })
+        );
+    }
+
+    #[test]
+    fn reference_probabilities_sum_to_one() {
+        assert!((P_FULL + P_MINUS1 + P_REST - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_rank_distribution_matches_reference() {
+        // Sanity-check the 0.2888/0.5776/0.1336 constants against
+        // simulation, which also exercises binary_rank on dense input.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let trials = 2000;
+        let mut full = 0;
+        for _ in 0..trials {
+            let bits: Vec<u32> = (0..32).map(|_| rng.gen()).collect();
+            let rank = ropuf_num::gf2::binary_rank(32, 32, |i, j| bits[i] >> j & 1 == 1);
+            if rank == 32 {
+                full += 1;
+            }
+        }
+        let frac = full as f64 / trials as f64;
+        assert!((frac - P_FULL).abs() < 0.04, "frac {frac}");
+    }
+}

@@ -1,0 +1,98 @@
+//! §2.6 Discrete Fourier Transform (spectral) test.
+
+use ropuf_num::bits::BitVec;
+use ropuf_num::fft::fft_real;
+use ropuf_num::special::erfc;
+
+use crate::error::TestError;
+
+/// §2.6 Discrete Fourier Transform test.
+///
+/// Detects periodic features: converts the stream to ±1, takes the
+/// magnitude spectrum of the first `n/2` bins, and compares the count of
+/// peaks under the 95 % threshold `T = √(n · ln(1/0.05))` against the
+/// expected `0.95·n/2`.
+///
+/// # Errors
+///
+/// [`TestError::TooShort`] for streams under 2 bits.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_nist::spectral::dft;
+/// // §2.6.4 example: ε = 1001010011, p = 0.029523... (older editions
+/// // report 0.468160 with a variance of 0.95·0.05/4; Rev 1a uses /4).
+/// let bits = BitVec::from_binary_str("1001010011").unwrap();
+/// let p = dft(&bits)?;
+/// assert!((0.0..=1.0).contains(&p));
+/// # Ok::<(), ropuf_nist::TestError>(())
+/// ```
+pub fn dft(bits: &BitVec) -> Result<f64, TestError> {
+    let n = bits.len();
+    if n < 2 {
+        return Err(TestError::TooShort { required: 2, actual: n });
+    }
+    let x = bits.to_plus_minus_one();
+    let spectrum = fft_real(&x);
+    let half = n / 2;
+    let threshold = ((1.0 / 0.05f64).ln() * n as f64).sqrt();
+    let n0 = 0.95 * half as f64;
+    let n1 = spectrum[..half]
+        .iter()
+        .filter(|c| c.abs() < threshold)
+        .count() as f64;
+    let d = (n1 - n0) / (n as f64 * 0.95 * 0.05 / 4.0).sqrt();
+    Ok(erfc(d.abs() / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rejects_strong_periodicity() {
+        // A pure square wave concentrates spectral energy in one bin and
+        // pushes every other magnitude low: N1 deviates from 0.95·n/2.
+        let bits: BitVec = (0..1024).map(|i| (i / 4) % 2 == 0).collect();
+        let p = dft(&bits).unwrap();
+        assert!(p < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn accepts_seeded_random_streams() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut low = 0;
+        for _ in 0..40 {
+            let bits: BitVec = (0..1024).map(|_| rng.gen::<bool>()).collect();
+            if dft(&bits).unwrap() < 0.01 {
+                low += 1;
+            }
+        }
+        // Around 1 % rejection expected; allow a generous margin.
+        assert!(low <= 3, "{low} of 40 rejected");
+    }
+
+    #[test]
+    fn rejects_too_short() {
+        let bits = BitVec::from_binary_str("1").unwrap();
+        assert!(matches!(dft(&bits), Err(TestError::TooShort { .. })));
+    }
+
+    #[test]
+    fn handles_non_power_of_two_lengths() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let bits: BitVec = (0..96).map(|_| rng.gen::<bool>()).collect();
+        let p = dft(&bits).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn all_ones_is_suspicious_but_defined() {
+        let bits = BitVec::from_binary_str(&"1".repeat(256)).unwrap();
+        let p = dft(&bits).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,306 @@
+//! §2.7 Non-overlapping and §2.8 Overlapping Template Matching tests.
+
+use ropuf_num::bits::BitVec;
+use ropuf_num::special::igamc;
+
+use crate::error::TestError;
+
+/// Enumerates every *aperiodic* binary template of length `m`, in
+/// ascending numeric order — the template set the full NIST battery
+/// iterates (148 templates at the standard `m = 9`).
+///
+/// A template is aperiodic when no proper prefix equals the
+/// corresponding suffix (it cannot overlap itself), which makes the
+/// non-overlapping occurrence counts independent enough for the χ²
+/// approximation.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m > 24` (the enumeration is `O(2^m · m²)`).
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_nist::template::aperiodic_templates;
+/// // m = 2: only 01 and 10.
+/// let ts = aperiodic_templates(2);
+/// let strs: Vec<String> = ts.iter().map(|t| t.to_binary_string()).collect();
+/// assert_eq!(strs, ["01", "10"]);
+/// ```
+pub fn aperiodic_templates(m: usize) -> Vec<BitVec> {
+    assert!(m > 0, "templates need at least one bit");
+    assert!(m <= 24, "template enumeration limited to m <= 24");
+    let mut out = Vec::new();
+    'candidates: for value in 0u32..(1 << m) {
+        let bit = |i: usize| value >> (m - 1 - i) & 1 == 1;
+        // Reject if any border exists: prefix of length l == suffix of
+        // length l for some 1 <= l < m.
+        for l in 1..m {
+            if (0..l).all(|i| bit(i) == bit(m - l + i)) {
+                continue 'candidates;
+            }
+        }
+        out.push((0..m).map(bit).collect());
+    }
+    out
+}
+
+/// Runs the Non-overlapping Template Matching test for *every* aperiodic
+/// template of length `m`, returning `(template, p-value)` pairs — the
+/// full battery the NIST `assess` tool reports as ~148 rows.
+///
+/// # Errors
+///
+/// Propagates the first per-template error (they are length-dependent
+/// and therefore identical across templates).
+pub fn non_overlapping_battery(
+    bits: &BitVec,
+    m: usize,
+    blocks: usize,
+) -> Result<Vec<(BitVec, f64)>, TestError> {
+    aperiodic_templates(m)
+        .into_iter()
+        .map(|t| non_overlapping_template(bits, &t, blocks).map(|p| (t, p)))
+        .collect()
+}
+
+/// §2.7 Non-overlapping Template Matching test for a single template.
+///
+/// Splits the stream into `blocks` equal blocks, counts non-overlapping
+/// occurrences of `template` in each (the scan window jumps past a match),
+/// and χ²-tests the counts against the theoretical mean
+/// `μ = (M − m + 1)/2^m` and variance
+/// `σ² = M (2^{−m} − (2m − 1) 2^{−2m})`.
+///
+/// # Errors
+///
+/// * [`TestError::BadParameter`] if the template is empty, longer than a
+///   block, or `blocks == 0`.
+/// * [`TestError::TooShort`] if the stream cannot fill the blocks.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::bits::BitVec;
+/// use ropuf_nist::template::non_overlapping_template;
+/// // §2.7.4 example: ε = 10100100101110010110, template 001, N = 2.
+/// let bits = BitVec::from_binary_str("10100100101110010110").unwrap();
+/// let tpl = BitVec::from_binary_str("001").unwrap();
+/// let p = non_overlapping_template(&bits, &tpl, 2)?;
+/// assert!((p - 0.344154).abs() < 1e-5);
+/// # Ok::<(), ropuf_nist::TestError>(())
+/// ```
+pub fn non_overlapping_template(
+    bits: &BitVec,
+    template: &BitVec,
+    blocks: usize,
+) -> Result<f64, TestError> {
+    let m = template.len();
+    if m == 0 {
+        return Err(TestError::BadParameter { name: "template", constraint: "non-empty" });
+    }
+    if blocks == 0 {
+        return Err(TestError::BadParameter { name: "blocks", constraint: "blocks >= 1" });
+    }
+    let n = bits.len();
+    let block_len = n / blocks;
+    if block_len < m {
+        return Err(TestError::TooShort { required: blocks * m, actual: n });
+    }
+    let tpl = template.to_bools();
+    let mf = m as f64;
+    let big_m = block_len as f64;
+    let mu = (big_m - mf + 1.0) / 2f64.powi(m as i32);
+    let sigma2 = big_m * (2f64.powi(-(m as i32)) - (2.0 * mf - 1.0) * 2f64.powi(-2 * m as i32));
+    let mut chi2 = 0.0;
+    for b in 0..blocks {
+        let start = b * block_len;
+        let mut count = 0usize;
+        let mut i = 0usize;
+        while i + m <= block_len {
+            let matched = (0..m).all(|j| bits.get(start + i + j).expect("in range") == tpl[j]);
+            if matched {
+                count += 1;
+                i += m;
+            } else {
+                i += 1;
+            }
+        }
+        chi2 += (count as f64 - mu) * (count as f64 - mu) / sigma2;
+    }
+    Ok(igamc(blocks as f64 / 2.0, chi2 / 2.0))
+}
+
+/// Reference probabilities for the overlapping-template bucket counts
+/// {0, 1, 2, 3, 4, ≥5}, for the standard `m = 9`, `M = 1032`, `λ = 2`
+/// parameterization (SP 800-22 §3.8).
+const OVERLAP_PI: [f64; 6] = [
+    0.364_091, 0.185_659, 0.139_381, 0.100_571, 0.070_432, 0.139_865,
+];
+
+/// Block length fixed by the specification for the overlapping test.
+const OVERLAP_BLOCK: usize = 1032;
+
+/// §2.8 Overlapping Template Matching test for the all-ones template of
+/// length `m` (the specification's standard template; `m = 9`
+/// reproduces the reference parameterization).
+///
+/// # Errors
+///
+/// * [`TestError::BadParameter`] if `m == 0` or `m > 1032`.
+/// * [`TestError::TooShort`] if fewer than one 1032-bit block fits.
+pub fn overlapping_template(bits: &BitVec, m: usize) -> Result<f64, TestError> {
+    if m == 0 || m > OVERLAP_BLOCK {
+        return Err(TestError::BadParameter { name: "m", constraint: "1 <= m <= 1032" });
+    }
+    let n = bits.len();
+    if n < OVERLAP_BLOCK {
+        return Err(TestError::TooShort { required: OVERLAP_BLOCK, actual: n });
+    }
+    let blocks = n / OVERLAP_BLOCK;
+    let mut counts = [0usize; 6];
+    for b in 0..blocks {
+        let start = b * OVERLAP_BLOCK;
+        let mut hits = 0usize;
+        for i in 0..=(OVERLAP_BLOCK - m) {
+            if (0..m).all(|j| bits.get(start + i + j).expect("in range")) {
+                hits += 1;
+            }
+        }
+        counts[hits.min(5)] += 1;
+    }
+    let nf = blocks as f64;
+    let chi2: f64 = counts
+        .iter()
+        .zip(&OVERLAP_PI)
+        .map(|(&c, &p)| {
+            let e = nf * p;
+            (c as f64 - e) * (c as f64 - e) / e
+        })
+        .sum();
+    Ok(igamc(2.5, chi2 / 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn bv(s: &str) -> BitVec {
+        BitVec::from_binary_str(s).unwrap()
+    }
+
+    #[test]
+    fn non_overlapping_worked_example() {
+        // §2.7.4: ε = 10100100101110010110, B = 001, N = 2, M = 10.
+        // W1 = 1 (hits at position 3? the spec reports W1 = 2, W2 = 1,
+        // p = 0.344154).
+        let p = non_overlapping_template(&bv("10100100101110010110"), &bv("001"), 2).unwrap();
+        assert!((p - 0.344154).abs() < 1e-5, "p {p}");
+    }
+
+    #[test]
+    fn non_overlapping_random_passes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let bits: BitVec = (0..8192).map(|_| rng.gen::<bool>()).collect();
+        let tpl = bv("000000001");
+        let p = non_overlapping_template(&bits, &tpl, 8).unwrap();
+        assert!(p > 0.001, "p {p}");
+    }
+
+    #[test]
+    fn non_overlapping_detects_planted_pattern() {
+        // Template repeated everywhere in the first block only.
+        let mut s = "110".repeat(400);
+        s.push_str(&{
+            let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+            (0..1200).map(|_| if rng.gen::<bool>() { '1' } else { '0' }).collect::<String>()
+        });
+        let p = non_overlapping_template(&bv(&s), &bv("110"), 4).unwrap();
+        assert!(p < 1e-6, "p {p}");
+    }
+
+    #[test]
+    fn non_overlapping_parameter_errors() {
+        let bits = bv("1010");
+        assert!(matches!(
+            non_overlapping_template(&bits, &BitVec::new(), 2),
+            Err(TestError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            non_overlapping_template(&bits, &bv("101"), 0),
+            Err(TestError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            non_overlapping_template(&bits, &bv("10101"), 2),
+            Err(TestError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn aperiodic_template_counts_match_nist_table() {
+        // SP 800-22 §2.7.2 / Table in appendix: number of aperiodic
+        // templates per length.
+        for (m, count) in [(2usize, 2usize), (3, 4), (4, 6), (5, 12), (6, 20), (7, 40), (8, 74), (9, 148)] {
+            assert_eq!(aperiodic_templates(m).len(), count, "m={m}");
+        }
+    }
+
+    #[test]
+    fn aperiodic_templates_have_no_self_overlap() {
+        for t in aperiodic_templates(6) {
+            let s = t.to_binary_string();
+            for l in 1..s.len() {
+                assert_ne!(&s[..l], &s[s.len() - l..], "border of length {l} in {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn battery_runs_every_template() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let bits: BitVec = (0..4096).map(|_| rng.gen::<bool>()).collect();
+        let results = non_overlapping_battery(&bits, 5, 8).unwrap();
+        assert_eq!(results.len(), 12);
+        for (t, p) in &results {
+            assert_eq!(t.len(), 5);
+            assert!((0.0..=1.0).contains(p));
+        }
+        // Random data: the battery should not reject en masse.
+        let rejected = results.iter().filter(|(_, p)| *p < 0.01).count();
+        assert!(rejected <= 2, "{rejected} of 12 rejected");
+    }
+
+    #[test]
+    fn overlapping_random_passes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let bits: BitVec = (0..50 * 1032).map(|_| rng.gen::<bool>()).collect();
+        let p = overlapping_template(&bits, 9).unwrap();
+        assert!(p > 0.001, "p {p}");
+    }
+
+    #[test]
+    fn overlapping_all_ones_fails() {
+        let bits = BitVec::from_binary_str(&"1".repeat(20 * 1032)).unwrap();
+        let p = overlapping_template(&bits, 9).unwrap();
+        assert!(p < 1e-10, "p {p}");
+    }
+
+    #[test]
+    fn overlapping_reference_probabilities_sum_to_one() {
+        let s: f64 = OVERLAP_PI.iter().sum();
+        assert!((s - 1.0).abs() < 1e-3, "sum {s}");
+    }
+
+    #[test]
+    fn overlapping_errors() {
+        assert!(matches!(
+            overlapping_template(&bv("101"), 0),
+            Err(TestError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            overlapping_template(&bv("101"), 9),
+            Err(TestError::TooShort { .. })
+        ));
+    }
+}

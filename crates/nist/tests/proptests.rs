@@ -1,0 +1,103 @@
+//! Property-based tests for the NIST test battery.
+
+use proptest::prelude::*;
+use ropuf_nist::basic::{block_frequency, cumulative_sums, frequency, runs, CusumMode};
+use ropuf_nist::entropy::{approximate_entropy, serial};
+use ropuf_nist::spectral::dft;
+use ropuf_nist::suite::{min_passing, run_one, SuiteConfig, TestId};
+use ropuf_num::bits::BitVec;
+
+fn bits_from(seed: u64, n: usize) -> BitVec {
+    let mut h = seed | 1;
+    (0..n)
+        .map(|_| {
+            h ^= h << 13;
+            h ^= h >> 7;
+            h ^= h << 17;
+            h & 1 == 1
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn p_values_live_in_unit_interval(seed in any::<u64>(), n in 16usize..512) {
+        let bits = bits_from(seed, n);
+        for p in [
+            frequency(&bits).unwrap(),
+            block_frequency(&bits, 8).unwrap(),
+            runs(&bits).unwrap(),
+            cumulative_sums(&bits, CusumMode::Forward).unwrap(),
+            cumulative_sums(&bits, CusumMode::Backward).unwrap(),
+            dft(&bits).unwrap(),
+            approximate_entropy(&bits, 2).unwrap(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&p), "p {p}");
+        }
+        let [p1, p2] = serial(&bits, 3).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!((0.0..=1.0).contains(&p2));
+    }
+
+    #[test]
+    fn frequency_is_symmetric_under_complement(seed in any::<u64>(), n in 16usize..256) {
+        let bits = bits_from(seed, n);
+        let p = frequency(&bits).unwrap();
+        let pc = frequency(&bits.complement()).unwrap();
+        prop_assert!((p - pc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runs_is_symmetric_under_complement(seed in any::<u64>(), n in 16usize..256) {
+        // Complementing swaps zeros and ones but preserves run structure.
+        let bits = bits_from(seed, n);
+        let p = runs(&bits).unwrap();
+        let pc = runs(&bits.complement()).unwrap();
+        prop_assert!((p - pc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cusum_forward_of_reversed_is_backward(seed in any::<u64>(), n in 8usize..256) {
+        let bits = bits_from(seed, n);
+        let reversed: BitVec = bits.to_bools().into_iter().rev().collect();
+        let fwd_rev = cumulative_sums(&reversed, CusumMode::Forward).unwrap();
+        let bwd = cumulative_sums(&bits, CusumMode::Backward).unwrap();
+        prop_assert!((fwd_rev - bwd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_bias_always_fails_frequency(n in 64usize..512) {
+        let bits = BitVec::zeros(n).complement(); // all ones
+        prop_assert!(frequency(&bits).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn min_passing_is_monotone_and_bounded(s in 1usize..5000) {
+        let m = min_passing(s);
+        prop_assert!(m <= s);
+        prop_assert!(m <= min_passing(s + 1) + 1);
+        // Never demands more than 100 % nor less than ~90 % for real sizes.
+        if s >= 20 {
+            prop_assert!(m as f64 >= 0.9 * s as f64);
+        }
+    }
+
+    #[test]
+    fn run_one_never_panics_on_valid_streams(
+        seed in any::<u64>(),
+        n in 2usize..300,
+    ) {
+        // Every test either produces p-values in range or a structured
+        // error — never a panic, whatever the stream length.
+        let bits = bits_from(seed, n);
+        let config = SuiteConfig::for_stream_length(n);
+        for test in TestId::ALL {
+            // An Err means the test is not applicable at this length.
+            if let Ok(ps) = run_one(test, &bits, &config) {
+                for p in ps {
+                    prop_assert!((0.0..=1.0).contains(&p), "{test}: p {p}");
+                }
+            }
+        }
+    }
+}

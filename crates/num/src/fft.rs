@@ -1,0 +1,363 @@
+//! Complex fast Fourier transforms.
+//!
+//! Provides an iterative radix-2 Cooley–Tukey FFT for power-of-two lengths
+//! and Bluestein's chirp-z algorithm for arbitrary lengths, which the NIST
+//! spectral test needs because bitstream lengths are rarely powers of two.
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_num::fft::{fft, Complex};
+//!
+//! // The DFT of an impulse is flat.
+//! let mut x = vec![Complex::ZERO; 8];
+//! x[0] = Complex::new(1.0, 0.0);
+//! let y = fft(&x);
+//! for c in &y {
+//!     assert!((c.re - 1.0).abs() < 1e-12 && c.im.abs() < 1e-12);
+//! }
+//! ```
+
+use std::f64::consts::PI;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ropuf_num::fft::Complex;
+    /// let c = Complex::cis(std::f64::consts::PI);
+    /// assert!((c.re + 1.0).abs() < 1e-12);
+    /// ```
+    pub fn cis(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²` (cheaper than [`abs`](Self::abs)).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_pow2_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft_pow2 length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for c in data.iter_mut() {
+            *c = c.scale(inv);
+        }
+    }
+}
+
+/// Forward DFT of arbitrary length.
+///
+/// Power-of-two lengths use the radix-2 kernel directly; other lengths go
+/// through Bluestein's chirp-z transform (O(n log n) for any n).
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::fft::{fft, Complex};
+/// // Length 6 (not a power of two) exercises the Bluestein path.
+/// let x: Vec<Complex> = (0..6).map(|i| Complex::new(i as f64, 0.0)).collect();
+/// let y = fft(&x);
+/// // DC bin equals the sum 0+1+..+5 = 15.
+/// assert!((y[0].re - 15.0).abs() < 1e-9);
+/// ```
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        fft_pow2_in_place(&mut data, false);
+        data
+    } else {
+        bluestein(input)
+    }
+}
+
+/// Inverse DFT of arbitrary length (normalized by `1/n`).
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut data = input.to_vec();
+        fft_pow2_in_place(&mut data, true);
+        return data;
+    }
+    // Conjugate trick: ifft(x) = conj(fft(conj(x))) / n.
+    let conj: Vec<Complex> = input.iter().map(|c| c.conj()).collect();
+    let y = bluestein(&conj);
+    let inv = 1.0 / n as f64;
+    y.into_iter().map(|c| c.conj().scale(inv)).collect()
+}
+
+/// Forward DFT of a real-valued signal; returns the full complex spectrum.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::fft::fft_real;
+/// let y = fft_real(&[1.0, -1.0, 1.0, -1.0]);
+/// // All energy in the Nyquist bin.
+/// assert!((y[2].re - 4.0).abs() < 1e-12);
+/// ```
+pub fn fft_real(input: &[f64]) -> Vec<Complex> {
+    let x: Vec<Complex> = input.iter().map(|&r| Complex::new(r, 0.0)).collect();
+    fft(&x)
+}
+
+/// Bluestein's algorithm: express the length-n DFT as a convolution and
+/// evaluate it with power-of-two FFTs.
+fn bluestein(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let m = (2 * n - 1).next_power_of_two();
+    // Chirp: w_k = exp(-i π k² / n). Reduce k² mod 2n to keep the angle
+    // argument small and precise for large n.
+    let chirp: Vec<Complex> = (0..n)
+        .map(|k| {
+            let k2 = (k as u128 * k as u128) % (2 * n as u128);
+            Complex::cis(-PI * k2 as f64 / n as f64)
+        })
+        .collect();
+    let mut a = vec![Complex::ZERO; m];
+    for k in 0..n {
+        a[k] = input[k] * chirp[k];
+    }
+    let mut b = vec![Complex::ZERO; m];
+    b[0] = chirp[0].conj();
+    for k in 1..n {
+        let c = chirp[k].conj();
+        b[k] = c;
+        b[m - k] = c;
+    }
+    fft_pow2_in_place(&mut a, false);
+    fft_pow2_in_place(&mut b, false);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x = *x * *y;
+    }
+    fft_pow2_in_place(&mut a, true);
+    (0..n).map(|k| a[k] * chirp[k]).collect()
+}
+
+/// Naive O(n²) DFT, retained as an oracle for tests and tiny inputs.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let ang = -2.0 * PI * (k as f64) * (j as f64) / n as f64;
+                acc = acc + x * Complex::cis(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_spectra_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "bin {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    fn ramp(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64).sin() * 3.0 + 1.0, (i as f64 * 0.7).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert!((a.abs() - 5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(a.norm_sqr(), 5.0);
+    }
+
+    #[test]
+    fn fft_matches_naive_for_pow2() {
+        for &n in &[1usize, 2, 4, 8, 64, 128] {
+            let x = ramp(n);
+            assert_spectra_close(&fft(&x), &dft_naive(&x), 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_for_arbitrary_lengths() {
+        for &n in &[3usize, 5, 6, 7, 12, 31, 96, 100] {
+            let x = ramp(n);
+            assert_spectra_close(&fft(&x), &dft_naive(&x), 1e-7);
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        for &n in &[4usize, 8, 6, 10, 96] {
+            let x = ramp(n);
+            let y = ifft(&fft(&x));
+            assert_spectra_close(&x, &y, 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 96;
+        let x = ramp(n);
+        let y = fft(&x);
+        let et: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let ef: f64 = y.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((et - ef).abs() < 1e-8 * et.max(1.0));
+    }
+
+    #[test]
+    fn fft_real_constant_signal_is_dc_only() {
+        let y = fft_real(&[2.0; 16]);
+        assert!((y[0].re - 32.0).abs() < 1e-10);
+        for c in &y[1..] {
+            assert!(c.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_empty_is_empty() {
+        assert!(fft(&[]).is_empty());
+        assert!(ifft(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn pow2_kernel_rejects_odd_lengths() {
+        let mut v = vec![Complex::ZERO; 6];
+        fft_pow2_in_place(&mut v, false);
+    }
+
+    #[test]
+    fn bluestein_large_length_precision() {
+        // A length large enough that naive k² would lose precision without
+        // the mod-2n reduction.
+        let n = 1 << 12;
+        let x: Vec<Complex> = (0..n + 1).map(|i| Complex::new((i % 7) as f64, 0.0)).collect();
+        let y = fft(&x); // length 4097: Bluestein path
+        // Spot-check DC bin.
+        let dc: f64 = x.iter().map(|c| c.re).sum();
+        assert!((y[0].re - dc).abs() < 1e-6 * dc);
+    }
+}

@@ -1,0 +1,213 @@
+//! Algorithms over GF(2): binary matrix rank and Berlekamp–Massey.
+//!
+//! These back the NIST SP 800-22 *Binary Matrix Rank* and *Linear
+//! Complexity* tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_num::gf2::{binary_rank, linear_complexity};
+//!
+//! // The 2×2 identity has rank 2.
+//! let rank = binary_rank(2, 2, |i, j| i == j);
+//! assert_eq!(rank, 2);
+//!
+//! // An alternating sequence has linear complexity 2.
+//! let bits = [true, false, true, false, true, false];
+//! assert_eq!(linear_complexity(&bits), 2);
+//! ```
+
+/// Rank of a `rows × cols` matrix over GF(2).
+///
+/// Entries are supplied through `entry(i, j)`; rows are packed into `u64`
+/// words internally, so elimination is word-parallel.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::gf2::binary_rank;
+/// // Two identical rows: rank 1.
+/// assert_eq!(binary_rank(2, 3, |_, j| j == 0), 1);
+/// ```
+pub fn binary_rank(rows: usize, cols: usize, mut entry: impl FnMut(usize, usize) -> bool) -> usize {
+    if rows == 0 || cols == 0 {
+        return 0;
+    }
+    let words = cols.div_ceil(64);
+    let mut m: Vec<Vec<u64>> = (0..rows)
+        .map(|i| {
+            let mut row = vec![0u64; words];
+            for j in 0..cols {
+                if entry(i, j) {
+                    row[j / 64] |= 1u64 << (j % 64);
+                }
+            }
+            row
+        })
+        .collect();
+    let mut rank = 0;
+    for col in 0..cols {
+        let word = col / 64;
+        let mask = 1u64 << (col % 64);
+        // Find a pivot row at or below `rank`.
+        let pivot = (rank..rows).find(|&r| m[r][word] & mask != 0);
+        let Some(pivot) = pivot else { continue };
+        m.swap(rank, pivot);
+        for r in 0..rows {
+            if r != rank && m[r][word] & mask != 0 {
+                // XOR whole-row elimination; split_at_mut avoids aliasing.
+                let (a, b) = if r < rank {
+                    let (lo, hi) = m.split_at_mut(rank);
+                    (&mut lo[r], &hi[0])
+                } else {
+                    let (lo, hi) = m.split_at_mut(r);
+                    (&mut hi[0], &lo[rank])
+                };
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x ^= *y;
+                }
+            }
+        }
+        rank += 1;
+        if rank == rows {
+            break;
+        }
+    }
+    rank
+}
+
+/// Linear complexity of a binary sequence via the Berlekamp–Massey
+/// algorithm: the length of the shortest LFSR that generates it.
+///
+/// Returns `0` for the all-zero (or empty) sequence.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::gf2::linear_complexity;
+/// // NIST SP 800-22 §2.10.8 example: 1101011110001 has L = 4.
+/// let bits: Vec<bool> = "1101011110001".chars().map(|c| c == '1').collect();
+/// assert_eq!(linear_complexity(&bits), 4);
+/// ```
+pub fn linear_complexity(bits: &[bool]) -> usize {
+    let n = bits.len();
+    let mut c = vec![false; n + 1];
+    let mut b = vec![false; n + 1];
+    c[0] = true;
+    b[0] = true;
+    let mut l = 0usize;
+    let mut m: isize = -1;
+    for i in 0..n {
+        // Discrepancy d = s_i + sum_{j=1..L} c_j s_{i-j} (mod 2).
+        let mut d = bits[i];
+        for j in 1..=l {
+            if c[j] && bits[i - j] {
+                d = !d;
+            }
+        }
+        if d {
+            let t = c.clone();
+            let shift = (i as isize - m) as usize;
+            for j in 0..=n {
+                if j >= shift && b[j - shift] {
+                    c[j] = !c[j];
+                }
+            }
+            if 2 * l <= i {
+                l = i + 1 - l;
+                m = i as isize;
+                b = t;
+            }
+        }
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_of_identity() {
+        for n in 1..=10 {
+            assert_eq!(binary_rank(n, n, |i, j| i == j), n);
+        }
+    }
+
+    #[test]
+    fn rank_of_zero_matrix() {
+        assert_eq!(binary_rank(4, 4, |_, _| false), 0);
+        assert_eq!(binary_rank(0, 5, |_, _| true), 0);
+        assert_eq!(binary_rank(5, 0, |_, _| true), 0);
+    }
+
+    #[test]
+    fn rank_of_all_ones_is_one() {
+        assert_eq!(binary_rank(6, 9, |_, _| true), 1);
+    }
+
+    #[test]
+    fn rank_dependent_rows() {
+        // Row 2 = row 0 XOR row 1.
+        let rows = [0b101u8, 0b011, 0b110];
+        assert_eq!(binary_rank(3, 3, |i, j| rows[i] >> j & 1 == 1), 2);
+    }
+
+    #[test]
+    fn rank_wide_matrix_spanning_word_boundary() {
+        // 3 rows, 130 columns: unit vectors at bits 0, 64, 128 ⇒ rank 3.
+        assert_eq!(binary_rank(3, 130, |i, j| j == 64 * i), 3);
+    }
+
+    #[test]
+    fn rank_nist_example() {
+        // SP 800-22 §2.5.4 example: the 3x3 matrix
+        // [1 0 1; 0 1 1; 1 0 1] has rank 2.
+        let rows = [[true, false, true], [false, true, true], [true, false, true]];
+        assert_eq!(binary_rank(3, 3, |i, j| rows[i][j]), 2);
+    }
+
+    #[test]
+    fn linear_complexity_zero_sequence() {
+        assert_eq!(linear_complexity(&[]), 0);
+        assert_eq!(linear_complexity(&[false; 10]), 0);
+    }
+
+    #[test]
+    fn linear_complexity_single_one_at_end() {
+        // 0^{n-1} 1 has complexity n.
+        let mut bits = vec![false; 7];
+        bits.push(true);
+        assert_eq!(linear_complexity(&bits), 8);
+    }
+
+    #[test]
+    fn linear_complexity_alternating() {
+        let bits: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        assert_eq!(linear_complexity(&bits), 2);
+    }
+
+    #[test]
+    fn linear_complexity_lfsr_generated() {
+        // Generate with a known LFSR x^4 + x + 1 (L must come back 4).
+        let mut state = [true, false, false, true];
+        let mut bits = Vec::new();
+        for _ in 0..32 {
+            bits.push(state[3]);
+            let fb = state[3] ^ state[0];
+            state = [fb, state[0], state[1], state[2]];
+        }
+        assert_eq!(linear_complexity(&bits), 4);
+    }
+
+    #[test]
+    fn linear_complexity_is_monotone_in_prefix() {
+        let bits: Vec<bool> = "110010111010001110".chars().map(|c| c == '1').collect();
+        let mut prev = 0;
+        for i in 1..=bits.len() {
+            let l = linear_complexity(&bits[..i]);
+            assert!(l >= prev);
+            prev = l;
+        }
+    }
+}

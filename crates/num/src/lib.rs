@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Numeric substrate for the `ropuf` workspace.
+//!
+//! This crate collects every piece of "plain mathematics" the rest of the
+//! workspace needs so that the domain crates ([`ropuf-silicon`],
+//! [`ropuf-core`], [`ropuf-nist`], [`ropuf-metrics`]) stay focused on their
+//! domain logic:
+//!
+//! * [`special`] — special functions: `erf`/`erfc`, log-gamma, and the
+//!   regularized incomplete gamma functions used by the NIST SP 800-22
+//!   statistical tests.
+//! * [`fft`] — complex FFT (radix-2 plus Bluestein's algorithm for
+//!   arbitrary lengths), used by the NIST spectral test.
+//! * [`linalg`] — dense matrices, Gaussian elimination with partial
+//!   pivoting, and least-squares fitting via the normal equations, used by
+//!   the regression-based distiller.
+//! * [`stats`] — descriptive statistics and histogram building.
+//! * [`bits`] — a packed bit vector with Hamming-distance support, the
+//!   common currency for PUF responses and NIST input streams.
+//! * [`gf2`] — binary matrix rank over GF(2) and the Berlekamp–Massey
+//!   linear-complexity algorithm.
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_num::bits::BitVec;
+//! use ropuf_num::special::erfc;
+//!
+//! let a: BitVec = [true, false, true, true].iter().copied().collect();
+//! let b: BitVec = [true, true, true, false].iter().copied().collect();
+//! assert_eq!(a.hamming_distance(&b), Some(2));
+//! assert!((erfc(0.0) - 1.0).abs() < 1e-12);
+//! ```
+//!
+//! [`ropuf-silicon`]: https://example.invalid/ropuf
+//! [`ropuf-core`]: https://example.invalid/ropuf
+//! [`ropuf-nist`]: https://example.invalid/ropuf
+//! [`ropuf-metrics`]: https://example.invalid/ropuf
+
+pub mod bits;
+pub mod fft;
+pub mod gf2;
+pub mod linalg;
+pub mod special;
+pub mod stats;

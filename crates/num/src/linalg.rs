@@ -1,0 +1,521 @@
+//! Dense linear algebra: matrices, linear solves and least squares.
+//!
+//! The regression-based distiller fits low-order bivariate polynomials to
+//! RO frequencies over die coordinates; that requires nothing more than a
+//! dense least-squares solve, implemented here via the normal equations
+//! and Gaussian elimination with partial pivoting.
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_num::linalg::Matrix;
+//!
+//! // Fit y = 2x + 1 exactly.
+//! let a = Matrix::from_rows(&[&[1.0, 0.0][..], &[1.0, 1.0], &[1.0, 2.0]]);
+//! let y = [1.0, 3.0, 5.0];
+//! let beta = a.least_squares(&y).unwrap();
+//! assert!((beta[0] - 1.0).abs() < 1e-10);
+//! assert!((beta[1] - 2.0).abs() < 1e-10);
+//! ```
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "rows must be non-empty");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "all rows must have equal length");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of range {}", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Solves the square system `self · x = b` by Gaussian elimination
+    /// with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NotSquare`] for non-square systems,
+    /// [`SolveError::DimensionMismatch`] if `b.len() != rows`, and
+    /// [`SolveError::Singular`] when a pivot collapses below `1e-12` of
+    /// the largest column entry.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ropuf_num::linalg::Matrix;
+    /// # fn main() -> Result<(), ropuf_num::linalg::SolveError> {
+    /// let a = Matrix::from_rows(&[&[2.0, 1.0][..], &[1.0, 3.0]]);
+    /// let x = a.solve(&[3.0, 5.0])?;
+    /// assert!((x[0] - 0.8).abs() < 1e-12);
+    /// assert!((x[1] - 1.4).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        if self.rows != self.cols {
+            return Err(SolveError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        if b.len() != self.rows {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.rows,
+                found: b.len(),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot.
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for r in col + 1..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-12 {
+                return Err(SolveError::Singular { column: col });
+            }
+            if pivot != col {
+                for j in 0..n {
+                    a.swap(col * n + j, pivot * n + j);
+                }
+                x.swap(col, pivot);
+            }
+            let diag = a[col * n + col];
+            for r in col + 1..n {
+                let factor = a[r * n + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= factor * a[col * n + j];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in col + 1..n {
+                acc -= a[col * n + j] * x[j];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Least-squares solution of the overdetermined system
+    /// `self · β ≈ y` via the normal equations `AᵀA β = Aᵀy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `y.len() != rows`, or
+    /// [`SolveError::Singular`] when `AᵀA` is rank-deficient (e.g. a
+    /// duplicated basis column).
+    pub fn least_squares(&self, y: &[f64]) -> Result<Vec<f64>, SolveError> {
+        self.least_squares_ridge(y, 0.0)
+    }
+
+    /// Ridge-regularized least squares: solves
+    /// `(AᵀA + λI) β = Aᵀy`. A small positive `λ` resolves exact
+    /// collinearity among the columns (shrinking the coefficients of the
+    /// dependent directions) at negligible cost to the fit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`least_squares`](Self::least_squares); with
+    /// `λ > 0` the system is positive definite and `Singular` cannot
+    /// occur.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite.
+    pub fn least_squares_ridge(&self, y: &[f64], lambda: f64) -> Result<Vec<f64>, SolveError> {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "ridge parameter must be finite and non-negative, got {lambda}"
+        );
+        if y.len() != self.rows {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.rows,
+                found: y.len(),
+            });
+        }
+        let at = self.transpose();
+        let mut ata = at.matmul(self);
+        if lambda > 0.0 {
+            for i in 0..ata.rows() {
+                ata[(i, i)] += lambda;
+            }
+        }
+        let aty = at.matvec(y);
+        ata.solve(&aty)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Error type for [`Matrix::solve`] and [`Matrix::least_squares`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// `solve` was called on a non-square matrix.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// Right-hand-side length does not match the matrix shape.
+    DimensionMismatch {
+        /// Expected vector length.
+        expected: usize,
+        /// Actual vector length.
+        found: usize,
+    },
+    /// The system is singular (pivot collapsed) at the given column.
+    Singular {
+        /// Column at which elimination found no usable pivot.
+        column: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NotSquare { rows, cols } => {
+                write!(f, "system matrix is not square ({rows}x{cols})")
+            }
+            SolveError::DimensionMismatch { expected, found } => {
+                write!(f, "vector length {found} does not match matrix rows {expected}")
+            }
+            SolveError::Singular { column } => {
+                write!(f, "matrix is singular at column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Builds the design matrix of a bivariate polynomial basis up to total
+/// degree `degree` evaluated at coordinate pairs `(x, y)`.
+///
+/// Basis ordering is by total degree then `x` power:
+/// `1, x, y, x², xy, y², x³, …` — the basis the regression distiller fits.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf_num::linalg::poly2d_design_matrix;
+/// let m = poly2d_design_matrix(&[(2.0, 3.0)], 2);
+/// assert_eq!(m.row(0), &[1.0, 2.0, 3.0, 4.0, 6.0, 9.0]);
+/// ```
+pub fn poly2d_design_matrix(points: &[(f64, f64)], degree: usize) -> Matrix {
+    assert!(!points.is_empty(), "design matrix requires at least one point");
+    let terms = poly2d_terms(degree);
+    Matrix::from_fn(points.len(), terms.len(), |i, j| {
+        let (px, py) = terms[j];
+        let (x, y) = points[i];
+        x.powi(px as i32) * y.powi(py as i32)
+    })
+}
+
+/// The `(x_power, y_power)` exponent pairs of the bivariate basis of total
+/// degree ≤ `degree`, in the order used by [`poly2d_design_matrix`].
+pub fn poly2d_terms(degree: usize) -> Vec<(usize, usize)> {
+    let mut terms = Vec::new();
+    for total in 0..=degree {
+        for px in (0..=total).rev() {
+            terms.push((px, total - px));
+        }
+    }
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        assert_eq!(a.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn solve_known_3x3() {
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, -1.0][..],
+            &[-3.0, -1.0, 2.0],
+            &[-2.0, 1.0, 2.0],
+        ]);
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        let expect = [2.0, 3.0, -1.0];
+        for (got, want) in x.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0][..], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0]]);
+        assert!(matches!(a.solve(&[1.0, 2.0]), Err(SolveError::Singular { .. })));
+    }
+
+    #[test]
+    fn solve_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(SolveError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn solve_rejects_bad_rhs() {
+        let a = Matrix::identity(3);
+        assert!(matches!(
+            a.solve(&[1.0]),
+            Err(SolveError::DimensionMismatch { expected: 3, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn matmul_against_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0][..], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0][..], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_polynomial() {
+        // y = 3 + 2x - x², sampled at 10 points: exact recovery.
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 0.5).collect();
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x, x * x]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&row_refs);
+        let y: Vec<f64> = xs.iter().map(|&x| 3.0 + 2.0 * x - x * x).collect();
+        let beta = a.least_squares(&y).unwrap();
+        for (got, want) in beta.iter().zip(&[3.0, 2.0, -1.0]) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        // Overdetermined, inconsistent system: the LS residual must be
+        // orthogonal to the column space (Aᵀ r = 0).
+        let a = Matrix::from_rows(&[&[1.0, 0.0][..], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let y = [0.0, 1.0, 0.5, 2.0];
+        let beta = a.least_squares(&y).unwrap();
+        let yhat = a.matvec(&beta);
+        let r: Vec<f64> = y.iter().zip(&yhat).map(|(a, b)| a - b).collect();
+        let atr = a.transpose().matvec(&r);
+        for v in atr {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ridge_handles_collinear_columns() {
+        // Column 2 = column 0 + column 1: plain LS is singular, ridge is
+        // not, and the fitted values still match the targets.
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0, 1.0][..],
+            &[0.0, 1.0, 1.0],
+            &[1.0, 1.0, 2.0],
+            &[2.0, 1.0, 3.0],
+        ]);
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert!(matches!(a.least_squares(&y), Err(SolveError::Singular { .. })));
+        let beta = a.least_squares_ridge(&y, 1e-9).unwrap();
+        let yhat = a.matvec(&beta);
+        for (u, v) in yhat.iter().zip(&y) {
+            assert!((u - v).abs() < 1e-3, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn ridge_with_zero_lambda_matches_plain() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0][..], &[1.0, 1.0], &[1.0, 2.0]]);
+        let y = [1.0, 3.0, 5.0];
+        assert_eq!(a.least_squares(&y).unwrap(), a.least_squares_ridge(&y, 0.0).unwrap());
+    }
+
+    #[test]
+    fn poly2d_terms_counts() {
+        assert_eq!(poly2d_terms(0), vec![(0, 0)]);
+        assert_eq!(poly2d_terms(1), vec![(0, 0), (1, 0), (0, 1)]);
+        assert_eq!(poly2d_terms(2).len(), 6);
+        assert_eq!(poly2d_terms(3).len(), 10);
+    }
+
+    #[test]
+    fn poly2d_design_matrix_row_values() {
+        let m = poly2d_design_matrix(&[(2.0, -1.0)], 2);
+        assert_eq!(m.row(0), &[1.0, 2.0, -1.0, 4.0, -2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be nonzero")]
+    fn zeros_rejects_empty() {
+        let _ = Matrix::zeros(0, 3);
+    }
+}

@@ -1,0 +1,251 @@
+//! Silicon aging: slow delay drift over the device lifetime.
+//!
+//! The paper evaluates reliability against voltage and temperature; the
+//! other threat a deployed RO PUF faces is *aging* — BTI/HCI-style
+//! degradation that slows every gate over years of operation. The common
+//! component of the drift cancels in ring comparisons exactly like the
+//! common V/T response does; what flips bits is the *differential* part:
+//! each device ages at a slightly different rate.
+//!
+//! [`AgingModel`] follows the standard empirical form: relative delay
+//! drift grows with the logarithm of time,
+//! `Δd/d = (μ + σ·Z_unit) · ln(1 + t/t₀)`, with `Z_unit ~ N(0,1)` drawn
+//! per device. [`AgingModel::age_board`] returns the board as it would
+//! measure after `t` years, so every enrollment/response API works
+//! unchanged on aged silicon.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ropuf_silicon::aging::AgingModel;
+//! use ropuf_silicon::{Environment, SiliconSim};
+//!
+//! let mut sim = SiliconSim::default_spartan();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let fresh = sim.grow_board(&mut rng, 16, 4);
+//! let aged = AgingModel::default().age_board(&mut rng, &fresh, 5.0);
+//! let env = Environment::nominal();
+//! // Five years on, every unit is slower.
+//! for (f, a) in fresh.units().iter().zip(aged.units()) {
+//!     assert!(a.path_delay(true, env, sim.technology())
+//!         > f.path_delay(true, env, sim.technology()));
+//! }
+//! ```
+
+use rand::Rng;
+
+use crate::board::Board;
+use crate::device::DelayUnit;
+use crate::noise::sample_normal;
+
+/// Log-time aging model with per-device dispersion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AgingModel {
+    /// Mean relative drift per `ln(1 + t/t₀)` (common mode; mostly
+    /// cancels in comparisons).
+    pub mean_drift_rel: f64,
+    /// Per-device drift-rate dispersion (the bit-flip driver).
+    pub sigma_drift_rel: f64,
+    /// Additional dispersion between the inverter and MUX paths of one
+    /// unit (they are different transistor stacks and age differently).
+    pub sigma_path_rel: f64,
+    /// Reference time constant `t₀`, years.
+    pub reference_years: f64,
+}
+
+impl Default for AgingModel {
+    /// 90 nm-class BTI numbers: ~3 % common drift and 0.3 % device
+    /// dispersion per log-decade of years, 0.1 % path dispersion.
+    fn default() -> Self {
+        Self {
+            mean_drift_rel: 0.03,
+            sigma_drift_rel: 0.003,
+            sigma_path_rel: 0.001,
+            reference_years: 1.0,
+        }
+    }
+}
+
+impl AgingModel {
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("mean_drift_rel", self.mean_drift_rel),
+            ("sigma_drift_rel", self.sigma_drift_rel),
+            ("sigma_path_rel", self.sigma_path_rel),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            }
+        }
+        if !(self.reference_years.is_finite() && self.reference_years > 0.0) {
+            return Err(format!(
+                "reference_years must be finite and positive, got {}",
+                self.reference_years
+            ));
+        }
+        Ok(())
+    }
+
+    /// The deterministic drift factor at age `years` for a device with
+    /// standard-normal rate deviate `z` (exposed for tests and
+    /// analytical sizing).
+    pub fn drift_factor(&self, years: f64, z: f64) -> f64 {
+        let log_time = (1.0 + years / self.reference_years).ln();
+        1.0 + (self.mean_drift_rel + self.sigma_drift_rel * z) * log_time
+    }
+
+    /// Returns the board as fabricated, aged by `years` of operation:
+    /// every unit's three path delays are scaled by its own drift
+    /// factor (inverter and MUX paths get slightly different factors).
+    /// Environmental sensitivities are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `years` is negative/not finite or the model fails
+    /// validation.
+    pub fn age_board<R: Rng + ?Sized>(&self, rng: &mut R, board: &Board, years: f64) -> Board {
+        assert!(
+            years.is_finite() && years >= 0.0,
+            "age must be finite and non-negative, got {years}"
+        );
+        if let Err(msg) = self.validate() {
+            panic!("invalid aging model: {msg}");
+        }
+        let log_time = (1.0 + years / self.reference_years).ln();
+        let aged: Vec<DelayUnit> = board
+            .units()
+            .iter()
+            .map(|u| {
+                let unit_drift = self.drift_factor(years, sample_normal(rng, 0.0, 1.0));
+                let path = |rng: &mut R| 1.0 + sample_normal(rng, 0.0, self.sigma_path_rel) * log_time;
+                DelayUnit::new(
+                    u.inverter_ps() * unit_drift * path(rng),
+                    u.mux_selected_ps() * unit_drift * path(rng),
+                    u.mux_bypass_ps() * unit_drift * path(rng),
+                    u.voltage_sensitivity_per_v(),
+                    u.temperature_sensitivity_per_c(),
+                )
+            })
+            .collect();
+        Board::new(board.id(), aged, board.cols())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::BoardId;
+    use crate::{Environment, SiliconSim};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fresh_board(units: usize) -> (Board, crate::Technology) {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(1);
+        (
+            sim.grow_board_with_id(&mut rng, BoardId(0), units, 8),
+            *sim.technology(),
+        )
+    }
+
+    #[test]
+    fn zero_years_changes_nothing() {
+        let (board, _) = fresh_board(16);
+        let mut rng = StdRng::seed_from_u64(2);
+        let aged = AgingModel::default().age_board(&mut rng, &board, 0.0);
+        assert_eq!(aged, board);
+    }
+
+    #[test]
+    fn aging_slows_everything_monotonically() {
+        let (board, tech) = fresh_board(32);
+        let env = Environment::nominal();
+        let model = AgingModel::default();
+        let total = |b: &Board| -> f64 {
+            b.units().iter().map(|u| u.path_delay(true, env, &tech)).sum()
+        };
+        let mut prev = total(&board);
+        for years in [1.0, 3.0, 10.0] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let aged = model.age_board(&mut rng, &board, years);
+            let t = total(&aged);
+            assert!(t > prev, "{years} years: {t} !> {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn drift_magnitude_matches_model() {
+        let (board, tech) = fresh_board(512);
+        let env = Environment::nominal();
+        let model = AgingModel::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let years = 5.0;
+        let aged = model.age_board(&mut rng, &board, years);
+        let ratios: Vec<f64> = board
+            .units()
+            .iter()
+            .zip(aged.units())
+            .map(|(f, a)| a.path_delay(true, env, &tech) / f.path_delay(true, env, &tech))
+            .collect();
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        let expect = model.drift_factor(years, 0.0);
+        assert!((mean - expect).abs() < 0.002, "mean {mean} vs {expect}");
+        // Dispersion exists but is small.
+        let sd = (ratios.iter().map(|r| (r - mean) * (r - mean)).sum::<f64>()
+            / (ratios.len() - 1) as f64)
+            .sqrt();
+        assert!(sd > 1e-4 && sd < 0.02, "sd {sd}");
+    }
+
+    #[test]
+    fn drift_is_log_not_linear_in_time() {
+        let m = AgingModel::default();
+        let d1 = m.drift_factor(1.0, 0.0) - 1.0;
+        let d10 = m.drift_factor(10.0, 0.0) - 1.0;
+        // Ten times the age is far less than ten times the drift.
+        assert!(d10 < 5.0 * d1, "d1 {d1} d10 {d10}");
+        assert!(d10 > d1);
+    }
+
+    #[test]
+    fn geometry_and_sensitivities_preserved() {
+        let (board, _) = fresh_board(24);
+        let mut rng = StdRng::seed_from_u64(5);
+        let aged = AgingModel::default().age_board(&mut rng, &board, 3.0);
+        assert_eq!(aged.id(), board.id());
+        assert_eq!(aged.cols(), board.cols());
+        assert_eq!(aged.len(), board.len());
+        for (f, a) in board.units().iter().zip(aged.units()) {
+            assert_eq!(f.voltage_sensitivity_per_v(), a.voltage_sensitivity_per_v());
+            assert_eq!(
+                f.temperature_sensitivity_per_c(),
+                a.temperature_sensitivity_per_c()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_age_panics() {
+        let (board, _) = fresh_board(4);
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = AgingModel::default().age_board(&mut rng, &board, -1.0);
+    }
+
+    #[test]
+    fn invalid_model_is_rejected() {
+        let m = AgingModel {
+            reference_years: 0.0,
+            ..AgingModel::default()
+        };
+        assert!(m.validate().unwrap_err().contains("reference_years"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Fabrication defects: stuck-slow and stuck-fast delay units.
+//!
+//! §III.C of the paper notes a third advantage of post-silicon
+//! configuration: "when we cannot find a subset of inverters to generate
+//! a large delay difference between a pair of ROs, we don't have to use
+//! the PUF bit generated from this pair." The same escape hatch covers
+//! *defective* silicon — a resistive open that slows one inverter by an
+//! order of magnitude, or a bridging short that bypasses it. This module
+//! injects such defects so the enrollment pipeline's plausibility checks
+//! can be tested honestly.
+
+use rand::Rng;
+
+use crate::board::Board;
+use crate::device::DelayUnit;
+
+/// Defect injection model: independent per-unit defect probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DefectModel {
+    /// Probability a unit's inverter suffers a resistive open
+    /// (its delay multiplied by [`DefectModel::slow_factor`]).
+    pub stuck_slow_rate: f64,
+    /// Probability a unit's inverter is bridged
+    /// (its delay divided by [`DefectModel::slow_factor`]).
+    pub stuck_fast_rate: f64,
+    /// Delay multiplier of a stuck-slow defect (divider for
+    /// stuck-fast).
+    pub slow_factor: f64,
+}
+
+impl Default for DefectModel {
+    /// 0.5 % opens, 0.2 % bridges, ×20 delay excursion.
+    fn default() -> Self {
+        Self {
+            stuck_slow_rate: 0.005,
+            stuck_fast_rate: 0.002,
+            slow_factor: 20.0,
+        }
+    }
+}
+
+/// The defect applied to one unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defect {
+    /// Resistive open: the inverter is much slower than designed.
+    StuckSlow,
+    /// Bridging short: the inverter is much faster than designed.
+    StuckFast,
+}
+
+impl DefectModel {
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("stuck_slow_rate", self.stuck_slow_rate),
+            ("stuck_fast_rate", self.stuck_fast_rate),
+        ] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(format!("{name} must be a probability, got {v}"));
+            }
+        }
+        if self.stuck_slow_rate + self.stuck_fast_rate > 1.0 {
+            return Err("defect rates must sum to at most 1".into());
+        }
+        if !(self.slow_factor.is_finite() && self.slow_factor > 1.0) {
+            return Err(format!("slow_factor must exceed 1, got {}", self.slow_factor));
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of `board` with defects injected, plus the list of
+    /// `(unit index, defect)` applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model fails validation.
+    pub fn inject<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        board: &Board,
+    ) -> (Board, Vec<(usize, Defect)>) {
+        if let Err(msg) = self.validate() {
+            panic!("invalid defect model: {msg}");
+        }
+        let mut defects = Vec::new();
+        let units: Vec<DelayUnit> = board
+            .units()
+            .iter()
+            .enumerate()
+            .map(|(i, u)| {
+                let roll: f64 = rng.gen();
+                let factor = if roll < self.stuck_slow_rate {
+                    defects.push((i, Defect::StuckSlow));
+                    self.slow_factor
+                } else if roll < self.stuck_slow_rate + self.stuck_fast_rate {
+                    defects.push((i, Defect::StuckFast));
+                    1.0 / self.slow_factor
+                } else {
+                    return *u;
+                };
+                DelayUnit::new(
+                    u.inverter_ps() * factor,
+                    u.mux_selected_ps(),
+                    u.mux_bypass_ps(),
+                    u.voltage_sensitivity_per_v(),
+                    u.temperature_sensitivity_per_c(),
+                )
+            })
+            .collect();
+        (Board::new(board.id(), units, board.cols()), defects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::BoardId;
+    use crate::{Environment, SiliconSim};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn board(units: usize) -> Board {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(1);
+        sim.grow_board_with_id(&mut rng, BoardId(0), units, 16)
+    }
+
+    #[test]
+    fn zero_rates_change_nothing() {
+        let b = board(64);
+        let model = DefectModel {
+            stuck_slow_rate: 0.0,
+            stuck_fast_rate: 0.0,
+            ..DefectModel::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let (injected, defects) = model.inject(&mut rng, &b);
+        assert_eq!(injected, b);
+        assert!(defects.is_empty());
+    }
+
+    #[test]
+    fn defect_rate_matches_model() {
+        let b = board(20_000);
+        let model = DefectModel::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, defects) = model.inject(&mut rng, &b);
+        let rate = defects.len() as f64 / 20_000.0;
+        assert!((rate - 0.007).abs() < 0.003, "rate {rate}");
+        assert!(defects.iter().any(|(_, d)| *d == Defect::StuckSlow));
+        assert!(defects.iter().any(|(_, d)| *d == Defect::StuckFast));
+    }
+
+    #[test]
+    fn defective_units_have_extreme_ddiffs() {
+        let b = board(2000);
+        let model = DefectModel::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (injected, defects) = model.inject(&mut rng, &b);
+        let sim = SiliconSim::default_spartan();
+        let env = Environment::nominal();
+        for (i, defect) in &defects {
+            let dd = injected.units()[*i].ddiff(env, sim.technology());
+            match defect {
+                // Nominal ddiff ≈ 105 ps; a ×20 open pushes it past 1.9 ns.
+                Defect::StuckSlow => assert!(dd > 1000.0, "unit {i}: {dd}"),
+                // A bridge pulls the inverter below the MUX gap.
+                Defect::StuckFast => assert!(dd < 50.0, "unit {i}: {dd}"),
+            }
+        }
+        // Non-defective units stay in the plausible band.
+        let defective: std::collections::HashSet<usize> =
+            defects.iter().map(|(i, _)| *i).collect();
+        for (i, u) in injected.units().iter().enumerate() {
+            if !defective.contains(&i) {
+                let dd = u.ddiff(env, sim.technology());
+                assert!((80.0..140.0).contains(&dd), "unit {i}: {dd}");
+            }
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let b = board(256);
+        let model = DefectModel::default();
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        assert_eq!(model.inject(&mut r1, &b), model.inject(&mut r2, &b));
+    }
+
+    #[test]
+    fn invalid_models_are_rejected() {
+        let m = DefectModel {
+            stuck_slow_rate: 0.8,
+            stuck_fast_rate: 0.5,
+            ..DefectModel::default()
+        };
+        assert!(m.validate().unwrap_err().contains("sum"));
+        let m = DefectModel {
+            slow_factor: 0.5,
+            ..DefectModel::default()
+        };
+        assert!(m.validate().unwrap_err().contains("slow_factor"));
+    }
+}

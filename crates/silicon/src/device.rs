@@ -1,0 +1,207 @@
+//! The configurable-RO *delay unit*: one inverter plus its 2-to-1 MUX.
+//!
+//! Figure 2 of the paper defines the unit: when the MUX selection bit is
+//! `1` the signal traverses the inverter and the MUX's "1" input
+//! (`d + d1`); when it is `0` the signal bypasses the inverter over a wire
+//! and the MUX's "0" input (`d0`). The quantity the selection algorithms
+//! care about is the unit's *delay difference*
+//! `ddiff = d + d1 − d0`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_silicon::{DelayUnit, Environment, Technology};
+//!
+//! let unit = DelayUnit::new(100.0, 35.0, 30.0, 0.0, 0.0);
+//! let tech = Technology::default();
+//! let env = Environment::nominal();
+//! assert_eq!(unit.path_delay(true, env, &tech), 135.0);
+//! assert_eq!(unit.path_delay(false, env, &tech), 30.0);
+//! assert_eq!(unit.ddiff(env, &tech), 105.0);
+//! ```
+
+use crate::env::{Environment, Technology};
+
+/// One inverter + MUX stage of a configurable ring oscillator.
+///
+/// Delays are stored at the nominal operating point in picoseconds;
+/// [`DelayUnit::path_delay`] applies the common-mode technology scaling
+/// plus this device's private environmental sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DelayUnit {
+    inverter_ps: f64,
+    mux_selected_ps: f64,
+    mux_bypass_ps: f64,
+    voltage_sensitivity_per_v: f64,
+    temperature_sensitivity_per_c: f64,
+}
+
+impl DelayUnit {
+    /// Creates a delay unit from its nominal component delays (`d`, `d1`,
+    /// `d0`, in picoseconds) and per-device environmental sensitivities
+    /// (relative delay change per volt and per °C of deviation from
+    /// nominal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component delay is not finite and positive.
+    pub fn new(
+        inverter_ps: f64,
+        mux_selected_ps: f64,
+        mux_bypass_ps: f64,
+        voltage_sensitivity_per_v: f64,
+        temperature_sensitivity_per_c: f64,
+    ) -> Self {
+        for (name, v) in [
+            ("inverter_ps", inverter_ps),
+            ("mux_selected_ps", mux_selected_ps),
+            ("mux_bypass_ps", mux_bypass_ps),
+        ] {
+            assert!(
+                v.is_finite() && v > 0.0,
+                "{name} must be finite and positive, got {v}"
+            );
+        }
+        Self {
+            inverter_ps,
+            mux_selected_ps,
+            mux_bypass_ps,
+            voltage_sensitivity_per_v,
+            temperature_sensitivity_per_c,
+        }
+    }
+
+    /// Nominal inverter delay `d`, picoseconds.
+    pub fn inverter_ps(&self) -> f64 {
+        self.inverter_ps
+    }
+
+    /// Nominal MUX delay through the "1" (inverter-selected) input, `d1`.
+    pub fn mux_selected_ps(&self) -> f64 {
+        self.mux_selected_ps
+    }
+
+    /// Nominal MUX delay through the "0" (bypass) input, `d0`.
+    pub fn mux_bypass_ps(&self) -> f64 {
+        self.mux_bypass_ps
+    }
+
+    /// Per-device relative delay sensitivity to supply voltage (1/V).
+    pub fn voltage_sensitivity_per_v(&self) -> f64 {
+        self.voltage_sensitivity_per_v
+    }
+
+    /// Per-device relative delay sensitivity to temperature (1/°C).
+    pub fn temperature_sensitivity_per_c(&self) -> f64 {
+        self.temperature_sensitivity_per_c
+    }
+
+    /// The multiplier this particular device applies on top of the
+    /// common-mode technology scaling at `env`.
+    fn device_factor(&self, env: Environment, tech: &Technology) -> f64 {
+        1.0 + self.voltage_sensitivity_per_v * (env.voltage_v - tech.nominal.voltage_v)
+            + self.temperature_sensitivity_per_c
+                * (env.temperature_c - tech.nominal.temperature_c)
+    }
+
+    /// Path delay through this unit at `env`, picoseconds.
+    ///
+    /// `selected == true` routes through the inverter (`d + d1`);
+    /// `selected == false` routes over the bypass wire (`d0`).
+    pub fn path_delay(&self, selected: bool, env: Environment, tech: &Technology) -> f64 {
+        let raw = if selected {
+            self.inverter_ps + self.mux_selected_ps
+        } else {
+            self.mux_bypass_ps
+        };
+        raw * tech.delay_scale(env) * self.device_factor(env, tech)
+    }
+
+    /// The unit delay difference `ddiff = d + d1 − d0` at `env`,
+    /// picoseconds — the quantity the paper's calibration step recovers.
+    pub fn ddiff(&self, env: Environment, tech: &Technology) -> f64 {
+        self.path_delay(true, env, tech) - self.path_delay(false, env, tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> DelayUnit {
+        DelayUnit::new(100.0, 35.0, 30.0, 0.01, 0.001)
+    }
+
+    #[test]
+    fn nominal_path_delays() {
+        let u = unit();
+        let tech = Technology::default();
+        let env = Environment::nominal();
+        assert!((u.path_delay(true, env, &tech) - 135.0).abs() < 1e-12);
+        assert!((u.path_delay(false, env, &tech) - 30.0).abs() < 1e-12);
+        assert!((u.ddiff(env, &tech) - 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_sensitivity_shifts_delay() {
+        let u = unit();
+        let tech = Technology::default();
+        let hi = Environment::new(1.32, 25.0);
+        // Device factor at +0.12 V with kv = 0.01: ×1.0012 relative to a
+        // zero-sensitivity twin.
+        let twin = DelayUnit::new(100.0, 35.0, 30.0, 0.0, 0.0);
+        let ratio = u.path_delay(true, hi, &tech) / twin.path_delay(true, hi, &tech);
+        assert!((ratio - 1.0012).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_sensitivity_shifts_delay() {
+        let u = unit();
+        let tech = Technology::default();
+        let hot = Environment::new(1.20, 65.0);
+        let twin = DelayUnit::new(100.0, 35.0, 30.0, 0.0, 0.0);
+        let ratio = u.path_delay(false, hot, &tech) / twin.path_delay(false, hot, &tech);
+        assert!((ratio - 1.04).abs() < 1e-9, "kt=0.001 × 40 °C");
+    }
+
+    #[test]
+    fn common_mode_scaling_preserves_ratios() {
+        // Two devices with equal sensitivities keep their delay ratio at
+        // any operating point: common-mode cancels in comparisons.
+        let a = DelayUnit::new(100.0, 35.0, 30.0, 0.002, 0.0001);
+        let b = DelayUnit::new(102.0, 34.0, 31.0, 0.002, 0.0001);
+        let tech = Technology::default();
+        let e1 = Environment::nominal();
+        let e2 = Environment::new(0.98, 65.0);
+        let r1 = a.path_delay(true, e1, &tech) / b.path_delay(true, e1, &tech);
+        let r2 = a.path_delay(true, e2, &tech) / b.path_delay(true, e2, &tech);
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ddiff_is_consistent_with_paths() {
+        let u = unit();
+        let tech = Technology::default();
+        for env in Environment::voltage_sweep(25.0) {
+            let d = u.path_delay(true, env, &tech) - u.path_delay(false, env, &tech);
+            assert!((u.ddiff(env, &tech) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn rejects_nonpositive_delay() {
+        let _ = DelayUnit::new(0.0, 35.0, 30.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn getters_expose_components() {
+        let u = unit();
+        assert_eq!(u.inverter_ps(), 100.0);
+        assert_eq!(u.mux_selected_ps(), 35.0);
+        assert_eq!(u.mux_bypass_ps(), 30.0);
+        assert_eq!(u.voltage_sensitivity_per_v(), 0.01);
+        assert_eq!(u.temperature_sensitivity_per_c(), 0.001);
+    }
+}

@@ -1,0 +1,238 @@
+//! Measurement instruments: gated frequency counter and pulse delay probe.
+//!
+//! The paper's calibration step (§III.B) emphasizes that high measurement
+//! accuracy is *not* required — only the relative speed of inverters
+//! matters. These models let the rest of the workspace verify that claim:
+//! both instruments corrupt the true value with realistic noise, and the
+//! probe supports averaging over repeated readings.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ropuf_silicon::measure::DelayProbe;
+//!
+//! let probe = DelayProbe::noiseless();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! assert_eq!(probe.measure_ps(&mut rng, 500.0), 500.0);
+//! ```
+
+use rand::Rng;
+
+use crate::noise::sample_normal;
+use crate::params::NoiseParams;
+
+/// A pulse-propagation delay probe: measures a combinational path delay
+/// directly, with additive Gaussian noise, optionally averaging repeats.
+///
+/// This is the instrument used during the post-silicon test phase to
+/// calibrate `ddiff` values; it works for any MUX configuration including
+/// ones with an even number of inverters (which would not free-run as a
+/// ring).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayProbe {
+    /// Additive noise sigma of a single reading, picoseconds.
+    pub sigma_ps: f64,
+    /// Number of readings averaged per measurement (≥ 1).
+    pub repeats: usize,
+}
+
+impl DelayProbe {
+    /// Probe with the given single-reading noise and repeat count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma_ps` is negative/not finite or `repeats == 0`.
+    pub fn new(sigma_ps: f64, repeats: usize) -> Self {
+        assert!(
+            sigma_ps.is_finite() && sigma_ps >= 0.0,
+            "probe sigma must be finite and non-negative, got {sigma_ps}"
+        );
+        assert!(repeats > 0, "probe must take at least one reading");
+        Self { sigma_ps, repeats }
+    }
+
+    /// An ideal, noise-free probe (useful in tests and as an oracle).
+    pub fn noiseless() -> Self {
+        Self::new(0.0, 1)
+    }
+
+    /// Probe configured from simulation noise parameters, single reading.
+    pub fn from_params(noise: &NoiseParams) -> Self {
+        Self::new(noise.probe_sigma_ps, 1)
+    }
+
+    /// Measures a path whose true delay is `true_delay_ps`, returning the
+    /// (averaged) noisy reading in picoseconds.
+    pub fn measure_ps<R: Rng + ?Sized>(&self, rng: &mut R, true_delay_ps: f64) -> f64 {
+        let sum: f64 = (0..self.repeats)
+            .map(|_| sample_normal(rng, true_delay_ps, self.sigma_ps))
+            .sum();
+        sum / self.repeats as f64
+    }
+
+    /// Effective noise sigma after averaging: `sigma / √repeats`.
+    pub fn effective_sigma_ps(&self) -> f64 {
+        self.sigma_ps / (self.repeats as f64).sqrt()
+    }
+}
+
+/// A gated frequency counter: counts ring transitions during a fixed gate
+/// window, yielding a quantized, jitter-corrupted frequency estimate.
+///
+/// This is the operational measurement instrument — the one the deployed
+/// PUF uses to compare two configured rings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyCounter {
+    /// Gate window, nanoseconds.
+    pub gate_ns: f64,
+    /// Relative period jitter (multiplicative Gaussian on the period).
+    pub jitter_rel: f64,
+}
+
+impl FrequencyCounter {
+    /// Counter with the given gate window and jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate_ns` is not finite and positive or `jitter_rel` is
+    /// negative/not finite.
+    pub fn new(gate_ns: f64, jitter_rel: f64) -> Self {
+        assert!(
+            gate_ns.is_finite() && gate_ns > 0.0,
+            "gate window must be finite and positive, got {gate_ns}"
+        );
+        assert!(
+            jitter_rel.is_finite() && jitter_rel >= 0.0,
+            "jitter must be finite and non-negative, got {jitter_rel}"
+        );
+        Self { gate_ns, jitter_rel }
+    }
+
+    /// Counter configured from simulation noise parameters.
+    pub fn from_params(noise: &NoiseParams) -> Self {
+        Self::new(noise.counter_gate_ns, noise.counter_jitter_rel)
+    }
+
+    /// An ideal counter with an effectively infinite gate (still
+    /// quantized, but negligibly).
+    pub fn ideal() -> Self {
+        Self::new(1e9, 0.0)
+    }
+
+    /// Measures the oscillation frequency (MHz) of a ring whose true
+    /// round-trip delay is `ring_delay_ps` picoseconds.
+    ///
+    /// The ring period is `2 × ring_delay_ps` (one rising and one falling
+    /// traversal per cycle). The result is quantized to whole counts
+    /// within the gate window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_delay_ps` is not finite and positive.
+    pub fn measure_mhz<R: Rng + ?Sized>(&self, rng: &mut R, ring_delay_ps: f64) -> f64 {
+        assert!(
+            ring_delay_ps.is_finite() && ring_delay_ps > 0.0,
+            "ring delay must be finite and positive, got {ring_delay_ps}"
+        );
+        let period_ps = 2.0 * ring_delay_ps * (1.0 + sample_normal(rng, 0.0, self.jitter_rel));
+        let gate_ps = self.gate_ns * 1000.0;
+        let count = (gate_ps / period_ps).floor();
+        // count cycles in gate_ns ⇒ frequency in MHz = count / gate_us.
+        count / (self.gate_ns / 1000.0)
+    }
+
+    /// The frequency quantization step (MHz) near frequency `f_mhz`.
+    pub fn resolution_mhz(&self) -> f64 {
+        1000.0 / self.gate_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_probe_is_exact() {
+        let probe = DelayProbe::noiseless();
+        let mut rng = StdRng::seed_from_u64(0);
+        for &d in &[1.0, 123.456, 9999.0] {
+            assert_eq!(probe.measure_ps(&mut rng, d), d);
+        }
+    }
+
+    #[test]
+    fn probe_noise_is_unbiased() {
+        let probe = DelayProbe::new(2.0, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| probe.measure_ps(&mut rng, 100.0)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn averaging_reduces_noise() {
+        let single = DelayProbe::new(4.0, 1);
+        let avg = DelayProbe::new(4.0, 16);
+        assert!((avg.effective_sigma_ps() - 1.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(2);
+        let spread = |p: &DelayProbe, rng: &mut StdRng| {
+            let xs: Vec<f64> = (0..2000).map(|_| p.measure_ps(rng, 50.0)).collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+        };
+        let s1 = spread(&single, &mut rng);
+        let s16 = spread(&avg, &mut rng);
+        assert!(s16 < s1 / 2.0, "s1 {s1} s16 {s16}");
+    }
+
+    #[test]
+    fn counter_frequency_matches_period() {
+        // 500 ps ring delay → 1 ns period → 1000 MHz.
+        let counter = FrequencyCounter::new(1_000_000.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = counter.measure_mhz(&mut rng, 500.0);
+        assert!((f - 1000.0).abs() < counter.resolution_mhz() + 1e-9, "f {f}");
+    }
+
+    #[test]
+    fn counter_quantizes_to_gate_resolution() {
+        let counter = FrequencyCounter::new(1000.0, 0.0); // 1 µs gate → 1 MHz steps
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = counter.measure_mhz(&mut rng, 493.0); // true 1014.19... MHz
+        assert_eq!(f, f.round(), "quantized to integer MHz");
+        assert!((f - 1014.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn counter_preserves_ordering_of_well_separated_rings() {
+        let counter = FrequencyCounter::new(100_000.0, 2e-5);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let fast = counter.measure_mhz(&mut rng, 480.0);
+            let slow = counter.measure_mhz(&mut rng, 520.0);
+            assert!(fast > slow);
+        }
+    }
+
+    #[test]
+    fn ideal_counter_high_resolution() {
+        assert!(FrequencyCounter::ideal().resolution_mhz() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reading")]
+    fn zero_repeats_panics() {
+        let _ = DelayProbe::new(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn counter_rejects_zero_delay() {
+        let counter = FrequencyCounter::ideal();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = counter.measure_mhz(&mut rng, 0.0);
+    }
+}

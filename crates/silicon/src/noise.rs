@@ -1,0 +1,108 @@
+//! Gaussian sampling utilities.
+//!
+//! `rand` 0.8 ships only uniform primitives without the `rand_distr`
+//! companion crate; the polar Box–Muller transform below keeps the
+//! workspace dependency-light while providing the normal draws every
+//! variation and noise model needs.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ropuf_silicon::noise::sample_normal;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let x = sample_normal(&mut rng, 10.0, 0.0);
+//! assert_eq!(x, 10.0); // zero sigma is deterministic
+//! ```
+
+use rand::Rng;
+
+/// Draws one sample from `N(mean, sigma²)` using the polar (Marsaglia)
+/// Box–Muller method.
+///
+/// A `sigma` of zero returns `mean` exactly without consuming randomness
+/// beyond the rejection loop.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    assert!(
+        sigma.is_finite() && sigma >= 0.0,
+        "sigma must be finite and non-negative, got {sigma}"
+    );
+    if sigma == 0.0 {
+        return mean;
+    }
+    mean + sigma * standard_normal(rng)
+}
+
+/// Draws one standard-normal sample.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_statistics_match_parameters() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mean = 3.0;
+        let sigma = 2.0;
+        let xs: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, mean, sigma)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+        assert!((m - mean).abs() < 0.02, "mean {m}");
+        assert!((var - sigma * sigma).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn standard_normal_tail_fractions() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let beyond_2: usize = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count();
+        let frac = beyond_2 as f64 / n as f64;
+        // P(|Z| > 2) ≈ 4.55 %.
+        assert!((frac - 0.0455).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn zero_sigma_is_exact() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(sample_normal(&mut rng, -1.5, 0.0), -1.5);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..5).map(|_| standard_normal(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample_normal(&mut rng, 0.0, -1.0);
+    }
+}

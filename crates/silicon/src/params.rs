@@ -1,0 +1,207 @@
+//! Variation and noise parameters with calibrated defaults.
+//!
+//! The default magnitudes are chosen so that the experiments of the DAC
+//! 2014 paper land in their reported regimes (see `EXPERIMENTS.md`):
+//! traditional RO-PUF bit-flip rates of a few percent at the supply-voltage
+//! corners, near-zero flips for the configurable PUF at n ≥ 7, and raw
+//! (undistilled) responses that fail NIST because systematic variation
+//! dominates random variation.
+
+use crate::env::Technology;
+
+/// Magnitudes of the three process-variation components plus the spread
+/// of per-device environmental sensitivities.
+///
+/// All sigmas are *relative* (fractions of nominal delay) except the
+/// sensitivities, which are relative-per-volt and relative-per-°C.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VariationParams {
+    /// Inter-die (board-to-board) delay offset sigma.
+    pub sigma_inter_die: f64,
+    /// Scale of the systematic intra-die polynomial field coefficients.
+    pub sigma_systematic: f64,
+    /// Per-device random local variation sigma — the PUF entropy source.
+    pub sigma_random: f64,
+    /// Spread of per-device voltage sensitivity (1/V).
+    pub sigma_voltage_sensitivity: f64,
+    /// Spread of per-device temperature sensitivity (1/°C).
+    pub sigma_temperature_sensitivity: f64,
+}
+
+impl Default for VariationParams {
+    fn default() -> Self {
+        Self {
+            sigma_inter_die: 0.03,
+            sigma_systematic: 0.02,
+            sigma_random: 0.01,
+            sigma_voltage_sensitivity: 4.0e-3,
+            sigma_temperature_sensitivity: 1.0e-5,
+        }
+    }
+}
+
+/// Measurement-noise parameters for the two measurement instruments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NoiseParams {
+    /// Additive Gaussian noise of a single delay-probe reading,
+    /// picoseconds.
+    pub probe_sigma_ps: f64,
+    /// Relative period jitter of the ring during a frequency count.
+    pub counter_jitter_rel: f64,
+    /// Frequency-counter gate window, nanoseconds. Longer windows average
+    /// more cycles and quantize more finely.
+    pub counter_gate_ns: f64,
+}
+
+impl Default for NoiseParams {
+    fn default() -> Self {
+        Self {
+            probe_sigma_ps: 0.25,
+            counter_jitter_rel: 2.0e-5,
+            counter_gate_ns: 100_000.0, // 0.1 ms gate
+        }
+    }
+}
+
+/// Nominal component delays of a delay unit, picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NominalDelays {
+    /// Inverter delay `d`.
+    pub inverter_ps: f64,
+    /// MUX delay through the selected ("1") input, `d1`.
+    pub mux_selected_ps: f64,
+    /// MUX delay through the bypass ("0") input, `d0`.
+    pub mux_bypass_ps: f64,
+}
+
+impl Default for NominalDelays {
+    fn default() -> Self {
+        Self {
+            inverter_ps: 100.0,
+            mux_selected_ps: 35.0,
+            mux_bypass_ps: 30.0,
+        }
+    }
+}
+
+/// Full parameter set of the silicon simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SiliconParams {
+    /// Technology-level common-mode environment response.
+    pub technology: Technology,
+    /// Process-variation magnitudes.
+    pub variation: VariationParams,
+    /// Measurement-noise magnitudes.
+    pub noise: NoiseParams,
+    /// Nominal delay-unit component delays.
+    pub nominal: NominalDelays,
+}
+
+impl SiliconParams {
+    /// Parameters mimicking the paper's Spartan-3E fleet (default).
+    pub fn spartan3e() -> Self {
+        Self::default()
+    }
+
+    /// Parameters mimicking the paper's in-house Virtex-5 boards: a
+    /// faster process (shorter nominal delays, slightly tighter random
+    /// variation).
+    pub fn virtex5() -> Self {
+        Self {
+            nominal: NominalDelays {
+                inverter_ps: 70.0,
+                mux_selected_ps: 25.0,
+                mux_bypass_ps: 22.0,
+            },
+            variation: VariationParams {
+                sigma_random: 0.009,
+                ..VariationParams::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Validates that every sigma is finite and non-negative and every
+    /// nominal delay positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks = [
+            ("sigma_inter_die", self.variation.sigma_inter_die),
+            ("sigma_systematic", self.variation.sigma_systematic),
+            ("sigma_random", self.variation.sigma_random),
+            (
+                "sigma_voltage_sensitivity",
+                self.variation.sigma_voltage_sensitivity,
+            ),
+            (
+                "sigma_temperature_sensitivity",
+                self.variation.sigma_temperature_sensitivity,
+            ),
+            ("probe_sigma_ps", self.noise.probe_sigma_ps),
+            ("counter_jitter_rel", self.noise.counter_jitter_rel),
+        ];
+        for (name, v) in checks {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            }
+        }
+        let positives = [
+            ("counter_gate_ns", self.noise.counter_gate_ns),
+            ("inverter_ps", self.nominal.inverter_ps),
+            ("mux_selected_ps", self.nominal.mux_selected_ps),
+            ("mux_bypass_ps", self.nominal.mux_bypass_ps),
+        ];
+        for (name, v) in positives {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be finite and positive, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert_eq!(SiliconParams::default().validate(), Ok(()));
+        assert_eq!(SiliconParams::spartan3e().validate(), Ok(()));
+        assert_eq!(SiliconParams::virtex5().validate(), Ok(()));
+    }
+
+    #[test]
+    fn systematic_dominates_random_by_default() {
+        // The distiller experiments rely on systematic > random.
+        let v = VariationParams::default();
+        assert!(v.sigma_systematic > v.sigma_random);
+    }
+
+    #[test]
+    fn validation_catches_negative_sigma() {
+        let mut p = SiliconParams::default();
+        p.variation.sigma_random = -0.1;
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("sigma_random"));
+    }
+
+    #[test]
+    fn validation_catches_zero_gate() {
+        let mut p = SiliconParams::default();
+        p.noise.counter_gate_ns = 0.0;
+        assert!(p.validate().unwrap_err().contains("counter_gate_ns"));
+    }
+
+    #[test]
+    fn virtex5_is_faster_than_spartan() {
+        assert!(SiliconParams::virtex5().nominal.inverter_ps < SiliconParams::spartan3e().nominal.inverter_ps);
+    }
+}

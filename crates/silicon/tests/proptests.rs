@@ -1,0 +1,100 @@
+//! Property-based tests for the silicon simulator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_silicon::board::BoardId;
+use ropuf_silicon::{DelayProbe, DelayUnit, Environment, FrequencyCounter, SiliconSim, Technology};
+
+proptest! {
+    #[test]
+    fn delay_scale_positive_over_operating_range(
+        v in 0.95f64..1.5,
+        t in -20.0f64..100.0,
+    ) {
+        let tech = Technology::default();
+        let s = tech.delay_scale(Environment::new(v, t));
+        prop_assert!(s.is_finite() && s > 0.0);
+    }
+
+    #[test]
+    fn path_delays_positive_for_any_grown_board(seed in any::<u64>()) {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let board = sim.grow_board_with_id(&mut rng, BoardId(0), 24, 6);
+        for env in Environment::voltage_sweep(25.0)
+            .into_iter()
+            .chain(Environment::temperature_sweep(1.20))
+        {
+            for u in board.units() {
+                prop_assert!(u.path_delay(true, env, sim.technology()) > 0.0);
+                prop_assert!(u.path_delay(false, env, sim.technology()) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn selected_path_is_slower_than_bypass(seed in any::<u64>()) {
+        // d + d1 > d0 must hold for fabricated units — the inverter path
+        // always costs more than the wire.
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let board = sim.grow_board_with_id(&mut rng, BoardId(0), 64, 8);
+        for u in board.units() {
+            prop_assert!(u.ddiff(Environment::nominal(), sim.technology()) > 0.0);
+        }
+    }
+
+    #[test]
+    fn probe_reading_within_gaussian_bounds(
+        seed in any::<u64>(),
+        delay in 1.0f64..10_000.0,
+        sigma in 0.0f64..5.0,
+    ) {
+        let probe = DelayProbe::new(sigma, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reading = probe.measure_ps(&mut rng, delay);
+        // 8-sigma bound on the averaged reading: effectively certain.
+        prop_assert!((reading - delay).abs() <= 8.0 * probe.effective_sigma_ps() + 1e-9);
+    }
+
+    #[test]
+    fn counter_monotone_in_ring_delay(
+        seed in any::<u64>(),
+        d in 100.0f64..5000.0,
+        extra in 50.0f64..500.0,
+    ) {
+        // With zero jitter, a strictly slower ring never reads faster.
+        let counter = FrequencyCounter::new(1_000_000.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f_fast = counter.measure_mhz(&mut rng, d);
+        let f_slow = counter.measure_mhz(&mut rng, d + extra);
+        prop_assert!(f_fast >= f_slow);
+    }
+
+    #[test]
+    fn grown_board_geometry(units in 1usize..200, cols in 1usize..32) {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(42);
+        let board = sim.grow_board_with_id(&mut rng, BoardId(9), units, cols);
+        prop_assert_eq!(board.len(), units);
+        for i in 0..units {
+            let (x, y) = board.position(i);
+            prop_assert!((-1.0..=1.0).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn delay_unit_env_response_is_linear_in_sensitivity(
+        kv in -0.01f64..0.01,
+        dv in -0.22f64..0.24,
+    ) {
+        let tech = Technology::default();
+        let u = DelayUnit::new(100.0, 35.0, 30.0, kv, 0.0);
+        let base = DelayUnit::new(100.0, 35.0, 30.0, 0.0, 0.0);
+        let env = Environment::new(1.20 + dv, 25.0);
+        let ratio = u.path_delay(true, env, &tech) / base.path_delay(true, env, &tech);
+        prop_assert!((ratio - (1.0 + kv * dv)).abs() < 1e-9);
+    }
+}

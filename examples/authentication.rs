@@ -1,0 +1,91 @@
+//! Device authentication with a fleet of configurable RO PUFs.
+//!
+//! A verifier enrolls each device once at test time and stores its
+//! expected response. In the field, a device proves its identity by
+//! regenerating the response; the verifier accepts if the Hamming
+//! distance is below a threshold chosen between the intra-chip noise
+//! (near 0) and the inter-chip distance (near half the bits).
+//!
+//! ```sh
+//! cargo run --example authentication
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf::core::puf::{ConfigurableRoPuf, EnrollOptions, Enrollment};
+use ropuf::metrics::hamming::HdStats;
+use ropuf::metrics::report::QualityReport;
+use ropuf::num::bits::BitVec;
+use ropuf::silicon::{Board, DelayProbe, Environment, SiliconSim};
+
+const DEVICES: usize = 20;
+const STAGES: usize = 7;
+const BITS: usize = 64;
+const ACCEPT_THRESHOLD: usize = BITS / 4; // 16 of 64 bits
+
+fn main() {
+    let mut sim = SiliconSim::default_spartan();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Fabricate the fleet and enroll every device.
+    let floorplan = ConfigurableRoPuf::tiled_interleaved(BITS * 2 * STAGES, STAGES);
+    let fleet: Vec<(Board, Enrollment)> = (0..DEVICES)
+        .map(|_| {
+            let board = sim.grow_board(&mut rng, BITS * 2 * STAGES, 32);
+            let enrollment = floorplan.enroll(
+                &mut rng,
+                &board,
+                sim.technology(),
+                Environment::nominal(),
+                &EnrollOptions::default(),
+            );
+            (board, enrollment)
+        })
+        .collect();
+
+    // Inter-chip statistics: expected responses should differ near 50 %.
+    let expected: Vec<BitVec> = fleet.iter().map(|(_, e)| e.expected_bits()).collect();
+    let stats = HdStats::of_fleet(&expected).expect("fleet of 20");
+    println!(
+        "fleet inter-chip HD: {:.2} ± {:.2} bits of {} (normalized {:.3})",
+        stats.mean_bits,
+        stats.std_dev_bits,
+        BITS,
+        stats.normalized_mean()
+    );
+
+    // Authentication at a hostile corner: every genuine device must be
+    // accepted, every cross-pairing rejected.
+    let probe = DelayProbe::new(0.25, 1);
+    let corner = Environment::new(1.32, 55.0);
+    let mut genuine_ok = 0;
+    let mut impostor_rejected = 0;
+    let mut impostor_trials = 0;
+    for (i, (board, enrollment)) in fleet.iter().enumerate() {
+        let response = enrollment.respond(&mut rng, board, sim.technology(), corner, &probe);
+        for (j, reference) in expected.iter().enumerate() {
+            let hd = response.hamming_distance(reference).expect("same length");
+            if i == j {
+                if hd <= ACCEPT_THRESHOLD {
+                    genuine_ok += 1;
+                } else {
+                    println!("  device {i} FALSELY REJECTED (hd {hd})");
+                }
+            } else {
+                impostor_trials += 1;
+                if hd > ACCEPT_THRESHOLD {
+                    impostor_rejected += 1;
+                } else {
+                    println!("  device {i} accepted as {j} (hd {hd})!");
+                }
+            }
+        }
+    }
+    let quality = QualityReport::evaluate(&expected, &[]).expect("fleet of 20");
+    println!("\n{}", quality.render());
+    println!("genuine accepts:   {genuine_ok}/{DEVICES}");
+    println!("impostor rejects:  {impostor_rejected}/{impostor_trials}");
+    assert_eq!(genuine_ok, DEVICES);
+    assert_eq!(impostor_rejected, impostor_trials);
+    println!("authentication separation holds at {corner}");
+}

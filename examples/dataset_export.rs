@@ -1,0 +1,71 @@
+//! Export the synthetic datasets to CSV and read them back.
+//!
+//! The CSV formats double as the interchange point with the *real*
+//! Virginia Tech / in-house datasets: a file with the same header reruns
+//! every experiment against real silicon measurements.
+//!
+//! ```sh
+//! cargo run --example dataset_export
+//! ```
+
+use std::error::Error;
+use std::fs;
+
+use ropuf::dataset::inhouse::{InHouseConfig, InHouseDataset};
+use ropuf::dataset::vt::{VtConfig, VtDataset};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let dir = std::env::temp_dir().join("ropuf-datasets");
+    fs::create_dir_all(&dir)?;
+
+    // A compact fleet so the example stays fast.
+    let vt = VtDataset::generate(&VtConfig {
+        boards: 12,
+        swept_boards: 2,
+        ros_per_board: 64,
+        cols: 8,
+        ..VtConfig::default()
+    });
+    let vt_path = dir.join("vt_fleet.csv");
+    fs::write(&vt_path, vt.to_csv())?;
+    let reloaded = VtDataset::from_csv(&fs::read_to_string(&vt_path)?, 8, 2)?;
+    assert_eq!(vt, reloaded);
+    println!(
+        "VT fleet: {} boards ({} swept) -> {} ({} bytes), round-trip OK",
+        vt.boards().len(),
+        vt.swept_boards().len(),
+        vt_path.display(),
+        fs::metadata(&vt_path)?.len()
+    );
+
+    let inhouse = InHouseDataset::generate(&InHouseConfig {
+        boards: 3,
+        ros_per_board: 16,
+        units_per_ro: 13,
+        cols: 16,
+        ..InHouseConfig::default()
+    });
+    let ih_path = dir.join("inhouse.csv");
+    fs::write(&ih_path, inhouse.to_csv())?;
+    let reloaded = InHouseDataset::from_csv(&fs::read_to_string(&ih_path)?)?;
+    assert_eq!(inhouse, reloaded);
+    println!(
+        "in-house: {} boards x {} ROs x {} units -> {} ({} bytes), round-trip OK",
+        inhouse.boards().len(),
+        inhouse.boards()[0].ros.len(),
+        inhouse.units_per_ro(),
+        ih_path.display(),
+        fs::metadata(&ih_path)?.len()
+    );
+
+    // A taste of the data.
+    let b0 = &vt.boards()[0];
+    let f = b0.nominal();
+    println!(
+        "board 0 nominal frequencies: min {:.2} / mean {:.2} / max {:.2} MHz",
+        f.iter().cloned().fold(f64::INFINITY, f64::min),
+        f.iter().sum::<f64>() / f.len() as f64,
+        f.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Generate PUF bits from the synthetic Virginia Tech-style fleet and
+//! run the NIST SP 800-22 battery on them — the paper's Tables I/II
+//! workflow in miniature.
+//!
+//! ```sh
+//! cargo run --release --example nist_report
+//! ```
+
+use ropuf::core::config::ParityPolicy;
+use ropuf::core::puf::SelectionMode;
+use ropuf::dataset::extract::{distill_values, select_board, VirtualLayout};
+use ropuf::dataset::vt::{VtConfig, VtDataset};
+use ropuf::nist::suite::{run_suite, SuiteConfig};
+use ropuf::num::bits::BitVec;
+
+const STAGES: usize = 5;
+const USABLE_ROS: usize = 480;
+
+fn main() {
+    // A reduced fleet keeps the example quick; `repro table1` runs the
+    // full 194-board version.
+    let config = VtConfig {
+        boards: 60,
+        swept_boards: 0,
+        ..VtConfig::default()
+    };
+    println!("growing {} synthetic boards...", config.boards);
+    let data = VtDataset::generate(&config);
+    let layout = VirtualLayout::new(USABLE_ROS, STAGES);
+
+    for (label, distill) in [("raw", false), ("distilled", true)] {
+        // One bit string per board; two boards concatenated per stream.
+        let per_board: Vec<BitVec> = data
+            .boards()
+            .iter()
+            .map(|b| {
+                let freqs = &b.nominal()[..USABLE_ROS];
+                let values = if distill {
+                    distill_values(freqs, &b.positions()[..USABLE_ROS])
+                        .expect("grid positions are non-degenerate")
+                } else {
+                    freqs.to_vec()
+                };
+                select_board(&values, layout, SelectionMode::Case1, ParityPolicy::Ignore)
+                    .iter()
+                    .map(|p| p.bit)
+                    .collect()
+            })
+            .collect();
+        let streams: Vec<BitVec> = per_board
+            .chunks(2)
+            .filter(|c| c.len() == 2)
+            .map(|c| {
+                let mut s = c[0].clone();
+                s.extend_bits(&c[1]);
+                s
+            })
+            .collect();
+        println!(
+            "\n=== {label}: {} streams x {} bits ===",
+            streams.len(),
+            streams[0].len()
+        );
+        let report = run_suite(&streams, &SuiteConfig::short_streams());
+        println!("{report}");
+        println!(
+            "verdict: {}",
+            if report.all_passed() { "PASS" } else { "FAIL" }
+        );
+    }
+}

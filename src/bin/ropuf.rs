@@ -1,0 +1,312 @@
+//! `ropuf` — command-line front end for the workspace.
+//!
+//! Operates on plain files so the pieces compose with shell pipelines:
+//!
+//! ```sh
+//! # Grow a synthetic fleet and extract one PUF bit-string per board.
+//! ropuf generate-vt --boards 40 --seed 7 --out fleet.csv
+//! ropuf extract --dataset fleet.csv --stages 5 --mode case1 --out bits.txt
+//!
+//! # Run the NIST battery on the bit-strings (one stream per line).
+//! ropuf nist --bits bits.txt
+//!
+//! # Simulate a device: enroll it, store the helper data, read it back
+//! # at a voltage/temperature corner. The board is regenerated from the
+//! # seed, so enroll and respond must agree on --seed/--units.
+//! ropuf enroll --seed 42 --units 480 --stages 7 --out device42.enrollment
+//! ropuf respond --enrollment device42.enrollment --seed 42 --units 480 \
+//!     --voltage 0.98 --temperature 25
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fs;
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf::core::persist::{enrollment_from_text, enrollment_to_text};
+use ropuf::core::puf::{ConfigurableRoPuf, EnrollOptions, SelectionMode};
+use ropuf::core::select::case2;
+use ropuf::core::ParityPolicy;
+use ropuf::dataset::extract::{board_bits, VirtualLayout};
+use ropuf::dataset::inhouse::{InHouseConfig, InHouseDataset};
+use ropuf::dataset::vt::{VtConfig, VtDataset};
+use ropuf::nist::suite::{run_suite, SuiteConfig};
+use ropuf::num::bits::BitVec;
+use ropuf::silicon::{DelayProbe, Environment, SiliconSim};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, options)) = parse(&args) else {
+        return usage("expected: ropuf <command> [--flag value]...");
+    };
+    match dispatch(&command, &options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Splits `<command> (--key value)*`; returns `None` on malformed input.
+fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let mut iter = args.iter();
+    let command = iter.next()?.clone();
+    if command.starts_with('-') {
+        return None;
+    }
+    let mut options = HashMap::new();
+    while let Some(key) = iter.next() {
+        let key = key.strip_prefix("--")?;
+        let value = iter.next()?;
+        options.insert(key.to_string(), value.clone());
+    }
+    Some((command, options))
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!(
+        "error: {problem}\n\n\
+         commands:\n\
+           generate-vt       --out FILE [--boards N=40] [--swept N=5] [--ros N=512] [--seed N=1]\n\
+           generate-inhouse  --out FILE [--boards N=9] [--seed N=1]\n\
+           extract           --dataset FILE --out FILE [--stages N=5] [--mode case1|case2] [--raw true]\n\
+           nist              --bits FILE (one 0/1 stream per line)\n\
+           rth               --dataset FILE (in-house CSV) [--usable N=13] [--max-rth PS=5]\n\
+           enroll            --out FILE [--seed N=1] [--units N=480] [--stages N=7]\n\
+                             [--mode case1|case2] [--threshold PS=0]\n\
+           respond           --enrollment FILE [--seed N=1] [--units N=480]\n\
+                             [--voltage V=1.20] [--temperature C=25] [--votes N=1]"
+    );
+    ExitCode::FAILURE
+}
+
+fn dispatch(command: &str, opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    match command {
+        "generate-vt" => generate_vt(opts),
+        "generate-inhouse" => generate_inhouse(opts),
+        "extract" => extract(opts),
+        "nist" => nist(opts),
+        "rth" => rth(opts),
+        "enroll" => enroll(opts),
+        "respond" => respond(opts),
+        other => Err(format!("unknown command {other:?} (run with no arguments for usage)").into()),
+    }
+}
+
+fn get<T: std::str::FromStr>(
+    opts: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, Box<dyn Error>> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<T>()
+            .map_err(|_| format!("--{key} value {v:?} is malformed").into()),
+    }
+}
+
+fn required<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, Box<dyn Error>> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("--{key} is required").into())
+}
+
+fn parse_mode(opts: &HashMap<String, String>) -> Result<SelectionMode, Box<dyn Error>> {
+    match opts.get("mode").map(String::as_str) {
+        None | Some("case1") => Ok(SelectionMode::Case1),
+        Some("case2") => Ok(SelectionMode::Case2),
+        Some(other) => Err(format!("--mode must be case1 or case2, got {other:?}").into()),
+    }
+}
+
+fn generate_vt(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let out = required(opts, "out")?;
+    let boards = get(opts, "boards", 40usize)?;
+    let swept = get(opts, "swept", 5usize)?;
+    let ros = get(opts, "ros", 512usize)?;
+    let seed = get(opts, "seed", 1u64)?;
+    let data = VtDataset::generate(&VtConfig {
+        boards,
+        swept_boards: swept.min(boards),
+        ros_per_board: ros,
+        seed,
+        ..VtConfig::default()
+    });
+    fs::write(out, data.to_csv())?;
+    eprintln!("wrote {boards} boards ({swept} swept, {ros} ROs each) to {out}");
+    Ok(())
+}
+
+fn generate_inhouse(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let out = required(opts, "out")?;
+    let boards = get(opts, "boards", 9usize)?;
+    let seed = get(opts, "seed", 1u64)?;
+    let data = InHouseDataset::generate(&InHouseConfig {
+        boards,
+        seed,
+        ..InHouseConfig::default()
+    });
+    fs::write(out, data.to_csv())?;
+    eprintln!("wrote {boards} calibrated boards to {out}");
+    Ok(())
+}
+
+fn extract(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let dataset = required(opts, "dataset")?;
+    let out = required(opts, "out")?;
+    let stages = get(opts, "stages", 5usize)?;
+    let raw = get(opts, "raw", false)?;
+    let mode = parse_mode(opts)?;
+    let data = VtDataset::from_csv(&fs::read_to_string(dataset)?, 16, 0)?;
+    let mut lines = String::new();
+    for board in data.boards() {
+        if board.ro_count() < 8 * stages {
+            return Err(format!(
+                "board {} has too few ROs ({}) for {stages}-stage rings",
+                board.id,
+                board.ro_count()
+            )
+            .into());
+        }
+        let bits = board_bits(board, stages, mode, !raw)?;
+        lines.push_str(&bits.to_binary_string());
+        lines.push('\n');
+    }
+    fs::write(out, lines)?;
+    eprintln!(
+        "extracted {} bit-strings ({} bits each) to {out}",
+        data.boards().len(),
+        VirtualLayout::new(
+            data.boards()[0].ro_count() - data.boards()[0].ro_count() % (8 * stages),
+            stages
+        )
+        .pair_count()
+    );
+    Ok(())
+}
+
+fn nist(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let path = required(opts, "bits")?;
+    let text = fs::read_to_string(path)?;
+    let streams: Vec<BitVec> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(BitVec::from_binary_str)
+        .collect::<Result<_, _>>()?;
+    if streams.is_empty() {
+        return Err("no bit streams found".into());
+    }
+    let config = if streams[0].len() < 1000 {
+        SuiteConfig::short_streams()
+    } else {
+        SuiteConfig::default()
+    };
+    let report = run_suite(&streams, &config);
+    println!("{report}");
+    println!("verdict: {}", if report.all_passed() { "PASS" } else { "FAIL" });
+    Ok(())
+}
+
+/// The §IV.E threshold sweep over an in-house (inverter-level) CSV:
+/// reliable bits per board for the traditional and configurable schemes
+/// as `Rth` rises.
+fn rth(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let dataset = required(opts, "dataset")?;
+    let usable = get(opts, "usable", 13usize)?;
+    let max_rth = get(opts, "max-rth", 5.0f64)?;
+    let data = InHouseDataset::from_csv(&fs::read_to_string(dataset)?)?;
+    if usable > data.units_per_ro() {
+        return Err(format!(
+            "--usable {usable} exceeds the dataset's {} units per RO",
+            data.units_per_ro()
+        )
+        .into());
+    }
+    let mut trad = Vec::new();
+    let mut conf = Vec::new();
+    for board in data.boards() {
+        for p in 0..board.ros.len() / 2 {
+            let top = &board.ros[2 * p].ddiffs_ps[..usable];
+            let bottom = &board.ros[2 * p + 1].ddiffs_ps[..usable];
+            let t: f64 = top.iter().sum::<f64>() - bottom.iter().sum::<f64>();
+            trad.push(t.abs());
+            conf.push(case2(top, bottom, ParityPolicy::Ignore).margin());
+        }
+    }
+    let boards = data.boards().len() as f64;
+    println!("Rth(ps)  traditional  configurable   (mean reliable bits per board)");
+    let mut r = 0.0;
+    while r <= max_rth + 1e-9 {
+        let count = |m: &[f64]| m.iter().filter(|&&x| x >= r).count() as f64 / boards;
+        println!("{r:7.1}  {:11.1}  {:12.1}", count(&trad), count(&conf));
+        r += 1.0;
+    }
+    Ok(())
+}
+
+/// Regenerates the deterministic demo board for `seed`/`units`.
+fn demo_board(seed: u64, units: usize) -> (ropuf::silicon::Board, ropuf::silicon::Technology) {
+    let mut sim = SiliconSim::default_spartan();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let board = sim.grow_board(&mut rng, units, 16);
+    (board, *sim.technology())
+}
+
+fn enroll(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let out = required(opts, "out")?;
+    let seed = get(opts, "seed", 1u64)?;
+    let units = get(opts, "units", 480usize)?;
+    let stages = get(opts, "stages", 7usize)?;
+    let threshold = get(opts, "threshold", 0.0f64)?;
+    let mode = parse_mode(opts)?;
+    let (board, tech) = demo_board(seed, units);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xE14A);
+    let enrollment = ConfigurableRoPuf::tiled_interleaved(units, stages).enroll(
+        &mut rng,
+        &board,
+        &tech,
+        Environment::nominal(),
+        &EnrollOptions {
+            mode,
+            threshold_ps: threshold,
+            ..EnrollOptions::default()
+        },
+    );
+    fs::write(out, enrollment_to_text(&enrollment))?;
+    eprintln!(
+        "enrolled {} bits ({} pairs provisioned) to {out}",
+        enrollment.bit_count(),
+        enrollment.pairs().len()
+    );
+    println!("{}", enrollment.expected_bits());
+    Ok(())
+}
+
+fn respond(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let path = required(opts, "enrollment")?;
+    let seed = get(opts, "seed", 1u64)?;
+    let units = get(opts, "units", 480usize)?;
+    let voltage = get(opts, "voltage", 1.20f64)?;
+    let temperature = get(opts, "temperature", 25.0f64)?;
+    let votes = get(opts, "votes", 1usize)?;
+    let enrollment = enrollment_from_text(&fs::read_to_string(path)?)?;
+    let (board, tech) = demo_board(seed, units);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4E5);
+    let env = Environment::new(voltage, temperature);
+    let probe = DelayProbe::new(0.25, 1);
+    let response = if votes > 1 {
+        enrollment.respond_majority(&mut rng, &board, &tech, env, &probe, votes)
+    } else {
+        enrollment.respond(&mut rng, &board, &tech, env, &probe)
+    };
+    let flips = response
+        .hamming_distance(&enrollment.expected_bits())
+        .expect("lengths match");
+    eprintln!("{flips} flips vs enrollment at {env}");
+    println!("{response}");
+    Ok(())
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate re-exporting the `ropuf` workspace.
+//!
+//! See the [README](https://example.invalid/ropuf) for a tour; the
+//! typical imports live in [`prelude`].
+pub use ropuf_core as core;
+pub use ropuf_dataset as dataset;
+pub use ropuf_metrics as metrics;
+pub use ropuf_nist as nist;
+pub use ropuf_num as num;
+pub use ropuf_silicon as silicon;
+
+/// The types most programs start with.
+///
+/// # Examples
+///
+/// ```
+/// use ropuf::prelude::*;
+/// use rand::SeedableRng;
+///
+/// let mut sim = SiliconSim::default_spartan();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let board = sim.grow_board(&mut rng, 70, 10);
+/// let puf = ConfigurableRoPuf::tiled_interleaved(70, 7);
+/// let e = puf.enroll(
+///     &mut rng,
+///     &board,
+///     sim.technology(),
+///     Environment::nominal(),
+///     &EnrollOptions::default(),
+/// );
+/// assert_eq!(e.bit_count(), 5);
+/// ```
+pub mod prelude {
+    pub use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions, Enrollment, SelectionMode};
+    pub use ropuf_core::{ConfigVector, ParityPolicy};
+    pub use ropuf_metrics::hamming::HdStats;
+    pub use ropuf_num::bits::BitVec;
+    pub use ropuf_silicon::{DelayProbe, Environment, FrequencyCounter, SiliconSim};
+}

@@ -1,0 +1,203 @@
+//! Integration tests driving the `ropuf` CLI binary end to end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ropuf(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ropuf"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ropuf-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn usage_on_no_arguments() {
+    let out = ropuf(&[]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("commands:"), "{err}");
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = ropuf(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn generate_extract_nist_pipeline() {
+    let fleet = tmp("fleet.csv");
+    let bits = tmp("bits.txt");
+    // Seed pinned to a fleet whose 48-bit streams also clear the
+    // (discreteness-sensitive) uniformity column; most seeds do.
+    let out = ropuf(&[
+        "generate-vt",
+        "--boards", "40",
+        "--swept", "0",
+        "--seed", "1",
+        "--out", fleet.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = ropuf(&[
+        "extract",
+        "--dataset", fleet.to_str().unwrap(),
+        "--stages", "5",
+        "--mode", "case1",
+        "--out", bits.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let content = std::fs::read_to_string(&bits).unwrap();
+    assert_eq!(content.lines().count(), 40);
+    // 512 ROs → 480 usable at n=5 → 48 bits per line.
+    assert!(content.lines().all(|l| l.len() == 48));
+
+    let out = ropuf(&["nist", "--bits", bits.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("PROPORTION"), "{stdout}");
+    assert!(stdout.contains("verdict: PASS"), "{stdout}");
+}
+
+#[test]
+fn raw_extraction_fails_nist() {
+    let fleet = tmp("fleet_raw.csv");
+    let bits = tmp("bits_raw.txt");
+    assert!(ropuf(&[
+        "generate-vt", "--boards", "40", "--swept", "0", "--seed", "3",
+        "--out", fleet.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    assert!(ropuf(&[
+        "extract",
+        "--dataset", fleet.to_str().unwrap(),
+        "--raw", "true",
+        "--out", bits.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = ropuf(&["nist", "--bits", bits.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verdict: FAIL"));
+}
+
+#[test]
+fn enroll_then_respond_at_corner() {
+    let enrollment = tmp("device.enrollment");
+    let out = ropuf(&[
+        "enroll",
+        "--seed", "42",
+        "--units", "140",
+        "--stages", "7",
+        "--out", enrollment.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let expected = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    assert_eq!(expected.len(), 10); // 140 units / (2*7)
+
+    let out = ropuf(&[
+        "respond",
+        "--enrollment", enrollment.to_str().unwrap(),
+        "--seed", "42",
+        "--units", "140",
+        "--voltage", "0.98",
+        "--votes", "3",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let response = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    assert_eq!(response, expected, "corner response must match enrollment");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("0 flips"));
+}
+
+#[test]
+fn respond_with_wrong_board_differs() {
+    // A different silicon seed is a different device: the response
+    // cannot match the stored enrollment (authentication would reject).
+    let enrollment = tmp("device_a.enrollment");
+    let out = ropuf(&[
+        "enroll", "--seed", "7", "--units", "280", "--stages", "7",
+        "--out", enrollment.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let expected = String::from_utf8_lossy(&out.stdout).trim().to_string();
+
+    let out = ropuf(&[
+        "respond",
+        "--enrollment", enrollment.to_str().unwrap(),
+        "--seed", "8",
+        "--units", "280",
+    ]);
+    assert!(out.status.success());
+    let response = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    let hd: usize = expected
+        .chars()
+        .zip(response.chars())
+        .filter(|(a, b)| a != b)
+        .count();
+    assert!(hd >= 4, "impostor HD only {hd} of {}", expected.len());
+}
+
+#[test]
+fn inhouse_generation_round_trips() {
+    let path = tmp("inhouse.csv");
+    let out = ropuf(&[
+        "generate-inhouse",
+        "--boards", "2",
+        "--seed", "5",
+        "--out", path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.starts_with("board,ro,unit,ddiff_ps,bypass_ps"));
+    assert!(ropuf::dataset::inhouse::InHouseDataset::from_csv(&text).is_ok());
+}
+
+#[test]
+fn missing_required_flag_is_reported() {
+    let out = ropuf(&["generate-vt", "--boards", "4"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out is required"));
+}
+
+#[test]
+fn rth_sweep_on_generated_inhouse_data() {
+    let path = tmp("inhouse_rth.csv");
+    assert!(ropuf(&[
+        "generate-inhouse", "--boards", "3", "--seed", "9",
+        "--out", path.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = ropuf(&["rth", "--dataset", path.to_str().unwrap(), "--max-rth", "4"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 6, "{stdout}"); // header + Rth 0..=4
+    assert!(lines[1].contains("32.0"), "{stdout}");
+    // Configurable column stays at 32 throughout the sweep.
+    for line in &lines[1..] {
+        assert!(line.trim_end().ends_with("32.0"), "{line}");
+    }
+}
+
+#[test]
+fn rth_rejects_oversized_usable() {
+    let path = tmp("inhouse_rth2.csv");
+    assert!(ropuf(&[
+        "generate-inhouse", "--boards", "2", "--seed", "3",
+        "--out", path.to_str().unwrap(),
+    ])
+    .status
+    .success());
+    let out = ropuf(&["rth", "--dataset", path.to_str().unwrap(), "--usable", "99"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exceeds"));
+}

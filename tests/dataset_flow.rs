@@ -1,0 +1,201 @@
+//! Dataset-driven integration tests: the paper's public-dataset workflow
+//! from synthetic fleet to metrics and randomness verdicts.
+
+use ropuf::core::distill::Distiller;
+use ropuf::core::puf::SelectionMode;
+use ropuf::core::ParityPolicy;
+use ropuf::dataset::extract::{
+    distill_values, one_of_eight_apply, one_of_eight_select, select_board, traditional_board,
+    traditional_pairs, apply_board, VirtualLayout,
+};
+use ropuf::dataset::vt::{Condition, VtConfig, VtDataset};
+use ropuf::metrics::entropy::min_entropy_per_bit;
+use ropuf::metrics::hamming::HdStats;
+use ropuf::metrics::reliability::flip_rate_against_baseline;
+use ropuf::nist::basic::frequency;
+use ropuf::num::bits::BitVec;
+
+const USABLE: usize = 480;
+
+fn small_fleet() -> VtDataset {
+    VtDataset::generate(&VtConfig {
+        boards: 40,
+        swept_boards: 2,
+        ..VtConfig::default()
+    })
+}
+
+fn board_bits(data: &VtDataset, stages: usize, mode: SelectionMode, distill: bool) -> Vec<BitVec> {
+    let layout = VirtualLayout::new(USABLE, stages);
+    data.boards()
+        .iter()
+        .map(|b| {
+            let freqs = &b.nominal()[..USABLE];
+            let values = if distill {
+                distill_values(freqs, &b.positions()[..USABLE]).expect("grid fit")
+            } else {
+                freqs.to_vec()
+            };
+            select_board(&values, layout, mode, ParityPolicy::Ignore)
+                .iter()
+                .map(|p| p.bit)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn distilled_bits_are_unique_and_balanced() {
+    let data = small_fleet();
+    for mode in [SelectionMode::Case1, SelectionMode::Case2] {
+        let bits = board_bits(&data, 5, mode, true);
+        let stats = HdStats::of_fleet(&bits).expect("40 boards");
+        assert!(
+            (stats.normalized_mean() - 0.5).abs() < 0.05,
+            "{mode:?} uniqueness {}",
+            stats.normalized_mean()
+        );
+        // Concatenate everything and check gross bit balance.
+        let mut all = BitVec::new();
+        for b in &bits {
+            all.extend_bits(b);
+        }
+        let ones = all.ones_fraction().unwrap();
+        assert!((ones - 0.5).abs() < 0.08, "{mode:?} ones fraction {ones}");
+        let p = frequency(&all).unwrap();
+        assert!(p > 0.001, "{mode:?} frequency test p {p}");
+    }
+}
+
+#[test]
+fn raw_bits_show_systematic_structure() {
+    // Without the distiller, the HD spread across boards is inflated by
+    // the shared pair geometry picking up each board's gradient — the
+    // effect that makes the paper's raw bit-streams fail NIST.
+    let data = small_fleet();
+    let raw = HdStats::of_fleet(&board_bits(&data, 5, SelectionMode::Case1, false)).unwrap();
+    let distilled =
+        HdStats::of_fleet(&board_bits(&data, 5, SelectionMode::Case1, true)).unwrap();
+    assert!(
+        raw.std_dev_bits > distilled.std_dev_bits,
+        "raw σ {} !> distilled σ {}",
+        raw.std_dev_bits,
+        distilled.std_dev_bits
+    );
+    // Distilled spread is near binomial: sqrt(48)/2 ≈ 3.46.
+    assert!(distilled.std_dev_bits < 5.0, "σ {}", distilled.std_dev_bits);
+}
+
+#[test]
+fn distilled_bits_carry_high_min_entropy() {
+    // Note the bit-aliasing estimator only sees *positional* bias; the
+    // raw bits' defect is cross-position correlation within a board
+    // (covered by `raw_bits_show_systematic_structure`), so no raw-vs-
+    // distilled ordering is asserted here — just that the distilled
+    // output's per-position min-entropy is near the 40-sample estimator
+    // ceiling (~0.89 for ideal bits).
+    let data = small_fleet();
+    let distilled = board_bits(&data, 5, SelectionMode::Case1, true);
+    let h = min_entropy_per_bit(&distilled).unwrap();
+    assert!(h > 0.7, "distilled min-entropy {h}");
+}
+
+#[test]
+fn distiller_shrinks_frequency_spread_on_every_board() {
+    let data = small_fleet();
+    let d = Distiller::default();
+    for b in data.boards().iter().take(10) {
+        let freqs = b.nominal();
+        let res = d.residuals(freqs, &b.positions()).unwrap();
+        let spread = |v: &[f64]| ropuf::num::stats::std_dev(v).unwrap();
+        assert!(spread(&res) < spread(freqs));
+    }
+}
+
+#[test]
+fn voltage_corner_reliability_ordering_on_dataset() {
+    // Configure at nominal, re-extract at the voltage corners, count
+    // flips: traditional >= configurable; 1-out-of-8 flip-free.
+    let data = small_fleet();
+    let layout = VirtualLayout::new(USABLE, 5);
+    let mut trad = 0.0;
+    let mut conf = 0.0;
+    let mut one8 = 0.0;
+    for b in data.swept_boards() {
+        let nominal = &b.nominal()[..USABLE];
+        let conf_pairs =
+            select_board(nominal, layout, SelectionMode::Case2, ParityPolicy::Ignore);
+        let conf_base: BitVec = conf_pairs.iter().map(|p| p.bit).collect();
+        let trad_pairs = traditional_pairs(nominal, layout);
+        let (trad_base, _) = traditional_board(nominal, layout);
+        let picks = one_of_eight_select(nominal, layout);
+        let one8_base: BitVec = picks.iter().map(|p| p.bit).collect();
+
+        for v in [0.98, 1.08, 1.32, 1.44] {
+            let freqs = b
+                .at(Condition { voltage_v: v, temperature_c: 25.0 })
+                .expect("swept board");
+            let freqs = &freqs[..USABLE];
+            trad += flip_rate_against_baseline(
+                &trad_base,
+                &[apply_board(&trad_pairs, freqs, layout)],
+            );
+            conf += flip_rate_against_baseline(
+                &conf_base,
+                &[apply_board(&conf_pairs, freqs, layout)],
+            );
+            one8 += flip_rate_against_baseline(
+                &one8_base,
+                &[one_of_eight_apply(&picks, freqs, layout)],
+            );
+        }
+    }
+    assert!(conf <= trad, "configurable {conf} !<= traditional {trad}");
+    assert_eq!(one8, 0.0, "1-out-of-8 flipped");
+    assert!(trad > 0.0, "traditional should show some flips across corners");
+}
+
+#[test]
+fn csv_round_trip_preserves_experiment_results() {
+    let data = small_fleet();
+    let back = VtDataset::from_csv(&data.to_csv(), 16, 2).expect("round trip");
+    let layout = VirtualLayout::new(USABLE, 5);
+    let bits_of = |d: &VtDataset| -> Vec<BitVec> {
+        d.boards()
+            .iter()
+            .map(|b| {
+                select_board(
+                    &b.nominal()[..USABLE],
+                    layout,
+                    SelectionMode::Case1,
+                    ParityPolicy::Ignore,
+                )
+                .iter()
+                .map(|p| p.bit)
+                .collect()
+            })
+            .collect()
+    };
+    assert_eq!(bits_of(&data), bits_of(&back));
+}
+
+#[test]
+fn selected_counts_concentrate_near_half() {
+    // §III.D's conjecture: the optimal configuration selects about n/2
+    // inverters once systematic variation is filtered out.
+    let data = small_fleet();
+    let n = 15;
+    let layout = VirtualLayout::new(USABLE, n);
+    let mut counts = Vec::new();
+    for b in data.boards() {
+        let values = distill_values(&b.nominal()[..USABLE], &b.positions()[..USABLE]).unwrap();
+        for p in select_board(&values, layout, SelectionMode::Case1, ParityPolicy::Ignore) {
+            counts.push(p.top.selected_count() as f64);
+        }
+    }
+    let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+    assert!(
+        (mean - n as f64 / 2.0).abs() < 1.5,
+        "mean selected count {mean} for n={n}"
+    );
+}
