@@ -23,12 +23,23 @@ fn bench_enroll_respond(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("enroll", n), &n, |b, _| {
             let mut rng = StdRng::seed_from_u64(2);
             b.iter(|| {
-                puf.enroll(&mut rng, &board, sim.technology(), env, &EnrollOptions::default())
+                puf.enroll(
+                    &mut rng,
+                    &board,
+                    sim.technology(),
+                    env,
+                    &EnrollOptions::default(),
+                )
             })
         });
         let mut rng2 = StdRng::seed_from_u64(3);
-        let enrollment =
-            puf.enroll(&mut rng2, &board, sim.technology(), env, &EnrollOptions::default());
+        let enrollment = puf.enroll(
+            &mut rng2,
+            &board,
+            sim.technology(),
+            env,
+            &EnrollOptions::default(),
+        );
         let probe = DelayProbe::new(0.25, 1);
         group.bench_with_input(BenchmarkId::new("respond", n), &n, |b, _| {
             let mut rng = StdRng::seed_from_u64(4);
@@ -49,7 +60,10 @@ fn bench_distiller_and_extraction(c: &mut Criterion) {
     let positions = board.positions();
     c.bench_function("distill_512_ros", |b| {
         let d = Distiller::default();
-        b.iter(|| d.residuals(std::hint::black_box(&freqs), &positions).unwrap())
+        b.iter(|| {
+            d.residuals(std::hint::black_box(&freqs), &positions)
+                .unwrap()
+        })
     });
     let values = Distiller::default().residuals(&freqs, &positions).unwrap();
     let mut group = c.benchmark_group("extract_board");
@@ -108,7 +122,10 @@ fn bench_fuzzy_and_attack(c: &mut Criterion) {
     });
     let (_, helper) = fx.generate(&mut rng, &response);
     c.bench_function("fuzzy_reproduce_128bit_key", |b| {
-        b.iter(|| fx.reproduce(std::hint::black_box(&response), &helper).unwrap())
+        b.iter(|| {
+            fx.reproduce(std::hint::black_box(&response), &helper)
+                .unwrap()
+        })
     });
 
     let n = 15;

@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ropuf_core::config::ParityPolicy;
-use ropuf_core::select::{
-    brute_force_case1, brute_force_case2, case1, case1_local_search, case2,
-};
+use ropuf_core::select::{brute_force_case1, brute_force_case2, case1, case1_local_search, case2};
 
 fn delays(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
     let mut h = seed | 1;
@@ -18,7 +16,10 @@ fn delays(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
         h ^= h << 17;
         100.0 + (h % 4096) as f64 / 1024.0
     };
-    ((0..n).map(|_| next()).collect(), (0..n).map(|_| next()).collect())
+    (
+        (0..n).map(|_| next()).collect(),
+        (0..n).map(|_| next()).collect(),
+    )
 }
 
 fn bench_selection(c: &mut Criterion) {
@@ -26,13 +27,31 @@ fn bench_selection(c: &mut Criterion) {
     for n in [5usize, 15, 63, 255, 1023] {
         let (a, b) = delays(n, 7);
         group.bench_with_input(BenchmarkId::new("case1", n), &n, |bench, _| {
-            bench.iter(|| case1(std::hint::black_box(&a), std::hint::black_box(&b), ParityPolicy::Ignore))
+            bench.iter(|| {
+                case1(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                    ParityPolicy::Ignore,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("case2", n), &n, |bench, _| {
-            bench.iter(|| case2(std::hint::black_box(&a), std::hint::black_box(&b), ParityPolicy::Ignore))
+            bench.iter(|| {
+                case2(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                    ParityPolicy::Ignore,
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("case1_force_odd", n), &n, |bench, _| {
-            bench.iter(|| case1(std::hint::black_box(&a), std::hint::black_box(&b), ParityPolicy::ForceOdd))
+            bench.iter(|| {
+                case1(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                    ParityPolicy::ForceOdd,
+                )
+            })
         });
     }
     group.finish();
@@ -43,7 +62,13 @@ fn bench_selection(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("hill_climb_x8", n), &n, |bench, _| {
             let mut rng = StdRng::seed_from_u64(1);
             bench.iter(|| {
-                case1_local_search(&mut rng, std::hint::black_box(&a), &b, ParityPolicy::Ignore, 8)
+                case1_local_search(
+                    &mut rng,
+                    std::hint::black_box(&a),
+                    &b,
+                    ParityPolicy::Ignore,
+                    8,
+                )
             })
         });
     }

@@ -14,7 +14,7 @@
 use std::process::ExitCode;
 
 use ropuf_bench::experiments::{
-    ablations, budget_table, configs, randomness, reliability, threshold, uniqueness,
+    ablations, budget_table, configs, fleet_engine, randomness, reliability, threshold, uniqueness,
 };
 use ropuf_core::puf::SelectionMode;
 
@@ -78,6 +78,7 @@ fn usage(problem: &str) -> ExitCode {
            temp              bit flips under temperature sweep (4.D)\n\
            table5            bits per board (Table V)\n\
            sec4e             reliable bits vs Rth on in-house data (4.E)\n\
+           fleet             fleet-engine throughput + speedup (writes BENCH_fleet.json)\n\
            ablate-distiller  randomness with/without the distiller\n\
            ablate-parity     margin cost of odd-parity selection\n\
            ablate-noise      calibration quality vs probe noise\n\
@@ -99,8 +100,9 @@ fn usage(problem: &str) -> ExitCode {
 fn run(command: &str, opts: &Options) -> bool {
     // `all` fans out to per-command captures; `verify` must keep its
     // process exit semantics (a failing verification exits nonzero,
-    // which the capture path would misreport as an unknown command).
-    if command != "all" && command != "verify" {
+    // which the capture path would misreport as an unknown command);
+    // `fleet` routes `--out` itself so BENCH_fleet.json lands there.
+    if command != "all" && command != "verify" && command != "fleet" {
         if let Some(dir) = &opts.out_dir {
             let text = capture(command, opts);
             if let Some(text) = text {
@@ -150,7 +152,11 @@ fn run_to_stdout(command: &str, opts: &Options) -> bool {
             };
             banner(&format!(
                 "{} — NIST SP 800-22 on {:?} output",
-                if command == "table1" { "Table I" } else { "Table II" },
+                if command == "table1" {
+                    "Table I"
+                } else {
+                    "Table II"
+                },
                 mode
             ));
             for distill in [false, true] {
@@ -181,7 +187,11 @@ fn run_to_stdout(command: &str, opts: &Options) -> bool {
             };
             banner(&format!(
                 "{} — best-configuration distances ({mode:?})",
-                if command == "table3" { "Table III" } else { "Table IV" }
+                if command == "table3" {
+                    "Table III"
+                } else {
+                    "Table IV"
+                }
             ));
             let out = configs::run(&configs::Config {
                 seed: opts.seed,
@@ -199,7 +209,11 @@ fn run_to_stdout(command: &str, opts: &Options) -> bool {
             };
             banner(&format!(
                 "{} — bit flips under {sweep:?} sweep",
-                if command == "fig4" { "Figure 4" } else { "Section IV.D" }
+                if command == "fig4" {
+                    "Figure 4"
+                } else {
+                    "Section IV.D"
+                }
             ));
             let out = reliability::run(&reliability::Config {
                 seed: opts.seed,
@@ -215,7 +229,10 @@ fn run_to_stdout(command: &str, opts: &Options) -> bool {
         }
         "table5" => {
             banner("Table V — bits per board");
-            println!("{}", budget_table::run(&budget_table::Config::default()).render());
+            println!(
+                "{}",
+                budget_table::run(&budget_table::Config::default()).render()
+            );
         }
         "sec4e" => {
             banner("Section IV.E — reliable bits vs Rth (in-house data)");
@@ -225,9 +242,32 @@ fn run_to_stdout(command: &str, opts: &Options) -> bool {
             });
             println!("{}", out.render());
         }
+        "fleet" => {
+            banner("Fleet engine — parallel enrollment throughput");
+            let out = fleet_engine::run(&fleet_engine::Config {
+                seed: opts.seed,
+                boards: opts.boards.min(64),
+                ..fleet_engine::Config::default()
+            });
+            println!("{}", out.render());
+            let path = opts
+                .out_dir
+                .clone()
+                .unwrap_or_else(|| std::path::PathBuf::from("."))
+                .join("BENCH_fleet.json");
+            match std::fs::create_dir_all(path.parent().expect("has parent"))
+                .and_then(|()| std::fs::write(&path, out.to_json()))
+            {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
         "ablate-distiller" => {
             banner("Ablation — regression distiller");
-            println!("{}", ablations::distiller(opts.seed, opts.boards.min(60)).render());
+            println!(
+                "{}",
+                ablations::distiller(opts.seed, opts.boards.min(60)).render()
+            );
         }
         "ablate-parity" => {
             banner("Ablation — oscillation parity constraint");
@@ -274,10 +314,25 @@ fn run_to_stdout(command: &str, opts: &Options) -> bool {
         }
         "all" => {
             for sub in [
-                "table1", "table2", "fig3", "table3", "table4", "fig4", "temp", "table5",
-                "sec4e", "ablate-distiller", "ablate-parity", "ablate-noise",
-                "ablate-config-voltage", "ablate-layout", "ablate-ecc", "ablate-aging",
-                "ablate-baselines", "ablate-defects",
+                "table1",
+                "table2",
+                "fig3",
+                "table3",
+                "table4",
+                "fig4",
+                "temp",
+                "table5",
+                "sec4e",
+                "fleet",
+                "ablate-distiller",
+                "ablate-parity",
+                "ablate-noise",
+                "ablate-config-voltage",
+                "ablate-layout",
+                "ablate-ecc",
+                "ablate-aging",
+                "ablate-baselines",
+                "ablate-defects",
             ] {
                 run(sub, opts);
             }

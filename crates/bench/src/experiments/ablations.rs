@@ -145,8 +145,7 @@ pub fn parity(seed: u64) -> ParityOutcome {
                 let mut total = 0.0;
                 let mut count = 0usize;
                 for b in 0..6 {
-                    let board =
-                        sim.grow_board_with_id(&mut rng, BoardId(b), 2 * n * 16, 16);
+                    let board = sim.grow_board_with_id(&mut rng, BoardId(b), 2 * n * 16, 16);
                     let puf = ConfigurableRoPuf::tiled(board.len(), n);
                     let e = puf.enroll(
                         &mut rng,
@@ -197,7 +196,12 @@ impl NoiseOutcome {
         format!(
             "measurement-noise ablation:\n{}",
             render::table(
-                &["probe sigma (ps)", "ddiff RMS err", "config changed", "margin ratio"],
+                &[
+                    "probe sigma (ps)",
+                    "ddiff RMS err",
+                    "config changed",
+                    "margin ratio"
+                ],
                 &rows
             )
         )
@@ -230,8 +234,7 @@ pub fn noise(seed: u64) -> NoiseOutcome {
     };
     let mut clean_rng = StdRng::seed_from_u64(seed + 1);
     let clean = enroll(0.0, &mut clean_rng);
-    let clean_margin: f64 =
-        clean.margins_ps().iter().sum::<f64>() / clean.bit_count() as f64;
+    let clean_margin: f64 = clean.margins_ps().iter().sum::<f64>() / clean.bit_count() as f64;
 
     let rows = [0.0f64, 0.1, 0.25, 0.5, 1.0, 2.0]
         .iter()
@@ -262,8 +265,7 @@ pub fn noise(seed: u64) -> NoiseOutcome {
                 .zip(noisy.pairs())
                 .filter(|(a, b)| match (a, b) {
                     (Some(a), Some(b)) => {
-                        a.top_config() != b.top_config()
-                            || a.bottom_config() != b.bottom_config()
+                        a.top_config() != b.top_config() || a.bottom_config() != b.bottom_config()
                     }
                     _ => true,
                 })
@@ -360,7 +362,10 @@ impl LayoutOutcome {
             self.blocked.response_bits,
             render::table(
                 &["layout", "HD mean", "HD sigma", "normalized"],
-                &[row("blocked", &self.blocked), row("interleaved", &self.interleaved)],
+                &[
+                    row("blocked", &self.blocked),
+                    row("interleaved", &self.interleaved)
+                ],
             )
         )
     }
@@ -440,7 +445,11 @@ mod tests {
         // signal (2 ps) does the achieved margin collapse toward the
         // random-selection floor around half of optimal.
         let at_default = out.rows.iter().find(|r| r.0 == 0.25).unwrap();
-        assert!(at_default.3 > 0.9, "margin ratio at 0.25 ps: {}", at_default.3);
+        assert!(
+            at_default.3 > 0.9,
+            "margin ratio at 0.25 ps: {}",
+            at_default.3
+        );
         let last = out.rows.last().unwrap();
         assert!(last.3 > 0.3, "margin ratio {}", last.3);
         assert!(out.render().contains("margin ratio"));
@@ -603,7 +612,12 @@ pub fn ecc(seed: u64) -> EccOutcome {
 
     // Worst-corner BER of each scheme.
     let trad = TraditionalRoPuf::tiled(board.len(), n).enroll(
-        &mut rng, &board, sim.technology(), env0, &probe, 0.0,
+        &mut rng,
+        &board,
+        sim.technology(),
+        env0,
+        &probe,
+        0.0,
     );
     let conf = ConfigurableRoPuf::tiled(board.len(), n).enroll(
         &mut rng,
@@ -699,8 +713,14 @@ pub fn aging(seed: u64) -> AgingOutcome {
     let env = Environment::nominal();
     let probe = DelayProbe::new(0.25, 1);
 
-    let trad =
-        TraditionalRoPuf::tiled(units, n).enroll(&mut rng, &board, sim.technology(), env, &probe, 0.0);
+    let trad = TraditionalRoPuf::tiled(units, n).enroll(
+        &mut rng,
+        &board,
+        sim.technology(),
+        env,
+        &probe,
+        0.0,
+    );
     let conf = ConfigurableRoPuf::tiled(units, n).enroll(
         &mut rng,
         &board,
@@ -708,7 +728,8 @@ pub fn aging(seed: u64) -> AgingOutcome {
         env,
         &EnrollOptions::default(),
     );
-    let one8 = OneOfEightPuf::tiled(units, n).enroll(&mut rng, &board, sim.technology(), env, &probe);
+    let one8 =
+        OneOfEightPuf::tiled(units, n).enroll(&mut rng, &board, sim.technology(), env, &probe);
 
     let model = AgingModel::default();
     let rows = [1.0f64, 2.0, 5.0, 10.0]
@@ -813,7 +834,12 @@ pub fn baselines(seed: u64) -> BaselinesOutcome {
     let mut rows = Vec::new();
 
     let trad = TraditionalRoPuf::tiled(units, n).enroll(
-        &mut rng, &board, sim.technology(), env0, &probe, 0.0,
+        &mut rng,
+        &board,
+        sim.technology(),
+        env0,
+        &probe,
+        0.0,
     );
     let trad_bits = trad.expected_bits();
     let flips = worst_flip(
@@ -823,7 +849,8 @@ pub fn baselines(seed: u64) -> BaselinesOutcome {
     );
     rows.push(("traditional", trad.bit_count(), 1.0, flips));
 
-    let one8 = OneOfEightPuf::tiled(units, n).enroll(&mut rng, &board, sim.technology(), env0, &probe);
+    let one8 =
+        OneOfEightPuf::tiled(units, n).enroll(&mut rng, &board, sim.technology(), env0, &probe);
     let one8_bits = one8.expected_bits();
     let flips = worst_flip(
         &one8_bits,
@@ -895,7 +922,12 @@ impl DefectsOutcome {
             "defect-screening ablation ({} pairs provisioned):\n{}",
             self.pairs,
             render::table(
-                &["defect rate", "pairs hit", "screened yield", "worst-corner flips"],
+                &[
+                    "defect rate",
+                    "pairs hit",
+                    "screened yield",
+                    "worst-corner flips"
+                ],
                 &rows
             )
         )
@@ -944,7 +976,10 @@ pub fn defects(seed: u64) -> DefectsOutcome {
                 .specs()
                 .iter()
                 .filter(|s| {
-                    s.top().iter().chain(s.bottom()).any(|u| defective.contains(u))
+                    s.top()
+                        .iter()
+                        .chain(s.bottom())
+                        .any(|u| defective.contains(u))
                 })
                 .count();
             let e = puf.enroll(&mut rng, &board, sim.technology(), env0, &opts);

@@ -76,7 +76,12 @@ mod tests {
     #[test]
     fn reproduces_paper_numbers() {
         let out = run(&Config::default());
-        let expect = [(3usize, 80usize, 20usize), (5, 48, 12), (7, 32, 8), (9, 24, 6)];
+        let expect = [
+            (3usize, 80usize, 20usize),
+            (5, 48, 12),
+            (7, 32, 8),
+            (9, 24, 6),
+        ];
         for ((n, budget), (en, epairs, egroups)) in out.budgets.iter().zip(expect) {
             assert_eq!(*n, en);
             assert_eq!(budget.configurable, epairs);

@@ -133,7 +133,11 @@ mod tests {
         // §III.D conjecture: about half the stages selected. (Slightly
         // above n/2 on average: the chosen sign class is the one with
         // the larger total, which correlates with having more members.)
-        assert!((out.mean_selected - 7.5).abs() < 2.0, "{}", out.mean_selected);
+        assert!(
+            (out.mean_selected - 7.5).abs() < 2.0,
+            "{}",
+            out.mean_selected
+        );
         let total: f64 = out.distribution.values().sum();
         assert!((total - 100.0).abs() < 1e-6);
     }

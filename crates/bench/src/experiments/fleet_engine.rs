@@ -1,0 +1,195 @@
+//! Fleet-engine benchmark: throughput and parallel speedup of the
+//! `ropuf_core::fleet` enrollment/evaluation engine, plus the fleet's
+//! uniqueness and per-corner reliability as a sanity check that the
+//! parallel path computes the same statistics as the serial reference.
+//!
+//! `repro fleet` renders the outcome and emits it as `BENCH_fleet.json`.
+
+use std::time::Duration;
+
+use ropuf_core::fleet::{worker_threads, FleetConfig, FleetEngine, FleetRun};
+use ropuf_core::puf::EnrollOptions;
+use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+
+/// Experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// Master seed; every board splits its own streams from it.
+    pub seed: u64,
+    /// Fleet size.
+    pub boards: usize,
+    /// Delay units per board.
+    pub units: usize,
+    /// Stages per ring.
+    pub stages: usize,
+    /// Worker threads for the parallel run; `None` = auto
+    /// (`RAYON_NUM_THREADS` or available parallelism).
+    pub threads: Option<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            seed: 2015,
+            boards: 64,
+            units: 480,
+            stages: 7,
+            threads: None,
+        }
+    }
+}
+
+/// Measured outcome of one fleet benchmark.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Boards evaluated.
+    pub boards: usize,
+    /// Bits per board (pair count of the shared floorplan).
+    pub bits_per_board: usize,
+    /// Threads the parallel run used.
+    pub threads: usize,
+    /// Serial reference wall-clock.
+    pub serial: Duration,
+    /// Parallel run wall-clock.
+    pub parallel: Duration,
+    /// Parallel boards per second.
+    pub boards_per_sec: f64,
+    /// Serial time / parallel time.
+    pub speedup: f64,
+    /// Whether the parallel records matched the serial reference
+    /// bit-for-bit (must always be true).
+    pub deterministic: bool,
+    /// Mean normalized inter-chip Hamming distance (ideal 0.5).
+    pub uniqueness: Option<f64>,
+    /// Response corners and the mean flip rate at each.
+    pub corners: Vec<(Environment, f64)>,
+}
+
+impl Outcome {
+    /// Renders the outcome as a human-readable block.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fleet: {} boards x {} bits\n\
+             serial   {:>10.2?}\n\
+             parallel {:>10.2?}  ({} threads, {:.1} boards/sec)\n\
+             speedup  {:.2}x\n\
+             deterministic (parallel == serial): {}\n\
+             uniqueness (normalized inter-chip HD): {}\n",
+            self.boards,
+            self.bits_per_board,
+            self.serial,
+            self.parallel,
+            self.threads,
+            self.boards_per_sec,
+            self.speedup,
+            if self.deterministic { "yes" } else { "NO" },
+            self.uniqueness
+                .map_or("n/a".to_string(), |u| format!("{u:.4}")),
+        );
+        for (env, rate) in &self.corners {
+            out.push_str(&format!("flip rate at {env}: {:.4}\n", rate));
+        }
+        out
+    }
+
+    /// Serializes the outcome as a JSON object (hand-rolled; the
+    /// workspace carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let corners = self
+            .corners
+            .iter()
+            .map(|(env, rate)| {
+                format!(
+                    "{{\"voltage_v\": {}, \"temperature_c\": {}, \"flip_rate\": {}}}",
+                    env.voltage_v, env.temperature_c, rate
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\n  \"boards\": {},\n  \"bits_per_board\": {},\n  \"threads\": {},\n  \
+             \"serial_secs\": {},\n  \"parallel_secs\": {},\n  \"boards_per_sec\": {},\n  \
+             \"speedup\": {},\n  \"deterministic\": {},\n  \"uniqueness\": {},\n  \
+             \"corners\": [{}]\n}}\n",
+            self.boards,
+            self.bits_per_board,
+            self.threads,
+            self.serial.as_secs_f64(),
+            self.parallel.as_secs_f64(),
+            self.boards_per_sec,
+            self.speedup,
+            self.deterministic,
+            self.uniqueness
+                .map_or("null".to_string(), |u| u.to_string()),
+            corners
+        )
+    }
+}
+
+/// Runs the benchmark: one serial reference pass, one parallel pass,
+/// and a bit-level comparison of the two.
+pub fn run(config: &Config) -> Outcome {
+    let fleet_config = FleetConfig {
+        boards: config.boards,
+        units: config.units,
+        stages: config.stages,
+        opts: EnrollOptions::default(),
+        corners: vec![
+            Environment::nominal(),
+            Environment::new(0.98, 25.0),
+            Environment::new(1.20, 65.0),
+        ],
+        response_probe: DelayProbe::new(0.25, 1),
+        ..FleetConfig::default()
+    };
+    let corners = fleet_config.corners.clone();
+    let engine = FleetEngine::new(SiliconSim::default_spartan(), fleet_config)
+        .expect("benchmark fleet config is valid");
+    let threads = config.threads.unwrap_or_else(worker_threads);
+    let serial: FleetRun = engine.run_serial(config.seed);
+    let parallel: FleetRun = engine.run_on(config.seed, threads);
+    let speedup = serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-12);
+    Outcome {
+        boards: config.boards,
+        bits_per_board: engine.puf().pair_count(),
+        threads: parallel.threads,
+        serial: serial.elapsed,
+        parallel: parallel.elapsed,
+        boards_per_sec: parallel.boards_per_sec(),
+        speedup,
+        deterministic: parallel.records == serial.records,
+        uniqueness: parallel.uniqueness(),
+        corners: corners
+            .into_iter()
+            .zip(parallel.corner_flip_rates())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_runs_and_stays_deterministic() {
+        let out = run(&Config {
+            boards: 8,
+            units: 80,
+            stages: 4,
+            threads: Some(2),
+            ..Config::default()
+        });
+        assert!(out.deterministic);
+        assert_eq!(out.boards, 8);
+        assert_eq!(out.bits_per_board, 10);
+        assert!(out.boards_per_sec > 0.0);
+        assert!(out.uniqueness.expect("comparable boards") > 0.2);
+        assert_eq!(out.corners.len(), 3);
+        let json = out.to_json();
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"deterministic\": true"));
+        assert!(out
+            .render()
+            .contains("deterministic (parallel == serial): yes"));
+    }
+}

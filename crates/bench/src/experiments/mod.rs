@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod budget_table;
 pub mod configs;
+pub mod fleet_engine;
 pub mod randomness;
 pub mod reliability;
 pub mod threshold;

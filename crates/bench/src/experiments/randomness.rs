@@ -59,9 +59,17 @@ impl Outcome {
             self.streams,
             self.bits_per_stream,
             self.config.mode,
-            if self.config.distill { "distilled" } else { "raw" },
+            if self.config.distill {
+                "distilled"
+            } else {
+                "raw"
+            },
             self.report.to_table(),
-            if self.report.all_passed() { "PASS" } else { "FAIL" },
+            if self.report.all_passed() {
+                "PASS"
+            } else {
+                "FAIL"
+            },
         )
     }
 }

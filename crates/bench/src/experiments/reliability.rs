@@ -42,11 +42,17 @@ impl Sweep {
         match self {
             Sweep::Voltage => [0.98, 1.08, 1.20, 1.32, 1.44]
                 .iter()
-                .map(|&v| Condition { voltage_v: v, temperature_c: 25.0 })
+                .map(|&v| Condition {
+                    voltage_v: v,
+                    temperature_c: 25.0,
+                })
                 .collect(),
             Sweep::Temperature => [25.0, 35.0, 45.0, 55.0, 65.0]
                 .iter()
-                .map(|&t| Condition { voltage_v: 1.20, temperature_c: t })
+                .map(|&t| Condition {
+                    voltage_v: 1.20,
+                    temperature_c: t,
+                })
                 .collect(),
         }
     }
@@ -188,7 +194,12 @@ fn evaluate_cell(
     // Bars 1–5: configure at each sweep point, evaluate at the others.
     let mut configurable = [0.0f64; 5];
     for (k, &config_cond) in conditions.iter().enumerate() {
-        let pairs = select_board(&values_at(board, config_cond), layout, mode, ParityPolicy::Ignore);
+        let pairs = select_board(
+            &values_at(board, config_cond),
+            layout,
+            mode,
+            ParityPolicy::Ignore,
+        );
         let baseline: BitVec = pairs.iter().map(|p| p.bit).collect();
         let samples: Vec<BitVec> = conditions
             .iter()
@@ -254,7 +265,10 @@ mod tests {
         let trad_mean = mean(&|c: &Cell| c.traditional);
         let one8_mean = mean(&|c: &Cell| c.one_of_eight);
         // Observation 1: traditional is the least reliable.
-        assert!(trad_mean > conf_mean, "trad {trad_mean} !> conf {conf_mean}");
+        assert!(
+            trad_mean > conf_mean,
+            "trad {trad_mean} !> conf {conf_mean}"
+        );
         assert!(trad_mean > 0.0, "traditional must show flips");
         // Observation 2: 1-out-of-8 is flip-free.
         assert_eq!(one8_mean, 0.0);
@@ -267,7 +281,12 @@ mod tests {
                 .sum::<f64>()
                 / cells.len() as f64
         };
-        assert!(mean_for_n(3) >= mean_for_n(7), "n=3 {} n=7 {}", mean_for_n(3), mean_for_n(7));
+        assert!(
+            mean_for_n(3) >= mean_for_n(7),
+            "n=3 {} n=7 {}",
+            mean_for_n(3),
+            mean_for_n(7)
+        );
         assert!(mean_for_n(9) <= 0.02, "n=9 flip rate {}", mean_for_n(9));
     }
 

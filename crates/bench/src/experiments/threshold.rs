@@ -89,9 +89,11 @@ impl Outcome {
 
     /// Bits at a given threshold (nearest row).
     pub fn at(&self, rth_ps: f64) -> Option<&ThresholdRow> {
-        self.rows
-            .iter()
-            .min_by(|a, b| (a.rth_ps - rth_ps).abs().total_cmp(&(b.rth_ps - rth_ps).abs()))
+        self.rows.iter().min_by(|a, b| {
+            (a.rth_ps - rth_ps)
+                .abs()
+                .total_cmp(&(b.rth_ps - rth_ps).abs())
+        })
     }
 }
 

@@ -141,8 +141,14 @@ pub fn run(seed: u64, boards: usize) -> Outcome {
 
     // Figure 4 + temperature: reliability orderings.
     for (name, sweep) in [
-        ("Fig 4: voltage reliability ordering", reliability::Sweep::Voltage),
-        ("4.D: temperature reliability ordering", reliability::Sweep::Temperature),
+        (
+            "Fig 4: voltage reliability ordering",
+            reliability::Sweep::Voltage,
+        ),
+        (
+            "4.D: temperature reliability ordering",
+            reliability::Sweep::Temperature,
+        ),
     ] {
         let out = reliability::run_on(
             &crate::fleet::paper_fleet(seed, boards.max(7)),
@@ -169,13 +175,20 @@ pub fn run(seed: u64, boards: usize) -> Outcome {
         checks.push(Check::new(
             name,
             ok,
-            format!("trad Σ {trad:.3}, conf Σ {conf:.3}, 1of8 Σ {one8:.3}, conf@n≥7 Σ {conf_n7:.3}"),
+            format!(
+                "trad Σ {trad:.3}, conf Σ {conf:.3}, 1of8 Σ {one8:.3}, conf@n≥7 Σ {conf_n7:.3}"
+            ),
         ));
     }
 
     // Table V: exact integers.
     let t5 = budget_table::run(&budget_table::Config::default());
-    let expect = [(3usize, 80usize, 20usize), (5, 48, 12), (7, 32, 8), (9, 24, 6)];
+    let expect = [
+        (3usize, 80usize, 20usize),
+        (5, 48, 12),
+        (7, 32, 8),
+        (9, 24, 6),
+    ];
     let ok = t5
         .budgets
         .iter()
@@ -211,10 +224,7 @@ pub fn run(seed: u64, boards: usize) -> Outcome {
     let conf = b.row("configurable").copied().expect("row");
     let one8 = b.row("1-out-of-8").copied().expect("row");
     let coop = b.row("cooperative").copied().expect("row");
-    let ok = trad.3 > conf.3
-        && conf.3 == 0.0
-        && one8.1 * 4 == trad.1
-        && coop.2 > 0.25;
+    let ok = trad.3 > conf.3 && conf.3 == 0.0 && one8.1 * 4 == trad.1 && coop.2 > 0.25;
     checks.push(Check::new(
         "§II: four-scheme bits/utilization/reliability",
         ok,

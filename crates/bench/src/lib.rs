@@ -20,6 +20,7 @@
 //! | §IV.D temperature remark | [`experiments::reliability::run`] | `temp` |
 //! | Table V (bits per board) | [`experiments::budget_table::run`] | `table5` |
 //! | §IV.E (Rth sweep) | [`experiments::threshold::run`] | `sec4e` |
+//! | Fleet-engine throughput (`BENCH_fleet.json`) | [`experiments::fleet_engine::run`] | `fleet` |
 
 pub mod experiments;
 pub mod fleet;

@@ -24,7 +24,10 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
         line.push('\n');
         line
     };
-    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     let total: usize = widths.iter().map(|w| w + 2).sum();
     out.push_str(&"-".repeat(total));
     out.push('\n');
@@ -47,10 +50,7 @@ mod tests {
     fn table_aligns_columns() {
         let s = table(
             &["n", "bits"],
-            &[
-                vec!["3".into(), "80".into()],
-                vec!["5".into(), "48".into()],
-            ],
+            &[vec!["3".into(), "80".into()], vec!["5".into(), "48".into()]],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -162,9 +162,16 @@ pub fn calibrate_three_stage<R: Rng + ?Sized>(
     env: Environment,
     tech: &Technology,
 ) -> [f64; 3] {
-    assert_eq!(ro.len(), 3, "three-stage calibration needs exactly 3 stages");
+    assert_eq!(
+        ro.len(),
+        3,
+        "three-stage calibration needs exactly 3 stages"
+    );
     let measure = |rng: &mut R, skip: usize| {
-        probe.measure_ps(rng, ro.ring_delay_ps(&ConfigVector::all_but(3, skip), env, tech))
+        probe.measure_ps(
+            rng,
+            ro.ring_delay_ps(&ConfigVector::all_but(3, skip), env, tech),
+        )
     };
     let x = measure(rng, 2); // 110
     let y = measure(rng, 1); // 101
@@ -280,7 +287,10 @@ mod tests {
         let truth = ro.true_ddiffs_ps(env, &tech);
         let bias = ro.bypass_delay_ps(env, &tech) / 2.0;
         for (e, t) in est.iter().zip(&truth) {
-            assert!((e - t - bias).abs() < 1e-9, "est {e}, true {t}, bias {bias}");
+            assert!(
+                (e - t - bias).abs() < 1e-9,
+                "est {e}, true {t}, bias {bias}"
+            );
         }
     }
 
@@ -299,8 +309,7 @@ mod tests {
         let est_b = calibrate_three_stage(&mut rng, &bottom, &probe, env, &tech);
         let true_t = top.true_ddiffs_ps(env, &tech);
         let true_b = bottom.true_ddiffs_ps(env, &tech);
-        let bias_gap =
-            (top.bypass_delay_ps(env, &tech) - bottom.bypass_delay_ps(env, &tech)) / 2.0;
+        let bias_gap = (top.bypass_delay_ps(env, &tech) - bottom.bypass_delay_ps(env, &tech)) / 2.0;
         for i in 0..3 {
             let est_delta = est_t[i] - est_b[i];
             let true_delta = true_t[i] - true_b[i];

@@ -15,7 +15,6 @@ use ropuf_num::bits::BitVec;
 /// How selection algorithms treat the odd-inverter-count oscillation
 /// constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ParityPolicy {
     /// Any number of selected stages is acceptable (the paper's
     /// §III.D formulation; also correct when stages are whole ROs).
@@ -46,7 +45,6 @@ impl ParityPolicy {
 
 /// An immutable configuration vector over `n` delay units.
 #[derive(Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConfigVector {
     bits: BitVec,
 }
@@ -67,7 +65,10 @@ impl ConfigVector {
     /// assert_eq!(c.to_string(), "101");
     /// ```
     pub fn from_flags(flags: &[bool]) -> Self {
-        assert!(!flags.is_empty(), "a configuration needs at least one stage");
+        assert!(
+            !flags.is_empty(),
+            "a configuration needs at least one stage"
+        );
         Self {
             bits: flags.iter().copied().collect(),
         }

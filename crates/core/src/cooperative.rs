@@ -54,7 +54,10 @@ impl CooperativePuf {
     pub fn tiled(total_units: usize, stages: usize) -> Self {
         assert!(stages > 0, "rings need at least one stage");
         let count = total_units / stages;
-        assert!(count >= 2, "{total_units} units cannot host two {stages}-stage rings");
+        assert!(
+            count >= 2,
+            "{total_units} units cannot host two {stages}-stage rings"
+        );
         Self::new(
             (0..count)
                 .map(|r| (r * stages..(r + 1) * stages).collect())
@@ -197,7 +200,10 @@ impl CooperativeEnrollment {
 
     /// Bits recorded at enrollment.
     pub fn expected_bits(&self) -> BitVec {
-        self.pairs.iter().map(CooperativePair::expected_bit).collect()
+        self.pairs
+            .iter()
+            .map(CooperativePair::expected_bit)
+            .collect()
     }
 
     /// Generates a response at `env`.

@@ -38,7 +38,11 @@ impl Challenge {
     ///
     /// Panics if lengths or selected counts differ.
     pub fn new(top: ConfigVector, bottom: ConfigVector) -> Self {
-        assert_eq!(top.len(), bottom.len(), "configurations must be equally long");
+        assert_eq!(
+            top.len(),
+            bottom.len(),
+            "configurations must be equally long"
+        );
         assert_eq!(
             top.selected_count(),
             bottom.selected_count(),
@@ -183,7 +187,10 @@ impl LinearDelayAttack {
         let design = Matrix::from_fn(challenges.len(), params, |i, j| {
             features(&challenges[i], stages)[j]
         });
-        let targets: Vec<f64> = responses.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let targets: Vec<f64> = responses
+            .iter()
+            .map(|&b| if b { 1.0 } else { -1.0 })
+            .collect();
         // The equal-count constraint makes the stage columns exactly
         // collinear (their sum is the zero vector), so a whisker of
         // ridge regularization is required; it does not affect the
@@ -213,8 +220,15 @@ impl LinearDelayAttack {
     ///
     /// Panics if the slices differ in length or the test set is empty.
     pub fn accuracy(&self, challenges: &[Challenge], responses: &[bool]) -> f64 {
-        assert_eq!(challenges.len(), responses.len(), "one response per challenge");
-        assert!(!challenges.is_empty(), "accuracy needs a non-empty test set");
+        assert_eq!(
+            challenges.len(),
+            responses.len(),
+            "one response per challenge"
+        );
+        assert!(
+            !challenges.is_empty(),
+            "accuracy needs a non-empty test set"
+        );
         let hits = challenges
             .iter()
             .zip(responses)
@@ -235,10 +249,18 @@ fn features(challenge: &Challenge, stages: usize) -> Vec<f64> {
     let mut f = Vec::with_capacity(2 * stages + 1);
     f.push(1.0);
     for i in 0..stages {
-        f.push(if challenge.top().is_selected(i) { 1.0 } else { 0.0 });
+        f.push(if challenge.top().is_selected(i) {
+            1.0
+        } else {
+            0.0
+        });
     }
     for i in 0..stages {
-        f.push(if challenge.bottom().is_selected(i) { -1.0 } else { 0.0 });
+        f.push(if challenge.bottom().is_selected(i) {
+            -1.0
+        } else {
+            0.0
+        });
     }
     f
 }
@@ -335,7 +357,13 @@ mod tests {
             .collect();
         let rs = vec![true; 5];
         let err = LinearDelayAttack::train(&cs, &rs).unwrap_err();
-        assert_eq!(err, TrainError::NotEnoughData { observed: 5, required: 19 });
+        assert_eq!(
+            err,
+            TrainError::NotEnoughData {
+                observed: 5,
+                required: 19
+            }
+        );
         assert!(err.to_string().contains("19-parameter"));
     }
 

@@ -148,7 +148,10 @@ impl fmt::Display for DistillError {
                 "{samples} samples cannot determine a {basis}-term polynomial surface"
             ),
             DistillError::Singular => {
-                write!(f, "sample positions are degenerate; the surface fit is singular")
+                write!(
+                    f,
+                    "sample positions are degenerate; the surface fit is singular"
+                )
             }
             DistillError::Internal(e) => write!(f, "internal solver failure: {e}"),
         }
@@ -224,7 +227,10 @@ mod tests {
     #[test]
     fn residuals_plus_fitted_reconstruct_values() {
         let pts = grid(4);
-        let values: Vec<f64> = pts.iter().map(|&(x, y)| 7.0 + x * y + (x * 9.0).sin()).collect();
+        let values: Vec<f64> = pts
+            .iter()
+            .map(|&(x, y)| 7.0 + x * y + (x * 9.0).sin())
+            .collect();
         let d = Distiller::default();
         let res = d.residuals(&values, &pts).unwrap();
         let fit = d.fitted(&values, &pts).unwrap();
@@ -238,7 +244,13 @@ mod tests {
         let err = Distiller::default()
             .residuals(&[1.0, 2.0], &[(0.0, 0.0)])
             .unwrap_err();
-        assert_eq!(err, DistillError::LengthMismatch { values: 2, positions: 1 });
+        assert_eq!(
+            err,
+            DistillError::LengthMismatch {
+                values: 2,
+                positions: 1
+            }
+        );
         assert!(err.to_string().contains("equal-length"));
     }
 
@@ -247,7 +259,13 @@ mod tests {
         let err = Distiller::new(2)
             .residuals(&[1.0, 2.0, 3.0], &[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)])
             .unwrap_err();
-        assert!(matches!(err, DistillError::Underdetermined { samples: 3, basis: 6 }));
+        assert!(matches!(
+            err,
+            DistillError::Underdetermined {
+                samples: 3,
+                basis: 6
+            }
+        ));
     }
 
     #[test]
@@ -274,7 +292,12 @@ mod tests {
         // Distillation shrinks the spread: systematic + inter-die
         // variation is removed, leaving only the local random part.
         let spread = |v: &[f64]| ropuf_num::stats::std_dev(v).unwrap();
-        assert!(spread(&res) < spread(&values), "{} !< {}", spread(&res), spread(&values));
+        assert!(
+            spread(&res) < spread(&values),
+            "{} !< {}",
+            spread(&res),
+            spread(&values)
+        );
         // And the residual spread should be close to sigma_random × 100 ps.
         assert!(spread(&res) < 2.0, "residual spread {}", spread(&res));
         assert!(spread(&res) > 0.5, "residual spread {}", spread(&res));

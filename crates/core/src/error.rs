@@ -1,0 +1,81 @@
+//! The crate-wide error type.
+//!
+//! Every fallible entry point in `ropuf-core` returns [`Error`], so
+//! callers (the `ropuf` CLI, the bench harness, downstream services)
+//! match on one enum instead of threading `Box<dyn Error>` around.
+
+use std::fmt;
+
+use crate::persist::ParseEnrollmentError;
+
+/// Unified error for calibration, selection, enrollment, fleet
+/// evaluation, and persistence parsing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A calibration input was unusable (empty ring, non-finite
+    /// measurement, inconsistent stage counts).
+    Calibration(String),
+    /// A selection request was malformed (mismatched delay vectors, no
+    /// admissible configuration under the parity policy).
+    Selection(String),
+    /// Enrollment could not be performed (empty floorplan, units
+    /// outside the board, invalid options).
+    Enrollment(String),
+    /// A fleet run was misconfigured (zero boards, floorplan that does
+    /// not fit the board, even vote count).
+    Fleet(String),
+    /// Stored enrollment text did not parse.
+    Parse(ParseEnrollmentError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Calibration(msg) => write!(f, "calibration: {msg}"),
+            Self::Selection(msg) => write!(f, "selection: {msg}"),
+            Self::Enrollment(msg) => write!(f, "enrollment: {msg}"),
+            Self::Fleet(msg) => write!(f, "fleet: {msg}"),
+            Self::Parse(e) => write!(f, "enrollment parse: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseEnrollmentError> for Error {
+    fn from(e: ParseEnrollmentError) -> Self {
+        Self::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::enrollment_from_text;
+
+    #[test]
+    fn display_prefixes_the_domain() {
+        assert!(Error::Fleet("zero boards".into())
+            .to_string()
+            .starts_with("fleet:"));
+        assert!(Error::Enrollment("x".into())
+            .to_string()
+            .starts_with("enrollment:"));
+    }
+
+    #[test]
+    fn parse_errors_convert_and_chain() {
+        let parse_err = enrollment_from_text("not an enrollment").unwrap_err();
+        let err: Error = parse_err.clone().into();
+        assert_eq!(err, Error::Parse(parse_err));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

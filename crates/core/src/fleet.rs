@@ -1,0 +1,538 @@
+//! Parallel fleet enrollment/evaluation engine.
+//!
+//! The paper's headline claims are statistical: uniqueness and
+//! reliability only mean something over *fleets* of boards. This module
+//! grows boards, enrolls a [`ConfigurableRoPuf`] on each, and collects
+//! responses across environment corners — in parallel across boards,
+//! with **byte-identical results at any thread count**.
+//!
+//! # Determinism by seed splitting
+//!
+//! Every board derives its own RNG from a `(master_seed, board_index)`
+//! split (see [`split_seed`]): the master seed is perturbed by the
+//! index through an odd-multiplier and passed through the SplitMix64
+//! finalizer, which is a bijection on `u64`. Distinct indices therefore
+//! *cannot* collide for a fixed master seed, and no RNG state is shared
+//! between boards — so the engine may evaluate boards in any order, on
+//! any number of threads, and produce the same bits as the serial
+//! reference loop ([`FleetEngine::run_serial`]).
+//!
+//! Thread count comes from the `RAYON_NUM_THREADS` environment
+//! variable (kept for ecosystem compatibility) and defaults to the
+//! machine's available parallelism.
+//!
+//! # Examples
+//!
+//! ```
+//! use ropuf_core::fleet::{FleetConfig, FleetEngine};
+//! use ropuf_silicon::SiliconSim;
+//!
+//! let engine = FleetEngine::new(
+//!     SiliconSim::default_spartan(),
+//!     FleetConfig {
+//!         boards: 8,
+//!         units: 80,
+//!         stages: 5,
+//!         ..FleetConfig::default()
+//!     },
+//! )
+//! .unwrap();
+//! let parallel = engine.run(7);
+//! let serial = engine.run_serial(7);
+//! assert_eq!(parallel.expected_bits(), serial.expected_bits());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_num::bits::BitVec;
+use ropuf_silicon::board::BoardId;
+use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+
+use crate::error::Error;
+use crate::puf::{ConfigurableRoPuf, EnrollOptions, Enrollment};
+
+/// Derives the seed for `index` under `master_seed`.
+///
+/// The index is folded in with an odd multiplier (a bijection mod
+/// 2⁶⁴), then the sum runs through the SplitMix64 finalizer (also a
+/// bijection), so **distinct indices always yield distinct seeds** for
+/// a fixed master — adjacent boards can never share an RNG stream.
+pub fn split_seed(master_seed: u64, index: u64) -> u64 {
+    let mut z = master_seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Number of worker threads a fleet run will use: `RAYON_NUM_THREADS`
+/// when set to a positive integer, otherwise the machine's available
+/// parallelism.
+pub fn worker_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Applies `f` to `0..count` on `threads` workers and returns the
+/// results in index order.
+///
+/// Work is claimed dynamically (an atomic cursor), so uneven items
+/// balance across workers; results are keyed by index, so the output
+/// is independent of scheduling. With `threads == 1` the loop runs on
+/// the calling thread with no thread spawned at all.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn parallel_map_indexed<U, F>(count: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = threads.clamp(1, count.max(1));
+    if threads == 1 {
+        return (0..count).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut keyed: Vec<(usize, U)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| match w.join() {
+                Ok(results) => results,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    keyed.sort_unstable_by_key(|&(i, _)| i);
+    keyed.into_iter().map(|(_, u)| u).collect()
+}
+
+/// How ring pairs are placed on each board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// Consecutive blocks of units per ring ([`ConfigurableRoPuf::tiled`]).
+    Tiled,
+    /// Physically adjacent units alternate between the two rings
+    /// ([`ConfigurableRoPuf::tiled_interleaved`]) — the layout that
+    /// cancels the systematic process gradient. The fleet default.
+    #[default]
+    Interleaved,
+}
+
+/// Configuration of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// Number of boards to grow and enroll.
+    pub boards: usize,
+    /// Delay units per board.
+    pub units: usize,
+    /// Grid width the units are placed on.
+    pub cols: usize,
+    /// Stages per ring.
+    pub stages: usize,
+    /// Pair placement.
+    pub layout: Layout,
+    /// Enrollment options (selection mode, parity, threshold, probe).
+    pub opts: EnrollOptions,
+    /// Environment corners responses are collected at, in order.
+    pub corners: Vec<Environment>,
+    /// Probe used for response measurements.
+    pub response_probe: DelayProbe,
+    /// Majority votes per response read (odd; `1` = single read).
+    pub votes: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            boards: 64,
+            units: 480,
+            cols: 16,
+            stages: 5,
+            layout: Layout::Interleaved,
+            opts: EnrollOptions::default(),
+            corners: vec![Environment::nominal(), Environment::new(0.98, 25.0)],
+            response_probe: DelayProbe::new(0.25, 1),
+            votes: 1,
+        }
+    }
+}
+
+/// Everything recorded about one evaluated board.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardRecord {
+    /// Index of the board in the fleet (also its [`BoardId`]).
+    pub board_index: usize,
+    /// The seed this board's RNG streams derive from.
+    pub board_seed: u64,
+    /// Bits recorded at enrollment.
+    pub expected_bits: BitVec,
+    /// Per-pair selection margins, picoseconds (excluded pairs skipped).
+    pub margins_ps: Vec<f64>,
+    /// Hamming distance to `expected_bits` of the response at each
+    /// configured corner, in corner order.
+    pub corner_flips: Vec<usize>,
+}
+
+/// Result of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetRun {
+    /// Per-board records, in board order.
+    pub records: Vec<BoardRecord>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Worker threads the run used (`1` for the serial reference).
+    pub threads: usize,
+}
+
+impl FleetRun {
+    /// Boards evaluated per second of wall-clock.
+    pub fn boards_per_sec(&self) -> f64 {
+        self.records.len() as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// The enrolled bit-string of every board, in board order.
+    pub fn expected_bits(&self) -> Vec<&BitVec> {
+        self.records.iter().map(|r| &r.expected_bits).collect()
+    }
+
+    /// Mean enrolled bits per board.
+    pub fn mean_bit_count(&self) -> f64 {
+        let total: usize = self.records.iter().map(|r| r.expected_bits.len()).sum();
+        total as f64 / self.records.len().max(1) as f64
+    }
+
+    /// Mean normalized pairwise inter-chip Hamming distance — the
+    /// fleet's uniqueness figure (ideal: 0.5). Boards whose bit-strings
+    /// have different lengths (threshold exclusions) are compared over
+    /// their common prefix-free pairs only; `None` when fewer than two
+    /// comparable boards exist.
+    pub fn uniqueness(&self) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..self.records.len() {
+            for j in i + 1..self.records.len() {
+                let (a, b) = (
+                    &self.records[i].expected_bits,
+                    &self.records[j].expected_bits,
+                );
+                if a.len() != b.len() || a.is_empty() {
+                    continue;
+                }
+                let hd = a.hamming_distance(b).expect("equal lengths");
+                sum += hd as f64 / a.len() as f64;
+                pairs += 1;
+            }
+        }
+        (pairs > 0).then(|| sum / pairs as f64)
+    }
+
+    /// Mean flip fraction at each corner, in corner order (the fleet's
+    /// reliability figure; ideal: 0.0).
+    pub fn corner_flip_rates(&self) -> Vec<f64> {
+        let corners = self.records.first().map_or(0, |r| r.corner_flips.len());
+        (0..corners)
+            .map(|c| {
+                let (flips, bits) = self.records.iter().fold((0usize, 0usize), |(f, b), r| {
+                    (f + r.corner_flips[c], b + r.expected_bits.len())
+                });
+                flips as f64 / bits.max(1) as f64
+            })
+            .collect()
+    }
+}
+
+/// The engine: a silicon technology plus a fleet configuration.
+#[derive(Debug, Clone)]
+pub struct FleetEngine {
+    sim: SiliconSim,
+    puf: ConfigurableRoPuf,
+    config: FleetConfig,
+}
+
+// Per-board RNG streams: each purpose draws from its own split of the
+// board seed so adding corners or votes never perturbs enrollment bits.
+const STREAM_GROW: u64 = 0;
+const STREAM_ENROLL: u64 = 1;
+const STREAM_CORNER_BASE: u64 = 2;
+
+impl FleetEngine {
+    /// Validates the configuration and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Fleet`] when the configuration cannot run:
+    /// zero boards, a floorplan that does not fit the board, an even
+    /// vote count, or no corners to respond at.
+    pub fn new(sim: SiliconSim, config: FleetConfig) -> Result<Self, Error> {
+        if config.boards == 0 {
+            return Err(Error::Fleet("fleet needs at least one board".into()));
+        }
+        if config.cols == 0 {
+            return Err(Error::Fleet("grid width must be nonzero".into()));
+        }
+        if config.votes.is_multiple_of(2) {
+            return Err(Error::Fleet(format!(
+                "majority voting needs an odd vote count, got {}",
+                config.votes
+            )));
+        }
+        if config.stages == 0 || config.units < 2 * config.stages {
+            return Err(Error::Fleet(format!(
+                "{} units cannot host a {}-stage ring pair",
+                config.units, config.stages
+            )));
+        }
+        let puf = match config.layout {
+            Layout::Tiled => ConfigurableRoPuf::tiled(config.units, config.stages),
+            Layout::Interleaved => {
+                ConfigurableRoPuf::tiled_interleaved(config.units, config.stages)
+            }
+        };
+        Ok(Self { sim, puf, config })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The shared floorplan every board enrolls.
+    pub fn puf(&self) -> &ConfigurableRoPuf {
+        &self.puf
+    }
+
+    /// Evaluates the fleet on [`worker_threads`] workers.
+    ///
+    /// Deterministic: produces exactly the bits of
+    /// [`run_serial`](Self::run_serial) for the same `master_seed`,
+    /// independent of thread count and scheduling.
+    pub fn run(&self, master_seed: u64) -> FleetRun {
+        self.run_on(master_seed, worker_threads())
+    }
+
+    /// Serial reference loop: the same evaluation on the calling
+    /// thread. Exists so tests (and the bench harness's speedup
+    /// figures) can diff the parallel engine against a plain loop.
+    pub fn run_serial(&self, master_seed: u64) -> FleetRun {
+        let start = Instant::now();
+        let records = (0..self.config.boards)
+            .map(|i| self.eval_board(master_seed, i))
+            .collect();
+        FleetRun {
+            records,
+            elapsed: start.elapsed(),
+            threads: 1,
+        }
+    }
+
+    /// Evaluates the fleet on an explicit number of workers.
+    pub fn run_on(&self, master_seed: u64, threads: usize) -> FleetRun {
+        let start = Instant::now();
+        let records = parallel_map_indexed(self.config.boards, threads, |i| {
+            self.eval_board(master_seed, i)
+        });
+        FleetRun {
+            records,
+            elapsed: start.elapsed(),
+            threads: threads.clamp(1, self.config.boards.max(1)),
+        }
+    }
+
+    /// Grows, enrolls, and reads back one board. Pure in
+    /// `(master_seed, index)` — the engine shares no mutable state.
+    fn eval_board(&self, master_seed: u64, index: usize) -> BoardRecord {
+        let config = &self.config;
+        let board_seed = split_seed(master_seed, index as u64);
+        let mut grow_rng = StdRng::seed_from_u64(split_seed(board_seed, STREAM_GROW));
+        let board = self.sim.grow_board_with_id(
+            &mut grow_rng,
+            BoardId(index as u32),
+            config.units,
+            config.cols,
+        );
+        let tech = self.sim.technology();
+        let enrolled_at = *config.corners.first().unwrap_or(&Environment::nominal());
+        let enrollment: Enrollment = self.puf.enroll_seeded(
+            split_seed(board_seed, STREAM_ENROLL),
+            &board,
+            tech,
+            enrolled_at,
+            &config.opts,
+        );
+        let expected = enrollment.expected_bits();
+        let corner_flips = config
+            .corners
+            .iter()
+            .enumerate()
+            .map(|(c, &env)| {
+                let mut rng =
+                    StdRng::seed_from_u64(split_seed(board_seed, STREAM_CORNER_BASE + c as u64));
+                let response = if config.votes > 1 {
+                    enrollment.respond_majority(
+                        &mut rng,
+                        &board,
+                        tech,
+                        env,
+                        &config.response_probe,
+                        config.votes,
+                    )
+                } else {
+                    enrollment.respond(&mut rng, &board, tech, env, &config.response_probe)
+                };
+                response.hamming_distance(&expected).expect("same pairs")
+            })
+            .collect();
+        BoardRecord {
+            board_index: index,
+            board_seed,
+            margins_ps: enrollment.margins_ps(),
+            expected_bits: expected,
+            corner_flips,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_engine() -> FleetEngine {
+        FleetEngine::new(
+            SiliconSim::default_spartan(),
+            FleetConfig {
+                boards: 10,
+                units: 60,
+                cols: 6,
+                stages: 3,
+                ..FleetConfig::default()
+            },
+        )
+        .expect("valid config")
+    }
+
+    #[test]
+    fn split_seed_is_injective_over_a_window() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(split_seed(99, i)), "collision at index {i}");
+        }
+    }
+
+    #[test]
+    fn split_seed_depends_on_master() {
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let out = parallel_map_indexed(100, 7, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_with_one_thread_runs_inline() {
+        let out = parallel_map_indexed(5, 1, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_are_bit_identical() {
+        let engine = small_engine();
+        let serial = engine.run_serial(7);
+        for threads in [1, 2, 4, 8] {
+            let parallel = engine.run_on(7, threads);
+            assert_eq!(parallel.records, serial.records, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let engine = small_engine();
+        let a = engine.run_on(1, 2);
+        let b = engine.run_on(2, 2);
+        assert_ne!(a.expected_bits(), b.expected_bits());
+    }
+
+    #[test]
+    fn boards_have_expected_bit_budget() {
+        let engine = small_engine();
+        let run = engine.run_on(3, 2);
+        assert_eq!(run.records.len(), 10);
+        for r in &run.records {
+            assert_eq!(r.expected_bits.len(), 10); // 60 units / (2 * 3 stages)
+            assert_eq!(r.corner_flips.len(), 2);
+        }
+        assert!(run.uniqueness().expect("comparable boards") > 0.2);
+        assert_eq!(run.corner_flip_rates().len(), 2);
+    }
+
+    #[test]
+    fn nominal_corner_is_stable() {
+        // First corner is the enrollment point; with the default probe
+        // and paper-style margins, flips there should be rare.
+        let engine = small_engine();
+        let run = engine.run_on(11, 2);
+        let rates = run.corner_flip_rates();
+        assert!(rates[0] < 0.05, "nominal flip rate {}", rates[0]);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let sim = SiliconSim::default_spartan;
+        let bad = |cfg: FleetConfig| FleetEngine::new(sim(), cfg).unwrap_err();
+        assert!(matches!(
+            bad(FleetConfig {
+                boards: 0,
+                ..FleetConfig::default()
+            }),
+            Error::Fleet(_)
+        ));
+        assert!(matches!(
+            bad(FleetConfig {
+                votes: 2,
+                ..FleetConfig::default()
+            }),
+            Error::Fleet(_)
+        ));
+        assert!(matches!(
+            bad(FleetConfig {
+                units: 4,
+                stages: 5,
+                ..FleetConfig::default()
+            }),
+            Error::Fleet(_)
+        ));
+        assert!(matches!(
+            bad(FleetConfig {
+                cols: 0,
+                ..FleetConfig::default()
+            }),
+            Error::Fleet(_)
+        ));
+    }
+}

@@ -82,7 +82,11 @@ impl FuzzyExtractor {
     /// Panics if the response holds fewer bits than one block.
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, response: &BitVec) -> (BitVec, BitVec) {
         let k = self.key_bits(response.len());
-        assert!(k > 0, "response too short for repetition {}", self.repetition);
+        assert!(
+            k > 0,
+            "response too short for repetition {}",
+            self.repetition
+        );
         let key: BitVec = (0..k).map(|_| rng.gen::<bool>()).collect();
         let codeword = self.encode(&key);
         let used: BitVec = response.iter().take(k * self.repetition).collect();
@@ -123,7 +127,10 @@ impl FuzzyExtractor {
     ///
     /// Panics if `ber` is outside `[0, 1]`.
     pub fn failure_probability(&self, ber: f64, key_bits: usize) -> f64 {
-        assert!((0.0..=1.0).contains(&ber), "bit error rate must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&ber),
+            "bit error rate must be in [0,1]"
+        );
         let r = self.repetition;
         let t = self.correctable_errors();
         // P(block fails) = P(Binomial(r, ber) > t).
@@ -187,12 +194,21 @@ pub enum ReproduceError {
 impl std::fmt::Display for ReproduceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ReproduceError::MalformedHelper { helper_bits, repetition } => write!(
+            ReproduceError::MalformedHelper {
+                helper_bits,
+                repetition,
+            } => write!(
                 f,
                 "helper data of {helper_bits} bits is not a multiple of repetition {repetition}"
             ),
-            ReproduceError::ResponseTooShort { response_bits, required } => {
-                write!(f, "response of {response_bits} bits cannot cover {required} helper bits")
+            ReproduceError::ResponseTooShort {
+                response_bits,
+                required,
+            } => {
+                write!(
+                    f,
+                    "response of {response_bits} bits cannot cover {required} helper bits"
+                )
             }
         }
     }
@@ -406,7 +422,10 @@ impl ToeplitzHash {
     /// Panics if any dimension is zero or
     /// `seed.len() != input_bits + output_bits − 1`.
     pub fn new(seed: BitVec, input_bits: usize, output_bits: usize) -> Self {
-        assert!(input_bits > 0 && output_bits > 0, "dimensions must be nonzero");
+        assert!(
+            input_bits > 0 && output_bits > 0,
+            "dimensions must be nonzero"
+        );
         assert_eq!(
             seed.len(),
             input_bits + output_bits - 1,
@@ -425,7 +444,10 @@ impl ToeplitzHash {
     ///
     /// Panics if any dimension is zero.
     pub fn sample<R: Rng + ?Sized>(rng: &mut R, input_bits: usize, output_bits: usize) -> Self {
-        assert!(input_bits > 0 && output_bits > 0, "dimensions must be nonzero");
+        assert!(
+            input_bits > 0 && output_bits > 0,
+            "dimensions must be nonzero"
+        );
         let seed: BitVec = (0..input_bits + output_bits - 1)
             .map(|_| rng.gen::<bool>())
             .collect();
@@ -486,7 +508,11 @@ mod toeplitz_tests {
         let h2 = ToeplitzHash::sample(&mut rng, 64, 16);
         let x = random_bits(&mut rng, 64);
         assert_eq!(h1.hash(&x), h1.hash(&x));
-        assert_ne!(h1.hash(&x), h2.hash(&x), "different seeds, different digests");
+        assert_ne!(
+            h1.hash(&x),
+            h2.hash(&x),
+            "different seeds, different digests"
+        );
     }
 
     #[test]
@@ -517,7 +543,10 @@ mod toeplitz_tests {
             .count();
         let rate = collisions as f64 / trials as f64;
         let ideal = 1.0 / 64.0;
-        assert!((rate - ideal).abs() < 0.006, "collision rate {rate} vs {ideal}");
+        assert!(
+            (rate - ideal).abs() < 0.006,
+            "collision rate {rate} vs {ideal}"
+        );
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //!   brute-force oracle,
 //! * [`ro`] — configurable rings over simulated silicon,
 //! * [`puf`] — the end-to-end enrollment/response pipeline,
+//! * [`fleet`] — the parallel fleet enrollment/evaluation engine, with
+//!   deterministic per-board seed splitting,
+//! * [`error`] — the unified [`Error`] type every fallible entry point
+//!   returns,
 //! * [`traditional`] / [`one_of_eight`] / [`cooperative`] — the
 //!   baselines the paper compares against (§II),
 //! * [`distill`] — the regression-based distiller (Yin & Qu, DAC'13) that
@@ -55,6 +59,8 @@ pub mod config;
 pub mod cooperative;
 pub mod crp;
 pub mod distill;
+pub mod error;
+pub mod fleet;
 pub mod fuzzy;
 pub mod one_of_eight;
 pub mod persist;
@@ -64,4 +70,6 @@ pub mod select;
 pub mod traditional;
 
 pub use config::{ConfigVector, ParityPolicy};
+pub use error::Error;
+pub use fleet::{split_seed, FleetConfig, FleetEngine, FleetRun};
 pub use select::{case1, case2, PairSelection, Selection};

@@ -91,7 +91,10 @@ impl OneOfEightPuf {
     pub fn tiled(total_units: usize, stages: usize) -> Self {
         assert!(stages > 0, "rings need at least one stage");
         let groups = total_units / (8 * stages);
-        assert!(groups > 0, "{total_units} units cannot host an 8-ring group");
+        assert!(
+            groups > 0,
+            "{total_units} units cannot host an 8-ring group"
+        );
         Self::new(
             (0..groups)
                 .map(|g| {
@@ -307,8 +310,13 @@ mod tests {
         let env = Environment::nominal();
         let mut r1 = StdRng::seed_from_u64(2);
         let mut r2 = StdRng::seed_from_u64(2);
-        let one8 = OneOfEightPuf::tiled(240, 5)
-            .enroll(&mut r1, &board, &tech, env, &DelayProbe::noiseless());
+        let one8 = OneOfEightPuf::tiled(240, 5).enroll(
+            &mut r1,
+            &board,
+            &tech,
+            env,
+            &DelayProbe::noiseless(),
+        );
         let trad = crate::traditional::TraditionalRoPuf::tiled(240, 5).enroll(
             &mut r2,
             &board,

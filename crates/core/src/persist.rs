@@ -3,9 +3,7 @@
 //! An [`Enrollment`] is exactly the helper data a verifier stores per
 //! device: which units form each ring pair, the chosen configurations,
 //! the expected bit, and the margin. This module round-trips it through
-//! a line-oriented text format with no serialization dependencies (the
-//! `serde` cargo feature additionally derives `Serialize`/`Deserialize`
-//! on the same types for users who prefer a structured format).
+//! a line-oriented text format with no serialization dependencies.
 //!
 //! # Examples
 //!
@@ -79,9 +77,7 @@ pub fn enrollment_from_text(text: &str) -> Result<Enrollment, ParseEnrollmentErr
         Some((_, h)) if h.trim() == HEADER => {}
         _ => return Err(err(1, format!("expected header {HEADER:?}"))),
     }
-    let (line_no, env_line) = lines
-        .next()
-        .ok_or_else(|| err(2, "missing env line"))?;
+    let (line_no, env_line) = lines.next().ok_or_else(|| err(2, "missing env line"))?;
     let env = parse_env(env_line, line_no + 1)?;
 
     let mut pairs: Vec<Option<EnrolledPair>> = Vec::new();
@@ -192,7 +188,11 @@ pub struct ParseEnrollmentError {
 
 impl fmt::Display for ParseEnrollmentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "enrollment parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "enrollment parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -241,7 +241,10 @@ mod tests {
         let mut margins = all.margins_ps();
         margins.sort_by(f64::total_cmp);
         let (e, _, _) = sample(margins[margins.len() / 2] + 1e-9);
-        assert!(e.pairs().iter().any(Option::is_none), "want some exclusions");
+        assert!(
+            e.pairs().iter().any(Option::is_none),
+            "want some exclusions"
+        );
         assert!(e.pairs().iter().any(Option::is_some), "want some survivors");
         let back = enrollment_from_text(&enrollment_to_text(&e)).unwrap();
         assert_eq!(e, back);
@@ -289,7 +292,10 @@ mod tests {
     #[test]
     fn rejects_bad_bit_and_margin() {
         let text = format!("{HEADER}\nenv,1.2,25\npair,0,0;1,2;3,10,01,2,5.0\n");
-        assert!(enrollment_from_text(&text).unwrap_err().message.contains("0 or 1"));
+        assert!(enrollment_from_text(&text)
+            .unwrap_err()
+            .message
+            .contains("0 or 1"));
         let text = format!("{HEADER}\nenv,1.2,25\npair,0,0;1,2;3,10,01,1,-2.0\n");
         assert!(enrollment_from_text(&text)
             .unwrap_err()
@@ -300,6 +306,9 @@ mod tests {
     #[test]
     fn rejects_empty_enrollment() {
         let text = format!("{HEADER}\nenv,1.2,25\n");
-        assert!(enrollment_from_text(&text).unwrap_err().message.contains("no pairs"));
+        assert!(enrollment_from_text(&text)
+            .unwrap_err()
+            .message
+            .contains("no pairs"));
     }
 }

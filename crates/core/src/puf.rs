@@ -39,18 +39,20 @@
 //! assert_eq!(bits.len(), 8);
 //! ```
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use ropuf_num::bits::BitVec;
 use ropuf_silicon::{Board, DelayProbe, Environment, Technology};
 
 use crate::calibrate::calibrate;
 use crate::config::{ConfigVector, ParityPolicy};
+use crate::error::Error;
+use crate::fleet::{parallel_map_indexed, split_seed};
 use crate::ro::{ConfigurableRo, RoPair};
 use crate::select::{case1_with_offset, case2_with_offset};
 
 /// Which selection algorithm enrollment runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SelectionMode {
     /// Case-1: one shared configuration for both rings.
     Case1,
@@ -90,9 +92,103 @@ impl Default for EnrollOptions {
     }
 }
 
+impl EnrollOptions {
+    /// Starts a builder pre-loaded with the defaults.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ropuf_core::config::ParityPolicy;
+    /// use ropuf_core::puf::{EnrollOptions, SelectionMode};
+    ///
+    /// let opts = EnrollOptions::builder()
+    ///     .selection(SelectionMode::Case2)
+    ///     .parity(ParityPolicy::Ignore)
+    ///     .build();
+    /// assert_eq!(opts.parity, ParityPolicy::Ignore);
+    /// ```
+    pub fn builder() -> EnrollOptionsBuilder {
+        EnrollOptionsBuilder {
+            opts: Self::default(),
+        }
+    }
+}
+
+/// Fluent builder for [`EnrollOptions`]; start with
+/// [`EnrollOptions::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct EnrollOptionsBuilder {
+    opts: EnrollOptions,
+}
+
+impl EnrollOptionsBuilder {
+    /// Selection algorithm enrollment runs.
+    pub fn selection(mut self, mode: SelectionMode) -> Self {
+        self.opts.mode = mode;
+        self
+    }
+
+    /// Oscillation-parity policy for selected configurations.
+    pub fn parity(mut self, parity: ParityPolicy) -> Self {
+        self.opts.parity = parity;
+        self
+    }
+
+    /// Reliability threshold `Rth` in picoseconds (§IV.E).
+    pub fn threshold_ps(mut self, threshold_ps: f64) -> Self {
+        self.opts.threshold_ps = threshold_ps;
+        self
+    }
+
+    /// Plausibility band `[lo, hi]` (ps) for calibrated `ddiff` values.
+    pub fn plausible_ddiff_ps(mut self, lo: f64, hi: f64) -> Self {
+        self.opts.plausible_ddiff_ps = Some((lo, hi));
+        self
+    }
+
+    /// Delay probe used for calibration measurements.
+    pub fn probe(mut self, probe: DelayProbe) -> Self {
+        self.opts.probe = probe;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the options are inconsistent (see
+    /// [`try_build`](Self::try_build) for the fallible form).
+    pub fn build(self) -> EnrollOptions {
+        self.try_build().expect("invalid enrollment options")
+    }
+
+    /// Finishes the builder, rejecting inconsistent options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Enrollment`] when the threshold is negative or
+    /// not finite, or the plausibility band is inverted or not finite.
+    pub fn try_build(self) -> Result<EnrollOptions, Error> {
+        let o = &self.opts;
+        if !o.threshold_ps.is_finite() || o.threshold_ps < 0.0 {
+            return Err(Error::Enrollment(format!(
+                "reliability threshold must be finite and non-negative, got {}",
+                o.threshold_ps
+            )));
+        }
+        if let Some((lo, hi)) = o.plausible_ddiff_ps {
+            if !lo.is_finite() || !hi.is_finite() || lo > hi {
+                return Err(Error::Enrollment(format!(
+                    "plausibility band [{lo}, {hi}] must be finite and ordered"
+                )));
+            }
+        }
+        Ok(self.opts)
+    }
+}
+
 /// Device-independent floorplan: which board units form each ring pair.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PairSpec {
     top: Vec<usize>,
     bottom: Vec<usize>,
@@ -106,7 +202,11 @@ impl PairSpec {
     /// Panics if the lists are empty or have different lengths.
     pub fn new(top: Vec<usize>, bottom: Vec<usize>) -> Self {
         assert!(!top.is_empty(), "rings need at least one stage");
-        assert_eq!(top.len(), bottom.len(), "paired rings must be equally sized");
+        assert_eq!(
+            top.len(),
+            bottom.len(),
+            "paired rings must be equally sized"
+        );
         Self { top, bottom }
     }
 
@@ -189,7 +289,10 @@ impl ConfigurableRoPuf {
     pub fn tiled(total_units: usize, stages: usize) -> Self {
         assert!(stages > 0, "rings need at least one stage");
         let pairs = total_units / (2 * stages);
-        assert!(pairs > 0, "{total_units} units cannot host a {stages}-stage pair");
+        assert!(
+            pairs > 0,
+            "{total_units} units cannot host a {stages}-stage pair"
+        );
         Self::new(
             (0..pairs)
                 .map(|p| PairSpec::split_at(p * 2 * stages, stages))
@@ -208,7 +311,10 @@ impl ConfigurableRoPuf {
     pub fn tiled_interleaved(total_units: usize, stages: usize) -> Self {
         assert!(stages > 0, "rings need at least one stage");
         let pairs = total_units / (2 * stages);
-        assert!(pairs > 0, "{total_units} units cannot host a {stages}-stage pair");
+        assert!(
+            pairs > 0,
+            "{total_units} units cannot host a {stages}-stage pair"
+        );
         Self::new(
             (0..pairs)
                 .map(|p| PairSpec::interleaved_at(p * 2 * stages, stages))
@@ -240,52 +346,36 @@ impl ConfigurableRoPuf {
         let pairs = self
             .specs
             .iter()
-            .map(|spec| {
-                let pair = spec.bind(board);
-                let cal_top = calibrate(rng, pair.top(), &opts.probe, env, tech);
-                let cal_bottom = calibrate(rng, pair.bottom(), &opts.probe, env, tech);
-                if let Some((lo, hi)) = opts.plausible_ddiff_ps {
-                    let suspicious = cal_top
-                        .ddiffs_ps()
-                        .iter()
-                        .chain(cal_bottom.ddiffs_ps())
-                        .any(|&d| !(lo..=hi).contains(&d));
-                    if suspicious {
-                        return None;
-                    }
-                }
-                let offset = cal_top.bypass_ps() - cal_bottom.bypass_ps();
-                let (top_config, bottom_config, margin, bit) = match opts.mode {
-                    SelectionMode::Case1 => {
-                        let s = case1_with_offset(
-                            cal_top.ddiffs_ps(),
-                            cal_bottom.ddiffs_ps(),
-                            offset,
-                            opts.parity,
-                        );
-                        (s.config().clone(), s.config().clone(), s.margin(), s.bit())
-                    }
-                    SelectionMode::Case2 => {
-                        let s = case2_with_offset(
-                            cal_top.ddiffs_ps(),
-                            cal_bottom.ddiffs_ps(),
-                            offset,
-                            opts.parity,
-                        );
-                        (s.top().clone(), s.bottom().clone(), s.margin(), s.bit())
-                    }
-                };
-                if margin < opts.threshold_ps {
-                    None
-                } else {
-                    Some(EnrolledPair {
-                        spec: spec.clone(),
-                        top_config,
-                        bottom_config,
-                        expected_bit: bit,
-                        margin_ps: margin,
-                    })
-                }
+            .map(|spec| Self::enroll_pair(rng, spec, board, tech, env, opts))
+            .collect();
+        Enrollment {
+            pairs,
+            enrolled_at: env,
+        }
+    }
+
+    /// Enrolls with per-pair RNG streams derived from `seed` via
+    /// [`crate::fleet::split_seed`], instead of one shared RNG.
+    ///
+    /// Because pair `i` always draws from stream `split_seed(seed, i)`,
+    /// the result is independent of evaluation order — this is the
+    /// serial reference [`enroll_par`](Self::enroll_par) is bit-identical
+    /// to, and what the fleet engine runs per board.
+    pub fn enroll_seeded(
+        &self,
+        seed: u64,
+        board: &Board,
+        tech: &Technology,
+        env: Environment,
+        opts: &EnrollOptions,
+    ) -> Enrollment {
+        let pairs = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut rng = StdRng::seed_from_u64(split_seed(seed, i as u64));
+                Self::enroll_pair(&mut rng, spec, board, tech, env, opts)
             })
             .collect();
         Enrollment {
@@ -293,11 +383,88 @@ impl ConfigurableRoPuf {
             enrolled_at: env,
         }
     }
+
+    /// Like [`enroll_seeded`](Self::enroll_seeded) but fans the per-pair
+    /// calibration/selection work out over `threads` workers.
+    /// Bit-identical to the serial form for the same `seed`.
+    pub fn enroll_par(
+        &self,
+        seed: u64,
+        board: &Board,
+        tech: &Technology,
+        env: Environment,
+        opts: &EnrollOptions,
+        threads: usize,
+    ) -> Enrollment {
+        let pairs = parallel_map_indexed(self.specs.len(), threads, |i| {
+            let mut rng = StdRng::seed_from_u64(split_seed(seed, i as u64));
+            Self::enroll_pair(&mut rng, &self.specs[i], board, tech, env, opts)
+        });
+        Enrollment {
+            pairs,
+            enrolled_at: env,
+        }
+    }
+
+    /// Calibrates, selects, and thresholds one ring pair.
+    fn enroll_pair<R: Rng + ?Sized>(
+        rng: &mut R,
+        spec: &PairSpec,
+        board: &Board,
+        tech: &Technology,
+        env: Environment,
+        opts: &EnrollOptions,
+    ) -> Option<EnrolledPair> {
+        let pair = spec.bind(board);
+        let cal_top = calibrate(rng, pair.top(), &opts.probe, env, tech);
+        let cal_bottom = calibrate(rng, pair.bottom(), &opts.probe, env, tech);
+        if let Some((lo, hi)) = opts.plausible_ddiff_ps {
+            let suspicious = cal_top
+                .ddiffs_ps()
+                .iter()
+                .chain(cal_bottom.ddiffs_ps())
+                .any(|&d| !(lo..=hi).contains(&d));
+            if suspicious {
+                return None;
+            }
+        }
+        let offset = cal_top.bypass_ps() - cal_bottom.bypass_ps();
+        let (top_config, bottom_config, margin, bit) = match opts.mode {
+            SelectionMode::Case1 => {
+                let s = case1_with_offset(
+                    cal_top.ddiffs_ps(),
+                    cal_bottom.ddiffs_ps(),
+                    offset,
+                    opts.parity,
+                );
+                (s.config().clone(), s.config().clone(), s.margin(), s.bit())
+            }
+            SelectionMode::Case2 => {
+                let s = case2_with_offset(
+                    cal_top.ddiffs_ps(),
+                    cal_bottom.ddiffs_ps(),
+                    offset,
+                    opts.parity,
+                );
+                (s.top().clone(), s.bottom().clone(), s.margin(), s.bit())
+            }
+        };
+        if margin < opts.threshold_ps {
+            None
+        } else {
+            Some(EnrolledPair {
+                spec: spec.clone(),
+                top_config,
+                bottom_config,
+                expected_bit: bit,
+                margin_ps: margin,
+            })
+        }
+    }
 }
 
 /// One enrolled ring pair: its configurations, expected bit, and margin.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EnrolledPair {
     spec: PairSpec,
     top_config: ConfigVector,
@@ -353,7 +520,6 @@ impl EnrolledPair {
 
 /// An enrolled PUF: per-pair configurations ready to generate responses.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Enrollment {
     pairs: Vec<Option<EnrolledPair>>,
     enrolled_at: Environment,
@@ -419,7 +585,10 @@ impl Enrollment {
         probe: &DelayProbe,
         votes: usize,
     ) -> BitVec {
-        assert!(votes % 2 == 1, "majority voting needs an odd vote count, got {votes}");
+        assert!(
+            votes % 2 == 1,
+            "majority voting needs an odd vote count, got {votes}"
+        );
         let reads: Vec<BitVec> = (0..votes)
             .map(|_| self.respond(rng, board, tech, env, probe))
             .collect();
@@ -454,8 +623,10 @@ impl Enrollment {
                 let pair = p.spec.bind(board);
                 let d_top =
                     probe.measure_ps(rng, pair.top().ring_delay_ps(&p.top_config, env, tech));
-                let d_bottom = probe
-                    .measure_ps(rng, pair.bottom().ring_delay_ps(&p.bottom_config, env, tech));
+                let d_bottom = probe.measure_ps(
+                    rng,
+                    pair.bottom().ring_delay_ps(&p.bottom_config, env, tech),
+                );
                 d_top > d_bottom
             })
             .collect()
@@ -512,8 +683,7 @@ mod tests {
                     }
                 }
                 let m = hds.iter().sum::<f64>() / hds.len() as f64;
-                (hds.iter().map(|h| (h - m) * (h - m)).sum::<f64>() / (hds.len() - 1) as f64)
-                    .sqrt()
+                (hds.iter().map(|h| (h - m) * (h - m)).sum::<f64>() / (hds.len() - 1) as f64).sqrt()
             }
         }
 
@@ -541,7 +711,10 @@ mod tests {
         let s_inter = hd_sigma(&interleaved);
         // 32 bits: binomial sigma = sqrt(32)/2 = 2.83.
         assert!(s_inter < 5.0, "interleaved sigma {s_inter}");
-        assert!(s_blocked > s_inter, "blocked {s_blocked} !> interleaved {s_inter}");
+        assert!(
+            s_blocked > s_inter,
+            "blocked {s_blocked} !> interleaved {s_inter}"
+        );
     }
 
     #[test]
@@ -629,7 +802,13 @@ mod tests {
         let (board, tech, mut rng) = setup(120);
         let puf = ConfigurableRoPuf::tiled(120, 5);
         let env = Environment::nominal();
-        let all = puf.enroll(&mut rng, &board, &tech, env, &EnrollOptions::default());
+        // Noiseless calibration makes margins identical across enrolls,
+        // so a threshold derived from one run provably bites in the next.
+        let base = EnrollOptions {
+            probe: DelayProbe::noiseless(),
+            ..EnrollOptions::default()
+        };
+        let all = puf.enroll(&mut rng, &board, &tech, env, &base);
         let strict = puf.enroll(
             &mut rng,
             &board,
@@ -637,12 +816,16 @@ mod tests {
             env,
             &EnrollOptions {
                 threshold_ps: f64::MAX,
-                ..EnrollOptions::default()
+                ..base
             },
         );
         assert_eq!(all.bit_count(), 12);
         assert_eq!(strict.bit_count(), 0);
-        let min_margin = all.margins_ps().iter().copied().fold(f64::INFINITY, f64::min);
+        let min_margin = all
+            .margins_ps()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         let mid = puf.enroll(
             &mut rng,
             &board,
@@ -650,7 +833,7 @@ mod tests {
             env,
             &EnrollOptions {
                 threshold_ps: min_margin + 0.01,
-                ..EnrollOptions::default()
+                ..base
             },
         );
         assert!(mid.bit_count() < all.bit_count());
@@ -754,6 +937,63 @@ mod tests {
     }
 
     #[test]
+    fn builder_mirrors_struct_literal() {
+        let built = EnrollOptions::builder()
+            .selection(SelectionMode::Case1)
+            .parity(ParityPolicy::Ignore)
+            .threshold_ps(1.5)
+            .plausible_ddiff_ps(50.0, 200.0)
+            .probe(DelayProbe::noiseless())
+            .build();
+        let literal = EnrollOptions {
+            mode: SelectionMode::Case1,
+            parity: ParityPolicy::Ignore,
+            threshold_ps: 1.5,
+            plausible_ddiff_ps: Some((50.0, 200.0)),
+            probe: DelayProbe::noiseless(),
+        };
+        assert_eq!(built, literal);
+        // Untouched fields keep the defaults.
+        assert_eq!(EnrollOptions::builder().build(), EnrollOptions::default());
+    }
+
+    #[test]
+    fn builder_rejects_inconsistent_options() {
+        use crate::error::Error;
+        assert!(matches!(
+            EnrollOptions::builder().threshold_ps(-1.0).try_build(),
+            Err(Error::Enrollment(_))
+        ));
+        assert!(matches!(
+            EnrollOptions::builder()
+                .plausible_ddiff_ps(5.0, 1.0)
+                .try_build(),
+            Err(Error::Enrollment(_))
+        ));
+        assert!(matches!(
+            EnrollOptions::builder().threshold_ps(f64::NAN).try_build(),
+            Err(Error::Enrollment(_))
+        ));
+    }
+
+    #[test]
+    fn seeded_and_parallel_enrolls_are_bit_identical() {
+        let (board, tech, _) = setup(120);
+        let puf = ConfigurableRoPuf::tiled_interleaved(120, 5);
+        let env = Environment::nominal();
+        let opts = EnrollOptions::default();
+        let serial = puf.enroll_seeded(42, &board, &tech, env, &opts);
+        for threads in [1, 2, 4, 8] {
+            let par = puf.enroll_par(42, &board, &tech, env, &opts, threads);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+        // A different seed produces different calibration noise draws,
+        // but the same silicon — bits agree wherever margins are wide.
+        let other = puf.enroll_seeded(43, &board, &tech, env, &opts);
+        assert_eq!(other.bit_count(), serial.bit_count());
+    }
+
+    #[test]
     #[should_panic(expected = "at least one ring pair")]
     fn empty_floorplan_panics() {
         let _ = ConfigurableRoPuf::new(vec![]);
@@ -795,7 +1035,13 @@ mod defect_tests {
             probe: DelayProbe::noiseless(),
             ..EnrollOptions::default()
         };
-        let e = puf.enroll(&mut rng, &board, sim.technology(), Environment::nominal(), &opts);
+        let e = puf.enroll(
+            &mut rng,
+            &board,
+            sim.technology(),
+            Environment::nominal(),
+            &opts,
+        );
 
         let defective_units: std::collections::HashSet<usize> =
             defects.iter().map(|(i, _)| *i).collect();

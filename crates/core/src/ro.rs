@@ -51,7 +51,11 @@ impl<'a> ConfigurableRo<'a> {
         assert!(!stages.is_empty(), "a ring needs at least one stage");
         let mut seen = vec![false; board.len()];
         for &i in &stages {
-            assert!(i < board.len(), "unit index {i} out of range {}", board.len());
+            assert!(
+                i < board.len(),
+                "unit index {i} out of range {}",
+                board.len()
+            );
             assert!(!seen[i], "unit index {i} appears twice in the ring");
             seen[i] = true;
         }
@@ -94,7 +98,9 @@ impl<'a> ConfigurableRo<'a> {
     /// Panics if `i >= len()`.
     pub fn stage(&self, i: usize) -> &DelayUnit {
         let idx = self.stages[i];
-        self.board.unit(idx).expect("stage indices validated at construction")
+        self.board
+            .unit(idx)
+            .expect("stage indices validated at construction")
     }
 
     /// True (noise-free) round-trip delay of the ring under `config`, in
@@ -104,12 +110,7 @@ impl<'a> ConfigurableRo<'a> {
     /// # Panics
     ///
     /// Panics if `config.len() != self.len()`.
-    pub fn ring_delay_ps(
-        &self,
-        config: &ConfigVector,
-        env: Environment,
-        tech: &Technology,
-    ) -> f64 {
+    pub fn ring_delay_ps(&self, config: &ConfigVector, env: Environment, tech: &Technology) -> f64 {
         assert_eq!(
             config.len(),
             self.len(),
@@ -134,7 +135,9 @@ impl<'a> ConfigurableRo<'a> {
     /// tests; real flows recover these through
     /// [`crate::calibrate`]).
     pub fn true_ddiffs_ps(&self, env: Environment, tech: &Technology) -> Vec<f64> {
-        (0..self.len()).map(|i| self.stage(i).ddiff(env, tech)).collect()
+        (0..self.len())
+            .map(|i| self.stage(i).ddiff(env, tech))
+            .collect()
     }
 
     /// Oscillation frequency (MHz) of the configured ring as read by
@@ -198,7 +201,10 @@ impl<'a> RoPair<'a> {
     /// Panics if the range length is odd, empty, or out of bounds.
     pub fn split_range(board: &'a Board, range: Range<usize>) -> Self {
         let len = range.end.saturating_sub(range.start);
-        assert!(len > 0 && len.is_multiple_of(2), "range must contain an even, nonzero number of units");
+        assert!(
+            len > 0 && len.is_multiple_of(2),
+            "range must contain an even, nonzero number of units"
+        );
         let mid = range.start + len / 2;
         Self::new(
             ConfigurableRo::from_range(board, range.start..mid),
@@ -287,7 +293,12 @@ mod tests {
         let env = Environment::nominal();
         let config = ConfigVector::from_flags(&[true, false, true, false, true]);
         let expect: f64 = (0..5)
-            .map(|i| board.unit(i).unwrap().path_delay(config.is_selected(i), env, &tech))
+            .map(|i| {
+                board
+                    .unit(i)
+                    .unwrap()
+                    .path_delay(config.is_selected(i), env, &tech)
+            })
             .sum();
         assert!((ro.ring_delay_ps(&config, env, &tech) - expect).abs() < 1e-12);
     }

@@ -35,7 +35,10 @@ const MAX_BRUTE_STAGES: usize = 16;
 pub fn brute_force_case1(alpha: &[f64], beta: &[f64], parity: ParityPolicy) -> Selection {
     validate_inputs(alpha, beta);
     let n = alpha.len();
-    assert!(n <= MAX_BRUTE_STAGES, "brute force limited to {MAX_BRUTE_STAGES} stages");
+    assert!(
+        n <= MAX_BRUTE_STAGES,
+        "brute force limited to {MAX_BRUTE_STAGES} stages"
+    );
     let mut best: Option<(u32, f64, bool)> = None;
     for mask in 0u32..(1 << n) {
         let count = mask.count_ones() as usize;
@@ -53,8 +56,7 @@ pub fn brute_force_case1(alpha: &[f64], beta: &[f64], parity: ParityPolicy) -> S
             best = Some((mask, margin, diff > 0.0));
         }
     }
-    let (mask, margin, top_slower) =
-        best.expect("at least one admissible configuration exists");
+    let (mask, margin, top_slower) = best.expect("at least one admissible configuration exists");
     Selection::new(mask_to_config(n, mask), margin, top_slower)
 }
 
@@ -68,7 +70,10 @@ pub fn brute_force_case1(alpha: &[f64], beta: &[f64], parity: ParityPolicy) -> S
 pub fn brute_force_case2(alpha: &[f64], beta: &[f64], parity: ParityPolicy) -> PairSelection {
     validate_inputs(alpha, beta);
     let n = alpha.len();
-    assert!(n <= MAX_BRUTE_STAGES, "brute force limited to {MAX_BRUTE_STAGES} stages");
+    assert!(
+        n <= MAX_BRUTE_STAGES,
+        "brute force limited to {MAX_BRUTE_STAGES} stages"
+    );
     let mut best: Option<(u32, u32, f64, bool)> = None;
     for x in 0u32..(1 << n) {
         let count = x.count_ones();
@@ -90,7 +95,12 @@ pub fn brute_force_case2(alpha: &[f64], beta: &[f64], parity: ParityPolicy) -> P
     }
     let (x, y, margin, top_slower) =
         best.expect("at least one admissible configuration pair exists");
-    PairSelection::new(mask_to_config(n, x), mask_to_config(n, y), margin, top_slower)
+    PairSelection::new(
+        mask_to_config(n, x),
+        mask_to_config(n, y),
+        margin,
+        top_slower,
+    )
 }
 
 fn mask_to_config(n: usize, mask: u32) -> ConfigVector {

@@ -63,7 +63,10 @@ pub fn case1_with_offset(
     parity: ParityPolicy,
 ) -> Selection {
     validate_inputs(alpha, beta);
-    assert!(offset_ps.is_finite(), "offset must be finite, got {offset_ps}");
+    assert!(
+        offset_ps.is_finite(),
+        "offset must be finite, got {offset_ps}"
+    );
     let n = alpha.len();
     let delta: Vec<f64> = alpha.iter().zip(beta).map(|(a, b)| a - b).collect();
 

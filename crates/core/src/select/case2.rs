@@ -59,7 +59,10 @@ pub fn case2_with_offset(
     parity: ParityPolicy,
 ) -> PairSelection {
     validate_inputs(alpha, beta);
-    assert!(offset_ps.is_finite(), "offset must be finite, got {offset_ps}");
+    assert!(
+        offset_ps.is_finite(),
+        "offset must be finite, got {offset_ps}"
+    );
     let n = alpha.len();
 
     // Orientation A maximizes the signed difference D = offset + Σαx − Σβy:
@@ -140,7 +143,12 @@ mod tests {
 
     fn signed_diff(alpha: &[f64], beta: &[f64], offset: f64, sel: &PairSelection) -> f64 {
         let top: f64 = sel.top().selected_indices().iter().map(|&i| alpha[i]).sum();
-        let bottom: f64 = sel.bottom().selected_indices().iter().map(|&i| beta[i]).sum();
+        let bottom: f64 = sel
+            .bottom()
+            .selected_indices()
+            .iter()
+            .map(|&i| beta[i])
+            .sum();
         offset + top - bottom
     }
 

@@ -130,7 +130,10 @@ mod tests {
             h ^= h << 17;
             100.0 + (h % 997) as f64 / 100.0
         };
-        ((0..n).map(|_| next()).collect(), (0..n).map(|_| next()).collect())
+        (
+            (0..n).map(|_| next()).collect(),
+            (0..n).map(|_| next()).collect(),
+        )
     }
 
     #[test]
@@ -164,7 +167,10 @@ mod tests {
                 optimal += 1;
             }
         }
-        assert!(optimal * 10 >= trials * 9, "optimal only {optimal}/{trials}");
+        assert!(
+            optimal * 10 >= trials * 9,
+            "optimal only {optimal}/{trials}"
+        );
     }
 
     #[test]

@@ -75,7 +75,10 @@ impl TraditionalRoPuf {
     pub fn tiled(total_units: usize, stages: usize) -> Self {
         assert!(stages > 0, "rings need at least one stage");
         let pairs = total_units / (2 * stages);
-        assert!(pairs > 0, "{total_units} units cannot host a {stages}-stage pair");
+        assert!(
+            pairs > 0,
+            "{total_units} units cannot host a {stages}-stage pair"
+        );
         Self::new(
             (0..pairs)
                 .map(|p| PairSpec::split_at(p * 2 * stages, stages))
@@ -112,8 +115,7 @@ impl TraditionalRoPuf {
             .iter()
             .map(|spec| {
                 let pair = spec.bind(board);
-                let d_top =
-                    probe.measure_ps(rng, pair.top().ring_delay_ps(&config, env, tech));
+                let d_top = probe.measure_ps(rng, pair.top().ring_delay_ps(&config, env, tech));
                 let d_bottom =
                     probe.measure_ps(rng, pair.bottom().ring_delay_ps(&config, env, tech));
                 let diff = d_top - d_bottom;
@@ -239,7 +241,14 @@ mod tests {
             m.sort_by(f64::total_cmp);
             m[m.len() / 2]
         };
-        let pruned = puf.enroll(&mut rng, &board, &tech, env, &DelayProbe::noiseless(), median);
+        let pruned = puf.enroll(
+            &mut rng,
+            &board,
+            &tech,
+            env,
+            &DelayProbe::noiseless(),
+            median,
+        );
         assert!(pruned.bit_count() < all.bit_count());
         assert!(pruned.margins_ps().iter().all(|&m| m >= median));
     }

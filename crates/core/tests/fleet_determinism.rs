@@ -1,0 +1,78 @@
+//! Determinism guarantees of the fleet engine: the parallel run must be
+//! byte-identical to the serial reference for the same master seed, and
+//! the per-board seed split must never collide.
+
+use proptest::prelude::*;
+use ropuf_core::fleet::{split_seed, FleetConfig, FleetEngine, Layout};
+use ropuf_core::puf::EnrollOptions;
+use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+
+fn engine(boards: usize) -> FleetEngine {
+    FleetEngine::new(
+        SiliconSim::default_spartan(),
+        FleetConfig {
+            boards,
+            units: 80,
+            cols: 8,
+            stages: 4,
+            layout: Layout::Interleaved,
+            opts: EnrollOptions::default(),
+            corners: vec![Environment::nominal(), Environment::new(1.32, 55.0)],
+            response_probe: DelayProbe::new(0.25, 1),
+            votes: 1,
+        },
+    )
+    .expect("valid fleet config")
+}
+
+#[test]
+fn parallel_fleet_matches_serial_reference_bits() {
+    let engine = engine(12);
+    let serial = engine.run_serial(7);
+    for threads in [2, 3, 8] {
+        let parallel = engine.run_on(7, threads);
+        assert_eq!(
+            parallel.expected_bits(),
+            serial.expected_bits(),
+            "threads = {threads}"
+        );
+        assert_eq!(parallel.records, serial.records, "threads = {threads}");
+    }
+    // The auto-sized run (RAYON_NUM_THREADS / available parallelism)
+    // agrees too.
+    assert_eq!(engine.run(7).records, serial.records);
+}
+
+#[test]
+fn runs_are_repeatable() {
+    let engine = engine(6);
+    assert_eq!(engine.run_on(99, 4).records, engine.run_on(99, 4).records);
+}
+
+proptest! {
+    #[test]
+    fn adjacent_board_seeds_never_collide(master in any::<u64>(), index in 0u64..u64::MAX - 64) {
+        for offset in 1u64..=64 {
+            prop_assert_ne!(
+                split_seed(master, index),
+                split_seed(master, index + offset),
+                "master {} index {} offset {}", master, index, offset
+            );
+        }
+    }
+
+    #[test]
+    fn seed_split_windows_are_collision_free(master in any::<u64>(), start in 0u64..u64::MAX - 512) {
+        let seeds: std::collections::HashSet<u64> =
+            (start..start + 512).map(|i| split_seed(master, i)).collect();
+        prop_assert_eq!(seeds.len(), 512);
+    }
+
+    #[test]
+    fn seed_split_separates_masters(master in any::<u64>(), index in any::<u64>()) {
+        prop_assert_ne!(
+            split_seed(master, index),
+            split_seed(master.wrapping_add(1), index)
+        );
+    }
+}

@@ -190,11 +190,7 @@ pub fn apply_board(pairs: &[ExtractedPair], values: &[f64], layout: VirtualLayou
 
 fn config_sum(config: &ConfigVector, values: &[f64]) -> f64 {
     assert_eq!(config.len(), values.len(), "configuration length mismatch");
-    config
-        .selected_indices()
-        .iter()
-        .map(|&i| values[i])
-        .sum()
+    config.selected_indices().iter().map(|&i| values[i]).sum()
 }
 
 /// The traditional RO PUF over the same layout: every stage selected.
@@ -245,7 +241,8 @@ pub struct GroupPick {
 pub fn one_of_eight_select(values: &[f64], layout: VirtualLayout) -> Vec<GroupPick> {
     (0..layout.groups())
         .map(|g| {
-            let sums: Vec<f64> = layout.group_rings(g)
+            let sums: Vec<f64> = layout
+                .group_rings(g)
                 .into_iter()
                 .map(|r| values[r].iter().sum())
                 .collect();
@@ -324,10 +321,7 @@ pub fn board_bits(
 /// # Errors
 ///
 /// Propagates [`DistillError`] from the underlying fit.
-pub fn distill_values(
-    freqs: &[f64],
-    positions: &[(f64, f64)],
-) -> Result<Vec<f64>, DistillError> {
+pub fn distill_values(freqs: &[f64], positions: &[(f64, f64)]) -> Result<Vec<f64>, DistillError> {
     Distiller::default().residuals(freqs, positions)
 }
 
@@ -485,8 +479,7 @@ mod tests {
         let bits = board_bits(board, 3, SelectionMode::Case1, true).unwrap();
         // 128 ROs → 120 usable at n=3 → 20 bits.
         assert_eq!(bits.len(), 20);
-        let values =
-            distill_values(&board.nominal()[..120], &board.positions()[..120]).unwrap();
+        let values = distill_values(&board.nominal()[..120], &board.positions()[..120]).unwrap();
         let manual: BitVec = select_board(
             &values,
             VirtualLayout::new(120, 3),

@@ -16,7 +16,6 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use ropuf_core::calibrate::calibrate;
 use ropuf_core::ro::ConfigurableRo;
@@ -24,7 +23,7 @@ use ropuf_silicon::board::BoardId;
 use ropuf_silicon::{DelayProbe, Environment, SiliconParams, SiliconSim};
 
 /// Calibration result of one ring oscillator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InHouseRo {
     /// Measured per-unit delay differences, picoseconds.
     pub ddiffs_ps: Vec<f64>,
@@ -33,7 +32,7 @@ pub struct InHouseRo {
 }
 
 /// One calibrated board.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InHouseBoard {
     /// Board index within the set.
     pub id: u32,
@@ -83,7 +82,7 @@ impl Default for InHouseConfig {
 }
 
 /// The calibrated in-house dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InHouseDataset {
     boards: Vec<InHouseBoard>,
     units_per_ro: usize,
@@ -250,8 +249,7 @@ mod tests {
                 for p in 0..8 {
                     let top = &b.ros[2 * p].ddiffs_ps;
                     let bot = &b.ros[2 * p + 1].ddiffs_ps;
-                    let sum: f64 =
-                        top.iter().sum::<f64>() - bot.iter().sum::<f64>();
+                    let sum: f64 = top.iter().sum::<f64>() - bot.iter().sum::<f64>();
                     deltas.push(sum.abs());
                 }
             }

@@ -2,14 +2,13 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use ropuf_silicon::board::BoardId;
 use ropuf_silicon::{Board, Environment, FrequencyCounter, SiliconParams, SiliconSim};
 
 /// An operating condition, serializable and exactly comparable (the
 /// dataset stores measurements keyed by condition).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Condition {
     /// Supply voltage, volts.
     pub voltage_v: f64,
@@ -40,7 +39,7 @@ impl From<Condition> for Environment {
 }
 
 /// One frequency sweep of one board at one condition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VtMeasurement {
     /// The operating condition.
     pub condition: Condition,
@@ -49,7 +48,7 @@ pub struct VtMeasurement {
 }
 
 /// One board of the fleet.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VtBoard {
     /// Board index within the fleet.
     pub id: u32,
@@ -148,7 +147,7 @@ impl Default for VtConfig {
 }
 
 /// The synthetic fleet.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VtDataset {
     boards: Vec<VtBoard>,
     swept_boards: usize,
@@ -244,7 +243,12 @@ fn generate_board(
             .seed
             .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(b as u64 + 1)),
     );
-    let silicon = sim.grow_board_with_id(&mut rng, BoardId(b as u32), config.ros_per_board, config.cols);
+    let silicon = sim.grow_board_with_id(
+        &mut rng,
+        BoardId(b as u32),
+        config.ros_per_board,
+        config.cols,
+    );
     let swept = b + config.swept_boards >= config.boards;
     let mut conditions: Vec<Environment> = vec![Environment::nominal()];
     if swept {
@@ -362,10 +366,16 @@ mod tests {
         let data = VtDataset::generate(&small_config());
         let b = &data.swept_boards()[0];
         let low = b
-            .at(Condition { voltage_v: 0.98, temperature_c: 25.0 })
+            .at(Condition {
+                voltage_v: 0.98,
+                temperature_c: 25.0,
+            })
             .unwrap();
         let high = b
-            .at(Condition { voltage_v: 1.44, temperature_c: 25.0 })
+            .at(Condition {
+                voltage_v: 1.44,
+                temperature_c: 25.0,
+            })
             .unwrap();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(mean(low) < mean(high));
@@ -378,8 +388,9 @@ mod tests {
         assert_eq!(b.position(0), (-1.0, -1.0));
         let positions = b.positions();
         assert_eq!(positions.len(), 24);
-        assert!(positions.iter().all(|&(x, y)| (-1.0..=1.0).contains(&x)
-            && (-1.0..=1.0).contains(&y)));
+        assert!(positions
+            .iter()
+            .all(|&(x, y)| (-1.0..=1.0).contains(&x) && (-1.0..=1.0).contains(&y)));
     }
 
     #[test]
@@ -387,7 +398,10 @@ mod tests {
         let data = VtDataset::generate(&small_config());
         let b = &data.nominal_boards()[0];
         assert!(b
-            .at(Condition { voltage_v: 0.98, temperature_c: 25.0 })
+            .at(Condition {
+                voltage_v: 0.98,
+                temperature_c: 25.0
+            })
             .is_none());
         assert!(b.at(Condition::nominal()).is_some());
     }

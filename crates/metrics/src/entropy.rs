@@ -92,10 +92,7 @@ pub fn min_entropy_per_bit(responses: &[BitVec]) -> Option<f64> {
     if alias.is_empty() {
         return None;
     }
-    let total: f64 = alias
-        .iter()
-        .map(|&p| -p.max(1.0 - p).log2())
-        .sum();
+    let total: f64 = alias.iter().map(|&p| -p.max(1.0 - p).log2()).sum();
     Some(total / alias.len() as f64)
 }
 
@@ -121,10 +118,22 @@ pub fn autocorrelation(response: &BitVec, lag: usize) -> Option<f64> {
     }
     let n = response.len() - lag;
     let a: Vec<f64> = (0..n)
-        .map(|i| if response.get(i).expect("in range") { 1.0 } else { 0.0 })
+        .map(|i| {
+            if response.get(i).expect("in range") {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .collect();
     let b: Vec<f64> = (0..n)
-        .map(|i| if response.get(i + lag).expect("in range") { 1.0 } else { 0.0 })
+        .map(|i| {
+            if response.get(i + lag).expect("in range") {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .collect();
     ropuf_num::stats::pearson(&a, &b)
 }
@@ -210,7 +219,10 @@ mod tests {
         let hb = collision_min_entropy(&biased).unwrap();
         // −log2(0.8) ≈ 0.32.
         assert!((hb - 0.32).abs() < 0.06, "biased stream {hb}");
-        assert_eq!(collision_min_entropy(&BitVec::from_binary_str("10").unwrap()), None);
+        assert_eq!(
+            collision_min_entropy(&BitVec::from_binary_str("10").unwrap()),
+            None
+        );
     }
 
     #[test]

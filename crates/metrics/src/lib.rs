@@ -35,8 +35,8 @@
 
 pub mod entropy;
 pub mod hamming;
-pub mod report;
 pub mod reliability;
+pub mod report;
 pub mod uniformity;
 pub mod uniqueness;
 

@@ -72,13 +72,9 @@ impl QualityReport {
     ) -> Option<QualityReport> {
         let stats = HdStats::of_fleet(fleet)?;
         let uniformities: Vec<f64> = fleet.iter().filter_map(uniformity).collect();
-        let mean_uniformity =
-            uniformities.iter().sum::<f64>() / uniformities.len().max(1) as f64;
+        let mean_uniformity = uniformities.iter().sum::<f64>() / uniformities.len().max(1) as f64;
         let alias = bit_aliasing(fleet);
-        let worst_aliasing = alias
-            .iter()
-            .map(|p| (p - 0.5).abs())
-            .fold(0.0f64, f64::max);
+        let worst_aliasing = alias.iter().map(|p| (p - 0.5).abs()).fold(0.0f64, f64::max);
         let reliability = remeasured
             .iter()
             .map(|(device, samples)| {
@@ -106,10 +102,7 @@ impl QualityReport {
     /// Worst flip rate across the evaluated devices, if any
     /// re-measurements were supplied.
     pub fn worst_flip_rate(&self) -> Option<f64> {
-        self.reliability
-            .iter()
-            .map(|(_, r)| *r)
-            .reduce(f64::max)
+        self.reliability.iter().map(|(_, r)| *r).reduce(f64::max)
     }
 
     /// Renders a compact human-readable summary.

@@ -27,7 +27,10 @@ use crate::error::TestError;
 pub fn frequency(bits: &BitVec) -> Result<f64, TestError> {
     let n = bits.len();
     if n < 2 {
-        return Err(TestError::TooShort { required: 2, actual: n });
+        return Err(TestError::TooShort {
+            required: 2,
+            actual: n,
+        });
     }
     let s: i64 = bits.iter().map(|b| if b { 1i64 } else { -1 }).sum();
     let s_obs = (s.abs() as f64) / (n as f64).sqrt();
@@ -56,11 +59,17 @@ pub fn frequency(bits: &BitVec) -> Result<f64, TestError> {
 /// ```
 pub fn block_frequency(bits: &BitVec, m: usize) -> Result<f64, TestError> {
     if m == 0 {
-        return Err(TestError::BadParameter { name: "m", constraint: "m >= 1" });
+        return Err(TestError::BadParameter {
+            name: "m",
+            constraint: "m >= 1",
+        });
     }
     let n = bits.len();
     if n < m {
-        return Err(TestError::TooShort { required: m, actual: n });
+        return Err(TestError::TooShort {
+            required: m,
+            actual: n,
+        });
     }
     let blocks = n / m;
     let mut chi2 = 0.0;
@@ -101,7 +110,10 @@ pub fn block_frequency(bits: &BitVec, m: usize) -> Result<f64, TestError> {
 pub fn runs(bits: &BitVec) -> Result<f64, TestError> {
     let n = bits.len();
     if n < 2 {
-        return Err(TestError::TooShort { required: 2, actual: n });
+        return Err(TestError::TooShort {
+            required: 2,
+            actual: n,
+        });
     }
     let pi = bits.count_ones() as f64 / n as f64;
     // The spec's prerequisite |π − ½| ≥ 2/√n, plus the constant-stream
@@ -135,7 +147,10 @@ pub fn runs(bits: &BitVec) -> Result<f64, TestError> {
 pub fn longest_run_of_ones(bits: &BitVec) -> Result<f64, TestError> {
     let n = bits.len();
     if n < 128 {
-        return Err(TestError::TooShort { required: 128, actual: n });
+        return Err(TestError::TooShort {
+            required: 128,
+            actual: n,
+        });
     }
     // (M, category lower bounds, reference probabilities).
     let (m, lows, probs): (usize, &[usize], &[f64]) = if n < 6272 {
@@ -221,7 +236,10 @@ pub enum CusumMode {
 pub fn cumulative_sums(bits: &BitVec, mode: CusumMode) -> Result<f64, TestError> {
     let n = bits.len();
     if n < 2 {
-        return Err(TestError::TooShort { required: 2, actual: n });
+        return Err(TestError::TooShort {
+            required: 2,
+            actual: n,
+        });
     }
     let seq: Vec<i64> = match mode {
         CusumMode::Forward => bits.iter().map(|b| if b { 1 } else { -1 }).collect(),
@@ -251,15 +269,15 @@ pub fn cumulative_sums(bits: &BitVec, mode: CusumMode) -> Result<f64, TestError>
     let k_hi = ((nf / zf - 1.0) / 4.0).floor() as i64;
     for k in k_lo..=k_hi {
         let kf = k as f64;
-        p -= normal_cdf((4.0 * kf + 1.0) * zf / sqrt_n)
-            - normal_cdf((4.0 * kf - 1.0) * zf / sqrt_n);
+        p -=
+            normal_cdf((4.0 * kf + 1.0) * zf / sqrt_n) - normal_cdf((4.0 * kf - 1.0) * zf / sqrt_n);
     }
     let k_lo = ((-nf / zf - 3.0) / 4.0).floor() as i64;
     let k_hi = ((nf / zf - 1.0) / 4.0).floor() as i64;
     for k in k_lo..=k_hi {
         let kf = k as f64;
-        p += normal_cdf((4.0 * kf + 3.0) * zf / sqrt_n)
-            - normal_cdf((4.0 * kf + 1.0) * zf / sqrt_n);
+        p +=
+            normal_cdf((4.0 * kf + 3.0) * zf / sqrt_n) - normal_cdf((4.0 * kf + 1.0) * zf / sqrt_n);
     }
     Ok(p.clamp(0.0, 1.0))
 }
@@ -348,7 +366,10 @@ mod tests {
     fn longest_run_rejects_short_input() {
         assert_eq!(
             longest_run_of_ones(&bv(&"10".repeat(30))),
-            Err(TestError::TooShort { required: 128, actual: 60 })
+            Err(TestError::TooShort {
+                required: 128,
+                actual: 60
+            })
         );
     }
 
@@ -364,12 +385,8 @@ mod tests {
         let bits = bv("1011010111");
         assert!((cumulative_sums(&bits, CusumMode::Forward).unwrap() - 0.4116).abs() < 2e-4);
         // §2.13.8: 100 π bits: forward 0.219194, backward 0.114866.
-        assert!(
-            (cumulative_sums(&pi100(), CusumMode::Forward).unwrap() - 0.2192).abs() < 5e-4
-        );
-        assert!(
-            (cumulative_sums(&pi100(), CusumMode::Backward).unwrap() - 0.1149).abs() < 5e-4
-        );
+        assert!((cumulative_sums(&pi100(), CusumMode::Forward).unwrap() - 0.2192).abs() < 5e-4);
+        assert!((cumulative_sums(&pi100(), CusumMode::Backward).unwrap() - 0.1149).abs() < 5e-4);
     }
 
     #[test]

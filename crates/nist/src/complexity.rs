@@ -8,9 +8,7 @@ use crate::error::TestError;
 
 /// Reference probabilities of the seven `T` buckets of the Linear
 /// Complexity test (SP 800-22 §3.10).
-const LC_PI: [f64; 7] = [
-    0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833,
-];
+const LC_PI: [f64; 7] = [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833];
 
 /// §2.10 Linear Complexity test with block length `m` (the specification
 /// recommends `500 ≤ m ≤ 5000`).
@@ -25,11 +23,17 @@ const LC_PI: [f64; 7] = [
 /// * [`TestError::TooShort`] if fewer than one block fits.
 pub fn linear_complexity(bits: &BitVec, m: usize) -> Result<f64, TestError> {
     if m < 4 {
-        return Err(TestError::BadParameter { name: "m", constraint: "m >= 4" });
+        return Err(TestError::BadParameter {
+            name: "m",
+            constraint: "m >= 4",
+        });
     }
     let n = bits.len();
     if n < m {
-        return Err(TestError::TooShort { required: m, actual: n });
+        return Err(TestError::TooShort {
+            required: m,
+            actual: n,
+        });
     }
     let blocks = n / m;
     let mf = m as f64;
@@ -75,8 +79,8 @@ pub fn linear_complexity(bits: &BitVec, m: usize) -> Result<f64, TestError> {
 /// Expected value and variance tables for Maurer's Universal test,
 /// indexed by `L − 6` (SP 800-22 §2.9.4, Table 2-10: L = 6..16).
 const UNIVERSAL_EXPECTED: [f64; 11] = [
-    5.2177052, 6.1962507, 7.1836656, 8.1764248, 9.1723243, 10.170032, 11.168765,
-    12.168070, 13.167693, 14.167488, 15.167379,
+    5.2177052, 6.1962507, 7.1836656, 8.1764248, 9.1723243, 10.170032, 11.168765, 12.168070,
+    13.167693, 14.167488, 15.167379,
 ];
 const UNIVERSAL_VARIANCE: [f64; 11] = [
     2.954, 3.125, 3.238, 3.311, 3.356, 3.384, 3.401, 3.410, 3.416, 3.419, 3.421,
@@ -121,7 +125,10 @@ pub fn universal_block_length(n: usize) -> Option<usize> {
 pub fn universal(bits: &BitVec) -> Result<f64, TestError> {
     let n = bits.len();
     let Some(l) = universal_block_length(n) else {
-        return Err(TestError::TooShort { required: 387_840, actual: n });
+        return Err(TestError::TooShort {
+            required: 387_840,
+            actual: n,
+        });
     };
     let q = 10 * (1usize << l);
     let total_blocks = n / l;
@@ -149,9 +156,12 @@ pub fn universal(bits: &BitVec) -> Result<f64, TestError> {
     let expected = UNIVERSAL_EXPECTED[l - 6];
     let variance = UNIVERSAL_VARIANCE[l - 6];
     // Finite-K correction factor c from §2.9.4.
-    let c = 0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
+    let c =
+        0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
     let sigma = c * (variance / k as f64).sqrt();
-    Ok(erfc(((f_n - expected) / sigma).abs() / std::f64::consts::SQRT_2))
+    Ok(erfc(
+        ((f_n - expected) / sigma).abs() / std::f64::consts::SQRT_2,
+    ))
 }
 
 #[cfg(test)]

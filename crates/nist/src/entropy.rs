@@ -57,12 +57,18 @@ fn psi_squared(bits: &BitVec, m: usize) -> f64 {
 /// ```
 pub fn serial(bits: &BitVec, m: usize) -> Result<[f64; 2], TestError> {
     if m < 2 {
-        return Err(TestError::BadParameter { name: "m", constraint: "m >= 2" });
+        return Err(TestError::BadParameter {
+            name: "m",
+            constraint: "m >= 2",
+        });
     }
     let n = bits.len();
     let required = m + 2;
     if n < required {
-        return Err(TestError::TooShort { required, actual: n });
+        return Err(TestError::TooShort {
+            required,
+            actual: n,
+        });
     }
     let psi_m = psi_squared(bits, m);
     let psi_m1 = psi_squared(bits, m - 1);
@@ -99,12 +105,18 @@ pub fn serial(bits: &BitVec, m: usize) -> Result<[f64; 2], TestError> {
 /// ```
 pub fn approximate_entropy(bits: &BitVec, m: usize) -> Result<f64, TestError> {
     if m == 0 {
-        return Err(TestError::BadParameter { name: "m", constraint: "m >= 1" });
+        return Err(TestError::BadParameter {
+            name: "m",
+            constraint: "m >= 1",
+        });
     }
     let n = bits.len();
     let required = m + 3;
     if n < required {
-        return Err(TestError::TooShort { required, actual: n });
+        return Err(TestError::TooShort {
+            required,
+            actual: n,
+        });
     }
     let phi = |mm: usize| -> f64 {
         let nn = bits.len();
@@ -176,8 +188,14 @@ mod tests {
 
     #[test]
     fn serial_errors() {
-        assert!(matches!(serial(&bv("0101"), 1), Err(TestError::BadParameter { .. })));
-        assert!(matches!(serial(&bv("0101"), 4), Err(TestError::TooShort { .. })));
+        assert!(matches!(
+            serial(&bv("0101"), 1),
+            Err(TestError::BadParameter { .. })
+        ));
+        assert!(matches!(
+            serial(&bv("0101"), 4),
+            Err(TestError::TooShort { .. })
+        ));
     }
 
     #[test]

@@ -33,13 +33,19 @@ impl fmt::Display for TestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TestError::TooShort { required, actual } => {
-                write!(f, "stream of {actual} bits is below the required {required}")
+                write!(
+                    f,
+                    "stream of {actual} bits is below the required {required}"
+                )
             }
             TestError::BadParameter { name, constraint } => {
                 write!(f, "parameter {name} violates constraint: {constraint}")
             }
             TestError::TooFewCycles { observed, required } => {
-                write!(f, "only {observed} zero-crossing cycles observed; {required} required")
+                write!(
+                    f,
+                    "only {observed} zero-crossing cycles observed; {required} required"
+                )
             }
         }
     }
@@ -53,11 +59,20 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = TestError::TooShort { required: 100, actual: 10 };
+        let e = TestError::TooShort {
+            required: 100,
+            actual: 10,
+        };
         assert!(e.to_string().contains("below the required 100"));
-        let e = TestError::BadParameter { name: "m", constraint: "m >= 2" };
+        let e = TestError::BadParameter {
+            name: "m",
+            constraint: "m >= 2",
+        };
         assert!(e.to_string().contains("parameter m"));
-        let e = TestError::TooFewCycles { observed: 1, required: 2 };
+        let e = TestError::TooFewCycles {
+            observed: 1,
+            required: 2,
+        };
         assert!(e.to_string().contains("cycles"));
     }
 }

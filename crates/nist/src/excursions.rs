@@ -61,13 +61,19 @@ fn pi_k(x: i32, k: usize) -> f64 {
 pub fn random_excursions(bits: &BitVec) -> Result<[f64; 8], TestError> {
     let n = bits.len();
     if n < 128 {
-        return Err(TestError::TooShort { required: 128, actual: n });
+        return Err(TestError::TooShort {
+            required: 128,
+            actual: n,
+        });
     }
     let cyc = cycles(bits);
     let j = cyc.len();
     let required = (0.005 * (n as f64).sqrt()).max(500.0) as usize;
     if j < required {
-        return Err(TestError::TooFewCycles { observed: j, required });
+        return Err(TestError::TooFewCycles {
+            observed: j,
+            required,
+        });
     }
     let mut p_values = [0.0f64; 8];
     for (si, &x) in EXCURSION_STATES.iter().enumerate() {
@@ -101,13 +107,19 @@ pub fn random_excursions(bits: &BitVec) -> Result<[f64; 8], TestError> {
 pub fn random_excursions_variant(bits: &BitVec) -> Result<[f64; 18], TestError> {
     let n = bits.len();
     if n < 128 {
-        return Err(TestError::TooShort { required: 128, actual: n });
+        return Err(TestError::TooShort {
+            required: 128,
+            actual: n,
+        });
     }
     let cyc = cycles(bits);
     let j = cyc.len();
     let required = (0.005 * (n as f64).sqrt()).max(500.0) as usize;
     if j < required {
-        return Err(TestError::TooFewCycles { observed: j, required });
+        return Err(TestError::TooFewCycles {
+            observed: j,
+            required,
+        });
     }
     let jf = j as f64;
     let mut p_values = [0.0f64; 18];
@@ -203,7 +215,10 @@ mod tests {
     #[test]
     fn short_stream_rejected() {
         let bits = random_bits(64, 1);
-        assert!(matches!(random_excursions(&bits), Err(TestError::TooShort { .. })));
+        assert!(matches!(
+            random_excursions(&bits),
+            Err(TestError::TooShort { .. })
+        ));
         assert!(matches!(
             random_excursions_variant(&bits),
             Err(TestError::TooShort { .. })

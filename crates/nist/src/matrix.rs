@@ -31,7 +31,10 @@ const P_REST: f64 = 0.133_6;
 pub fn binary_matrix_rank(bits: &BitVec) -> Result<f64, TestError> {
     let n = bits.len();
     if n < BITS_PER_MATRIX {
-        return Err(TestError::TooShort { required: BITS_PER_MATRIX, actual: n });
+        return Err(TestError::TooShort {
+            required: BITS_PER_MATRIX,
+            actual: n,
+        });
     }
     let matrices = n / BITS_PER_MATRIX;
     let mut counts = [0usize; 3]; // full, full-1, rest
@@ -92,7 +95,10 @@ mod tests {
         let bits = BitVec::zeros(1000);
         assert_eq!(
             binary_matrix_rank(&bits),
-            Err(TestError::TooShort { required: 1024, actual: 1000 })
+            Err(TestError::TooShort {
+                required: 1024,
+                actual: 1000
+            })
         );
     }
 

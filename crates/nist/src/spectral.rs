@@ -32,7 +32,10 @@ use crate::error::TestError;
 pub fn dft(bits: &BitVec) -> Result<f64, TestError> {
     let n = bits.len();
     if n < 2 {
-        return Err(TestError::TooShort { required: 2, actual: n });
+        return Err(TestError::TooShort {
+            required: 2,
+            actual: n,
+        });
     }
     let x = bits.to_plus_minus_one();
     let spectrum = fft_real(&x);

@@ -8,7 +8,9 @@ use std::fmt;
 use ropuf_num::bits::BitVec;
 use ropuf_num::special::igamc;
 
-use crate::basic::{block_frequency, cumulative_sums, frequency, longest_run_of_ones, runs, CusumMode};
+use crate::basic::{
+    block_frequency, cumulative_sums, frequency, longest_run_of_ones, runs, CusumMode,
+};
 use crate::complexity::{linear_complexity, universal};
 use crate::entropy::{approximate_entropy, serial};
 use crate::error::TestError;
@@ -370,7 +372,10 @@ pub fn run_suite(streams: &[BitVec], config: &SuiteConfig) -> SuiteReport {
         if shortest < recommended {
             skipped.push((
                 test,
-                TestError::TooShort { required: recommended, actual: shortest },
+                TestError::TooShort {
+                    required: recommended,
+                    actual: shortest,
+                },
             ));
             continue;
         }
@@ -396,7 +401,10 @@ pub fn run_suite(streams: &[BitVec], config: &SuiteConfig) -> SuiteReport {
         }
         let variants = per_stream[0].len();
         for v in 0..variants {
-            let ps: Vec<f64> = per_stream.iter().filter_map(|s| s.get(v).copied()).collect();
+            let ps: Vec<f64> = per_stream
+                .iter()
+                .filter_map(|s| s.get(v).copied())
+                .collect();
             rows.push(aggregate_row(test, v, &ps));
         }
     }
@@ -448,10 +456,7 @@ pub fn run_one(test: TestId, bits: &BitVec, config: &SuiteConfig) -> Result<Vec<
 }
 
 /// Order-preserving parallel map over a slice using scoped threads.
-fn parallel_map<T: Sync, U: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> U + Sync,
-) -> Vec<U> {
+fn parallel_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
@@ -594,7 +599,10 @@ mod tests {
         let mid = SuiteConfig::for_stream_length(10_000);
         assert!(mid.serial_m > short.serial_m);
         assert_eq!(mid.block_frequency_m, 128);
-        assert_eq!(SuiteConfig::for_stream_length(1 << 20), SuiteConfig::default());
+        assert_eq!(
+            SuiteConfig::for_stream_length(1 << 20),
+            SuiteConfig::default()
+        );
         // The chosen parameters always run on streams of that length.
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);

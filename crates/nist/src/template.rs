@@ -97,15 +97,24 @@ pub fn non_overlapping_template(
 ) -> Result<f64, TestError> {
     let m = template.len();
     if m == 0 {
-        return Err(TestError::BadParameter { name: "template", constraint: "non-empty" });
+        return Err(TestError::BadParameter {
+            name: "template",
+            constraint: "non-empty",
+        });
     }
     if blocks == 0 {
-        return Err(TestError::BadParameter { name: "blocks", constraint: "blocks >= 1" });
+        return Err(TestError::BadParameter {
+            name: "blocks",
+            constraint: "blocks >= 1",
+        });
     }
     let n = bits.len();
     let block_len = n / blocks;
     if block_len < m {
-        return Err(TestError::TooShort { required: blocks * m, actual: n });
+        return Err(TestError::TooShort {
+            required: blocks * m,
+            actual: n,
+        });
     }
     let tpl = template.to_bools();
     let mf = m as f64;
@@ -151,11 +160,17 @@ const OVERLAP_BLOCK: usize = 1032;
 /// * [`TestError::TooShort`] if fewer than one 1032-bit block fits.
 pub fn overlapping_template(bits: &BitVec, m: usize) -> Result<f64, TestError> {
     if m == 0 || m > OVERLAP_BLOCK {
-        return Err(TestError::BadParameter { name: "m", constraint: "1 <= m <= 1032" });
+        return Err(TestError::BadParameter {
+            name: "m",
+            constraint: "1 <= m <= 1032",
+        });
     }
     let n = bits.len();
     if n < OVERLAP_BLOCK {
-        return Err(TestError::TooShort { required: OVERLAP_BLOCK, actual: n });
+        return Err(TestError::TooShort {
+            required: OVERLAP_BLOCK,
+            actual: n,
+        });
     }
     let blocks = n / OVERLAP_BLOCK;
     let mut counts = [0usize; 6];
@@ -214,7 +229,9 @@ mod tests {
         let mut s = "110".repeat(400);
         s.push_str(&{
             let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-            (0..1200).map(|_| if rng.gen::<bool>() { '1' } else { '0' }).collect::<String>()
+            (0..1200)
+                .map(|_| if rng.gen::<bool>() { '1' } else { '0' })
+                .collect::<String>()
         });
         let p = non_overlapping_template(&bv(&s), &bv("110"), 4).unwrap();
         assert!(p < 1e-6, "p {p}");
@@ -241,7 +258,16 @@ mod tests {
     fn aperiodic_template_counts_match_nist_table() {
         // SP 800-22 §2.7.2 / Table in appendix: number of aperiodic
         // templates per length.
-        for (m, count) in [(2usize, 2usize), (3, 4), (4, 6), (5, 12), (6, 20), (7, 40), (8, 74), (9, 148)] {
+        for (m, count) in [
+            (2usize, 2usize),
+            (3, 4),
+            (4, 6),
+            (5, 12),
+            (6, 20),
+            (7, 40),
+            (8, 74),
+            (9, 148),
+        ] {
             assert_eq!(aperiodic_templates(m).len(), count, "m={m}");
         }
     }

@@ -36,7 +36,9 @@ fn low_bits_of_an_lcg_are_caught() {
     // is deeply structured.
     let mut state: u64 = 0x1234_5678;
     let streams = streams_from(|| {
-        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
         state >> 3 & 1 == 1
     });
     let failures = failing_tests(&streams);
@@ -91,7 +93,10 @@ fn sparse_bursts_are_caught() {
         i % 100 < 1
     });
     let failures = failing_tests(&streams);
-    assert!(failures.contains(&TestId::Frequency), "failures: {failures:?}");
+    assert!(
+        failures.contains(&TestId::Frequency),
+        "failures: {failures:?}"
+    );
 }
 
 #[test]

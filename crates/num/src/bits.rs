@@ -92,7 +92,12 @@ impl BitVec {
             match c {
                 '0' => v.push(false),
                 '1' => v.push(true),
-                other => return Err(ParseBitsError { position: i, found: other }),
+                other => {
+                    return Err(ParseBitsError {
+                        position: i,
+                        found: other,
+                    })
+                }
             }
         }
         Ok(v)
@@ -144,7 +149,11 @@ impl BitVec {
     ///
     /// Panics if `index >= self.len()`.
     pub fn set(&mut self, index: usize, bit: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let mask = 1u64 << (index % 64);
         if bit {
             self.words[index / 64] |= mask;
@@ -239,7 +248,10 @@ impl BitVec {
                 *last &= (1u64 << tail) - 1;
             }
         }
-        Self { words, len: self.len }
+        Self {
+            words,
+            len: self.len,
+        }
     }
 
     /// Concatenates `other` onto the end of `self`.
@@ -251,7 +263,10 @@ impl BitVec {
 
     /// Iterator over the bits.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { bits: self, index: 0 }
+        Iter {
+            bits: self,
+            index: 0,
+        }
     }
 
     /// Collects the bits into a `Vec<bool>`.
@@ -471,27 +486,5 @@ mod tests {
         let it = v.iter();
         assert_eq!(it.len(), 77);
         assert_eq!(v.iter().count(), 77);
-    }
-}
-
-#[cfg(feature = "serde")]
-mod serde_impls {
-    use super::BitVec;
-    use serde::de::Error as _;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    /// Serializes as a `'0'`/`'1'` string — compact enough, and
-    /// self-describing in any text format.
-    impl Serialize for BitVec {
-        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-            serializer.serialize_str(&self.to_binary_string())
-        }
-    }
-
-    impl<'de> Deserialize<'de> for BitVec {
-        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-            let s = String::deserialize(deserializer)?;
-            BitVec::from_binary_str(&s).map_err(D::Error::custom)
-        }
     }
 }

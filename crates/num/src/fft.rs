@@ -111,7 +111,10 @@ impl Neg for Complex {
 /// Panics if `data.len()` is not a power of two.
 pub fn fft_pow2_in_place(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "fft_pow2 length {n} is not a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "fft_pow2 length {n} is not a power of two"
+    );
     if n <= 1 {
         return;
     }
@@ -354,9 +357,11 @@ mod tests {
         // A length large enough that naive k² would lose precision without
         // the mod-2n reduction.
         let n = 1 << 12;
-        let x: Vec<Complex> = (0..n + 1).map(|i| Complex::new((i % 7) as f64, 0.0)).collect();
+        let x: Vec<Complex> = (0..n + 1)
+            .map(|i| Complex::new((i % 7) as f64, 0.0))
+            .collect();
         let y = fft(&x); // length 4097: Bluestein path
-        // Spot-check DC bin.
+                         // Spot-check DC bin.
         let dc: f64 = x.iter().map(|c| c.re).sum();
         assert!((y[0].re - dc).abs() < 1e-6 * dc);
     }

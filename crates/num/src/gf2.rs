@@ -163,7 +163,11 @@ mod tests {
     fn rank_nist_example() {
         // SP 800-22 §2.5.4 example: the 3x3 matrix
         // [1 0 1; 0 1 1; 1 0 1] has rank 2.
-        let rows = [[true, false, true], [false, true, true], [true, false, true]];
+        let rows = [
+            [true, false, true],
+            [false, true, true],
+            [true, false, true],
+        ];
         assert_eq!(binary_rank(3, 3, |i, j| rows[i][j]), 2);
     }
 

@@ -280,14 +280,20 @@ impl Matrix {
 impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -323,7 +329,10 @@ impl fmt::Display for SolveError {
                 write!(f, "system matrix is not square ({rows}x{cols})")
             }
             SolveError::DimensionMismatch { expected, found } => {
-                write!(f, "vector length {found} does not match matrix rows {expected}")
+                write!(
+                    f,
+                    "vector length {found} does not match matrix rows {expected}"
+                )
             }
             SolveError::Singular { column } => {
                 write!(f, "matrix is singular at column {column}")
@@ -352,7 +361,10 @@ impl std::error::Error for SolveError {}
 /// assert_eq!(m.row(0), &[1.0, 2.0, 3.0, 4.0, 6.0, 9.0]);
 /// ```
 pub fn poly2d_design_matrix(points: &[(f64, f64)], degree: usize) -> Matrix {
-    assert!(!points.is_empty(), "design matrix requires at least one point");
+    assert!(
+        !points.is_empty(),
+        "design matrix requires at least one point"
+    );
     let terms = poly2d_terms(degree);
     Matrix::from_fn(points.len(), terms.len(), |i, j| {
         let (px, py) = terms[j];
@@ -386,11 +398,7 @@ mod tests {
 
     #[test]
     fn solve_known_3x3() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0][..],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0][..], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         let expect = [2.0, 3.0, -1.0];
         for (got, want) in x.iter().zip(&expect) {
@@ -409,7 +417,10 @@ mod tests {
     #[test]
     fn solve_detects_singular() {
         let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0]]);
-        assert!(matches!(a.solve(&[1.0, 2.0]), Err(SolveError::Singular { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(SolveError::Singular { .. })
+        ));
     }
 
     #[test]
@@ -426,7 +437,10 @@ mod tests {
         let a = Matrix::identity(3);
         assert!(matches!(
             a.solve(&[1.0]),
-            Err(SolveError::DimensionMismatch { expected: 3, found: 1 })
+            Err(SolveError::DimensionMismatch {
+                expected: 3,
+                found: 1
+            })
         ));
     }
 
@@ -484,7 +498,10 @@ mod tests {
             &[2.0, 1.0, 3.0],
         ]);
         let y = [1.0, 2.0, 3.0, 4.0];
-        assert!(matches!(a.least_squares(&y), Err(SolveError::Singular { .. })));
+        assert!(matches!(
+            a.least_squares(&y),
+            Err(SolveError::Singular { .. })
+        ));
         let beta = a.least_squares_ridge(&y, 1e-9).unwrap();
         let yhat = a.matvec(&beta);
         for (u, v) in yhat.iter().zip(&y) {
@@ -496,7 +513,10 @@ mod tests {
     fn ridge_with_zero_lambda_matches_plain() {
         let a = Matrix::from_rows(&[&[1.0, 0.0][..], &[1.0, 1.0], &[1.0, 2.0]]);
         let y = [1.0, 3.0, 5.0];
-        assert_eq!(a.least_squares(&y).unwrap(), a.least_squares_ridge(&y, 0.0).unwrap());
+        assert_eq!(
+            a.least_squares(&y).unwrap(),
+            a.least_squares_ridge(&y, 0.0).unwrap()
+        );
     }
 
     #[test]

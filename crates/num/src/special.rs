@@ -268,7 +268,11 @@ mod tests {
         // Γ(1/2) = √π
         close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
         // Γ(3/2) = √π / 2
-        close(ln_gamma(1.5), (std::f64::consts::PI.sqrt() / 2.0).ln(), 1e-12);
+        close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12,
+        );
     }
 
     #[test]

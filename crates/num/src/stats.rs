@@ -68,7 +68,10 @@ pub fn max(xs: &[f64]) -> Option<f64> {
 /// assert_eq!(percentile(&xs, 1.0), Some(4.0));
 /// ```
 pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0, 1], got {q}"
+    );
     if xs.is_empty() {
         return None;
     }

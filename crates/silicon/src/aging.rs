@@ -41,7 +41,6 @@ use crate::noise::sample_normal;
 
 /// Log-time aging model with per-device dispersion.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AgingModel {
     /// Mean relative drift per `ln(1 + t/t₀)` (common mode; mostly
     /// cancels in comparisons).
@@ -124,7 +123,8 @@ impl AgingModel {
             .iter()
             .map(|u| {
                 let unit_drift = self.drift_factor(years, sample_normal(rng, 0.0, 1.0));
-                let path = |rng: &mut R| 1.0 + sample_normal(rng, 0.0, self.sigma_path_rel) * log_time;
+                let path =
+                    |rng: &mut R| 1.0 + sample_normal(rng, 0.0, self.sigma_path_rel) * log_time;
                 DelayUnit::new(
                     u.inverter_ps() * unit_drift * path(rng),
                     u.mux_selected_ps() * unit_drift * path(rng),
@@ -169,7 +169,10 @@ mod tests {
         let env = Environment::nominal();
         let model = AgingModel::default();
         let total = |b: &Board| -> f64 {
-            b.units().iter().map(|u| u.path_delay(true, env, &tech)).sum()
+            b.units()
+                .iter()
+                .map(|u| u.path_delay(true, env, &tech))
+                .sum()
         };
         let mut prev = total(&board);
         for years in [1.0, 3.0, 10.0] {

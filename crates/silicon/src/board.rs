@@ -8,7 +8,6 @@ use crate::device::DelayUnit;
 
 /// Identifier of a board within a simulated fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BoardId(pub u32);
 
 impl std::fmt::Display for BoardId {
@@ -22,7 +21,6 @@ impl std::fmt::Display for BoardId {
 /// Units are stored in row-major placement order; unit `i` sits at grid
 /// cell `(i % cols, i / cols)`.
 #[derive(Debug, Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Board {
     id: BoardId,
     units: Vec<DelayUnit>,

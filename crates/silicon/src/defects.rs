@@ -16,7 +16,6 @@ use crate::device::DelayUnit;
 
 /// Defect injection model: independent per-unit defect probabilities.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DefectModel {
     /// Probability a unit's inverter suffers a resistive open
     /// (its delay multiplied by [`DefectModel::slow_factor`]).
@@ -68,7 +67,10 @@ impl DefectModel {
             return Err("defect rates must sum to at most 1".into());
         }
         if !(self.slow_factor.is_finite() && self.slow_factor > 1.0) {
-            return Err(format!("slow_factor must exceed 1, got {}", self.slow_factor));
+            return Err(format!(
+                "slow_factor must exceed 1, got {}",
+                self.slow_factor
+            ));
         }
         Ok(())
     }
@@ -174,8 +176,7 @@ mod tests {
             }
         }
         // Non-defective units stay in the plausible band.
-        let defective: std::collections::HashSet<usize> =
-            defects.iter().map(|(i, _)| *i).collect();
+        let defective: std::collections::HashSet<usize> = defects.iter().map(|(i, _)| *i).collect();
         for (i, u) in injected.units().iter().enumerate() {
             if !defective.contains(&i) {
                 let dd = u.ddiff(env, sim.technology());

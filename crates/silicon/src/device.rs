@@ -28,7 +28,6 @@ use crate::env::{Environment, Technology};
 /// [`DelayUnit::path_delay`] applies the common-mode technology scaling
 /// plus this device's private environmental sensitivity.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DelayUnit {
     inverter_ps: f64,
     mux_selected_ps: f64,
@@ -101,8 +100,7 @@ impl DelayUnit {
     /// common-mode technology scaling at `env`.
     fn device_factor(&self, env: Environment, tech: &Technology) -> f64 {
         1.0 + self.voltage_sensitivity_per_v * (env.voltage_v - tech.nominal.voltage_v)
-            + self.temperature_sensitivity_per_c
-                * (env.temperature_c - tech.nominal.temperature_c)
+            + self.temperature_sensitivity_per_c * (env.temperature_c - tech.nominal.temperature_c)
     }
 
     /// Path delay through this unit at `env`, picoseconds.

@@ -23,7 +23,6 @@
 ///
 /// This is passive data; fields are public by design.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Environment {
     /// Supply voltage in volts.
     pub voltage_v: f64,
@@ -102,7 +101,6 @@ impl std::fmt::Display for Environment {
 /// [`Technology::delay_scale`] normalizes the law to `1.0` at the nominal
 /// operating point so device delays can be stored at nominal conditions.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Technology {
     /// Threshold voltage at the nominal temperature, volts.
     pub vth0_v: f64,

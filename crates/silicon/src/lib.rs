@@ -57,8 +57,8 @@ pub mod params;
 pub mod sim;
 
 pub use aging::AgingModel;
-pub use defects::DefectModel;
 pub use board::{Board, BoardId};
+pub use defects::DefectModel;
 pub use device::DelayUnit;
 pub use env::{Environment, Technology};
 pub use measure::{DelayProbe, FrequencyCounter};

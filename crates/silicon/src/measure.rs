@@ -106,7 +106,10 @@ impl FrequencyCounter {
             jitter_rel.is_finite() && jitter_rel >= 0.0,
             "jitter must be finite and non-negative, got {jitter_rel}"
         );
-        Self { gate_ns, jitter_rel }
+        Self {
+            gate_ns,
+            jitter_rel,
+        }
     }
 
     /// Counter configured from simulation noise parameters.
@@ -168,7 +171,10 @@ mod tests {
         let probe = DelayProbe::new(2.0, 1);
         let mut rng = StdRng::seed_from_u64(1);
         let n = 50_000;
-        let mean: f64 = (0..n).map(|_| probe.measure_ps(&mut rng, 100.0)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| probe.measure_ps(&mut rng, 100.0))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 100.0).abs() < 0.05, "mean {mean}");
     }
 
@@ -194,7 +200,10 @@ mod tests {
         let counter = FrequencyCounter::new(1_000_000.0, 0.0);
         let mut rng = StdRng::seed_from_u64(0);
         let f = counter.measure_mhz(&mut rng, 500.0);
-        assert!((f - 1000.0).abs() < counter.resolution_mhz() + 1e-9, "f {f}");
+        assert!(
+            (f - 1000.0).abs() < counter.resolution_mhz() + 1e-9,
+            "f {f}"
+        );
     }
 
     #[test]

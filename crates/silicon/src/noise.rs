@@ -62,7 +62,9 @@ mod tests {
         let n = 200_000;
         let mean = 3.0;
         let sigma = 2.0;
-        let xs: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, mean, sigma)).collect();
+        let xs: Vec<f64> = (0..n)
+            .map(|_| sample_normal(&mut rng, mean, sigma))
+            .collect();
         let m = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
         assert!((m - mean).abs() < 0.02, "mean {m}");
@@ -93,7 +95,9 @@ mod tests {
     fn deterministic_under_seed() {
         let draw = |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..5).map(|_| standard_normal(&mut rng)).collect::<Vec<_>>()
+            (0..5)
+                .map(|_| standard_normal(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(draw(9), draw(9));
         assert_ne!(draw(9), draw(10));

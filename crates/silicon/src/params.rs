@@ -15,7 +15,6 @@ use crate::env::Technology;
 /// All sigmas are *relative* (fractions of nominal delay) except the
 /// sensitivities, which are relative-per-volt and relative-per-°C.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VariationParams {
     /// Inter-die (board-to-board) delay offset sigma.
     pub sigma_inter_die: f64,
@@ -43,7 +42,6 @@ impl Default for VariationParams {
 
 /// Measurement-noise parameters for the two measurement instruments.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NoiseParams {
     /// Additive Gaussian noise of a single delay-probe reading,
     /// picoseconds.
@@ -67,7 +65,6 @@ impl Default for NoiseParams {
 
 /// Nominal component delays of a delay unit, picoseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NominalDelays {
     /// Inverter delay `d`.
     pub inverter_ps: f64,
@@ -89,7 +86,6 @@ impl Default for NominalDelays {
 
 /// Full parameter set of the silicon simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SiliconParams {
     /// Technology-level common-mode environment response.
     pub technology: Technology,
@@ -202,6 +198,9 @@ mod tests {
 
     #[test]
     fn virtex5_is_faster_than_spartan() {
-        assert!(SiliconParams::virtex5().nominal.inverter_ps < SiliconParams::spartan3e().nominal.inverter_ps);
+        assert!(
+            SiliconParams::virtex5().nominal.inverter_ps
+                < SiliconParams::spartan3e().nominal.inverter_ps
+        );
     }
 }

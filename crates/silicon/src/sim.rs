@@ -127,7 +127,9 @@ impl SiliconSim {
                 // Component-local random variation: the inverter and the
                 // two MUX paths vary independently (the paper explicitly
                 // models d1 ≠ d0 from MUX-internal variation).
-                let d = nominal.inverter_ps * shared * (1.0 + sample_normal(rng, 0.0, var.sigma_random));
+                let d = nominal.inverter_ps
+                    * shared
+                    * (1.0 + sample_normal(rng, 0.0, var.sigma_random));
                 let d1 = nominal.mux_selected_ps
                     * shared
                     * (1.0 + sample_normal(rng, 0.0, var.sigma_random));
@@ -270,7 +272,11 @@ mod tests {
         let sim = SiliconSim::default_spartan();
         let mut rng = StdRng::seed_from_u64(23);
         let b = sim.grow_board_with_id(&mut rng, BoardId(0), 2000, 64);
-        let kvs: Vec<f64> = b.units().iter().map(|u| u.voltage_sensitivity_per_v()).collect();
+        let kvs: Vec<f64> = b
+            .units()
+            .iter()
+            .map(|u| u.voltage_sensitivity_per_v())
+            .collect();
         let mean = kvs.iter().sum::<f64>() / kvs.len() as f64;
         assert!(mean.abs() < 5e-4, "kv mean {mean}");
         assert!(kvs.iter().all(|k| k.abs() < 0.05));

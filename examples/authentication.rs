@@ -12,11 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ropuf::core::puf::{ConfigurableRoPuf, EnrollOptions, Enrollment};
-use ropuf::metrics::hamming::HdStats;
-use ropuf::metrics::report::QualityReport;
-use ropuf::num::bits::BitVec;
-use ropuf::silicon::{Board, DelayProbe, Environment, SiliconSim};
+use ropuf::prelude::*;
 
 const DEVICES: usize = 20;
 const STAGES: usize = 7;

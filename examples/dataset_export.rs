@@ -11,8 +11,7 @@
 use std::error::Error;
 use std::fs;
 
-use ropuf::dataset::inhouse::{InHouseConfig, InHouseDataset};
-use ropuf::dataset::vt::{VtConfig, VtDataset};
+use ropuf::prelude::*;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let dir = std::env::temp_dir().join("ropuf-datasets");

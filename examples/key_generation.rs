@@ -11,9 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ropuf::core::puf::{ConfigurableRoPuf, EnrollOptions, Enrollment};
-use ropuf::num::bits::BitVec;
-use ropuf::silicon::{Board, DelayProbe, Environment, SiliconSim, Technology};
+use ropuf::prelude::*;
 
 const KEY_BITS: usize = 128;
 const STAGES: usize = 7;
@@ -32,10 +30,7 @@ fn majority_read(
         .collect();
     (0..reads[0].len())
         .map(|i| {
-            let ones = reads
-                .iter()
-                .filter(|r| r.get(i).expect("in range"))
-                .count();
+            let ones = reads.iter().filter(|r| r.get(i).expect("in range")).count();
             ones * 2 > VOTES
         })
         .collect()
@@ -52,10 +47,7 @@ fn main() {
     let puf = ConfigurableRoPuf::tiled(board.len(), STAGES);
 
     // Enroll with a margin threshold: pairs under 3 ps yield no bit.
-    let opts = EnrollOptions {
-        threshold_ps: 3.0,
-        ..EnrollOptions::default()
-    };
+    let opts = EnrollOptions::builder().threshold_ps(3.0).build();
     let enrollment = puf.enroll(
         &mut rng,
         &board,
@@ -74,11 +66,7 @@ fn main() {
     );
 
     let probe = DelayProbe::new(0.25, 1);
-    let reference: BitVec = enrollment
-        .expected_bits()
-        .iter()
-        .take(KEY_BITS)
-        .collect();
+    let reference: BitVec = enrollment.expected_bits().iter().take(KEY_BITS).collect();
     println!("key: {}", to_hex(&reference));
 
     // Re-derive the key at every corner of the paper's sweep.

@@ -16,10 +16,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ropuf::core::crp::{respond, Challenge, LinearDelayAttack};
-use ropuf::core::ro::RoPair;
-use ropuf::core::ParityPolicy;
-use ropuf::silicon::{DelayProbe, Environment, SiliconSim};
+use ropuf::prelude::*;
 
 const STAGES: usize = 15;
 const TEST_CRPS: usize = 2000;
@@ -35,7 +32,7 @@ fn main() {
     // The attacker's observations: random challenges, measured responses.
     let crp = |rng: &mut StdRng| {
         let c = Challenge::random(rng, STAGES, ParityPolicy::Ignore);
-        let r = respond(rng, &pair, &c, &probe, env, sim.technology());
+        let r = crp_respond(rng, &pair, &c, &probe, env, sim.technology());
         (c, r)
     };
     let (test_c, test_r): (Vec<_>, Vec<_>) = (0..TEST_CRPS).map(|_| crp(&mut rng)).unzip();
@@ -43,8 +40,7 @@ fn main() {
     println!("reconfigurable deployment, {STAGES}-stage pair:");
     println!("{:>10} {:>10}", "train CRPs", "accuracy");
     for train_size in [20usize, 40, 80, 160, 320, 640, 1280] {
-        let (train_c, train_r): (Vec<_>, Vec<_>) =
-            (0..train_size).map(|_| crp(&mut rng)).unzip();
+        let (train_c, train_r): (Vec<_>, Vec<_>) = (0..train_size).map(|_| crp(&mut rng)).unzip();
         match LinearDelayAttack::train(&train_c, &train_r) {
             Ok(model) => {
                 let acc = model.accuracy(&test_c, &test_r);

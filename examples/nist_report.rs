@@ -6,12 +6,7 @@
 //! cargo run --release --example nist_report
 //! ```
 
-use ropuf::core::config::ParityPolicy;
-use ropuf::core::puf::SelectionMode;
-use ropuf::dataset::extract::{distill_values, select_board, VirtualLayout};
-use ropuf::dataset::vt::{VtConfig, VtDataset};
-use ropuf::nist::suite::{run_suite, SuiteConfig};
-use ropuf::num::bits::BitVec;
+use ropuf::prelude::*;
 
 const STAGES: usize = 5;
 const USABLE_ROS: usize = 480;

@@ -6,8 +6,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ropuf::core::puf::{ConfigurableRoPuf, EnrollOptions};
-use ropuf::silicon::{DelayProbe, Environment, SiliconSim};
+use ropuf::prelude::*;
 
 fn main() {
     // 1. Fabricate a chip: 160 delay units on a 16-wide grid.
@@ -20,12 +19,15 @@ fn main() {
 
     // 3. Enroll at nominal conditions: calibrate every ring, pick the
     //    inverter subsets that maximize each pair's delay margin.
+    let opts = EnrollOptions::builder()
+        .selection(SelectionMode::Case2)
+        .build();
     let enrollment = puf.enroll(
         &mut rng,
         &board,
         sim.technology(),
         Environment::nominal(),
-        &EnrollOptions::default(),
+        &opts,
     );
     println!("enrolled {} bits", enrollment.bit_count());
     println!("expected response: {}", enrollment.expected_bits());

@@ -10,6 +10,11 @@
 //! # Run the NIST battery on the bit-strings (one stream per line).
 //! ropuf nist --bits bits.txt
 //!
+//! # Enroll a whole fleet in parallel. Deterministic in --seed: the
+//! # output is identical at any thread count (RAYON_NUM_THREADS=1 to
+//! # check against the serial reference).
+//! ropuf fleet --boards 64 --seed 7
+//!
 //! # Simulate a device: enroll it, store the helper data, read it back
 //! # at a voltage/temperature corner. The board is regenerated from the
 //! # seed, so enroll and respond must agree on --seed/--units.
@@ -19,12 +24,14 @@
 //! ```
 
 use std::collections::HashMap;
-use std::error::Error;
+use std::fmt;
 use std::fs;
 use std::process::ExitCode;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ropuf::core::distill::DistillError;
+use ropuf::core::fleet::{worker_threads, FleetConfig, FleetEngine};
 use ropuf::core::persist::{enrollment_from_text, enrollment_to_text};
 use ropuf::core::puf::{ConfigurableRoPuf, EnrollOptions, SelectionMode};
 use ropuf::core::select::case2;
@@ -32,9 +39,87 @@ use ropuf::core::ParityPolicy;
 use ropuf::dataset::extract::{board_bits, VirtualLayout};
 use ropuf::dataset::inhouse::{InHouseConfig, InHouseDataset};
 use ropuf::dataset::vt::{VtConfig, VtDataset};
+use ropuf::dataset::ParseCsvError;
 use ropuf::nist::suite::{run_suite, SuiteConfig};
-use ropuf::num::bits::BitVec;
+use ropuf::num::bits::{BitVec, ParseBitsError};
 use ropuf::silicon::{DelayProbe, Environment, SiliconSim};
+
+/// Everything that can go wrong in the CLI, typed per domain so exit
+/// paths stay greppable (no `Box<dyn Error>` laundering).
+#[derive(Debug)]
+enum CliError {
+    /// Bad or missing command-line input.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// A core pipeline error (enrollment, fleet, persistence parse).
+    Core(ropuf::core::Error),
+    /// A dataset CSV did not parse.
+    Csv(ParseCsvError),
+    /// A bit-stream file did not parse.
+    Bits(ParseBitsError),
+    /// The distiller could not fit the systematic model.
+    Distill(DistillError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(msg) => write!(f, "{msg}"),
+            Self::Io { path, source } => write!(f, "{path}: {source}"),
+            Self::Core(e) => write!(f, "{e}"),
+            Self::Csv(e) => write!(f, "{e}"),
+            Self::Bits(e) => write!(f, "{e}"),
+            Self::Distill(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Core(e) => Some(e),
+            Self::Csv(e) => Some(e),
+            Self::Bits(e) => Some(e),
+            Self::Distill(e) => Some(e),
+            Self::Usage(_) => None,
+        }
+    }
+}
+
+impl From<ropuf::core::Error> for CliError {
+    fn from(e: ropuf::core::Error) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<ropuf::core::persist::ParseEnrollmentError> for CliError {
+    fn from(e: ropuf::core::persist::ParseEnrollmentError) -> Self {
+        Self::Core(e.into())
+    }
+}
+
+impl From<ParseCsvError> for CliError {
+    fn from(e: ParseCsvError) -> Self {
+        Self::Csv(e)
+    }
+}
+
+impl From<ParseBitsError> for CliError {
+    fn from(e: ParseBitsError) -> Self {
+        Self::Bits(e)
+    }
+}
+
+impl From<DistillError> for CliError {
+    fn from(e: DistillError) -> Self {
+        Self::Distill(e)
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,6 +160,8 @@ fn usage(problem: &str) -> ExitCode {
            extract           --dataset FILE --out FILE [--stages N=5] [--mode case1|case2] [--raw true]\n\
            nist              --bits FILE (one 0/1 stream per line)\n\
            rth               --dataset FILE (in-house CSV) [--usable N=13] [--max-rth PS=5]\n\
+           fleet             [--boards N=64] [--seed N=1] [--units N=480] [--stages N=7]\n\
+                             [--cols N=16] [--threads N=auto] [--votes N=1] [--threshold PS=0]\n\
            enroll            --out FILE [--seed N=1] [--units N=480] [--stages N=7]\n\
                              [--mode case1|case2] [--threshold PS=0]\n\
            respond           --enrollment FILE [--seed N=1] [--units N=480]\n\
@@ -83,16 +170,19 @@ fn usage(problem: &str) -> ExitCode {
     ExitCode::FAILURE
 }
 
-fn dispatch(command: &str, opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+fn dispatch(command: &str, opts: &HashMap<String, String>) -> Result<(), CliError> {
     match command {
         "generate-vt" => generate_vt(opts),
         "generate-inhouse" => generate_inhouse(opts),
         "extract" => extract(opts),
         "nist" => nist(opts),
         "rth" => rth(opts),
+        "fleet" => fleet(opts),
         "enroll" => enroll(opts),
         "respond" => respond(opts),
-        other => Err(format!("unknown command {other:?} (run with no arguments for usage)").into()),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?} (run with no arguments for usage)"
+        ))),
     }
 }
 
@@ -100,30 +190,46 @@ fn get<T: std::str::FromStr>(
     opts: &HashMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, Box<dyn Error>> {
+) -> Result<T, CliError> {
     match opts.get(key) {
         None => Ok(default),
         Some(v) => v
             .parse::<T>()
-            .map_err(|_| format!("--{key} value {v:?} is malformed").into()),
+            .map_err(|_| CliError::Usage(format!("--{key} value {v:?} is malformed"))),
     }
 }
 
-fn required<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, Box<dyn Error>> {
+fn required<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, CliError> {
     opts.get(key)
         .map(String::as_str)
-        .ok_or_else(|| format!("--{key} is required").into())
+        .ok_or_else(|| CliError::Usage(format!("--{key} is required")))
 }
 
-fn parse_mode(opts: &HashMap<String, String>) -> Result<SelectionMode, Box<dyn Error>> {
+fn parse_mode(opts: &HashMap<String, String>) -> Result<SelectionMode, CliError> {
     match opts.get("mode").map(String::as_str) {
         None | Some("case1") => Ok(SelectionMode::Case1),
         Some("case2") => Ok(SelectionMode::Case2),
-        Some(other) => Err(format!("--mode must be case1 or case2, got {other:?}").into()),
+        Some(other) => Err(CliError::Usage(format!(
+            "--mode must be case1 or case2, got {other:?}"
+        ))),
     }
 }
 
-fn generate_vt(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+fn read_file(path: &str) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), CliError> {
+    fs::write(path, contents).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
+fn generate_vt(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let out = required(opts, "out")?;
     let boards = get(opts, "boards", 40usize)?;
     let swept = get(opts, "swept", 5usize)?;
@@ -136,12 +242,12 @@ fn generate_vt(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         seed,
         ..VtConfig::default()
     });
-    fs::write(out, data.to_csv())?;
+    write_file(out, &data.to_csv())?;
     eprintln!("wrote {boards} boards ({swept} swept, {ros} ROs each) to {out}");
     Ok(())
 }
 
-fn generate_inhouse(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+fn generate_inhouse(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let out = required(opts, "out")?;
     let boards = get(opts, "boards", 9usize)?;
     let seed = get(opts, "seed", 1u64)?;
@@ -150,33 +256,32 @@ fn generate_inhouse(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>
         seed,
         ..InHouseConfig::default()
     });
-    fs::write(out, data.to_csv())?;
+    write_file(out, &data.to_csv())?;
     eprintln!("wrote {boards} calibrated boards to {out}");
     Ok(())
 }
 
-fn extract(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+fn extract(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let dataset = required(opts, "dataset")?;
     let out = required(opts, "out")?;
     let stages = get(opts, "stages", 5usize)?;
     let raw = get(opts, "raw", false)?;
     let mode = parse_mode(opts)?;
-    let data = VtDataset::from_csv(&fs::read_to_string(dataset)?, 16, 0)?;
+    let data = VtDataset::from_csv(&read_file(dataset)?, 16, 0)?;
     let mut lines = String::new();
     for board in data.boards() {
         if board.ro_count() < 8 * stages {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "board {} has too few ROs ({}) for {stages}-stage rings",
                 board.id,
                 board.ro_count()
-            )
-            .into());
+            )));
         }
         let bits = board_bits(board, stages, mode, !raw)?;
         lines.push_str(&bits.to_binary_string());
         lines.push('\n');
     }
-    fs::write(out, lines)?;
+    write_file(out, &lines)?;
     eprintln!(
         "extracted {} bit-strings ({} bits each) to {out}",
         data.boards().len(),
@@ -189,16 +294,16 @@ fn extract(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn nist(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+fn nist(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let path = required(opts, "bits")?;
-    let text = fs::read_to_string(path)?;
+    let text = read_file(path)?;
     let streams: Vec<BitVec> = text
         .lines()
         .filter(|l| !l.trim().is_empty())
         .map(BitVec::from_binary_str)
         .collect::<Result<_, _>>()?;
     if streams.is_empty() {
-        return Err("no bit streams found".into());
+        return Err(CliError::Usage("no bit streams found".into()));
     }
     let config = if streams[0].len() < 1000 {
         SuiteConfig::short_streams()
@@ -207,24 +312,26 @@ fn nist(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     };
     let report = run_suite(&streams, &config);
     println!("{report}");
-    println!("verdict: {}", if report.all_passed() { "PASS" } else { "FAIL" });
+    println!(
+        "verdict: {}",
+        if report.all_passed() { "PASS" } else { "FAIL" }
+    );
     Ok(())
 }
 
 /// The §IV.E threshold sweep over an in-house (inverter-level) CSV:
 /// reliable bits per board for the traditional and configurable schemes
 /// as `Rth` rises.
-fn rth(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+fn rth(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let dataset = required(opts, "dataset")?;
     let usable = get(opts, "usable", 13usize)?;
     let max_rth = get(opts, "max-rth", 5.0f64)?;
-    let data = InHouseDataset::from_csv(&fs::read_to_string(dataset)?)?;
+    let data = InHouseDataset::from_csv(&read_file(dataset)?)?;
     if usable > data.units_per_ro() {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "--usable {usable} exceeds the dataset's {} units per RO",
             data.units_per_ro()
-        )
-        .into());
+        )));
     }
     let mut trad = Vec::new();
     let mut conf = Vec::new();
@@ -248,6 +355,72 @@ fn rth(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Grows, enrolls, and evaluates a whole fleet in parallel.
+///
+/// Stdout carries only seed-determined data (per-board bits and corner
+/// flip counts, fleet statistics), so the output is byte-identical at
+/// any thread count; timings go to stderr.
+fn fleet(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let boards = get(opts, "boards", 64usize)?;
+    let seed = get(opts, "seed", 1u64)?;
+    let units = get(opts, "units", 480usize)?;
+    let stages = get(opts, "stages", 7usize)?;
+    let cols = get(opts, "cols", 16usize)?;
+    let threads = get(opts, "threads", worker_threads())?;
+    let votes = get(opts, "votes", 1usize)?;
+    let threshold = get(opts, "threshold", 0.0f64)?;
+    let opts = EnrollOptions::builder()
+        .threshold_ps(threshold)
+        .try_build()?;
+    let config = FleetConfig {
+        boards,
+        units,
+        cols,
+        stages,
+        opts,
+        votes,
+        corners: vec![
+            Environment::nominal(),
+            Environment::new(0.98, 25.0),
+            Environment::new(1.20, 65.0),
+        ],
+        ..FleetConfig::default()
+    };
+    let corners = config.corners.clone();
+    let engine = FleetEngine::new(SiliconSim::default_spartan(), config)?;
+    let run = engine.run_on(seed, threads);
+    for record in &run.records {
+        println!(
+            "board {:3}  {}  flips {}",
+            record.board_index,
+            record.expected_bits,
+            record
+                .corner_flips
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("/"),
+        );
+    }
+    println!(
+        "fleet: {} boards x {} bits, uniqueness {}",
+        run.records.len(),
+        engine.puf().pair_count(),
+        run.uniqueness()
+            .map_or("n/a".to_string(), |u| format!("{u:.4}")),
+    );
+    for (env, rate) in corners.iter().zip(run.corner_flip_rates()) {
+        println!("corner {env}: flip rate {rate:.4}");
+    }
+    eprintln!(
+        "{} threads, {:.1} boards/sec ({:.2?})",
+        run.threads,
+        run.boards_per_sec(),
+        run.elapsed
+    );
+    Ok(())
+}
+
 /// Regenerates the deterministic demo board for `seed`/`units`.
 fn demo_board(seed: u64, units: usize) -> (ropuf::silicon::Board, ropuf::silicon::Technology) {
     let mut sim = SiliconSim::default_spartan();
@@ -256,7 +429,7 @@ fn demo_board(seed: u64, units: usize) -> (ropuf::silicon::Board, ropuf::silicon
     (board, *sim.technology())
 }
 
-fn enroll(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+fn enroll(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let out = required(opts, "out")?;
     let seed = get(opts, "seed", 1u64)?;
     let units = get(opts, "units", 480usize)?;
@@ -264,19 +437,21 @@ fn enroll(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let threshold = get(opts, "threshold", 0.0f64)?;
     let mode = parse_mode(opts)?;
     let (board, tech) = demo_board(seed, units);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xE14A);
-    let enrollment = ConfigurableRoPuf::tiled_interleaved(units, stages).enroll(
-        &mut rng,
+    let enroll_opts = EnrollOptions::builder()
+        .selection(mode)
+        .threshold_ps(threshold)
+        .try_build()?;
+    // Per-pair seeded streams, fanned out over the machine's cores:
+    // bit-identical to the serial `enroll_seeded` reference.
+    let enrollment = ConfigurableRoPuf::tiled_interleaved(units, stages).enroll_par(
+        seed ^ 0xE14A,
         &board,
         &tech,
         Environment::nominal(),
-        &EnrollOptions {
-            mode,
-            threshold_ps: threshold,
-            ..EnrollOptions::default()
-        },
+        &enroll_opts,
+        worker_threads(),
     );
-    fs::write(out, enrollment_to_text(&enrollment))?;
+    write_file(out, &enrollment_to_text(&enrollment))?;
     eprintln!(
         "enrolled {} bits ({} pairs provisioned) to {out}",
         enrollment.bit_count(),
@@ -286,14 +461,14 @@ fn enroll(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn respond(opts: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+fn respond(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let path = required(opts, "enrollment")?;
     let seed = get(opts, "seed", 1u64)?;
     let units = get(opts, "units", 480usize)?;
     let voltage = get(opts, "voltage", 1.20f64)?;
     let temperature = get(opts, "temperature", 25.0f64)?;
     let votes = get(opts, "votes", 1usize)?;
-    let enrollment = enrollment_from_text(&fs::read_to_string(path)?)?;
+    let enrollment = enrollment_from_text(&read_file(path)?)?;
     let (board, tech) = demo_board(seed, units);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4E5);
     let env = Environment::new(voltage, temperature);

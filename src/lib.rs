@@ -33,9 +33,26 @@ pub use ropuf_silicon as silicon;
 /// assert_eq!(e.bit_count(), 5);
 /// ```
 pub mod prelude {
-    pub use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions, Enrollment, SelectionMode};
+    pub use ropuf_core::crp::{respond as crp_respond, Challenge, LinearDelayAttack};
+    pub use ropuf_core::error::Error;
+    pub use ropuf_core::fleet::{
+        split_seed, worker_threads, BoardRecord, FleetConfig, FleetEngine, FleetRun, Layout,
+    };
+    pub use ropuf_core::one_of_eight::{OneOfEightEnrollment, OneOfEightPuf, RoGroup};
+    pub use ropuf_core::persist::{enrollment_from_text, enrollment_to_text};
+    pub use ropuf_core::puf::{
+        ConfigurableRoPuf, EnrollOptions, EnrollOptionsBuilder, Enrollment, PairSpec, SelectionMode,
+    };
+    pub use ropuf_core::ro::RoPair;
+    pub use ropuf_core::traditional::{TraditionalEnrollment, TraditionalRoPuf};
     pub use ropuf_core::{ConfigVector, ParityPolicy};
+    pub use ropuf_dataset::extract::{distill_values, select_board, VirtualLayout};
+    pub use ropuf_dataset::{InHouseConfig, InHouseDataset, VtConfig, VtDataset};
     pub use ropuf_metrics::hamming::HdStats;
+    pub use ropuf_metrics::report::QualityReport;
+    pub use ropuf_nist::suite::{run_suite, SuiteConfig};
     pub use ropuf_num::bits::BitVec;
-    pub use ropuf_silicon::{DelayProbe, Environment, FrequencyCounter, SiliconSim};
+    pub use ropuf_silicon::{
+        Board, DelayProbe, Environment, FrequencyCounter, SiliconSim, Technology,
+    };
 }

@@ -10,6 +10,14 @@ fn ropuf(args: &[&str]) -> Output {
         .expect("binary runs")
 }
 
+fn ropuf_with_threads(args: &[&str], threads: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ropuf"))
+        .args(args)
+        .env("RAYON_NUM_THREADS", threads)
+        .output()
+        .expect("binary runs")
+}
+
 fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("ropuf-cli-tests");
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -39,28 +47,48 @@ fn generate_extract_nist_pipeline() {
     // (discreteness-sensitive) uniformity column; most seeds do.
     let out = ropuf(&[
         "generate-vt",
-        "--boards", "40",
-        "--swept", "0",
-        "--seed", "1",
-        "--out", fleet.to_str().unwrap(),
+        "--boards",
+        "40",
+        "--swept",
+        "0",
+        "--seed",
+        "1",
+        "--out",
+        fleet.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = ropuf(&[
         "extract",
-        "--dataset", fleet.to_str().unwrap(),
-        "--stages", "5",
-        "--mode", "case1",
-        "--out", bits.to_str().unwrap(),
+        "--dataset",
+        fleet.to_str().unwrap(),
+        "--stages",
+        "5",
+        "--mode",
+        "case1",
+        "--out",
+        bits.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let content = std::fs::read_to_string(&bits).unwrap();
     assert_eq!(content.lines().count(), 40);
     // 512 ROs → 480 usable at n=5 → 48 bits per line.
     assert!(content.lines().all(|l| l.len() == 48));
 
     let out = ropuf(&["nist", "--bits", bits.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("PROPORTION"), "{stdout}");
     assert!(stdout.contains("verdict: PASS"), "{stdout}");
@@ -71,16 +99,26 @@ fn raw_extraction_fails_nist() {
     let fleet = tmp("fleet_raw.csv");
     let bits = tmp("bits_raw.txt");
     assert!(ropuf(&[
-        "generate-vt", "--boards", "40", "--swept", "0", "--seed", "3",
-        "--out", fleet.to_str().unwrap(),
+        "generate-vt",
+        "--boards",
+        "40",
+        "--swept",
+        "0",
+        "--seed",
+        "3",
+        "--out",
+        fleet.to_str().unwrap(),
     ])
     .status
     .success());
     assert!(ropuf(&[
         "extract",
-        "--dataset", fleet.to_str().unwrap(),
-        "--raw", "true",
-        "--out", bits.to_str().unwrap(),
+        "--dataset",
+        fleet.to_str().unwrap(),
+        "--raw",
+        "true",
+        "--out",
+        bits.to_str().unwrap(),
     ])
     .status
     .success());
@@ -94,24 +132,41 @@ fn enroll_then_respond_at_corner() {
     let enrollment = tmp("device.enrollment");
     let out = ropuf(&[
         "enroll",
-        "--seed", "42",
-        "--units", "140",
-        "--stages", "7",
-        "--out", enrollment.to_str().unwrap(),
+        "--seed",
+        "42",
+        "--units",
+        "140",
+        "--stages",
+        "7",
+        "--out",
+        enrollment.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let expected = String::from_utf8_lossy(&out.stdout).trim().to_string();
     assert_eq!(expected.len(), 10); // 140 units / (2*7)
 
     let out = ropuf(&[
         "respond",
-        "--enrollment", enrollment.to_str().unwrap(),
-        "--seed", "42",
-        "--units", "140",
-        "--voltage", "0.98",
-        "--votes", "3",
+        "--enrollment",
+        enrollment.to_str().unwrap(),
+        "--seed",
+        "42",
+        "--units",
+        "140",
+        "--voltage",
+        "0.98",
+        "--votes",
+        "3",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let response = String::from_utf8_lossy(&out.stdout).trim().to_string();
     assert_eq!(response, expected, "corner response must match enrollment");
     assert!(String::from_utf8_lossy(&out.stderr).contains("0 flips"));
@@ -123,17 +178,27 @@ fn respond_with_wrong_board_differs() {
     // cannot match the stored enrollment (authentication would reject).
     let enrollment = tmp("device_a.enrollment");
     let out = ropuf(&[
-        "enroll", "--seed", "7", "--units", "280", "--stages", "7",
-        "--out", enrollment.to_str().unwrap(),
+        "enroll",
+        "--seed",
+        "7",
+        "--units",
+        "280",
+        "--stages",
+        "7",
+        "--out",
+        enrollment.to_str().unwrap(),
     ]);
     assert!(out.status.success());
     let expected = String::from_utf8_lossy(&out.stdout).trim().to_string();
 
     let out = ropuf(&[
         "respond",
-        "--enrollment", enrollment.to_str().unwrap(),
-        "--seed", "8",
-        "--units", "280",
+        "--enrollment",
+        enrollment.to_str().unwrap(),
+        "--seed",
+        "8",
+        "--units",
+        "280",
     ]);
     assert!(out.status.success());
     let response = String::from_utf8_lossy(&out.stdout).trim().to_string();
@@ -150,11 +215,18 @@ fn inhouse_generation_round_trips() {
     let path = tmp("inhouse.csv");
     let out = ropuf(&[
         "generate-inhouse",
-        "--boards", "2",
-        "--seed", "5",
-        "--out", path.to_str().unwrap(),
+        "--boards",
+        "2",
+        "--seed",
+        "5",
+        "--out",
+        path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&path).unwrap();
     assert!(text.starts_with("board,ro,unit,ddiff_ps,bypass_ps"));
     assert!(ropuf::dataset::inhouse::InHouseDataset::from_csv(&text).is_ok());
@@ -171,13 +243,22 @@ fn missing_required_flag_is_reported() {
 fn rth_sweep_on_generated_inhouse_data() {
     let path = tmp("inhouse_rth.csv");
     assert!(ropuf(&[
-        "generate-inhouse", "--boards", "3", "--seed", "9",
-        "--out", path.to_str().unwrap(),
+        "generate-inhouse",
+        "--boards",
+        "3",
+        "--seed",
+        "9",
+        "--out",
+        path.to_str().unwrap(),
     ])
     .status
     .success());
     let out = ropuf(&["rth", "--dataset", path.to_str().unwrap(), "--max-rth", "4"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let lines: Vec<&str> = stdout.lines().collect();
     assert_eq!(lines.len(), 6, "{stdout}"); // header + Rth 0..=4
@@ -189,11 +270,41 @@ fn rth_sweep_on_generated_inhouse_data() {
 }
 
 #[test]
+fn fleet_stdout_is_thread_count_invariant() {
+    // Seed-determined data goes to stdout only; a serial run and a
+    // multi-threaded run of the same fleet must be byte-identical.
+    let args = [
+        "fleet", "--boards", "8", "--seed", "7", "--units", "80", "--stages", "4",
+    ];
+    let serial = ropuf_with_threads(&args, "1");
+    assert!(
+        serial.status.success(),
+        "{}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+    let parallel = ropuf_with_threads(&args, "4");
+    assert!(parallel.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "fleet output must not depend on thread count"
+    );
+    let stdout = String::from_utf8_lossy(&serial.stdout);
+    assert!(stdout.contains("fleet: 8 boards"), "{stdout}");
+    assert!(stdout.contains("uniqueness"), "{stdout}");
+}
+
+#[test]
 fn rth_rejects_oversized_usable() {
     let path = tmp("inhouse_rth2.csv");
     assert!(ropuf(&[
-        "generate-inhouse", "--boards", "2", "--seed", "3",
-        "--out", path.to_str().unwrap(),
+        "generate-inhouse",
+        "--boards",
+        "2",
+        "--seed",
+        "3",
+        "--out",
+        path.to_str().unwrap(),
     ])
     .status
     .success());

@@ -5,8 +5,8 @@ use ropuf::core::distill::Distiller;
 use ropuf::core::puf::SelectionMode;
 use ropuf::core::ParityPolicy;
 use ropuf::dataset::extract::{
-    distill_values, one_of_eight_apply, one_of_eight_select, select_board, traditional_board,
-    traditional_pairs, apply_board, VirtualLayout,
+    apply_board, distill_values, one_of_eight_apply, one_of_eight_select, select_board,
+    traditional_board, traditional_pairs, VirtualLayout,
 };
 use ropuf::dataset::vt::{Condition, VtConfig, VtDataset};
 use ropuf::metrics::entropy::min_entropy_per_bit;
@@ -74,8 +74,7 @@ fn raw_bits_show_systematic_structure() {
     // effect that makes the paper's raw bit-streams fail NIST.
     let data = small_fleet();
     let raw = HdStats::of_fleet(&board_bits(&data, 5, SelectionMode::Case1, false)).unwrap();
-    let distilled =
-        HdStats::of_fleet(&board_bits(&data, 5, SelectionMode::Case1, true)).unwrap();
+    let distilled = HdStats::of_fleet(&board_bits(&data, 5, SelectionMode::Case1, true)).unwrap();
     assert!(
         raw.std_dev_bits > distilled.std_dev_bits,
         "raw σ {} !> distilled σ {}",
@@ -123,8 +122,7 @@ fn voltage_corner_reliability_ordering_on_dataset() {
     let mut one8 = 0.0;
     for b in data.swept_boards() {
         let nominal = &b.nominal()[..USABLE];
-        let conf_pairs =
-            select_board(nominal, layout, SelectionMode::Case2, ParityPolicy::Ignore);
+        let conf_pairs = select_board(nominal, layout, SelectionMode::Case2, ParityPolicy::Ignore);
         let conf_base: BitVec = conf_pairs.iter().map(|p| p.bit).collect();
         let trad_pairs = traditional_pairs(nominal, layout);
         let (trad_base, _) = traditional_board(nominal, layout);
@@ -133,17 +131,16 @@ fn voltage_corner_reliability_ordering_on_dataset() {
 
         for v in [0.98, 1.08, 1.32, 1.44] {
             let freqs = b
-                .at(Condition { voltage_v: v, temperature_c: 25.0 })
+                .at(Condition {
+                    voltage_v: v,
+                    temperature_c: 25.0,
+                })
                 .expect("swept board");
             let freqs = &freqs[..USABLE];
-            trad += flip_rate_against_baseline(
-                &trad_base,
-                &[apply_board(&trad_pairs, freqs, layout)],
-            );
-            conf += flip_rate_against_baseline(
-                &conf_base,
-                &[apply_board(&conf_pairs, freqs, layout)],
-            );
+            trad +=
+                flip_rate_against_baseline(&trad_base, &[apply_board(&trad_pairs, freqs, layout)]);
+            conf +=
+                flip_rate_against_baseline(&conf_base, &[apply_board(&conf_pairs, freqs, layout)]);
             one8 += flip_rate_against_baseline(
                 &one8_base,
                 &[one_of_eight_apply(&picks, freqs, layout)],
@@ -152,7 +149,10 @@ fn voltage_corner_reliability_ordering_on_dataset() {
     }
     assert!(conf <= trad, "configurable {conf} !<= traditional {trad}");
     assert_eq!(one8, 0.0, "1-out-of-8 flipped");
-    assert!(trad > 0.0, "traditional should show some flips across corners");
+    assert!(
+        trad > 0.0,
+        "traditional should show some flips across corners"
+    );
 }
 
 #[test]

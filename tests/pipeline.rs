@@ -53,9 +53,8 @@ fn reliability_ordering_one_of_eight_configurable_traditional() {
         let probe = DelayProbe::new(0.25, 1);
         let env0 = Environment::nominal();
 
-        let trad = TraditionalRoPuf::tiled(UNITS, STAGES).enroll(
-            &mut rng, &board, &tech, env0, &probe, 0.0,
-        );
+        let trad = TraditionalRoPuf::tiled(UNITS, STAGES)
+            .enroll(&mut rng, &board, &tech, env0, &probe, 0.0);
         trad_total += corner_flip_rate(
             &trad.expected_bits(),
             |rng, env| trad.respond(rng, &board, &tech, env, &probe),
@@ -75,7 +74,8 @@ fn reliability_ordering_one_of_eight_configurable_traditional() {
             &mut rng,
         );
 
-        let one8 = OneOfEightPuf::tiled(UNITS, STAGES).enroll(&mut rng, &board, &tech, env0, &probe);
+        let one8 =
+            OneOfEightPuf::tiled(UNITS, STAGES).enroll(&mut rng, &board, &tech, env0, &probe);
         one8_total += corner_flip_rate(
             &one8.expected_bits(),
             |rng, env| one8.respond(rng, &board, &tech, env, &probe),
@@ -198,7 +198,13 @@ fn configured_rings_oscillate_under_force_odd() {
         // Both rings must free-run: frequency measurement succeeds.
         bound
             .top()
-            .frequency_mhz(&mut rng, &counter, pair.top_config(), Environment::nominal(), &tech)
+            .frequency_mhz(
+                &mut rng,
+                &counter,
+                pair.top_config(),
+                Environment::nominal(),
+                &tech,
+            )
             .expect("top ring oscillates");
         bound
             .bottom()

@@ -21,7 +21,13 @@ fn end_to_end_key_lifecycle_with_helper_data() {
     let board = sim.grow_board(&mut rng, 64 * 2 * 7, 32);
     let puf = ConfigurableRoPuf::tiled_interleaved(board.len(), 7);
     let env0 = Environment::nominal();
-    let enrollment = puf.enroll(&mut rng, &board, sim.technology(), env0, &EnrollOptions::default());
+    let enrollment = puf.enroll(
+        &mut rng,
+        &board,
+        sim.technology(),
+        env0,
+        &EnrollOptions::default(),
+    );
 
     let fx = FuzzyExtractor::new(3);
     let probe = DelayProbe::new(0.25, 1);
@@ -38,9 +44,10 @@ fn end_to_end_key_lifecycle_with_helper_data() {
     let reloaded = enrollment_from_text(&stored_enrollment).expect("valid stored enrollment");
     let helper = ropuf::num::bits::BitVec::from_binary_str(&stored_helper).expect("valid helper");
     let corner = Environment::new(1.32, 55.0);
-    let response1 =
-        reloaded.respond_majority(&mut rng, &aged, sim.technology(), corner, &probe, 5);
-    let rederived = fx.reproduce(&response1, &helper).expect("well-formed helper");
+    let response1 = reloaded.respond_majority(&mut rng, &aged, sim.technology(), corner, &probe, 5);
+    let rederived = fx
+        .reproduce(&response1, &helper)
+        .expect("well-formed helper");
     assert_eq!(rederived, key, "key must survive corner + aging");
 }
 
@@ -81,7 +88,13 @@ fn fixed_configuration_remains_stable_for_the_attacker_to_observe() {
     let board = sim.grow_board(&mut rng, 140, 16);
     let puf = ConfigurableRoPuf::tiled(140, 7);
     let env = Environment::nominal();
-    let e = puf.enroll(&mut rng, &board, sim.technology(), env, &EnrollOptions::default());
+    let e = puf.enroll(
+        &mut rng,
+        &board,
+        sim.technology(),
+        env,
+        &EnrollOptions::default(),
+    );
     let probe = DelayProbe::new(0.25, 1);
     let first = e.respond(&mut rng, &board, sim.technology(), env, &probe);
     for _ in 0..30 {
@@ -104,12 +117,24 @@ fn helper_data_alone_does_not_determine_the_key() {
     let puf = ConfigurableRoPuf::tiled_interleaved(2 * 7 * 48, 7);
 
     let board_a = sim.grow_board(&mut rng, 2 * 7 * 48, 32);
-    let e_a = puf.enroll(&mut rng, &board_a, sim.technology(), env, &EnrollOptions::default());
+    let e_a = puf.enroll(
+        &mut rng,
+        &board_a,
+        sim.technology(),
+        env,
+        &EnrollOptions::default(),
+    );
     let resp_a = e_a.respond(&mut rng, &board_a, sim.technology(), env, &probe);
     let (key_a, helper) = fx.generate(&mut rng, &resp_a);
 
     let board_b = sim.grow_board(&mut rng, 2 * 7 * 48, 32);
-    let e_b = puf.enroll(&mut rng, &board_b, sim.technology(), env, &EnrollOptions::default());
+    let e_b = puf.enroll(
+        &mut rng,
+        &board_b,
+        sim.technology(),
+        env,
+        &EnrollOptions::default(),
+    );
     let resp_b = e_b.respond(&mut rng, &board_b, sim.technology(), env, &probe);
     let key_b = fx.reproduce(&resp_b, &helper).expect("well-formed helper");
     assert_ne!(key_a, key_b);
