@@ -5,11 +5,13 @@
 //!
 //! `repro fleet` renders the outcome and emits it as `BENCH_fleet.json`.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use ropuf_core::fleet::{worker_threads, FleetConfig, FleetEngine, FleetRun};
 use ropuf_core::puf::EnrollOptions;
 use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+use ropuf_telemetry::{self as telemetry, MemorySink};
 
 /// Experiment configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +41,40 @@ impl Default for Config {
     }
 }
 
+/// Per-stage wall-clock breakdown of the parallel pass, summed across
+/// worker threads from the telemetry spans the fleet engine emits.
+#[derive(Debug, Clone, Default)]
+pub struct StageBreakdown {
+    /// Total microseconds inside `fleet.grow` spans (board synthesis).
+    pub grow_us: u64,
+    /// Total microseconds inside `fleet.enroll` spans.
+    pub enroll_us: u64,
+    /// Total microseconds inside `fleet.respond` spans (corner reads).
+    pub respond_us: u64,
+    /// Boards the engine reported via the `fleet.boards` counter.
+    pub boards: u64,
+    /// Items workers claimed beyond their fair share
+    /// (`parallel.steals`): 0 when the load divides evenly.
+    pub steals: u64,
+}
+
+impl StageBreakdown {
+    fn from_sink(sink: &MemorySink) -> Self {
+        let counter = |name: &str| {
+            sink.snapshot()
+                .and_then(|s| s.counter(name))
+                .unwrap_or_default()
+        };
+        Self {
+            grow_us: sink.span_total_us("fleet.grow"),
+            enroll_us: sink.span_total_us("fleet.enroll"),
+            respond_us: sink.span_total_us("fleet.respond"),
+            boards: counter("fleet.boards"),
+            steals: counter("parallel.steals"),
+        }
+    }
+}
+
 /// Measured outcome of one fleet benchmark.
 #[derive(Debug, Clone)]
 pub struct Outcome {
@@ -63,6 +99,9 @@ pub struct Outcome {
     pub uniqueness: Option<f64>,
     /// Response corners and the mean flip rate at each.
     pub corners: Vec<(Environment, f64)>,
+    /// Per-stage timing of the parallel pass (CPU-seconds summed
+    /// across workers, so the stage totals can exceed wall-clock).
+    pub stages: StageBreakdown,
 }
 
 impl Outcome {
@@ -89,6 +128,15 @@ impl Outcome {
         for (env, rate) in &self.corners {
             out.push_str(&format!("flip rate at {env}: {:.4}\n", rate));
         }
+        out.push_str(&format!(
+            "stages (cpu-time across {} boards): grow {:.3}s, enroll {:.3}s, \
+             respond {:.3}s; {} work-steals\n",
+            self.stages.boards,
+            self.stages.grow_us as f64 / 1e6,
+            self.stages.enroll_us as f64 / 1e6,
+            self.stages.respond_us as f64 / 1e6,
+            self.stages.steals,
+        ));
         out
     }
 
@@ -110,7 +158,9 @@ impl Outcome {
             "{{\n  \"boards\": {},\n  \"bits_per_board\": {},\n  \"threads\": {},\n  \
              \"serial_secs\": {},\n  \"parallel_secs\": {},\n  \"boards_per_sec\": {},\n  \
              \"speedup\": {},\n  \"deterministic\": {},\n  \"uniqueness\": {},\n  \
-             \"corners\": [{}]\n}}\n",
+             \"corners\": [{}],\n  \
+             \"stages\": {{\"grow_us\": {}, \"enroll_us\": {}, \"respond_us\": {}, \
+             \"boards\": {}, \"steals\": {}}}\n}}\n",
             self.boards,
             self.bits_per_board,
             self.threads,
@@ -121,7 +171,12 @@ impl Outcome {
             self.deterministic,
             self.uniqueness
                 .map_or("null".to_string(), |u| u.to_string()),
-            corners
+            corners,
+            self.stages.grow_us,
+            self.stages.enroll_us,
+            self.stages.respond_us,
+            self.stages.boards,
+            self.stages.steals,
         )
     }
 }
@@ -147,7 +202,13 @@ pub fn run(config: &Config) -> Outcome {
         .expect("benchmark fleet config is valid");
     let threads = config.threads.unwrap_or_else(worker_threads);
     let serial: FleetRun = engine.run_serial(config.seed);
-    let parallel: FleetRun = engine.run_on(config.seed, threads);
+    // Run the parallel pass under a memory sink so the engine's spans
+    // and counters become the per-stage breakdown. `scoped` restores
+    // any previously installed sink afterwards.
+    let sink = Arc::new(MemorySink::default());
+    let parallel: FleetRun =
+        telemetry::scoped(sink.clone(), || engine.run_on(config.seed, threads));
+    let stages = StageBreakdown::from_sink(&sink);
     let speedup = serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-12);
     Outcome {
         boards: config.boards,
@@ -163,6 +224,7 @@ pub fn run(config: &Config) -> Outcome {
             .into_iter()
             .zip(parallel.corner_flip_rates())
             .collect(),
+        stages,
     }
 }
 
@@ -188,8 +250,13 @@ mod tests {
         let json = out.to_json();
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"deterministic\": true"));
+        assert!(json.contains("\"stages\""));
         assert!(out
             .render()
             .contains("deterministic (parallel == serial): yes"));
+        // The telemetry scope around the parallel pass must have seen
+        // every board; durations may round to 0 µs on a fast machine,
+        // but the counters are exact.
+        assert_eq!(out.stages.boards, 8);
     }
 }

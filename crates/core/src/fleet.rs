@@ -50,6 +50,7 @@ use rand::SeedableRng;
 use ropuf_num::bits::BitVec;
 use ropuf_silicon::board::BoardId;
 use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+use ropuf_telemetry as telemetry;
 
 use crate::error::Error;
 use crate::puf::{ConfigurableRoPuf, EnrollOptions, Enrollment};
@@ -70,16 +71,40 @@ pub fn split_seed(master_seed: u64, index: u64) -> u64 {
 /// Number of worker threads a fleet run will use: `RAYON_NUM_THREADS`
 /// when set to a positive integer, otherwise the machine's available
 /// parallelism.
+///
+/// A set-but-invalid value (`"0"`, `"8x"`, …) falls back to all cores
+/// and emits a telemetry warning naming the rejected value (to the
+/// installed sink, or stderr when telemetry is disabled) — it is never
+/// silently ignored. A set-but-empty value counts as unset.
 pub fn worker_threads() -> usize {
-    std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    let all_cores = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match std::env::var("RAYON_NUM_THREADS") {
+        Err(_) => all_cores(),
+        Ok(raw) => parse_worker_threads(&raw).unwrap_or_else(|| {
+            let fallback = all_cores();
+            if !raw.trim().is_empty() {
+                telemetry::counter("fleet.thread_config_rejected", 1);
+                telemetry::warn(&format!(
+                    "RAYON_NUM_THREADS={raw:?} is not a positive integer; \
+                     falling back to all {fallback} cores"
+                ));
+            }
+            fallback
+        }),
+    }
+}
+
+/// Parses a `RAYON_NUM_THREADS` value: `Some(n)` for a positive
+/// integer (surrounding whitespace tolerated), `None` otherwise —
+/// including `"0"`, signs, and trailing garbage like `"8x"`. An empty
+/// (or all-whitespace) value also returns `None`; [`worker_threads`]
+/// treats that case as unset rather than invalid.
+pub fn parse_worker_threads(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
 }
 
 /// Applies `f` to `0..count` on `threads` workers and returns the
@@ -90,6 +115,14 @@ pub fn worker_threads() -> usize {
 /// is independent of scheduling. With `threads == 1` the loop runs on
 /// the calling thread with no thread spawned at all.
 ///
+/// With telemetry enabled, every claimed item bumps the
+/// `parallel.items` counter, each participating worker bumps
+/// `parallel.workers` and records the number of items it won into the
+/// `parallel.worker_items` histogram (the work-steal / thread-
+/// utilization profile), and items claimed beyond an even per-worker
+/// share count as `parallel.steals`. None of this touches the mapped
+/// values: results are bit-identical with telemetry on or off.
+///
 /// # Panics
 ///
 /// Propagates a panic from any invocation of `f`.
@@ -99,8 +132,15 @@ where
     F: Fn(usize) -> U + Sync,
 {
     let threads = threads.clamp(1, count.max(1));
+    // An even split would hand each worker ceil(count / threads) items;
+    // anything above that was dynamically stolen from slower peers.
+    let fair_share = count.div_ceil(threads);
     if threads == 1 {
-        return (0..count).map(f).collect();
+        let out = (0..count).map(f).collect();
+        telemetry::counter("parallel.items", count as u64);
+        telemetry::counter("parallel.workers", 1);
+        telemetry::record("parallel.worker_items", count as u64);
+        return out;
     }
     let cursor = AtomicUsize::new(0);
     let mut keyed: Vec<(usize, U)> = std::thread::scope(|scope| {
@@ -115,6 +155,13 @@ where
                         }
                         out.push((i, f(i)));
                     }
+                    telemetry::counter("parallel.items", out.len() as u64);
+                    telemetry::counter("parallel.workers", 1);
+                    telemetry::record("parallel.worker_items", out.len() as u64);
+                    telemetry::counter(
+                        "parallel.steals",
+                        out.len().saturating_sub(fair_share) as u64,
+                    );
                     out
                 })
             })
@@ -365,26 +412,38 @@ impl FleetEngine {
 
     /// Grows, enrolls, and reads back one board. Pure in
     /// `(master_seed, index)` — the engine shares no mutable state.
+    ///
+    /// With telemetry enabled, each stage (grow / enroll / respond)
+    /// runs under its own span, all nested in a `fleet.board` span.
     fn eval_board(&self, master_seed: u64, index: usize) -> BoardRecord {
+        let _board_span = telemetry::span("fleet.board");
+        telemetry::counter("fleet.boards", 1);
         let config = &self.config;
         let board_seed = split_seed(master_seed, index as u64);
-        let mut grow_rng = StdRng::seed_from_u64(split_seed(board_seed, STREAM_GROW));
-        let board = self.sim.grow_board_with_id(
-            &mut grow_rng,
-            BoardId(index as u32),
-            config.units,
-            config.cols,
-        );
         let tech = self.sim.technology();
+        let board = {
+            let _span = telemetry::span("fleet.grow");
+            let mut grow_rng = StdRng::seed_from_u64(split_seed(board_seed, STREAM_GROW));
+            self.sim.grow_board_with_id(
+                &mut grow_rng,
+                BoardId(index as u32),
+                config.units,
+                config.cols,
+            )
+        };
         let enrolled_at = *config.corners.first().unwrap_or(&Environment::nominal());
-        let enrollment: Enrollment = self.puf.enroll_seeded(
-            split_seed(board_seed, STREAM_ENROLL),
-            &board,
-            tech,
-            enrolled_at,
-            &config.opts,
-        );
+        let enrollment: Enrollment = {
+            let _span = telemetry::span("fleet.enroll");
+            self.puf.enroll_seeded(
+                split_seed(board_seed, STREAM_ENROLL),
+                &board,
+                tech,
+                enrolled_at,
+                &config.opts,
+            )
+        };
         let expected = enrollment.expected_bits();
+        let respond_span = telemetry::span("fleet.respond");
         let corner_flips = config
             .corners
             .iter()
@@ -407,6 +466,7 @@ impl FleetEngine {
                 response.hamming_distance(&expected).expect("same pairs")
             })
             .collect();
+        drop(respond_span);
         BoardRecord {
             board_index: index,
             board_seed,
@@ -433,6 +493,32 @@ mod tests {
             },
         )
         .expect("valid config")
+    }
+
+    #[test]
+    fn thread_config_accepts_positive_integers() {
+        assert_eq!(parse_worker_threads("1"), Some(1));
+        assert_eq!(parse_worker_threads("8"), Some(8));
+        assert_eq!(parse_worker_threads(" 4 "), Some(4), "whitespace trimmed");
+        assert_eq!(
+            parse_worker_threads("+2"),
+            Some(2),
+            "integer parse allows +"
+        );
+        assert_eq!(parse_worker_threads("128"), Some(128));
+    }
+
+    #[test]
+    fn thread_config_rejects_zero_and_garbage() {
+        // The historical bug: these fell back to all cores with no
+        // signal that the requested value had been discarded.
+        assert_eq!(parse_worker_threads("0"), None);
+        assert_eq!(parse_worker_threads("8x"), None);
+        assert_eq!(parse_worker_threads("-2"), None);
+        assert_eq!(parse_worker_threads("2.0"), None);
+        assert_eq!(parse_worker_threads("eight"), None);
+        assert_eq!(parse_worker_threads(""), None);
+        assert_eq!(parse_worker_threads("  "), None);
     }
 
     #[test]

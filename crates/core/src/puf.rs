@@ -43,6 +43,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ropuf_num::bits::BitVec;
 use ropuf_silicon::{Board, DelayProbe, Environment, Technology};
+use ropuf_telemetry as telemetry;
 
 use crate::calibrate::calibrate;
 use crate::config::{ConfigVector, ParityPolicy};
@@ -407,6 +408,12 @@ impl ConfigurableRoPuf {
     }
 
     /// Calibrates, selects, and thresholds one ring pair.
+    ///
+    /// With telemetry enabled, calibration and selection are timed
+    /// under an `enroll.pair` span (selection alone under
+    /// `enroll.select`), and the `enroll.pairs.case1` /
+    /// `enroll.pairs.case2`, `enroll.excluded.*`, and
+    /// `enroll.degenerate` counters track what happened to the pair.
     fn enroll_pair<R: Rng + ?Sized>(
         rng: &mut R,
         spec: &PairSpec,
@@ -415,6 +422,7 @@ impl ConfigurableRoPuf {
         env: Environment,
         opts: &EnrollOptions,
     ) -> Option<EnrolledPair> {
+        let _pair_span = telemetry::span("enroll.pair");
         let pair = spec.bind(board);
         let cal_top = calibrate(rng, pair.top(), &opts.probe, env, tech);
         let cal_bottom = calibrate(rng, pair.bottom(), &opts.probe, env, tech);
@@ -425,11 +433,13 @@ impl ConfigurableRoPuf {
                 .chain(cal_bottom.ddiffs_ps())
                 .any(|&d| !(lo..=hi).contains(&d));
             if suspicious {
+                telemetry::counter("enroll.excluded.implausible", 1);
                 return None;
             }
         }
         let offset = cal_top.bypass_ps() - cal_bottom.bypass_ps();
-        let (top_config, bottom_config, margin, bit) = match opts.mode {
+        let select_span = telemetry::span("enroll.select");
+        let (top_config, bottom_config, margin, bit, degenerate) = match opts.mode {
             SelectionMode::Case1 => {
                 let s = case1_with_offset(
                     cal_top.ddiffs_ps(),
@@ -437,7 +447,14 @@ impl ConfigurableRoPuf {
                     offset,
                     opts.parity,
                 );
-                (s.config().clone(), s.config().clone(), s.margin(), s.bit())
+                telemetry::counter("enroll.pairs.case1", 1);
+                (
+                    s.config().clone(),
+                    s.config().clone(),
+                    s.margin(),
+                    s.bit(),
+                    s.is_degenerate(),
+                )
             }
             SelectionMode::Case2 => {
                 let s = case2_with_offset(
@@ -446,10 +463,25 @@ impl ConfigurableRoPuf {
                     offset,
                     opts.parity,
                 );
-                (s.top().clone(), s.bottom().clone(), s.margin(), s.bit())
+                telemetry::counter("enroll.pairs.case2", 1);
+                (
+                    s.top().clone(),
+                    s.bottom().clone(),
+                    s.margin(),
+                    s.bit(),
+                    s.is_degenerate(),
+                )
             }
         };
+        drop(select_span);
+        if degenerate {
+            // A zero-margin pair carries no silicon signature: its bit
+            // is a selection-convention artifact, not entropy. Surface
+            // it so fleet statistics can discount the bit.
+            telemetry::counter("enroll.degenerate", 1);
+        }
         if margin < opts.threshold_ps {
+            telemetry::counter("enroll.excluded.threshold", 1);
             None
         } else {
             Some(EnrolledPair {

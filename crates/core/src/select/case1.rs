@@ -14,6 +14,8 @@
 //! `B_top − B_bottom` of real hardware): it maximizes `|offset + Σ Δd_i
 //! x_i|`, which is still achieved by one of the two sign-class extremes.
 
+use ropuf_telemetry as telemetry;
+
 use crate::config::{ConfigVector, ParityPolicy};
 use crate::select::{validate_inputs, Selection};
 
@@ -77,11 +79,17 @@ pub fn case1_with_offset(
     let d_high = offset_ps + max_sum;
     let d_low = offset_ps + min_sum;
     let (set, diff) = if d_high.abs() >= d_low.abs() {
+        telemetry::counter("select.case1.positive_wins", 1);
         (max_set, d_high)
     } else {
+        telemetry::counter("select.case1.negative_wins", 1);
         (min_set, d_low)
     };
-    Selection::new(ConfigVector::from_selected(n, &set), diff.abs(), diff > 0.0)
+    let selection = Selection::new(ConfigVector::from_selected(n, &set), diff.abs(), diff > 0.0);
+    if selection.is_degenerate() {
+        telemetry::counter("select.case1.degenerate", 1);
+    }
+    selection
 }
 
 /// Subset extremizing `Σ Δd_i x_i` subject to the parity policy:
@@ -168,6 +176,8 @@ mod tests {
         let s = case1(&d, &d, ParityPolicy::Ignore);
         assert_eq!(s.margin(), 0.0);
         assert_eq!(s.config().selected_count(), 0);
+        assert!(s.is_degenerate(), "zero-margin ties must be visible");
+        assert!(!s.bit(), "tie resolves to the conventional 0 bit");
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! `|offset + Σ α x − Σ β y|` for the configuration-independent bypass
 //! delay offset of real hardware.
 
+use ropuf_telemetry as telemetry;
+
 use crate::config::{ConfigVector, ParityPolicy};
 use crate::select::{validate_inputs, PairSelection};
 
@@ -73,16 +75,20 @@ pub fn case2_with_offset(
     let (k_min, neg_d_min) = extreme_prefix(beta, alpha, -offset_ps, parity);
     let d_min = -neg_d_min;
 
-    if d_max.abs() >= d_min.abs() {
+    let selection = if d_max.abs() >= d_min.abs() {
+        telemetry::counter("select.case2.forward_wins", 1);
         let top = select_extreme(alpha, k_max, Extreme::Slowest);
         let bottom = select_extreme(beta, k_max, Extreme::Fastest);
         PairSelection::new(
             ConfigVector::from_selected(n, &top),
             ConfigVector::from_selected(n, &bottom),
             d_max.abs(),
+            // Strict: an exact tie (D == 0) has no slower ring; the
+            // conventional `false` is flagged via `is_degenerate`.
             d_max > 0.0,
         )
     } else {
+        telemetry::counter("select.case2.reverse_wins", 1);
         let top = select_extreme(alpha, k_min, Extreme::Fastest);
         let bottom = select_extreme(beta, k_min, Extreme::Slowest);
         PairSelection::new(
@@ -91,7 +97,11 @@ pub fn case2_with_offset(
             d_min.abs(),
             d_min > 0.0,
         )
+    };
+    if selection.is_degenerate() {
+        telemetry::counter("select.case2.degenerate", 1);
     }
+    selection
 }
 
 /// Maximizes `offset + Σ_{i≤k}(slow_desc[i] − fast_asc[i])` over
@@ -204,6 +214,39 @@ mod tests {
         let s = case2(&d, &d, ParityPolicy::Ignore);
         assert_eq!(s.margin(), 0.0);
         assert_eq!(s.top().selected_count(), 0);
+    }
+
+    #[test]
+    fn zero_margin_pairs_are_flagged_degenerate() {
+        // Regression: `d_max > 0.0` makes bit() always false when the
+        // achieved margin is exactly 0 (constant rings), silently
+        // biasing degenerate pairs toward 0. The bias is unavoidable —
+        // there is no slower ring — but it must be *visible*.
+        let d = [10.0, 10.0, 10.0];
+        for parity in [ParityPolicy::Ignore, ParityPolicy::ForceOdd] {
+            let s = case2(&d, &d, parity);
+            assert_eq!(s.margin(), 0.0);
+            assert!(!s.bit(), "tie resolves to the conventional 0 bit");
+            assert!(s.is_degenerate(), "callers must be able to see the tie");
+        }
+        // A genuine margin is not degenerate, however small.
+        let s = case2(&[10.0, 10.0], &[10.0, 10.000001], ParityPolicy::Ignore);
+        assert!(!s.is_degenerate());
+        assert!(s.margin() > 0.0);
+    }
+
+    #[test]
+    fn forced_parity_degenerate_pairs_are_flagged() {
+        // ForceOdd on constant rings selects one stage per ring and
+        // still ties exactly — degenerate even with a non-empty config.
+        let d = [10.0, 10.0];
+        let s = case2(&d, &d, ParityPolicy::ForceOdd);
+        assert_eq!(s.top().selected_count(), 1);
+        assert!(s.is_degenerate());
+        assert!(!s.bit());
+        // A nonzero bypass offset breaks the tie: margin |offset| > 0.
+        let s = case2_with_offset(&d, &d, 4.0, ParityPolicy::Ignore);
+        assert!(!s.is_degenerate());
     }
 
     #[test]

@@ -61,8 +61,20 @@ impl Selection {
 
     /// The enrolled PUF bit: `true` when the configured top ring is
     /// slower than the bottom ring.
+    ///
+    /// When the selection is [degenerate](Self::is_degenerate) the two
+    /// rings tie exactly and this returns the conventional `false` —
+    /// check `is_degenerate()` before treating the bit as entropy.
     pub fn bit(&self) -> bool {
         self.top_is_slower
+    }
+
+    /// Whether the achieved margin is exactly zero: the configured
+    /// rings tie, so [`bit`](Self::bit) is a convention (always
+    /// `false`), not a silicon signature. Reliability metrics and
+    /// fleet statistics should exclude or down-weight such pairs.
+    pub fn is_degenerate(&self) -> bool {
+        self.margin == 0.0
     }
 }
 
@@ -113,8 +125,23 @@ impl PairSelection {
 
     /// The enrolled PUF bit: `true` when the configured top ring is
     /// slower than the bottom ring.
+    ///
+    /// When the selection is [degenerate](Self::is_degenerate) the two
+    /// rings tie exactly (`D = 0`, e.g. constant rings) and the strict
+    /// `D > 0` comparison resolves to `false` by convention — without
+    /// [`is_degenerate`](Self::is_degenerate) such pairs silently
+    /// biased downstream statistics toward 0.
     pub fn bit(&self) -> bool {
         self.top_is_slower
+    }
+
+    /// Whether the achieved margin is exactly zero: the optimal
+    /// configurations tie, so [`bit`](Self::bit) carries no silicon
+    /// signature. Callers computing reliability or uniqueness figures
+    /// should exclude or down-weight degenerate pairs instead of
+    /// counting their conventional 0 bits as entropy.
+    pub fn is_degenerate(&self) -> bool {
+        self.margin == 0.0
     }
 
     /// The 2n-bit combined `top ‖ bottom` vector used by the paper's

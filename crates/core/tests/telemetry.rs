@@ -1,0 +1,207 @@
+//! Integration coverage for the telemetry instrumentation: JSON-lines
+//! output must parse line by line, span nesting must balance, and the
+//! counters the parallel runner emits must be exact at every thread
+//! count. Each section runs under [`telemetry::scoped`], which
+//! serializes scopes across the whole test binary so concurrent tests
+//! cannot mix their counters.
+
+use std::sync::Arc;
+
+use ropuf_core::fleet::{parallel_map_indexed, FleetConfig, FleetEngine, Layout};
+use ropuf_core::puf::EnrollOptions;
+use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+use ropuf_telemetry::{self as telemetry, JsonLinesSink, MemorySink};
+
+fn engine(boards: usize) -> FleetEngine {
+    FleetEngine::new(
+        SiliconSim::default_spartan(),
+        FleetConfig {
+            boards,
+            units: 80,
+            cols: 8,
+            stages: 4,
+            layout: Layout::Interleaved,
+            opts: EnrollOptions::default(),
+            corners: vec![Environment::nominal(), Environment::new(1.32, 55.0)],
+            response_probe: DelayProbe::new(0.25, 1),
+            votes: 1,
+        },
+    )
+    .expect("valid fleet config")
+}
+
+/// Minimal structural validation of one JSON object on one line:
+/// balanced braces/brackets outside strings, no control characters
+/// inside strings, and the expected `"type"` tag. The workspace carries
+/// no JSON parser, so this plays the role a real consumer's parser
+/// would.
+fn check_json_object(line: &str) -> Result<(), String> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return Err(format!("not an object: {line:?}"));
+    }
+    let mut depth: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            } else if (c as u32) < 0x20 {
+                return Err(format!("raw control character in string: {line:?}"));
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return Err(format!("unbalanced nesting: {line:?}"));
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_string {
+        return Err(format!("unterminated object: {line:?}"));
+    }
+    if !line.contains("\"type\":") {
+        return Err(format!("missing type tag: {line:?}"));
+    }
+    Ok(())
+}
+
+#[test]
+fn jsonl_sink_emits_parseable_lines() {
+    let dir = std::env::temp_dir().join(format!("ropuf-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.jsonl");
+    let sink = Arc::new(JsonLinesSink::create(&path).expect("create trace file"));
+    telemetry::scoped(sink, || {
+        engine(4).run_on(3, 2);
+        telemetry::warn("synthetic warning with \"quotes\" and a\ttab");
+    });
+    let text = std::fs::read_to_string(&path).expect("trace file readable");
+    std::fs::remove_dir_all(&dir).ok();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "trace file must not be empty");
+    for line in &lines {
+        check_json_object(line).unwrap();
+    }
+    // The stream must carry all three record kinds: per-board spans,
+    // the warning, and the counter/histogram snapshot from the flush.
+    for kind in [
+        "\"type\":\"span\"",
+        "\"type\":\"warn\"",
+        "\"type\":\"counter\"",
+    ] {
+        assert!(
+            lines.iter().any(|l| l.contains(kind)),
+            "no {kind} line in trace"
+        );
+    }
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("\"type\":\"span\"") && l.contains("fleet.board")),
+        "per-board spans missing from trace"
+    );
+    // The escaping survived: the tab must appear as \t, never raw.
+    assert!(text.contains(r"\t"), "warning tab must be escaped");
+}
+
+#[test]
+fn span_nesting_balances() {
+    let sink = Arc::new(MemorySink::default());
+    telemetry::scoped(sink.clone(), || {
+        engine(6).run_on(11, 3);
+    });
+    let spans = sink.spans();
+    assert!(!spans.is_empty());
+    // Every closed span carries the depth at which it was opened; a
+    // child (grow/enroll/respond, depth 1) implies its board parent
+    // (depth 0) eventually closes too, on the same thread.
+    for span in &spans {
+        match span.name {
+            "fleet.board" => assert_eq!(span.depth, 0, "board spans are roots"),
+            "fleet.grow" | "fleet.enroll" | "fleet.respond" => {
+                assert_eq!(span.depth, 1, "{} nests inside fleet.board", span.name);
+            }
+            _ => {}
+        }
+    }
+    // Per board: one root span and exactly one grow/enroll/respond.
+    assert_eq!(sink.span_count("fleet.board"), 6);
+    assert_eq!(sink.span_count("fleet.grow"), 6);
+    assert_eq!(sink.span_count("fleet.enroll"), 6);
+    assert_eq!(sink.span_count("fleet.respond"), 6);
+    // Each thread opened and closed strictly nested spans, so for
+    // every (thread, depth=1) span there is a (thread, depth=0) span
+    // that finished at or after it.
+    for child in spans.iter().filter(|s| s.depth == 1) {
+        let child_end = child.start_us + child.dur_us;
+        assert!(
+            spans.iter().any(|p| {
+                p.depth == 0 && p.thread == child.thread && p.start_us + p.dur_us >= child_end
+            }),
+            "child span {child:?} has no enclosing root on its thread"
+        );
+    }
+}
+
+#[test]
+fn parallel_counters_are_exact_at_every_thread_count() {
+    const ITEMS: usize = 137;
+    for threads in [1usize, 2, 4, 8] {
+        let sink = Arc::new(MemorySink::default());
+        let out = telemetry::scoped(sink.clone(), || {
+            parallel_map_indexed(ITEMS, threads, |i| i * i)
+        });
+        assert_eq!(out, (0..ITEMS).map(|i| i * i).collect::<Vec<_>>());
+        let snapshot = sink.snapshot().expect("flush delivered a snapshot");
+        // Every item is processed exactly once, however the workers
+        // raced for them.
+        assert_eq!(
+            snapshot.counter("parallel.items"),
+            Some(ITEMS as u64),
+            "threads = {threads}"
+        );
+        let workers = snapshot.counter("parallel.workers").expect("workers");
+        assert!(
+            workers >= 1 && workers <= threads as u64,
+            "threads = {threads}, workers = {workers}"
+        );
+        // Work-stealing moves items between workers but never over the
+        // total: no worker can claim more than count items above its
+        // fair share, and with one thread nothing can be stolen.
+        let steals = snapshot.counter("parallel.steals").unwrap_or(0);
+        assert!(steals <= ITEMS as u64, "threads = {threads}");
+        if threads == 1 {
+            assert_eq!(steals, 0, "serial path cannot steal");
+        }
+        // The per-worker distribution histogram accounts for every item.
+        let hist = snapshot
+            .histogram("parallel.worker_items")
+            .expect("worker histogram");
+        assert_eq!(hist.count, workers, "threads = {threads}");
+        assert_eq!(hist.sum, ITEMS as u64, "threads = {threads}");
+    }
+}
+
+#[test]
+fn warnings_reach_the_sink_verbatim() {
+    let sink = Arc::new(MemorySink::default());
+    telemetry::scoped(sink.clone(), || {
+        telemetry::warn("RAYON_NUM_THREADS=\"8x\" is not a positive integer");
+    });
+    assert_eq!(
+        sink.warnings(),
+        vec!["RAYON_NUM_THREADS=\"8x\" is not a positive integer".to_string()]
+    );
+}

@@ -39,6 +39,13 @@ pub fn mcv_min_entropy(stream: &BitVec) -> Option<f64> {
 /// pairs, `H = −log₂ p_max` with
 /// `p_max = ½ + √(max(0, p_c − ½) / 2)` (binary collision bound).
 ///
+/// The stream is consumed as `⌊n/2⌋` non-overlapping pairs, so **for
+/// odd-length streams the final bit is dropped**: a 65-bit stream
+/// yields exactly the estimate of its 64-bit prefix. The truncation is
+/// deliberate (a dangling bit has no partner to collide with), but it
+/// means appending one bit to an even-length stream never changes the
+/// estimate.
+///
 /// Returns `None` for streams under 4 bits.
 ///
 /// # Examples
@@ -223,6 +230,26 @@ mod tests {
             collision_min_entropy(&BitVec::from_binary_str("10").unwrap()),
             None
         );
+    }
+
+    #[test]
+    fn collision_odd_length_drops_final_bit() {
+        // Alternating pairs never collide: p_c = 0 ⇒ p_max = ½ ⇒ H = 1.
+        let even = BitVec::from_binary_str(&"01".repeat(32)).unwrap();
+        assert_eq!(collision_min_entropy(&even), Some(1.0));
+        // Appending a 65th bit (which, paired greedily, would collide
+        // with nothing — or with its neighbor if pairing re-chunked)
+        // changes nothing: the dangling bit is dropped.
+        let odd = BitVec::from_binary_str(&format!("{}1", "01".repeat(32))).unwrap();
+        assert_eq!(collision_min_entropy(&odd), Some(1.0));
+        assert_eq!(collision_min_entropy(&odd), collision_min_entropy(&even));
+        // Pinned estimate for an odd-length constant stream: every
+        // pair collides, p_c = 1 ⇒ p_max = 1 ⇒ H = 0, bit 65 ignored.
+        let constant_odd = BitVec::from_binary_str(&"1".repeat(65)).unwrap();
+        assert_eq!(collision_min_entropy(&constant_odd), Some(0.0));
+        // 5-bit boundary case: two pairs are enough to estimate.
+        let five = BitVec::from_binary_str("01011").unwrap();
+        assert_eq!(collision_min_entropy(&five), Some(1.0));
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Counter and histogram storage: lock-free on the record path, locked
+//! only to register a new name.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of histogram buckets. Bucket `i` counts values `v` with
+/// `2^(i-1) <= v < 2^i` (bucket 0 counts zeros and ones); the last
+/// bucket is unbounded above. With microsecond recordings this spans
+/// sub-microsecond to ~35 minutes.
+pub const BUCKETS: usize = 32;
+
+/// Upper bound (exclusive) of bucket `i`, in the recorded unit;
+/// `u64::MAX` for the final catch-all bucket.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    // 0 and 1 land in bucket 0; otherwise floor(log2(value)), capped.
+    (63 - value.max(1).leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// A fixed-bucket histogram with power-of-two bucket bounds.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let mut counts = [0u64; BUCKETS];
+        for (slot, bucket) in counts.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            name: name.to_string(),
+            counts,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Per-bucket observation counts (see [`bucket_upper_bound`]).
+    pub counts: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value, or 0 with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of every counter and histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` for every registered counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Every registered histogram, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Snapshot of histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+/// Name-keyed storage for counters and histograms.
+#[derive(Default)]
+pub(crate) struct Registry {
+    counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    pub(crate) fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
+        if let Some(c) = self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    pub(crate) fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        if let Some(h) = self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .entry(name)
+                .or_default(),
+        )
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(&name, value)| (name.to_string(), value.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(&name, histogram)| histogram.snapshot(name))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.counters
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self.histograms
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_the_line() {
+        assert_eq!(bucket_upper_bound(0), 2);
+        assert_eq!(bucket_upper_bound(10), 2048);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+        for v in [0u64, 1, 2, 1000, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            // The final bucket is a catch-all, inclusive of u64::MAX.
+            if i + 1 < BUCKETS {
+                assert!(v < bucket_upper_bound(i), "value {v} bucket {i}");
+            }
+            if i > 0 {
+                assert!(v >= bucket_upper_bound(i - 1), "value {v} bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_max() {
+        let h = Histogram::default();
+        for v in [3, 5, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot("h");
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 108);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.counts.iter().sum::<u64>(), 3);
+        assert!((s.mean() - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_reuses_handles() {
+        let r = Registry::default();
+        r.counter("a").fetch_add(1, Ordering::Relaxed);
+        r.counter("a").fetch_add(2, Ordering::Relaxed);
+        r.histogram("h").record(9);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a"), Some(3));
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+        r.reset();
+        assert_eq!(r.snapshot(), Snapshot::default());
+    }
+}

@@ -43,6 +43,7 @@ use ropuf::dataset::ParseCsvError;
 use ropuf::nist::suite::{run_suite, SuiteConfig};
 use ropuf::num::bits::{BitVec, ParseBitsError};
 use ropuf::silicon::{DelayProbe, Environment, SiliconSim};
+use ropuf::telemetry;
 
 /// Everything that can go wrong in the CLI, typed per domain so exit
 /// paths stay greppable (no `Box<dyn Error>` laundering).
@@ -123,15 +124,60 @@ impl From<DistillError> for CliError {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((command, options)) = parse(&args) else {
+    let Some((command, mut options)) = parse(&args) else {
         return usage("expected: ropuf <command> [--flag value]...");
     };
-    match dispatch(&command, &options) {
+    if let Err(e) = init_tracing(&mut options) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let result = {
+        let _cmd_span = telemetry::span(command_span(&command));
+        dispatch(&command, &options)
+    };
+    telemetry::flush();
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Installs the telemetry sink from `--trace-out` (consumed here so
+/// subcommands never see it) or, failing that, the `ROPUF_TRACE`
+/// environment variable. Trace data goes to the named file (or stderr
+/// for the `summary` target) — never stdout, which carries only
+/// seed-determined results.
+fn init_tracing(options: &mut HashMap<String, String>) -> Result<(), CliError> {
+    match options.remove("trace-out") {
+        Some(target) => telemetry::init_target(&target).map_err(|source| CliError::Io {
+            path: target,
+            source,
+        }),
+        None => telemetry::init_from_env()
+            .map(|_| ())
+            .map_err(|source| CliError::Io {
+                path: format!("${}", telemetry::TRACE_ENV),
+                source,
+            }),
+    }
+}
+
+/// Static span name for the top-level command (span names are interned
+/// `&'static str`s, so map rather than format).
+fn command_span(command: &str) -> &'static str {
+    match command {
+        "generate-vt" => "cli.generate-vt",
+        "generate-inhouse" => "cli.generate-inhouse",
+        "extract" => "cli.extract",
+        "nist" => "cli.nist",
+        "rth" => "cli.rth",
+        "fleet" => "cli.fleet",
+        "enroll" => "cli.enroll",
+        "respond" => "cli.respond",
+        _ => "cli.unknown",
     }
 }
 
@@ -165,7 +211,9 @@ fn usage(problem: &str) -> ExitCode {
            enroll            --out FILE [--seed N=1] [--units N=480] [--stages N=7]\n\
                              [--mode case1|case2] [--threshold PS=0]\n\
            respond           --enrollment FILE [--seed N=1] [--units N=480]\n\
-                             [--voltage V=1.20] [--temperature C=25] [--votes N=1]"
+                             [--voltage V=1.20] [--temperature C=25] [--votes N=1]\n\
+         every command also accepts --trace-out FILE|summary (or set\n\
+         ROPUF_TRACE) to write structured telemetry; see docs/OBSERVABILITY.md"
     );
     ExitCode::FAILURE
 }
@@ -310,7 +358,9 @@ fn nist(opts: &HashMap<String, String>) -> Result<(), CliError> {
     } else {
         SuiteConfig::default()
     };
+    let suite_span = telemetry::span("cli.nist.suite");
     let report = run_suite(&streams, &config);
+    drop(suite_span);
     println!("{report}");
     println!(
         "verdict: {}",
@@ -387,8 +437,13 @@ fn fleet(opts: &HashMap<String, String>) -> Result<(), CliError> {
         ..FleetConfig::default()
     };
     let corners = config.corners.clone();
+    let setup_span = telemetry::span("cli.fleet.setup");
     let engine = FleetEngine::new(SiliconSim::default_spartan(), config)?;
+    drop(setup_span);
+    let run_span = telemetry::span("cli.fleet.run");
     let run = engine.run_on(seed, threads);
+    drop(run_span);
+    let _report_span = telemetry::span("cli.fleet.report");
     for record in &run.records {
         println!(
             "board {:3}  {}  flips {}",
@@ -436,13 +491,16 @@ fn enroll(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let stages = get(opts, "stages", 7usize)?;
     let threshold = get(opts, "threshold", 0.0f64)?;
     let mode = parse_mode(opts)?;
+    let grow_span = telemetry::span("cli.enroll.grow");
     let (board, tech) = demo_board(seed, units);
+    drop(grow_span);
     let enroll_opts = EnrollOptions::builder()
         .selection(mode)
         .threshold_ps(threshold)
         .try_build()?;
     // Per-pair seeded streams, fanned out over the machine's cores:
     // bit-identical to the serial `enroll_seeded` reference.
+    let enroll_span = telemetry::span("cli.enroll.enroll");
     let enrollment = ConfigurableRoPuf::tiled_interleaved(units, stages).enroll_par(
         seed ^ 0xE14A,
         &board,
@@ -451,6 +509,7 @@ fn enroll(opts: &HashMap<String, String>) -> Result<(), CliError> {
         &enroll_opts,
         worker_threads(),
     );
+    drop(enroll_span);
     write_file(out, &enrollment_to_text(&enrollment))?;
     eprintln!(
         "enrolled {} bits ({} pairs provisioned) to {out}",
@@ -469,15 +528,19 @@ fn respond(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let temperature = get(opts, "temperature", 25.0f64)?;
     let votes = get(opts, "votes", 1usize)?;
     let enrollment = enrollment_from_text(&read_file(path)?)?;
+    let grow_span = telemetry::span("cli.respond.grow");
     let (board, tech) = demo_board(seed, units);
+    drop(grow_span);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4E5);
     let env = Environment::new(voltage, temperature);
     let probe = DelayProbe::new(0.25, 1);
+    let respond_span = telemetry::span("cli.respond.respond");
     let response = if votes > 1 {
         enrollment.respond_majority(&mut rng, &board, &tech, env, &probe, votes)
     } else {
         enrollment.respond(&mut rng, &board, &tech, env, &probe)
     };
+    drop(respond_span);
     let flips = response
         .hamming_distance(&enrollment.expected_bits())
         .expect("lengths match");

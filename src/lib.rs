@@ -10,6 +10,7 @@ pub use ropuf_metrics as metrics;
 pub use ropuf_nist as nist;
 pub use ropuf_num as num;
 pub use ropuf_silicon as silicon;
+pub use ropuf_telemetry as telemetry;
 
 /// The types most programs start with.
 ///
