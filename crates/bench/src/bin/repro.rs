@@ -13,6 +13,7 @@
 
 use std::process::ExitCode;
 
+use ropuf_bench::check;
 use ropuf_bench::experiments::{
     ablations, budget_table, configs, fleet_engine, randomness, reliability, threshold, uniqueness,
 };
@@ -22,6 +23,8 @@ struct Options {
     seed: u64,
     boards: usize,
     out_dir: Option<std::path::PathBuf>,
+    baseline: Option<std::path::PathBuf>,
+    fresh: Option<std::path::PathBuf>,
 }
 
 fn main() -> ExitCode {
@@ -31,6 +34,8 @@ fn main() -> ExitCode {
         seed: 2015,
         boards: 198,
         out_dir: None,
+        baseline: None,
+        fresh: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -47,6 +52,14 @@ fn main() -> ExitCode {
             "--out" => match iter.next() {
                 Some(dir) => opts.out_dir = Some(std::path::PathBuf::from(dir)),
                 None => return usage("--out needs a directory"),
+            },
+            "--baseline" => match iter.next() {
+                Some(path) => opts.baseline = Some(std::path::PathBuf::from(path)),
+                None => return usage("--baseline needs a file"),
+            },
+            "--fresh" => match iter.next() {
+                Some(path) => opts.fresh = Some(std::path::PathBuf::from(path)),
+                None => return usage("--fresh needs a file"),
             },
             other if command.is_none() && !other.starts_with('-') => {
                 command = Some(other.to_string());
@@ -79,6 +92,8 @@ fn usage(problem: &str) -> ExitCode {
            table5            bits per board (Table V)\n\
            sec4e             reliable bits vs Rth on in-house data (4.E)\n\
            fleet             fleet-engine throughput + speedup (writes BENCH_fleet.json)\n\
+           check-bench       gate a fresh BENCH_fleet.json against a committed baseline\n\
+                             (--baseline FILE required; --fresh FILE, else measures live)\n\
            ablate-distiller  randomness with/without the distiller\n\
            ablate-parity     margin cost of odd-parity selection\n\
            ablate-noise      calibration quality vs probe noise\n\
@@ -98,11 +113,12 @@ fn usage(problem: &str) -> ExitCode {
 /// `<out>/<subcommand>.txt` when `--out` is given; returns false if the
 /// subcommand is unknown.
 fn run(command: &str, opts: &Options) -> bool {
-    // `all` fans out to per-command captures; `verify` must keep its
-    // process exit semantics (a failing verification exits nonzero,
-    // which the capture path would misreport as an unknown command);
-    // `fleet` routes `--out` itself so BENCH_fleet.json lands there.
-    if command != "all" && command != "verify" && command != "fleet" {
+    // `all` fans out to per-command captures; `verify` and
+    // `check-bench` must keep their process exit semantics (a failing
+    // gate exits nonzero, which the capture path would misreport as an
+    // unknown command); `fleet` routes `--out` itself so
+    // BENCH_fleet.json lands there.
+    if command != "all" && command != "verify" && command != "fleet" && command != "check-bench" {
         if let Some(dir) = &opts.out_dir {
             let text = capture(command, opts);
             if let Some(text) = text {
@@ -260,6 +276,77 @@ fn run_to_stdout(command: &str, opts: &Options) -> bool {
             {
                 Ok(()) => eprintln!("wrote {}", path.display()),
                 Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
+        "check-bench" => {
+            banner("Bench regression gate — fleet engine");
+            let Some(baseline_path) = &opts.baseline else {
+                eprintln!("error: check-bench requires --baseline FILE");
+                std::process::exit(1);
+            };
+            let load = |path: &std::path::Path| {
+                let record = std::fs::read_to_string(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|text| check::BenchRecord::parse(&text));
+                match record {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("error: {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            };
+            let baseline = load(baseline_path);
+            let fresh = match &opts.fresh {
+                Some(path) => load(path),
+                None => {
+                    // Measure live with the baseline's own fleet shape
+                    // so the comparison is apples to apples. Best of
+                    // three: throughput on a shared runner is noisy
+                    // downward (contention), never upward, so the max
+                    // estimates true machine capacity and the gate
+                    // trips only on genuine regressions.
+                    eprintln!(
+                        "measuring fresh fleet bench ({} boards, best of 3)...",
+                        baseline.boards
+                    );
+                    (0..3)
+                        .map(|_| {
+                            let out = fleet_engine::run(&fleet_engine::Config {
+                                seed: opts.seed,
+                                boards: baseline.boards as usize,
+                                ..fleet_engine::Config::default()
+                            });
+                            check::BenchRecord::parse(&out.to_json())
+                                .expect("self-generated bench record parses")
+                        })
+                        .max_by(|a, b| a.boards_per_sec.total_cmp(&b.boards_per_sec))
+                        .expect("three measurement passes")
+                }
+            };
+            let describe = |label: &str, r: &check::BenchRecord| {
+                println!(
+                    "{label}: {} boards x {} bits, {:.1} boards/sec, deterministic {}, \
+                     uniqueness {}",
+                    r.boards,
+                    r.bits_per_board,
+                    r.boards_per_sec,
+                    r.deterministic,
+                    r.uniqueness
+                        .map_or("null".to_string(), |u| format!("{u:.6}")),
+                );
+            };
+            describe("baseline", &baseline);
+            describe("fresh   ", &fresh);
+            let violations = check::compare(&baseline, &fresh, &check::Tolerance::default());
+            if violations.is_empty() {
+                println!("check-bench: PASS");
+            } else {
+                for v in &violations {
+                    println!("violation: {v}");
+                }
+                println!("check-bench: FAIL ({} violation(s))", violations.len());
+                std::process::exit(1);
             }
         }
         "ablate-distiller" => {

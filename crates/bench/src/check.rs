@@ -1,0 +1,250 @@
+//! Tolerance-banded comparison of two fleet bench records — the
+//! `repro check-bench` CI gate.
+//!
+//! The committed `BENCH_fleet.json` is a claim about the engine:
+//! deterministic, this uniqueness, roughly this throughput. This module
+//! diffs a freshly measured record against the committed baseline and
+//! reports every violated claim, so the CI job is one process exit
+//! code instead of a human squinting at JSON:
+//!
+//! * **shape** (`boards`, `bits_per_board`) must match exactly — a
+//!   drifted shape means the two records measure different workloads
+//!   and every other comparison is meaningless;
+//! * **determinism** must hold in *both* records — a `false` anywhere
+//!   is a correctness bug, never a tolerance question;
+//! * **uniqueness** may move only within an absolute band (the quality
+//!   statistic is seed-determined, so any drift means the algorithm
+//!   changed);
+//! * **throughput** may regress only by a bounded fraction
+//!   (wall-clock is noisy, so improvements and small dips pass).
+//!
+//! Records are the hand-rolled JSON written by
+//! [`crate::experiments::fleet_engine::Outcome::to_json`]; parsing
+//! reuses the first-occurrence scanner from the telemetry health layer
+//! (the workspace carries no serde).
+
+use ropuf_telemetry::health::extract_number;
+
+/// The comparable subset of a `BENCH_fleet.json` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Fleet size the bench ran.
+    pub boards: u64,
+    /// Bits per board (floorplan pair count).
+    pub bits_per_board: u64,
+    /// Parallel throughput, boards per second.
+    pub boards_per_sec: f64,
+    /// Whether the parallel pass matched the serial reference.
+    pub deterministic: bool,
+    /// Fleet uniqueness, when the record carried one (`null` when
+    /// fewer than two boards were comparable).
+    pub uniqueness: Option<f64>,
+}
+
+impl BenchRecord {
+    /// Parses the fields this gate compares out of a bench JSON
+    /// document. Errors name the first missing field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let number = |key: &str| {
+            extract_number(text, key).ok_or_else(|| format!("missing numeric field {key:?}"))
+        };
+        let boards = number("boards")? as u64;
+        let bits_per_board = number("bits_per_board")? as u64;
+        let boards_per_sec = number("boards_per_sec")?;
+        let deterministic = if text.contains("\"deterministic\": true") {
+            true
+        } else if text.contains("\"deterministic\": false") {
+            false
+        } else {
+            return Err("missing boolean field \"deterministic\"".to_string());
+        };
+        Ok(Self {
+            boards,
+            bits_per_board,
+            boards_per_sec,
+            deterministic,
+            uniqueness: extract_number(text, "uniqueness"),
+        })
+    }
+}
+
+/// Accepted drift between a baseline and a fresh bench record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Largest accepted fractional throughput loss (0.25 = fresh may
+    /// be up to 25 % slower than the baseline; faster always passes).
+    pub max_throughput_regression: f64,
+    /// Largest accepted absolute change of the uniqueness statistic.
+    pub max_uniqueness_delta: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self {
+            max_throughput_regression: 0.25,
+            max_uniqueness_delta: 1e-9,
+        }
+    }
+}
+
+/// Compares `fresh` against `baseline`; returns one message per
+/// violated claim (empty = gate passes).
+pub fn compare(baseline: &BenchRecord, fresh: &BenchRecord, tol: &Tolerance) -> Vec<String> {
+    let mut violations = Vec::new();
+    if fresh.boards != baseline.boards {
+        violations.push(format!(
+            "fleet shape changed: baseline ran {} boards, fresh ran {}",
+            baseline.boards, fresh.boards
+        ));
+    }
+    if fresh.bits_per_board != baseline.bits_per_board {
+        violations.push(format!(
+            "fleet shape changed: baseline produced {} bits/board, fresh produced {}",
+            baseline.bits_per_board, fresh.bits_per_board
+        ));
+    }
+    if !baseline.deterministic {
+        violations.push("baseline record claims deterministic: false".to_string());
+    }
+    if !fresh.deterministic {
+        violations.push("fresh run was NOT deterministic (parallel != serial)".to_string());
+    }
+    match (baseline.uniqueness, fresh.uniqueness) {
+        (Some(b), Some(f)) => {
+            let delta = (f - b).abs();
+            if delta > tol.max_uniqueness_delta {
+                violations.push(format!(
+                    "uniqueness drifted: baseline {b}, fresh {f} (|Δ| {delta:e} > {:e})",
+                    tol.max_uniqueness_delta
+                ));
+            }
+        }
+        (Some(b), None) => {
+            violations.push(format!("uniqueness vanished: baseline {b}, fresh null"))
+        }
+        (None, Some(f)) => {
+            violations.push(format!("uniqueness appeared: baseline null, fresh {f}"))
+        }
+        (None, None) => {}
+    }
+    // Only throughput is compared band-wise; the shape checks above
+    // make the boards/sec figures commensurable.
+    let floor = baseline.boards_per_sec * (1.0 - tol.max_throughput_regression);
+    if fresh.boards_per_sec < floor {
+        violations.push(format!(
+            "throughput regressed beyond {:.0}%: baseline {:.1} boards/sec, fresh {:.1} \
+             (floor {:.1})",
+            100.0 * tol.max_throughput_regression,
+            baseline.boards_per_sec,
+            fresh.boards_per_sec,
+            floor
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(boards_per_sec: f64) -> BenchRecord {
+        BenchRecord {
+            boards: 64,
+            bits_per_board: 34,
+            boards_per_sec,
+            deterministic: true,
+            uniqueness: Some(0.4969070961718023),
+        }
+    }
+
+    #[test]
+    fn identical_records_pass() {
+        let r = record(1000.0);
+        assert!(compare(&r, &r, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn parse_reads_the_committed_shape() {
+        let text = r#"{
+  "boards": 64,
+  "bits_per_board": 34,
+  "threads": 1,
+  "serial_secs": 0.06798537,
+  "parallel_secs": 0.044350082,
+  "boards_per_sec": 1443.0638482246775,
+  "speedup": 1.5329254633621647,
+  "deterministic": true,
+  "uniqueness": 0.4969070961718023,
+  "corners": [{"voltage_v": 1.2, "temperature_c": 25, "flip_rate": 0}],
+  "stages": {"grow_us": 5028, "enroll_us": 30641, "respond_us": 8297, "boards": 64, "steals": 0}
+}"#;
+        let r = BenchRecord::parse(text).unwrap();
+        assert_eq!(r.boards, 64);
+        assert_eq!(r.bits_per_board, 34);
+        assert!(r.deterministic);
+        assert_eq!(r.uniqueness, Some(0.4969070961718023));
+        assert!((r.boards_per_sec - 1443.0638482246775).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields() {
+        assert!(BenchRecord::parse("{}").unwrap_err().contains("boards"));
+        assert!(BenchRecord::parse(
+            "{\"boards\": 1, \"bits_per_board\": 2, \"boards_per_sec\": 3}"
+        )
+        .unwrap_err()
+        .contains("deterministic"));
+    }
+
+    #[test]
+    fn fabricated_2x_regression_fails() {
+        let baseline = record(1000.0);
+        let fresh = record(500.0); // 2x slower
+        let violations = compare(&baseline, &fresh, &Tolerance::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("throughput regressed"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn small_throughput_dip_passes_but_speedup_always_passes() {
+        let baseline = record(1000.0);
+        assert!(compare(&baseline, &record(800.0), &Tolerance::default()).is_empty());
+        assert!(compare(&baseline, &record(5000.0), &Tolerance::default()).is_empty());
+        // Exactly at the floor still passes (band is inclusive).
+        assert!(compare(&baseline, &record(750.0), &Tolerance::default()).is_empty());
+        assert!(!compare(&baseline, &record(749.0), &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn determinism_and_uniqueness_drift_are_hard_failures() {
+        let baseline = record(1000.0);
+        let mut broken = record(1000.0);
+        broken.deterministic = false;
+        assert!(compare(&baseline, &broken, &Tolerance::default())
+            .iter()
+            .any(|v| v.contains("NOT deterministic")));
+        let mut drifted = record(1000.0);
+        drifted.uniqueness = Some(0.51);
+        assert!(compare(&baseline, &drifted, &Tolerance::default())
+            .iter()
+            .any(|v| v.contains("uniqueness drifted")));
+        let mut vanished = record(1000.0);
+        vanished.uniqueness = None;
+        assert!(compare(&baseline, &vanished, &Tolerance::default())
+            .iter()
+            .any(|v| v.contains("vanished")));
+    }
+
+    #[test]
+    fn shape_changes_are_flagged() {
+        let baseline = record(1000.0);
+        let mut fresh = record(1000.0);
+        fresh.boards = 32;
+        fresh.bits_per_board = 17;
+        let violations = compare(&baseline, &fresh, &Tolerance::default());
+        assert_eq!(violations.len(), 2, "{violations:?}");
+    }
+}

@@ -259,4 +259,29 @@ mod tests {
         // but the counters are exact.
         assert_eq!(out.stages.boards, 8);
     }
+
+    /// The recorded thread count must be the count the parallel pass
+    /// actually resolved to — not the requested `Option` and never a
+    /// hardcoded `1` — so `parallel_secs` in `BENCH_fleet.json` is
+    /// always attributable to a concrete worker count.
+    #[test]
+    fn outcome_records_the_resolved_thread_count() {
+        let explicit = run(&Config {
+            boards: 4,
+            units: 80,
+            stages: 4,
+            threads: Some(3),
+            ..Config::default()
+        });
+        assert_eq!(explicit.threads, 3);
+        assert!(explicit.to_json().contains("\"threads\": 3"));
+        let auto = run(&Config {
+            boards: 4,
+            units: 80,
+            stages: 4,
+            threads: None,
+            ..Config::default()
+        });
+        assert_eq!(auto.threads, worker_threads());
+    }
 }

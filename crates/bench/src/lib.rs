@@ -21,7 +21,12 @@
 //! | Table V (bits per board) | [`experiments::budget_table::run`] | `table5` |
 //! | §IV.E (Rth sweep) | [`experiments::threshold::run`] | `sec4e` |
 //! | Fleet-engine throughput (`BENCH_fleet.json`) | [`experiments::fleet_engine::run`] | `fleet` |
+//!
+//! The committed `BENCH_fleet.json` doubles as a regression baseline:
+//! `repro check-bench` diffs a fresh record against it with the
+//! tolerance bands of [`check`].
 
+pub mod check;
 pub mod experiments;
 pub mod fleet;
 pub mod render;

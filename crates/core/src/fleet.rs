@@ -48,6 +48,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ropuf_num::bits::BitVec;
+use ropuf_silicon::aging::AgingModel;
 use ropuf_silicon::board::BoardId;
 use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
 use ropuf_telemetry as telemetry;
@@ -190,6 +191,20 @@ pub enum Layout {
     Interleaved,
 }
 
+/// Lifetime drift injected between enrollment and response: each board
+/// is enrolled fresh, then responds on silicon aged by
+/// [`AgingModel::age_board`] — the deployment scenario where helper
+/// data was provisioned at year 0 and the device answers years later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetAging {
+    /// The drift model.
+    pub model: AgingModel,
+    /// Device age at response time, years. `0.0` is exactly the fresh
+    /// path (no RNG is drawn, so enrollment *and* response bits match a
+    /// run with no aging configured).
+    pub years: f64,
+}
+
 /// Configuration of a fleet run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -211,6 +226,11 @@ pub struct FleetConfig {
     pub response_probe: DelayProbe,
     /// Majority votes per response read (odd; `1` = single read).
     pub votes: usize,
+    /// Optional lifetime drift applied to the silicon between
+    /// enrollment and response (`None` = respond on fresh silicon).
+    /// Aging draws from its own seed stream, so enrollment bits are
+    /// identical with and without it.
+    pub aging: Option<FleetAging>,
 }
 
 impl Default for FleetConfig {
@@ -225,6 +245,7 @@ impl Default for FleetConfig {
             corners: vec![Environment::nominal(), Environment::new(0.98, 25.0)],
             response_probe: DelayProbe::new(0.25, 1),
             votes: 1,
+            aging: None,
         }
     }
 }
@@ -326,6 +347,9 @@ pub struct FleetEngine {
 const STREAM_GROW: u64 = 0;
 const STREAM_ENROLL: u64 = 1;
 const STREAM_CORNER_BASE: u64 = 2;
+// Far above any realistic corner count so the aging stream can never
+// collide with a corner stream.
+const STREAM_AGING: u64 = u64::MAX;
 
 impl FleetEngine {
     /// Validates the configuration and builds the engine.
@@ -353,6 +377,17 @@ impl FleetEngine {
                 "{} units cannot host a {}-stage ring pair",
                 config.units, config.stages
             )));
+        }
+        if let Some(aging) = &config.aging {
+            if let Err(msg) = aging.model.validate() {
+                return Err(Error::Fleet(format!("invalid aging model: {msg}")));
+            }
+            if !(aging.years.is_finite() && aging.years >= 0.0) {
+                return Err(Error::Fleet(format!(
+                    "device age must be finite and non-negative, got {}",
+                    aging.years
+                )));
+            }
         }
         let puf = match config.layout {
             Layout::Tiled => ConfigurableRoPuf::tiled(config.units, config.stages),
@@ -443,6 +478,18 @@ impl FleetEngine {
             )
         };
         let expected = enrollment.expected_bits();
+        // Deployment drift: responses read back from aged silicon while
+        // the enrollment above stays the year-0 reference. The aging
+        // RNG is its own seed stream, so configuring it cannot perturb
+        // enrollment or corner streams.
+        let board = match &config.aging {
+            Some(aging) if aging.years > 0.0 => {
+                let _span = telemetry::span("fleet.age");
+                let mut age_rng = StdRng::seed_from_u64(split_seed(board_seed, STREAM_AGING));
+                aging.model.age_board(&mut age_rng, &board, aging.years)
+            }
+            _ => board,
+        };
         let respond_span = telemetry::span("fleet.respond");
         let corner_flips = config
             .corners
@@ -585,6 +632,125 @@ mod tests {
         let run = engine.run_on(11, 2);
         let rates = run.corner_flip_rates();
         assert!(rates[0] < 0.05, "nominal flip rate {}", rates[0]);
+    }
+
+    #[test]
+    fn aging_leaves_enrollment_bits_untouched() {
+        let sim = SiliconSim::default_spartan;
+        let config = FleetConfig {
+            boards: 8,
+            units: 60,
+            cols: 6,
+            stages: 3,
+            ..FleetConfig::default()
+        };
+        let fresh = FleetEngine::new(sim(), config.clone())
+            .unwrap()
+            .run_on(5, 2);
+        let aged = FleetEngine::new(
+            sim(),
+            FleetConfig {
+                aging: Some(FleetAging {
+                    model: AgingModel::default(),
+                    years: 10.0,
+                }),
+                ..config
+            },
+        )
+        .unwrap()
+        .run_on(5, 2);
+        // Enrollment (and its margins) happen at year 0 either way.
+        assert_eq!(aged.expected_bits(), fresh.expected_bits());
+        for (a, f) in aged.records.iter().zip(&fresh.records) {
+            assert_eq!(a.board_seed, f.board_seed);
+            assert_eq!(a.margins_ps, f.margins_ps);
+        }
+    }
+
+    #[test]
+    fn zero_years_aging_is_the_fresh_path() {
+        let sim = SiliconSim::default_spartan;
+        let config = FleetConfig {
+            boards: 6,
+            units: 60,
+            cols: 6,
+            stages: 3,
+            ..FleetConfig::default()
+        };
+        let fresh = FleetEngine::new(sim(), config.clone())
+            .unwrap()
+            .run_on(9, 2);
+        let zero = FleetEngine::new(
+            sim(),
+            FleetConfig {
+                aging: Some(FleetAging {
+                    model: AgingModel::default(),
+                    years: 0.0,
+                }),
+                ..config
+            },
+        )
+        .unwrap()
+        .run_on(9, 2);
+        assert_eq!(zero.records, fresh.records);
+    }
+
+    #[test]
+    fn aged_fleet_stays_deterministic_across_thread_counts() {
+        let engine = FleetEngine::new(
+            SiliconSim::default_spartan(),
+            FleetConfig {
+                boards: 8,
+                units: 60,
+                cols: 6,
+                stages: 3,
+                aging: Some(FleetAging {
+                    model: AgingModel::default(),
+                    years: 7.0,
+                }),
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        let serial = engine.run_serial(3);
+        for threads in [2, 4] {
+            assert_eq!(engine.run_on(3, threads).records, serial.records);
+        }
+    }
+
+    #[test]
+    fn invalid_aging_configs_are_rejected() {
+        let bad = |aging| {
+            FleetEngine::new(
+                SiliconSim::default_spartan(),
+                FleetConfig {
+                    boards: 2,
+                    units: 60,
+                    cols: 6,
+                    stages: 3,
+                    aging: Some(aging),
+                    ..FleetConfig::default()
+                },
+            )
+            .unwrap_err()
+        };
+        assert!(matches!(
+            bad(FleetAging {
+                model: AgingModel::default(),
+                years: f64::NAN,
+            }),
+            Error::Fleet(_)
+        ));
+        assert!(matches!(
+            bad(FleetAging {
+                model: AgingModel {
+                    reference_years: 0.0,
+                    ..AgingModel::default()
+                },
+                years: 1.0,
+            }),
+            Error::Fleet(_)
+        ));
     }
 
     #[test]

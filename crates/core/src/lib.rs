@@ -24,6 +24,8 @@
 //! * [`puf`] — the end-to-end enrollment/response pipeline,
 //! * [`fleet`] — the parallel fleet enrollment/evaluation engine, with
 //!   deterministic per-board seed splitting,
+//! * [`monitor`] — the fleet health observatory: §IV's quality figures
+//!   sampled as classified gauges with drift detection,
 //! * [`error`] — the unified [`Error`] type every fallible entry point
 //!   returns,
 //! * [`traditional`] / [`one_of_eight`] / [`cooperative`] — the
@@ -62,6 +64,7 @@ pub mod distill;
 pub mod error;
 pub mod fleet;
 pub mod fuzzy;
+pub mod monitor;
 pub mod one_of_eight;
 pub mod persist;
 pub mod puf;
@@ -71,5 +74,6 @@ pub mod traditional;
 
 pub use config::{ConfigVector, ParityPolicy};
 pub use error::Error;
-pub use fleet::{split_seed, FleetConfig, FleetEngine, FleetRun};
+pub use fleet::{split_seed, FleetAging, FleetConfig, FleetEngine, FleetRun};
+pub use monitor::{FleetHealth, FleetObservatory, MonitorConfig, SweepPlan};
 pub use select::{case1, case2, PairSelection, Selection};

@@ -20,6 +20,7 @@ fn engine(boards: usize) -> FleetEngine {
             corners: vec![Environment::nominal(), Environment::new(1.32, 55.0)],
             response_probe: DelayProbe::new(0.25, 1),
             votes: 1,
+            aging: None,
         },
     )
     .expect("valid fleet config")
@@ -73,6 +74,43 @@ fn telemetry_does_not_perturb_determinism() {
         sink.snapshot().and_then(|s| s.counter("fleet.boards")),
         Some(20)
     );
+}
+
+/// The health observatory is an observer: running the fleet under
+/// monitoring (scoped sink, gauge sampling, aged side-pass) yields
+/// byte-identical records to the bare engine.
+#[test]
+fn monitoring_does_not_perturb_determinism() {
+    use ropuf_core::fleet::FleetAging;
+    use ropuf_core::monitor::{FleetObservatory, MonitorConfig, SweepPlan};
+
+    let engine = engine(10);
+    let bare = engine.run_serial(33);
+    let mut obs = FleetObservatory::new(
+        SiliconSim::default_spartan(),
+        MonitorConfig {
+            fleet: FleetConfig {
+                corners: vec![Environment::nominal(), Environment::new(1.32, 55.0)],
+                ..engine.config().clone()
+            },
+            sweep: SweepPlan::Nominal,
+            aging: Some(FleetAging {
+                model: Default::default(),
+                years: 5.0,
+            }),
+            threads: Some(1),
+        },
+    )
+    .expect("valid monitor config");
+    // The observatory replaces the corner list with its sweep plan;
+    // compare the bits and margins, which only depend on enrollment —
+    // enrollment streams are untouched by corners, monitoring, aging.
+    let health = obs.sample(33);
+    for (bare, monitored) in bare.records.iter().zip(&health.fresh.records) {
+        assert_eq!(bare.board_seed, monitored.board_seed);
+        assert_eq!(bare.expected_bits, monitored.expected_bits);
+        assert_eq!(bare.margins_ps, monitored.margins_ps);
+    }
 }
 
 proptest! {

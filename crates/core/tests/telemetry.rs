@@ -25,6 +25,7 @@ fn engine(boards: usize) -> FleetEngine {
             corners: vec![Environment::nominal(), Environment::new(1.32, 55.0)],
             response_probe: DelayProbe::new(0.25, 1),
             votes: 1,
+            aging: None,
         },
     )
     .expect("valid fleet config")

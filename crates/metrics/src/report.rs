@@ -99,10 +99,53 @@ impl QualityReport {
         })
     }
 
-    /// Worst flip rate across the evaluated devices, if any
-    /// re-measurements were supplied.
+    /// Whether any re-measurements were supplied — i.e. whether this
+    /// report carries reliability data at all.
+    ///
+    /// Callers gating on reliability must check this (or match on
+    /// [`worst_flip_rate`](Self::worst_flip_rate) returning `None`)
+    /// rather than treating an absent figure as `0.0`: "no data" is
+    /// not "perfect".
+    pub fn has_reliability(&self) -> bool {
+        !self.reliability.is_empty()
+    }
+
+    /// Worst flip rate across the evaluated devices.
+    ///
+    /// # Contract
+    ///
+    /// Returns `None` when **no re-measurements were supplied** (see
+    /// [`has_reliability`](Self::has_reliability)) — distinct from
+    /// `Some(0.0)`, which means devices *were* re-measured and none
+    /// flipped a bit. Do not coalesce `None` to zero when gating
+    /// deployment on reliability.
     pub fn worst_flip_rate(&self) -> Option<f64> {
         self.reliability.iter().map(|(_, r)| *r).reduce(f64::max)
+    }
+
+    /// The report's figures as `(gauge name, value)` pairs, the shared
+    /// definition consumed by the telemetry health layer
+    /// (`ropuf_telemetry::health`): the §IV statistics this crate
+    /// computes and the gauges an operator watches are one and the
+    /// same.
+    ///
+    /// Bias gauges (`uniqueness_bias`, `uniformity_bias`) are
+    /// distances from the 0.5 ideal so a single high-is-bad threshold
+    /// covers both directions. `reliability_worst_flip_rate` appears
+    /// only when re-measurements were supplied (per the
+    /// [`worst_flip_rate`](Self::worst_flip_rate) contract).
+    pub fn health_gauges(&self) -> Vec<(&'static str, f64)> {
+        let mut gauges = vec![
+            ("uniqueness", self.uniqueness),
+            ("uniqueness_bias", (self.uniqueness - 0.5).abs()),
+            ("uniformity_bias", (self.mean_uniformity - 0.5).abs()),
+            ("worst_aliasing", self.worst_aliasing),
+            ("min_entropy_per_bit", self.min_entropy_per_bit),
+        ];
+        if let Some(worst) = self.worst_flip_rate() {
+            gauges.push(("reliability_worst_flip_rate", worst));
+        }
+        gauges
     }
 
     /// Renders a compact human-readable summary.
@@ -123,13 +166,17 @@ impl QualityReport {
             self.worst_aliasing,
             self.min_entropy_per_bit,
         );
+        // "No data" and "perfect" must render differently: an absent
+        // figure is not a 0.000% flip rate (see `worst_flip_rate`).
         match self.worst_flip_rate() {
             Some(worst) => out.push_str(&format!(
                 "reliability       {} device(s) re-measured, worst flip rate {:.3}%\n",
                 self.reliability.len(),
                 100.0 * worst
             )),
-            None => out.push_str("reliability       (no re-measurements supplied)\n"),
+            None => out.push_str(
+                "reliability       no data (no re-measurements supplied; not a 0% claim)\n",
+            ),
         }
         out
     }
@@ -156,7 +203,44 @@ mod tests {
         assert!(r.worst_aliasing < 0.25);
         assert!(r.min_entropy_per_bit > 0.8);
         assert_eq!(r.worst_flip_rate(), None);
-        assert!(r.render().contains("no re-measurements"));
+        assert!(!r.has_reliability());
+        assert!(r.render().contains("no data"));
+        // The gauge view omits the reliability figure entirely rather
+        // than exporting a fake 0.0.
+        assert!(r
+            .health_gauges()
+            .iter()
+            .all(|(n, _)| *n != "reliability_worst_flip_rate"));
+    }
+
+    #[test]
+    fn zero_flip_remeasurement_is_distinct_from_no_data() {
+        let fleet = random_fleet(10, 64, 7);
+        let remeasured = vec![(0usize, vec![fleet[0].clone()])];
+        let r = QualityReport::evaluate(&fleet, &remeasured).unwrap();
+        assert!(r.has_reliability());
+        assert_eq!(r.worst_flip_rate(), Some(0.0));
+        assert!(r.render().contains("worst flip rate 0.000%"));
+        assert!(!r.render().contains("no data"));
+    }
+
+    #[test]
+    fn health_gauges_share_the_report_definitions() {
+        let fleet = random_fleet(40, 64, 8);
+        let r = QualityReport::evaluate(&fleet, &[]).unwrap();
+        let gauges = r.health_gauges();
+        let get = |name: &str| {
+            gauges
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|&(_, v)| v)
+                .unwrap()
+        };
+        assert_eq!(get("uniqueness"), r.uniqueness);
+        assert!((get("uniqueness_bias") - (r.uniqueness - 0.5).abs()).abs() < 1e-15);
+        assert!((get("uniformity_bias") - (r.mean_uniformity - 0.5).abs()).abs() < 1e-15);
+        assert_eq!(get("worst_aliasing"), r.worst_aliasing);
+        assert_eq!(get("min_entropy_per_bit"), r.min_entropy_per_bit);
     }
 
     #[test]

@@ -44,11 +44,13 @@
 //! exit; tests and benchmarks use [`scoped`], which serializes
 //! concurrent scopes on a global lock so counters stay exact.
 
+pub mod health;
 pub mod metrics;
 pub mod sink;
 
+pub use health::{HealthBoard, HealthReport, Status};
 pub use metrics::Snapshot;
-pub use sink::{JsonLinesSink, MemorySink, Sink, SummarySink};
+pub use sink::{JsonLinesSink, MemorySink, PrometheusSink, Sink, SummarySink};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -125,6 +127,8 @@ pub fn reset() {
 /// * unset or empty — telemetry stays disabled, returns `Ok(false)`;
 /// * `summary` or `stderr` — [`SummarySink`](sink::SummarySink)
 ///   (human-readable block on stderr at flush);
+/// * `prom:<path>` — [`PrometheusSink`](sink::PrometheusSink)
+///   (text exposition written to `<path>` at flush);
 /// * anything else — treated as a path for a
 ///   [`JsonLinesSink`](sink::JsonLinesSink).
 ///
@@ -139,8 +143,8 @@ pub fn init_from_env() -> std::io::Result<bool> {
 }
 
 /// Installs the sink named by `target` (same grammar as
-/// [`init_from_env`]'s `ROPUF_TRACE` values: `summary`/`stderr` or a
-/// JSON-lines file path).
+/// [`init_from_env`]'s `ROPUF_TRACE` values: `summary`/`stderr`,
+/// `prom:<path>`, or a JSON-lines file path).
 ///
 /// # Errors
 ///
@@ -149,6 +153,11 @@ pub fn init_target(target: &str) -> std::io::Result<()> {
     match target {
         "summary" | "stderr" => {
             install(Arc::new(sink::SummarySink::default()));
+        }
+        prom if prom.starts_with("prom:") => {
+            install(Arc::new(sink::PrometheusSink::create(
+                prom.trim_start_matches("prom:"),
+            )?));
         }
         path => {
             install(Arc::new(sink::JsonLinesSink::create(path)?));

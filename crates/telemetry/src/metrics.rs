@@ -83,6 +83,41 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// inclusive upper edge of the bucket holding the `ceil(q·count)`-th
+    /// smallest observation, capped at the recorded maximum so the
+    /// catch-all top bucket never reports `u64::MAX`. Exact whenever a
+    /// bucket holds one distinct value; otherwise off by at most the
+    /// bucket width (a factor of two). `None` with no observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                // Bucket upper bounds are exclusive and values are
+                // integers, so the inclusive edge is `bound - 1`; the
+                // catch-all top bucket is inclusive of `u64::MAX`, so
+                // its edge is the recorded maximum itself.
+                return Some(if i + 1 >= BUCKETS {
+                    self.max
+                } else {
+                    (bucket_upper_bound(i) - 1).min(self.max)
+                });
+            }
+        }
+        // count > 0 guarantees some bucket reached the rank.
+        unreachable!("rank {rank} beyond cumulative count {cumulative}");
+    }
 }
 
 /// Point-in-time copy of every counter and histogram.
@@ -106,6 +141,50 @@ impl Snapshot {
     /// Snapshot of histogram `name`, if registered.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Renders every counter and histogram in the Prometheus text
+    /// exposition format, metric names prefixed with `prefix`
+    /// (conventionally `ropuf_`) and sanitized (dots become
+    /// underscores).
+    ///
+    /// Counters export as `<name>_total`. Histograms export the
+    /// standard triplet — cumulative `_bucket{le="..."}` series, `_sum`
+    /// and `_count` — plus a `_max` gauge (the exposition format has no
+    /// native max). Because recorded values are integers and our bucket
+    /// bounds are exclusive powers of two, the inclusive `le` edge of
+    /// bucket `i` is `2^(i+1) − 1`; the final catch-all bucket is
+    /// `le="+Inf"`. Empty trailing buckets are elided (the `+Inf`
+    /// cumulative line always closes the series).
+    pub fn render_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let name = format!("{prefix}{}_total", crate::health::prometheus_name(name));
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for h in &self.histograms {
+            let name = format!("{prefix}{}", crate::health::prometheus_name(&h.name));
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let last_nonempty = h
+                .counts
+                .iter()
+                .rposition(|&n| n > 0)
+                .unwrap_or(0)
+                .min(BUCKETS - 2);
+            let mut cumulative = 0u64;
+            for (i, &n) in h.counts.iter().take(last_nonempty + 1).enumerate() {
+                cumulative += n;
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    bucket_upper_bound(i) - 1
+                ));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+            out.push_str(&format!("# TYPE {name}_max gauge\n{name}_max {}\n", h.max));
+        }
+        out
     }
 }
 
@@ -229,6 +308,110 @@ mod tests {
         assert_eq!(s.max, 100);
         assert_eq!(s.counts.iter().sum::<u64>(), 3);
         assert!((s.mean() - 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sample_snapshot_is_well_defined() {
+        let h = Histogram::default();
+        let s = h.snapshot("empty");
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.quantile(1.0), None);
+        // Exposition of an empty histogram still closes the series.
+        let snap = Snapshot {
+            counters: vec![],
+            histograms: vec![s],
+        };
+        let text = snap.render_prometheus("t_");
+        assert!(text.contains("t_empty_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("t_empty_count 0\n"));
+    }
+
+    #[test]
+    fn saturating_top_bucket_catches_huge_values() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 40);
+        let s = h.snapshot("big");
+        // Everything at or above 2^31 lands in the catch-all bucket.
+        assert_eq!(s.counts[BUCKETS - 1], 3);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, u64::MAX);
+        // Sum saturates arithmetic naturally (wrapping add on u64 is
+        // the documented cost of a fixed-width sum) — but count and max
+        // stay exact, and the quantile caps at the recorded max rather
+        // than reporting the unbounded bucket edge.
+        assert_eq!(s.quantile(0.5), Some(u64::MAX));
+        assert_eq!(s.quantile(1.0), Some(u64::MAX));
+        let text = Snapshot {
+            counters: vec![],
+            histograms: vec![s],
+        }
+        .render_prometheus("t_");
+        // No finite le edge for the catch-all: +Inf closes the series.
+        assert!(text.contains("t_big_bucket{le=\"+Inf\"} 3\n"));
+        assert!(!text.contains(&format!("le=\"{}\"", u64::MAX - 1)));
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_buckets() {
+        let h = Histogram::default();
+        // 10 values in bucket 0 (0..=1), 10 in bucket 3 (8..=15).
+        for _ in 0..10 {
+            h.record(1);
+            h.record(9);
+        }
+        let s = h.snapshot("q");
+        assert_eq!(s.quantile(0.25), Some(1));
+        assert_eq!(s.quantile(0.5), Some(1));
+        // Rank 11 crosses into bucket 3; its inclusive edge is 15,
+        // capped at the recorded max of 9.
+        assert_eq!(s.quantile(0.51), Some(9));
+        assert_eq!(s.quantile(0.99), Some(9));
+        assert_eq!(s.quantile(1.0), Some(9));
+        // q = 0 means "smallest observation's bucket edge".
+        assert_eq!(s.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        let h = Histogram::default();
+        h.record(1);
+        let _ = h.snapshot("q").quantile(1.5);
+    }
+
+    #[test]
+    fn prometheus_exposition_cumulates_buckets() {
+        let h = Histogram::default();
+        for v in [1, 1, 3, 9] {
+            h.record(v);
+        }
+        let snap = Snapshot {
+            counters: vec![("fleet.boards".into(), 4)],
+            histograms: vec![h.snapshot("fleet.enroll")],
+        };
+        let text = snap.render_prometheus("ropuf_");
+        assert!(text.contains("# TYPE ropuf_fleet_boards_total counter\n"));
+        assert!(text.contains("ropuf_fleet_boards_total 4\n"));
+        assert!(text.contains("# TYPE ropuf_fleet_enroll histogram\n"));
+        // Buckets are cumulative: 2 values <= 1, 3 values <= 3,
+        // unchanged at <= 7, 4 values <= 15.
+        assert!(text.contains("ropuf_fleet_enroll_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("ropuf_fleet_enroll_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("ropuf_fleet_enroll_bucket{le=\"7\"} 3\n"));
+        assert!(text.contains("ropuf_fleet_enroll_bucket{le=\"15\"} 4\n"));
+        assert!(text.contains("ropuf_fleet_enroll_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("ropuf_fleet_enroll_sum 14\n"));
+        assert!(text.contains("ropuf_fleet_enroll_count 4\n"));
+        assert!(text.contains("ropuf_fleet_enroll_max 9\n"));
+        // Trailing empty buckets are elided.
+        assert!(!text.contains("le=\"31\""));
     }
 
     #[test]

@@ -123,6 +123,44 @@ impl Sink for JsonLinesSink {
     }
 }
 
+/// Writes the Prometheus text exposition of every counter and
+/// histogram to a file at flush, truncating each time — the
+/// *textfile-collector* pattern: point a node-exporter (or a test) at
+/// the file and each completed run publishes its final metric state.
+/// Spans are not exported individually (their duration histograms
+/// are); warnings fall through to stderr.
+pub struct PrometheusSink {
+    path: std::path::PathBuf,
+}
+
+impl PrometheusSink {
+    /// Exposition file sink writing to `path` at flush.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the file cannot be created (probed
+    /// eagerly so a bad path fails at install, not at exit).
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        File::create(&path)?;
+        Ok(Self { path })
+    }
+}
+
+impl Sink for PrometheusSink {
+    fn on_span(&self, _span: &SpanRecord) {}
+
+    fn on_warn(&self, message: &str) {
+        eprintln!("warning: {message}");
+    }
+
+    fn on_flush(&self, snapshot: &Snapshot) {
+        // A full disk is not worth panicking over; the probe in
+        // `create` already surfaced unwritable paths.
+        let _ = std::fs::write(&self.path, snapshot.render_prometheus("ropuf_"));
+    }
+}
+
 /// Aggregates span statistics in memory and prints a human-readable
 /// summary block to **stderr** at flush; warnings pass through to
 /// stderr immediately.

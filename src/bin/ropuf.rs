@@ -31,7 +31,8 @@ use std::process::ExitCode;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ropuf::core::distill::DistillError;
-use ropuf::core::fleet::{worker_threads, FleetConfig, FleetEngine};
+use ropuf::core::fleet::{worker_threads, FleetAging, FleetConfig, FleetEngine};
+use ropuf::core::monitor::{FleetObservatory, MonitorConfig, SweepPlan};
 use ropuf::core::persist::{enrollment_from_text, enrollment_to_text};
 use ropuf::core::puf::{ConfigurableRoPuf, EnrollOptions, SelectionMode};
 use ropuf::core::select::case2;
@@ -42,8 +43,10 @@ use ropuf::dataset::vt::{VtConfig, VtDataset};
 use ropuf::dataset::ParseCsvError;
 use ropuf::nist::suite::{run_suite, SuiteConfig};
 use ropuf::num::bits::{BitVec, ParseBitsError};
+use ropuf::silicon::aging::AgingModel;
 use ropuf::silicon::{DelayProbe, Environment, SiliconSim};
 use ropuf::telemetry;
+use ropuf::telemetry::health::{Baseline, Status};
 
 /// Everything that can go wrong in the CLI, typed per domain so exit
 /// paths stay greppable (no `Box<dyn Error>` laundering).
@@ -64,6 +67,9 @@ enum CliError {
     Bits(ParseBitsError),
     /// The distiller could not fit the systematic model.
     Distill(DistillError),
+    /// `monitor --fail-on` tripped: the fleet health verdict reached
+    /// the configured severity.
+    Unhealthy(Status),
 }
 
 impl fmt::Display for CliError {
@@ -75,6 +81,7 @@ impl fmt::Display for CliError {
             Self::Csv(e) => write!(f, "{e}"),
             Self::Bits(e) => write!(f, "{e}"),
             Self::Distill(e) => write!(f, "{e}"),
+            Self::Unhealthy(status) => write!(f, "fleet health is {status}"),
         }
     }
 }
@@ -87,7 +94,7 @@ impl std::error::Error for CliError {
             Self::Csv(e) => Some(e),
             Self::Bits(e) => Some(e),
             Self::Distill(e) => Some(e),
-            Self::Usage(_) => None,
+            Self::Usage(_) | Self::Unhealthy(_) => None,
         }
     }
 }
@@ -175,6 +182,7 @@ fn command_span(command: &str) -> &'static str {
         "nist" => "cli.nist",
         "rth" => "cli.rth",
         "fleet" => "cli.fleet",
+        "monitor" => "cli.monitor",
         "enroll" => "cli.enroll",
         "respond" => "cli.respond",
         _ => "cli.unknown",
@@ -208,6 +216,10 @@ fn usage(problem: &str) -> ExitCode {
            rth               --dataset FILE (in-house CSV) [--usable N=13] [--max-rth PS=5]\n\
            fleet             [--boards N=64] [--seed N=1] [--units N=480] [--stages N=7]\n\
                              [--cols N=16] [--threads N=auto] [--votes N=1] [--threshold PS=0]\n\
+           monitor           [--boards N=16] [--seed N=1] [--units N=120] [--stages N=5]\n\
+                             [--cols N=8] [--threads N=auto] [--sweep nominal|voltage|temperature|full]\n\
+                             [--years Y=5] [--format human|json|prometheus]\n\
+                             [--baseline FILE] [--enroll-baseline FILE] [--fail-on warn|critical|never]\n\
            enroll            --out FILE [--seed N=1] [--units N=480] [--stages N=7]\n\
                              [--mode case1|case2] [--threshold PS=0]\n\
            respond           --enrollment FILE [--seed N=1] [--units N=480]\n\
@@ -226,6 +238,7 @@ fn dispatch(command: &str, opts: &HashMap<String, String>) -> Result<(), CliErro
         "nist" => nist(opts),
         "rth" => rth(opts),
         "fleet" => fleet(opts),
+        "monitor" => monitor(opts),
         "enroll" => enroll(opts),
         "respond" => respond(opts),
         other => Err(CliError::Usage(format!(
@@ -474,6 +487,114 @@ fn fleet(opts: &HashMap<String, String>) -> Result<(), CliError> {
         run.elapsed
     );
     Ok(())
+}
+
+/// Samples the fleet health observatory once and reports the verdict.
+///
+/// Stdout carries only the seed-determined report (human table, JSON,
+/// or Prometheus exposition per `--format`); timings go to stderr.
+/// `--enroll-baseline FILE` snapshots the current gauge values for
+/// later drift detection via `--baseline FILE`. `--fail-on` turns the
+/// verdict into the exit code, so the command slots into CI gates and
+/// cron-driven probes.
+fn monitor(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let boards = get(opts, "boards", 16usize)?;
+    let seed = get(opts, "seed", 1u64)?;
+    let units = get(opts, "units", 120usize)?;
+    let stages = get(opts, "stages", 5usize)?;
+    let cols = get(opts, "cols", 8usize)?;
+    let threads = get(opts, "threads", worker_threads())?;
+    let years = get(opts, "years", 5.0f64)?;
+    let threshold = get(opts, "threshold", 0.0f64)?;
+    let sweep = match opts.get("sweep").map(String::as_str) {
+        None | Some("full") => SweepPlan::Full,
+        Some("nominal") => SweepPlan::Nominal,
+        Some("voltage") => SweepPlan::Voltage,
+        Some("temperature") => SweepPlan::Temperature,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--sweep must be nominal, voltage, temperature, or full, got {other:?}"
+            )))
+        }
+    };
+    let fail_on = match opts.get("fail-on").map(String::as_str) {
+        None | Some("critical") => Some(Status::Critical),
+        Some("warn") => Some(Status::Warn),
+        Some("never") => None,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--fail-on must be warn, critical, or never, got {other:?}"
+            )))
+        }
+    };
+    let format = opts.get("format").map(String::as_str).unwrap_or("human");
+    if !matches!(format, "human" | "json" | "prometheus") {
+        return Err(CliError::Usage(format!(
+            "--format must be human, json, or prometheus, got {format:?}"
+        )));
+    }
+    let config = MonitorConfig {
+        fleet: FleetConfig {
+            boards,
+            units,
+            cols,
+            stages,
+            opts: EnrollOptions::builder()
+                .threshold_ps(threshold)
+                .try_build()?,
+            ..FleetConfig::default()
+        },
+        sweep,
+        aging: (years > 0.0).then(|| FleetAging {
+            model: AgingModel::default(),
+            years,
+        }),
+        threads: Some(threads),
+    };
+    let setup_span = telemetry::span("cli.monitor.setup");
+    let mut obs = FleetObservatory::new(SiliconSim::default_spartan(), config)?;
+    drop(setup_span);
+    if let Some(path) = opts.get("enroll-baseline") {
+        let enroll_span = telemetry::span("cli.monitor.enroll-baseline");
+        let baseline = obs.enroll_baseline(seed);
+        drop(enroll_span);
+        write_file(path, &baseline.to_json())?;
+        eprintln!(
+            "enrolled baseline of {} gauges to {path}",
+            baseline.values.len()
+        );
+        return Ok(());
+    }
+    if let Some(path) = opts.get("baseline") {
+        let baseline = Baseline::parse(&read_file(path)?)
+            .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+        obs.set_baseline(baseline);
+    }
+    let sample_span = telemetry::span("cli.monitor.sample");
+    let health = obs.sample(seed);
+    drop(sample_span);
+    match format {
+        "json" => print!("{}", health.report.to_json()),
+        "prometheus" => print!("{}", health.report.render_prometheus("ropuf_")),
+        _ => print!("{}", health.report.render()),
+    }
+    eprintln!(
+        "{} corners x {} boards, {} threads, fresh pass {:.2?}{}",
+        obs.corners().len(),
+        boards,
+        health.fresh.threads,
+        health.fresh.elapsed,
+        health
+            .aged
+            .as_ref()
+            .map_or(String::new(), |a| format!(", aged pass {:.2?}", a.elapsed)),
+    );
+    match fail_on {
+        Some(limit) if health.report.overall >= limit => {
+            Err(CliError::Unhealthy(health.report.overall))
+        }
+        _ => Ok(()),
+    }
 }
 
 /// Regenerates the deterministic demo board for `seed`/`units`.

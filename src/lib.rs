@@ -37,8 +37,10 @@ pub mod prelude {
     pub use ropuf_core::crp::{respond as crp_respond, Challenge, LinearDelayAttack};
     pub use ropuf_core::error::Error;
     pub use ropuf_core::fleet::{
-        split_seed, worker_threads, BoardRecord, FleetConfig, FleetEngine, FleetRun, Layout,
+        split_seed, worker_threads, BoardRecord, FleetAging, FleetConfig, FleetEngine, FleetRun,
+        Layout,
     };
+    pub use ropuf_core::monitor::{FleetHealth, FleetObservatory, MonitorConfig, SweepPlan};
     pub use ropuf_core::one_of_eight::{OneOfEightEnrollment, OneOfEightPuf, RoGroup};
     pub use ropuf_core::persist::{enrollment_from_text, enrollment_to_text};
     pub use ropuf_core::puf::{

@@ -312,3 +312,155 @@ fn rth_rejects_oversized_usable() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("exceeds"));
 }
+
+#[test]
+fn monitor_emits_prometheus_exposition() {
+    let out = ropuf(&[
+        "monitor",
+        "--sweep",
+        "nominal",
+        "--boards",
+        "8",
+        "--units",
+        "80",
+        "--years",
+        "0",
+        "--format",
+        "prometheus",
+        "--fail-on",
+        "never",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Every non-comment line is `name[{labels}] value` with a finite
+    // numeric value — the text exposition contract.
+    for line in text.lines() {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                "{line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("space-separated sample");
+        assert!(!series.is_empty(), "{line}");
+        assert!(value.parse::<f64>().is_ok(), "unparsable value in {line:?}");
+    }
+    assert!(text.contains("# TYPE ropuf_uniqueness gauge"), "{text}");
+    assert!(text.contains("ropuf_health_overall"), "{text}");
+}
+
+#[test]
+fn monitor_json_report_is_versioned() {
+    let out = ropuf(&[
+        "monitor",
+        "--sweep",
+        "nominal",
+        "--boards",
+        "8",
+        "--units",
+        "80",
+        "--years",
+        "0",
+        "--format",
+        "json",
+        "--fail-on",
+        "never",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"version\": 1"), "{text}");
+    assert!(text.contains("\"overall\""), "{text}");
+    assert!(text.contains("\"flip_rate_nominal\""), "{text}");
+}
+
+#[test]
+fn monitor_baseline_round_trip_detects_no_drift_against_itself() {
+    let base = tmp("monitor_baseline.json");
+    let enroll = ropuf(&[
+        "monitor",
+        "--sweep",
+        "nominal",
+        "--boards",
+        "8",
+        "--units",
+        "80",
+        "--years",
+        "0",
+        "--seed",
+        "11",
+        "--enroll-baseline",
+        base.to_str().unwrap(),
+    ]);
+    assert!(
+        enroll.status.success(),
+        "{}",
+        String::from_utf8_lossy(&enroll.stderr)
+    );
+    // Enrollment writes the baseline file and nothing to stdout.
+    assert!(enroll.stdout.is_empty());
+    let watch = ropuf(&[
+        "monitor",
+        "--sweep",
+        "nominal",
+        "--boards",
+        "8",
+        "--units",
+        "80",
+        "--years",
+        "0",
+        "--seed",
+        "11",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--format",
+        "json",
+        "--fail-on",
+        "never",
+    ]);
+    assert!(
+        watch.status.success(),
+        "{}",
+        String::from_utf8_lossy(&watch.stderr)
+    );
+    let text = String::from_utf8_lossy(&watch.stdout);
+    assert!(text.contains("\"drift\": 0.0"), "{text}");
+}
+
+#[test]
+fn monitor_stdout_is_thread_count_invariant() {
+    let args = [
+        "monitor",
+        "--sweep",
+        "voltage",
+        "--boards",
+        "8",
+        "--units",
+        "80",
+        "--seed",
+        "5",
+        "--format",
+        "json",
+        "--fail-on",
+        "never",
+    ];
+    let one = ropuf_with_threads(&args, "1");
+    let four = ropuf_with_threads(&args, "4");
+    assert!(one.status.success() && four.status.success());
+    assert_eq!(one.stdout, four.stdout);
+}
+
+#[test]
+fn monitor_rejects_bad_sweep() {
+    let out = ropuf(&["monitor", "--sweep", "sideways"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--sweep"));
+}
