@@ -35,6 +35,17 @@ pub struct Calibration {
 }
 
 impl Calibration {
+    /// Assembles a calibration from already-measured parts. Used by the
+    /// fault-tolerant path in [`crate::robust`], which performs the same
+    /// `n + 2` measurements as [`calibrate`] but screens each one.
+    pub(crate) fn from_parts(ddiff_ps: Vec<f64>, all_selected_ps: f64, bypass_ps: f64) -> Self {
+        Self {
+            ddiff_ps,
+            all_selected_ps,
+            bypass_ps,
+        }
+    }
+
     /// The estimated per-stage delay differences `ddiff_i`, picoseconds.
     pub fn ddiffs_ps(&self) -> &[f64] {
         &self.ddiff_ps

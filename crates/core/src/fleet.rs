@@ -42,11 +42,12 @@
 //! assert_eq!(parallel.expected_bits(), serial.expected_bits());
 //! ```
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use ropuf_num::bits::BitVec;
 use ropuf_silicon::aging::AgingModel;
 use ropuf_silicon::board::BoardId;
@@ -55,6 +56,7 @@ use ropuf_telemetry as telemetry;
 
 use crate::error::Error;
 use crate::puf::{ConfigurableRoPuf, EnrollOptions, Enrollment};
+use crate::robust::{self, FaultPlan, FaultSummary};
 
 /// Derives the seed for `index` under `master_seed`.
 ///
@@ -231,6 +233,12 @@ pub struct FleetConfig {
     /// Aging draws from its own seed stream, so enrollment bits are
     /// identical with and without it.
     pub aging: Option<FleetAging>,
+    /// Optional measurement-fault injection campaign (`None` = the
+    /// plain pipeline). A plan with all rates at zero produces output
+    /// byte-identical to `None`; fault rolls and retry reads draw from
+    /// their own seed streams, so a fixed seed yields the same fault
+    /// schedule — and the same quarantine set — at any thread count.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for FleetConfig {
@@ -246,6 +254,7 @@ impl Default for FleetConfig {
             response_probe: DelayProbe::new(0.25, 1),
             votes: 1,
             aging: None,
+            faults: None,
         }
     }
 }
@@ -262,15 +271,85 @@ pub struct BoardRecord {
     /// Per-pair selection margins, picoseconds (excluded pairs skipped).
     pub margins_ps: Vec<f64>,
     /// Hamming distance to `expected_bits` of the response at each
-    /// configured corner, in corner order.
+    /// configured corner, in corner order. Erased bits (see
+    /// `corner_erasures`) are not counted as flips.
     pub corner_flips: Vec<usize>,
+    /// Response bits erased at each corner because their read-out
+    /// failed unrecoverably, in corner order. All zeros unless fault
+    /// injection is active.
+    pub corner_erasures: Vec<usize>,
+}
+
+/// Why a board was quarantined instead of contributing a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// Calibration failed the sanity check: more than the configured
+    /// fraction of pairs was unreadable even after retries.
+    CalibrationFailure {
+        /// Pairs whose calibration reads failed unrecoverably.
+        unreadable_pairs: usize,
+        /// Pairs attempted.
+        total_pairs: usize,
+    },
+    /// Enrollment completed but produced no usable bits at all.
+    NoBits,
+    /// The board's evaluation panicked; the engine contained the
+    /// unwind instead of letting it poison the thread map.
+    WorkerPanic {
+        /// The panic payload, when it carried a message.
+        message: String,
+    },
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CalibrationFailure {
+                unreadable_pairs,
+                total_pairs,
+            } => write!(
+                f,
+                "calibration failed sanity checks ({unreadable_pairs}/{total_pairs} pairs unreadable)"
+            ),
+            Self::NoBits => write!(f, "enrollment produced no usable bits"),
+            Self::WorkerPanic { message } => write!(f, "worker panic contained: {message}"),
+        }
+    }
+}
+
+/// One quarantined board: identity plus the typed reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantine {
+    /// Index of the board in the fleet.
+    pub board_index: usize,
+    /// The seed its RNG streams derived from.
+    pub board_seed: u64,
+    /// Why it was pulled from the run.
+    pub reason: QuarantineReason,
+}
+
+/// Outcome of evaluating one board: a record, or a quarantine. Either
+/// way the fault layer's counters ride along.
+enum BoardOutcome {
+    Healthy(BoardRecord, FaultSummary),
+    Quarantined(Quarantine, FaultSummary),
 }
 
 /// Result of a fleet run.
+///
+/// Partial results are a success mode: boards that could not be
+/// evaluated appear in `quarantined` with a typed reason instead of
+/// panicking the run, and `faults` totals what the fault-tolerance
+/// layer saw and did.
 #[derive(Debug, Clone)]
 pub struct FleetRun {
-    /// Per-board records, in board order.
+    /// Per-board records, in board order (quarantined boards omitted).
     pub records: Vec<BoardRecord>,
+    /// Boards pulled from the run, in board order, with typed reasons.
+    /// Empty unless fault injection (or a genuine bug) struck.
+    pub quarantined: Vec<Quarantine>,
+    /// Aggregate fault/retry/quarantine accounting for the whole run.
+    pub faults: FaultSummary,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Worker threads the run used (`1` for the serial reference).
@@ -296,38 +375,64 @@ impl FleetRun {
 
     /// Mean normalized pairwise inter-chip Hamming distance — the
     /// fleet's uniqueness figure (ideal: 0.5). Boards whose bit-strings
-    /// have different lengths (threshold exclusions) are compared over
-    /// their common prefix-free pairs only; `None` when fewer than two
-    /// comparable boards exist.
+    /// have different lengths (threshold or fault exclusions) are
+    /// compared over their common prefix; pairs with no overlap at all
+    /// are skipped and counted on the
+    /// `fleet.uniqueness.skipped_pairs` telemetry counter. `None` when
+    /// no comparable pair of boards exists.
     pub fn uniqueness(&self) -> Option<f64> {
         let mut sum = 0.0;
         let mut pairs = 0usize;
+        let mut skipped = 0u64;
         for i in 0..self.records.len() {
             for j in i + 1..self.records.len() {
                 let (a, b) = (
                     &self.records[i].expected_bits,
                     &self.records[j].expected_bits,
                 );
-                if a.len() != b.len() || a.is_empty() {
+                let n = a.len().min(b.len());
+                if n == 0 {
+                    skipped += 1;
                     continue;
                 }
-                let hd = a.hamming_distance(b).expect("equal lengths");
-                sum += hd as f64 / a.len() as f64;
+                let hd = (0..n).filter(|&k| a.get(k) != b.get(k)).count();
+                sum += hd as f64 / n as f64;
                 pairs += 1;
             }
+        }
+        if skipped > 0 {
+            telemetry::counter("fleet.uniqueness.skipped_pairs", skipped);
         }
         (pairs > 0).then(|| sum / pairs as f64)
     }
 
     /// Mean flip fraction at each corner, in corner order (the fleet's
-    /// reliability figure; ideal: 0.0).
+    /// reliability figure; ideal: 0.0). Robust to ragged records:
+    /// boards missing a corner simply don't contribute to it, and
+    /// erased bits are removed from the denominator rather than
+    /// counted as stable.
     pub fn corner_flip_rates(&self) -> Vec<f64> {
-        let corners = self.records.first().map_or(0, |r| r.corner_flips.len());
+        let corners = self
+            .records
+            .iter()
+            .map(|r| r.corner_flips.len())
+            .max()
+            .unwrap_or(0);
         (0..corners)
             .map(|c| {
-                let (flips, bits) = self.records.iter().fold((0usize, 0usize), |(f, b), r| {
-                    (f + r.corner_flips[c], b + r.expected_bits.len())
-                });
+                let (flips, bits) = self
+                    .records
+                    .iter()
+                    .fold((0usize, 0usize), |(f, b), r| match r.corner_flips.get(c) {
+                        Some(&flipped) => {
+                            let erased = r.corner_erasures.get(c).copied().unwrap_or(0);
+                            (
+                                f + flipped,
+                                b + r.expected_bits.len().saturating_sub(erased),
+                            )
+                        }
+                        None => (f, b),
+                    });
                 flips as f64 / bits.max(1) as f64
             })
             .collect()
@@ -350,6 +455,20 @@ const STREAM_CORNER_BASE: u64 = 2;
 // Far above any realistic corner count so the aging stream can never
 // collide with a corner stream.
 const STREAM_AGING: u64 = u64::MAX;
+// Board-level fault stream (injected worker panics); distinct from the
+// aging stream and likewise collision-free with corner streams.
+const STREAM_FAULTS: u64 = u64::MAX - 1;
+
+/// Renders a caught panic payload for [`QuarantineReason::WorkerPanic`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 impl FleetEngine {
     /// Validates the configuration and builds the engine.
@@ -389,6 +508,11 @@ impl FleetEngine {
                 )));
             }
         }
+        if let Some(plan) = &config.faults {
+            if let Err(msg) = plan.validate() {
+                return Err(Error::Fleet(format!("invalid fault plan: {msg}")));
+            }
+        }
         let puf = match config.layout {
             Layout::Tiled => ConfigurableRoPuf::tiled(config.units, config.stages),
             Layout::Interleaved => {
@@ -422,27 +546,97 @@ impl FleetEngine {
     /// figures) can diff the parallel engine against a plain loop.
     pub fn run_serial(&self, master_seed: u64) -> FleetRun {
         let start = Instant::now();
-        let records = (0..self.config.boards)
-            .map(|i| self.eval_board(master_seed, i))
+        let outcomes = (0..self.config.boards)
+            .map(|i| self.eval_outcome(master_seed, i))
             .collect();
-        FleetRun {
-            records,
-            elapsed: start.elapsed(),
-            threads: 1,
-        }
+        Self::assemble(outcomes, 1, start.elapsed())
     }
 
     /// Evaluates the fleet on an explicit number of workers.
     pub fn run_on(&self, master_seed: u64, threads: usize) -> FleetRun {
         let start = Instant::now();
-        let records = parallel_map_indexed(self.config.boards, threads, |i| {
-            self.eval_board(master_seed, i)
+        let outcomes = parallel_map_indexed(self.config.boards, threads, |i| {
+            self.eval_outcome(master_seed, i)
         });
+        Self::assemble(
+            outcomes,
+            threads.clamp(1, self.config.boards.max(1)),
+            start.elapsed(),
+        )
+    }
+
+    /// Splits per-board outcomes into records and quarantines (both in
+    /// board order — the input already is) and totals the fault
+    /// accounting.
+    fn assemble(outcomes: Vec<BoardOutcome>, threads: usize, elapsed: Duration) -> FleetRun {
+        let mut records = Vec::new();
+        let mut quarantined = Vec::new();
+        let mut faults = FaultSummary::default();
+        for outcome in outcomes {
+            match outcome {
+                BoardOutcome::Healthy(record, summary) => {
+                    faults.merge(&summary);
+                    records.push(record);
+                }
+                BoardOutcome::Quarantined(quarantine, summary) => {
+                    faults.merge(&summary);
+                    quarantined.push(quarantine);
+                }
+            }
+        }
         FleetRun {
             records,
-            elapsed: start.elapsed(),
-            threads: threads.clamp(1, self.config.boards.max(1)),
+            quarantined,
+            faults,
+            elapsed,
+            threads,
         }
+    }
+
+    /// Evaluates one board with panic containment: a worker panic —
+    /// injected or genuine — becomes a [`QuarantineReason::WorkerPanic`]
+    /// outcome instead of unwinding through the scoped thread map and
+    /// aborting the whole run.
+    fn eval_outcome(&self, master_seed: u64, index: usize) -> BoardOutcome {
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &self.config.faults {
+                Some(plan) => self.eval_board_robust(master_seed, index, plan),
+                None => BoardOutcome::Healthy(
+                    self.eval_board(master_seed, index),
+                    FaultSummary::default(),
+                ),
+            }));
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let summary = FaultSummary {
+                    contained_panics: 1,
+                    quarantined_boards: 1,
+                    ..FaultSummary::default()
+                };
+                BoardOutcome::Quarantined(
+                    Quarantine {
+                        board_index: index,
+                        board_seed: split_seed(master_seed, index as u64),
+                        reason: QuarantineReason::WorkerPanic {
+                            message: panic_message(payload.as_ref()),
+                        },
+                    },
+                    summary,
+                )
+            }
+        };
+        match &outcome {
+            BoardOutcome::Healthy(_, summary) => robust::emit_summary_counters(summary),
+            BoardOutcome::Quarantined(quarantine, summary) => {
+                robust::emit_summary_counters(summary);
+                telemetry::warn(&format!(
+                    "board {} quarantined: {}",
+                    quarantine.board_index, quarantine.reason
+                ));
+            }
+        }
+        outcome
     }
 
     /// Grows, enrolls, and reads back one board. Pure in
@@ -510,7 +704,13 @@ impl FleetEngine {
                 } else {
                     enrollment.respond(&mut rng, &board, tech, env, &config.response_probe)
                 };
-                response.hamming_distance(&expected).expect("same pairs")
+                // Same value as `hamming_distance` when the lengths
+                // match (they do: both come from this enrollment), but
+                // never panics on a ragged record.
+                let n = response.len().min(expected.len());
+                (0..n)
+                    .filter(|&k| response.get(k) != expected.get(k))
+                    .count()
             })
             .collect();
         drop(respond_span);
@@ -520,7 +720,126 @@ impl FleetEngine {
             margins_ps: enrollment.margins_ps(),
             expected_bits: expected,
             corner_flips,
+            corner_erasures: vec![0; config.corners.len()],
         }
+    }
+
+    /// Fault-injecting twin of [`Self::eval_board`]: same seed streams
+    /// and measurement order, but every read passes through the
+    /// [`crate::robust`] retry/read-back pipeline, and boards that fail
+    /// sanity checks are quarantined with a typed reason instead of
+    /// producing garbage or panicking.
+    fn eval_board_robust(&self, master_seed: u64, index: usize, plan: &FaultPlan) -> BoardOutcome {
+        let _board_span = telemetry::span("fleet.board");
+        telemetry::counter("fleet.boards", 1);
+        let config = &self.config;
+        let board_seed = split_seed(master_seed, index as u64);
+        let tech = self.sim.technology();
+        let quarantine = |reason: QuarantineReason, mut summary: FaultSummary| {
+            summary.quarantined_boards += 1;
+            BoardOutcome::Quarantined(
+                Quarantine {
+                    board_index: index,
+                    board_seed,
+                    reason,
+                },
+                summary,
+            )
+        };
+        // Injected worker panic: rolled from its own board-level stream
+        // before any real work, so the panic schedule — like every
+        // fault schedule — is a pure function of the master seed.
+        if plan.model.panic_rate > 0.0 {
+            let mut panic_rng = StdRng::seed_from_u64(split_seed(board_seed, STREAM_FAULTS));
+            if panic_rng.gen::<f64>() < plan.model.panic_rate {
+                panic!("injected fault: worker panic on board {index}");
+            }
+        }
+        let board = {
+            let _span = telemetry::span("fleet.grow");
+            let mut grow_rng = StdRng::seed_from_u64(split_seed(board_seed, STREAM_GROW));
+            self.sim.grow_board_with_id(
+                &mut grow_rng,
+                BoardId(index as u32),
+                config.units,
+                config.cols,
+            )
+        };
+        let enrolled_at = *config.corners.first().unwrap_or(&Environment::nominal());
+        let enrolled = {
+            let _span = telemetry::span("fleet.enroll");
+            robust::enroll_robust(
+                &self.puf,
+                split_seed(board_seed, STREAM_ENROLL),
+                &board,
+                tech,
+                enrolled_at,
+                &config.opts,
+                plan,
+            )
+        };
+        let mut summary = enrolled.summary;
+        if enrolled.total_pairs > 0 {
+            let failed_fraction = enrolled.unreadable_pairs as f64 / enrolled.total_pairs as f64;
+            if failed_fraction > plan.options.max_failed_pair_fraction {
+                return quarantine(
+                    QuarantineReason::CalibrationFailure {
+                        unreadable_pairs: enrolled.unreadable_pairs,
+                        total_pairs: enrolled.total_pairs,
+                    },
+                    summary,
+                );
+            }
+        }
+        let enrollment = enrolled.enrollment;
+        if enrollment.bit_count() == 0 {
+            return quarantine(QuarantineReason::NoBits, summary);
+        }
+        let expected = enrollment.expected_bits();
+        let board = match &config.aging {
+            Some(aging) if aging.years > 0.0 => {
+                let _span = telemetry::span("fleet.age");
+                let mut age_rng = StdRng::seed_from_u64(split_seed(board_seed, STREAM_AGING));
+                aging.model.age_board(&mut age_rng, &board, aging.years)
+            }
+            _ => board,
+        };
+        let respond_span = telemetry::span("fleet.respond");
+        let mut corner_flips = Vec::with_capacity(config.corners.len());
+        let mut corner_erasures = Vec::with_capacity(config.corners.len());
+        for (c, &env) in config.corners.iter().enumerate() {
+            let corner_seed = split_seed(board_seed, STREAM_CORNER_BASE + c as u64);
+            let (bits, corner_summary) = robust::respond_robust(
+                &enrollment,
+                corner_seed,
+                &board,
+                tech,
+                env,
+                &config.response_probe,
+                config.votes,
+                plan,
+            );
+            summary.merge(&corner_summary);
+            let flips = bits
+                .iter()
+                .enumerate()
+                .filter(|&(k, bit)| matches!(bit, Some(b) if Some(*b) != expected.get(k)))
+                .count();
+            corner_flips.push(flips);
+            corner_erasures.push(bits.iter().filter(|bit| bit.is_none()).count());
+        }
+        drop(respond_span);
+        BoardOutcome::Healthy(
+            BoardRecord {
+                board_index: index,
+                board_seed,
+                margins_ps: enrollment.margins_ps(),
+                expected_bits: expected,
+                corner_flips,
+                corner_erasures,
+            },
+            summary,
+        )
     }
 }
 
@@ -786,5 +1105,88 @@ mod tests {
             }),
             Error::Fleet(_)
         ));
+    }
+
+    /// A synthetic run with ragged bit counts and corner lists — the
+    /// shape fault exclusions produce.
+    fn ragged_run() -> FleetRun {
+        let record =
+            |index: usize, bits: &str, flips: Vec<usize>, erasures: Vec<usize>| BoardRecord {
+                board_index: index,
+                board_seed: index as u64,
+                expected_bits: BitVec::from_binary_str(bits).expect("binary literal"),
+                margins_ps: vec![1.0; bits.len()],
+                corner_flips: flips,
+                corner_erasures: erasures,
+            };
+        FleetRun {
+            records: vec![
+                record(0, "10110", vec![1, 0], vec![0, 0]),
+                // Shorter bit-string (two pairs excluded) and one
+                // erased bit at the second corner.
+                record(1, "011", vec![0, 1], vec![0, 1]),
+                // Missing the second corner entirely.
+                record(2, "11010", vec![2], vec![0]),
+                // No bits at all.
+                record(3, "", vec![0, 0], vec![0, 0]),
+            ],
+            quarantined: Vec::new(),
+            faults: FaultSummary::default(),
+            elapsed: Duration::from_millis(1),
+            threads: 1,
+        }
+    }
+
+    #[test]
+    fn uniqueness_compares_ragged_boards_over_the_common_prefix() {
+        let run = ragged_run();
+        // Board 3 (empty) pairs with the other three are skipped; the
+        // remaining three pairs compare over min-length prefixes:
+        // (0,1): 101 vs 011 -> 2/3; (0,2): 10110 vs 11010 -> 2/5;
+        // (1,2): 011 vs 110 -> 2/3.
+        let expected = (2.0 / 3.0 + 2.0 / 5.0 + 2.0 / 3.0) / 3.0;
+        let got = run.uniqueness().expect("three comparable pairs");
+        assert!((got - expected).abs() < 1e-12, "got {got}, want {expected}");
+    }
+
+    #[test]
+    fn corner_flip_rates_tolerate_ragged_corners_and_erasures() {
+        let run = ragged_run();
+        let rates = run.corner_flip_rates();
+        assert_eq!(rates.len(), 2, "corner count is the maximum over records");
+        // Corner 0: all four boards contribute (5+3+5+0 bits, 1+0+2+0 flips).
+        assert!(
+            (rates[0] - 3.0 / 13.0).abs() < 1e-12,
+            "corner 0: {}",
+            rates[0]
+        );
+        // Corner 1: board 2 has no such corner; board 1's erased bit
+        // leaves the denominator (5 + (3-1) + 0 bits, 0+1+0 flips).
+        assert!(
+            (rates[1] - 1.0 / 7.0).abs() < 1e-12,
+            "corner 1: {}",
+            rates[1]
+        );
+    }
+
+    #[test]
+    fn equal_length_statistics_match_the_strict_formulas() {
+        // On a healthy (equal-length) run the prefix-tolerant paths
+        // must reproduce the historical values exactly.
+        let run = small_engine().run_on(7, 2);
+        let strict_uniqueness = {
+            let mut sum = 0.0;
+            let mut pairs = 0usize;
+            for i in 0..run.records.len() {
+                for j in i + 1..run.records.len() {
+                    let (a, b) = (&run.records[i].expected_bits, &run.records[j].expected_bits);
+                    assert_eq!(a.len(), b.len());
+                    sum += a.hamming_distance(b).expect("equal lengths") as f64 / a.len() as f64;
+                    pairs += 1;
+                }
+            }
+            sum / pairs as f64
+        };
+        assert_eq!(run.uniqueness(), Some(strict_uniqueness));
     }
 }

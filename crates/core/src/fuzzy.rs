@@ -274,6 +274,85 @@ mod tests {
     }
 
     #[test]
+    fn burst_errors_beyond_radius_fail_deterministically() {
+        // A contiguous burst — the shape a stuck counter or a long
+        // glitch produces — spanning whole blocks. The failure is not
+        // an `Err`: reproduce returns Ok with exactly the key bits of
+        // the overwhelmed blocks inverted, every time.
+        let fx = FuzzyExtractor::new(3);
+        let response = random_response(30, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let (key, helper) = fx.generate(&mut rng, &response);
+        // Burst across bits 3..9: blocks 1 and 2 fully flipped.
+        let mut noisy = response.clone();
+        for j in 3..9 {
+            noisy.set(j, !noisy.get(j).unwrap());
+        }
+        let first = fx.reproduce(&noisy, &helper).unwrap();
+        assert_ne!(first, key, "a two-block burst exceeds the radius");
+        for (i, (got, want)) in first.iter().zip(key.iter()).enumerate() {
+            if i == 1 || i == 2 {
+                assert_eq!(got, !want, "overwhelmed block {i} inverts");
+            } else {
+                assert_eq!(got, want, "block {i} untouched by the burst");
+            }
+        }
+        // Deterministic: the same wrong key on every attempt.
+        for _ in 0..3 {
+            assert_eq!(fx.reproduce(&noisy, &helper).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn burst_straddling_a_block_boundary_corrupts_only_overwhelmed_blocks() {
+        let fx = FuzzyExtractor::new(5);
+        let response = random_response(25, 11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let (key, helper) = fx.generate(&mut rng, &response);
+        // Burst over bits 3..12: 2 errors in block 0 (inside radius),
+        // 5 in block 1 (beyond), 2 in block 2 (inside).
+        let mut noisy = response.clone();
+        for j in 3..12 {
+            noisy.set(j, !noisy.get(j).unwrap());
+        }
+        let recovered = fx.reproduce(&noisy, &helper).unwrap();
+        for (i, (got, want)) in recovered.iter().zip(key.iter()).enumerate() {
+            if i == 1 {
+                assert_eq!(got, !want, "fully flipped block inverts");
+            } else {
+                assert_eq!(got, want, "radius-2 damage is corrected in block {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_err_deterministically() {
+        let fx = FuzzyExtractor::new(3);
+        let response = random_response(30, 13);
+        let mut rng = StdRng::seed_from_u64(14);
+        let (_key, helper) = fx.generate(&mut rng, &response);
+        // Helper not a multiple of the repetition factor.
+        let bad_helper: BitVec = helper.iter().take(29).collect();
+        for _ in 0..2 {
+            assert!(matches!(
+                fx.reproduce(&response, &bad_helper),
+                Err(ReproduceError::MalformedHelper {
+                    helper_bits: 29,
+                    repetition: 3
+                })
+            ));
+        }
+        // Response shorter than the helper string.
+        let short: BitVec = response.iter().take(12).collect();
+        for _ in 0..2 {
+            assert!(matches!(
+                fx.reproduce(&short, &helper),
+                Err(ReproduceError::ResponseTooShort { .. })
+            ));
+        }
+    }
+
+    #[test]
     fn trailing_bits_are_ignored() {
         let fx = FuzzyExtractor::new(3);
         let response = random_response(32, 7); // 10 blocks + 2 spare bits

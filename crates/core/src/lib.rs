@@ -69,11 +69,15 @@ pub mod one_of_eight;
 pub mod persist;
 pub mod puf;
 pub mod ro;
+pub mod robust;
 pub mod select;
 pub mod traditional;
 
 pub use config::{ConfigVector, ParityPolicy};
 pub use error::Error;
-pub use fleet::{split_seed, FleetAging, FleetConfig, FleetEngine, FleetRun};
+pub use fleet::{
+    split_seed, FleetAging, FleetConfig, FleetEngine, FleetRun, Quarantine, QuarantineReason,
+};
 pub use monitor::{FleetHealth, FleetObservatory, MonitorConfig, SweepPlan};
+pub use robust::{FaultPlan, FaultSummary, RobustOptions};
 pub use select::{case1, case2, PairSelection, Selection};

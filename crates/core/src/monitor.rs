@@ -252,6 +252,30 @@ pub fn default_gauges() -> Vec<GaugeSpec> {
             level: level(0.01, 0.10, 0.002),
             drift: Some(level(0.01, 0.05, 0.002)),
         },
+        // Fault-tolerance gauges: observed only when a fault-injection
+        // plan is active (or a genuine quarantine struck), so plain
+        // monitoring reports are unchanged.
+        GaugeSpec {
+            name: "quarantined_board_rate",
+            help: "Fraction of boards quarantined instead of evaluated (ideal 0)",
+            direction: Direction::HighIsBad,
+            level: level(0.05, 0.25, 0.01),
+            drift: None,
+        },
+        GaugeSpec {
+            name: "unrecoverable_read_rate",
+            help: "Fraction of measurement reads that failed even after retry/read-back recovery",
+            direction: Direction::HighIsBad,
+            level: level(0.002, 0.02, 0.0005),
+            drift: None,
+        },
+        GaugeSpec {
+            name: "injected_fault_rate",
+            help: "Fraction of measurement reads hit by an injected fault (chaos-drill dial, ideal 0)",
+            direction: Direction::HighIsBad,
+            level: level(0.05, 0.25, 0.01),
+            drift: None,
+        },
     ]
 }
 
@@ -450,6 +474,31 @@ impl FleetObservatory {
             if let Some(worst) = rates.iter().copied().reduce(f64::max) {
                 self.health.observe("aged_flip_rate_worst", worst);
             }
+        }
+        // Fault-tolerance gauges: only meaningful when the fault layer
+        // ran (a plan is configured) or a board was actually pulled —
+        // an unfaulted sample leaves them unobserved so its report is
+        // identical to the pre-fault-layer output.
+        let fault_layer_active = self.fresh.config().faults.is_some();
+        if fault_layer_active || !fresh.quarantined.is_empty() {
+            let total_boards = fresh.records.len() + fresh.quarantined.len();
+            if total_boards > 0 {
+                self.health.observe(
+                    "quarantined_board_rate",
+                    fresh.quarantined.len() as f64 / total_boards as f64,
+                );
+            }
+        }
+        if fault_layer_active && fresh.faults.reads > 0 {
+            let reads = fresh.faults.reads as f64;
+            self.health.observe(
+                "unrecoverable_read_rate",
+                fresh.faults.failed_reads as f64 / reads,
+            );
+            self.health.observe(
+                "injected_fault_rate",
+                fresh.faults.injected_faults() as f64 / reads,
+            );
         }
     }
 }

@@ -45,7 +45,7 @@ use ropuf_num::bits::BitVec;
 use ropuf_silicon::{Board, DelayProbe, Environment, Technology};
 use ropuf_telemetry as telemetry;
 
-use crate::calibrate::calibrate;
+use crate::calibrate::{calibrate, Calibration};
 use crate::config::{ConfigVector, ParityPolicy};
 use crate::error::Error;
 use crate::fleet::{parallel_map_indexed, split_seed};
@@ -426,6 +426,20 @@ impl ConfigurableRoPuf {
         let pair = spec.bind(board);
         let cal_top = calibrate(rng, pair.top(), &opts.probe, env, tech);
         let cal_bottom = calibrate(rng, pair.bottom(), &opts.probe, env, tech);
+        Self::select_pair(spec, &cal_top, &cal_bottom, opts)
+    }
+
+    /// The post-calibration half of [`Self::enroll_pair`]: plausibility
+    /// screen, §III.D selection, and margin thresholding. Shared with
+    /// the fault-tolerant path in [`crate::robust`], which produces its
+    /// calibrations through retry/readback instead of raw measurement
+    /// but must select and threshold identically.
+    pub(crate) fn select_pair(
+        spec: &PairSpec,
+        cal_top: &Calibration,
+        cal_bottom: &Calibration,
+        opts: &EnrollOptions,
+    ) -> Option<EnrolledPair> {
         if let Some((lo, hi)) = opts.plausible_ddiff_ps {
             let suspicious = cal_top
                 .ddiffs_ps()

@@ -21,6 +21,7 @@ fn engine(boards: usize) -> FleetEngine {
             response_probe: DelayProbe::new(0.25, 1),
             votes: 1,
             aging: None,
+            faults: None,
         },
     )
     .expect("valid fleet config")

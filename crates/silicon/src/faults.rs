@@ -1,0 +1,356 @@
+//! Deterministic measurement-process fault injection.
+//!
+//! [`crate::defects`] models *fabrication* defects — permanent,
+//! per-inverter, decided when a board is grown. This module models
+//! *measurement* faults: transient failures of the read-out path
+//! (frequency counter, timeout logic, repeat-measurement harness)
+//! that corrupt individual delay reads long after the silicon itself
+//! is fine. The four taxa:
+//!
+//! - **stuck** — the frequency counter latches at a rail value
+//!   (zero or saturation) instead of the true count;
+//! - **dropped** — the read times out and returns nothing at all;
+//! - **glitch** — a transient offset (supply spike, SEU in the
+//!   counter) lands on top of an otherwise sound measurement;
+//! - **flaky** — a byzantine repeat: the harness returns a
+//!   plausible-looking but wrongly scaled value, the hardest case
+//!   to detect because it stays in-band.
+//!
+//! A fifth rate, [`FaultModel::panic_rate`], is not a read fault: it
+//! makes a whole board evaluation panic mid-flight, exercising the
+//! fleet engine's `catch_unwind` containment.
+//!
+//! Injection is deterministic: [`FaultModel::corrupt`] draws from a
+//! caller-supplied RNG that the fleet layer seeds from its own
+//! split-seed stream (like `STREAM_AGING`), so a fault schedule is a
+//! pure function of `(master seed, board, pair, read index)` and is
+//! identical across thread counts.
+
+use rand::Rng;
+
+/// Which fault (if any) [`FaultModel::corrupt`] injected into a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The read passed through untouched.
+    Clean,
+    /// Counter latched at a rail value.
+    Stuck,
+    /// Read timed out; no value at all.
+    Dropped,
+    /// Transient additive outlier.
+    Glitch,
+    /// Byzantine repeat: in-band but wrongly scaled.
+    Flaky,
+}
+
+/// Rates and magnitudes for measurement-process fault injection.
+///
+/// Rates are per-read probabilities; the four read-fault rates are
+/// disjoint (a single read suffers at most one fault) so their sum
+/// must stay ≤ 1. All fields are public so experiments can dial in
+/// any mix; [`FaultModel::validate`] is the gatekeeper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultModel {
+    /// Probability a read returns a rail value instead of the truth.
+    pub stuck_rate: f64,
+    /// Probability a read times out entirely.
+    pub drop_rate: f64,
+    /// Probability a transient offset lands on the read.
+    pub glitch_rate: f64,
+    /// Probability of a byzantine (wrongly scaled, in-band) read.
+    pub flaky_rate: f64,
+    /// Probability a board's evaluation worker panics outright.
+    pub panic_rate: f64,
+    /// Rail value for a counter stuck low (picoseconds).
+    pub stuck_low_ps: f64,
+    /// Rail value for a saturated counter (picoseconds).
+    pub stuck_high_ps: f64,
+    /// Magnitude of a glitch offset (added or subtracted).
+    pub glitch_offset_ps: f64,
+    /// Scale factor of a flaky read (multiplied or divided by).
+    pub flaky_gain: f64,
+}
+
+impl Default for FaultModel {
+    /// Moderate chaos-drill rates: roughly one read in twenty-five is
+    /// faulty, and about one board in a hundred panics. `scaled(0.0)`
+    /// turns everything off; `scaled(k)` dials the rates up or down.
+    fn default() -> Self {
+        Self {
+            stuck_rate: 0.005,
+            drop_rate: 0.01,
+            glitch_rate: 0.02,
+            flaky_rate: 0.005,
+            panic_rate: 0.01,
+            stuck_low_ps: 0.0,
+            stuck_high_ps: 1.0e9,
+            glitch_offset_ps: 300.0,
+            flaky_gain: 1.5,
+        }
+    }
+}
+
+impl FaultModel {
+    /// A model with every rate at zero (magnitudes at defaults).
+    ///
+    /// Injection with this model is a no-op that consumes no RNG
+    /// draws, so a zero-fault run is byte-identical to a run with no
+    /// fault layer at all.
+    pub fn none() -> Self {
+        Self {
+            stuck_rate: 0.0,
+            drop_rate: 0.0,
+            glitch_rate: 0.0,
+            flaky_rate: 0.0,
+            panic_rate: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// This model with all five rates multiplied by `scale`
+    /// (each capped at 1.0; magnitudes untouched).
+    ///
+    /// The result still has to pass [`FaultModel::validate`] — a
+    /// large enough `scale` pushes the read-fault rates past a sum
+    /// of one.
+    #[must_use]
+    pub fn scaled(&self, scale: f64) -> Self {
+        let cap = |r: f64| (r * scale).min(1.0);
+        Self {
+            stuck_rate: cap(self.stuck_rate),
+            drop_rate: cap(self.drop_rate),
+            glitch_rate: cap(self.glitch_rate),
+            flaky_rate: cap(self.flaky_rate),
+            panic_rate: cap(self.panic_rate),
+            ..self.clone()
+        }
+    }
+
+    /// True when no read-level fault can ever fire (the four
+    /// read-fault rates are all zero; `panic_rate` is board-level
+    /// and judged separately).
+    pub fn reads_are_clean(&self) -> bool {
+        self.stuck_rate == 0.0
+            && self.drop_rate == 0.0
+            && self.glitch_rate == 0.0
+            && self.flaky_rate == 0.0
+    }
+
+    /// True when nothing at all can fire, panics included.
+    pub fn is_inert(&self) -> bool {
+        self.reads_are_clean() && self.panic_rate == 0.0
+    }
+
+    /// Checks rates are probabilities, read-fault rates sum to ≤ 1,
+    /// and magnitudes are physically sensible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let rates = [
+            ("stuck_rate", self.stuck_rate),
+            ("drop_rate", self.drop_rate),
+            ("glitch_rate", self.glitch_rate),
+            ("flaky_rate", self.flaky_rate),
+            ("panic_rate", self.panic_rate),
+        ];
+        for (name, rate) in rates {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} must be a probability, got {rate}"));
+            }
+        }
+        let sum = self.stuck_rate + self.drop_rate + self.glitch_rate + self.flaky_rate;
+        if sum > 1.0 {
+            return Err(format!("read-fault rates sum to {sum}, must be <= 1"));
+        }
+        if !self.stuck_low_ps.is_finite() || self.stuck_low_ps < 0.0 {
+            return Err(format!(
+                "stuck_low_ps must be finite and >= 0, got {}",
+                self.stuck_low_ps
+            ));
+        }
+        if !self.stuck_high_ps.is_finite() || self.stuck_high_ps <= self.stuck_low_ps {
+            return Err(format!(
+                "stuck_high_ps must be finite and > stuck_low_ps, got {}",
+                self.stuck_high_ps
+            ));
+        }
+        if !self.glitch_offset_ps.is_finite() || self.glitch_offset_ps <= 0.0 {
+            return Err(format!(
+                "glitch_offset_ps must be finite and > 0, got {}",
+                self.glitch_offset_ps
+            ));
+        }
+        if !self.flaky_gain.is_finite() || self.flaky_gain <= 1.0 {
+            return Err(format!(
+                "flaky_gain must be finite and > 1, got {}",
+                self.flaky_gain
+            ));
+        }
+        Ok(())
+    }
+
+    /// Passes a clean delay read through the fault model.
+    ///
+    /// Returns the (possibly corrupted) value — `None` for a dropped
+    /// read — and which fault fired. A clean pass-through with all
+    /// read-fault rates at zero consumes **no** RNG draws; otherwise
+    /// one uniform draw decides the taxon (cumulative thresholds,
+    /// like [`crate::defects::DefectModel::inject`]) and a faulty
+    /// read draws once more to pick its direction.
+    pub fn corrupt<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        clean_ps: f64,
+    ) -> (Option<f64>, InjectedFault) {
+        if self.reads_are_clean() {
+            return (Some(clean_ps), InjectedFault::Clean);
+        }
+        let roll = rng.gen::<f64>();
+        if roll < self.drop_rate {
+            (None, InjectedFault::Dropped)
+        } else if roll < self.drop_rate + self.stuck_rate {
+            let rail = if rng.gen::<bool>() {
+                self.stuck_high_ps
+            } else {
+                self.stuck_low_ps
+            };
+            (Some(rail), InjectedFault::Stuck)
+        } else if roll < self.drop_rate + self.stuck_rate + self.glitch_rate {
+            let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            (
+                Some(clean_ps + sign * self.glitch_offset_ps),
+                InjectedFault::Glitch,
+            )
+        } else if roll < self.drop_rate + self.stuck_rate + self.glitch_rate + self.flaky_rate {
+            let scaled = if rng.gen::<bool>() {
+                clean_ps * self.flaky_gain
+            } else {
+                clean_ps / self.flaky_gain
+            };
+            (Some(scaled), InjectedFault::Flaky)
+        } else {
+            (Some(clean_ps), InjectedFault::Clean)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_rates_change_nothing_and_draw_nothing() {
+        let model = FaultModel::none();
+        let mut rng = StdRng::seed_from_u64(9);
+        let before = StdRng::seed_from_u64(9).gen::<u64>();
+        for i in 0..32 {
+            let v = 1000.0 + f64::from(i);
+            assert_eq!(model.corrupt(&mut rng, v), (Some(v), InjectedFault::Clean));
+        }
+        // The RNG was never touched: its next draw is its first draw.
+        assert_eq!(rng.gen::<u64>(), before);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let model = FaultModel::default().scaled(8.0);
+        let run = |seed: u64| -> Vec<(Option<u64>, InjectedFault)> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..256)
+                .map(|i| {
+                    let (v, kind) = model.corrupt(&mut rng, 5000.0 + f64::from(i));
+                    (v.map(f64::to_bits), kind)
+                })
+                .collect()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn every_taxon_fires_at_high_rates() {
+        let model = FaultModel {
+            stuck_rate: 0.2,
+            drop_rate: 0.2,
+            glitch_rate: 0.2,
+            flaky_rate: 0.2,
+            ..FaultModel::default()
+        };
+        model.validate().expect("valid");
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [0usize; 5];
+        for _ in 0..2000 {
+            let (v, kind) = model.corrupt(&mut rng, 5000.0);
+            let slot = match kind {
+                InjectedFault::Clean => {
+                    assert_eq!(v, Some(5000.0));
+                    0
+                }
+                InjectedFault::Stuck => {
+                    assert!(v == Some(model.stuck_low_ps) || v == Some(model.stuck_high_ps));
+                    1
+                }
+                InjectedFault::Dropped => {
+                    assert_eq!(v, None);
+                    2
+                }
+                InjectedFault::Glitch => {
+                    let v = v.expect("glitch keeps a value");
+                    assert!((v - 5000.0).abs() == model.glitch_offset_ps);
+                    3
+                }
+                InjectedFault::Flaky => {
+                    let v = v.expect("flaky keeps a value");
+                    assert!(v == 5000.0 * model.flaky_gain || v == 5000.0 / model.flaky_gain);
+                    4
+                }
+            };
+            seen[slot] += 1;
+        }
+        assert!(seen.iter().all(|&n| n > 0), "all taxa fire: {seen:?}");
+        // Clean share tracks 1 - 0.8 = 0.2 loosely.
+        assert!(seen[0] > 200 && seen[0] < 600, "clean share: {}", seen[0]);
+    }
+
+    #[test]
+    fn scaled_caps_rates_and_zero_scale_is_inert() {
+        let inert = FaultModel::default().scaled(0.0);
+        assert!(inert.is_inert());
+        assert!(inert.validate().is_ok());
+        let capped = FaultModel::default().scaled(1.0e6);
+        assert!(capped.drop_rate <= 1.0 && capped.panic_rate <= 1.0);
+        // Read-fault rates now sum past one: validate refuses.
+        assert!(capped.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_models_are_rejected() {
+        let bad_rate = FaultModel {
+            drop_rate: 1.5,
+            ..FaultModel::default()
+        };
+        assert!(bad_rate.validate().is_err());
+        let bad_sum = FaultModel {
+            stuck_rate: 0.4,
+            drop_rate: 0.4,
+            glitch_rate: 0.3,
+            ..FaultModel::default()
+        };
+        assert!(bad_sum.validate().is_err());
+        let bad_rails = FaultModel {
+            stuck_high_ps: -1.0,
+            ..FaultModel::default()
+        };
+        assert!(bad_rails.validate().is_err());
+        let bad_gain = FaultModel {
+            flaky_gain: 0.5,
+            ..FaultModel::default()
+        };
+        assert!(bad_gain.validate().is_err());
+        assert!(FaultModel::default().validate().is_ok());
+    }
+}

@@ -51,6 +51,7 @@ pub mod board;
 pub mod defects;
 pub mod device;
 pub mod env;
+pub mod faults;
 pub mod measure;
 pub mod noise;
 pub mod params;
@@ -61,6 +62,7 @@ pub use board::{Board, BoardId};
 pub use defects::DefectModel;
 pub use device::DelayUnit;
 pub use env::{Environment, Technology};
+pub use faults::{FaultModel, InjectedFault};
 pub use measure::{DelayProbe, FrequencyCounter};
 pub use params::{NoiseParams, SiliconParams, VariationParams};
 pub use sim::SiliconSim;

@@ -35,6 +35,7 @@ use ropuf::core::fleet::{worker_threads, FleetAging, FleetConfig, FleetEngine};
 use ropuf::core::monitor::{FleetObservatory, MonitorConfig, SweepPlan};
 use ropuf::core::persist::{enrollment_from_text, enrollment_to_text};
 use ropuf::core::puf::{ConfigurableRoPuf, EnrollOptions, SelectionMode};
+use ropuf::core::robust::FaultPlan;
 use ropuf::core::select::case2;
 use ropuf::core::ParityPolicy;
 use ropuf::dataset::extract::{board_bits, VirtualLayout};
@@ -216,10 +217,12 @@ fn usage(problem: &str) -> ExitCode {
            rth               --dataset FILE (in-house CSV) [--usable N=13] [--max-rth PS=5]\n\
            fleet             [--boards N=64] [--seed N=1] [--units N=480] [--stages N=7]\n\
                              [--cols N=16] [--threads N=auto] [--votes N=1] [--threshold PS=0]\n\
+                             [--faults SCALE=off] (chaos drill: inject measurement faults)\n\
            monitor           [--boards N=16] [--seed N=1] [--units N=120] [--stages N=5]\n\
                              [--cols N=8] [--threads N=auto] [--sweep nominal|voltage|temperature|full]\n\
                              [--years Y=5] [--format human|json|prometheus]\n\
                              [--baseline FILE] [--enroll-baseline FILE] [--fail-on warn|critical|never]\n\
+                             [--faults SCALE=off]\n\
            enroll            --out FILE [--seed N=1] [--units N=480] [--stages N=7]\n\
                              [--mode case1|case2] [--threshold PS=0]\n\
            respond           --enrollment FILE [--seed N=1] [--units N=480]\n\
@@ -245,6 +248,28 @@ fn dispatch(command: &str, opts: &HashMap<String, String>) -> Result<(), CliErro
             "unknown command {other:?} (run with no arguments for usage)"
         ))),
     }
+}
+
+/// Parses `--faults SCALE` into a fault-injection plan: the default
+/// chaos model with every rate multiplied by SCALE. `0` configures the
+/// fault layer but injects nothing — output stays byte-identical to a
+/// run without the flag. Absent flag means no fault layer at all.
+fn fault_plan(opts: &HashMap<String, String>) -> Result<Option<FaultPlan>, CliError> {
+    let Some(raw) = opts.get("faults") else {
+        return Ok(None);
+    };
+    let scale: f64 = raw
+        .parse()
+        .map_err(|_| CliError::Usage(format!("--faults value {raw:?} is malformed")))?;
+    if !(scale.is_finite() && scale >= 0.0) {
+        return Err(CliError::Usage(format!(
+            "--faults must be a finite non-negative scale, got {raw}"
+        )));
+    }
+    let plan = FaultPlan::scaled(scale);
+    plan.validate()
+        .map_err(|e| CliError::Usage(format!("--faults {raw}: {e}")))?;
+    Ok(Some(plan))
 }
 
 fn get<T: std::str::FromStr>(
@@ -432,6 +457,7 @@ fn fleet(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let threads = get(opts, "threads", worker_threads())?;
     let votes = get(opts, "votes", 1usize)?;
     let threshold = get(opts, "threshold", 0.0f64)?;
+    let faults = fault_plan(opts)?;
     let opts = EnrollOptions::builder()
         .threshold_ps(threshold)
         .try_build()?;
@@ -442,6 +468,7 @@ fn fleet(opts: &HashMap<String, String>) -> Result<(), CliError> {
         stages,
         opts,
         votes,
+        faults,
         corners: vec![
             Environment::nominal(),
             Environment::new(0.98, 25.0),
@@ -479,6 +506,27 @@ fn fleet(opts: &HashMap<String, String>) -> Result<(), CliError> {
     );
     for (env, rate) in corners.iter().zip(run.corner_flip_rates()) {
         println!("corner {env}: flip rate {rate:.4}");
+    }
+    // Printed only when the fault layer actually did something, so a
+    // zero-fault run stays byte-identical to the plain pipeline.
+    if !run.quarantined.is_empty() || run.faults.has_activity() {
+        for q in &run.quarantined {
+            println!("board {:3}  QUARANTINED: {}", q.board_index, q.reason);
+        }
+        let f = &run.faults;
+        println!(
+            "faults: {} injected / {} reads, {} retries, {} recovered, {} unrecoverable, \
+             {} pairs excluded, {} bits erased, {} boards quarantined, {} panics contained",
+            f.injected_faults(),
+            f.reads,
+            f.retry_reads,
+            f.recovered_reads,
+            f.failed_reads,
+            f.unreadable_pairs,
+            f.response_erasures,
+            f.quarantined_boards,
+            f.contained_panics,
+        );
     }
     eprintln!(
         "{} threads, {:.1} boards/sec ({:.2?})",
@@ -533,6 +581,7 @@ fn monitor(opts: &HashMap<String, String>) -> Result<(), CliError> {
             "--format must be human, json, or prometheus, got {format:?}"
         )));
     }
+    let faults = fault_plan(opts)?;
     let config = MonitorConfig {
         fleet: FleetConfig {
             boards,
@@ -542,6 +591,7 @@ fn monitor(opts: &HashMap<String, String>) -> Result<(), CliError> {
             opts: EnrollOptions::builder()
                 .threshold_ps(threshold)
                 .try_build()?,
+            faults,
             ..FleetConfig::default()
         },
         sweep,

@@ -38,7 +38,7 @@ pub mod prelude {
     pub use ropuf_core::error::Error;
     pub use ropuf_core::fleet::{
         split_seed, worker_threads, BoardRecord, FleetAging, FleetConfig, FleetEngine, FleetRun,
-        Layout,
+        Layout, Quarantine, QuarantineReason,
     };
     pub use ropuf_core::monitor::{FleetHealth, FleetObservatory, MonitorConfig, SweepPlan};
     pub use ropuf_core::one_of_eight::{OneOfEightEnrollment, OneOfEightPuf, RoGroup};
@@ -47,6 +47,9 @@ pub mod prelude {
         ConfigurableRoPuf, EnrollOptions, EnrollOptionsBuilder, Enrollment, PairSpec, SelectionMode,
     };
     pub use ropuf_core::ro::RoPair;
+    pub use ropuf_core::robust::{
+        enroll_robust, respond_robust, FaultPlan, FaultSummary, RobustEnrollment, RobustOptions,
+    };
     pub use ropuf_core::traditional::{TraditionalEnrollment, TraditionalRoPuf};
     pub use ropuf_core::{ConfigVector, ParityPolicy};
     pub use ropuf_dataset::extract::{distill_values, select_board, VirtualLayout};
@@ -56,6 +59,6 @@ pub mod prelude {
     pub use ropuf_nist::suite::{run_suite, SuiteConfig};
     pub use ropuf_num::bits::BitVec;
     pub use ropuf_silicon::{
-        Board, DelayProbe, Environment, FrequencyCounter, SiliconSim, Technology,
+        Board, DelayProbe, Environment, FaultModel, FrequencyCounter, SiliconSim, Technology,
     };
 }

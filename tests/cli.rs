@@ -464,3 +464,134 @@ fn monitor_rejects_bad_sweep() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--sweep"));
 }
+
+#[test]
+fn monitor_baseline_missing_file_is_a_typed_error() {
+    let missing = tmp("no-such-dir").join("baseline.json");
+    let out = ropuf(&[
+        "monitor",
+        "--sweep",
+        "nominal",
+        "--boards",
+        "4",
+        "--units",
+        "60",
+        "--years",
+        "0",
+        "--baseline",
+        missing.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "unreadable baseline must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error: "), "typed error prefix: {err}");
+    assert!(
+        err.contains("baseline.json"),
+        "names the offending path: {err}"
+    );
+}
+
+#[test]
+fn monitor_baseline_malformed_file_is_a_typed_error() {
+    let garbled = tmp("garbled_baseline.json");
+    std::fs::write(&garbled, "hello, not json at all").unwrap();
+    let out = ropuf(&[
+        "monitor",
+        "--sweep",
+        "nominal",
+        "--boards",
+        "4",
+        "--units",
+        "60",
+        "--years",
+        "0",
+        "--baseline",
+        garbled.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "malformed baseline must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("baseline"),
+        "explains what was malformed: {err}"
+    );
+}
+
+#[test]
+fn trace_out_to_unwritable_path_is_a_typed_error() {
+    let missing = tmp("no-such-dir").join("trace.jsonl");
+    let out = ropuf(&[
+        "fleet",
+        "--boards",
+        "2",
+        "--units",
+        "60",
+        "--stages",
+        "3",
+        "--trace-out",
+        missing.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "unwritable trace sink must fail");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.starts_with("error: "), "typed error prefix: {err}");
+    assert!(
+        err.contains("trace.jsonl"),
+        "names the offending path: {err}"
+    );
+}
+
+#[test]
+fn fleet_rejects_malformed_fault_scale() {
+    for bad in ["banana", "-1", "inf"] {
+        let out = ropuf(&[
+            "fleet", "--boards", "2", "--units", "60", "--stages", "3", "--faults", bad,
+        ]);
+        assert!(!out.status.success(), "--faults {bad} must fail");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--faults"),
+            "points at the flag for {bad}"
+        );
+    }
+}
+
+#[test]
+fn fleet_with_zero_fault_scale_is_byte_identical_to_plain() {
+    // `--faults 0` must not perturb the measurement RNG stream: the
+    // robust read path falls back to plain reads and the report gains
+    // no extra lines.
+    let plain = ropuf(&[
+        "fleet", "--boards", "6", "--seed", "7", "--units", "60", "--stages", "3",
+    ]);
+    let zero = ropuf(&[
+        "fleet", "--boards", "6", "--seed", "7", "--units", "60", "--stages", "3", "--faults", "0",
+    ]);
+    assert!(plain.status.success() && zero.status.success());
+    assert_eq!(
+        plain.stdout, zero.stdout,
+        "zero-rate fault layer must be byte-identical to no fault layer"
+    );
+}
+
+#[test]
+fn fleet_chaos_drill_quarantines_deterministically() {
+    // Seed 7 at scale 8 provably quarantines at least one board (the
+    // panic roll depends only on master seed, board index, and rate).
+    let args = [
+        "fleet", "--boards", "24", "--seed", "7", "--units", "60", "--stages", "3", "--cols", "6",
+        "--faults", "8",
+    ];
+    let first = ropuf_with_threads(&args, "4");
+    assert!(
+        first.status.success(),
+        "chaos drill is a success mode: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(stdout.contains("QUARANTINED"), "{stdout}");
+    assert!(stdout.contains("faults:"), "{stdout}");
+    let again = ropuf_with_threads(&args, "4");
+    assert_eq!(first.stdout, again.stdout, "chaos drill is deterministic");
+    let serial = ropuf_with_threads(&args, "1");
+    assert_eq!(
+        first.stdout, serial.stdout,
+        "chaos drill is thread-count invariant"
+    );
+}
