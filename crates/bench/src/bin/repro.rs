@@ -326,11 +326,12 @@ fn run_to_stdout(command: &str, opts: &Options) -> bool {
             };
             let describe = |label: &str, r: &check::BenchRecord| {
                 println!(
-                    "{label}: {} boards x {} bits, {:.1} boards/sec, deterministic {}, \
-                     uniqueness {}",
+                    "{label}: {} boards x {} bits, {:.1} boards/sec @ {} thread(s), \
+                     deterministic {}, uniqueness {}",
                     r.boards,
                     r.bits_per_board,
                     r.boards_per_sec,
+                    r.threads.map_or("?".to_string(), |t| t.to_string()),
                     r.deterministic,
                     r.uniqueness
                         .map_or("null".to_string(), |u| format!("{u:.6}")),
@@ -338,7 +339,11 @@ fn run_to_stdout(command: &str, opts: &Options) -> bool {
             };
             describe("baseline", &baseline);
             describe("fresh   ", &fresh);
-            let violations = check::compare(&baseline, &fresh, &check::Tolerance::default());
+            let (violations, notes) =
+                check::compare_with_notes(&baseline, &fresh, &check::Tolerance::default());
+            for n in &notes {
+                println!("note: {n}");
+            }
             if violations.is_empty() {
                 println!("check-bench: PASS");
             } else {

@@ -39,6 +39,10 @@ pub struct BenchRecord {
     /// Fleet uniqueness, when the record carried one (`null` when
     /// fewer than two boards were comparable).
     pub uniqueness: Option<f64>,
+    /// Worker threads the parallel pass ran on, when the record carried
+    /// the field. `boards_per_sec` figures are only commensurable at
+    /// equal thread counts.
+    pub threads: Option<u64>,
 }
 
 impl BenchRecord {
@@ -64,6 +68,7 @@ impl BenchRecord {
             boards_per_sec,
             deterministic,
             uniqueness: extract_number(text, "uniqueness"),
+            threads: extract_number(text, "threads").map(|t| t as u64),
         })
     }
 }
@@ -88,9 +93,34 @@ impl Default for Tolerance {
 }
 
 /// Compares `fresh` against `baseline`; returns one message per
-/// violated claim (empty = gate passes).
+/// violated claim (empty = gate passes). Notes from the thread-aware
+/// throughput handling are discarded; use [`compare_with_notes`] to
+/// surface them.
 pub fn compare(baseline: &BenchRecord, fresh: &BenchRecord, tol: &Tolerance) -> Vec<String> {
+    compare_with_notes(baseline, fresh, tol).0
+}
+
+/// [`compare`] plus the non-fatal notes the comparison logged — today
+/// that is the reason the throughput band was skipped when one record
+/// does not carry a thread count.
+///
+/// Thread handling:
+///
+/// * both records carry `threads` and they match — throughput is
+///   compared normally;
+/// * both carry `threads` but they differ — a **violation**:
+///   `boards_per_sec` at different worker counts is not a regression
+///   signal, and the baseline must be regenerated at the pinned count;
+/// * either record lacks `threads` (a pre-thread-field baseline) — the
+///   throughput band is skipped with a logged note, because a silent
+///   cross-thread comparison is exactly the bug this gate had.
+pub fn compare_with_notes(
+    baseline: &BenchRecord,
+    fresh: &BenchRecord,
+    tol: &Tolerance,
+) -> (Vec<String>, Vec<String>) {
     let mut violations = Vec::new();
+    let mut notes = Vec::new();
     if fresh.boards != baseline.boards {
         violations.push(format!(
             "fleet shape changed: baseline ran {} boards, fresh ran {}",
@@ -128,7 +158,31 @@ pub fn compare(baseline: &BenchRecord, fresh: &BenchRecord, tol: &Tolerance) -> 
         (None, None) => {}
     }
     // Only throughput is compared band-wise; the shape checks above
-    // make the boards/sec figures commensurable.
+    // make the boards/sec figures commensurable — provided the two
+    // records also ran on the same number of worker threads.
+    match (baseline.threads, fresh.threads) {
+        (Some(b), Some(f)) if b != f => {
+            violations.push(format!(
+                "thread counts differ: baseline ran on {b} thread(s), fresh on {f}; \
+                 boards/sec is not comparable — regenerate the baseline at the pinned \
+                 thread count"
+            ));
+            return (violations, notes);
+        }
+        (None, _) | (_, None) => {
+            notes.push(format!(
+                "throughput comparison skipped: {} record carries no \"threads\" field, \
+                 so boards/sec figures may come from different worker counts",
+                if baseline.threads.is_none() {
+                    "baseline"
+                } else {
+                    "fresh"
+                }
+            ));
+            return (violations, notes);
+        }
+        _ => {}
+    }
     let floor = baseline.boards_per_sec * (1.0 - tol.max_throughput_regression);
     if fresh.boards_per_sec < floor {
         violations.push(format!(
@@ -140,7 +194,7 @@ pub fn compare(baseline: &BenchRecord, fresh: &BenchRecord, tol: &Tolerance) -> 
             floor
         ));
     }
-    violations
+    (violations, notes)
 }
 
 #[cfg(test)]
@@ -154,6 +208,7 @@ mod tests {
             boards_per_sec,
             deterministic: true,
             uniqueness: Some(0.4969070961718023),
+            threads: Some(1),
         }
     }
 
@@ -183,6 +238,7 @@ mod tests {
         assert_eq!(r.bits_per_board, 34);
         assert!(r.deterministic);
         assert_eq!(r.uniqueness, Some(0.4969070961718023));
+        assert_eq!(r.threads, Some(1));
         assert!((r.boards_per_sec - 1443.0638482246775).abs() < 1e-9);
     }
 
@@ -236,6 +292,42 @@ mod tests {
         assert!(compare(&baseline, &vanished, &Tolerance::default())
             .iter()
             .any(|v| v.contains("vanished")));
+    }
+
+    #[test]
+    fn mismatched_thread_counts_are_a_hard_failure() {
+        // A fabricated baseline measured at 8 threads must NOT silently
+        // gate a 1-thread fresh run, even when the fresh throughput
+        // would pass the band on its own.
+        let mut baseline = record(1000.0);
+        baseline.threads = Some(8);
+        let fresh = record(8000.0);
+        let (violations, notes) = compare_with_notes(&baseline, &fresh, &Tolerance::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("thread counts differ")
+                && violations[0].contains("8 thread")
+                && violations[0].contains("fresh on 1")
+                && violations[0].contains("regenerate the baseline"),
+            "{violations:?}"
+        );
+        assert!(notes.is_empty(), "{notes:?}");
+    }
+
+    #[test]
+    fn missing_thread_count_skips_throughput_with_a_note() {
+        // Pre-thread-field baseline: the would-be 2x regression must not
+        // fire, and the skip must be explained.
+        let mut baseline = record(1000.0);
+        baseline.threads = None;
+        let fresh = record(500.0);
+        let (violations, notes) = compare_with_notes(&baseline, &fresh, &Tolerance::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(notes.len(), 1, "{notes:?}");
+        assert!(
+            notes[0].contains("throughput comparison skipped") && notes[0].contains("baseline"),
+            "{notes:?}"
+        );
     }
 
     #[test]

@@ -6,10 +6,14 @@
 //! `repro fleet` renders the outcome and emits it as `BENCH_fleet.json`.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use ropuf_core::fleet::{worker_threads, FleetConfig, FleetEngine, FleetRun};
-use ropuf_core::puf::EnrollOptions;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_core::calibrate::{calibrate, calibrate_per_config};
+use ropuf_core::fleet::{split_seed, worker_threads, FleetConfig, FleetEngine, FleetRun};
+use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+use ropuf_silicon::board::BoardId;
 use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
 use ropuf_telemetry::{self as telemetry, MemorySink};
 
@@ -56,6 +60,13 @@ pub struct StageBreakdown {
     /// Items workers claimed beyond their fair share
     /// (`parallel.steals`): 0 when the load divides evenly.
     pub steals: u64,
+    /// Logical measurements served by the batched §III.B kernel
+    /// (`measure.batched`); the enrollment hot path should account for
+    /// all of them.
+    pub batched_measurements: u64,
+    /// Logical measurements that went through a per-configuration walk
+    /// (`measure.fallback`); 0 for the production enrollment path.
+    pub fallback_measurements: u64,
 }
 
 impl StageBreakdown {
@@ -71,7 +82,67 @@ impl StageBreakdown {
             respond_us: sink.span_total_us("fleet.respond"),
             boards: counter("fleet.boards"),
             steals: counter("parallel.steals"),
+            batched_measurements: counter("measure.batched"),
+            fallback_measurements: counter("measure.fallback"),
         }
+    }
+}
+
+/// Head-to-head timing of the batched calibration kernel against the
+/// per-configuration reference path, calibrating every pair of one
+/// representative board (best-of-5 passes per kernel). Both paths
+/// produce bit-identical calibrations; only the wall-clock differs.
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationComparison {
+    /// Microseconds to calibrate the board once via the batched kernel.
+    pub batched_us: u64,
+    /// Microseconds for the same calibrations via independent
+    /// whole-ring walks.
+    pub naive_us: u64,
+    /// `naive_us / batched_us` — how much the batched kernel buys.
+    pub kernel_speedup: f64,
+}
+
+/// Measures [`CalibrationComparison`] on a board grown from
+/// `config.seed` with the benchmark floorplan.
+fn compare_calibration_kernels(config: &Config) -> CalibrationComparison {
+    let sim = SiliconSim::default_spartan();
+    let mut grow_rng = StdRng::seed_from_u64(config.seed);
+    let board = sim.grow_board_with_id(&mut grow_rng, BoardId(0), config.units, 16);
+    let tech = *sim.technology();
+    let env = Environment::nominal();
+    let puf = ConfigurableRoPuf::tiled_interleaved(config.units, config.stages);
+    let probe = EnrollOptions::default().probe;
+    let time_pass = |batched: bool| -> Duration {
+        let mut best = Duration::MAX;
+        for round in 0..5u64 {
+            let start = Instant::now();
+            for (i, spec) in puf.specs().iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(split_seed(config.seed ^ round, i as u64));
+                let pair = spec.bind(&board);
+                let cals = if batched {
+                    (
+                        calibrate(&mut rng, pair.top(), &probe, env, &tech),
+                        calibrate(&mut rng, pair.bottom(), &probe, env, &tech),
+                    )
+                } else {
+                    (
+                        calibrate_per_config(&mut rng, pair.top(), &probe, env, &tech),
+                        calibrate_per_config(&mut rng, pair.bottom(), &probe, env, &tech),
+                    )
+                };
+                std::hint::black_box(&cals);
+            }
+            best = best.min(start.elapsed());
+        }
+        best
+    };
+    let batched = time_pass(true);
+    let naive = time_pass(false);
+    CalibrationComparison {
+        batched_us: batched.as_micros() as u64,
+        naive_us: naive.as_micros() as u64,
+        kernel_speedup: naive.as_secs_f64() / batched.as_secs_f64().max(1e-12),
     }
 }
 
@@ -102,6 +173,8 @@ pub struct Outcome {
     /// Per-stage timing of the parallel pass (CPU-seconds summed
     /// across workers, so the stage totals can exceed wall-clock).
     pub stages: StageBreakdown,
+    /// Batched-vs-naive calibration kernel timing on one board.
+    pub calibration: CalibrationComparison,
 }
 
 impl Outcome {
@@ -137,6 +210,15 @@ impl Outcome {
             self.stages.respond_us as f64 / 1e6,
             self.stages.steals,
         ));
+        out.push_str(&format!(
+            "measurements: {} batched, {} fallback\n\
+             calibration kernel (one board): batched {}us vs per-config {}us ({:.2}x)\n",
+            self.stages.batched_measurements,
+            self.stages.fallback_measurements,
+            self.calibration.batched_us,
+            self.calibration.naive_us,
+            self.calibration.kernel_speedup,
+        ));
         out
     }
 
@@ -160,7 +242,10 @@ impl Outcome {
              \"speedup\": {},\n  \"deterministic\": {},\n  \"uniqueness\": {},\n  \
              \"corners\": [{}],\n  \
              \"stages\": {{\"grow_us\": {}, \"enroll_us\": {}, \"respond_us\": {}, \
-             \"boards\": {}, \"steals\": {}}}\n}}\n",
+             \"boards\": {}, \"steals\": {}, \"batched_measurements\": {}, \
+             \"fallback_measurements\": {}}},\n  \
+             \"calibration\": {{\"batched_us\": {}, \"naive_us\": {}, \
+             \"kernel_speedup\": {}}}\n}}\n",
             self.boards,
             self.bits_per_board,
             self.threads,
@@ -177,6 +262,11 @@ impl Outcome {
             self.stages.respond_us,
             self.stages.boards,
             self.stages.steals,
+            self.stages.batched_measurements,
+            self.stages.fallback_measurements,
+            self.calibration.batched_us,
+            self.calibration.naive_us,
+            self.calibration.kernel_speedup,
         )
     }
 }
@@ -209,6 +299,9 @@ pub fn run(config: &Config) -> Outcome {
     let parallel: FleetRun =
         telemetry::scoped(sink.clone(), || engine.run_on(config.seed, threads));
     let stages = StageBreakdown::from_sink(&sink);
+    // Timed outside the sink scope so the reference path's
+    // `measure.fallback` counters do not pollute the engine breakdown.
+    let calibration = compare_calibration_kernels(config);
     let speedup = serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-12);
     Outcome {
         boards: config.boards,
@@ -225,6 +318,7 @@ pub fn run(config: &Config) -> Outcome {
             .zip(parallel.corner_flip_rates())
             .collect(),
         stages,
+        calibration,
     }
 }
 
@@ -258,6 +352,14 @@ mod tests {
         // every board; durations may round to 0 µs on a fast machine,
         // but the counters are exact.
         assert_eq!(out.stages.boards, 8);
+        // Enrollment is fully batched: (stages + 2) measurements per
+        // ring, 2 rings per pair, 10 pairs, 8 boards — and nothing on
+        // the fallback path.
+        assert_eq!(out.stages.batched_measurements, (4 + 2) * 2 * 10 * 8);
+        assert_eq!(out.stages.fallback_measurements, 0);
+        assert!(out.calibration.kernel_speedup > 0.0);
+        assert!(json.contains("\"calibration\""));
+        assert!(json.contains("\"batched_measurements\""));
     }
 
     /// The recorded thread count must be the count the parallel pass

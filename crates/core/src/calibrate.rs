@@ -21,7 +21,8 @@
 //! faithful model of post-silicon test-mode measurement.
 
 use rand::Rng;
-use ropuf_silicon::{DelayProbe, Environment, Technology};
+use ropuf_silicon::{BatchProbe, DelayProbe, Environment, Technology};
+use ropuf_telemetry as telemetry;
 
 use crate::config::ConfigVector;
 use crate::ro::ConfigurableRo;
@@ -89,6 +90,14 @@ impl Calibration {
 /// single-stage-bypassed ring), yielding unbiased `ddiff_i = D_all − D_i`
 /// estimates and the bypass total.
 ///
+/// Internally the `n + 2` configurations are served by the batched
+/// [`BatchProbe`] kernel: per-stage delay contributions are scaled once
+/// per ring and reused by every configuration, instead of re-deriving
+/// them in `n + 2` independent whole-ring walks. The result is
+/// bit-identical to [`calibrate_per_config`] — same noise-draw order,
+/// same floating-point folds — just cheaper; each call bumps the
+/// `measure.batched` telemetry counter by `n + 2`.
+///
 /// # Examples
 ///
 /// ```
@@ -123,6 +132,39 @@ pub fn calibrate<R: Rng + ?Sized>(
     tech: &Technology,
 ) -> Calibration {
     let n = ro.len();
+    let stages = ro.stage_delays(env, tech);
+    let batch = BatchProbe::new(probe, &stages).measure_configs(rng);
+    telemetry::counter("measure.batched", (n + 2) as u64);
+    let ddiff_ps: Vec<f64> = batch
+        .leave_one_out_ps
+        .iter()
+        .map(|&d_i| batch.all_selected_ps - d_i)
+        .collect();
+    Calibration {
+        ddiff_ps,
+        all_selected_ps: batch.all_selected_ps,
+        bypass_ps: batch.bypass_ps,
+    }
+}
+
+/// Reference implementation of [`calibrate`] that performs `n + 2`
+/// independent whole-ring walks — one O(n) delay sum per configuration —
+/// instead of the batched per-stage cache.
+///
+/// The batched path is bit-identical to this one by construction (same
+/// noise-draw order, same left-to-right delay folds); the equivalence is
+/// pinned by unit and property tests. This path is kept as the oracle for
+/// those tests and for the `repro fleet` batched-vs-naive breakdown, and
+/// feeds the `measure.fallback` telemetry counter.
+pub fn calibrate_per_config<R: Rng + ?Sized>(
+    rng: &mut R,
+    ro: &ConfigurableRo<'_>,
+    probe: &DelayProbe,
+    env: Environment,
+    tech: &Technology,
+) -> Calibration {
+    let n = ro.len();
+    telemetry::counter("measure.fallback", (n + 2) as u64);
     let measure = |rng: &mut R, config: &ConfigVector| {
         probe.measure_ps(rng, ro.ring_delay_ps(config, env, tech))
     };
@@ -178,6 +220,7 @@ pub fn calibrate_three_stage<R: Rng + ?Sized>(
         3,
         "three-stage calibration needs exactly 3 stages"
     );
+    telemetry::counter("measure.fallback", 3);
     let measure = |rng: &mut R, skip: usize| {
         probe.measure_ps(
             rng,
@@ -280,6 +323,33 @@ mod tests {
             sq
         };
         assert!(err(16) < err(1) / 4.0);
+    }
+
+    #[test]
+    fn batched_calibration_matches_per_config_bit_for_bit() {
+        let (board, tech) = grow(8);
+        for (stages, env) in [
+            (1, Environment::nominal()),
+            (4, Environment::new(0.98, 65.0)),
+            (8, Environment::nominal()),
+        ] {
+            let ro = ConfigurableRo::from_range(&board, 0..stages);
+            let probe = DelayProbe::new(0.25, 4);
+            let mut rng_a = StdRng::seed_from_u64(42);
+            let mut rng_b = StdRng::seed_from_u64(42);
+            let batched = calibrate(&mut rng_a, &ro, &probe, env, &tech);
+            let naive = calibrate_per_config(&mut rng_b, &ro, &probe, env, &tech);
+            assert_eq!(
+                batched.all_selected_ps().to_bits(),
+                naive.all_selected_ps().to_bits()
+            );
+            assert_eq!(batched.bypass_ps().to_bits(), naive.bypass_ps().to_bits());
+            for (b, n) in batched.ddiffs_ps().iter().zip(naive.ddiffs_ps()) {
+                assert_eq!(b.to_bits(), n.to_bits(), "stages={stages}");
+            }
+            // And the RNGs stayed in lockstep: next draws agree.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@ use ropuf_num::linalg::Matrix;
 use ropuf_silicon::{DelayProbe, Environment, Technology};
 
 use crate::config::{ConfigVector, ParityPolicy};
+use crate::error::Error;
 use crate::ro::RoPair;
 
 /// One challenge: a configuration for each ring of a pair, with equal
@@ -36,19 +37,39 @@ impl Challenge {
     ///
     /// # Panics
     ///
-    /// Panics if lengths or selected counts differ.
+    /// Panics if lengths or selected counts differ. Use [`try_new`] to
+    /// validate untrusted (e.g. attacker- or wire-supplied) challenges
+    /// without unwinding.
+    ///
+    /// [`try_new`]: Self::try_new
     pub fn new(top: ConfigVector, bottom: ConfigVector) -> Self {
-        assert_eq!(
-            top.len(),
-            bottom.len(),
-            "configurations must be equally long"
-        );
-        assert_eq!(
-            top.selected_count(),
-            bottom.selected_count(),
-            "challenges must select equally many stages per ring"
-        );
-        Self { top, bottom }
+        Self::try_new(top, bottom).expect("invalid challenge")
+    }
+
+    /// Creates a challenge from two configurations, rejecting malformed
+    /// input instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Challenge`] when the configurations differ in length or
+    /// in selected-stage count (the paper's structural constraint on a
+    /// challenge).
+    pub fn try_new(top: ConfigVector, bottom: ConfigVector) -> Result<Self, Error> {
+        if top.len() != bottom.len() {
+            return Err(Error::Challenge(format!(
+                "configurations must be equally long, got {} and {}",
+                top.len(),
+                bottom.len()
+            )));
+        }
+        if top.selected_count() != bottom.selected_count() {
+            return Err(Error::Challenge(format!(
+                "challenges must select equally many stages per ring, got {} and {}",
+                top.selected_count(),
+                bottom.selected_count()
+            )));
+        }
+        Ok(Self { top, bottom })
     }
 
     /// Draws a uniform random challenge over `n` stages with equal
@@ -79,7 +100,7 @@ impl Challenge {
             }
             ConfigVector::from_selected(n, &chosen)
         };
-        Self::new(pick(rng), pick(rng))
+        Self::try_new(pick(rng), pick(rng)).expect("random challenges are valid by construction")
     }
 
     /// The top ring's configuration.
@@ -388,5 +409,26 @@ mod tests {
             ConfigVector::from_selected(4, &[0, 1]),
             ConfigVector::from_selected(4, &[2]),
         );
+    }
+
+    #[test]
+    fn try_new_rejects_malformed_challenges() {
+        let err = Challenge::try_new(
+            ConfigVector::from_selected(4, &[0, 1]),
+            ConfigVector::from_selected(5, &[0, 1]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("equally long"), "{err}");
+        let err = Challenge::try_new(
+            ConfigVector::from_selected(4, &[0, 1]),
+            ConfigVector::from_selected(4, &[2]),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("equally many stages"), "{err}");
+        assert!(Challenge::try_new(
+            ConfigVector::from_selected(4, &[0, 1]),
+            ConfigVector::from_selected(4, &[2, 3]),
+        )
+        .is_ok());
     }
 }

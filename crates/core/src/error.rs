@@ -25,6 +25,9 @@ pub enum Error {
     /// A fleet run was misconfigured (zero boards, floorplan that does
     /// not fit the board, even vote count).
     Fleet(String),
+    /// A challenge was malformed (mismatched configuration lengths or
+    /// unbalanced selected-stage counts).
+    Challenge(String),
     /// Stored enrollment text did not parse.
     Parse(ParseEnrollmentError),
 }
@@ -36,6 +39,7 @@ impl fmt::Display for Error {
             Self::Selection(msg) => write!(f, "selection: {msg}"),
             Self::Enrollment(msg) => write!(f, "enrollment: {msg}"),
             Self::Fleet(msg) => write!(f, "fleet: {msg}"),
+            Self::Challenge(msg) => write!(f, "challenge: {msg}"),
             Self::Parse(e) => write!(f, "enrollment parse: {e}"),
         }
     }

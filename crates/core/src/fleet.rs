@@ -685,6 +685,10 @@ impl FleetEngine {
             _ => board,
         };
         let respond_span = telemetry::span("fleet.respond");
+        // One binding of the (possibly aged) board serves every corner:
+        // binding draws no randomness, so the sweep stays byte-identical
+        // to per-corner rebinding.
+        let bound = enrollment.bind(&board);
         let corner_flips = config
             .corners
             .iter()
@@ -693,16 +697,15 @@ impl FleetEngine {
                 let mut rng =
                     StdRng::seed_from_u64(split_seed(board_seed, STREAM_CORNER_BASE + c as u64));
                 let response = if config.votes > 1 {
-                    enrollment.respond_majority(
+                    bound.respond_majority(
                         &mut rng,
-                        &board,
                         tech,
                         env,
                         &config.response_probe,
                         config.votes,
                     )
                 } else {
-                    enrollment.respond(&mut rng, &board, tech, env, &config.response_probe)
+                    bound.respond(&mut rng, tech, env, &config.response_probe)
                 };
                 // Same value as `hamming_distance` when the lengths
                 // match (they do: both come from this enrollment), but
@@ -805,14 +808,16 @@ impl FleetEngine {
             _ => board,
         };
         let respond_span = telemetry::span("fleet.respond");
+        // As in `eval_board`: bind the (possibly aged) board once and
+        // reuse the context across the corner sweep.
+        let bound = enrollment.bind(&board);
         let mut corner_flips = Vec::with_capacity(config.corners.len());
         let mut corner_erasures = Vec::with_capacity(config.corners.len());
         for (c, &env) in config.corners.iter().enumerate() {
             let corner_seed = split_seed(board_seed, STREAM_CORNER_BASE + c as u64);
-            let (bits, corner_summary) = robust::respond_robust(
-                &enrollment,
+            let (bits, corner_summary) = robust::respond_robust_bound(
+                &bound,
                 corner_seed,
-                &board,
                 tech,
                 env,
                 &config.response_probe,

@@ -79,5 +79,6 @@ pub use fleet::{
     split_seed, FleetAging, FleetConfig, FleetEngine, FleetRun, Quarantine, QuarantineReason,
 };
 pub use monitor::{FleetHealth, FleetObservatory, MonitorConfig, SweepPlan};
+pub use puf::BoundEnrollment;
 pub use robust::{FaultPlan, FaultSummary, RobustOptions};
 pub use select::{case1, case2, PairSelection, Selection};

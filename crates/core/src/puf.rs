@@ -200,15 +200,34 @@ impl PairSpec {
     ///
     /// # Panics
     ///
-    /// Panics if the lists are empty or have different lengths.
+    /// Panics if the lists are empty or have different lengths. Use
+    /// [`try_new`](Self::try_new) to validate untrusted layouts without
+    /// unwinding.
     pub fn new(top: Vec<usize>, bottom: Vec<usize>) -> Self {
-        assert!(!top.is_empty(), "rings need at least one stage");
-        assert_eq!(
-            top.len(),
-            bottom.len(),
-            "paired rings must be equally sized"
-        );
-        Self { top, bottom }
+        Self::try_new(top, bottom).expect("invalid pair layout")
+    }
+
+    /// Builds a pair from explicit unit index lists, rejecting malformed
+    /// layouts instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Selection`] when `top` is empty or the lists differ in
+    /// length.
+    pub fn try_new(top: Vec<usize>, bottom: Vec<usize>) -> Result<Self, Error> {
+        if top.is_empty() {
+            return Err(Error::Selection(
+                "rings need at least one stage".to_string(),
+            ));
+        }
+        if top.len() != bottom.len() {
+            return Err(Error::Selection(format!(
+                "paired rings must be equally sized, got {} and {}",
+                top.len(),
+                bottom.len()
+            )));
+        }
+        Ok(Self { top, bottom })
     }
 
     /// Splits `2n` consecutive units starting at `start` into a
@@ -614,6 +633,28 @@ impl Enrollment {
             .collect()
     }
 
+    /// Resolves every enrolled pair's ring views on `board` once,
+    /// returning a context that can be read out repeatedly — e.g. across
+    /// several operating-point corners or majority votes — without
+    /// re-binding per read. Binding draws no randomness, so responses
+    /// through the bound context are byte-identical to the unbound
+    /// methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec references units outside `board` (enrolling and
+    /// responding must use the same board).
+    pub fn bind<'a, 'b>(&'b self, board: &'a Board) -> BoundEnrollment<'a, 'b> {
+        BoundEnrollment {
+            pairs: self
+                .pairs
+                .iter()
+                .flatten()
+                .map(|p| (p, p.spec.bind(board)))
+                .collect(),
+        }
+    }
+
     /// Generates a majority-voted response: reads the PUF `votes` times
     /// at `env` and takes the per-bit majority — the cheap first line of
     /// defence against measurement noise before any error correction.
@@ -631,19 +672,8 @@ impl Enrollment {
         probe: &DelayProbe,
         votes: usize,
     ) -> BitVec {
-        assert!(
-            votes % 2 == 1,
-            "majority voting needs an odd vote count, got {votes}"
-        );
-        let reads: Vec<BitVec> = (0..votes)
-            .map(|_| self.respond(rng, board, tech, env, probe))
-            .collect();
-        (0..reads[0].len())
-            .map(|i| {
-                let ones = reads.iter().filter(|r| r.get(i).expect("in range")).count();
-                ones * 2 > votes
-            })
-            .collect()
+        self.bind(board)
+            .respond_majority(rng, tech, env, probe, votes)
     }
 
     /// Generates a response at operating point `env` by measuring every
@@ -662,18 +692,77 @@ impl Enrollment {
         env: Environment,
         probe: &DelayProbe,
     ) -> BitVec {
+        self.bind(board).respond(rng, tech, env, probe)
+    }
+}
+
+/// An [`Enrollment`] with its ring views resolved on a specific board —
+/// the read-out context the fleet engine binds once per board and reuses
+/// across every corner of its environment sweep.
+#[derive(Debug, Clone)]
+pub struct BoundEnrollment<'a, 'b> {
+    pairs: Vec<(&'b EnrolledPair, RoPair<'a>)>,
+}
+
+impl<'a, 'b> BoundEnrollment<'a, 'b> {
+    /// The enrolled pairs (threshold-excluded pairs already skipped),
+    /// each with its bound ring views.
+    pub(crate) fn pairs(&self) -> &[(&'b EnrolledPair, RoPair<'a>)] {
+        &self.pairs
+    }
+
+    /// See [`Enrollment::respond`]; measurements and noise draws are
+    /// identical, only the per-read ring binding is amortized.
+    pub fn respond<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        tech: &Technology,
+        env: Environment,
+        probe: &DelayProbe,
+    ) -> BitVec {
+        let scale = tech.delay_scale(env);
         self.pairs
             .iter()
-            .flatten()
-            .map(|p| {
-                let pair = p.spec.bind(board);
-                let d_top =
-                    probe.measure_ps(rng, pair.top().ring_delay_ps(&p.top_config, env, tech));
+            .map(|(p, pair)| {
+                let d_top = probe.measure_ps(
+                    rng,
+                    pair.top()
+                        .ring_delay_ps_scaled(&p.top_config, scale, env, tech),
+                );
                 let d_bottom = probe.measure_ps(
                     rng,
-                    pair.bottom().ring_delay_ps(&p.bottom_config, env, tech),
+                    pair.bottom()
+                        .ring_delay_ps_scaled(&p.bottom_config, scale, env, tech),
                 );
                 d_top > d_bottom
+            })
+            .collect()
+    }
+
+    /// See [`Enrollment::respond_majority`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` is zero or even.
+    pub fn respond_majority<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        tech: &Technology,
+        env: Environment,
+        probe: &DelayProbe,
+        votes: usize,
+    ) -> BitVec {
+        assert!(
+            votes % 2 == 1,
+            "majority voting needs an odd vote count, got {votes}"
+        );
+        let reads: Vec<BitVec> = (0..votes)
+            .map(|_| self.respond(rng, tech, env, probe))
+            .collect();
+        (0..reads[0].len())
+            .map(|i| {
+                let ones = reads.iter().filter(|r| r.get(i).expect("in range")).count();
+                ones * 2 > votes
             })
             .collect()
     }

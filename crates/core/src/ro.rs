@@ -28,9 +28,10 @@
 use std::ops::Range;
 
 use rand::Rng;
-use ropuf_silicon::{Board, DelayUnit, Environment, FrequencyCounter, Technology};
+use ropuf_silicon::{Board, DelayUnit, Environment, FrequencyCounter, StageDelays, Technology};
 
 use crate::config::ConfigVector;
+use crate::error::Error;
 
 /// A configurable ring oscillator: an ordered group of delay units on one
 /// board.
@@ -46,20 +47,38 @@ impl<'a> ConfigurableRo<'a> {
     /// # Panics
     ///
     /// Panics if `stages` is empty, contains duplicates, or references a
-    /// unit outside the board.
+    /// unit outside the board. Use [`Self::try_new`] to get an error
+    /// instead.
     pub fn new(board: &'a Board, stages: Vec<usize>) -> Self {
-        assert!(!stages.is_empty(), "a ring needs at least one stage");
+        Self::try_new(board, stages).expect("invalid ring layout")
+    }
+
+    /// Fallible form of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Selection`] if `stages` is empty, contains
+    /// duplicates, or references a unit outside the board.
+    pub fn try_new(board: &'a Board, stages: Vec<usize>) -> Result<Self, Error> {
+        if stages.is_empty() {
+            return Err(Error::Selection("a ring needs at least one stage".into()));
+        }
         let mut seen = vec![false; board.len()];
         for &i in &stages {
-            assert!(
-                i < board.len(),
-                "unit index {i} out of range {}",
-                board.len()
-            );
-            assert!(!seen[i], "unit index {i} appears twice in the ring");
+            if i >= board.len() {
+                return Err(Error::Selection(format!(
+                    "unit index {i} out of range {}",
+                    board.len()
+                )));
+            }
+            if seen[i] {
+                return Err(Error::Selection(format!(
+                    "unit index {i} appears twice in the ring"
+                )));
+            }
             seen[i] = true;
         }
-        Self { board, stages }
+        Ok(Self { board, stages })
     }
 
     /// Builds a ring from a contiguous unit range.
@@ -107,10 +126,29 @@ impl<'a> ConfigurableRo<'a> {
     /// picoseconds. Every stage contributes: selected stages add
     /// `d + d1`, bypassed stages add `d0`.
     ///
+    /// The common-mode [`Technology::delay_scale`] factor is hoisted out
+    /// of the stage loop (it is a pure function of `(env, tech)`), so the
+    /// walk costs one environment scaling instead of one per stage; the
+    /// per-stage arithmetic is unchanged and the result bit-identical.
+    ///
     /// # Panics
     ///
     /// Panics if `config.len() != self.len()`.
     pub fn ring_delay_ps(&self, config: &ConfigVector, env: Environment, tech: &Technology) -> f64 {
+        self.ring_delay_ps_scaled(config, tech.delay_scale(env), env, tech)
+    }
+
+    /// [`Self::ring_delay_ps`] with the common-mode scale supplied by a
+    /// caller measuring many rings at one operating point (one
+    /// [`Technology::delay_scale`] per sweep instead of per ring).
+    /// Bit-identical to `ring_delay_ps` for `scale == tech.delay_scale(env)`.
+    pub(crate) fn ring_delay_ps_scaled(
+        &self,
+        config: &ConfigVector,
+        scale: f64,
+        env: Environment,
+        tech: &Technology,
+    ) -> f64 {
         assert_eq!(
             config.len(),
             self.len(),
@@ -119,16 +157,38 @@ impl<'a> ConfigurableRo<'a> {
             self.len()
         );
         (0..self.len())
-            .map(|i| self.stage(i).path_delay(config.is_selected(i), env, tech))
+            .map(|i| {
+                self.stage(i)
+                    .path_delay_scaled(config.is_selected(i), scale, env, tech)
+            })
             .sum()
     }
 
     /// Total bypass delay (the all-zero configuration): the
     /// configuration-independent floor `B = Σ d0_i`.
     pub fn bypass_delay_ps(&self, env: Environment, tech: &Technology) -> f64 {
+        let scale = tech.delay_scale(env);
         (0..self.len())
-            .map(|i| self.stage(i).path_delay(false, env, tech))
+            .map(|i| self.stage(i).path_delay_scaled(false, scale, env, tech))
             .sum()
+    }
+
+    /// Caches every stage's selected/bypass path-delay contribution at
+    /// `env` — the per-ring input of the batched §III.B calibration
+    /// kernel ([`ropuf_silicon::measure::BatchProbe`]). Each cached value
+    /// is exactly the `path_delay` the corresponding whole-ring walk
+    /// would evaluate, so delays derived from the cache are bit-identical
+    /// to [`Self::ring_delay_ps`].
+    pub fn stage_delays(&self, env: Environment, tech: &Technology) -> StageDelays {
+        let scale = tech.delay_scale(env);
+        StageDelays::new(
+            (0..self.len())
+                .map(|i| self.stage(i).path_delay_scaled(true, scale, env, tech))
+                .collect(),
+            (0..self.len())
+                .map(|i| self.stage(i).path_delay_scaled(false, scale, env, tech))
+                .collect(),
+        )
     }
 
     /// True per-stage `ddiff` values at `env` (an oracle for calibration
@@ -183,14 +243,27 @@ impl<'a> RoPair<'a> {
     /// # Panics
     ///
     /// Panics if the rings have different stage counts (the paper's
-    /// architecture deploys identically sized rings).
+    /// architecture deploys identically sized rings). Use
+    /// [`Self::try_new`] to get an error instead.
     pub fn new(top: ConfigurableRo<'a>, bottom: ConfigurableRo<'a>) -> Self {
-        assert_eq!(
-            top.len(),
-            bottom.len(),
-            "paired rings must have equal stage counts"
-        );
-        Self { top, bottom }
+        Self::try_new(top, bottom).expect("paired rings must have equal stage counts")
+    }
+
+    /// Fallible form of [`Self::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Selection`] if the rings have different stage
+    /// counts.
+    pub fn try_new(top: ConfigurableRo<'a>, bottom: ConfigurableRo<'a>) -> Result<Self, Error> {
+        if top.len() != bottom.len() {
+            return Err(Error::Selection(format!(
+                "paired rings must have equal stage counts, got {} and {}",
+                top.len(),
+                bottom.len()
+            )));
+        }
+        Ok(Self { top, bottom })
     }
 
     /// Splits a contiguous range of `2n` units into a top ring (first
@@ -393,6 +466,51 @@ mod tests {
         let swapped = RoPair::new(pair.bottom().clone(), pair.top().clone());
         let d2 = swapped.delay_difference_ps(&c, &c, env, &tech);
         assert!((d1 + d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_delays_cache_matches_ring_walk_bit_for_bit() {
+        let (board, tech) = board();
+        let ro = ConfigurableRo::new(&board, vec![2, 7, 0, 5, 9]);
+        for env in [Environment::nominal(), Environment::new(0.98, 65.0)] {
+            let delays = ro.stage_delays(env, &tech);
+            let all = ConfigVector::all_selected(5);
+            let none = ConfigVector::from_flags(&[false; 5]);
+            assert_eq!(
+                delays.all_selected_ps().to_bits(),
+                ro.ring_delay_ps(&all, env, &tech).to_bits()
+            );
+            assert_eq!(
+                delays.all_bypassed_ps().to_bits(),
+                ro.ring_delay_ps(&none, env, &tech).to_bits()
+            );
+            for skip in 0..5 {
+                let flags: Vec<bool> = (0..5).map(|i| i != skip).collect();
+                let config = ConfigVector::from_flags(&flags);
+                assert_eq!(
+                    delays.all_but_ps(skip).to_bits(),
+                    ro.ring_delay_ps(&config, env, &tech).to_bits(),
+                    "skip={skip}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn try_new_reports_layout_errors() {
+        let (board, _) = board();
+        assert!(matches!(
+            ConfigurableRo::try_new(&board, vec![]),
+            Err(Error::Selection(_))
+        ));
+        let err = ConfigurableRo::try_new(&board, vec![0, 0]).unwrap_err();
+        assert!(err.to_string().contains("appears twice"));
+        let err = ConfigurableRo::try_new(&board, vec![999]).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+        let top = ConfigurableRo::from_range(&board, 0..3);
+        let bottom = ConfigurableRo::from_range(&board, 3..7);
+        let err = RoPair::try_new(top, bottom).unwrap_err();
+        assert!(err.to_string().contains("equal stage counts"));
     }
 
     #[test]

@@ -36,9 +36,8 @@ use ropuf_silicon::{Board, DelayProbe, Environment, Technology};
 use ropuf_telemetry as telemetry;
 
 use crate::calibrate::Calibration;
-use crate::config::ConfigVector;
 use crate::fleet::split_seed;
-use crate::puf::{ConfigurableRoPuf, EnrollOptions, Enrollment};
+use crate::puf::{BoundEnrollment, ConfigurableRoPuf, EnrollOptions, Enrollment};
 use crate::ro::ConfigurableRo;
 
 /// Sub-stream index for per-pair / per-corner fault rolls.
@@ -402,6 +401,14 @@ fn mad_filtered_median(values: &mut [f64], mad_k: f64) -> f64 {
 /// `n + 2` measurements in the same order, each through
 /// [`RobustMeasurer::read`]. Any unrecoverable read fails the whole
 /// calibration (`None`), which excludes the surrounding pair.
+///
+/// Like the plain path, the configuration delays come from the batched
+/// per-stage cache ([`ConfigurableRo::stage_delays`]) instead of `n + 2`
+/// whole-ring walks; the screening pipeline still sees exactly one
+/// logical measurement per configuration, so fault injection, retries,
+/// and exclusion behave identically. Each screened read bumps the
+/// `measure.batched` counter (counted per read, not per calibration,
+/// because a failed read aborts the remaining configurations).
 fn robust_calibrate<R: Rng + ?Sized>(
     measurer: &mut RobustMeasurer<'_>,
     meas_rng: &mut R,
@@ -410,18 +417,16 @@ fn robust_calibrate<R: Rng + ?Sized>(
     tech: &Technology,
 ) -> Option<Calibration> {
     let n = ro.len();
-    let read = |measurer: &mut RobustMeasurer<'_>, meas_rng: &mut R, config: &ConfigVector| {
-        measurer.read(meas_rng, ro.ring_delay_ps(config, env, tech))
+    let delays = ro.stage_delays(env, tech);
+    let read = |measurer: &mut RobustMeasurer<'_>, meas_rng: &mut R, true_delay_ps: f64| {
+        telemetry::counter("measure.batched", 1);
+        measurer.read(meas_rng, true_delay_ps)
     };
-    let all_selected_ps = read(measurer, meas_rng, &ConfigVector::all_selected(n))?;
-    let bypass_ps = read(
-        measurer,
-        meas_rng,
-        &ConfigVector::from_flags(&vec![false; n]),
-    )?;
+    let all_selected_ps = read(measurer, meas_rng, delays.all_selected_ps())?;
+    let bypass_ps = read(measurer, meas_rng, delays.all_bypassed_ps())?;
     let mut ddiff_ps = Vec::with_capacity(n);
     for i in 0..n {
-        let leave_one_out = read(measurer, meas_rng, &ConfigVector::all_but(n, i))?;
+        let leave_one_out = read(measurer, meas_rng, delays.all_but_ps(i))?;
         ddiff_ps.push(all_selected_ps - leave_one_out);
     }
     Some(Calibration::from_parts(
@@ -510,29 +515,29 @@ pub fn enroll_robust(
     }
 }
 
-/// One fault-screened response pass. Erasures (`None`) mark bits whose
-/// read-out failed unrecoverably.
+/// One fault-screened response pass over a pre-bound enrollment.
+/// Erasures (`None`) mark bits whose read-out failed unrecoverably.
 fn respond_once<R: Rng + ?Sized>(
-    enrollment: &Enrollment,
+    bound: &BoundEnrollment<'_, '_>,
     meas_rng: &mut R,
     measurer: &mut RobustMeasurer<'_>,
-    board: &Board,
     tech: &Technology,
     env: Environment,
 ) -> Vec<Option<bool>> {
-    enrollment
+    let scale = tech.delay_scale(env);
+    bound
         .pairs()
         .iter()
-        .flatten()
-        .map(|p| {
-            let pair = p.spec().bind(board);
+        .map(|(p, pair)| {
             let d_top = measurer.read(
                 meas_rng,
-                pair.top().ring_delay_ps(p.top_config(), env, tech),
+                pair.top()
+                    .ring_delay_ps_scaled(p.top_config(), scale, env, tech),
             );
             let d_bottom = measurer.read(
                 meas_rng,
-                pair.bottom().ring_delay_ps(p.bottom_config(), env, tech),
+                pair.bottom()
+                    .ring_delay_ps_scaled(p.bottom_config(), scale, env, tech),
             );
             match (d_top, d_bottom) {
                 (Some(t), Some(b)) => Some(t > b),
@@ -566,6 +571,27 @@ pub fn respond_robust(
     votes: usize,
     plan: &FaultPlan,
 ) -> (Vec<Option<bool>>, FaultSummary) {
+    respond_robust_bound(&enrollment.bind(board), seed, tech, env, probe, votes, plan)
+}
+
+/// [`respond_robust`] over a pre-bound enrollment — the form the fleet
+/// engine calls so one [`Enrollment::bind`] serves every corner of the
+/// environment sweep. Binding draws no randomness, so results are
+/// byte-identical to [`respond_robust`].
+///
+/// # Panics
+///
+/// Panics if `votes` is zero or even.
+#[allow(clippy::too_many_arguments)] // mirrors respond_robust minus the board
+pub fn respond_robust_bound(
+    bound: &BoundEnrollment<'_, '_>,
+    seed: u64,
+    tech: &Technology,
+    env: Environment,
+    probe: &DelayProbe,
+    votes: usize,
+    plan: &FaultPlan,
+) -> (Vec<Option<bool>>, FaultSummary) {
     assert!(
         votes % 2 == 1,
         "majority voting needs an odd vote count, got {votes}"
@@ -578,7 +604,7 @@ pub fn respond_robust(
         split_seed(seed, STREAM_RETRY),
     );
     let reads: Vec<Vec<Option<bool>>> = (0..votes)
-        .map(|_| respond_once(enrollment, &mut meas_rng, &mut measurer, board, tech, env))
+        .map(|_| respond_once(bound, &mut meas_rng, &mut measurer, tech, env))
         .collect();
     let bits: Vec<Option<bool>> = (0..reads[0].len())
         .map(|i| {

@@ -116,6 +116,32 @@ fn monitoring_does_not_perturb_determinism() {
 
 proptest! {
     #[test]
+    fn batched_fleet_is_thread_and_fault_invariant(
+        master in any::<u64>(),
+        fault_scale in proptest::sample::select(vec![0.0f64, 0.25, 1.0]),
+        votes in proptest::sample::select(vec![1usize, 3]),
+    ) {
+        // The batched measurement kernel sits on the fleet hot path; a
+        // thread- or fault-plan-dependent divergence there would show up
+        // as records differing between the serial reference and any
+        // parallel schedule. Quarantine decisions and fault accounting
+        // must be schedule-independent too.
+        use ropuf_core::robust::FaultPlan;
+        let mut config = engine(4).config().clone();
+        config.votes = votes;
+        config.faults = Some(FaultPlan::scaled(fault_scale));
+        let engine = FleetEngine::new(SiliconSim::default_spartan(), config)
+            .expect("valid fleet config");
+        let serial = engine.run_serial(master);
+        for threads in [2usize, 4, 8] {
+            let parallel = engine.run_on(master, threads);
+            prop_assert_eq!(&parallel.records, &serial.records, "threads = {}", threads);
+            prop_assert_eq!(&parallel.quarantined, &serial.quarantined, "threads = {}", threads);
+            prop_assert_eq!(parallel.faults, serial.faults, "threads = {}", threads);
+        }
+    }
+
+    #[test]
     fn adjacent_board_seeds_never_collide(master in any::<u64>(), index in 0u64..u64::MAX - 64) {
         for offset in 1u64..=64 {
             prop_assert_ne!(

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use ropuf_core::calibrate::calibrate;
+use ropuf_core::calibrate::{calibrate, calibrate_per_config};
 use ropuf_core::config::ParityPolicy;
 use ropuf_core::distill::Distiller;
 use ropuf_core::ro::ConfigurableRo;
@@ -129,6 +129,42 @@ proptest! {
         for (e, t) in cal.ddiffs_ps().iter().zip(&truth) {
             prop_assert!((e - t).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn batched_calibration_is_bit_identical_to_per_config(
+        seed in any::<u64>(),
+        n in 1usize..10, // includes n = 1 and even (non-oscillating) stage counts
+        sigma_tenths in 0u32..30,
+        repeats in proptest::sample::select(vec![1usize, 2, 4]),
+        hot in any::<bool>(),
+    ) {
+        // The batched SoA kernel must replay the exact noise-draw order
+        // and floating-point folds of the per-configuration oracle, for
+        // any ring size (the probe works even where a ring would not
+        // free-run), any probe noise, and any environment.
+        let sim = SiliconSim::default_spartan();
+        let mut grow = StdRng::seed_from_u64(seed);
+        let board = sim.grow_board_with_id(&mut grow, BoardId(0), n, n);
+        let ro = ConfigurableRo::from_range(&board, 0..n);
+        let probe = DelayProbe::new(sigma_tenths as f64 / 10.0, repeats);
+        let env = if hot { Environment::new(0.98, 65.0) } else { Environment::nominal() };
+        let mut rng_batched = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut rng_oracle = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let batched = calibrate(&mut rng_batched, &ro, &probe, env, sim.technology());
+        let oracle = calibrate_per_config(&mut rng_oracle, &ro, &probe, env, sim.technology());
+        prop_assert_eq!(
+            batched.all_selected_ps().to_bits(),
+            oracle.all_selected_ps().to_bits()
+        );
+        prop_assert_eq!(batched.bypass_ps().to_bits(), oracle.bypass_ps().to_bits());
+        for (b, o) in batched.ddiffs_ps().iter().zip(oracle.ddiffs_ps()) {
+            prop_assert_eq!(b.to_bits(), o.to_bits(), "n = {}", n);
+        }
+        // Both paths consumed the same number of draws: the streams are
+        // still in lockstep afterwards.
+        use rand::Rng;
+        prop_assert_eq!(rng_batched.gen::<u64>(), rng_oracle.gen::<u64>());
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Cross-crate pin: `ropuf_num::stats::percentile` and
+//! `ropuf_telemetry::metrics::HistogramSnapshot::quantile` use the same
+//! nearest-rank convention (`max(1, ceil(q·n))`-th smallest, no
+//! interpolation).
+//!
+//! The two implementations live in crates that cannot see each other, so
+//! neither's unit tests can catch a convention drift; this test sits in
+//! `ropuf-core` (which depends on both) and feeds the histogram only
+//! values of the form `2^k − 1` — each alone on its power-of-two
+//! bucket's inclusive edge — so the bucketed estimate is exact and any
+//! disagreement is a rank-convention change, not quantization error.
+
+use ropuf_num::stats::percentile;
+use ropuf_telemetry::metrics::Histogram;
+
+/// Values sitting exactly on distinct bucket edges (bucket `k` covers
+/// `2^k ..= 2^(k+1) − 1`), so `quantile` reports the value itself.
+const EDGE_VALUES: [u64; 8] = [1, 3, 7, 15, 31, 63, 127, 255];
+
+const PROBES: [f64; 11] = [
+    0.0, 0.01, 0.125, 0.2, 0.25, 0.5, 0.51, 0.75, 0.875, 0.99, 1.0,
+];
+
+#[test]
+fn percentile_and_histogram_quantile_agree_on_bucket_edges() {
+    let h = Histogram::default();
+    for v in EDGE_VALUES {
+        h.record(v);
+    }
+    let snap = h.snapshot("agreement");
+    let xs: Vec<f64> = EDGE_VALUES.iter().map(|&v| v as f64).collect();
+    for q in PROBES {
+        let from_stats = percentile(&xs, q).expect("non-empty");
+        let from_histogram = snap.quantile(q).expect("non-empty") as f64;
+        assert_eq!(
+            from_stats, from_histogram,
+            "rank conventions diverged at q = {q}"
+        );
+    }
+}
+
+#[test]
+fn agreement_survives_repeated_observations() {
+    // Uneven multiplicities exercise the rank arithmetic (ceil vs round
+    // vs floor give different answers here), still on exact edges.
+    let multiplicities = [(1u64, 3usize), (7, 1), (63, 4), (255, 2)];
+    let h = Histogram::default();
+    let mut xs = Vec::new();
+    for (value, count) in multiplicities {
+        for _ in 0..count {
+            h.record(value);
+            xs.push(value as f64);
+        }
+    }
+    let snap = h.snapshot("agreement_repeated");
+    for q in PROBES {
+        let from_stats = percentile(&xs, q).expect("non-empty");
+        let from_histogram = snap.quantile(q).expect("non-empty") as f64;
+        assert_eq!(
+            from_stats, from_histogram,
+            "rank conventions diverged at q = {q}"
+        );
+    }
+}

@@ -54,6 +54,15 @@ pub fn max(xs: &[f64]) -> Option<f64> {
 /// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method on a sorted
 /// copy, or `None` for an empty slice.
 ///
+/// **Rank convention (pinned):** the result is the
+/// `max(1, ceil(q·n))`-th smallest value — no interpolation, `q = 0`
+/// maps to the minimum, `q = 1` to the maximum.
+/// `ropuf_telemetry::HistogramSnapshot::quantile` uses the *same*
+/// convention over bucketed data, so the two report the same order
+/// statistic whenever a histogram bucket holds one distinct value; a
+/// cross-crate test (`quantile_convention` in `ropuf-core`) enforces the
+/// agreement.
+///
 /// # Panics
 ///
 /// Panics if `q` is outside `[0, 1]` or any value is NaN.

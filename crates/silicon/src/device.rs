@@ -108,12 +108,30 @@ impl DelayUnit {
     /// `selected == true` routes through the inverter (`d + d1`);
     /// `selected == false` routes over the bypass wire (`d0`).
     pub fn path_delay(&self, selected: bool, env: Environment, tech: &Technology) -> f64 {
+        self.path_delay_scaled(selected, tech.delay_scale(env), env, tech)
+    }
+
+    /// [`path_delay`](Self::path_delay) with the common-mode
+    /// [`Technology::delay_scale`] factor supplied by the caller.
+    ///
+    /// `delay_scale` is a pure function of `(env, tech)` but costs four
+    /// `powf` evaluations, so callers measuring many stages at one
+    /// operating point hoist it once and hand it to every stage. The
+    /// arithmetic is the exact expression `path_delay` evaluates, so for
+    /// `scale == tech.delay_scale(env)` the result is bit-identical.
+    pub fn path_delay_scaled(
+        &self,
+        selected: bool,
+        scale: f64,
+        env: Environment,
+        tech: &Technology,
+    ) -> f64 {
         let raw = if selected {
             self.inverter_ps + self.mux_selected_ps
         } else {
             self.mux_bypass_ps
         };
-        raw * tech.delay_scale(env) * self.device_factor(env, tech)
+        raw * scale * self.device_factor(env, tech)
     }
 
     /// The unit delay difference `ddiff = d + d1 − d0` at `env`,
@@ -184,6 +202,21 @@ mod tests {
         for env in Environment::voltage_sweep(25.0) {
             let d = u.path_delay(true, env, &tech) - u.path_delay(false, env, &tech);
             assert!((u.ddiff(env, &tech) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hoisted_scale_is_bit_identical() {
+        let u = unit();
+        let tech = Technology::default();
+        for env in Environment::voltage_sweep(65.0) {
+            let scale = tech.delay_scale(env);
+            for selected in [true, false] {
+                assert_eq!(
+                    u.path_delay(selected, env, &tech).to_bits(),
+                    u.path_delay_scaled(selected, scale, env, &tech).to_bits(),
+                );
+            }
         }
     }
 

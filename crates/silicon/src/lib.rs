@@ -63,6 +63,6 @@ pub use defects::DefectModel;
 pub use device::DelayUnit;
 pub use env::{Environment, Technology};
 pub use faults::{FaultModel, InjectedFault};
-pub use measure::{DelayProbe, FrequencyCounter};
+pub use measure::{BatchMeasurements, BatchProbe, DelayProbe, FrequencyCounter, StageDelays};
 pub use params::{NoiseParams, SiliconParams, VariationParams};
 pub use sim::SiliconSim;

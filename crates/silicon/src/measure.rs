@@ -77,6 +77,156 @@ impl DelayProbe {
     }
 }
 
+/// Per-stage path-delay contributions of one ring at one operating
+/// point, in structure-of-arrays layout: `selected_ps[i]` is stage `i`'s
+/// delay through the inverter (`d + d1`), `bypass_ps[i]` its delay over
+/// the bypass wire (`d0`).
+///
+/// This is the cache the batched calibration kernel builds once per
+/// ring: the expensive per-stage work (the alpha-power-law environment
+/// scaling behind each contribution) happens exactly once, and every
+/// calibration configuration's ring delay is then derived from the
+/// cached values. Each derivation replays the same left-to-right
+/// stage-sum a whole-ring walk would compute over the same `f64`
+/// values — floating-point addition is not associative, so the fold is
+/// deliberately *not* rearranged into prefix/suffix shortcuts; this is
+/// what keeps batched results bit-identical to per-configuration
+/// measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDelays {
+    selected_ps: Vec<f64>,
+    bypass_ps: Vec<f64>,
+}
+
+impl StageDelays {
+    /// Builds the cache from per-stage selected/bypass contributions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or are empty.
+    pub fn new(selected_ps: Vec<f64>, bypass_ps: Vec<f64>) -> Self {
+        assert_eq!(
+            selected_ps.len(),
+            bypass_ps.len(),
+            "selected and bypass contributions must cover the same stages"
+        );
+        assert!(!selected_ps.is_empty(), "a ring needs at least one stage");
+        Self {
+            selected_ps,
+            bypass_ps,
+        }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.selected_ps.len()
+    }
+
+    /// Always false: the constructor rejects empty rings.
+    pub fn is_empty(&self) -> bool {
+        self.selected_ps.is_empty()
+    }
+
+    /// Per-stage selected-path contributions (`d + d1`), picoseconds.
+    pub fn selected_ps(&self) -> &[f64] {
+        &self.selected_ps
+    }
+
+    /// Per-stage bypass contributions (`d0`), picoseconds.
+    pub fn bypass_ps(&self) -> &[f64] {
+        &self.bypass_ps
+    }
+
+    /// True ring delay under an arbitrary configuration: the
+    /// left-to-right sum of each stage's selected or bypassed
+    /// contribution — the same fold, over the same values, as a
+    /// whole-ring walk.
+    pub fn ring_delay_ps(&self, is_selected: impl Fn(usize) -> bool) -> f64 {
+        (0..self.len())
+            .map(|i| {
+                if is_selected(i) {
+                    self.selected_ps[i]
+                } else {
+                    self.bypass_ps[i]
+                }
+            })
+            .sum()
+    }
+
+    /// True delay of the all-selected ring.
+    pub fn all_selected_ps(&self) -> f64 {
+        self.ring_delay_ps(|_| true)
+    }
+
+    /// True delay of the all-bypassed ring (`B = Σ d0_i`).
+    pub fn all_bypassed_ps(&self) -> f64 {
+        self.ring_delay_ps(|_| false)
+    }
+
+    /// True delay of the leave-one-out ring: every stage selected
+    /// except `skip`.
+    pub fn all_but_ps(&self, skip: usize) -> f64 {
+        self.ring_delay_ps(|i| i != skip)
+    }
+}
+
+/// The `n + 2` noisy probe readings of one ring's calibration sweep
+/// (§III.B), in measurement order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMeasurements {
+    /// Reading of the all-selected ring (`D_all`).
+    pub all_selected_ps: f64,
+    /// Reading of the all-bypassed ring (`B`).
+    pub bypass_ps: f64,
+    /// Readings of the leave-one-out rings (`D_i`), stage order.
+    pub leave_one_out_ps: Vec<f64>,
+}
+
+/// Batched §III.B calibration kernel: a [`DelayProbe`] bound to one
+/// ring's cached [`StageDelays`].
+///
+/// [`measure_configs`](Self::measure_configs) performs the paper's
+/// full `n + 2` configuration sweep from the cache, so the per-stage
+/// delay contributions — the expensive part of simulating a ring
+/// measurement — are computed once per ring instead of once per
+/// configuration. Each of the `n + 2` readings is still one logical
+/// probe measurement drawing noise from the caller's RNG in sweep
+/// order (all-selected, all-bypassed, leave-one-out `0..n`), exactly
+/// as `n + 2` independent [`DelayProbe::measure_ps`] calls would, so
+/// batched and per-configuration calibration are bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchProbe<'a> {
+    probe: &'a DelayProbe,
+    stages: &'a StageDelays,
+}
+
+impl<'a> BatchProbe<'a> {
+    /// Binds a probe to one ring's cached stage delays.
+    pub fn new(probe: &'a DelayProbe, stages: &'a StageDelays) -> Self {
+        Self { probe, stages }
+    }
+
+    /// The stage-delay cache this kernel measures from.
+    pub fn stages(&self) -> &StageDelays {
+        self.stages
+    }
+
+    /// Measures all `n + 2` calibration configurations.
+    pub fn measure_configs<R: Rng + ?Sized>(&self, rng: &mut R) -> BatchMeasurements {
+        let n = self.stages.len();
+        let all_selected_ps = self.probe.measure_ps(rng, self.stages.all_selected_ps());
+        let bypass_ps = self.probe.measure_ps(rng, self.stages.all_bypassed_ps());
+        let leave_one_out_ps = (0..n)
+            .map(|i| self.probe.measure_ps(rng, self.stages.all_but_ps(i)))
+            .collect();
+        BatchMeasurements {
+            all_selected_ps,
+            bypass_ps,
+            leave_one_out_ps,
+        }
+    }
+}
+
 /// A gated frequency counter: counts ring transitions during a fixed gate
 /// window, yielding a quantized, jitter-corrupted frequency estimate.
 ///
@@ -192,6 +342,59 @@ mod tests {
         let s1 = spread(&single, &mut rng);
         let s16 = spread(&avg, &mut rng);
         assert!(s16 < s1 / 2.0, "s1 {s1} s16 {s16}");
+    }
+
+    #[test]
+    fn batch_probe_matches_independent_measurements_bit_for_bit() {
+        let delays = StageDelays::new(vec![135.2, 134.1, 136.9], vec![30.3, 29.8, 30.1]);
+        let probe = DelayProbe::new(0.25, 4);
+        let batched = {
+            let mut rng = StdRng::seed_from_u64(11);
+            BatchProbe::new(&probe, &delays).measure_configs(&mut rng)
+        };
+        // Reference: n + 2 independent whole-ring measurements drawing
+        // from the same RNG stream in the same order.
+        let mut rng = StdRng::seed_from_u64(11);
+        let all = probe.measure_ps(&mut rng, 135.2 + 134.1 + 136.9);
+        let bypass = probe.measure_ps(&mut rng, 30.3 + 29.8 + 30.1);
+        let loo: Vec<f64> = (0..3)
+            .map(|skip| {
+                let true_delay: f64 = (0..3)
+                    .map(|i| {
+                        if i == skip {
+                            delays.bypass_ps()[i]
+                        } else {
+                            delays.selected_ps()[i]
+                        }
+                    })
+                    .sum();
+                probe.measure_ps(&mut rng, true_delay)
+            })
+            .collect();
+        assert_eq!(batched.all_selected_ps.to_bits(), all.to_bits());
+        assert_eq!(batched.bypass_ps.to_bits(), bypass.to_bits());
+        for (b, r) in batched.leave_one_out_ps.iter().zip(&loo) {
+            assert_eq!(b.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn single_stage_batch_sweep_is_well_formed() {
+        let delays = StageDelays::new(vec![135.0], vec![30.0]);
+        assert_eq!(delays.all_selected_ps(), 135.0);
+        assert_eq!(delays.all_bypassed_ps(), 30.0);
+        // n = 1: the one leave-one-out ring is the all-bypassed ring.
+        assert_eq!(delays.all_but_ps(0), 30.0);
+        let probe = DelayProbe::noiseless();
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = BatchProbe::new(&probe, &delays).measure_configs(&mut rng);
+        assert_eq!(m.leave_one_out_ps, vec![30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same stages")]
+    fn ragged_stage_delays_panic() {
+        let _ = StageDelays::new(vec![1.0, 2.0], vec![1.0]);
     }
 
     #[test]

@@ -44,7 +44,8 @@ impl Histogram {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, name: &str) -> HistogramSnapshot {
+    /// Point-in-time copy of the bucket counts under `name`.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
         let mut counts = [0u64; BUCKETS];
         for (slot, bucket) in counts.iter_mut().zip(&self.buckets) {
             *slot = bucket.load(Ordering::Relaxed);
@@ -90,6 +91,12 @@ impl HistogramSnapshot {
     /// catch-all top bucket never reports `u64::MAX`. Exact whenever a
     /// bucket holds one distinct value; otherwise off by at most the
     /// bucket width (a factor of two). `None` with no observations.
+    ///
+    /// **Rank convention (pinned):** the target rank is
+    /// `max(1, ceil(q·count))` — the same nearest-rank convention as
+    /// `ropuf_num::stats::percentile`, so the two agree exactly on
+    /// single-distinct-value buckets; a cross-crate test
+    /// (`quantile_convention` in `ropuf-core`) enforces the agreement.
     ///
     /// # Panics
     ///
