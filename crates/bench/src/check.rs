@@ -197,6 +197,158 @@ pub fn compare_with_notes(
     (violations, notes)
 }
 
+/// One gated scale of a `BENCH_serve.json` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeScale {
+    /// The flattened-key label (`10k`, `100k`, `1m`).
+    pub label: String,
+    /// Auth requests per second at this enrolled-fleet size.
+    pub auth_ops_per_sec: f64,
+    /// 99th-percentile per-op latency, microseconds (reported, not
+    /// banded: tail latency on shared CI hardware is too noisy to
+    /// gate, but it must be *present* — vanishing is a violation).
+    pub p99_us: f64,
+}
+
+/// The comparable subset of a `BENCH_serve.json` record.
+///
+/// Distinguished from [`BenchRecord`] by its `"kind": "serve"` marker;
+/// [`ServeRecord::is_serve_record`] lets the CLI route a baseline file
+/// to the right comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRecord {
+    /// Worker threads the auth phase ran on, when recorded.
+    pub threads: Option<u64>,
+    /// Whether the same-seed drill transcript was byte-identical
+    /// across two server worker counts.
+    pub deterministic: bool,
+    /// Per-scale figures, in document order.
+    pub scales: Vec<ServeScale>,
+}
+
+impl ServeRecord {
+    /// Whether `text` is a serve bench document (vs a fleet one).
+    pub fn is_serve_record(text: &str) -> bool {
+        text.contains("\"kind\": \"serve\"")
+    }
+
+    /// Parses the gated fields out of a `BENCH_serve.json` document.
+    /// Errors name the first problem.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if !Self::is_serve_record(text) {
+            return Err("not a serve bench record (no \"kind\": \"serve\")".to_string());
+        }
+        let deterministic = if text.contains("\"deterministic\": true") {
+            true
+        } else if text.contains("\"deterministic\": false") {
+            false
+        } else {
+            return Err("missing boolean field \"deterministic\"".to_string());
+        };
+        let mut scales = Vec::new();
+        for label in ["10k", "100k", "1m"] {
+            let throughput = extract_number(text, &format!("auth_ops_per_sec_{label}"));
+            let p99 = extract_number(text, &format!("p99_us_{label}"));
+            match (throughput, p99) {
+                (Some(auth_ops_per_sec), Some(p99_us)) => scales.push(ServeScale {
+                    label: label.to_string(),
+                    auth_ops_per_sec,
+                    p99_us,
+                }),
+                (None, None) => {} // scale not run — fine if both agree
+                (Some(_), None) => {
+                    return Err(format!("scale {label} carries throughput but no p99_us"))
+                }
+                (None, Some(_)) => {
+                    return Err(format!("scale {label} carries p99_us but no throughput"))
+                }
+            }
+        }
+        if scales.is_empty() {
+            return Err("serve record carries no gated scales".to_string());
+        }
+        Ok(Self {
+            threads: extract_number(text, "threads").map(|t| t as u64),
+            deterministic,
+            scales,
+        })
+    }
+}
+
+/// Compares a fresh serve record against the committed baseline under
+/// the same thread-handling rules as [`compare_with_notes`]: drill
+/// determinism is a hard claim in both records, per-scale auth
+/// throughput is banded by [`Tolerance::max_throughput_regression`]
+/// (only at matching thread counts), and a scale present in the
+/// baseline may not vanish from the fresh run. p99 figures are
+/// reported as notes, never gated.
+pub fn compare_serve_with_notes(
+    baseline: &ServeRecord,
+    fresh: &ServeRecord,
+    tol: &Tolerance,
+) -> (Vec<String>, Vec<String>) {
+    let mut violations = Vec::new();
+    let mut notes = Vec::new();
+    if !baseline.deterministic {
+        violations.push("baseline record claims deterministic: false".to_string());
+    }
+    if !fresh.deterministic {
+        violations.push("fresh drill was NOT deterministic across worker counts".to_string());
+    }
+    let comparable = match (baseline.threads, fresh.threads) {
+        (Some(b), Some(f)) if b != f => {
+            violations.push(format!(
+                "thread counts differ: baseline ran on {b} thread(s), fresh on {f}; \
+                 auth ops/sec is not comparable — regenerate the baseline at the pinned \
+                 thread count"
+            ));
+            false
+        }
+        (None, _) | (_, None) => {
+            notes.push(format!(
+                "throughput comparison skipped: {} record carries no \"threads\" field, \
+                 so auth ops/sec figures may come from different worker counts",
+                if baseline.threads.is_none() {
+                    "baseline"
+                } else {
+                    "fresh"
+                }
+            ));
+            false
+        }
+        _ => true,
+    };
+    for base_scale in &baseline.scales {
+        let Some(fresh_scale) = fresh.scales.iter().find(|s| s.label == base_scale.label) else {
+            violations.push(format!(
+                "scale {} vanished: baseline measured it, fresh did not",
+                base_scale.label
+            ));
+            continue;
+        };
+        notes.push(format!(
+            "scale {}: p99 {:.1} us (baseline {:.1} us)",
+            base_scale.label, fresh_scale.p99_us, base_scale.p99_us
+        ));
+        if !comparable {
+            continue;
+        }
+        let floor = base_scale.auth_ops_per_sec * (1.0 - tol.max_throughput_regression);
+        if fresh_scale.auth_ops_per_sec < floor {
+            violations.push(format!(
+                "auth throughput at {} regressed beyond {:.0}%: baseline {:.1} ops/sec, \
+                 fresh {:.1} (floor {:.1})",
+                base_scale.label,
+                100.0 * tol.max_throughput_regression,
+                base_scale.auth_ops_per_sec,
+                fresh_scale.auth_ops_per_sec,
+                floor
+            ));
+        }
+    }
+    (violations, notes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,5 +490,120 @@ mod tests {
         fresh.bits_per_board = 17;
         let violations = compare(&baseline, &fresh, &Tolerance::default());
         assert_eq!(violations.len(), 2, "{violations:?}");
+    }
+
+    fn serve_record(per_sec: &[(&str, f64)]) -> ServeRecord {
+        ServeRecord {
+            threads: Some(1),
+            deterministic: true,
+            scales: per_sec
+                .iter()
+                .map(|&(label, auth_ops_per_sec)| ServeScale {
+                    label: label.to_string(),
+                    auth_ops_per_sec,
+                    p99_us: 42.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn serve_parse_reads_flattened_keys_and_routes_by_kind() {
+        let text = r#"{
+  "kind": "serve",
+  "threads": 1,
+  "unique_boards": 256,
+  "deterministic": true,
+  "auth_ops_per_sec_10k": 61234.5,
+  "p99_us_10k": 31.2,
+  "auth_ops_per_sec_100k": 58111.0,
+  "p99_us_100k": 44.8,
+  "scales": []
+}"#;
+        assert!(ServeRecord::is_serve_record(text));
+        assert!(!ServeRecord::is_serve_record("{\"boards\": 64}"));
+        let r = ServeRecord::parse(text).unwrap();
+        assert_eq!(r.threads, Some(1));
+        assert!(r.deterministic);
+        assert_eq!(r.scales.len(), 2, "1m absent from both keys is fine");
+        assert_eq!(r.scales[0].label, "10k");
+        assert!((r.scales[1].auth_ops_per_sec - 58111.0).abs() < 1e-9);
+        assert!((r.scales[1].p99_us - 44.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serve_parse_rejects_half_present_scales_and_wrong_kind() {
+        assert!(ServeRecord::parse("{\"boards\": 64}")
+            .unwrap_err()
+            .contains("not a serve"));
+        let half = r#"{"kind": "serve", "deterministic": true, "auth_ops_per_sec_10k": 5.0}"#;
+        assert!(ServeRecord::parse(half).unwrap_err().contains("no p99_us"));
+        let none = r#"{"kind": "serve", "deterministic": true}"#;
+        assert!(ServeRecord::parse(none)
+            .unwrap_err()
+            .contains("no gated scales"));
+    }
+
+    #[test]
+    fn serve_identical_records_pass_with_p99_notes() {
+        let r = serve_record(&[("10k", 60_000.0), ("100k", 55_000.0)]);
+        let (violations, notes) = compare_serve_with_notes(&r, &r, &Tolerance::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(notes.len(), 2, "one p99 note per scale: {notes:?}");
+    }
+
+    #[test]
+    fn serve_per_scale_regression_and_vanished_scale_fail() {
+        let baseline = serve_record(&[("10k", 60_000.0), ("100k", 55_000.0)]);
+        let slow = serve_record(&[("10k", 60_000.0), ("100k", 20_000.0)]);
+        let (violations, _) = compare_serve_with_notes(&baseline, &slow, &Tolerance::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("auth throughput at 100k"));
+
+        let missing = serve_record(&[("10k", 60_000.0)]);
+        let (violations, _) = compare_serve_with_notes(&baseline, &missing, &Tolerance::default());
+        assert!(
+            violations.iter().any(|v| v.contains("scale 100k vanished")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn serve_determinism_and_thread_rules_match_the_fleet_gate() {
+        let baseline = serve_record(&[("10k", 60_000.0)]);
+        let mut broken = baseline.clone();
+        broken.deterministic = false;
+        let (violations, _) = compare_serve_with_notes(&baseline, &broken, &Tolerance::default());
+        assert!(
+            violations.iter().any(|v| v.contains("NOT deterministic")),
+            "{violations:?}"
+        );
+
+        // Mismatched thread counts: hard failure, band not applied.
+        let mut eight = serve_record(&[("10k", 10.0)]);
+        eight.threads = Some(8);
+        let (violations, _) = compare_serve_with_notes(&baseline, &eight, &Tolerance::default());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("thread counts differ")),
+            "{violations:?}"
+        );
+        assert_eq!(
+            violations.len(),
+            1,
+            "band must not also fire: {violations:?}"
+        );
+
+        // Missing thread count: band skipped with a note, not a failure.
+        let mut unknown = serve_record(&[("10k", 10.0)]);
+        unknown.threads = None;
+        let (violations, notes) =
+            compare_serve_with_notes(&baseline, &unknown, &Tolerance::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(
+            notes.iter().any(|n| n.contains("comparison skipped")),
+            "{notes:?}"
+        );
     }
 }

@@ -245,7 +245,8 @@ pub fn noise(seed: u64) -> NoiseOutcome {
             let mut sq = 0.0;
             let mut count = 0usize;
             for spec in puf.specs() {
-                let ro = ConfigurableRo::new(&board, spec.top().to_vec());
+                let ro = ConfigurableRo::try_new(&board, spec.top().to_vec())
+                    .expect("floorplan fits the board");
                 let cal = calibrate(&mut rng, &ro, &probe, env, sim.technology());
                 for (e, t) in cal
                     .ddiffs_ps()

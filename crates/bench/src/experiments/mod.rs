@@ -6,6 +6,7 @@ pub mod configs;
 pub mod fleet_engine;
 pub mod randomness;
 pub mod reliability;
+pub mod serve;
 pub mod threshold;
 pub mod uniqueness;
 pub mod verify;

@@ -99,7 +99,8 @@ impl CooperativePuf {
             .rings
             .iter()
             .map(|units| {
-                let ro = ConfigurableRo::new(board, units.clone());
+                let ro = ConfigurableRo::try_new(board, units.clone())
+                    .expect("cooperative rings fit the board");
                 corners
                     .iter()
                     .map(|&env| probe.measure_ps(rng, ro.ring_delay_ps(&config, env, tech)))
@@ -219,14 +220,12 @@ impl CooperativeEnrollment {
         self.pairs
             .iter()
             .map(|p| {
-                let da = probe.measure_ps(
-                    rng,
-                    ConfigurableRo::new(board, p.ring_a.clone()).ring_delay_ps(&config, env, tech),
-                );
-                let db = probe.measure_ps(
-                    rng,
-                    ConfigurableRo::new(board, p.ring_b.clone()).ring_delay_ps(&config, env, tech),
-                );
+                let ring = |units: &Vec<usize>| {
+                    ConfigurableRo::try_new(board, units.clone())
+                        .expect("cooperative rings fit the board")
+                };
+                let da = probe.measure_ps(rng, ring(&p.ring_a).ring_delay_ps(&config, env, tech));
+                let db = probe.measure_ps(rng, ring(&p.ring_b).ring_delay_ps(&config, env, tech));
                 da > db
             })
             .collect()

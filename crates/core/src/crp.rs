@@ -42,6 +42,9 @@ impl Challenge {
     /// without unwinding.
     ///
     /// [`try_new`]: Self::try_new
+    #[deprecated(
+        note = "use `Challenge::try_new` — wire-supplied challenges must be rejected, not unwound"
+    )]
     pub fn new(top: ConfigVector, bottom: ConfigVector) -> Self {
         Self::try_new(top, bottom).expect("invalid challenge")
     }
@@ -404,6 +407,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "equally many stages")]
+    #[allow(deprecated)] // the panicking constructor keeps its contract until removal
     fn unbalanced_challenge_panics() {
         let _ = Challenge::new(
             ConfigVector::from_selected(4, &[0, 1]),

@@ -30,6 +30,17 @@ pub enum Error {
     Challenge(String),
     /// Stored enrollment text did not parse.
     Parse(ParseEnrollmentError),
+    /// A lifecycle operation was invalid (no usable bits, malformed key
+    /// material, helper data inconsistent with the enrollment).
+    Lifecycle(String),
+    /// A versioned byte stream was written by an incompatible format
+    /// revision.
+    UnsupportedVersion {
+        /// What the stream claims to be.
+        found: u16,
+        /// The newest version this build reads.
+        supported: u16,
+    },
 }
 
 impl fmt::Display for Error {
@@ -41,6 +52,11 @@ impl fmt::Display for Error {
             Self::Fleet(msg) => write!(f, "fleet: {msg}"),
             Self::Challenge(msg) => write!(f, "challenge: {msg}"),
             Self::Parse(e) => write!(f, "enrollment parse: {e}"),
+            Self::Lifecycle(msg) => write!(f, "lifecycle: {msg}"),
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this build reads up to {supported})"
+            ),
         }
     }
 }

@@ -93,6 +93,35 @@ impl FuzzyExtractor {
         (key, used.xor(&codeword))
     }
 
+    /// Commit phase for a *caller-supplied* key: computes the helper
+    /// data that makes [`reproduce`](Self::reproduce) return exactly
+    /// `key` from this response (the NXP-style `SetKey` operation, vs
+    /// [`generate`](Self::generate)'s `GenerateKey`).
+    ///
+    /// # Errors
+    ///
+    /// [`ReproduceError::ResponseTooShort`] when the response cannot
+    /// cover `key.len()` repetition blocks, and
+    /// [`ReproduceError::MalformedHelper`] when `key` is empty.
+    pub fn commit(&self, key: &BitVec, response: &BitVec) -> Result<BitVec, ReproduceError> {
+        if key.is_empty() {
+            return Err(ReproduceError::MalformedHelper {
+                helper_bits: 0,
+                repetition: self.repetition,
+            });
+        }
+        let needed = key.len() * self.repetition;
+        if response.len() < needed {
+            return Err(ReproduceError::ResponseTooShort {
+                response_bits: response.len(),
+                required: needed,
+            });
+        }
+        let codeword = self.encode(key);
+        let used: BitVec = response.iter().take(needed).collect();
+        Ok(used.xor(&codeword))
+    }
+
     /// Reproduction phase: recovers the key from a (noisy) response and
     /// the helper data.
     ///
@@ -350,6 +379,38 @@ mod tests {
                 Err(ReproduceError::ResponseTooShort { .. })
             ));
         }
+    }
+
+    #[test]
+    fn commit_round_trips_a_chosen_key() {
+        let fx = FuzzyExtractor::new(3);
+        let response = random_response(30, 20);
+        let key = BitVec::from_binary_str("1011001110").unwrap();
+        let helper = fx.commit(&key, &response).unwrap();
+        assert_eq!(helper.len(), 30);
+        assert_eq!(fx.reproduce(&response, &helper).unwrap(), key);
+        // Still corrects within the radius.
+        let mut noisy = response.clone();
+        noisy.set(4, !noisy.get(4).unwrap());
+        assert_eq!(fx.reproduce(&noisy, &helper).unwrap(), key);
+    }
+
+    #[test]
+    fn commit_rejects_bad_shapes() {
+        let fx = FuzzyExtractor::new(5);
+        let response = random_response(20, 21);
+        let long_key = random_response(5, 22); // needs 25 response bits
+        assert!(matches!(
+            fx.commit(&long_key, &response),
+            Err(ReproduceError::ResponseTooShort {
+                response_bits: 20,
+                required: 25
+            })
+        ));
+        assert!(matches!(
+            fx.commit(&BitVec::new(), &response),
+            Err(ReproduceError::MalformedHelper { .. })
+        ));
     }
 
     #[test]

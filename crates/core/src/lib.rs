@@ -37,7 +37,10 @@
 //!   deployment and the linear modeling attack that breaks it (the
 //!   security argument for the paper's fixed configurations),
 //! * [`fuzzy`] — a repetition-code fuzzy extractor, the ECC machinery
-//!   whose cost the configurable PUF's margins avoid.
+//!   whose cost the configurable PUF's margins avoid,
+//! * [`lifecycle`] — the typestate enrollment lifecycle
+//!   (`Device<Started> → Device<Enrolled>`, opaque [`lifecycle::KeyCode`])
+//!   that deployments drive instead of the free functions.
 //!
 //! # Examples
 //!
@@ -64,6 +67,7 @@ pub mod distill;
 pub mod error;
 pub mod fleet;
 pub mod fuzzy;
+pub mod lifecycle;
 pub mod monitor;
 pub mod one_of_eight;
 pub mod persist;
@@ -78,6 +82,7 @@ pub use error::Error;
 pub use fleet::{
     split_seed, FleetAging, FleetConfig, FleetEngine, FleetRun, Quarantine, QuarantineReason,
 };
+pub use lifecycle::{Device, Enrolled, KeyCode, Started};
 pub use monitor::{FleetHealth, FleetObservatory, MonitorConfig, SweepPlan};
 pub use puf::BoundEnrollment;
 pub use robust::{FaultPlan, FaultSummary, RobustOptions};

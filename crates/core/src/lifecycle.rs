@@ -1,0 +1,612 @@
+//! Typestate enrollment lifecycle: `Device<Started> → Device<Enrolled>`.
+//!
+//! The NXP/Nitrokey PUF peripheral exposes its key store as a strict
+//! state machine: a started-but-unenrolled PUF accepts only
+//! `GenerateKey`/`SetKey`, both of which output an opaque *Key Code*,
+//! and only an enrolled PUF can run `GetKey` to turn a Key Code back
+//! into key material. This module gives the configurable RO PUF the
+//! same shape — the free-floating `enroll*`/`respond*` functions stay
+//! available for research workloads, but deployments drive a
+//! [`Device`], where calling an operation in the wrong state is a
+//! *compile* error rather than a runtime panic:
+//!
+//! ```compile_fail
+//! use ropuf_core::lifecycle::{Device, KeyCode, Started};
+//! use ropuf_core::robust::FaultPlan;
+//!
+//! fn broken(device: &Device<'_, Started>, code: &KeyCode) {
+//!     // `get_key` exists only on Device<'_, Enrolled>.
+//!     let _ = device.get_key(7, 1, &FaultPlan::scaled(0.0), code);
+//! }
+//! ```
+//!
+//! The happy path, end to end:
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ropuf_core::lifecycle::Device;
+//! use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+//! use ropuf_core::robust::FaultPlan;
+//! use ropuf_silicon::{Environment, SiliconSim};
+//!
+//! let mut sim = SiliconSim::default_spartan();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let board = sim.grow_board(&mut rng, 70, 10);
+//! let device = Device::start(
+//!     &board,
+//!     sim.technology(),
+//!     Environment::nominal(),
+//!     ConfigurableRoPuf::tiled_interleaved(70, 7),
+//!     EnrollOptions::default(),
+//! );
+//! let plan = FaultPlan::scaled(0.0);
+//! let (device, code) = device.generate_key(42, 1, &plan)?;
+//! let key = device.get_key(7, 1, &plan, &code)?;
+//! assert_eq!(key.len(), code.key_bits());
+//! # Ok::<(), ropuf_core::error::Error>(())
+//! ```
+//!
+//! A [`KeyCode`] holds only public helper data (the code-offset sketch
+//! of the key XORed onto the enrollment response): storing or shipping
+//! it reveals nothing about the key without the physical board, so the
+//! server persists Key Codes next to enrollments and never sees raw
+//! delays.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_num::bits::BitVec;
+use ropuf_silicon::{Board, Environment, Technology};
+use ropuf_telemetry as telemetry;
+
+use crate::error::Error;
+use crate::fleet::split_seed;
+use crate::fuzzy::FuzzyExtractor;
+use crate::puf::{ConfigurableRoPuf, EnrollOptions, Enrollment};
+use crate::robust::{enroll_robust, respond_robust, FaultPlan, FaultSummary};
+
+/// Sub-stream of the enrollment seed reserved for key generation, far
+/// from the per-pair indices (and distinct from the fault/retry streams
+/// `u64::MAX - 2` / `u64::MAX - 3` inside `robust`).
+const STREAM_KEY: u64 = u64::MAX - 4;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::Started {}
+    impl Sealed for super::Enrolled {}
+}
+
+/// Marker trait for lifecycle states; sealed, so `Started` and
+/// `Enrolled` are the only states a [`Device`] can ever be in.
+pub trait LifecycleState: sealed::Sealed {}
+
+/// A powered device that has not enrolled: it can only generate or set
+/// a key.
+#[derive(Debug, Clone, Copy)]
+pub struct Started(());
+
+impl LifecycleState for Started {}
+
+/// An enrolled device: it holds helper data and can reconstruct keys
+/// and answer authentication reads.
+#[derive(Debug, Clone)]
+pub struct Enrolled {
+    enrollment: Enrollment,
+}
+
+impl LifecycleState for Enrolled {}
+
+/// A PUF-bearing device moving through the enrollment lifecycle.
+///
+/// The state parameter gates the API: [`Device::generate_key`] and
+/// [`Device::set_key`] exist only on `Device<Started>` and *consume*
+/// the device, returning the `Device<Enrolled>` successor, while
+/// [`Device::get_key`] and [`Device::respond`] exist only on
+/// `Device<Enrolled>`.
+#[derive(Debug, Clone)]
+pub struct Device<'a, S: LifecycleState> {
+    board: &'a Board,
+    tech: Technology,
+    env: Environment,
+    puf: ConfigurableRoPuf,
+    opts: EnrollOptions,
+    state: S,
+}
+
+impl<'a> Device<'a, Started> {
+    /// Powers up a device over `board` with the given floorplan and
+    /// enrollment options. No measurement happens yet.
+    pub fn start(
+        board: &'a Board,
+        tech: &Technology,
+        env: Environment,
+        puf: ConfigurableRoPuf,
+        opts: EnrollOptions,
+    ) -> Self {
+        Self {
+            board,
+            tech: *tech,
+            env,
+            puf,
+            opts,
+            state: Started(()),
+        }
+    }
+
+    /// Enrolls the device and derives a *fresh uniform* key, returning
+    /// the enrolled successor and the opaque [`KeyCode`] that
+    /// [`Device::get_key`] later consumes (the `GenerateKey` op).
+    ///
+    /// Enrollment runs the fault-tolerant §III.B/§III.D pipeline under
+    /// `plan`; unreadable pairs are excluded via §III.C. `repetition`
+    /// is the (odd) repetition factor of the code-offset sketch.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Lifecycle`] when `repetition` is zero or even, or when
+    /// the enrollment yields too few usable bits for even one key bit.
+    pub fn generate_key(
+        self,
+        seed: u64,
+        repetition: usize,
+        plan: &FaultPlan,
+    ) -> Result<(Device<'a, Enrolled>, KeyCode), Error> {
+        let _span = telemetry::span("lifecycle.generate_key");
+        let (enrollment, fx) = self.enroll_checked(seed, repetition, plan)?;
+        let response = enrollment.expected_bits();
+        let mut rng = StdRng::seed_from_u64(split_seed(seed, STREAM_KEY));
+        let (_key, helper) = fx.generate(&mut rng, &response);
+        telemetry::counter("lifecycle.keycodes", 1);
+        Ok((
+            self.into_enrolled(enrollment),
+            KeyCode::from_parts(repetition, helper),
+        ))
+    }
+
+    /// Enrolls the device and commits a *caller-supplied* key (the
+    /// `SetKey` op): the returned [`KeyCode`] makes
+    /// [`Device::get_key`] reproduce exactly `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Lifecycle`] when `repetition` is zero or even, the
+    /// enrollment yields no usable bits, or the key does not fit the
+    /// enrolled response (`key.len() * repetition` bits required).
+    pub fn set_key(
+        self,
+        seed: u64,
+        key: &BitVec,
+        repetition: usize,
+        plan: &FaultPlan,
+    ) -> Result<(Device<'a, Enrolled>, KeyCode), Error> {
+        let _span = telemetry::span("lifecycle.set_key");
+        let (enrollment, fx) = self.enroll_checked(seed, repetition, plan)?;
+        let response = enrollment.expected_bits();
+        let helper = fx
+            .commit(key, &response)
+            .map_err(|e| Error::Lifecycle(e.to_string()))?;
+        telemetry::counter("lifecycle.keycodes", 1);
+        Ok((
+            self.into_enrolled(enrollment),
+            KeyCode::from_parts(repetition, helper),
+        ))
+    }
+
+    fn enroll_checked(
+        &self,
+        seed: u64,
+        repetition: usize,
+        plan: &FaultPlan,
+    ) -> Result<(Enrollment, FuzzyExtractor), Error> {
+        if repetition == 0 || repetition.is_multiple_of(2) {
+            return Err(Error::Lifecycle(format!(
+                "repetition factor must be odd, got {repetition}"
+            )));
+        }
+        let robust = enroll_robust(
+            &self.puf, seed, self.board, &self.tech, self.env, &self.opts, plan,
+        );
+        let enrollment = robust.enrollment;
+        let fx = FuzzyExtractor::new(repetition);
+        if fx.key_bits(enrollment.bit_count()) == 0 {
+            return Err(Error::Lifecycle(format!(
+                "enrollment produced {} usable bits, fewer than one repetition-{repetition} block",
+                enrollment.bit_count()
+            )));
+        }
+        Ok((enrollment, fx))
+    }
+
+    fn into_enrolled(self, enrollment: Enrollment) -> Device<'a, Enrolled> {
+        Device {
+            board: self.board,
+            tech: self.tech,
+            env: self.env,
+            puf: self.puf,
+            opts: self.opts,
+            state: Enrolled { enrollment },
+        }
+    }
+}
+
+impl<'a> Device<'a, Enrolled> {
+    /// Rehydrates an enrolled device from persisted helper data — the
+    /// path a rebooted verifier takes, where enrollment happened once
+    /// at provisioning time.
+    pub fn resume(
+        board: &'a Board,
+        tech: &Technology,
+        env: Environment,
+        opts: EnrollOptions,
+        enrollment: Enrollment,
+    ) -> Result<Self, Error> {
+        if enrollment.bit_count() == 0 {
+            return Err(Error::Lifecycle(
+                "cannot resume from an enrollment with no usable bits".to_string(),
+            ));
+        }
+        let puf = ConfigurableRoPuf::new(
+            enrollment
+                .pairs()
+                .iter()
+                .flatten()
+                .map(|p| p.spec().clone())
+                .collect(),
+        );
+        Ok(Self {
+            board,
+            tech: *tech,
+            env,
+            puf,
+            opts,
+            state: Enrolled { enrollment },
+        })
+    }
+
+    /// The helper data this device enrolled with.
+    pub fn enrollment(&self) -> &Enrollment {
+        &self.state.enrollment
+    }
+
+    /// One fault-screened, majority-voted authentication read-out:
+    /// erasures (`None`) mark bits whose read failed unrecoverably.
+    /// Deterministic in `seed` — the form a verifier drill replays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` is zero or even (same contract as
+    /// [`respond_robust`]).
+    pub fn respond(
+        &self,
+        seed: u64,
+        votes: usize,
+        plan: &FaultPlan,
+    ) -> (Vec<Option<bool>>, FaultSummary) {
+        let _span = telemetry::span("lifecycle.respond");
+        respond_robust(
+            &self.state.enrollment,
+            seed,
+            self.board,
+            &self.tech,
+            self.env,
+            &self.opts.probe,
+            votes,
+            plan,
+        )
+    }
+
+    /// Reconstructs the key behind `code` from a fresh measurement (the
+    /// `GetKey` op). Erased bits fall back to the enrolled expected
+    /// bits — the device holds its own helper data, so this costs
+    /// nothing and keeps reconstruction deterministic under faults.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Lifecycle`] when `code` does not fit this device's
+    /// enrollment (wrong length or repetition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `votes` is zero or even.
+    pub fn get_key(
+        &self,
+        seed: u64,
+        votes: usize,
+        plan: &FaultPlan,
+        code: &KeyCode,
+    ) -> Result<BitVec, Error> {
+        let _span = telemetry::span("lifecycle.get_key");
+        let (bits, _summary) = self.respond(seed, votes, plan);
+        let expected = self.state.enrollment.expected_bits();
+        let response: BitVec = bits
+            .iter()
+            .enumerate()
+            .map(|(i, b)| b.unwrap_or_else(|| expected.get(i).expect("in range")))
+            .collect();
+        let fx = FuzzyExtractor::new(code.repetition());
+        fx.reproduce(&response, code.helper())
+            .map_err(|e| Error::Lifecycle(e.to_string()))
+    }
+}
+
+/// Magic prefix of the serialized [`KeyCode`] form.
+pub const KEY_CODE_MAGIC: &[u8; 4] = b"RPKC";
+
+/// Newest Key Code format version this build writes and reads.
+pub const KEY_CODE_VERSION: u16 = 1;
+
+/// An opaque Key Code: the public output of `GenerateKey`/`SetKey`
+/// and the input to `GetKey`.
+///
+/// Contains the repetition factor and the code-offset helper string —
+/// public data by construction, never the key itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyCode {
+    repetition: usize,
+    helper: BitVec,
+}
+
+impl KeyCode {
+    fn from_parts(repetition: usize, helper: BitVec) -> Self {
+        Self { repetition, helper }
+    }
+
+    /// The repetition factor of the sketch.
+    pub fn repetition(&self) -> usize {
+        self.repetition
+    }
+
+    /// Length of the key this code reconstructs, in bits.
+    pub fn key_bits(&self) -> usize {
+        self.helper.len() / self.repetition
+    }
+
+    /// The public helper string.
+    pub fn helper(&self) -> &BitVec {
+        &self.helper
+    }
+
+    /// Serializes to the versioned wire form: [`KEY_CODE_MAGIC`],
+    /// little-endian u16 version and repetition, u32 helper bit count,
+    /// then the helper bits packed LSB-first.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.helper.len().div_ceil(8));
+        out.extend_from_slice(KEY_CODE_MAGIC);
+        out.extend_from_slice(&KEY_CODE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.repetition as u16).to_le_bytes());
+        out.extend_from_slice(&(self.helper.len() as u32).to_le_bytes());
+        let mut byte = 0u8;
+        for (i, b) in self.helper.iter().enumerate() {
+            if b {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                out.push(byte);
+                byte = 0;
+            }
+        }
+        if !self.helper.len().is_multiple_of(8) {
+            out.push(byte);
+        }
+        out
+    }
+
+    /// Parses the versioned wire form.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnsupportedVersion`] on a version mismatch and
+    /// [`Error::Lifecycle`] on any structural defect (bad magic,
+    /// truncation, even repetition, helper not a whole number of
+    /// blocks).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, Error> {
+        if bytes.len() < 12 || &bytes[..4] != KEY_CODE_MAGIC {
+            return Err(Error::Lifecycle("missing RPKC key-code magic".to_string()));
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != KEY_CODE_VERSION {
+            return Err(Error::UnsupportedVersion {
+                found: version,
+                supported: KEY_CODE_VERSION,
+            });
+        }
+        let repetition = u16::from_le_bytes([bytes[6], bytes[7]]) as usize;
+        if repetition == 0 || repetition.is_multiple_of(2) {
+            return Err(Error::Lifecycle(format!(
+                "key-code repetition must be odd, got {repetition}"
+            )));
+        }
+        let helper_bits = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+        if helper_bits == 0 || !helper_bits.is_multiple_of(repetition) {
+            return Err(Error::Lifecycle(format!(
+                "helper of {helper_bits} bits is not a whole number of repetition-{repetition} blocks"
+            )));
+        }
+        if bytes.len() != 12 + helper_bits.div_ceil(8) {
+            return Err(Error::Lifecycle(format!(
+                "key code of {} bytes cannot hold {helper_bits} helper bits",
+                bytes.len()
+            )));
+        }
+        let helper: BitVec = (0..helper_bits)
+            .map(|i| bytes[12 + i / 8] >> (i % 8) & 1 == 1)
+            .collect();
+        Ok(Self { repetition, helper })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use ropuf_silicon::board::BoardId;
+    use ropuf_silicon::SiliconSim;
+
+    fn setup(units: usize) -> (Board, Technology) {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(77);
+        let board = sim.grow_board_with_id(&mut rng, BoardId(0), units, 12);
+        (board, *sim.technology())
+    }
+
+    fn started<'a>(board: &'a Board, tech: &Technology) -> Device<'a, Started> {
+        Device::start(
+            board,
+            tech,
+            Environment::nominal(),
+            ConfigurableRoPuf::tiled_interleaved(board.len(), 4),
+            EnrollOptions::default(),
+        )
+    }
+
+    #[test]
+    fn generate_key_then_get_key_round_trips() {
+        let (board, tech) = setup(80);
+        let plan = FaultPlan::scaled(0.0);
+        let (device, code) = started(&board, &tech)
+            .generate_key(41, 3, &plan)
+            .expect("enrolls");
+        assert_eq!(code.repetition(), 3);
+        assert!(code.key_bits() >= 3);
+        let k1 = device.get_key(7, 1, &plan, &code).unwrap();
+        let k2 = device.get_key(8, 3, &plan, &code).unwrap();
+        assert_eq!(k1.len(), code.key_bits());
+        assert_eq!(k1, k2, "key is stable across read-outs");
+    }
+
+    #[test]
+    fn set_key_reproduces_the_chosen_key() {
+        let (board, tech) = setup(80);
+        let plan = FaultPlan::scaled(0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let key: BitVec = (0..3).map(|_| rng.gen::<bool>()).collect();
+        let (device, code) = started(&board, &tech)
+            .set_key(41, &key, 3, &plan)
+            .expect("enrolls");
+        assert_eq!(device.get_key(9, 1, &plan, &code).unwrap(), key);
+    }
+
+    #[test]
+    fn get_key_survives_faulty_reads() {
+        let (board, tech) = setup(80);
+        let clean = FaultPlan::scaled(0.0);
+        let (device, code) = started(&board, &tech)
+            .generate_key(41, 3, &clean)
+            .expect("enrolls");
+        let key = device.get_key(7, 1, &clean, &code).unwrap();
+        // A moderate fault campaign: erasures fall back to expected
+        // bits, so the key still reproduces, deterministically.
+        let chaotic = FaultPlan::scaled(5.0);
+        let a = device.get_key(7, 3, &chaotic, &code).unwrap();
+        let b = device.get_key(7, 3, &chaotic, &code).unwrap();
+        assert_eq!(a, b, "faulty read-out is deterministic in the seed");
+        assert_eq!(a, key, "erasure fallback preserves the key");
+    }
+
+    #[test]
+    fn generate_key_rejects_bad_repetition_and_tiny_enrollments() {
+        let (board, tech) = setup(80);
+        let plan = FaultPlan::scaled(0.0);
+        let err = started(&board, &tech)
+            .generate_key(41, 2, &plan)
+            .unwrap_err();
+        assert!(matches!(err, Error::Lifecycle(_)), "{err}");
+        let err = started(&board, &tech)
+            .generate_key(41, 0, &plan)
+            .unwrap_err();
+        assert!(matches!(err, Error::Lifecycle(_)), "{err}");
+        // Repetition far beyond the bit budget: no full block fits.
+        let err = started(&board, &tech)
+            .generate_key(41, 101, &plan)
+            .unwrap_err();
+        assert!(err.to_string().contains("fewer than one"), "{err}");
+    }
+
+    #[test]
+    fn resume_matches_the_original_enrollment() {
+        let (board, tech) = setup(80);
+        let plan = FaultPlan::scaled(0.0);
+        let (device, code) = started(&board, &tech)
+            .generate_key(41, 3, &plan)
+            .expect("enrolls");
+        let resumed = Device::resume(
+            &board,
+            &tech,
+            Environment::nominal(),
+            EnrollOptions::default(),
+            device.enrollment().clone(),
+        )
+        .expect("resumes");
+        assert_eq!(
+            resumed.respond(13, 1, &plan),
+            device.respond(13, 1, &plan),
+            "resumed device answers identically"
+        );
+        assert_eq!(
+            resumed.get_key(7, 1, &plan, &code).unwrap(),
+            device.get_key(7, 1, &plan, &code).unwrap()
+        );
+    }
+
+    #[test]
+    fn resume_rejects_empty_enrollments() {
+        let (board, tech) = setup(80);
+        // A threshold nothing survives.
+        let opts = EnrollOptions::builder().threshold_ps(1e12).build();
+        let device = Device::start(
+            &board,
+            &tech,
+            Environment::nominal(),
+            ConfigurableRoPuf::tiled_interleaved(board.len(), 4),
+            opts,
+        );
+        let err = device
+            .generate_key(41, 1, &FaultPlan::scaled(0.0))
+            .unwrap_err();
+        assert!(matches!(err, Error::Lifecycle(_)));
+    }
+
+    #[test]
+    fn key_code_bytes_round_trip() {
+        let (board, tech) = setup(80);
+        let plan = FaultPlan::scaled(0.0);
+        let (_device, code) = started(&board, &tech)
+            .generate_key(41, 3, &plan)
+            .expect("enrolls");
+        let bytes = code.to_bytes();
+        assert_eq!(&bytes[..4], KEY_CODE_MAGIC);
+        assert_eq!(KeyCode::from_bytes(&bytes).unwrap(), code);
+    }
+
+    #[test]
+    fn key_code_rejects_malformed_bytes() {
+        let (board, tech) = setup(80);
+        let plan = FaultPlan::scaled(0.0);
+        let (_device, code) = started(&board, &tech)
+            .generate_key(41, 3, &plan)
+            .expect("enrolls");
+        let good = code.to_bytes();
+
+        assert!(matches!(
+            KeyCode::from_bytes(b"nope"),
+            Err(Error::Lifecycle(_))
+        ));
+        let mut wrong_version = good.clone();
+        wrong_version[4..6].copy_from_slice(&9u16.to_le_bytes());
+        assert!(matches!(
+            KeyCode::from_bytes(&wrong_version),
+            Err(Error::UnsupportedVersion { found: 9, .. })
+        ));
+        let mut even_rep = good.clone();
+        even_rep[6..8].copy_from_slice(&4u16.to_le_bytes());
+        assert!(matches!(
+            KeyCode::from_bytes(&even_rep),
+            Err(Error::Lifecycle(_))
+        ));
+        let truncated = &good[..good.len() - 1];
+        assert!(matches!(
+            KeyCode::from_bytes(truncated),
+            Err(Error::Lifecycle(_))
+        ));
+    }
+}

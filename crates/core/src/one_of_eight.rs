@@ -60,7 +60,8 @@ impl RoGroup {
         i: usize,
     ) -> f64 {
         let config = ConfigVector::all_selected(self.stages());
-        let ro = crate::ro::ConfigurableRo::new(board, self.rings[i].clone());
+        let ro = crate::ro::ConfigurableRo::try_new(board, self.rings[i].clone())
+            .expect("group rings fit the board");
         probe.measure_ps(rng, ro.ring_delay_ps(&config, env, tech))
     }
 }
@@ -284,7 +285,8 @@ mod tests {
             let config = ConfigVector::all_selected(3);
             let delays: Vec<f64> = (0..8)
                 .map(|i| {
-                    crate::ro::ConfigurableRo::new(&board, group.ring(i).to_vec())
+                    crate::ro::ConfigurableRo::try_new(&board, group.ring(i).to_vec())
+                        .unwrap()
                         .ring_delay_ps(&config, env, &tech)
                 })
                 .collect();

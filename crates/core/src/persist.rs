@@ -31,10 +31,17 @@ use std::fmt;
 use ropuf_silicon::Environment;
 
 use crate::config::ConfigVector;
+use crate::error::Error;
 use crate::puf::{EnrolledPair, Enrollment, PairSpec};
 
 /// First line of the format, bumped on breaking changes.
 pub const HEADER: &str = "ropuf-enrollment v1";
+
+/// Magic prefix of the versioned binary envelope.
+pub const MAGIC: &[u8; 4] = b"ROPF";
+
+/// Newest envelope version this build writes and reads.
+pub const FORMAT_VERSION: u16 = 1;
 
 /// Serializes an enrollment to the portable text format.
 pub fn enrollment_to_text(enrollment: &Enrollment) -> String {
@@ -115,7 +122,8 @@ pub fn enrollment_from_text(text: &str) -> Result<Enrollment, ParseEnrollmentErr
                 .map_err(|e| err(line_no, format!("bad configuration: {e}")))?;
             Ok(ConfigVector::from_flags(&bits.to_bools()))
         };
-        let spec = PairSpec::new(units(2)?, units(3)?);
+        let spec = PairSpec::try_new(units(2)?, units(3)?)
+            .map_err(|e| err(line_no, format!("bad pair layout: {e}")))?;
         let top_config = config(4)?;
         let bottom_config = config(5)?;
         if top_config.len() != spec.stages() || bottom_config.len() != spec.stages() {
@@ -141,6 +149,45 @@ pub fn enrollment_from_text(text: &str) -> Result<Enrollment, ParseEnrollmentErr
         return Err(err(1, "enrollment contains no pairs"));
     }
     Ok(Enrollment::from_parts(pairs, env))
+}
+
+/// Serializes an enrollment to the versioned binary envelope: the
+/// [`MAGIC`] prefix, a little-endian u16 [`FORMAT_VERSION`], then the
+/// text format as the payload.
+///
+/// This is the form the enrollment server stores on disk — the version
+/// field lets the store evolve without silently misreading old records.
+pub fn enrollment_to_bytes(enrollment: &Enrollment) -> Vec<u8> {
+    let text = enrollment_to_text(enrollment);
+    let mut out = Vec::with_capacity(MAGIC.len() + 2 + text.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+/// Parses an enrollment from the versioned binary envelope.
+///
+/// # Errors
+///
+/// [`Error::Parse`] when the magic is missing or the payload is
+/// malformed; [`Error::UnsupportedVersion`] when the version field was
+/// written by an incompatible format revision.
+pub fn enrollment_from_bytes(bytes: &[u8]) -> Result<Enrollment, Error> {
+    let header = MAGIC.len() + 2;
+    if bytes.len() < header || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(Error::Parse(err(1, "missing ROPF envelope magic")));
+    }
+    let version = u16::from_le_bytes([bytes[MAGIC.len()], bytes[MAGIC.len() + 1]]);
+    if version != FORMAT_VERSION {
+        return Err(Error::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let text = std::str::from_utf8(&bytes[header..])
+        .map_err(|_| Error::Parse(err(1, "envelope payload is not UTF-8")))?;
+    enrollment_from_text(text).map_err(Error::from)
 }
 
 fn parse_env(line: &str, line_no: usize) -> Result<Environment, ParseEnrollmentError> {
@@ -301,6 +348,60 @@ mod tests {
             .unwrap_err()
             .message
             .contains("non-negative"));
+    }
+
+    #[test]
+    fn envelope_round_trip_preserves_everything() {
+        let (e, _, _) = sample(0.0);
+        let bytes = enrollment_to_bytes(&e);
+        assert_eq!(&bytes[..4], MAGIC);
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), FORMAT_VERSION);
+        assert_eq!(enrollment_from_bytes(&bytes).unwrap(), e);
+    }
+
+    #[test]
+    fn envelope_rejects_bytes_from_other_versions() {
+        let (e, _, _) = sample(0.0);
+        let mut bytes = enrollment_to_bytes(&e);
+        // A future (or ancient) writer: same magic, different version.
+        bytes[4..6].copy_from_slice(&7u16.to_le_bytes());
+        match enrollment_from_bytes(&bytes).unwrap_err() {
+            Error::UnsupportedVersion { found, supported } => {
+                assert_eq!(found, 7);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // Version 0 — bytes that predate the envelope scheme.
+        bytes[4..6].copy_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(
+            enrollment_from_bytes(&bytes),
+            Err(Error::UnsupportedVersion { found: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn envelope_rejects_missing_magic_and_truncation() {
+        let (e, _, _) = sample(0.0);
+        let bytes = enrollment_to_bytes(&e);
+        // Bare text (the pre-envelope format) is not an envelope.
+        let bare = enrollment_to_text(&e);
+        assert!(matches!(
+            enrollment_from_bytes(bare.as_bytes()),
+            Err(Error::Parse(_))
+        ));
+        // Shorter than the header.
+        assert!(matches!(
+            enrollment_from_bytes(&bytes[..3]),
+            Err(Error::Parse(_))
+        ));
+        // Magic present but payload garbled.
+        let mut garbled = bytes[..6].to_vec();
+        garbled.extend_from_slice(b"\xff\xfe not text");
+        assert!(matches!(
+            enrollment_from_bytes(&garbled),
+            Err(Error::Parse(_))
+        ));
     }
 
     #[test]

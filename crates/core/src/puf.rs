@@ -203,6 +203,7 @@ impl PairSpec {
     /// Panics if the lists are empty or have different lengths. Use
     /// [`try_new`](Self::try_new) to validate untrusted layouts without
     /// unwinding.
+    #[deprecated(note = "use `PairSpec::try_new` — crate boundaries reject bad layouts as errors")]
     pub fn new(top: Vec<usize>, bottom: Vec<usize>) -> Self {
         Self::try_new(top, bottom).expect("invalid pair layout")
     }
@@ -233,10 +234,11 @@ impl PairSpec {
     /// Splits `2n` consecutive units starting at `start` into a
     /// top/bottom pair.
     pub fn split_at(start: usize, stages: usize) -> Self {
-        Self::new(
+        Self::try_new(
             (start..start + stages).collect(),
             (start + stages..start + 2 * stages).collect(),
         )
+        .expect("split ranges are equal-length by construction")
     }
 
     /// Interleaves `2n` consecutive units starting at `start`: even
@@ -249,10 +251,11 @@ impl PairSpec {
     /// classic "adjacent RO pairs" layout rule; the
     /// `repro ablate-layout` experiment quantifies the difference.
     pub fn interleaved_at(start: usize, stages: usize) -> Self {
-        Self::new(
+        Self::try_new(
             (0..stages).map(|i| start + 2 * i).collect(),
             (0..stages).map(|i| start + 2 * i + 1).collect(),
         )
+        .expect("interleaved ranges are equal-length by construction")
     }
 
     /// Unit indices of the top ring.
@@ -276,10 +279,11 @@ impl PairSpec {
     ///
     /// Panics if any index is outside the board.
     pub fn bind<'a>(&self, board: &'a Board) -> RoPair<'a> {
-        RoPair::new(
-            ConfigurableRo::new(board, self.top.clone()),
-            ConfigurableRo::new(board, self.bottom.clone()),
-        )
+        let ring = |stages: &[usize]| {
+            ConfigurableRo::try_new(board, stages.to_vec()).expect("pair indices outside the board")
+        };
+        RoPair::try_new(ring(&self.top), ring(&self.bottom))
+            .expect("paired rings are equal-length by construction")
     }
 }
 

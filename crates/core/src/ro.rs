@@ -49,6 +49,9 @@ impl<'a> ConfigurableRo<'a> {
     /// Panics if `stages` is empty, contains duplicates, or references a
     /// unit outside the board. Use [`Self::try_new`] to get an error
     /// instead.
+    #[deprecated(
+        note = "use `ConfigurableRo::try_new` — crate boundaries reject bad layouts as errors"
+    )]
     pub fn new(board: &'a Board, stages: Vec<usize>) -> Self {
         Self::try_new(board, stages).expect("invalid ring layout")
     }
@@ -87,7 +90,7 @@ impl<'a> ConfigurableRo<'a> {
     ///
     /// Panics if the range is empty or out of bounds.
     pub fn from_range(board: &'a Board, range: Range<usize>) -> Self {
-        Self::new(board, range.collect())
+        Self::try_new(board, range.collect()).expect("invalid ring layout")
     }
 
     /// The board this ring lives on.
@@ -245,6 +248,7 @@ impl<'a> RoPair<'a> {
     /// Panics if the rings have different stage counts (the paper's
     /// architecture deploys identically sized rings). Use
     /// [`Self::try_new`] to get an error instead.
+    #[deprecated(note = "use `RoPair::try_new` — crate boundaries reject bad layouts as errors")]
     pub fn new(top: ConfigurableRo<'a>, bottom: ConfigurableRo<'a>) -> Self {
         Self::try_new(top, bottom).expect("paired rings must have equal stage counts")
     }
@@ -279,10 +283,11 @@ impl<'a> RoPair<'a> {
             "range must contain an even, nonzero number of units"
         );
         let mid = range.start + len / 2;
-        Self::new(
+        Self::try_new(
             ConfigurableRo::from_range(board, range.start..mid),
             ConfigurableRo::from_range(board, mid..range.end),
         )
+        .expect("halved ranges are equal-length by construction")
     }
 
     /// The top ring.
@@ -439,7 +444,7 @@ mod tests {
     #[test]
     fn true_ddiffs_match_units() {
         let (board, tech) = board();
-        let ro = ConfigurableRo::new(&board, vec![3, 1, 4]);
+        let ro = ConfigurableRo::try_new(&board, vec![3, 1, 4]).unwrap();
         let env = Environment::nominal();
         let dd = ro.true_ddiffs_ps(env, &tech);
         assert_eq!(dd.len(), 3);
@@ -463,7 +468,7 @@ mod tests {
         let env = Environment::nominal();
         let c = ConfigVector::from_selected(5, &[0, 2, 4]);
         let d1 = pair.delay_difference_ps(&c, &c, env, &tech);
-        let swapped = RoPair::new(pair.bottom().clone(), pair.top().clone());
+        let swapped = RoPair::try_new(pair.bottom().clone(), pair.top().clone()).unwrap();
         let d2 = swapped.delay_difference_ps(&c, &c, env, &tech);
         assert!((d1 + d2).abs() < 1e-12);
     }
@@ -471,7 +476,7 @@ mod tests {
     #[test]
     fn stage_delays_cache_matches_ring_walk_bit_for_bit() {
         let (board, tech) = board();
-        let ro = ConfigurableRo::new(&board, vec![2, 7, 0, 5, 9]);
+        let ro = ConfigurableRo::try_new(&board, vec![2, 7, 0, 5, 9]).unwrap();
         for env in [Environment::nominal(), Environment::new(0.98, 65.0)] {
             let delays = ro.stage_delays(env, &tech);
             let all = ConfigVector::all_selected(5);
@@ -515,6 +520,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "appears twice")]
+    #[allow(deprecated)] // the panicking constructor keeps its contract until removal
     fn duplicate_stage_panics() {
         let (board, _) = board();
         let _ = ConfigurableRo::new(&board, vec![0, 0]);
@@ -529,6 +535,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "equal stage counts")]
+    #[allow(deprecated)] // the panicking constructor keeps its contract until removal
     fn unequal_pair_panics() {
         let (board, _) = board();
         let top = ConfigurableRo::from_range(&board, 0..3);

@@ -140,7 +140,8 @@ impl InHouseDataset {
                             let start = r * config.units_per_ro;
                             (start..start + config.units_per_ro).collect()
                         };
-                        let ro = ConfigurableRo::new(&silicon, stages);
+                        let ro = ConfigurableRo::try_new(&silicon, stages)
+                            .expect("tiled rings fit the grown silicon");
                         let cal = calibrate(&mut rng, &ro, &probe, env, sim.technology());
                         InHouseRo {
                             ddiffs_ps: cal.ddiffs_ps().to_vec(),

@@ -1,0 +1,269 @@
+//! Deterministic end-to-end drills: grow silicon, enroll through the
+//! typestate lifecycle, and drive a server over TCP with a scripted,
+//! seed-derived op mix.
+//!
+//! Determinism contract: the transcript is a pure function of the
+//! [`DrillSpec`]. Each device's ops run sequentially on a dedicated
+//! connection (so its server-side state evolves in program order), and
+//! the per-device transcripts are assembled in device order after the
+//! parallel fan-out — so the bytes are identical across runs *and*
+//! across client/server thread counts.
+
+use std::fmt::Write as _;
+use std::io;
+use std::net::SocketAddr;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_core::fleet::{parallel_map_indexed, split_seed};
+use ropuf_core::lifecycle::Device;
+use ropuf_core::persist::enrollment_to_bytes;
+use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+use ropuf_core::robust::FaultPlan;
+use ropuf_num::bits::BitVec;
+use ropuf_silicon::board::BoardId;
+use ropuf_silicon::{Environment, SiliconSim};
+use ropuf_telemetry as telemetry;
+
+use crate::net::Client;
+use crate::proto::{RejectReason, Reply, Request, WireBits};
+
+/// What a drill does. Everything that could perturb the transcript is
+/// in here — the transcript is a pure function of this struct.
+#[derive(Debug, Clone, Copy)]
+pub struct DrillSpec {
+    /// Master seed; device `d` derives `split_seed(seed, d)`.
+    pub seed: u64,
+    /// Devices to enroll and exercise.
+    pub devices: u64,
+    /// Scripted ops per device after enrollment.
+    pub ops_per_device: u64,
+    /// Configurable units per board.
+    pub units: usize,
+    /// Spatial columns per board.
+    pub cols: usize,
+    /// Majority votes per read-out (odd).
+    pub votes: usize,
+    /// Repetition factor of the Key Code sketch (odd).
+    pub repetition: usize,
+    /// Fault-campaign intensity (0.0 = clean silicon).
+    pub fault_scale: f64,
+    /// Client-side fan-out threads.
+    pub client_threads: usize,
+}
+
+impl Default for DrillSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0xD21,
+            devices: 16,
+            ops_per_device: 10,
+            units: 80,
+            cols: 12,
+            votes: 1,
+            repetition: 3,
+            fault_scale: 0.0,
+            client_threads: 4,
+        }
+    }
+}
+
+/// Aggregate outcome of a drill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrillReport {
+    /// One line per op in device order — the determinism artefact.
+    pub transcript: String,
+    /// Devices enrolled.
+    pub devices: u64,
+    /// Ops replayed (excluding enrollment).
+    pub ops: u64,
+    /// Accepted auth/derive ops.
+    pub accepted: u64,
+    /// Rejected ops (the scripted replays land here).
+    pub rejected: u64,
+}
+
+fn bits_hex(bits: &BitVec) -> String {
+    let mut out = String::with_capacity(bits.len().div_ceil(4));
+    let mut nibble = 0u8;
+    for (i, b) in bits.iter().enumerate() {
+        if b {
+            nibble |= 1 << (i % 4);
+        }
+        if i % 4 == 3 {
+            write!(out, "{nibble:x}").expect("write to String");
+            nibble = 0;
+        }
+    }
+    if !bits.len().is_multiple_of(4) {
+        write!(out, "{nibble:x}").expect("write to String");
+    }
+    out
+}
+
+fn describe(reply: &Reply) -> String {
+    match reply {
+        Reply::Enrolled { bits } => format!("enrolled bits={bits}"),
+        Reply::AuthOk { compared, flips } => format!("auth_ok compared={compared} flips={flips}"),
+        Reply::Key { key } => format!("key bits={} hex={}", key.len(), bits_hex(key)),
+        Reply::Revoked => "revoked".to_string(),
+        Reply::Reject { reason } => format!("reject {}", reason.as_str()),
+        Reply::Error { message } => format!("error {message}"),
+    }
+}
+
+/// One device's scripted session. Returns its transcript chunk plus
+/// (ops, accepted, rejected) tallies.
+fn drill_device(addr: SocketAddr, spec: &DrillSpec, d: u64) -> io::Result<(String, u64, u64, u64)> {
+    let device_seed = split_seed(spec.seed, d);
+    let plan = FaultPlan::scaled(spec.fault_scale);
+    let sim = SiliconSim::default_spartan();
+    let mut rng = StdRng::seed_from_u64(device_seed);
+    let board = sim.grow_board_with_id(&mut rng, BoardId(d as u32), spec.units, spec.cols);
+    let started = Device::start(
+        &board,
+        sim.technology(),
+        Environment::nominal(),
+        ConfigurableRoPuf::tiled_interleaved(board.len(), 4),
+        EnrollOptions::default(),
+    );
+    let (device, code) = started
+        .generate_key(device_seed, spec.repetition, &plan)
+        .map_err(|e| io::Error::other(format!("device {d} failed to enroll: {e}")))?;
+
+    let mut client = Client::connect(addr)?;
+    let mut transcript = String::new();
+    let reply = client.call(&Request::Enroll {
+        device_id: d,
+        enrollment: enrollment_to_bytes(device.enrollment()),
+        key_code: code.to_bytes(),
+    })?;
+    writeln!(transcript, "d={d} op=enroll -> {}", describe(&reply)).expect("write to String");
+
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for k in 0..spec.ops_per_device {
+        let op_seed = split_seed(device_seed, k + 1);
+        let (bits, _summary) = device.respond(op_seed, spec.votes, &plan);
+        let response = WireBits::new(bits);
+        // Op mix: every 5th op starting at k=3 replays the previous
+        // nonce (must be rejected); every 5th starting at k=4 derives
+        // the key; the rest are plain auths. Nonces are 1-based.
+        let (name, request) = match k % 5 {
+            3 => (
+                "replay",
+                Request::Auth {
+                    device_id: d,
+                    nonce: k, // the nonce op k-1 just used
+                    response,
+                },
+            ),
+            4 => (
+                "derive_key",
+                Request::DeriveKey {
+                    device_id: d,
+                    nonce: k + 1,
+                    response,
+                },
+            ),
+            _ => (
+                "auth",
+                Request::Auth {
+                    device_id: d,
+                    nonce: k + 1,
+                    response,
+                },
+            ),
+        };
+        let reply = client.call(&request)?;
+        match &reply {
+            Reply::AuthOk { .. } | Reply::Key { .. } => accepted += 1,
+            Reply::Reject { .. } => rejected += 1,
+            _ => {}
+        }
+        if name == "replay" {
+            debug_assert!(
+                matches!(
+                    reply,
+                    Reply::Reject {
+                        reason: RejectReason::Replay
+                    }
+                ),
+                "scripted replay was not rejected: {reply:?}"
+            );
+        }
+        writeln!(transcript, "d={d} k={k} op={name} -> {}", describe(&reply))
+            .expect("write to String");
+    }
+    Ok((transcript, spec.ops_per_device, accepted, rejected))
+}
+
+/// Runs the drill against a live server and assembles the
+/// deterministic transcript.
+///
+/// # Errors
+///
+/// The first per-device transport or enrollment failure.
+pub fn run_drill(addr: SocketAddr, spec: &DrillSpec) -> io::Result<DrillReport> {
+    let _span = telemetry::span("serve.drill");
+    let chunks = parallel_map_indexed(spec.devices as usize, spec.client_threads, |d| {
+        drill_device(addr, spec, d as u64)
+    });
+    let mut report = DrillReport {
+        transcript: String::new(),
+        devices: spec.devices,
+        ops: 0,
+        accepted: 0,
+        rejected: 0,
+    };
+    for chunk in chunks {
+        let (transcript, ops, accepted, rejected) = chunk?;
+        report.transcript.push_str(&transcript);
+        report.ops += ops;
+        report.accepted += accepted;
+        report.rejected += rejected;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::serve;
+    use crate::service::{PufService, ServiceConfig};
+    use crate::store::{FsyncPolicy, Store};
+    use crate::testutil::temp_dir;
+    use std::sync::Arc;
+
+    fn spawn(name: &str, workers: usize) -> (crate::net::ServerHandle, std::path::PathBuf) {
+        let dir = temp_dir(name);
+        let store = Store::open(&dir, 4, FsyncPolicy::Batched).unwrap();
+        let service = Arc::new(PufService::new(store, ServiceConfig::default()));
+        let handle = serve(service, "127.0.0.1:0".parse().unwrap(), workers).unwrap();
+        (handle, dir)
+    }
+
+    #[test]
+    fn drill_is_deterministic_and_scripted_replays_reject() {
+        let spec = DrillSpec {
+            devices: 6,
+            ops_per_device: 10,
+            ..DrillSpec::default()
+        };
+        let (server_a, dir_a) = spawn("drill-a", 2);
+        let report_a = run_drill(server_a.addr(), &spec).unwrap();
+        server_a.shutdown();
+        std::fs::remove_dir_all(&dir_a).unwrap();
+
+        let (server_b, dir_b) = spawn("drill-b", 2);
+        let report_b = run_drill(server_b.addr(), &spec).unwrap();
+        server_b.shutdown();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+
+        assert_eq!(report_a, report_b, "same spec, byte-identical transcript");
+        // 10 ops per device: k=3,8 are replays — 2 rejects, 8 accepts.
+        assert_eq!(report_a.rejected, 2 * spec.devices);
+        assert_eq!(report_a.accepted, 8 * spec.devices);
+        assert!(report_a.transcript.contains("op=replay -> reject replay"));
+        assert!(report_a.transcript.contains("op=derive_key -> key bits="));
+    }
+}

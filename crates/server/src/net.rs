@@ -1,0 +1,324 @@
+//! The TCP request loop: a hand-rolled thread pool (no async runtime,
+//! no external crates) draining accepted connections from a shared
+//! queue, one frame-decode/handle/frame-encode loop per connection.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::proto::{read_frame, write_frame, Reply, Request};
+use crate::service::PufService;
+
+/// A running server: accept thread + `workers` handler threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<PufService>,
+    shutting_down: Arc<AtomicBool>,
+    live_conns: Arc<Mutex<Vec<TcpStream>>>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Starts serving `service` on `addr` (use port 0 for an ephemeral
+/// port; the bound address is on the returned handle).
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn serve(
+    service: Arc<PufService>,
+    addr: SocketAddr,
+    workers: usize,
+) -> io::Result<ServerHandle> {
+    assert!(workers > 0, "the request loop needs at least one worker");
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutting_down = Arc::new(AtomicBool::new(false));
+    let live_conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let worker_threads = (0..workers)
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&service);
+            let live_conns = Arc::clone(&live_conns);
+            std::thread::Builder::new()
+                .name(format!("ropuf-serve-{i}"))
+                .spawn(move || loop {
+                    // Hold the queue lock only while dequeuing; the
+                    // connection is then owned by this worker until EOF.
+                    let conn = rx.lock().expect("connection queue poisoned").recv();
+                    match conn {
+                        Ok(stream) => {
+                            // Register a handle so shutdown can sever
+                            // connections a client left idle-open.
+                            if let Ok(clone) = stream.try_clone() {
+                                live_conns
+                                    .lock()
+                                    .expect("connection registry poisoned")
+                                    .push(clone);
+                            }
+                            let _ = handle_connection(&service, stream);
+                        }
+                        Err(_) => return, // queue closed: shutdown
+                    }
+                })
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept_flag = Arc::clone(&shutting_down);
+    let accept_thread = std::thread::Builder::new()
+        .name("ropuf-accept".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    // A send error means the workers are gone; stop.
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // Dropping `tx` closes the queue and retires the workers.
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle {
+        addr,
+        service,
+        shutting_down,
+        live_conns,
+        accept_thread: Some(accept_thread),
+        workers: worker_threads,
+    })
+}
+
+fn handle_connection(service: &PufService, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(body) = read_frame(&mut reader)? {
+        let reply = match Request::decode(&body) {
+            Ok(request) => service.handle(&request),
+            Err(e) => Reply::Error {
+                message: e.to_string(),
+            },
+        };
+        write_frame(&mut writer, &reply.encode())?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service being served.
+    pub fn service(&self) -> &PufService {
+        &self.service
+    }
+
+    /// Stops accepting, severs open connections, and joins every
+    /// thread. A request already inside the service completes; idle
+    /// keep-alive connections are closed rather than waited on.
+    pub fn shutdown(mut self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for conn in self
+            .live_conns
+            .lock()
+            .expect("connection registry poisoned")
+            .drain(..)
+        {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A blocking client for the frame protocol.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] on transport failure, a malformed reply, or a
+    /// connection closed mid-exchange.
+    pub fn call(&mut self, request: &Request) -> io::Result<Reply> {
+        write_frame(&mut self.writer, &request.encode())?;
+        self.writer.flush()?;
+        match read_frame(&mut self.reader)? {
+            Some(body) => Reply::decode(&body)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before replying",
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{RejectReason, WireBits};
+    use crate::service::ServiceConfig;
+    use crate::store::{FsyncPolicy, Store};
+    use crate::testutil::{enrolled_fixture, temp_dir};
+
+    fn spawn(name: &str, workers: usize) -> (ServerHandle, std::path::PathBuf) {
+        let dir = temp_dir(name);
+        let store = Store::open(&dir, 4, FsyncPolicy::Batched).unwrap();
+        let service = Arc::new(PufService::new(store, ServiceConfig::default()));
+        let handle = serve(service, "127.0.0.1:0".parse().unwrap(), workers).unwrap();
+        (handle, dir)
+    }
+
+    #[test]
+    fn full_protocol_round_trip_over_tcp() {
+        let fx = enrolled_fixture(31);
+        let (server, dir) = spawn("net-roundtrip", 2);
+        let mut client = Client::connect(server.addr()).unwrap();
+        let reply = client
+            .call(&Request::Enroll {
+                device_id: 1,
+                enrollment: fx.enrollment_bytes.clone(),
+                key_code: fx.key_code_bytes.clone(),
+            })
+            .unwrap();
+        assert!(matches!(reply, Reply::Enrolled { bits } if bits > 0));
+        let response = WireBits::new(fx.expected.iter().map(Some).collect());
+        let reply = client
+            .call(&Request::Auth {
+                device_id: 1,
+                nonce: 1,
+                response: response.clone(),
+            })
+            .unwrap();
+        assert!(matches!(reply, Reply::AuthOk { flips: 0, .. }), "{reply:?}");
+        let reply = client
+            .call(&Request::DeriveKey {
+                device_id: 1,
+                nonce: 2,
+                response,
+            })
+            .unwrap();
+        assert!(matches!(reply, Reply::Key { .. }), "{reply:?}");
+        assert_eq!(
+            client.call(&Request::Revoke { device_id: 1 }).unwrap(),
+            Reply::Revoked
+        );
+        assert_eq!(
+            client.call(&Request::Revoke { device_id: 1 }).unwrap(),
+            Reply::Reject {
+                reason: RejectReason::UnknownDevice
+            }
+        );
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_frame_gets_an_error_reply_not_a_hangup() {
+        let (server, dir) = spawn("net-garbage", 1);
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        write_frame(&mut writer, &[0xFF, 0xEE]).unwrap();
+        writer.flush().unwrap();
+        let body = read_frame(&mut reader).unwrap().expect("a reply");
+        assert!(matches!(Reply::decode(&body).unwrap(), Reply::Error { .. }));
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_share_the_worker_pool() {
+        let fx = enrolled_fixture(33);
+        let (server, dir) = spawn("net-concurrent", 4);
+        let mut client = Client::connect(server.addr()).unwrap();
+        for d in 0..8u64 {
+            client
+                .call(&Request::Enroll {
+                    device_id: d,
+                    enrollment: fx.enrollment_bytes.clone(),
+                    key_code: fx.key_code_bytes.clone(),
+                })
+                .unwrap();
+        }
+        let addr = server.addr();
+        let expected = fx.expected.clone();
+        let threads: Vec<_> = (0..8u64)
+            .map(|d| {
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    for nonce in 1..=16u64 {
+                        let reply = client
+                            .call(&Request::Auth {
+                                device_id: d,
+                                nonce,
+                                response: WireBits::new(expected.iter().map(Some).collect()),
+                            })
+                            .unwrap();
+                        assert!(matches!(reply, Reply::AuthOk { .. }), "{reply:?}");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            server
+                .service()
+                .stats()
+                .auth_accepted
+                .load(Ordering::Relaxed),
+            8 * 16
+        );
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

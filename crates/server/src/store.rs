@@ -1,0 +1,572 @@
+//! Sharded, fsync'd, append-only enrollment store.
+//!
+//! The store persists exactly two artefacts per device: the enrollment
+//! (helper data + configuration vectors, in the versioned `persist`
+//! envelope) and the Key Code (versioned `lifecycle` bytes). Raw delay
+//! measurements never reach this layer — the on-disk format has no
+//! field that could carry them.
+//!
+//! Layout: a directory of `shard_NNN.log` files, a device landing in
+//! shard `device_id % shards`. Each file opens with a magic + version
+//! header and then a sequence of records:
+//!
+//! ```text
+//! header  := "RPUFSTOR" u16:version
+//! record  := u8:kind u64:device_id payload
+//! enroll  := kind=1, payload = u32:elen elen*u8 u32:klen klen*u8
+//! revoke  := kind=2, payload empty (tombstone)
+//! ```
+//!
+//! Opening a store replays every shard into a compact in-memory index
+//! (expected bits + Key Code + liveness counters — the enrollment text
+//! itself stays on disk only), so a million enrolled devices fit in a
+//! few hundred megabytes of RAM. A truncated trailing record is
+//! reported as corruption, not silently dropped.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ropuf_core::error::Error as CoreError;
+use ropuf_core::lifecycle::KeyCode;
+use ropuf_core::persist::enrollment_from_bytes;
+use ropuf_num::bits::BitVec;
+
+/// Shard-file magic.
+pub const STORE_MAGIC: &[u8; 8] = b"RPUFSTOR";
+
+/// Current shard-file format revision.
+pub const STORE_VERSION: u16 = 1;
+
+const KIND_ENROLL: u8 = 1;
+const KIND_REVOKE: u8 = 2;
+
+/// How many recent nonces each device remembers for replay rejection.
+pub const NONCE_WINDOW: usize = 8;
+
+/// When appended records hit the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every record — the durable default.
+    EveryRecord,
+    /// Let the OS schedule write-back; [`Store::sync_all`] forces it.
+    /// For drills and benches where the store is throwaway.
+    Batched,
+}
+
+/// The live, serving-relevant state of one enrolled device.
+///
+/// This is the whole per-device RAM footprint; the enrollment text is
+/// re-read from disk only if an operator asks for it.
+#[derive(Debug, Clone)]
+pub struct DeviceState {
+    /// Enrollment-time expected response bits (public helper data).
+    pub expected: BitVec,
+    /// The stored Key Code for `derive_key`.
+    pub key_code: KeyCode,
+    /// Ring buffer of recently seen nonces.
+    pub nonces: [u64; NONCE_WINDOW],
+    /// How many slots of `nonces` are occupied.
+    pub nonce_len: usize,
+    /// Next slot to overwrite once the ring is full.
+    pub nonce_cursor: usize,
+    /// Consecutive failed auth attempts (reset on success).
+    pub consecutive_failures: u32,
+    /// Consecutive *accepted* auths that still carried erasures.
+    pub degraded_streak: u32,
+    /// Rate-limit lockout: set when failures cross the threshold.
+    pub locked: bool,
+    /// Quarantine: set when degradation persists; only revoke clears it.
+    pub quarantined: bool,
+}
+
+impl DeviceState {
+    fn fresh(expected: BitVec, key_code: KeyCode) -> Self {
+        Self {
+            expected,
+            key_code,
+            nonces: [0; NONCE_WINDOW],
+            nonce_len: 0,
+            nonce_cursor: 0,
+            consecutive_failures: 0,
+            degraded_streak: 0,
+            locked: false,
+            quarantined: false,
+        }
+    }
+
+    /// Whether `nonce` was seen within the replay window.
+    pub fn nonce_seen(&self, nonce: u64) -> bool {
+        self.nonces[..self.nonce_len].contains(&nonce)
+    }
+
+    /// Records `nonce` as seen, evicting the oldest when full.
+    pub fn remember_nonce(&mut self, nonce: u64) {
+        if self.nonce_len < NONCE_WINDOW {
+            self.nonces[self.nonce_len] = nonce;
+            self.nonce_len += 1;
+        } else {
+            self.nonces[self.nonce_cursor] = nonce;
+            self.nonce_cursor = (self.nonce_cursor + 1) % NONCE_WINDOW;
+        }
+    }
+}
+
+struct Shard {
+    file: File,
+    devices: HashMap<u64, DeviceState>,
+}
+
+/// The sharded enrollment store.
+pub struct Store {
+    dir: PathBuf,
+    shards: Vec<Mutex<Shard>>,
+    fsync: FsyncPolicy,
+}
+
+/// Failures opening or mutating the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A shard file violated the format (bad magic, truncated record).
+    Corrupt {
+        /// Offending shard file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A shard file was written by an incompatible format revision.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Highest version this build reads.
+        supported: u16,
+    },
+    /// The device id already holds a live enrollment.
+    AlreadyEnrolled,
+    /// The enrollment or Key Code bytes failed validation.
+    BadPayload(String),
+    /// The payload was written by an incompatible envelope version.
+    PayloadVersion {
+        /// Version found in the payload.
+        found: u16,
+        /// Highest version this build reads.
+        supported: u16,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O: {e}"),
+            StoreError::Corrupt { path, detail } => {
+                write!(f, "corrupt shard {}: {detail}", path.display())
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "shard format version {found} (this build reads up to {supported})"
+            ),
+            StoreError::AlreadyEnrolled => write!(f, "device already enrolled"),
+            StoreError::BadPayload(detail) => write!(f, "bad payload: {detail}"),
+            StoreError::PayloadVersion { found, supported } => write!(
+                f,
+                "payload format version {found} (this build reads up to {supported})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl Store {
+    /// Opens (creating if absent) a store with `shards` shard files,
+    /// replaying any existing records into the in-memory index.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on I/O failure, a corrupt shard, or a shard
+    /// written by a newer format revision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn open(dir: &Path, shards: usize, fsync: FsyncPolicy) -> Result<Self, StoreError> {
+        assert!(shards > 0, "a store needs at least one shard");
+        fs::create_dir_all(dir)?;
+        let mut loaded = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let path = dir.join(format!("shard_{i:03}.log"));
+            loaded.push(Mutex::new(Self::open_shard(&path)?));
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            shards: loaded,
+            fsync,
+        })
+    }
+
+    fn open_shard(path: &Path) -> Result<Shard, StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let corrupt = |detail: String| StoreError::Corrupt {
+            path: path.to_path_buf(),
+            detail,
+        };
+        if len == 0 {
+            file.write_all(STORE_MAGIC)?;
+            file.write_all(&STORE_VERSION.to_le_bytes())?;
+            file.sync_data()?;
+            return Ok(Shard {
+                file,
+                devices: HashMap::new(),
+            });
+        }
+        let mut bytes = Vec::with_capacity(len as usize);
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < STORE_MAGIC.len() + 2 || &bytes[..STORE_MAGIC.len()] != STORE_MAGIC {
+            return Err(corrupt("missing RPUFSTOR header".to_string()));
+        }
+        let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if version != STORE_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: STORE_VERSION,
+            });
+        }
+        let mut devices = HashMap::new();
+        let mut at = STORE_MAGIC.len() + 2;
+        while at < bytes.len() {
+            let record_start = at;
+            let take = |at: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+                if bytes.len() - *at < n {
+                    return Err(corrupt(format!("truncated record at byte {record_start}")));
+                }
+                let s = &bytes[*at..*at + n];
+                *at += n;
+                Ok(s)
+            };
+            let kind = take(&mut at, 1)?[0];
+            let mut id = [0u8; 8];
+            id.copy_from_slice(take(&mut at, 8)?);
+            let device_id = u64::from_le_bytes(id);
+            match kind {
+                KIND_ENROLL => {
+                    let mut len4 = [0u8; 4];
+                    len4.copy_from_slice(take(&mut at, 4)?);
+                    let enrollment = take(&mut at, u32::from_le_bytes(len4) as usize)?.to_vec();
+                    len4.copy_from_slice(take(&mut at, 4)?);
+                    let key_code = take(&mut at, u32::from_le_bytes(len4) as usize)?.to_vec();
+                    let state = parse_payload(&enrollment, &key_code)
+                        .map_err(|e| corrupt(format!("record at byte {record_start}: {e}")))?;
+                    devices.insert(device_id, state);
+                }
+                KIND_REVOKE => {
+                    devices.remove(&device_id);
+                }
+                other => {
+                    return Err(corrupt(format!(
+                        "unknown record kind {other} at byte {record_start}"
+                    )))
+                }
+            }
+        }
+        Ok(Shard { file, devices })
+    }
+
+    fn shard(&self, device_id: u64) -> &Mutex<Shard> {
+        &self.shards[(device_id % self.shards.len() as u64) as usize]
+    }
+
+    /// Validates and stores an enrollment, returning its usable bit
+    /// count. The record is on disk (fsync'd under
+    /// [`FsyncPolicy::EveryRecord`]) before the index is updated.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AlreadyEnrolled`] for a live id,
+    /// [`StoreError::BadPayload`] / [`StoreError::PayloadVersion`] for
+    /// malformed bytes, [`StoreError::Io`] on write failure.
+    pub fn enroll(
+        &self,
+        device_id: u64,
+        enrollment: &[u8],
+        key_code: &[u8],
+    ) -> Result<u32, StoreError> {
+        let state = parse_payload(enrollment, key_code)?;
+        let bits = state.expected.len() as u32;
+        let mut shard = self.shard(device_id).lock().expect("store shard poisoned");
+        if shard.devices.contains_key(&device_id) {
+            return Err(StoreError::AlreadyEnrolled);
+        }
+        let mut record = Vec::with_capacity(1 + 8 + 8 + enrollment.len() + key_code.len());
+        record.push(KIND_ENROLL);
+        record.extend_from_slice(&device_id.to_le_bytes());
+        record.extend_from_slice(&(enrollment.len() as u32).to_le_bytes());
+        record.extend_from_slice(enrollment);
+        record.extend_from_slice(&(key_code.len() as u32).to_le_bytes());
+        record.extend_from_slice(key_code);
+        shard.file.write_all(&record)?;
+        if self.fsync == FsyncPolicy::EveryRecord {
+            shard.file.sync_data()?;
+        }
+        shard.devices.insert(device_id, state);
+        Ok(bits)
+    }
+
+    /// Appends a tombstone and drops the device from the index.
+    /// Returns whether the device existed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on write failure.
+    pub fn revoke(&self, device_id: u64) -> Result<bool, StoreError> {
+        let mut shard = self.shard(device_id).lock().expect("store shard poisoned");
+        if !shard.devices.contains_key(&device_id) {
+            return Ok(false);
+        }
+        let mut record = Vec::with_capacity(9);
+        record.push(KIND_REVOKE);
+        record.extend_from_slice(&device_id.to_le_bytes());
+        shard.file.write_all(&record)?;
+        if self.fsync == FsyncPolicy::EveryRecord {
+            shard.file.sync_data()?;
+        }
+        shard.devices.remove(&device_id);
+        Ok(true)
+    }
+
+    /// Runs `f` with the device's mutable state under the shard lock,
+    /// or with `None` if the id is unknown. All auth bookkeeping
+    /// (nonces, failure counters, quarantine) goes through here so it
+    /// is atomic per device.
+    pub fn with_device<T>(
+        &self,
+        device_id: u64,
+        f: impl FnOnce(Option<&mut DeviceState>) -> T,
+    ) -> T {
+        let mut shard = self.shard(device_id).lock().expect("store shard poisoned");
+        f(shard.devices.get_mut(&device_id))
+    }
+
+    /// Total live (non-revoked) enrollments.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("store shard poisoned").devices.len())
+            .sum()
+    }
+
+    /// Whether no device is enrolled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Devices currently quarantined.
+    pub fn quarantined_count(&self) -> usize {
+        self.count_where(|d| d.quarantined)
+    }
+
+    /// Devices currently locked out.
+    pub fn locked_count(&self) -> usize {
+        self.count_where(|d| d.locked)
+    }
+
+    fn count_where(&self, pred: impl Fn(&DeviceState) -> bool) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("store shard poisoned")
+                    .devices
+                    .values()
+                    .filter(|d| pred(d))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Forces every shard file to disk (the [`FsyncPolicy::Batched`]
+    /// flush point).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on sync failure.
+    pub fn sync_all(&self) -> Result<(), StoreError> {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("store shard poisoned")
+                .file
+                .sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Parses + cross-validates the two payloads into serving state.
+fn parse_payload(enrollment: &[u8], key_code: &[u8]) -> Result<DeviceState, StoreError> {
+    let lift = |e: CoreError| match e {
+        CoreError::UnsupportedVersion { found, supported } => {
+            StoreError::PayloadVersion { found, supported }
+        }
+        other => StoreError::BadPayload(other.to_string()),
+    };
+    let enrollment = enrollment_from_bytes(enrollment).map_err(lift)?;
+    let key_code = KeyCode::from_bytes(key_code).map_err(lift)?;
+    let expected = enrollment.expected_bits();
+    if key_code.helper().len() > expected.len() {
+        return Err(StoreError::BadPayload(format!(
+            "key code needs {} response bits but the enrollment yields {}",
+            key_code.helper().len(),
+            expected.len()
+        )));
+    }
+    Ok(DeviceState::fresh(expected, key_code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{enrolled_fixture, temp_dir};
+
+    #[test]
+    fn enroll_persists_across_reopen() {
+        let dir = temp_dir("store-reopen");
+        let fx = enrolled_fixture(11);
+        {
+            let store = Store::open(&dir, 4, FsyncPolicy::EveryRecord).unwrap();
+            let bits = store
+                .enroll(7, &fx.enrollment_bytes, &fx.key_code_bytes)
+                .unwrap();
+            assert!(bits > 0);
+            assert_eq!(store.len(), 1);
+            assert!(matches!(
+                store.enroll(7, &fx.enrollment_bytes, &fx.key_code_bytes),
+                Err(StoreError::AlreadyEnrolled)
+            ));
+        }
+        let store = Store::open(&dir, 4, FsyncPolicy::EveryRecord).unwrap();
+        assert_eq!(store.len(), 1);
+        store.with_device(7, |d| {
+            let d = d.expect("device survived reopen");
+            assert_eq!(d.expected, fx.expected);
+        });
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn revoke_tombstones_and_allows_re_enroll() {
+        let dir = temp_dir("store-revoke");
+        let fx = enrolled_fixture(12);
+        let store = Store::open(&dir, 2, FsyncPolicy::Batched).unwrap();
+        store
+            .enroll(5, &fx.enrollment_bytes, &fx.key_code_bytes)
+            .unwrap();
+        assert!(store.revoke(5).unwrap());
+        assert!(!store.revoke(5).unwrap(), "second revoke is a no-op");
+        assert_eq!(store.len(), 0);
+        store
+            .enroll(5, &fx.enrollment_bytes, &fx.key_code_bytes)
+            .unwrap();
+        store.sync_all().unwrap();
+        drop(store);
+        let store = Store::open(&dir, 2, FsyncPolicy::Batched).unwrap();
+        assert_eq!(store.len(), 1, "tombstone then re-enroll replays to live");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_payloads() {
+        let dir = temp_dir("store-badpayload");
+        let fx = enrolled_fixture(13);
+        let store = Store::open(&dir, 1, FsyncPolicy::Batched).unwrap();
+        assert!(matches!(
+            store.enroll(1, b"not an envelope", &fx.key_code_bytes),
+            Err(StoreError::BadPayload(_))
+        ));
+        assert!(matches!(
+            store.enroll(1, &fx.enrollment_bytes, b"not a key code"),
+            Err(StoreError::BadPayload(_))
+        ));
+        // A future envelope version is surfaced as a version error.
+        let mut future = fx.enrollment_bytes.clone();
+        future[4] = 9;
+        future[5] = 0;
+        assert!(matches!(
+            store.enroll(1, &future, &fx.key_code_bytes),
+            Err(StoreError::PayloadVersion { found: 9, .. })
+        ));
+        assert_eq!(store.len(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_trailing_record_is_corruption() {
+        let dir = temp_dir("store-truncated");
+        let fx = enrolled_fixture(14);
+        {
+            let store = Store::open(&dir, 1, FsyncPolicy::EveryRecord).unwrap();
+            store
+                .enroll(3, &fx.enrollment_bytes, &fx.key_code_bytes)
+                .unwrap();
+        }
+        let path = dir.join("shard_000.log");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(
+            Store::open(&dir, 1, FsyncPolicy::EveryRecord),
+            Err(StoreError::Corrupt { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_shard_version_is_rejected() {
+        let dir = temp_dir("store-version");
+        {
+            Store::open(&dir, 1, FsyncPolicy::EveryRecord).unwrap();
+        }
+        let path = dir.join("shard_000.log");
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8] = 99;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Store::open(&dir, 1, FsyncPolicy::EveryRecord),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nonce_ring_evicts_oldest() {
+        let fx = enrolled_fixture(15);
+        let mut d = DeviceState::fresh(fx.expected.clone(), fx.key_code.clone());
+        for n in 0..NONCE_WINDOW as u64 {
+            assert!(!d.nonce_seen(n));
+            d.remember_nonce(n);
+            assert!(d.nonce_seen(n));
+        }
+        d.remember_nonce(100);
+        assert!(!d.nonce_seen(0), "oldest nonce evicted");
+        assert!(d.nonce_seen(100));
+        assert!(d.nonce_seen(NONCE_WINDOW as u64 - 1));
+    }
+}

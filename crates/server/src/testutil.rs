@@ -1,0 +1,60 @@
+//! Shared fixtures for the server crate's unit tests.
+
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_core::lifecycle::{Device, KeyCode};
+use ropuf_core::persist::enrollment_to_bytes;
+use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+use ropuf_core::robust::FaultPlan;
+use ropuf_num::bits::BitVec;
+use ropuf_silicon::board::BoardId;
+use ropuf_silicon::{Environment, SiliconSim};
+
+/// One device's worth of enrollable material.
+pub struct Fixture {
+    /// Versioned `persist` envelope.
+    pub enrollment_bytes: Vec<u8>,
+    /// Versioned Key Code bytes.
+    pub key_code_bytes: Vec<u8>,
+    /// The enrollment's expected response bits.
+    pub expected: BitVec,
+    /// The parsed Key Code.
+    pub key_code: KeyCode,
+}
+
+/// Grows a board and runs the typestate lifecycle to produce store
+/// payloads. Deterministic in `seed`.
+pub fn enrolled_fixture(seed: u64) -> Fixture {
+    let sim = SiliconSim::default_spartan();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let board = sim.grow_board_with_id(&mut rng, BoardId(seed as u32), 80, 12);
+    let device = Device::start(
+        &board,
+        sim.technology(),
+        Environment::nominal(),
+        ConfigurableRoPuf::tiled_interleaved(board.len(), 4),
+        EnrollOptions::default(),
+    );
+    let (device, code) = device
+        .generate_key(seed, 3, &FaultPlan::scaled(0.0))
+        .expect("fixture enrolls");
+    Fixture {
+        enrollment_bytes: enrollment_to_bytes(device.enrollment()),
+        key_code_bytes: code.to_bytes(),
+        expected: device.enrollment().expected_bits(),
+        key_code: code,
+    }
+}
+
+/// A fresh per-process scratch directory (cleared if it already
+/// exists); callers remove it when done.
+pub fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ropuf-server-{name}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}

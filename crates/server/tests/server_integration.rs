@@ -1,0 +1,241 @@
+//! Integration tests driving a live server over TCP through the public
+//! API only: the same-seed drill must be byte-identical across runs and
+//! worker-thread counts, and the server's `auth` verdict must agree
+//! bit-for-bit with an offline [`respond_robust_bound`] read-out under
+//! injected faults.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_core::fleet::split_seed;
+use ropuf_core::lifecycle::Device;
+use ropuf_core::persist::enrollment_to_bytes;
+use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+use ropuf_core::robust::{respond_robust_bound, FaultPlan};
+use ropuf_num::bits::BitVec;
+use ropuf_server::{
+    run_drill, serve, Client, DrillSpec, FsyncPolicy, PufService, RejectReason, Reply, Request,
+    ServerHandle, ServiceConfig, Store, WireBits,
+};
+use ropuf_silicon::board::BoardId;
+use ropuf_silicon::{Environment, SiliconSim};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ropuf-server-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn spawn_server(tag: &str, workers: usize) -> (ServerHandle, PathBuf) {
+    let dir = temp_dir(tag);
+    let store = Store::open(&dir, 4, FsyncPolicy::Batched).expect("store opens");
+    let service = Arc::new(PufService::new(store, ServiceConfig::default()));
+    let handle =
+        serve(service, "127.0.0.1:0".parse().expect("loopback"), workers).expect("server binds");
+    (handle, dir)
+}
+
+#[test]
+fn drill_transcript_is_byte_identical_across_runs_and_worker_counts() {
+    let spec = DrillSpec {
+        seed: 0xFEED,
+        devices: 6,
+        ops_per_device: 10,
+        ..DrillSpec::default()
+    };
+    let mut transcripts: Vec<(usize, usize, String)> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        for run in 0..2 {
+            let (server, dir) = spawn_server(&format!("drill-w{workers}-r{run}"), workers);
+            let report = run_drill(server.addr(), &spec).expect("drill completes");
+            server.shutdown();
+            std::fs::remove_dir_all(&dir).expect("cleanup");
+            assert!(report.accepted > 0, "drill exercised accepting ops");
+            assert!(report.rejected > 0, "drill exercised the replay gate");
+            transcripts.push((workers, run, report.transcript));
+        }
+    }
+    let (_, _, reference) = &transcripts[0];
+    for (workers, run, transcript) in &transcripts[1..] {
+        assert_eq!(
+            transcript, reference,
+            "transcript diverged at workers={workers} run={run}"
+        );
+    }
+}
+
+#[test]
+fn shutdown_severs_idle_keepalive_connections() {
+    // A client that connects and then goes silent must not wedge
+    // shutdown (workers block in read_frame on idle connections).
+    let (server, dir) = spawn_server("idle", 2);
+    let _idle_a = TcpStream::connect(server.addr()).expect("connects");
+    let _idle_b = TcpStream::connect(server.addr()).expect("connects");
+    // Give the workers a moment to pick both connections up.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    server.shutdown(); // must return, not hang
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// The offline mirror of the service gate: same thresholds, same
+/// ordering, fed the same response bits. Nonces are always fresh and
+/// lengths always match in this test, so those gates never fire.
+struct MirrorGate {
+    expected: BitVec,
+    config: ServiceConfig,
+    failures: u32,
+    degraded: u32,
+    locked: bool,
+    quarantined: bool,
+}
+
+impl MirrorGate {
+    fn new(expected: BitVec) -> Self {
+        Self {
+            expected,
+            config: ServiceConfig::default(),
+            failures: 0,
+            degraded: 0,
+            locked: false,
+            quarantined: false,
+        }
+    }
+
+    fn expect_reply(&mut self, bits: &[Option<bool>]) -> Reply {
+        if self.quarantined {
+            return Reply::Reject {
+                reason: RejectReason::Quarantined,
+            };
+        }
+        if self.locked {
+            return Reply::Reject {
+                reason: RejectReason::LockedOut,
+            };
+        }
+        let (mut compared, mut flips) = (0u32, 0u32);
+        for (i, bit) in bits.iter().enumerate() {
+            if let Some(b) = bit {
+                compared += 1;
+                if *b != self.expected.get(i).expect("same length") {
+                    flips += 1;
+                }
+            }
+        }
+        let coverage = f64::from(compared) / self.expected.len().max(1) as f64;
+        let reject = if coverage < self.config.min_coverage_fraction {
+            Some(RejectReason::LowCoverage)
+        } else if f64::from(flips) > self.config.max_flip_fraction * f64::from(compared) {
+            Some(RejectReason::TooManyFlips)
+        } else {
+            None
+        };
+        if let Some(reason) = reject {
+            self.failures += 1;
+            if self.failures >= self.config.lockout_threshold {
+                self.locked = true;
+            }
+            return Reply::Reject { reason };
+        }
+        self.failures = 0;
+        if compared == bits.len() as u32 {
+            self.degraded = 0;
+        } else {
+            self.degraded += 1;
+            if self.degraded >= self.config.degraded_threshold {
+                self.quarantined = true;
+            }
+        }
+        Reply::AuthOk { compared, flips }
+    }
+}
+
+proptest! {
+    /// For a random device and fault intensity, the server's auth
+    /// verdict over TCP must agree bit-for-bit with the offline
+    /// `respond_robust_bound` read-out pushed through a mirror of the
+    /// gate — at every worker-thread count.
+    #[test]
+    fn server_auth_agrees_with_offline_respond_robust_bound(
+        device_seed in 0u64..1_000_000,
+        fault_scale in proptest::sample::select(vec![0.0f64, 0.15, 0.4, 0.6]),
+        votes in proptest::sample::select(vec![1usize, 3]),
+    ) {
+        let sim = SiliconSim::default_spartan();
+        let mut rng = StdRng::seed_from_u64(device_seed);
+        let board = sim.grow_board_with_id(&mut rng, BoardId(device_seed as u32), 80, 12);
+        let opts = EnrollOptions::default();
+        let started = Device::start(
+            &board,
+            sim.technology(),
+            Environment::nominal(),
+            ConfigurableRoPuf::tiled_interleaved(board.len(), 4),
+            opts,
+        );
+        // Enroll on clean silicon; the faults arrive at auth time.
+        let enrolled = started.generate_key(device_seed, 3, &FaultPlan::scaled(0.0));
+        prop_assume!(enrolled.is_ok());
+        let (device, code) = enrolled.expect("checked");
+        let enrollment_bytes = enrollment_to_bytes(device.enrollment());
+        let key_code_bytes = code.to_bytes();
+        let expected = device.enrollment().expected_bits();
+        let bound = device.enrollment().bind(&board);
+        let plan = FaultPlan::scaled(fault_scale);
+
+        // One offline read-out per op, shared across worker counts —
+        // the reads are deterministic in the seed, so every server
+        // sees the same request stream.
+        let reads: Vec<Vec<Option<bool>>> = (0..6u64)
+            .map(|k| {
+                let op_seed = split_seed(device_seed, k + 100);
+                let (bits, _summary) = respond_robust_bound(
+                    &bound,
+                    op_seed,
+                    sim.technology(),
+                    Environment::nominal(),
+                    &opts.probe,
+                    votes,
+                    &plan,
+                );
+                bits
+            })
+            .collect();
+
+        for workers in [1usize, 2, 4, 8] {
+            let (server, dir) = spawn_server(
+                &format!("prop-{device_seed}-v{votes}-w{workers}"),
+                workers,
+            );
+            let mut client = Client::connect(server.addr()).expect("client connects");
+            let reply = client
+                .call(&Request::Enroll {
+                    device_id: 1,
+                    enrollment: enrollment_bytes.clone(),
+                    key_code: key_code_bytes.clone(),
+                })
+                .expect("enroll round trip");
+            prop_assert!(matches!(reply, Reply::Enrolled { .. }), "{reply:?}");
+
+            let mut mirror = MirrorGate::new(expected.clone());
+            for (k, bits) in reads.iter().enumerate() {
+                let reply = client
+                    .call(&Request::Auth {
+                        device_id: 1,
+                        nonce: k as u64 + 1,
+                        response: WireBits::new(bits.clone()),
+                    })
+                    .expect("auth round trip");
+                let offline = mirror.expect_reply(bits);
+                prop_assert_eq!(
+                    &reply, &offline,
+                    "op {} at {} worker(s) diverged from offline", k, workers
+                );
+            }
+            server.shutdown();
+            std::fs::remove_dir_all(&dir).expect("cleanup");
+        }
+    }
+}

@@ -44,6 +44,7 @@ use ropuf::dataset::vt::{VtConfig, VtDataset};
 use ropuf::dataset::ParseCsvError;
 use ropuf::nist::suite::{run_suite, SuiteConfig};
 use ropuf::num::bits::{BitVec, ParseBitsError};
+use ropuf::server::{DrillSpec, FsyncPolicy, PufService, ServiceConfig, Store};
 use ropuf::silicon::aging::AgingModel;
 use ropuf::silicon::{DelayProbe, Environment, SiliconSim};
 use ropuf::telemetry;
@@ -71,6 +72,8 @@ enum CliError {
     /// `monitor --fail-on` tripped: the fleet health verdict reached
     /// the configured severity.
     Unhealthy(Status),
+    /// The enrollment store could not be opened or mutated.
+    Store(ropuf::server::StoreError),
 }
 
 impl fmt::Display for CliError {
@@ -83,6 +86,7 @@ impl fmt::Display for CliError {
             Self::Bits(e) => write!(f, "{e}"),
             Self::Distill(e) => write!(f, "{e}"),
             Self::Unhealthy(status) => write!(f, "fleet health is {status}"),
+            Self::Store(e) => write!(f, "{e}"),
         }
     }
 }
@@ -95,8 +99,15 @@ impl std::error::Error for CliError {
             Self::Csv(e) => Some(e),
             Self::Bits(e) => Some(e),
             Self::Distill(e) => Some(e),
+            Self::Store(e) => Some(e),
             Self::Usage(_) | Self::Unhealthy(_) => None,
         }
+    }
+}
+
+impl From<ropuf::server::StoreError> for CliError {
+    fn from(e: ropuf::server::StoreError) -> Self {
+        Self::Store(e)
     }
 }
 
@@ -186,6 +197,7 @@ fn command_span(command: &str) -> &'static str {
         "monitor" => "cli.monitor",
         "enroll" => "cli.enroll",
         "respond" => "cli.respond",
+        "serve" => "cli.serve",
         _ => "cli.unknown",
     }
 }
@@ -227,6 +239,11 @@ fn usage(problem: &str) -> ExitCode {
                              [--mode case1|case2] [--threshold PS=0]\n\
            respond           --enrollment FILE [--seed N=1] [--units N=480]\n\
                              [--voltage V=1.20] [--temperature C=25] [--votes N=1]\n\
+           serve             --store DIR [--addr HOST:PORT=127.0.0.1:0] [--workers N=auto]\n\
+                             [--shards N=8] [--fsync every|batched] [--drill true]\n\
+                             [--devices N=16] [--ops N=10] [--seed N=3361] [--units N=80]\n\
+                             [--cols N=12] [--votes N=1] [--repetition N=3]\n\
+                             [--threads N=auto] [--faults SCALE=0] [--health true]\n\
          every command also accepts --trace-out FILE|summary (or set\n\
          ROPUF_TRACE) to write structured telemetry; see docs/OBSERVABILITY.md"
     );
@@ -244,6 +261,7 @@ fn dispatch(command: &str, opts: &HashMap<String, String>) -> Result<(), CliErro
         "monitor" => monitor(opts),
         "enroll" => enroll(opts),
         "respond" => respond(opts),
+        "serve" => serve(opts),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?} (run with no arguments for usage)"
         ))),
@@ -718,4 +736,120 @@ fn respond(opts: &HashMap<String, String>) -> Result<(), CliError> {
     eprintln!("{flips} flips vs enrollment at {env}");
     println!("{response}");
     Ok(())
+}
+
+/// Runs the device-authentication server over an on-disk enrollment
+/// store. With `--drill true` the command enrolls `--devices` boards
+/// through the typestate lifecycle, drives the scripted auth mix
+/// against itself, prints the deterministic transcript to stdout, and
+/// exits — the CI-facing smoke mode. Without it, the server blocks
+/// serving the bound address until killed.
+fn serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let store_dir = required(opts, "store")?;
+    let addr_raw = get(opts, "addr", "127.0.0.1:0".to_string())?;
+    let addr: std::net::SocketAddr = addr_raw
+        .parse()
+        .map_err(|_| CliError::Usage(format!("--addr value {addr_raw:?} is malformed")))?;
+    let workers = get(opts, "workers", worker_threads())?;
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".to_string()));
+    }
+    let shards = get(opts, "shards", 8usize)?;
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be at least 1".to_string()));
+    }
+    let drill = get(opts, "drill", false)?;
+    let health = get(opts, "health", false)?;
+    let fsync = match opts.get("fsync").map(String::as_str) {
+        None | Some("every") => FsyncPolicy::EveryRecord,
+        Some("batched") => FsyncPolicy::Batched,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--fsync must be every or batched, got {other:?}"
+            )))
+        }
+    };
+    let spec = DrillSpec {
+        seed: get(opts, "seed", DrillSpec::default().seed)?,
+        devices: get(opts, "devices", 16u64)?,
+        ops_per_device: get(opts, "ops", 10u64)?,
+        units: get(opts, "units", 80usize)?,
+        cols: get(opts, "cols", 12usize)?,
+        votes: get(opts, "votes", 1usize)?,
+        repetition: get(opts, "repetition", 3usize)?,
+        fault_scale: get(opts, "faults", 0.0f64)?,
+        client_threads: get(opts, "threads", worker_threads())?,
+    };
+    if spec.votes == 0 || spec.votes.is_multiple_of(2) {
+        return Err(CliError::Usage(format!(
+            "--votes must be odd, got {}",
+            spec.votes
+        )));
+    }
+    if spec.repetition == 0 || spec.repetition.is_multiple_of(2) {
+        return Err(CliError::Usage(format!(
+            "--repetition must be odd, got {}",
+            spec.repetition
+        )));
+    }
+    if !(spec.fault_scale.is_finite() && spec.fault_scale >= 0.0) {
+        return Err(CliError::Usage(format!(
+            "--faults must be a finite non-negative scale, got {}",
+            spec.fault_scale
+        )));
+    }
+
+    let open_span = telemetry::span("cli.serve.open");
+    let store = Store::open(std::path::Path::new(store_dir), shards, fsync)?;
+    let service = std::sync::Arc::new(PufService::new(store, ServiceConfig::default()));
+    drop(open_span);
+    let server =
+        ropuf::server::serve(std::sync::Arc::clone(&service), addr, workers).map_err(|source| {
+            CliError::Io {
+                path: addr_raw.clone(),
+                source,
+            }
+        })?;
+    eprintln!(
+        "serving on {} ({} workers, {} shards, fsync {})",
+        server.addr(),
+        workers,
+        shards,
+        if fsync == FsyncPolicy::EveryRecord {
+            "every"
+        } else {
+            "batched"
+        },
+    );
+
+    if drill {
+        let drill_span = telemetry::span("cli.serve.drill");
+        let report =
+            ropuf::server::run_drill(server.addr(), &spec).map_err(|source| CliError::Io {
+                path: format!("drill against {}", server.addr()),
+                source,
+            })?;
+        drop(drill_span);
+        // Stdout carries only the seed-determined transcript; tallies
+        // and health go to stderr like every other subcommand.
+        print!("{}", report.transcript);
+        eprintln!(
+            "drill: {} devices, {} ops ({} accepted, {} rejected)",
+            report.devices, report.ops, report.accepted, report.rejected
+        );
+        if health {
+            eprint!("{}", service.health_report().render());
+        }
+        service.store().sync_all()?;
+        server.shutdown();
+        return Ok(());
+    }
+
+    if health {
+        eprint!("{}", service.health_report().render());
+    }
+    // Block forever: the accept/worker threads own the work now.
+    loop {
+        std::thread::park();
+    }
 }

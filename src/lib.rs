@@ -9,6 +9,7 @@ pub use ropuf_dataset as dataset;
 pub use ropuf_metrics as metrics;
 pub use ropuf_nist as nist;
 pub use ropuf_num as num;
+pub use ropuf_server as server;
 pub use ropuf_silicon as silicon;
 pub use ropuf_telemetry as telemetry;
 
@@ -40,9 +41,13 @@ pub mod prelude {
         split_seed, worker_threads, BoardRecord, FleetAging, FleetConfig, FleetEngine, FleetRun,
         Layout, Quarantine, QuarantineReason,
     };
+    pub use ropuf_core::fuzzy::FuzzyExtractor;
+    pub use ropuf_core::lifecycle::{Device, Enrolled, KeyCode, Started};
     pub use ropuf_core::monitor::{FleetHealth, FleetObservatory, MonitorConfig, SweepPlan};
     pub use ropuf_core::one_of_eight::{OneOfEightEnrollment, OneOfEightPuf, RoGroup};
-    pub use ropuf_core::persist::{enrollment_from_text, enrollment_to_text};
+    pub use ropuf_core::persist::{
+        enrollment_from_bytes, enrollment_from_text, enrollment_to_bytes, enrollment_to_text,
+    };
     pub use ropuf_core::puf::{
         ConfigurableRoPuf, EnrollOptions, EnrollOptionsBuilder, Enrollment, PairSpec, SelectionMode,
     };
@@ -58,6 +63,7 @@ pub mod prelude {
     pub use ropuf_metrics::report::QualityReport;
     pub use ropuf_nist::suite::{run_suite, SuiteConfig};
     pub use ropuf_num::bits::BitVec;
+    pub use ropuf_server::{DrillSpec, FsyncPolicy, PufService, ServiceConfig, Store};
     pub use ropuf_silicon::{
         Board, DelayProbe, Environment, FaultModel, FrequencyCounter, SiliconSim, Technology,
     };
