@@ -9,7 +9,10 @@
 //! ablate-distiller ablate-parity ablate-noise ablate-config-voltage
 //! ablate-layout all`. Options: `--seed <u64>` (default 2015),
 //! `--boards <n>` (fleet size, default 198; smaller is faster),
-//! `--quick` (shorthand for `--boards 60`).
+//! `--quick` (shorthand for `--boards 60`). The `fleet` subcommand
+//! defaults to 1024 boards when `--boards` is not given — large enough
+//! that the thread-scaling sweep measures the engine instead of thread
+//! spawn cost; pass `--boards 64` explicitly for the smoke tier.
 
 use std::process::ExitCode;
 
@@ -23,6 +26,10 @@ use ropuf_core::puf::SelectionMode;
 struct Options {
     seed: u64,
     boards: usize,
+    /// Whether `--boards`/`--quick` was given explicitly; subcommands
+    /// with their own default fleet size (`fleet`) only honor
+    /// `opts.boards` when it was.
+    boards_set: bool,
     out_dir: Option<std::path::PathBuf>,
     baseline: Option<std::path::PathBuf>,
     fresh: Option<std::path::PathBuf>,
@@ -34,6 +41,7 @@ fn main() -> ExitCode {
     let mut opts = Options {
         seed: 2015,
         boards: 198,
+        boards_set: false,
         out_dir: None,
         baseline: None,
         fresh: None,
@@ -46,10 +54,16 @@ fn main() -> ExitCode {
                 None => return usage("--seed needs an integer value"),
             },
             "--boards" => match iter.next().and_then(|v| v.parse().ok()) {
-                Some(v) => opts.boards = v,
+                Some(v) => {
+                    opts.boards = v;
+                    opts.boards_set = true;
+                }
                 None => return usage("--boards needs an integer value"),
             },
-            "--quick" => opts.boards = 60,
+            "--quick" => {
+                opts.boards = 60;
+                opts.boards_set = true;
+            }
             "--out" => match iter.next() {
                 Some(dir) => opts.out_dir = Some(std::path::PathBuf::from(dir)),
                 None => return usage("--out needs a directory"),
@@ -92,7 +106,8 @@ fn usage(problem: &str) -> ExitCode {
            temp              bit flips under temperature sweep (4.D)\n\
            table5            bits per board (Table V)\n\
            sec4e             reliable bits vs Rth on in-house data (4.E)\n\
-           fleet             fleet-engine throughput + speedup (writes BENCH_fleet.json)\n\
+           fleet             fleet-engine throughput + 1/2/4/8-thread scaling (writes\n\
+                             BENCH_fleet.json; defaults to 1024 boards, --boards 64 = smoke)\n\
            serve             auth-server throughput + p99 at 10k/100k enrolled (writes\n\
                              BENCH_serve.json; --boards 1000000 adds the 1M scale)\n\
            check-bench       gate a fresh bench record against a committed baseline\n\
@@ -269,9 +284,14 @@ fn run_to_stdout(command: &str, opts: &Options) -> bool {
         }
         "fleet" => {
             banner("Fleet engine — parallel enrollment throughput");
+            // 1024 boards by default: enough work for the 1/2/4/8
+            // thread sweep to measure the engine rather than thread
+            // spawn. `--boards 64` (or `--quick`) selects the smoke
+            // tier explicitly.
+            let boards = if opts.boards_set { opts.boards } else { 1024 };
             let out = fleet_engine::run(&fleet_engine::Config {
                 seed: opts.seed,
-                boards: opts.boards.min(64),
+                boards,
                 ..fleet_engine::Config::default()
             });
             println!("{}", out.render());

@@ -43,6 +43,14 @@ pub struct BenchRecord {
     /// the field. `boards_per_sec` figures are only commensurable at
     /// equal thread counts.
     pub threads: Option<u64>,
+    /// CPU cores available where the record was measured, when carried.
+    /// The scaling gate can only demand as much speedup as the machine
+    /// can physically deliver.
+    pub cores: Option<u64>,
+    /// The `(threads, speedup)` scaling curve, in document order; each
+    /// speedup is relative to the sweep's own 1-thread pass. Empty for
+    /// pre-curve records.
+    pub speedup_curve: Vec<(u64, f64)>,
 }
 
 impl BenchRecord {
@@ -69,8 +77,39 @@ impl BenchRecord {
             deterministic,
             uniqueness: extract_number(text, "uniqueness"),
             threads: extract_number(text, "threads").map(|t| t as u64),
+            cores: extract_number(text, "cores").map(|c| c as u64),
+            speedup_curve: parse_speedup_curve(text),
         })
     }
+}
+
+/// Extracts the `"speedup_curve": [{"threads": …, "speedup": …}, …]`
+/// array. The top-level `"threads"`/`"speedup"` keys come first in the
+/// document, so the first-occurrence scanner cannot read the curve
+/// entries directly; this slices the array out and scans each `{…}`
+/// chunk on its own. Records without the key (or with an empty array)
+/// parse to an empty curve.
+fn parse_speedup_curve(text: &str) -> Vec<(u64, f64)> {
+    let Some(key_at) = text.find("\"speedup_curve\"") else {
+        return Vec::new();
+    };
+    let tail = &text[key_at..];
+    let Some(open) = tail.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = tail[open..].find(']') else {
+        return Vec::new();
+    };
+    // Entries are flat objects (no nested arrays), so the first `]`
+    // closes the curve; split the slice into per-point `{…}` chunks.
+    tail[open + 1..open + close]
+        .split('}')
+        .filter_map(|chunk| {
+            let threads = extract_number(chunk, "threads")?;
+            let speedup = extract_number(chunk, "speedup")?;
+            Some((threads as u64, speedup))
+        })
+        .collect()
 }
 
 /// Accepted drift between a baseline and a fresh bench record.
@@ -81,6 +120,12 @@ pub struct Tolerance {
     pub max_throughput_regression: f64,
     /// Largest accepted absolute change of the uniqueness statistic.
     pub max_uniqueness_delta: f64,
+    /// Smallest accepted fraction of the physically achievable speedup
+    /// at the gated thread count (0.7 = the 8-thread pass must reach at
+    /// least 70 % of `min(8, cores)`). A flat curve on a multi-core
+    /// machine means the parallel path stopped scaling — the regression
+    /// this gate exists to catch.
+    pub min_scaling_fraction: f64,
 }
 
 impl Default for Tolerance {
@@ -88,6 +133,7 @@ impl Default for Tolerance {
         Self {
             max_throughput_regression: 0.25,
             max_uniqueness_delta: 1e-9,
+            min_scaling_fraction: 0.7,
         }
     }
 }
@@ -157,6 +203,13 @@ pub fn compare_with_notes(
         }
         (None, None) => {}
     }
+    // Scaling is gated per record (against its own machine), not
+    // cross-record: each record's 8-thread point must reach the
+    // tolerance fraction of what its core count can deliver. This runs
+    // before the thread-count match below because a skipped throughput
+    // band must not also skip the scaling claim.
+    check_scaling("baseline", baseline, tol, &mut violations, &mut notes);
+    check_scaling("fresh", fresh, tol, &mut violations, &mut notes);
     // Only throughput is compared band-wise; the shape checks above
     // make the boards/sec figures commensurable — provided the two
     // records also ran on the same number of worker threads.
@@ -195,6 +248,66 @@ pub fn compare_with_notes(
         ));
     }
     (violations, notes)
+}
+
+/// The thread count whose curve point the scaling gate bands.
+const GATED_CURVE_THREADS: u64 = 8;
+
+/// Applies the multi-thread scaling band to one record. A record with
+/// neither `cores` nor a curve predates the scaling fields and is
+/// silently grandfathered; one carrying only half the information is
+/// skipped with a note. A record with both must carry the gated thread
+/// count and reach [`Tolerance::min_scaling_fraction`] × `min(8,
+/// cores)` there — the core count caps the demand at what the machine
+/// can physically deliver, so a flat curve on one core passes while the
+/// same curve on eight cores is a collapsed parallel path.
+fn check_scaling(
+    label: &str,
+    record: &BenchRecord,
+    tol: &Tolerance,
+    violations: &mut Vec<String>,
+    notes: &mut Vec<String>,
+) {
+    let Some(cores) = record.cores else {
+        if !record.speedup_curve.is_empty() {
+            notes.push(format!(
+                "scaling gate skipped: {label} record carries a curve but no \"cores\" field"
+            ));
+        }
+        return;
+    };
+    let curve = &record.speedup_curve;
+    if curve.is_empty() {
+        notes.push(format!(
+            "scaling gate skipped: {label} record carries \"cores\" but no \"speedup_curve\""
+        ));
+        return;
+    }
+    let Some(&(_, speedup)) = curve.iter().find(|&&(t, _)| t == GATED_CURVE_THREADS) else {
+        violations.push(format!(
+            "{label} scaling curve carries no {GATED_CURVE_THREADS}-thread point"
+        ));
+        return;
+    };
+    let achievable = GATED_CURVE_THREADS.min(cores.max(1)) as f64;
+    if achievable < 2.0 {
+        // A single-core machine cannot express parallel speedup at all;
+        // oversubscribed thread counts there measure scheduler noise,
+        // not the engine. Record the curve, skip the band.
+        notes.push(format!(
+            "scaling gate skipped: {label} record was measured on a single core"
+        ));
+        return;
+    }
+    let floor = tol.min_scaling_fraction * achievable;
+    if speedup < floor {
+        violations.push(format!(
+            "{label} parallel scaling collapsed: {GATED_CURVE_THREADS}-thread speedup \
+             {speedup:.2}x on a {cores}-core machine (floor {floor:.2}x = {:.0}% of \
+             min({GATED_CURVE_THREADS}, cores))",
+            100.0 * tol.min_scaling_fraction
+        ));
+    }
 }
 
 /// One gated scale of a `BENCH_serve.json` record.
@@ -361,6 +474,8 @@ mod tests {
             deterministic: true,
             uniqueness: Some(0.4969070961718023),
             threads: Some(1),
+            cores: None,
+            speedup_curve: Vec::new(),
         }
     }
 
@@ -478,6 +593,123 @@ mod tests {
         assert_eq!(notes.len(), 1, "{notes:?}");
         assert!(
             notes[0].contains("throughput comparison skipped") && notes[0].contains("baseline"),
+            "{notes:?}"
+        );
+    }
+
+    #[test]
+    fn parse_reads_cores_and_speedup_curve() {
+        let text = r#"{
+  "boards": 1024,
+  "bits_per_board": 34,
+  "threads": 8,
+  "cores": 8,
+  "serial_secs": 2.0,
+  "parallel_secs": 0.3,
+  "boards_per_sec": 3413.3,
+  "speedup": 6.67,
+  "speedup_curve": [{"threads": 1, "secs": 2.0, "speedup": 1.0}, {"threads": 2, "secs": 1.05, "speedup": 1.9}, {"threads": 4, "secs": 0.54, "speedup": 3.7}, {"threads": 8, "secs": 0.31, "speedup": 6.4}],
+  "deterministic": true,
+  "uniqueness": 0.5
+}"#;
+        let r = BenchRecord::parse(text).unwrap();
+        assert_eq!(r.cores, Some(8));
+        assert_eq!(r.threads, Some(8), "top-level threads, not a curve entry");
+        assert_eq!(r.speedup_curve.len(), 4);
+        assert_eq!(r.speedup_curve[0], (1, 1.0));
+        assert_eq!(r.speedup_curve[3].0, 8);
+        assert!((r.speedup_curve[3].1 - 6.4).abs() < 1e-9);
+        // Pre-curve records parse to the grandfathered shape.
+        let old = BenchRecord::parse(
+            "{\"boards\": 1, \"bits_per_board\": 2, \"boards_per_sec\": 3, \
+             \"deterministic\": true}",
+        )
+        .unwrap();
+        assert_eq!(old.cores, None);
+        assert!(old.speedup_curve.is_empty());
+    }
+
+    #[test]
+    fn fabricated_flat_curve_on_a_multicore_machine_fails() {
+        // The must-fail proof for the scaling gate: an 8-core machine
+        // whose 8-thread pass runs no faster than its 1-thread pass is
+        // exactly the parallel-slower-than-serial regression this PR
+        // fixed, and the gate must refuse it.
+        let baseline = record(1000.0);
+        let mut flat = record(1000.0);
+        flat.cores = Some(8);
+        flat.speedup_curve = vec![(1, 1.0), (2, 1.0), (4, 1.0), (8, 0.94)];
+        let (violations, _) = compare_with_notes(&baseline, &flat, &Tolerance::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("fresh parallel scaling collapsed")
+                && violations[0].contains("8-thread speedup 0.94x")
+                && violations[0].contains("8-core machine"),
+            "{violations:?}"
+        );
+        // The same flat curve in the committed baseline is flagged too.
+        let (violations, _) = compare_with_notes(&flat, &baseline, &Tolerance::default());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("baseline parallel scaling collapsed")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn flat_curve_on_a_single_core_machine_skips_with_a_note() {
+        // Build containers may have one core; oversubscribed thread
+        // counts there measure scheduler noise, not the engine, so an
+        // honest flat (or even declining) curve is noted, never failed.
+        let baseline = record(1000.0);
+        let mut fresh = record(1000.0);
+        fresh.cores = Some(1);
+        fresh.speedup_curve = vec![(1, 1.0), (2, 0.91), (4, 0.81), (8, 0.66)];
+        let (violations, notes) = compare_with_notes(&baseline, &fresh, &Tolerance::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.contains("scaling gate skipped") && n.contains("single core")),
+            "{notes:?}"
+        );
+        // Two cores are enough to demand real scaling: 0.7 × min(8, 2).
+        fresh.cores = Some(2);
+        let (violations, _) = compare_with_notes(&baseline, &fresh, &Tolerance::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("scaling collapsed"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn healthy_scaling_curve_passes_and_partial_records_note() {
+        let baseline = record(1000.0);
+        let mut fresh = record(1000.0);
+        fresh.cores = Some(8);
+        fresh.speedup_curve = vec![(1, 1.0), (2, 1.9), (4, 3.7), (8, 6.4)];
+        let (violations, _) = compare_with_notes(&baseline, &fresh, &Tolerance::default());
+        assert!(violations.is_empty(), "{violations:?}");
+
+        // A curve whose gated point is missing is a malformed claim.
+        fresh.speedup_curve = vec![(1, 1.0), (2, 1.9)];
+        let (violations, _) = compare_with_notes(&baseline, &fresh, &Tolerance::default());
+        assert!(
+            violations.iter().any(|v| v.contains("no 8-thread point")),
+            "{violations:?}"
+        );
+
+        // Half-present scaling fields skip with a note, not a failure.
+        let mut half = record(1000.0);
+        half.cores = Some(8);
+        let (violations, notes) = compare_with_notes(&baseline, &half, &Tolerance::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.contains("scaling gate skipped") && n.contains("no \"speedup_curve\"")),
             "{notes:?}"
         );
     }

@@ -21,7 +21,7 @@
 //! faithful model of post-silicon test-mode measurement.
 
 use rand::Rng;
-use ropuf_silicon::{BatchProbe, DelayProbe, Environment, Technology};
+use ropuf_silicon::{BatchProbe, DelayProbe, Environment, RingSweep, Technology};
 use ropuf_telemetry as telemetry;
 
 use crate::config::ConfigVector;
@@ -134,6 +134,37 @@ pub fn calibrate<R: Rng + ?Sized>(
     let n = ro.len();
     let stages = ro.stage_delays(env, tech);
     let batch = BatchProbe::new(probe, &stages).measure_configs(rng);
+    telemetry::counter("measure.batched", (n + 2) as u64);
+    let ddiff_ps: Vec<f64> = batch
+        .leave_one_out_ps
+        .iter()
+        .map(|&d_i| batch.all_selected_ps - d_i)
+        .collect();
+    Calibration {
+        ddiff_ps,
+        all_selected_ps: batch.all_selected_ps,
+        bypass_ps: batch.bypass_ps,
+    }
+}
+
+/// [`calibrate`] against an arena-backed ring view: the same `n + 2`
+/// leave-one-out measurements and `ddiff_i = D_all − D_i` recovery, with
+/// the configuration delays served by a [`ropuf_silicon::MeasureArena`]
+/// sweep shared across a whole block of rings instead of a per-ring
+/// [`ropuf_silicon::StageDelays`] cache.
+///
+/// Bit-identical to [`calibrate`] (and therefore to
+/// [`calibrate_per_config`]): the sweep folds stage contributions in the
+/// same order and [`RingSweep::measure`] draws noise in the same
+/// per-measurement order. Bumps `measure.batched` by `n + 2`, like
+/// [`calibrate`].
+pub(crate) fn calibrate_from_sweep<R: Rng + ?Sized>(
+    rng: &mut R,
+    ring: &RingSweep<'_>,
+    probe: &DelayProbe,
+) -> Calibration {
+    let n = ring.stages();
+    let batch = ring.measure(probe, rng);
     telemetry::counter("measure.batched", (n + 2) as u64);
     let ddiff_ps: Vec<f64> = batch
         .leave_one_out_ps

@@ -51,7 +51,7 @@ use rand::{Rng, SeedableRng};
 use ropuf_num::bits::BitVec;
 use ropuf_silicon::aging::AgingModel;
 use ropuf_silicon::board::BoardId;
-use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+use ropuf_silicon::{DelayProbe, Environment, MeasureArena, SiliconSim};
 use ropuf_telemetry as telemetry;
 
 use crate::error::Error;
@@ -113,10 +113,11 @@ pub fn parse_worker_threads(raw: &str) -> Option<usize> {
 /// Applies `f` to `0..count` on `threads` workers and returns the
 /// results in index order.
 ///
-/// Work is claimed dynamically (an atomic cursor), so uneven items
-/// balance across workers; results are keyed by index, so the output
-/// is independent of scheduling. With `threads == 1` the loop runs on
-/// the calling thread with no thread spawned at all.
+/// Work is claimed dynamically in chunked ranges (see
+/// [`parallel_map_indexed_with`]), so uneven items balance across
+/// workers; results are keyed by index, so the output is independent of
+/// scheduling. With `threads == 1` the loop runs on the calling thread
+/// with no thread spawned at all.
 ///
 /// With telemetry enabled, every claimed item bumps the
 /// `parallel.items` counter, each participating worker bumps
@@ -134,29 +135,71 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    parallel_map_indexed_with(count, threads, || (), move |(), i| f(i))
+}
+
+/// Items claimed per atomic-cursor bump: aim for ~4 claims per worker
+/// so the spawn/claim overhead amortizes over a range of items, while
+/// late joiners can still steal a meaningful share. Capped so huge
+/// inputs keep rebalancing, floored at one so small inputs still spread.
+fn claim_chunk(count: usize, threads: usize) -> usize {
+    (count / (threads * 4)).clamp(1, 32)
+}
+
+/// [`parallel_map_indexed`] with per-worker scratch state: every worker
+/// (and the `threads == 1` inline path) builds one `S` with `init` and
+/// threads it through each of its `f(&mut state, index)` calls. This is
+/// how fleet workers reuse one measurement arena across all the boards
+/// they claim instead of allocating per board.
+///
+/// Work is claimed in chunked index ranges from a shared atomic cursor
+/// — dynamic enough that a stalled worker sheds load, coarse enough
+/// that claiming is not one atomic per item. Chunking only changes
+/// *which worker* computes an index, never the result: `f` must be pure
+/// in its index (state is scratch, not an accumulator), and results are
+/// reassembled in index order.
+///
+/// Telemetry matches [`parallel_map_indexed`]: `parallel.items`,
+/// `parallel.workers`, the `parallel.worker_items` histogram, and
+/// `parallel.steals` (items won beyond an even share).
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn parallel_map_indexed_with<S, U, I, F>(count: usize, threads: usize, init: I, f: F) -> Vec<U>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
     let threads = threads.clamp(1, count.max(1));
     // An even split would hand each worker ceil(count / threads) items;
     // anything above that was dynamically stolen from slower peers.
     let fair_share = count.div_ceil(threads);
     if threads == 1 {
-        let out = (0..count).map(f).collect();
+        let mut state = init();
+        let out = (0..count).map(|i| f(&mut state, i)).collect();
         telemetry::counter("parallel.items", count as u64);
         telemetry::counter("parallel.workers", 1);
         telemetry::record("parallel.worker_items", count as u64);
         return out;
     }
+    let chunk = claim_chunk(count, threads);
     let cursor = AtomicUsize::new(0);
     let mut keyed: Vec<(usize, U)> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut out = Vec::new();
                     loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= count {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= count {
                             break;
                         }
-                        out.push((i, f(i)));
+                        for i in start..(start + chunk).min(count) {
+                            out.push((i, f(&mut state, i)));
+                        }
                     }
                     telemetry::counter("parallel.items", out.len() as u64);
                     telemetry::counter("parallel.workers", 1);
@@ -239,6 +282,12 @@ pub struct FleetConfig {
     /// their own seed streams, so a fixed seed yields the same fault
     /// schedule — and the same quarantine set — at any thread count.
     pub faults: Option<FaultPlan>,
+    /// Worker threads [`FleetEngine::run`] uses. `None` resolves
+    /// [`worker_threads`] **once, at engine construction** — the
+    /// environment is read a single time per run, so `run`, `run_on`,
+    /// and `run_serial` can never disagree about the thread count
+    /// mid-run even if `RAYON_NUM_THREADS` changes under them.
+    pub threads: Option<usize>,
 }
 
 impl Default for FleetConfig {
@@ -255,6 +304,7 @@ impl Default for FleetConfig {
             votes: 1,
             aging: None,
             faults: None,
+            threads: None,
         }
     }
 }
@@ -445,6 +495,9 @@ pub struct FleetEngine {
     sim: SiliconSim,
     puf: ConfigurableRoPuf,
     config: FleetConfig,
+    /// Worker-thread count, resolved exactly once at construction from
+    /// [`FleetConfig::threads`] (or the environment when `None`).
+    threads: usize,
 }
 
 // Per-board RNG streams: each purpose draws from its own split of the
@@ -513,13 +566,26 @@ impl FleetEngine {
                 return Err(Error::Fleet(format!("invalid fault plan: {msg}")));
             }
         }
+        if config.threads == Some(0) {
+            return Err(Error::Fleet("thread count must be nonzero".into()));
+        }
         let puf = match config.layout {
             Layout::Tiled => ConfigurableRoPuf::tiled(config.units, config.stages),
             Layout::Interleaved => {
                 ConfigurableRoPuf::tiled_interleaved(config.units, config.stages)
             }
         };
-        Ok(Self { sim, puf, config })
+        // Resolve the environment exactly once so every `run` of this
+        // engine agrees on the thread count (satellite of the
+        // parallel-regression fix: `worker_threads()` used to be
+        // re-read per call site).
+        let threads = config.threads.unwrap_or_else(worker_threads);
+        Ok(Self {
+            sim,
+            puf,
+            config,
+            threads,
+        })
     }
 
     /// The configuration in force.
@@ -532,32 +598,45 @@ impl FleetEngine {
         &self.puf
     }
 
-    /// Evaluates the fleet on [`worker_threads`] workers.
+    /// The worker-thread count every [`run`](Self::run) of this engine
+    /// uses: [`FleetConfig::threads`] when set, otherwise
+    /// [`worker_threads`] as read once at construction.
+    pub fn resolved_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates the fleet on [`Self::resolved_threads`] workers.
     ///
     /// Deterministic: produces exactly the bits of
     /// [`run_serial`](Self::run_serial) for the same `master_seed`,
     /// independent of thread count and scheduling.
     pub fn run(&self, master_seed: u64) -> FleetRun {
-        self.run_on(master_seed, worker_threads())
+        self.run_on(master_seed, self.threads)
     }
 
     /// Serial reference loop: the same evaluation on the calling
-    /// thread. Exists so tests (and the bench harness's speedup
-    /// figures) can diff the parallel engine against a plain loop.
+    /// thread, reusing one measurement arena across all boards. Exists
+    /// so tests (and the bench harness's speedup figures) can diff the
+    /// parallel engine against a plain loop.
     pub fn run_serial(&self, master_seed: u64) -> FleetRun {
         let start = Instant::now();
+        let mut arena = MeasureArena::new();
         let outcomes = (0..self.config.boards)
-            .map(|i| self.eval_outcome(master_seed, i))
+            .map(|i| self.eval_outcome(master_seed, i, &mut arena))
             .collect();
         Self::assemble(outcomes, 1, start.elapsed())
     }
 
-    /// Evaluates the fleet on an explicit number of workers.
+    /// Evaluates the fleet on an explicit number of workers, each with
+    /// its own reused measurement arena.
     pub fn run_on(&self, master_seed: u64, threads: usize) -> FleetRun {
         let start = Instant::now();
-        let outcomes = parallel_map_indexed(self.config.boards, threads, |i| {
-            self.eval_outcome(master_seed, i)
-        });
+        let outcomes = parallel_map_indexed_with(
+            self.config.boards,
+            threads,
+            MeasureArena::new,
+            |arena, i| self.eval_outcome(master_seed, i, arena),
+        );
         Self::assemble(
             outcomes,
             threads.clamp(1, self.config.boards.max(1)),
@@ -597,12 +676,17 @@ impl FleetEngine {
     /// injected or genuine — becomes a [`QuarantineReason::WorkerPanic`]
     /// outcome instead of unwinding through the scoped thread map and
     /// aborting the whole run.
-    fn eval_outcome(&self, master_seed: u64, index: usize) -> BoardOutcome {
+    fn eval_outcome(
+        &self,
+        master_seed: u64,
+        index: usize,
+        arena: &mut MeasureArena,
+    ) -> BoardOutcome {
         let result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &self.config.faults {
-                Some(plan) => self.eval_board_robust(master_seed, index, plan),
+                Some(plan) => self.eval_board_robust(master_seed, index, plan, arena),
                 None => BoardOutcome::Healthy(
-                    self.eval_board(master_seed, index),
+                    self.eval_board(master_seed, index, arena),
                     FaultSummary::default(),
                 ),
             }));
@@ -644,7 +728,7 @@ impl FleetEngine {
     ///
     /// With telemetry enabled, each stage (grow / enroll / respond)
     /// runs under its own span, all nested in a `fleet.board` span.
-    fn eval_board(&self, master_seed: u64, index: usize) -> BoardRecord {
+    fn eval_board(&self, master_seed: u64, index: usize, arena: &mut MeasureArena) -> BoardRecord {
         let _board_span = telemetry::span("fleet.board");
         telemetry::counter("fleet.boards", 1);
         let config = &self.config;
@@ -663,12 +747,13 @@ impl FleetEngine {
         let enrolled_at = *config.corners.first().unwrap_or(&Environment::nominal());
         let enrollment: Enrollment = {
             let _span = telemetry::span("fleet.enroll");
-            self.puf.enroll_seeded(
+            self.puf.enroll_seeded_in(
                 split_seed(board_seed, STREAM_ENROLL),
                 &board,
                 tech,
                 enrolled_at,
                 &config.opts,
+                arena,
             )
         };
         let expected = enrollment.expected_bits();
@@ -732,7 +817,13 @@ impl FleetEngine {
     /// [`crate::robust`] retry/read-back pipeline, and boards that fail
     /// sanity checks are quarantined with a typed reason instead of
     /// producing garbage or panicking.
-    fn eval_board_robust(&self, master_seed: u64, index: usize, plan: &FaultPlan) -> BoardOutcome {
+    fn eval_board_robust(
+        &self,
+        master_seed: u64,
+        index: usize,
+        plan: &FaultPlan,
+        arena: &mut MeasureArena,
+    ) -> BoardOutcome {
         let _board_span = telemetry::span("fleet.board");
         telemetry::counter("fleet.boards", 1);
         let config = &self.config;
@@ -771,7 +862,7 @@ impl FleetEngine {
         let enrolled_at = *config.corners.first().unwrap_or(&Environment::nominal());
         let enrolled = {
             let _span = telemetry::span("fleet.enroll");
-            robust::enroll_robust(
+            robust::enroll_robust_in(
                 &self.puf,
                 split_seed(board_seed, STREAM_ENROLL),
                 &board,
@@ -779,6 +870,7 @@ impl FleetEngine {
                 enrolled_at,
                 &config.opts,
                 plan,
+                arena,
             )
         };
         let mut summary = enrolled.summary;
@@ -915,6 +1007,55 @@ mod tests {
     fn parallel_map_with_one_thread_runs_inline() {
         let out = parallel_map_indexed(5, 1, |i| i + 1);
         assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn configured_thread_count_governs_run() {
+        // Regression: `run()` used to call `worker_threads()` on every
+        // invocation, re-reading the environment each time. The count is
+        // now resolved once at engine construction and pinned in the
+        // config, so `run()` is immune to later environment changes and
+        // a `FleetConfig { threads: Some(n) }` override wins outright.
+        for threads in [1usize, 3, 8] {
+            let engine = FleetEngine::new(
+                SiliconSim::default_spartan(),
+                FleetConfig {
+                    boards: 8,
+                    units: 60,
+                    cols: 6,
+                    stages: 3,
+                    threads: Some(threads),
+                    ..FleetConfig::default()
+                },
+            )
+            .expect("valid config");
+            assert_eq!(engine.resolved_threads(), threads);
+            assert_eq!(engine.run(5).threads, threads);
+        }
+        // `None` resolves the environment exactly once, at construction;
+        // the resolved count is stable across calls.
+        let auto = small_engine();
+        let resolved = auto.resolved_threads();
+        assert!(resolved >= 1);
+        assert_eq!(auto.resolved_threads(), resolved);
+        assert_eq!(auto.run(5).threads, resolved);
+    }
+
+    #[test]
+    fn zero_thread_config_is_rejected() {
+        let err = FleetEngine::new(
+            SiliconSim::default_spartan(),
+            FleetConfig {
+                boards: 4,
+                units: 60,
+                cols: 6,
+                stages: 3,
+                threads: Some(0),
+                ..FleetConfig::default()
+            },
+        )
+        .expect_err("zero threads must not construct");
+        assert!(err.to_string().contains("thread count"), "{err}");
     }
 
     #[test]

@@ -42,10 +42,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ropuf_num::bits::BitVec;
-use ropuf_silicon::{Board, DelayProbe, Environment, Technology};
+use ropuf_silicon::{Board, DelayProbe, Environment, MeasureArena, Technology};
 use ropuf_telemetry as telemetry;
 
-use crate::calibrate::{calibrate, Calibration};
+use crate::calibrate::{calibrate, calibrate_from_sweep, Calibration};
 use crate::config::{ConfigVector, ParityPolicy};
 use crate::error::Error;
 use crate::fleet::{parallel_map_indexed, split_seed};
@@ -393,13 +393,71 @@ impl ConfigurableRoPuf {
         env: Environment,
         opts: &EnrollOptions,
     ) -> Enrollment {
+        let mut arena = MeasureArena::new();
+        self.enroll_seeded_in(seed, board, tech, env, opts, &mut arena)
+    }
+
+    /// [`enroll_seeded`](Self::enroll_seeded) against a caller-owned
+    /// [`MeasureArena`]: the whole board's rings are laid out as one
+    /// structure-of-arrays block (pair `i`'s top ring at arena row
+    /// `2i`, bottom at `2i + 1`), all `n + 2` calibration
+    /// configurations are derived in one vectorizable sweep, and the
+    /// per-pair loop calibrates from arena views with zero per-pair
+    /// allocation.
+    ///
+    /// Fleet workers pass one arena per worker and enroll board after
+    /// board into it; [`MeasureArena::begin_block`] fully resets the
+    /// block, so repeated enrollments of one board through one arena
+    /// are bit-identical (no cross-board state). The result is
+    /// bit-identical to [`enroll_seeded`](Self::enroll_seeded) — the
+    /// sweep folds stage contributions and draws probe noise in exactly
+    /// the per-ring kernel's order.
+    ///
+    /// Floorplans whose pairs disagree on stage count cannot share one
+    /// block; they fall back to the per-ring kernel (same bits).
+    pub fn enroll_seeded_in(
+        &self,
+        seed: u64,
+        board: &Board,
+        tech: &Technology,
+        env: Environment,
+        opts: &EnrollOptions,
+        arena: &mut MeasureArena,
+    ) -> Enrollment {
+        let stages = self.specs.first().map_or(0, PairSpec::stages);
+        if stages == 0 || self.specs.iter().any(|spec| spec.stages() != stages) {
+            let pairs = self
+                .specs
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| {
+                    let mut rng = StdRng::seed_from_u64(split_seed(seed, i as u64));
+                    Self::enroll_pair(&mut rng, spec, board, tech, env, opts)
+                })
+                .collect();
+            return Enrollment {
+                pairs,
+                enrolled_at: env,
+            };
+        }
+        arena.begin_block(2 * self.specs.len(), stages);
+        for (i, spec) in self.specs.iter().enumerate() {
+            let pair = spec.bind(board);
+            pair.top().stage_delays_into(env, tech, arena, 2 * i);
+            pair.bottom().stage_delays_into(env, tech, arena, 2 * i + 1);
+        }
+        let sweep = arena.sweep();
         let pairs = self
             .specs
             .iter()
             .enumerate()
             .map(|(i, spec)| {
+                let _pair_span = telemetry::span("enroll.pair");
                 let mut rng = StdRng::seed_from_u64(split_seed(seed, i as u64));
-                Self::enroll_pair(&mut rng, spec, board, tech, env, opts)
+                let cal_top = calibrate_from_sweep(&mut rng, &sweep.ring(2 * i), &opts.probe);
+                let cal_bottom =
+                    calibrate_from_sweep(&mut rng, &sweep.ring(2 * i + 1), &opts.probe);
+                Self::select_pair(spec, &cal_top, &cal_bottom, opts)
             })
             .collect();
         Enrollment {

@@ -28,7 +28,9 @@
 use std::ops::Range;
 
 use rand::Rng;
-use ropuf_silicon::{Board, DelayUnit, Environment, FrequencyCounter, StageDelays, Technology};
+use ropuf_silicon::{
+    Board, DelayUnit, Environment, FrequencyCounter, MeasureArena, StageDelays, Technology,
+};
 
 use crate::config::ConfigVector;
 use crate::error::Error;
@@ -192,6 +194,36 @@ impl<'a> ConfigurableRo<'a> {
                 .map(|i| self.stage(i).path_delay_scaled(false, scale, env, tech))
                 .collect(),
         )
+    }
+
+    /// Fills ring `ring_index` of a [`MeasureArena`] block with this
+    /// ring's per-stage selected/bypass contributions at `env` — the
+    /// allocation-free counterpart of [`Self::stage_delays`]. Each slot
+    /// receives exactly the value `stage_delays` would cache
+    /// (same `path_delay_scaled` call, same hoisted scale), so sweeps
+    /// derived from the arena are bit-identical to the per-ring cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena block has fewer stages than the ring or
+    /// `ring_index` is outside the block.
+    pub fn stage_delays_into(
+        &self,
+        env: Environment,
+        tech: &Technology,
+        arena: &mut MeasureArena,
+        ring_index: usize,
+    ) {
+        let scale = tech.delay_scale(env);
+        for i in 0..self.len() {
+            let unit = self.stage(i);
+            arena.set_stage(
+                ring_index,
+                i,
+                unit.path_delay_scaled(true, scale, env, tech),
+                unit.path_delay_scaled(false, scale, env, tech),
+            );
+        }
     }
 
     /// True per-stage `ddiff` values at `env` (an oracle for calibration

@@ -32,13 +32,14 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ropuf_silicon::faults::FaultModel;
-use ropuf_silicon::{Board, DelayProbe, Environment, Technology};
+use ropuf_silicon::{Board, DelayProbe, Environment, MeasureArena, RingSweep, Technology};
 use ropuf_telemetry as telemetry;
 
 use crate::calibrate::Calibration;
 use crate::fleet::split_seed;
-use crate::puf::{BoundEnrollment, ConfigurableRoPuf, EnrollOptions, Enrollment};
-use crate::ro::ConfigurableRo;
+use crate::puf::{
+    BoundEnrollment, ConfigurableRoPuf, EnrollOptions, EnrolledPair, Enrollment, PairSpec,
+};
 
 /// Sub-stream index for per-pair / per-corner fault rolls.
 const STREAM_FAULT: u64 = u64::MAX - 2;
@@ -403,30 +404,28 @@ fn mad_filtered_median(values: &mut [f64], mad_k: f64) -> f64 {
 /// calibration (`None`), which excludes the surrounding pair.
 ///
 /// Like the plain path, the configuration delays come from the batched
-/// per-stage cache ([`ConfigurableRo::stage_delays`]) instead of `n + 2`
-/// whole-ring walks; the screening pipeline still sees exactly one
-/// logical measurement per configuration, so fault injection, retries,
-/// and exclusion behave identically. Each screened read bumps the
-/// `measure.batched` counter (counted per read, not per calibration,
-/// because a failed read aborts the remaining configurations).
+/// sweep (a [`RingSweep`] view of the worker's
+/// [`MeasureArena`]) instead of `n + 2` whole-ring walks; the screening
+/// pipeline still sees exactly one logical measurement per
+/// configuration, so fault injection, retries, and exclusion behave
+/// identically. Each screened read bumps the `measure.batched` counter
+/// (counted per read, not per calibration, because a failed read aborts
+/// the remaining configurations).
 fn robust_calibrate<R: Rng + ?Sized>(
     measurer: &mut RobustMeasurer<'_>,
     meas_rng: &mut R,
-    ro: &ConfigurableRo<'_>,
-    env: Environment,
-    tech: &Technology,
+    ring: &RingSweep<'_>,
 ) -> Option<Calibration> {
-    let n = ro.len();
-    let delays = ro.stage_delays(env, tech);
+    let n = ring.stages();
     let read = |measurer: &mut RobustMeasurer<'_>, meas_rng: &mut R, true_delay_ps: f64| {
         telemetry::counter("measure.batched", 1);
         measurer.read(meas_rng, true_delay_ps)
     };
-    let all_selected_ps = read(measurer, meas_rng, delays.all_selected_ps())?;
-    let bypass_ps = read(measurer, meas_rng, delays.all_bypassed_ps())?;
+    let all_selected_ps = read(measurer, meas_rng, ring.all_selected_ps())?;
+    let bypass_ps = read(measurer, meas_rng, ring.all_bypassed_ps())?;
     let mut ddiff_ps = Vec::with_capacity(n);
     for i in 0..n {
-        let leave_one_out = read(measurer, meas_rng, delays.all_but_ps(i))?;
+        let leave_one_out = read(measurer, meas_rng, ring.all_but_ps(i))?;
         ddiff_ps.push(all_selected_ps - leave_one_out);
     }
     Some(Calibration::from_parts(
@@ -464,49 +463,121 @@ pub fn enroll_robust(
     opts: &EnrollOptions,
     plan: &FaultPlan,
 ) -> RobustEnrollment {
+    let mut arena = MeasureArena::new();
+    enroll_robust_in(puf, seed, board, tech, env, opts, plan, &mut arena)
+}
+
+/// Calibrates and selects one pair whose configuration delays are
+/// already laid out in an arena sweep. `top` and `bottom` are the
+/// pair's two [`RingSweep`] views; fault, retry, and measurement
+/// streams are derived exactly as in the pre-arena per-pair loop, so
+/// the result is bit-identical to it.
+#[allow(clippy::too_many_arguments)]
+fn enroll_pair_robust(
+    spec: &PairSpec,
+    index: usize,
+    seed: u64,
+    opts: &EnrollOptions,
+    plan: &FaultPlan,
+    top: &RingSweep<'_>,
+    bottom: &RingSweep<'_>,
+    summary: &mut FaultSummary,
+    unreadable_pairs: &mut usize,
+) -> Option<EnrolledPair> {
+    let _pair_span = telemetry::span("enroll.pair");
+    let pair_seed = split_seed(seed, index as u64);
+    let mut meas_rng = StdRng::seed_from_u64(pair_seed);
+    let mut measurer = RobustMeasurer::new(
+        plan,
+        opts.probe,
+        split_seed(pair_seed, STREAM_FAULT),
+        split_seed(pair_seed, STREAM_RETRY),
+    );
+    let calibrations = robust_calibrate(&mut measurer, &mut meas_rng, top).and_then(|cal_top| {
+        let cal_bottom = robust_calibrate(&mut measurer, &mut meas_rng, bottom)?;
+        Some((cal_top, cal_bottom))
+    });
+    let enrolled = match calibrations {
+        Some((cal_top, cal_bottom)) => {
+            ConfigurableRoPuf::select_pair(spec, &cal_top, &cal_bottom, opts)
+        }
+        None => {
+            *unreadable_pairs += 1;
+            measurer.summary.unreadable_pairs += 1;
+            None
+        }
+    };
+    summary.merge(&measurer.summary);
+    enrolled
+}
+
+/// [`enroll_robust`] against a caller-owned [`MeasureArena`], mirroring
+/// [`ConfigurableRoPuf::enroll_seeded_in`]: uniform floorplans lay the
+/// whole board out as one structure-of-arrays block (pair `i`'s top
+/// ring at arena row `2i`, bottom at `2i + 1`) and sweep it once;
+/// floorplans whose pairs disagree on stage count fall back to one
+/// two-ring block per pair. Either way every screened read sees the
+/// same true delay, in the same order, as [`enroll_robust`] — the two
+/// are bit-identical, and [`MeasureArena::begin_block`]'s full reset
+/// guarantees no cross-board state when fleet workers reuse arenas.
+#[allow(clippy::too_many_arguments)]
+pub fn enroll_robust_in(
+    puf: &ConfigurableRoPuf,
+    seed: u64,
+    board: &Board,
+    tech: &Technology,
+    env: Environment,
+    opts: &EnrollOptions,
+    plan: &FaultPlan,
+    arena: &mut MeasureArena,
+) -> RobustEnrollment {
     let mut summary = FaultSummary::default();
     let mut unreadable_pairs = 0;
-    let pairs = puf
-        .specs()
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            let _pair_span = telemetry::span("enroll.pair");
-            let pair_seed = split_seed(seed, i as u64);
-            let mut meas_rng = StdRng::seed_from_u64(pair_seed);
-            let mut measurer = RobustMeasurer::new(
+    let specs = puf.specs();
+    let stages = specs.first().map_or(0, PairSpec::stages);
+    let uniform = stages > 0 && specs.iter().all(|spec| spec.stages() == stages);
+    let mut pairs = Vec::with_capacity(specs.len());
+    if uniform {
+        arena.begin_block(2 * specs.len(), stages);
+        for (i, spec) in specs.iter().enumerate() {
+            let pair = spec.bind(board);
+            pair.top().stage_delays_into(env, tech, arena, 2 * i);
+            pair.bottom().stage_delays_into(env, tech, arena, 2 * i + 1);
+        }
+        let sweep = arena.sweep();
+        for (i, spec) in specs.iter().enumerate() {
+            pairs.push(enroll_pair_robust(
+                spec,
+                i,
+                seed,
+                opts,
                 plan,
-                opts.probe,
-                split_seed(pair_seed, STREAM_FAULT),
-                split_seed(pair_seed, STREAM_RETRY),
-            );
-            let bound = spec.bind(board);
-            let calibrations = robust_calibrate(
-                &mut measurer,
-                &mut meas_rng,
-                bound.top(),
-                env,
-                tech,
-            )
-            .and_then(|cal_top| {
-                let cal_bottom =
-                    robust_calibrate(&mut measurer, &mut meas_rng, bound.bottom(), env, tech)?;
-                Some((cal_top, cal_bottom))
-            });
-            let enrolled = match calibrations {
-                Some((cal_top, cal_bottom)) => {
-                    ConfigurableRoPuf::select_pair(spec, &cal_top, &cal_bottom, opts)
-                }
-                None => {
-                    unreadable_pairs += 1;
-                    measurer.summary.unreadable_pairs += 1;
-                    None
-                }
-            };
-            summary.merge(&measurer.summary);
-            enrolled
-        })
-        .collect();
+                &sweep.ring(2 * i),
+                &sweep.ring(2 * i + 1),
+                &mut summary,
+                &mut unreadable_pairs,
+            ));
+        }
+    } else {
+        for (i, spec) in specs.iter().enumerate() {
+            let pair = spec.bind(board);
+            arena.begin_block(2, spec.stages());
+            pair.top().stage_delays_into(env, tech, arena, 0);
+            pair.bottom().stage_delays_into(env, tech, arena, 1);
+            let sweep = arena.sweep();
+            pairs.push(enroll_pair_robust(
+                spec,
+                i,
+                seed,
+                opts,
+                plan,
+                &sweep.ring(0),
+                &sweep.ring(1),
+                &mut summary,
+                &mut unreadable_pairs,
+            ));
+        }
+    }
     RobustEnrollment {
         enrollment: Enrollment::from_parts(pairs, env),
         unreadable_pairs,

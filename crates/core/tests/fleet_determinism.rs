@@ -22,6 +22,7 @@ fn engine(boards: usize) -> FleetEngine {
             votes: 1,
             aging: None,
             faults: None,
+            threads: None,
         },
     )
     .expect("valid fleet config")

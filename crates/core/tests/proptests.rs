@@ -267,6 +267,121 @@ proptest! {
     }
 
     #[test]
+    fn soa_sweep_is_bit_identical_to_batch_probe_per_ring(
+        seed in any::<u64>(),
+        n in 1usize..9, // includes n = 1 and even (non-oscillating) stage counts
+        rings in 1usize..6,
+        sigma_tenths in 0u32..30, // includes the noiseless probe
+        repeats in proptest::sample::select(vec![1usize, 2, 4]),
+        corner in 0usize..3,
+    ) {
+        // The structure-of-arrays sweep folds every configuration of a
+        // whole block of rings at once; each ring's view of it must be
+        // bit-identical to the per-ring `BatchProbe` kernel — same
+        // left-to-right stage folds, same noise-draw order — at any
+        // ring position in the block, any noise, and any V/T corner.
+        use ropuf_silicon::{BatchProbe, MeasureArena};
+        let sim = SiliconSim::default_spartan();
+        let mut grow = StdRng::seed_from_u64(seed);
+        let board = sim.grow_board_with_id(&mut grow, BoardId(0), n * rings, n);
+        let env = match corner {
+            0 => Environment::nominal(),
+            1 => Environment::new(0.98, 65.0),
+            _ => Environment::new(1.32, 0.0),
+        };
+        let probe = DelayProbe::new(sigma_tenths as f64 / 10.0, repeats);
+        let tech = sim.technology();
+        let ros: Vec<ConfigurableRo> = (0..rings)
+            .map(|r| ConfigurableRo::from_range(&board, r * n..(r + 1) * n))
+            .collect();
+        let mut arena = MeasureArena::new();
+        arena.begin_block(rings, n);
+        for (r, ro) in ros.iter().enumerate() {
+            ro.stage_delays_into(env, tech, &mut arena, r);
+        }
+        let sweep = arena.sweep();
+        for (r, ro) in ros.iter().enumerate() {
+            let stages = ro.stage_delays(env, tech);
+            let mut rng_arena = StdRng::seed_from_u64(seed ^ r as u64);
+            let mut rng_oracle = StdRng::seed_from_u64(seed ^ r as u64);
+            let batched = sweep.ring(r).measure(&probe, &mut rng_arena);
+            let oracle = BatchProbe::new(&probe, &stages).measure_configs(&mut rng_oracle);
+            prop_assert_eq!(
+                batched.all_selected_ps.to_bits(),
+                oracle.all_selected_ps.to_bits(),
+                "ring {} of {}", r, rings
+            );
+            prop_assert_eq!(batched.bypass_ps.to_bits(), oracle.bypass_ps.to_bits());
+            for (b, o) in batched.leave_one_out_ps.iter().zip(&oracle.leave_one_out_ps) {
+                prop_assert_eq!(b.to_bits(), o.to_bits(), "ring {} of {}", r, rings);
+            }
+            // Same number of noise draws: the streams stay in lockstep.
+            use rand::Rng;
+            prop_assert_eq!(rng_arena.gen::<u64>(), rng_oracle.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn arena_reuse_has_no_cross_board_state(seed in any::<u64>(), stages in 2usize..6) {
+        // A fleet worker enrolls board after board into one arena; a
+        // block must never leak into the next. Enrolling a board,
+        // dirtying the arena with a different board, then enrolling the
+        // first again must reproduce its bits exactly — and agree with
+        // the fresh-arena public entry point.
+        use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+        use ropuf_silicon::MeasureArena;
+        let sim = SiliconSim::default_spartan();
+        let mut grow = StdRng::seed_from_u64(seed);
+        let units = stages * 2 * 4;
+        let board_a = sim.grow_board_with_id(&mut grow, BoardId(0), units, 8);
+        let board_b = sim.grow_board_with_id(&mut grow, BoardId(1), units, 8);
+        let puf = ConfigurableRoPuf::tiled(units, stages);
+        let opts = EnrollOptions::default();
+        let env = Environment::nominal();
+        let tech = sim.technology();
+        let mut arena = MeasureArena::new();
+        let first = puf.enroll_seeded_in(seed, &board_a, tech, env, &opts, &mut arena);
+        let _dirty = puf.enroll_seeded_in(seed ^ 1, &board_b, tech, env, &opts, &mut arena);
+        let again = puf.enroll_seeded_in(seed, &board_a, tech, env, &opts, &mut arena);
+        prop_assert_eq!(&first, &again);
+        let fresh = puf.enroll_seeded(seed, &board_a, tech, env, &opts);
+        prop_assert_eq!(&first, &fresh);
+    }
+
+    #[test]
+    fn robust_arena_enrollment_is_reuse_invariant_under_faults(
+        seed in any::<u64>(),
+        stages in 2usize..6,
+        fault_scale in proptest::sample::select(vec![0.0f64, 0.25, 1.0]),
+    ) {
+        // Same contract through the fault-tolerant path: a reused
+        // (dirty) arena and a fresh one yield identical enrollments,
+        // unreadable-pair counts, and fault accounting, with the fault
+        // plan active.
+        use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+        use ropuf_core::robust::{enroll_robust, enroll_robust_in, FaultPlan};
+        use ropuf_silicon::MeasureArena;
+        let sim = SiliconSim::default_spartan();
+        let mut grow = StdRng::seed_from_u64(seed);
+        let units = stages * 2 * 4;
+        let board_a = sim.grow_board_with_id(&mut grow, BoardId(0), units, 8);
+        let board_b = sim.grow_board_with_id(&mut grow, BoardId(1), units, 8);
+        let puf = ConfigurableRoPuf::tiled(units, stages);
+        let opts = EnrollOptions::default();
+        let env = Environment::nominal();
+        let tech = sim.technology();
+        let plan = FaultPlan::scaled(fault_scale);
+        let mut arena = MeasureArena::new();
+        let _dirty = enroll_robust_in(&puf, seed ^ 1, &board_b, tech, env, &opts, &plan, &mut arena);
+        let reused = enroll_robust_in(&puf, seed, &board_a, tech, env, &opts, &plan, &mut arena);
+        let fresh = enroll_robust(&puf, seed, &board_a, tech, env, &opts, &plan);
+        prop_assert_eq!(&reused.enrollment, &fresh.enrollment);
+        prop_assert_eq!(reused.unreadable_pairs, fresh.unreadable_pairs);
+        prop_assert_eq!(reused.total_pairs, fresh.total_pairs);
+        prop_assert_eq!(reused.summary, fresh.summary);
+    }
+
+    #[test]
     fn enrollment_text_round_trip(seed in any::<u64>(), stages in 2usize..8) {
         use ropuf_core::persist::{enrollment_from_text, enrollment_to_text};
         use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};

@@ -63,6 +63,9 @@ pub use defects::DefectModel;
 pub use device::DelayUnit;
 pub use env::{Environment, Technology};
 pub use faults::{FaultModel, InjectedFault};
-pub use measure::{BatchMeasurements, BatchProbe, DelayProbe, FrequencyCounter, StageDelays};
+pub use measure::{
+    BatchMeasurements, BatchProbe, ConfigSweep, DelayProbe, FrequencyCounter, MeasureArena,
+    RingSweep, StageDelays,
+};
 pub use params::{NoiseParams, SiliconParams, VariationParams};
 pub use sim::SiliconSim;

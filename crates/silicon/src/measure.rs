@@ -227,6 +227,245 @@ impl<'a> BatchProbe<'a> {
     }
 }
 
+/// Reusable multi-ring measurement arena: the structure-of-arrays
+/// backing store of the batched §III.B calibration kernel.
+///
+/// Where [`StageDelays`] caches one ring's per-stage contributions in
+/// two freshly allocated vectors, the arena lays out a whole *block* of
+/// rings contiguously — all stages × all rings in stage-major order
+/// (`[stage * rings + ring]`) — and derives every calibration
+/// configuration's true delay for every ring in one pass whose inner
+/// loop runs over adjacent memory (autovectorizable). A worker enrolls
+/// board after board into the same arena: [`begin_block`] re-uses the
+/// allocations and **fully resets** the contents, so no state can leak
+/// between boards.
+///
+/// Bit-identity contract: each ring × configuration delay is
+/// accumulated from `0.0` in stage order — exactly the left-to-right
+/// fold [`StageDelays::ring_delay_ps`] computes — and
+/// [`RingSweep::measure`] draws probe noise in the same per-measurement
+/// order as [`BatchProbe::measure_configs`]. The layout is an
+/// implementation detail; the numbers are the same.
+///
+/// [`begin_block`]: Self::begin_block
+#[derive(Debug, Clone, Default)]
+pub struct MeasureArena {
+    /// Selected-path contributions, `[stage * rings + ring]`.
+    selected_ps: Vec<f64>,
+    /// Bypass contributions, `[stage * rings + ring]`.
+    bypass_ps: Vec<f64>,
+    /// Derived configuration delays, `[config * rings + ring]`; config
+    /// `0` = all-selected, `1` = all-bypassed, `2 + k` = leave-one-out
+    /// of stage `k`.
+    config_ps: Vec<f64>,
+    rings: usize,
+    stages: usize,
+}
+
+impl MeasureArena {
+    /// An empty arena; the first [`begin_block`](Self::begin_block)
+    /// sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new block of `rings` rings with `stages` stages each,
+    /// reusing the arena's allocations. Every slot is reset to zero —
+    /// a block never observes a previous block's values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rings` or `stages` is zero.
+    pub fn begin_block(&mut self, rings: usize, stages: usize) {
+        assert!(rings > 0, "a block needs at least one ring");
+        assert!(stages > 0, "a ring needs at least one stage");
+        self.rings = rings;
+        self.stages = stages;
+        self.selected_ps.clear();
+        self.selected_ps.resize(rings * stages, 0.0);
+        self.bypass_ps.clear();
+        self.bypass_ps.resize(rings * stages, 0.0);
+        self.config_ps.clear();
+    }
+
+    /// Rings in the current block.
+    pub fn rings(&self) -> usize {
+        self.rings
+    }
+
+    /// Stages per ring in the current block.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Records stage `stage` of ring `ring`: its selected-path
+    /// (`d + d1`) and bypass (`d0`) contributions, picoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring` or `stage` is outside the current block.
+    pub fn set_stage(&mut self, ring: usize, stage: usize, selected_ps: f64, bypass_ps: f64) {
+        assert!(
+            ring < self.rings,
+            "ring {ring} outside block of {}",
+            self.rings
+        );
+        assert!(
+            stage < self.stages,
+            "stage {stage} outside ring of {}",
+            self.stages
+        );
+        let idx = stage * self.rings + ring;
+        self.selected_ps[idx] = selected_ps;
+        self.bypass_ps[idx] = bypass_ps;
+    }
+
+    /// Derives all `stages + 2` configuration delays for every ring in
+    /// the block and returns a read-only view over them.
+    ///
+    /// Each configuration row accumulates stage contributions in stage
+    /// order starting from `0.0` — the same fold, over the same values,
+    /// as [`StageDelays::ring_delay_ps`] — while the innermost loop
+    /// walks adjacent rings, so the compiler can vectorize it. The
+    /// leave-one-out rows are fresh folds (never the tempting
+    /// `all − selected[k] + bypass[k]` shortcut, which would change the
+    /// floating-point result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block has been begun.
+    pub fn sweep(&mut self) -> ConfigSweep<'_> {
+        assert!(self.rings > 0, "begin_block before sweep");
+        let (rings, stages) = (self.rings, self.stages);
+        let configs = stages + 2;
+        self.config_ps.clear();
+        self.config_ps.resize(configs * rings, 0.0);
+        for c in 0..configs {
+            let row = &mut self.config_ps[c * rings..(c + 1) * rings];
+            for s in 0..stages {
+                // Config 0 selects every stage, config 1 bypasses every
+                // stage, config 2 + k bypasses exactly stage k.
+                let bypassed = c == 1 || c == s + 2;
+                let src = if bypassed {
+                    &self.bypass_ps[s * rings..(s + 1) * rings]
+                } else {
+                    &self.selected_ps[s * rings..(s + 1) * rings]
+                };
+                for (acc, &d) in row.iter_mut().zip(src) {
+                    *acc += d;
+                }
+            }
+        }
+        ConfigSweep {
+            config_ps: &self.config_ps,
+            rings,
+            stages,
+        }
+    }
+}
+
+/// Read-only view of one block's derived configuration delays; produced
+/// by [`MeasureArena::sweep`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConfigSweep<'a> {
+    config_ps: &'a [f64],
+    rings: usize,
+    stages: usize,
+}
+
+impl ConfigSweep<'_> {
+    /// Rings in the block.
+    pub fn rings(&self) -> usize {
+        self.rings
+    }
+
+    /// Stages per ring.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// A single ring's slice of the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring` is outside the block.
+    pub fn ring(&self, ring: usize) -> RingSweep<'_> {
+        assert!(
+            ring < self.rings,
+            "ring {ring} outside block of {}",
+            self.rings
+        );
+        RingSweep {
+            config_ps: self.config_ps,
+            ring,
+            rings: self.rings,
+            stages: self.stages,
+        }
+    }
+}
+
+/// One ring's view into a [`ConfigSweep`]: the drop-in equivalent of a
+/// per-ring [`StageDelays`] cache for the `n + 2` calibration
+/// configurations, backed by the shared arena instead of per-ring
+/// allocations.
+#[derive(Debug, Clone, Copy)]
+pub struct RingSweep<'a> {
+    config_ps: &'a [f64],
+    ring: usize,
+    rings: usize,
+    stages: usize,
+}
+
+impl RingSweep<'_> {
+    /// Stages in the ring.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// True delay of the all-selected ring.
+    pub fn all_selected_ps(&self) -> f64 {
+        self.config_ps[self.ring]
+    }
+
+    /// True delay of the all-bypassed ring (`B = Σ d0_i`).
+    pub fn all_bypassed_ps(&self) -> f64 {
+        self.config_ps[self.rings + self.ring]
+    }
+
+    /// True delay of the leave-one-out ring: every stage selected
+    /// except `skip`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `skip >= stages()`.
+    pub fn all_but_ps(&self, skip: usize) -> f64 {
+        assert!(
+            skip < self.stages,
+            "stage {skip} outside ring of {}",
+            self.stages
+        );
+        self.config_ps[(2 + skip) * self.rings + self.ring]
+    }
+
+    /// Measures all `n + 2` calibration configurations of this ring,
+    /// drawing noise in sweep order (all-selected, all-bypassed,
+    /// leave-one-out `0..n`) — the exact per-measurement RNG order of
+    /// [`BatchProbe::measure_configs`], so arena-backed and per-ring
+    /// calibration are bit-identical.
+    pub fn measure<R: Rng + ?Sized>(&self, probe: &DelayProbe, rng: &mut R) -> BatchMeasurements {
+        let all_selected_ps = probe.measure_ps(rng, self.all_selected_ps());
+        let bypass_ps = probe.measure_ps(rng, self.all_bypassed_ps());
+        let leave_one_out_ps = (0..self.stages)
+            .map(|i| probe.measure_ps(rng, self.all_but_ps(i)))
+            .collect();
+        BatchMeasurements {
+            all_selected_ps,
+            bypass_ps,
+            leave_one_out_ps,
+        }
+    }
+}
+
 /// A gated frequency counter: counts ring transitions during a fixed gate
 /// window, yielding a quantized, jitter-corrupted frequency estimate.
 ///

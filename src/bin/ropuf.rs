@@ -487,6 +487,7 @@ fn fleet(opts: &HashMap<String, String>) -> Result<(), CliError> {
         opts,
         votes,
         faults,
+        threads: Some(threads),
         corners: vec![
             Environment::nominal(),
             Environment::new(0.98, 25.0),
@@ -499,7 +500,7 @@ fn fleet(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let engine = FleetEngine::new(SiliconSim::default_spartan(), config)?;
     drop(setup_span);
     let run_span = telemetry::span("cli.fleet.run");
-    let run = engine.run_on(seed, threads);
+    let run = engine.run(seed);
     drop(run_span);
     let _report_span = telemetry::span("cli.fleet.report");
     for record in &run.records {
