@@ -118,6 +118,11 @@ pub struct Tolerance {
     /// Largest accepted fractional throughput loss (0.25 = fresh may
     /// be up to 25 % slower than the baseline; faster always passes).
     pub max_throughput_regression: f64,
+    /// Largest accepted fractional serve p99 latency growth (0.5 =
+    /// fresh p99 may be up to 50 % above the baseline; lower always
+    /// passes). Wide on purpose: tail latency on shared CI hardware is
+    /// noisy, but a 10x blow-up is a real regression and must fail.
+    pub max_p99_regression: f64,
     /// Largest accepted absolute change of the uniqueness statistic.
     pub max_uniqueness_delta: f64,
     /// Smallest accepted fraction of the physically achievable speedup
@@ -132,6 +137,7 @@ impl Default for Tolerance {
     fn default() -> Self {
         Self {
             max_throughput_regression: 0.25,
+            max_p99_regression: 0.5,
             max_uniqueness_delta: 1e-9,
             min_scaling_fraction: 0.7,
         }
@@ -317,9 +323,10 @@ pub struct ServeScale {
     pub label: String,
     /// Auth requests per second at this enrolled-fleet size.
     pub auth_ops_per_sec: f64,
-    /// 99th-percentile per-op latency, microseconds (reported, not
-    /// banded: tail latency on shared CI hardware is too noisy to
-    /// gate, but it must be *present* — vanishing is a violation).
+    /// 99th-percentile per-op latency, microseconds. Banded by
+    /// [`Tolerance::max_p99_regression`] at matching thread counts (a
+    /// wide band — tail latency on shared CI hardware is noisy), and
+    /// always reported as a note; vanishing is a violation.
     pub p99_us: f64,
 }
 
@@ -393,8 +400,9 @@ impl ServeRecord {
 /// determinism is a hard claim in both records, per-scale auth
 /// throughput is banded by [`Tolerance::max_throughput_regression`]
 /// (only at matching thread counts), and a scale present in the
-/// baseline may not vanish from the fresh run. p99 figures are
-/// reported as notes, never gated.
+/// baseline may not vanish from the fresh run. p99 figures are banded
+/// by [`Tolerance::max_p99_regression`] (also only at matching thread
+/// counts) and reported as notes either way.
 pub fn compare_serve_with_notes(
     baseline: &ServeRecord,
     fresh: &ServeRecord,
@@ -456,6 +464,18 @@ pub fn compare_serve_with_notes(
                 base_scale.auth_ops_per_sec,
                 fresh_scale.auth_ops_per_sec,
                 floor
+            ));
+        }
+        let ceiling = base_scale.p99_us * (1.0 + tol.max_p99_regression);
+        if fresh_scale.p99_us > ceiling {
+            violations.push(format!(
+                "p99 latency at {} regressed beyond {:.0}%: baseline {:.1} us, \
+                 fresh {:.1} (ceiling {:.1})",
+                base_scale.label,
+                100.0 * tol.max_p99_regression,
+                base_scale.p99_us,
+                fresh_scale.p99_us,
+                ceiling
             ));
         }
     }
@@ -798,6 +818,48 @@ mod tests {
             violations.iter().any(|v| v.contains("scale 100k vanished")),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn serve_p99_band_fails_on_fabricated_blowup_and_allows_improvement() {
+        let baseline = serve_record(&[("10k", 60_000.0), ("100k", 55_000.0)]);
+
+        // A fabricated 10x tail-latency regression must fail the gate
+        // even though throughput is untouched.
+        let mut blown = baseline.clone();
+        blown.scales[1].p99_us = 420.0;
+        let (violations, notes) =
+            compare_serve_with_notes(&baseline, &blown, &Tolerance::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("p99 latency at 100k"),
+            "{violations:?}"
+        );
+        assert_eq!(notes.len(), 2, "p99 notes still reported: {notes:?}");
+
+        // Just inside the 50% band: passes.
+        let mut near = baseline.clone();
+        near.scales[0].p99_us = 42.0 * 1.49;
+        let (violations, _) = compare_serve_with_notes(&baseline, &near, &Tolerance::default());
+        assert!(violations.is_empty(), "{violations:?}");
+
+        // Faster tail always passes.
+        let mut faster = baseline.clone();
+        faster.scales[0].p99_us = 1.0;
+        let (violations, _) = compare_serve_with_notes(&baseline, &faster, &Tolerance::default());
+        assert!(violations.is_empty(), "{violations:?}");
+
+        // Mismatched thread counts skip the p99 band too.
+        let mut eight = baseline.clone();
+        eight.threads = Some(8);
+        eight.scales[1].p99_us = 420.0;
+        let (violations, _) = compare_serve_with_notes(&baseline, &eight, &Tolerance::default());
+        assert_eq!(
+            violations.len(),
+            1,
+            "only the thread mismatch: {violations:?}"
+        );
+        assert!(violations[0].contains("thread counts differ"));
     }
 
     #[test]

@@ -34,6 +34,14 @@
 //! observatory are byte-identical to a plain [`FleetEngine`] run with
 //! the same configuration (guarded by `tests/monitor.rs`).
 //!
+//! The observatory watches the *silicon* (quality statistics sampled
+//! from fleet runs); the serving side has parallel rails built on
+//! the same classification machinery — `ropuf_server::ops` feeds
+//! rolling-window availability/latency SLO gauges through an identical
+//! [`HealthBoard`], scraped over the admin HTTP listener. Both planes
+//! share one threshold/hysteresis semantics, so an operator reads one
+//! vocabulary (`docs/OBSERVABILITY.md`).
+//!
 //! # Examples
 //!
 //! ```

@@ -1,0 +1,110 @@
+//! The admin scrape surface: minimal hand-rolled HTTP/1.1 (GET only,
+//! `Connection: close`) served by the same worker pool as the binary
+//! protocol, so no new threads and no new dependencies.
+//!
+//! Three endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition: the process-wide
+//!   telemetry registry (when a trace sink is installed), the rolling
+//!   windowed serve families, and the merged health/SLO gauge board.
+//! * `GET /healthz` — the merged service + SLO [`HealthReport`] as
+//!   versioned JSON (`"version"` = schema version).
+//! * `GET /slo` — the SLO engine's focused JSON document (objectives,
+//!   window counts, burn rates, statuses).
+//!
+//! The admin plane is read-only: nothing it serves can mutate the
+//! store or influence a gate decision.
+//!
+//! [`HealthReport`]: ropuf_telemetry::HealthReport
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+use ropuf_telemetry as telemetry;
+
+use crate::service::PufService;
+
+/// Upper bound on the request head (request line + headers) we will
+/// buffer; curl and Prometheus scrapers stay well under this.
+const MAX_HEAD_BYTES: u64 = 8 * 1024;
+
+/// Serves one admin HTTP exchange and closes the connection.
+pub(crate) fn handle_admin_connection(service: &PufService, stream: TcpStream) -> io::Result<()> {
+    let result = admin_exchange(service, &stream);
+    // The worker registered a clone of this socket for shutdown
+    // severing, so dropping our handle does not close it — shut the
+    // socket down explicitly or the client never sees EOF.
+    let _ = stream.shutdown(Shutdown::Both);
+    result
+}
+
+fn admin_exchange(service: &PufService, stream: &TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?.take(MAX_HEAD_BYTES));
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers (ignored — GET carries no body we care about).
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(
+            stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+    }
+    match path {
+        "/metrics" => respond(
+            stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &metrics_body(service),
+        ),
+        "/healthz" => respond(
+            stream,
+            "200 OK",
+            "application/json",
+            &service.operations_report().to_json(),
+        ),
+        "/slo" => respond(
+            stream,
+            "200 OK",
+            "application/json",
+            &service.ops().slo().to_json(),
+        ),
+        _ => respond(
+            stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found (try /metrics, /healthz, /slo)\n",
+        ),
+    }
+}
+
+/// The `/metrics` exposition: the cumulative registry, the windowed
+/// families, and the merged health/SLO board, all under the `ropuf_`
+/// prefix. The three sections use disjoint metric names, so each
+/// family appears exactly once.
+fn metrics_body(service: &PufService) -> String {
+    let mut out = telemetry::snapshot().render_prometheus("ropuf_");
+    out.push_str(&service.ops().render_window_metrics("ropuf_"));
+    out.push_str(&service.operations_report().render_prometheus("ropuf_"));
+    out
+}
+
+fn respond(mut stream: &TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -19,11 +19,19 @@
 //!   failure lockout, quarantine-aware degradation, health gauges,
 //! * [`net`] — a hand-rolled accept-queue/worker-pool TCP loop (no
 //!   async runtime, no new dependencies),
+//! * [`admin`] — the read-only HTTP scrape surface (`/metrics`,
+//!   `/healthz`, `/slo`) sharing the same worker pool,
+//! * [`ops`] — the rolling-window operations plane and SLO engine,
+//! * [`access`] — request ids, gate stage timing, and the sampled
+//!   JSONL access log,
 //! * [`drill`] — deterministic end-to-end drills whose transcript is
 //!   byte-identical across runs and thread counts.
 
+pub mod access;
+pub mod admin;
 pub mod drill;
 pub mod net;
+pub mod ops;
 pub mod proto;
 pub mod service;
 pub mod store;
@@ -31,8 +39,10 @@ pub mod store;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use access::{AccessLog, RequestId};
 pub use drill::{run_drill, DrillReport, DrillSpec};
-pub use net::{serve, Client, ServerHandle};
+pub use net::{serve, serve_with_admin, Client, ServerHandle};
+pub use ops::{OpsConfig, OpsPlane};
 pub use proto::{RejectReason, Reply, Request, WireBits};
-pub use service::{PufService, ServiceConfig, ServiceStats};
+pub use service::{PufService, ServiceConfig, ServiceOptions, ServiceStats};
 pub use store::{FsyncPolicy, Store, StoreError};

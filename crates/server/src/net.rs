@@ -4,20 +4,37 @@
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::access::RequestId;
+use crate::admin::handle_admin_connection;
 use crate::proto::{read_frame, write_frame, Reply, Request};
 use crate::service::PufService;
 
-/// A running server: accept thread + `workers` handler threads.
+/// Process-wide connection counter: every accepted connection (binary
+/// protocol or admin) gets a distinct 1-based id for request tracing.
+static NEXT_CONN: AtomicU64 = AtomicU64::new(1);
+
+/// One accepted connection, tagged with which protocol it speaks. The
+/// admin listener feeds the same worker queue as the binary protocol,
+/// so both planes share one thread pool.
+enum Conn {
+    /// The length-prefixed binary protocol.
+    Proto(TcpStream),
+    /// The hand-rolled HTTP admin plane.
+    Admin(TcpStream),
+}
+
+/// A running server: accept thread(s) + `workers` handler threads.
 pub struct ServerHandle {
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
     service: Arc<PufService>,
     shutting_down: Arc<AtomicBool>,
     live_conns: Arc<Mutex<Vec<TcpStream>>>,
-    accept_thread: Option<JoinHandle<()>>,
+    accept_threads: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -36,12 +53,40 @@ pub fn serve(
     addr: SocketAddr,
     workers: usize,
 ) -> io::Result<ServerHandle> {
+    serve_with_admin(service, addr, workers, None)
+}
+
+/// Starts serving `service` on `addr`, optionally also binding the
+/// read-only HTTP admin plane (`/metrics`, `/healthz`, `/slo`) on
+/// `admin`. Both listeners feed one shared worker pool.
+///
+/// # Errors
+///
+/// Propagates either bind failure.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn serve_with_admin(
+    service: Arc<PufService>,
+    addr: SocketAddr,
+    workers: usize,
+    admin: Option<SocketAddr>,
+) -> io::Result<ServerHandle> {
     assert!(workers > 0, "the request loop needs at least one worker");
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
+    let admin_listener = match admin {
+        Some(admin_addr) => Some(TcpListener::bind(admin_addr)?),
+        None => None,
+    };
+    let admin_addr = match &admin_listener {
+        Some(l) => Some(l.local_addr()?),
+        None => None,
+    };
     let shutting_down = Arc::new(AtomicBool::new(false));
     let live_conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let (tx, rx) = mpsc::channel::<Conn>();
     let rx = Arc::new(Mutex::new(rx));
 
     let worker_threads = (0..workers)
@@ -56,7 +101,10 @@ pub fn serve(
                     // connection is then owned by this worker until EOF.
                     let conn = rx.lock().expect("connection queue poisoned").recv();
                     match conn {
-                        Ok(stream) => {
+                        Ok(conn) => {
+                            let stream = match &conn {
+                                Conn::Proto(s) | Conn::Admin(s) => s,
+                            };
                             // Register a handle so shutdown can sever
                             // connections a client left idle-open.
                             if let Ok(clone) = stream.try_clone() {
@@ -65,7 +113,14 @@ pub fn serve(
                                     .expect("connection registry poisoned")
                                     .push(clone);
                             }
-                            let _ = handle_connection(&service, stream);
+                            match conn {
+                                Conn::Proto(stream) => {
+                                    let _ = handle_connection(&service, stream);
+                                }
+                                Conn::Admin(stream) => {
+                                    let _ = handle_admin_connection(&service, stream);
+                                }
+                            }
                         }
                         Err(_) => return, // queue closed: shutdown
                     }
@@ -74,45 +129,76 @@ pub fn serve(
         })
         .collect();
 
-    let accept_flag = Arc::clone(&shutting_down);
-    let accept_thread = std::thread::Builder::new()
-        .name("ropuf-accept".to_string())
+    let mut accept_threads = Vec::new();
+    accept_threads.push(spawn_accept_loop(
+        "ropuf-accept",
+        listener,
+        Arc::clone(&shutting_down),
+        tx.clone(),
+        Conn::Proto,
+    )?);
+    if let Some(admin_listener) = admin_listener {
+        accept_threads.push(spawn_accept_loop(
+            "ropuf-admin-accept",
+            admin_listener,
+            Arc::clone(&shutting_down),
+            tx,
+            Conn::Admin,
+        )?);
+    }
+
+    Ok(ServerHandle {
+        addr,
+        admin_addr,
+        service,
+        shutting_down,
+        live_conns,
+        accept_threads,
+        workers: worker_threads,
+    })
+}
+
+/// Spawns one accept loop pushing tagged connections onto the shared
+/// worker queue. Each loop owns a clone of the sender; the queue
+/// closes (retiring the workers) when every accept loop has exited.
+fn spawn_accept_loop(
+    name: &str,
+    listener: TcpListener,
+    shutting_down: Arc<AtomicBool>,
+    tx: mpsc::Sender<Conn>,
+    wrap: fn(TcpStream) -> Conn,
+) -> io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(name.to_string())
         .spawn(move || {
             for stream in listener.incoming() {
-                if accept_flag.load(Ordering::SeqCst) {
+                if shutting_down.load(Ordering::SeqCst) {
                     break;
                 }
                 match stream {
                     // A send error means the workers are gone; stop.
                     Ok(stream) => {
-                        if tx.send(stream).is_err() {
+                        if tx.send(wrap(stream)).is_err() {
                             break;
                         }
                     }
                     Err(_) => continue,
                 }
             }
-            // Dropping `tx` closes the queue and retires the workers.
+            // Dropping `tx` releases this loop's share of the queue.
         })
-        .expect("spawn accept thread");
-
-    Ok(ServerHandle {
-        addr,
-        service,
-        shutting_down,
-        live_conns,
-        accept_thread: Some(accept_thread),
-        workers: worker_threads,
-    })
 }
 
 fn handle_connection(service: &PufService, stream: TcpStream) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    let conn = NEXT_CONN.fetch_add(1, Ordering::Relaxed);
+    let mut seq = 0u64;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     while let Some(body) = read_frame(&mut reader)? {
+        seq += 1;
         let reply = match Request::decode(&body) {
-            Ok(request) => service.handle(&request),
+            Ok(request) => service.handle_traced(&request, RequestId { conn, seq }),
             Err(e) => Reply::Error {
                 message: e.to_string(),
             },
@@ -129,6 +215,12 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The bound admin address, when the admin plane is enabled
+    /// (resolves port 0).
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
+    }
+
     /// The service being served.
     pub fn service(&self) -> &PufService {
         &self.service
@@ -139,9 +231,12 @@ impl ServerHandle {
     /// keep-alive connections are closed rather than waited on.
     pub fn shutdown(mut self) {
         self.shutting_down.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
+        // Unblock each accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        if let Some(admin) = self.admin_addr {
+            let _ = TcpStream::connect(admin);
+        }
+        for t in self.accept_threads.drain(..) {
             let _ = t.join();
         }
         for conn in self

@@ -1,0 +1,287 @@
+//! The serve-path operations plane: rolling-window request accounting
+//! and SLO evaluation, always on (unlike the opt-in `ROPUF_TRACE`
+//! telemetry sinks) because an operator needs `/metrics` to answer
+//! even when no trace target was configured at launch.
+//!
+//! The plane is strictly an *observer*: it reads the injected clock and
+//! the reply the gate already produced, and never feeds anything back
+//! into request handling — replies stay a pure function of the request
+//! stream whether the plane's clock is wall time or a frozen
+//! [`ManualClock`](ropuf_telemetry::ManualClock) (which the drill uses,
+//! so drill transcripts stay a pure function of the seed).
+//!
+//! # What counts as "bad" for the availability SLO
+//!
+//! Not every reject is a failure. Replay rejections, unknown devices,
+//! malformed requests, and double-enrolls are the service *working* —
+//! denying what must be denied. The error budget burns on **quality
+//! failures**: erasure-driven rejects (`LowCoverage`, `TooManyFlips`),
+//! devices the degradation model parked (`Quarantined`, `LockedOut`),
+//! and server-side errors. That split keeps a clean drill (which
+//! scripts replays on purpose) at burn rate zero while an
+//! injected-fault drill lights the SLO up.
+
+use std::sync::Arc;
+
+use ropuf_telemetry::metrics::Snapshot;
+use ropuf_telemetry::slo::{SloConfig, SloEngine};
+use ropuf_telemetry::window::{Clock, WallClock, WindowSpec, WindowedCounter, WindowedHistogram};
+
+use crate::proto::{RejectReason, Reply};
+
+/// Configuration for the operations plane: the time source and the
+/// SLO objectives (which carry the window shape).
+pub struct OpsConfig {
+    /// Time source for every window. Wall clock in production; a
+    /// manual clock for tests and the deterministic drill.
+    pub clock: Arc<dyn Clock>,
+    /// Availability/latency objectives and the evaluation window.
+    pub slo: SloConfig,
+}
+
+impl Default for OpsConfig {
+    fn default() -> Self {
+        Self {
+            clock: Arc::new(WallClock::default()),
+            slo: SloConfig::default(),
+        }
+    }
+}
+
+/// Rolling-window request accounting plus the SLO engine.
+pub struct OpsPlane {
+    window: WindowSpec,
+    requests: WindowedCounter,
+    accepts: WindowedCounter,
+    quality_rejects: WindowedCounter,
+    errors: WindowedCounter,
+    request_micros: WindowedHistogram,
+    slo: SloEngine,
+}
+
+/// Whether a rejection burns the availability error budget (quality
+/// failure) or is the service correctly denying a request.
+pub fn is_quality_reject(reason: RejectReason) -> bool {
+    matches!(
+        reason,
+        RejectReason::TooManyFlips
+            | RejectReason::LowCoverage
+            | RejectReason::Quarantined
+            | RejectReason::LockedOut
+    )
+}
+
+impl OpsPlane {
+    /// Builds the plane from `config`.
+    pub fn new(config: OpsConfig) -> Self {
+        let window = config.slo.window;
+        let clock = config.clock;
+        Self {
+            window,
+            requests: WindowedCounter::new(Arc::clone(&clock), window),
+            accepts: WindowedCounter::new(Arc::clone(&clock), window),
+            quality_rejects: WindowedCounter::new(Arc::clone(&clock), window),
+            errors: WindowedCounter::new(Arc::clone(&clock), window),
+            request_micros: WindowedHistogram::new(Arc::clone(&clock), window),
+            slo: SloEngine::new(clock, config.slo),
+        }
+    }
+
+    /// The SLO engine (for `/slo` and the merged health report).
+    pub fn slo(&self) -> &SloEngine {
+        &self.slo
+    }
+
+    /// Folds one handled request into the windows. `auth_path` marks
+    /// the ops with an authentication verdict (auth/derive_key) —
+    /// only those count toward the availability and latency SLOs.
+    pub(crate) fn observe(&self, auth_path: bool, reply: &Reply, micros: u64) {
+        self.requests.add(1);
+        self.request_micros.record(micros);
+        match reply {
+            Reply::Error { .. } => {
+                self.errors.add(1);
+                if auth_path {
+                    self.slo.record_outcome(false);
+                }
+            }
+            Reply::Reject { reason } if auth_path && is_quality_reject(*reason) => {
+                self.quality_rejects.add(1);
+                self.slo.record_outcome(false);
+            }
+            Reply::AuthOk { .. } | Reply::Key { .. } => {
+                self.accepts.add(1);
+                if auth_path {
+                    self.slo.record_outcome(true);
+                }
+            }
+            _ => {}
+        }
+        if auth_path {
+            self.slo.record_latency_us(micros);
+        }
+    }
+
+    /// Renders the windowed families in the Prometheus text exposition
+    /// format under `prefix`. Window sums export as gauges (they go
+    /// down as buckets expire — they are not counters), the latency
+    /// distribution as a standard histogram triplet.
+    pub fn render_window_metrics(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        let gauge = |out: &mut String, name: &str, help: &str, value: u64| {
+            let name = format!("{prefix}{name}");
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        };
+        gauge(
+            &mut out,
+            "serve_window_seconds",
+            "span of the rolling window these families cover",
+            self.window.window_us() / 1_000_000,
+        );
+        gauge(
+            &mut out,
+            "serve_window_requests",
+            "requests handled inside the rolling window",
+            self.requests.sum(),
+        );
+        gauge(
+            &mut out,
+            "serve_window_accepts",
+            "accepted auths (incl. key derivations) inside the rolling window",
+            self.accepts.sum(),
+        );
+        gauge(
+            &mut out,
+            "serve_window_quality_rejects",
+            "budget-burning rejects (flips/coverage/quarantine/lockout) inside the rolling window",
+            self.quality_rejects.sum(),
+        );
+        gauge(
+            &mut out,
+            "serve_window_errors",
+            "server-side errors inside the rolling window",
+            self.errors.sum(),
+        );
+        out.push_str(
+            &Snapshot {
+                counters: vec![],
+                histograms: vec![
+                    self.request_micros.snapshot("serve.window.request_micros"),
+                    self.slo.latency_snapshot("serve.window.auth_micros"),
+                ],
+            }
+            .render_prometheus(prefix),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ropuf_telemetry::window::ManualClock;
+
+    fn plane(clock: Arc<ManualClock>) -> OpsPlane {
+        OpsPlane::new(OpsConfig {
+            clock,
+            slo: SloConfig {
+                window: WindowSpec {
+                    buckets: 4,
+                    bucket_width_us: 1_000_000,
+                },
+                ..SloConfig::default()
+            },
+        })
+    }
+
+    #[test]
+    fn reject_taxonomy_splits_budget_burners_from_correct_denials() {
+        for burner in [
+            RejectReason::TooManyFlips,
+            RejectReason::LowCoverage,
+            RejectReason::Quarantined,
+            RejectReason::LockedOut,
+        ] {
+            assert!(is_quality_reject(burner), "{burner:?}");
+        }
+        for denial in [
+            RejectReason::Replay,
+            RejectReason::UnknownDevice,
+            RejectReason::BadRequest,
+            RejectReason::AlreadyEnrolled,
+            RejectReason::UnsupportedVersion,
+        ] {
+            assert!(!is_quality_reject(denial), "{denial:?}");
+        }
+    }
+
+    #[test]
+    fn observe_routes_outcomes_to_the_right_windows() {
+        let p = plane(Arc::new(ManualClock::at(0)));
+        p.observe(
+            true,
+            &Reply::AuthOk {
+                compared: 8,
+                flips: 0,
+            },
+            5,
+        );
+        p.observe(
+            true,
+            &Reply::Reject {
+                reason: RejectReason::Replay,
+            },
+            3,
+        );
+        p.observe(
+            true,
+            &Reply::Reject {
+                reason: RejectReason::LowCoverage,
+            },
+            4,
+        );
+        p.observe(false, &Reply::Enrolled { bits: 64 }, 100);
+        p.observe(
+            false,
+            &Reply::Error {
+                message: "disk".into(),
+            },
+            9,
+        );
+        assert_eq!(p.requests.sum(), 5);
+        assert_eq!(p.accepts.sum(), 1);
+        assert_eq!(p.quality_rejects.sum(), 1, "replay is not a quality reject");
+        assert_eq!(p.errors.sum(), 1);
+        let slo = p.slo().evaluate();
+        assert_eq!((slo.good, slo.bad), (1, 1), "replay and enroll excluded");
+        // Latency SLO only sees the three auth-path ops.
+        assert_eq!(p.slo.latency_snapshot("t").count, 3);
+    }
+
+    #[test]
+    fn window_families_render_and_expire() {
+        let clock = Arc::new(ManualClock::at(0));
+        let p = plane(Arc::clone(&clock));
+        p.observe(
+            true,
+            &Reply::AuthOk {
+                compared: 8,
+                flips: 0,
+            },
+            7,
+        );
+        let text = p.render_window_metrics("ropuf_");
+        assert!(text.contains("# TYPE ropuf_serve_window_requests gauge\n"));
+        assert!(text.contains("ropuf_serve_window_requests 1\n"));
+        assert!(text.contains("ropuf_serve_window_seconds 4\n"));
+        assert!(text.contains("# TYPE ropuf_serve_window_auth_micros histogram\n"));
+        assert!(text.contains("ropuf_serve_window_auth_micros_count 1\n"));
+        // Every bucket ages out: the families report an empty window.
+        clock.advance(10_000_000);
+        let text = p.render_window_metrics("ropuf_");
+        assert!(text.contains("ropuf_serve_window_requests 0\n"));
+        assert!(text.contains("ropuf_serve_window_auth_micros_count 0\n"));
+    }
+}

@@ -24,6 +24,8 @@ use ropuf_telemetry as telemetry;
 use ropuf_telemetry::health::{Direction, GaugeSpec, HealthBoard, Thresholds};
 use ropuf_telemetry::HealthReport;
 
+use crate::access::{render_record, AccessLog, RequestId, StageTimer};
+use crate::ops::{OpsConfig, OpsPlane};
 use crate::proto::{RejectReason, Reply, Request, WireBits};
 use crate::store::{DeviceState, Store, StoreError};
 
@@ -85,12 +87,28 @@ impl ServiceStats {
     }
 }
 
+/// Construction-time wiring for a [`PufService`] beyond the gate
+/// limits: the operations-plane clock/objectives and an optional
+/// access log. [`PufService::new`] uses the defaults (wall clock,
+/// default SLOs, no log).
+#[derive(Default)]
+pub struct ServiceOptions {
+    /// Gate limits.
+    pub config: ServiceConfig,
+    /// Operations-plane clock and SLO objectives.
+    pub ops: OpsConfig,
+    /// Sampled JSONL access log, when requested.
+    pub access_log: Option<AccessLog>,
+}
+
 /// The authentication service: gate pipeline over a [`Store`].
 pub struct PufService {
     store: Store,
     config: ServiceConfig,
     stats: ServiceStats,
     health: Mutex<HealthBoard>,
+    ops: OpsPlane,
+    access: Option<AccessLog>,
 }
 
 /// What the per-device gate decided (computed under the shard lock).
@@ -106,13 +124,28 @@ enum AuthDecision {
 }
 
 impl PufService {
-    /// Wraps a store with the gate pipeline.
+    /// Wraps a store with the gate pipeline (default ops plane: wall
+    /// clock, default SLO objectives, no access log).
     pub fn new(store: Store, config: ServiceConfig) -> Self {
+        Self::with_options(
+            store,
+            ServiceOptions {
+                config,
+                ..ServiceOptions::default()
+            },
+        )
+    }
+
+    /// Wraps a store with explicit operations-plane wiring (injected
+    /// clock, SLO objectives, optional access log).
+    pub fn with_options(store: Store, options: ServiceOptions) -> Self {
         Self {
             store,
-            config,
+            config: options.config,
             stats: ServiceStats::default(),
             health: Mutex::new(HealthBoard::new(Self::gauges())),
+            ops: OpsPlane::new(options.ops),
+            access: options.access_log,
         }
     }
 
@@ -168,6 +201,29 @@ impl PufService {
         &self.stats
     }
 
+    /// The rolling-window operations plane.
+    pub fn ops(&self) -> &OpsPlane {
+        &self.ops
+    }
+
+    /// The access log, when one is installed (exposed so the serve
+    /// loop can flush it before exit).
+    pub fn access_log(&self) -> Option<&AccessLog> {
+        self.access.as_ref()
+    }
+
+    /// The full operator view: the cumulative service gauges merged
+    /// with the windowed SLO gauges into one report (one
+    /// `health_status` family in the Prometheus exposition, one
+    /// versioned JSON document on `/healthz`).
+    pub fn operations_report(&self) -> HealthReport {
+        let mut report = self.health_report();
+        let slo = self.ops.slo().evaluate().report;
+        report.overall = report.overall.max(slo.overall);
+        report.gauges.extend(slo.gauges);
+        report
+    }
+
     /// Samples the health gauges from the current counters and store
     /// occupancy, returning the classified report.
     pub fn health_report(&self) -> HealthReport {
@@ -194,9 +250,18 @@ impl PufService {
         board.report()
     }
 
-    /// Handles one request. Never panics on untrusted input; never
-    /// returns (or logs) raw delay data.
+    /// Handles one request that did not arrive over a tracked
+    /// connection (tests, the in-process serve bench). Equivalent to
+    /// [`handle_traced`](Self::handle_traced) with
+    /// [`RequestId::UNTRACED`].
     pub fn handle(&self, request: &Request) -> Reply {
+        self.handle_traced(request, RequestId::UNTRACED)
+    }
+
+    /// Handles one request. Never panics on untrusted input; never
+    /// returns (or logs) raw delay data. `id` identifies the request
+    /// in traces and the access log; it never influences the reply.
+    pub fn handle_traced(&self, request: &Request, id: RequestId) -> Reply {
         ServiceStats::bump(&self.stats.requests);
         let op = request.op_name();
         let _span = match op {
@@ -205,6 +270,10 @@ impl PufService {
             "derive_key" => telemetry::span("serve.derive_key"),
             _ => telemetry::span("serve.revoke"),
         };
+        // The sampling decision is made up front (deterministic in the
+        // request order); stage timers only run for sampled requests.
+        let sampled = self.access.as_ref().filter(|log| log.sample_next());
+        let mut timer = sampled.map(|_| StageTimer::new());
         let started = Instant::now();
         let reply = match request {
             Request::Enroll {
@@ -216,12 +285,12 @@ impl PufService {
                 device_id,
                 nonce,
                 response,
-            } => self.auth(*device_id, *nonce, response, false),
+            } => self.auth(*device_id, *nonce, response, false, timer.as_mut()),
             Request::DeriveKey {
                 device_id,
                 nonce,
                 response,
-            } => self.auth(*device_id, *nonce, response, true),
+            } => self.auth(*device_id, *nonce, response, true, timer.as_mut()),
             Request::Revoke { device_id } => self.revoke(*device_id),
         };
         let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
@@ -233,6 +302,19 @@ impl PufService {
         }
         if matches!(reply, Reply::Error { .. }) {
             ServiceStats::bump(&self.stats.errors);
+        }
+        let auth_path = matches!(request, Request::Auth { .. } | Request::DeriveKey { .. });
+        self.ops.observe(auth_path, &reply, micros);
+        if let Some(log) = sampled {
+            let stages = timer.as_ref().map(|t| t.stages()).unwrap_or(&[]);
+            log.write_line(&render_record(
+                id,
+                op,
+                request.device_id(),
+                &reply,
+                micros,
+                stages,
+            ));
         }
         reply
     }
@@ -277,15 +359,43 @@ impl PufService {
 
     /// The shared auth gate; `derive` additionally reconstructs the
     /// key on acceptance. All bookkeeping happens under the shard
-    /// lock, so per-device decisions are atomic.
-    fn auth(&self, device_id: u64, nonce: u64, response: &WireBits, derive: bool) -> Reply {
+    /// lock, so per-device decisions are atomic. The optional `timer`
+    /// (sampled requests only) records per-stage micros; it never
+    /// influences the decision.
+    fn auth(
+        &self,
+        device_id: u64,
+        nonce: u64,
+        response: &WireBits,
+        derive: bool,
+        timer: Option<&mut StageTimer>,
+    ) -> Reply {
         let config = self.config;
-        let decision = self.store.with_device(device_id, |state| {
-            let Some(state) = state else {
-                return AuthDecision::Reject(RejectReason::UnknownDevice);
-            };
-            Self::gate(state, nonce, response, derive, &config)
-        });
+        let (decision, newly_locked, newly_quarantined) =
+            self.store.with_device(device_id, |state| {
+                let Some(state) = state else {
+                    return (
+                        AuthDecision::Reject(RejectReason::UnknownDevice),
+                        false,
+                        false,
+                    );
+                };
+                let was = (state.locked, state.quarantined);
+                let decision = Self::gate(state, nonce, response, derive, &config, timer);
+                (
+                    decision,
+                    state.locked && !was.0,
+                    state.quarantined && !was.1,
+                )
+            });
+        if newly_locked {
+            ServiceStats::bump(&self.stats.lockouts);
+            telemetry::counter("serve.lockouts", 1);
+        }
+        if newly_quarantined {
+            ServiceStats::bump(&self.stats.quarantines);
+            telemetry::counter("serve.quarantines", 1);
+        }
         match decision {
             AuthDecision::Reject(reason) => {
                 ServiceStats::bump(&self.stats.auth_rejected);
@@ -321,20 +431,35 @@ impl PufService {
         response: &WireBits,
         derive: bool,
         config: &ServiceConfig,
+        mut timer: Option<&mut StageTimer>,
     ) -> AuthDecision {
+        // Stage marks close the pipeline stage just decided; a reject
+        // mid-pipeline leaves a shorter stage list whose last entry
+        // names where the gate stopped.
+        let mut mark = |name: &'static str| {
+            if let Some(t) = timer.as_deref_mut() {
+                t.mark(name);
+            }
+        };
         if state.quarantined {
             return AuthDecision::Reject(RejectReason::Quarantined);
         }
         if state.locked {
             return AuthDecision::Reject(RejectReason::LockedOut);
         }
-        if state.nonce_seen(nonce) {
+        let replayed = state.nonce_seen(nonce);
+        if !replayed {
+            // Past the replay check the nonce is burned — a replayed
+            // copy of this very request (accepted or not) is rejected.
+            state.remember_nonce(nonce);
+        }
+        mark("nonce");
+        if replayed {
             return AuthDecision::Reject(RejectReason::Replay);
         }
-        // Past the replay check the nonce is burned — a replayed copy
-        // of this very request (accepted or not) is rejected.
-        state.remember_nonce(nonce);
-        if response.len() != state.expected.len() {
+        let shape_ok = response.len() == state.expected.len();
+        mark("shape");
+        if !shape_ok {
             return AuthDecision::Reject(RejectReason::BadRequest);
         }
         let fail = |state: &mut DeviceState, reason| {
@@ -354,10 +479,13 @@ impl PufService {
             }
         }
         let coverage = f64::from(compared) / state.expected.len().max(1) as f64;
+        mark("coverage");
         if coverage < config.min_coverage_fraction {
             return fail(state, RejectReason::LowCoverage);
         }
-        if f64::from(flips) > config.max_flip_fraction * f64::from(compared) {
+        let too_many_flips = f64::from(flips) > config.max_flip_fraction * f64::from(compared);
+        mark("flips");
+        if too_many_flips {
             return fail(state, RejectReason::TooManyFlips);
         }
         // Accepted. Clean reads heal both streaks; erasure-carrying
@@ -383,6 +511,7 @@ impl PufService {
             fx.reproduce(&filled, state.key_code.helper())
                 .map_err(|e| format!("key reconstruction: {e}"))
         });
+        mark("verdict");
         AuthDecision::Accept {
             compared,
             flips,

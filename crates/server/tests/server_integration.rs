@@ -18,11 +18,13 @@ use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
 use ropuf_core::robust::{respond_robust_bound, FaultPlan};
 use ropuf_num::bits::BitVec;
 use ropuf_server::{
-    run_drill, serve, Client, DrillSpec, FsyncPolicy, PufService, RejectReason, Reply, Request,
-    ServerHandle, ServiceConfig, Store, WireBits,
+    run_drill, serve, serve_with_admin, AccessLog, Client, DrillSpec, FsyncPolicy, OpsConfig,
+    PufService, RejectReason, Reply, Request, ServerHandle, ServiceConfig, ServiceOptions, Store,
+    WireBits,
 };
 use ropuf_silicon::board::BoardId;
 use ropuf_silicon::{Environment, SiliconSim};
+use ropuf_telemetry::ManualClock;
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("ropuf-server-it-{tag}-{}", std::process::id()));
@@ -78,6 +80,299 @@ fn shutdown_severs_idle_keepalive_connections() {
     // Give the workers a moment to pick both connections up.
     std::thread::sleep(std::time::Duration::from_millis(50));
     server.shutdown(); // must return, not hang
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Blocking HTTP/1.1 GET against the admin listener; returns the full
+/// raw response (status line + headers + body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = TcpStream::connect(addr).expect("admin connects");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: admin\r\n\r\n").expect("request writes");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("response reads");
+    response
+}
+
+fn spawn_admin_server(tag: &str) -> (ServerHandle, Arc<PufService>, PathBuf) {
+    let dir = temp_dir(tag);
+    let store = Store::open(&dir, 4, FsyncPolicy::Batched).expect("store opens");
+    // ManualClock pins every request into window period 0, so the
+    // scraped figures are a pure function of the request stream.
+    let options = ServiceOptions {
+        ops: OpsConfig {
+            clock: Arc::new(ManualClock::at(0)),
+            ..OpsConfig::default()
+        },
+        ..ServiceOptions::default()
+    };
+    let service = Arc::new(PufService::with_options(store, options));
+    let handle = serve_with_admin(
+        Arc::clone(&service),
+        "127.0.0.1:0".parse().expect("loopback"),
+        2,
+        Some("127.0.0.1:0".parse().expect("loopback")),
+    )
+    .expect("server binds");
+    (handle, service, dir)
+}
+
+/// A fresh enrolled device: (enrollment bytes, key-code bytes,
+/// expected response bits).
+fn enrolled_device(seed: u64) -> (Vec<u8>, Vec<u8>, BitVec) {
+    let sim = SiliconSim::default_spartan();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let board = sim.grow_board_with_id(&mut rng, BoardId(seed as u32), 80, 12);
+    let started = Device::start(
+        &board,
+        sim.technology(),
+        Environment::nominal(),
+        ConfigurableRoPuf::tiled_interleaved(board.len(), 4),
+        EnrollOptions::default(),
+    );
+    let (device, code) = started
+        .generate_key(seed, 3, &FaultPlan::scaled(0.0))
+        .expect("clean-silicon enrollment succeeds");
+    let expected = device.enrollment().expected_bits();
+    (
+        enrollment_to_bytes(device.enrollment()),
+        code.to_bytes(),
+        expected,
+    )
+}
+
+#[test]
+fn admin_endpoints_expose_windowed_metrics_health_and_slo() {
+    let (server, _service, dir) = spawn_admin_server("admin-scrape");
+    let admin = server.admin_addr().expect("admin listener bound");
+    let (enrollment, key_code, expected) = enrolled_device(0xAD317);
+
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let reply = client
+        .call(&Request::Enroll {
+            device_id: 7,
+            enrollment,
+            key_code,
+        })
+        .expect("enroll round trip");
+    assert!(matches!(reply, Reply::Enrolled { .. }), "{reply:?}");
+    let honest: Vec<Option<bool>> = (0..expected.len())
+        .map(|i| Some(expected.get(i).expect("in range")))
+        .collect();
+    for nonce in 1..=4u64 {
+        let reply = client
+            .call(&Request::Auth {
+                device_id: 7,
+                nonce,
+                response: WireBits::new(honest.clone()),
+            })
+            .expect("auth round trip");
+        assert!(matches!(reply, Reply::AuthOk { .. }), "{reply:?}");
+    }
+
+    let metrics = http_get(admin, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+    assert!(
+        metrics.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("ropuf_serve_window_requests 5"),
+        "windowed family with deterministic count expected: {metrics}"
+    );
+    assert!(
+        metrics.contains("ropuf_serve_window_accepts 4"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("ropuf_slo_availability_burn_rate 0.0\n"),
+        "clean traffic burns no budget: {metrics}"
+    );
+    assert!(
+        metrics.contains("ropuf_serve_window_auth_micros_count 4"),
+        "{metrics}"
+    );
+
+    let healthz = http_get(admin, "/healthz");
+    assert!(healthz.starts_with("HTTP/1.1 200 OK\r\n"), "{healthz}");
+    assert!(
+        healthz.contains("Content-Type: application/json"),
+        "{healthz}"
+    );
+    assert!(healthz.contains("\"version\": 1"), "{healthz}");
+    assert!(
+        healthz.contains("\"name\": \"slo_availability_burn_rate\""),
+        "merged report must carry the SLO gauges: {healthz}"
+    );
+    assert!(
+        healthz.contains("\"name\": \"serve_auth_accept_rate\""),
+        "merged report must carry the service gauges: {healthz}"
+    );
+
+    let slo = http_get(admin, "/slo");
+    assert!(slo.contains("\"version\": 1"), "{slo}");
+    assert!(slo.contains("\"good\": 4"), "{slo}");
+    assert!(slo.contains("\"burn_rate\": 0.0"), "{slo}");
+    assert!(slo.contains("\"overall\": \"ok\""), "{slo}");
+
+    let missing = http_get(admin, "/nope");
+    assert!(
+        missing.starts_with("HTTP/1.1 404 Not Found\r\n"),
+        "{missing}"
+    );
+
+    // Non-GET methods are refused, not misrouted.
+    {
+        use std::io::{Read, Write};
+        let mut stream = TcpStream::connect(admin).expect("admin connects");
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: admin\r\n\r\n").expect("writes");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("reads");
+        assert!(
+            response.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"),
+            "{response}"
+        );
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn slo_flips_unhealthy_under_quality_reject_storm() {
+    let (server, _service, dir) = spawn_admin_server("admin-slo-flip");
+    let admin = server.admin_addr().expect("admin listener bound");
+    let (enrollment, key_code, expected) = enrolled_device(0x510F);
+
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let reply = client
+        .call(&Request::Enroll {
+            device_id: 9,
+            enrollment,
+            key_code,
+        })
+        .expect("enroll round trip");
+    assert!(matches!(reply, Reply::Enrolled { .. }), "{reply:?}");
+
+    // Every response bit inverted: flip fraction 1.0, a TooManyFlips
+    // quality reject on each op until the lockout gate latches — all
+    // of which burn error budget.
+    let inverted: Vec<Option<bool>> = (0..expected.len())
+        .map(|i| Some(!expected.get(i).expect("in range")))
+        .collect();
+    for nonce in 1..=8u64 {
+        let reply = client
+            .call(&Request::Auth {
+                device_id: 9,
+                nonce,
+                response: WireBits::new(inverted.clone()),
+            })
+            .expect("auth round trip");
+        assert!(
+            matches!(
+                reply,
+                Reply::Reject {
+                    reason: RejectReason::TooManyFlips | RejectReason::LockedOut
+                }
+            ),
+            "{reply:?}"
+        );
+    }
+
+    let slo = http_get(admin, "/slo");
+    assert!(slo.contains("\"good\": 0"), "{slo}");
+    assert!(slo.contains("\"bad\": 8"), "{slo}");
+    assert!(
+        slo.contains("\"overall\": \"critical\""),
+        "an all-reject storm must blow the availability budget: {slo}"
+    );
+
+    let metrics = http_get(admin, "/metrics");
+    assert!(
+        metrics.contains("ropuf_serve_window_quality_rejects 8"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("ropuf_health_status{gauge=\"slo_availability_burn_rate\"} 2"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn drill_transcript_is_byte_identical_with_admin_plane_enabled() {
+    let spec = DrillSpec {
+        seed: 0xFACADE,
+        devices: 5,
+        ops_per_device: 8,
+        ..DrillSpec::default()
+    };
+
+    let (plain_server, plain_dir) = spawn_server("admin-det-plain", 2);
+    let plain = run_drill(plain_server.addr(), &spec).expect("plain drill completes");
+    plain_server.shutdown();
+    std::fs::remove_dir_all(&plain_dir).expect("cleanup");
+
+    let dir = temp_dir("admin-det-wired");
+    let store = Store::open(&dir, 4, FsyncPolicy::Batched).expect("store opens");
+    let log_path = dir.join("access.jsonl");
+    let options = ServiceOptions {
+        ops: OpsConfig {
+            clock: Arc::new(ManualClock::at(0)),
+            ..OpsConfig::default()
+        },
+        access_log: Some(AccessLog::create(&log_path, 3).expect("log creates")),
+        ..ServiceOptions::default()
+    };
+    let service = Arc::new(PufService::with_options(store, options));
+    let server = serve_with_admin(
+        Arc::clone(&service),
+        "127.0.0.1:0".parse().expect("loopback"),
+        2,
+        Some("127.0.0.1:0".parse().expect("loopback")),
+    )
+    .expect("server binds");
+    let admin = server.admin_addr().expect("admin listener bound");
+    let wired = run_drill(server.addr(), &spec).expect("wired drill completes");
+
+    assert_eq!(
+        plain.transcript, wired.transcript,
+        "the ops plane must be pure observation"
+    );
+
+    // Scraping mid-flight state right after the drill: the windowed
+    // request count equals the drill's wire ops because ManualClock
+    // pins everything into one live bucket.
+    let metrics = http_get(admin, "/metrics");
+    let total = plain.devices + plain.ops;
+    assert!(
+        metrics.contains(&format!("ropuf_serve_window_requests {total}")),
+        "expected {total} windowed requests (enrolls + scripted ops): {metrics}"
+    );
+
+    if let Some(log) = service.access_log() {
+        log.flush();
+    }
+    let logged = std::fs::read_to_string(&log_path).expect("access log written");
+    let lines: Vec<&str> = logged.lines().collect();
+    assert!(!lines.is_empty(), "sampled log must carry records");
+    assert!(
+        lines.len() < total as usize,
+        "sample=3 must thin the stream: {} of {total}",
+        lines.len()
+    );
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"conn\": ") && line.contains("\"verdict\": "),
+            "malformed access record: {line}"
+        );
+    }
+
+    server.shutdown();
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 

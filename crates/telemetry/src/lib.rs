@@ -47,10 +47,14 @@
 pub mod health;
 pub mod metrics;
 pub mod sink;
+pub mod slo;
+pub mod window;
 
 pub use health::{HealthBoard, HealthReport, Status};
 pub use metrics::Snapshot;
 pub use sink::{JsonLinesSink, MemorySink, PrometheusSink, Sink, SummarySink};
+pub use slo::{SloConfig, SloEngine};
+pub use window::{Clock, ManualClock, WallClock, WindowSpec, WindowedCounter, WindowedHistogram};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};

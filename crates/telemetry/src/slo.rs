@@ -1,0 +1,405 @@
+//! Service-level objectives over rolling windows: availability and
+//! p99-latency targets expressed as error-budget burn rates, classified
+//! through the same latching [`HealthBoard`] machinery as every other
+//! gauge in the workspace.
+//!
+//! # Model
+//!
+//! An availability objective of, say, 99% grants an *error budget*: 1%
+//! of requests over the window may fail before the objective is
+//! violated. The **burn rate** is how fast that budget is being spent —
+//! `bad_fraction / (1 − target)` — so `1.0` means "failing at exactly
+//! the budgeted rate", `10.0` means "spending the whole window's budget
+//! in a tenth of the window". Burn rate is the standard alerting
+//! currency (Google SRE workbook, ch. 5) because one number works for
+//! any target: alert thresholds don't change when the objective does.
+//!
+//! The latency objective is the simpler ratio `p99 / objective`: above
+//! `1.0` the tail is slower than promised.
+//!
+//! Both gauges ride [`Thresholds`] with hysteresis, so a service
+//! hovering at the alarm edge latches instead of flapping. What counts
+//! as a "bad" request is the caller's policy — the serve path, for
+//! example, counts quality failures (erasure-driven rejects,
+//! quarantines) but not correct denials such as replay rejections.
+
+use std::sync::{Arc, Mutex};
+
+use crate::health::{
+    json_f64, Direction, GaugeSpec, HealthBoard, HealthReport, Thresholds, HEALTH_REPORT_VERSION,
+};
+use crate::metrics::HistogramSnapshot;
+use crate::window::{Clock, WindowSpec, WindowedCounter, WindowedHistogram};
+
+/// Gauge name for the availability error-budget burn rate.
+pub const AVAILABILITY_BURN_GAUGE: &str = "slo_availability_burn_rate";
+/// Gauge name for the p99 latency / objective ratio.
+pub const P99_RATIO_GAUGE: &str = "slo_p99_latency_ratio";
+
+/// Objectives and the window they are evaluated over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// Fraction of requests that must succeed (e.g. `0.99`). Must be
+    /// in `[0, 1)` — a target of exactly 1 leaves no budget to burn.
+    pub availability_target: f64,
+    /// The p99 latency objective, microseconds. Must be positive.
+    pub p99_objective_us: f64,
+    /// Rolling window both objectives are evaluated over.
+    pub window: WindowSpec,
+}
+
+impl Default for SloConfig {
+    /// 99% availability and a 1 ms p99 over a five-minute window —
+    /// generous for a loopback bench, tight enough to catch a serve
+    /// path drowning in erasure-driven rejects.
+    fn default() -> Self {
+        Self {
+            availability_target: 0.99,
+            p99_objective_us: 1_000.0,
+            window: WindowSpec::FIVE_MINUTES,
+        }
+    }
+}
+
+/// The gauge catalogue the engine classifies through its board.
+///
+/// Burn-rate limits follow the usual multi-window alerting shape in
+/// spirit: warn when the budget is being spent at its sustainable rate
+/// (`1.0`), go critical at `10×` (the budget would be gone in a tenth
+/// of the window). The latency ratio warns at the objective and goes
+/// critical at twice it.
+pub fn slo_gauges() -> Vec<GaugeSpec> {
+    vec![
+        GaugeSpec {
+            name: AVAILABILITY_BURN_GAUGE,
+            help: "error-budget burn rate of the availability objective (1 = at budget)",
+            direction: Direction::HighIsBad,
+            level: Thresholds {
+                warn: 1.0,
+                critical: 10.0,
+                hysteresis: 0.1,
+            },
+            drift: None,
+        },
+        GaugeSpec {
+            name: P99_RATIO_GAUGE,
+            help: "windowed p99 latency as a fraction of its objective (1 = at objective)",
+            direction: Direction::HighIsBad,
+            level: Thresholds {
+                warn: 1.0,
+                critical: 2.0,
+                hysteresis: 0.05,
+            },
+            drift: None,
+        },
+    ]
+}
+
+/// One evaluation of both objectives: the raw window figures plus the
+/// classified report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSnapshot {
+    /// Successful requests in the window.
+    pub good: u64,
+    /// Budget-burning requests in the window.
+    pub bad: u64,
+    /// Fraction of window requests that were bad (`0` with no traffic).
+    pub bad_fraction: f64,
+    /// `bad_fraction / (1 − availability_target)`.
+    pub burn_rate: f64,
+    /// Windowed p99 latency, microseconds (`None` with no traffic).
+    pub p99_us: Option<u64>,
+    /// `p99 / objective` (`0` with no traffic).
+    pub p99_ratio: f64,
+    /// The classified gauge readings for this evaluation.
+    pub report: HealthReport,
+}
+
+/// Windowed outcome/latency accounting plus a health board that
+/// classifies the two objectives. Recording is lock-free (windowed
+/// atomics); only evaluation takes the board lock.
+pub struct SloEngine {
+    config: SloConfig,
+    good: WindowedCounter,
+    bad: WindowedCounter,
+    latency: WindowedHistogram,
+    board: Mutex<HealthBoard>,
+}
+
+impl SloEngine {
+    /// An engine evaluating `config` against time from `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the availability target is outside `[0, 1)`, the
+    /// latency objective is not positive, or the window is degenerate.
+    pub fn new(clock: Arc<dyn Clock>, config: SloConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.availability_target),
+            "availability target {} outside [0, 1)",
+            config.availability_target
+        );
+        assert!(
+            config.p99_objective_us > 0.0,
+            "p99 objective must be positive"
+        );
+        Self {
+            config,
+            good: WindowedCounter::new(Arc::clone(&clock), config.window),
+            bad: WindowedCounter::new(Arc::clone(&clock), config.window),
+            latency: WindowedHistogram::new(clock, config.window),
+            board: Mutex::new(HealthBoard::new(slo_gauges())),
+        }
+    }
+
+    /// The objectives being evaluated.
+    pub fn config(&self) -> &SloConfig {
+        &self.config
+    }
+
+    /// Counts one request outcome against the availability budget.
+    pub fn record_outcome(&self, good: bool) {
+        if good {
+            self.good.add(1);
+        } else {
+            self.bad.add(1);
+        }
+    }
+
+    /// Records one request latency, microseconds.
+    pub fn record_latency_us(&self, us: u64) {
+        self.latency.record(us);
+    }
+
+    /// Merged windowed latency histogram under `name` (for exposition
+    /// next to the SLO gauges).
+    pub fn latency_snapshot(&self, name: &str) -> HistogramSnapshot {
+        self.latency.snapshot(name)
+    }
+
+    /// Evaluates both objectives now: computes the window figures,
+    /// feeds them through the board (advancing hysteresis memory), and
+    /// returns the figures plus the classified report.
+    pub fn evaluate(&self) -> SloSnapshot {
+        let good = self.good.sum();
+        let bad = self.bad.sum();
+        let total = good + bad;
+        let bad_fraction = if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        };
+        let budget = 1.0 - self.config.availability_target;
+        let burn_rate = bad_fraction / budget;
+        let p99_us = self.latency.snapshot("slo.latency").quantile(0.99);
+        let p99_ratio = match p99_us {
+            None => 0.0,
+            Some(p) => p as f64 / self.config.p99_objective_us,
+        };
+        let mut board = self.board.lock().unwrap_or_else(|e| e.into_inner());
+        board.observe(AVAILABILITY_BURN_GAUGE, burn_rate);
+        board.observe(P99_RATIO_GAUGE, p99_ratio);
+        SloSnapshot {
+            good,
+            bad,
+            bad_fraction,
+            burn_rate,
+            p99_us,
+            p99_ratio,
+            report: board.report(),
+        }
+    }
+
+    /// Serializes one evaluation as a versioned JSON document (the
+    /// `/slo` admin endpoint body).
+    pub fn to_json(&self) -> String {
+        let s = self.evaluate();
+        let status_of = |gauge: &str| {
+            s.report
+                .gauges
+                .iter()
+                .find(|g| g.name == gauge)
+                .map(|g| g.status.as_str())
+                .unwrap_or("ok")
+        };
+        let p99 = match s.p99_us {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\n",
+                "  \"version\": {version},\n",
+                "  \"overall\": \"{overall}\",\n",
+                "  \"window_us\": {window_us},\n",
+                "  \"availability\": {{\"target\": {target}, \"good\": {good}, ",
+                "\"bad\": {bad}, \"bad_fraction\": {bad_fraction}, ",
+                "\"burn_rate\": {burn}, \"status\": \"{astatus}\"}},\n",
+                "  \"p99_latency\": {{\"objective_us\": {objective}, \"p99_us\": {p99}, ",
+                "\"ratio\": {ratio}, \"status\": \"{lstatus}\"}}\n",
+                "}}\n",
+            ),
+            version = HEALTH_REPORT_VERSION,
+            overall = s.report.overall,
+            window_us = self.config.window.window_us(),
+            target = json_f64(self.config.availability_target),
+            good = s.good,
+            bad = s.bad,
+            bad_fraction = json_f64(s.bad_fraction),
+            burn = json_f64(s.burn_rate),
+            astatus = status_of(AVAILABILITY_BURN_GAUGE),
+            objective = json_f64(self.config.p99_objective_us),
+            p99 = p99,
+            ratio = json_f64(s.p99_ratio),
+            lstatus = status_of(P99_RATIO_GAUGE),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::{extract_number, Status};
+    use crate::window::ManualClock;
+
+    fn engine(clock: Arc<ManualClock>) -> SloEngine {
+        SloEngine::new(
+            clock,
+            SloConfig {
+                availability_target: 0.99,
+                p99_objective_us: 1_000.0,
+                window: WindowSpec {
+                    buckets: 4,
+                    bucket_width_us: 1_000_000,
+                },
+            },
+        )
+    }
+
+    #[test]
+    fn idle_engine_is_healthy() {
+        let e = engine(Arc::new(ManualClock::at(0)));
+        let s = e.evaluate();
+        assert_eq!((s.good, s.bad), (0, 0));
+        assert_eq!(s.burn_rate, 0.0);
+        assert_eq!(s.p99_us, None);
+        assert_eq!(s.p99_ratio, 0.0);
+        assert_eq!(s.report.overall, Status::Ok);
+    }
+
+    #[test]
+    fn burn_rate_is_bad_fraction_over_budget() {
+        let e = engine(Arc::new(ManualClock::at(0)));
+        for _ in 0..98 {
+            e.record_outcome(true);
+        }
+        e.record_outcome(false);
+        e.record_outcome(false);
+        let s = e.evaluate();
+        // 2% bad against a 1% budget: burning at 2×.
+        assert!((s.bad_fraction - 0.02).abs() < 1e-12);
+        assert!((s.burn_rate - 2.0).abs() < 1e-9);
+        assert_eq!(s.report.overall, Status::Warn);
+    }
+
+    #[test]
+    fn heavy_failure_goes_critical_and_recovers_after_the_window() {
+        let clock = Arc::new(ManualClock::at(0));
+        let e = engine(Arc::clone(&clock));
+        for _ in 0..80 {
+            e.record_outcome(true);
+        }
+        for _ in 0..20 {
+            e.record_outcome(false);
+        }
+        let s = e.evaluate();
+        assert!((s.burn_rate - 20.0).abs() < 1e-6, "burn {}", s.burn_rate);
+        assert_eq!(s.report.overall, Status::Critical);
+        // The incident ages out of the window: clean slate, no latch
+        // (a zero value clears every hysteresis band).
+        clock.advance(10_000_000);
+        let s = e.evaluate();
+        assert_eq!((s.good, s.bad), (0, 0));
+        assert_eq!(s.report.overall, Status::Ok);
+    }
+
+    #[test]
+    fn p99_ratio_alarms_on_slow_tails() {
+        let e = engine(Arc::new(ManualClock::at(0)));
+        for _ in 0..100 {
+            e.record_latency_us(100);
+        }
+        assert_eq!(e.evaluate().report.overall, Status::Ok);
+        // Push the p99 past twice the objective. Quantiles report
+        // bucket edges capped at the max, so use one huge outlier pool.
+        for _ in 0..10 {
+            e.record_latency_us(5_000);
+        }
+        let s = e.evaluate();
+        assert_eq!(s.p99_us, Some(5_000));
+        assert!((s.p99_ratio - 5.0).abs() < 1e-9);
+        assert_eq!(s.report.overall, Status::Critical);
+    }
+
+    #[test]
+    fn replayed_outcomes_and_latency_are_windowed_independently() {
+        let clock = Arc::new(ManualClock::at(0));
+        let e = engine(Arc::clone(&clock));
+        e.record_outcome(false);
+        clock.advance(2_000_000);
+        e.record_latency_us(7);
+        let s = e.evaluate();
+        assert_eq!(s.bad, 1, "outcome still in window");
+        assert_eq!(s.p99_us, Some(7));
+        clock.advance(2_000_000);
+        let s = e.evaluate();
+        assert_eq!(s.bad, 0, "outcome expired");
+        assert_eq!(s.p99_us, Some(7), "latency bucket still live");
+    }
+
+    #[test]
+    fn json_document_is_versioned_and_numeric() {
+        let e = engine(Arc::new(ManualClock::at(0)));
+        for _ in 0..5 {
+            e.record_outcome(true);
+        }
+        for _ in 0..5 {
+            e.record_outcome(false);
+        }
+        e.record_latency_us(250);
+        let json = e.to_json();
+        assert_eq!(extract_number(&json, "version"), Some(1.0));
+        assert_eq!(extract_number(&json, "good"), Some(5.0));
+        assert_eq!(extract_number(&json, "bad"), Some(5.0));
+        let burn = extract_number(&json, "burn_rate").expect("burn_rate present");
+        assert!((burn - 50.0).abs() < 1e-6, "burn {burn}");
+        assert_eq!(extract_number(&json, "p99_us"), Some(250.0));
+        assert!(json.contains("\"overall\": \"critical\""));
+        assert!(json.contains("\"status\": \"critical\""));
+    }
+
+    #[test]
+    fn idle_json_reports_null_p99() {
+        let json = engine(Arc::new(ManualClock::at(0))).to_json();
+        assert!(json.contains("\"p99_us\": null"));
+        assert!(json.contains("\"overall\": \"ok\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn perfect_availability_target_is_rejected() {
+        let _ = SloEngine::new(
+            Arc::new(ManualClock::at(0)),
+            SloConfig {
+                availability_target: 1.0,
+                ..SloConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn gauge_catalogue_matches_the_engine() {
+        let names: Vec<_> = slo_gauges().iter().map(|g| g.name).collect();
+        assert_eq!(names, vec![AVAILABILITY_BURN_GAUGE, P99_RATIO_GAUGE]);
+    }
+}

@@ -44,7 +44,9 @@ use ropuf::dataset::vt::{VtConfig, VtDataset};
 use ropuf::dataset::ParseCsvError;
 use ropuf::nist::suite::{run_suite, SuiteConfig};
 use ropuf::num::bits::{BitVec, ParseBitsError};
-use ropuf::server::{DrillSpec, FsyncPolicy, PufService, ServiceConfig, Store};
+use ropuf::server::{
+    AccessLog, DrillSpec, FsyncPolicy, OpsConfig, PufService, ServiceConfig, ServiceOptions, Store,
+};
 use ropuf::silicon::aging::AgingModel;
 use ropuf::silicon::{DelayProbe, Environment, SiliconSim};
 use ropuf::telemetry;
@@ -244,6 +246,8 @@ fn usage(problem: &str) -> ExitCode {
                              [--devices N=16] [--ops N=10] [--seed N=3361] [--units N=80]\n\
                              [--cols N=12] [--votes N=1] [--repetition N=3]\n\
                              [--threads N=auto] [--faults SCALE=0] [--health true]\n\
+                             [--admin HOST:PORT] [--access-log FILE] [--sample N=1]\n\
+                             [--linger true] (keep serving after a drill)\n\
          every command also accepts --trace-out FILE|summary (or set\n\
          ROPUF_TRACE) to write structured telemetry; see docs/OBSERVABILITY.md"
     );
@@ -761,6 +765,42 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
     }
     let drill = get(opts, "drill", false)?;
     let health = get(opts, "health", false)?;
+    let linger = get(opts, "linger", false)?;
+    if linger && !drill {
+        return Err(CliError::Usage(
+            "--linger only applies to --drill true (a plain serve already runs forever)"
+                .to_string(),
+        ));
+    }
+    let admin: Option<std::net::SocketAddr> = match opts.get("admin") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| CliError::Usage(format!("--admin value {raw:?} is malformed")))?,
+        ),
+    };
+    let sample = get(opts, "sample", 1u64)?;
+    if sample == 0 {
+        return Err(CliError::Usage(
+            "--sample must be at least 1 (1 logs every request)".to_string(),
+        ));
+    }
+    if opts.contains_key("sample") && !opts.contains_key("access-log") {
+        return Err(CliError::Usage(
+            "--sample requires --access-log FILE".to_string(),
+        ));
+    }
+    let access_log = match opts.get("access-log") {
+        None => None,
+        Some(path) => Some(
+            AccessLog::create(std::path::Path::new(path), sample).map_err(|source| {
+                CliError::Io {
+                    path: path.clone(),
+                    source,
+                }
+            })?,
+        ),
+    };
     let fsync = match opts.get("fsync").map(String::as_str) {
         None | Some("every") => FsyncPolicy::EveryRecord,
         Some("batched") => FsyncPolicy::Batched,
@@ -802,15 +842,32 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
 
     let open_span = telemetry::span("cli.serve.open");
     let store = Store::open(std::path::Path::new(store_dir), shards, fsync)?;
-    let service = std::sync::Arc::new(PufService::new(store, ServiceConfig::default()));
+    // Drills get a frozen manual clock so even the windowed ops-plane
+    // figures are a pure function of the request stream; a real server
+    // windows over wall time.
+    let ops = if drill {
+        OpsConfig {
+            clock: std::sync::Arc::new(telemetry::ManualClock::at(0)),
+            ..OpsConfig::default()
+        }
+    } else {
+        OpsConfig::default()
+    };
+    let service = std::sync::Arc::new(PufService::with_options(
+        store,
+        ServiceOptions {
+            config: ServiceConfig::default(),
+            ops,
+            access_log,
+        },
+    ));
     drop(open_span);
     let server =
-        ropuf::server::serve(std::sync::Arc::clone(&service), addr, workers).map_err(|source| {
-            CliError::Io {
+        ropuf::server::serve_with_admin(std::sync::Arc::clone(&service), addr, workers, admin)
+            .map_err(|source| CliError::Io {
                 path: addr_raw.clone(),
                 source,
-            }
-        })?;
+            })?;
     eprintln!(
         "serving on {} ({} workers, {} shards, fsync {})",
         server.addr(),
@@ -822,6 +879,9 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
             "batched"
         },
     );
+    if let Some(admin_addr) = server.admin_addr() {
+        eprintln!("admin on http://{admin_addr} (/metrics, /healthz, /slo)");
+    }
 
     if drill {
         let drill_span = telemetry::span("cli.serve.drill");
@@ -842,6 +902,18 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
             eprint!("{}", service.health_report().render());
         }
         service.store().sync_all()?;
+        if let Some(log) = service.access_log() {
+            log.flush();
+        }
+        if linger {
+            // Keep serving (admin plane included) after the drill so a
+            // harness can scrape `/metrics` and `/slo` against the
+            // drill's windowed state; kill the process to exit.
+            eprintln!("drill complete; lingering (kill to exit)");
+            loop {
+                std::thread::park();
+            }
+        }
         server.shutdown();
         return Ok(());
     }

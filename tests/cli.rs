@@ -629,6 +629,31 @@ fn serve_flag_parse_failures_are_typed_nonzero_exits() {
             &["serve", "--store", store, "--devices", "many"],
             "--devices",
         ),
+        (
+            &["serve", "--store", store, "--admin", "not-an-addr"],
+            "--admin",
+        ),
+        (&["serve", "--store", store, "--sample", "0"], "--sample"),
+        (
+            &["serve", "--store", store, "--sample", "every-other"],
+            "--sample",
+        ),
+        // --sample without --access-log is a contradiction, not a no-op.
+        (&["serve", "--store", store, "--sample", "2"], "--sample"),
+        // --access-log pointing into a missing directory is a typed
+        // I/O error, not a panic.
+        (
+            &[
+                "serve",
+                "--store",
+                store,
+                "--access-log",
+                "/nonexistent-ropuf-dir/access.jsonl",
+            ],
+            "/nonexistent-ropuf-dir/access.jsonl",
+        ),
+        // --linger only makes sense for a drill.
+        (&["serve", "--store", store, "--linger", "true"], "--linger"),
     ];
     for (args, flag) in cases {
         let out = ropuf(args);
@@ -715,6 +740,82 @@ fn serve_drill_stdout_is_deterministic_across_runs_and_workers() {
     for d in [&a_dir, &b_dir, &c_dir] {
         std::fs::remove_dir_all(d).ok();
     }
+}
+
+#[test]
+fn serve_drill_stdout_is_identical_with_admin_plane_enabled() {
+    // The ops plane (admin listener, access log, windowed metrics)
+    // must be pure observation: enabling all of it cannot perturb a
+    // single transcript byte.
+    let plain_dir = tmp("serve-admin-det-a");
+    let wired_dir = tmp("serve-admin-det-b");
+    for d in [&plain_dir, &wired_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+    let log = tmp("serve-admin-det.jsonl");
+    std::fs::remove_file(&log).ok();
+    let base = |store: &str| {
+        vec![
+            "serve".to_string(),
+            "--store".to_string(),
+            store.to_string(),
+            "--fsync".to_string(),
+            "batched".to_string(),
+            "--drill".to_string(),
+            "true".to_string(),
+            "--devices".to_string(),
+            "4".to_string(),
+            "--ops".to_string(),
+            "7".to_string(),
+            "--seed".to_string(),
+            "99".to_string(),
+        ]
+    };
+    let plain = base(plain_dir.to_str().unwrap());
+    let mut wired = base(wired_dir.to_str().unwrap());
+    wired.extend(
+        [
+            "--admin",
+            "127.0.0.1:0",
+            "--access-log",
+            log.to_str().unwrap(),
+            "--sample",
+            "2",
+        ]
+        .map(String::from),
+    );
+    let run = |args: &[String]| {
+        let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        let out = ropuf(&refs);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+    let a = run(&plain);
+    let b = run(&wired);
+    assert_eq!(a.stdout, b.stdout, "admin plane perturbed the transcript");
+    assert!(
+        String::from_utf8_lossy(&b.stderr).contains("admin on http://"),
+        "admin bind line missing from stderr"
+    );
+    let logged = std::fs::read_to_string(&log).expect("access log written");
+    assert!(
+        logged.lines().count() > 0,
+        "sampled access log must carry records"
+    );
+    assert!(
+        logged
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')),
+        "access log must be JSONL: {logged}"
+    );
+    for d in [&plain_dir, &wired_dir] {
+        std::fs::remove_dir_all(d).ok();
+    }
+    std::fs::remove_file(&log).ok();
 }
 
 #[test]
