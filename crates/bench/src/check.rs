@@ -51,6 +51,14 @@ pub struct BenchRecord {
     /// speedup is relative to the sweep's own 1-thread pass. Empty for
     /// pre-curve records.
     pub speedup_curve: Vec<(u64, f64)>,
+    /// Worst-corner flip rate of the aged fleet under nominal-only
+    /// enrollment, when the record carries the corner-objective
+    /// comparison.
+    pub worst_corner_flip_rate_nominal: Option<f64>,
+    /// Worst-corner flip rate of the same aged fleet under the
+    /// multi-corner objective; the gate demands this sits strictly
+    /// below the nominal-only rate.
+    pub worst_corner_flip_rate_multi_corner: Option<f64>,
 }
 
 impl BenchRecord {
@@ -79,6 +87,11 @@ impl BenchRecord {
             threads: extract_number(text, "threads").map(|t| t as u64),
             cores: extract_number(text, "cores").map(|c| c as u64),
             speedup_curve: parse_speedup_curve(text),
+            worst_corner_flip_rate_nominal: extract_number(text, "worst_corner_flip_rate_nominal"),
+            worst_corner_flip_rate_multi_corner: extract_number(
+                text,
+                "worst_corner_flip_rate_multi_corner",
+            ),
         })
     }
 }
@@ -209,6 +222,15 @@ pub fn compare_with_notes(
         }
         (None, None) => {}
     }
+    // The corner-objective claim is within-record: the multi-corner
+    // arm's worst-corner flip rate must sit strictly below the
+    // nominal-only arm's on the same aged fleet. Assessment is
+    // noiseless and seed-determined, so there is no tolerance band —
+    // an inversion means the multi-corner objective stopped paying for
+    // its bit cost. Records predating the fields are grandfathered
+    // with a note.
+    check_corner_objective("baseline", baseline, &mut violations, &mut notes);
+    check_corner_objective("fresh", fresh, &mut violations, &mut notes);
     // Scaling is gated per record (against its own machine), not
     // cross-record: each record's 8-thread point must reach the
     // tolerance fraction of what its core count can deliver. This runs
@@ -254,6 +276,39 @@ pub fn compare_with_notes(
         ));
     }
     (violations, notes)
+}
+
+/// Applies the within-record corner-objective claim to one record: a
+/// multi-corner flip rate at or above the nominal-only rate is a
+/// violation, a record without the fields is grandfathered with a
+/// note, and a record carrying only one of the pair is malformed.
+fn check_corner_objective(
+    label: &str,
+    record: &BenchRecord,
+    violations: &mut Vec<String>,
+    notes: &mut Vec<String>,
+) {
+    match (
+        record.worst_corner_flip_rate_nominal,
+        record.worst_corner_flip_rate_multi_corner,
+    ) {
+        (Some(nominal), Some(multi)) => {
+            if multi >= nominal {
+                violations.push(format!(
+                    "{label} corner objective inverted: multi-corner worst-corner flip rate \
+                     {multi} must sit strictly below nominal-only {nominal}"
+                ));
+            }
+        }
+        (None, None) => notes.push(format!(
+            "corner-objective gate skipped: {label} record predates the \
+             worst_corner_flip_rate fields"
+        )),
+        _ => violations.push(format!(
+            "{label} record carries only one worst_corner_flip_rate field — \
+             the corner-objective claim needs both arms"
+        )),
+    }
 }
 
 /// The thread count whose curve point the scaling gate bands.
@@ -496,6 +551,8 @@ mod tests {
             threads: Some(1),
             cores: None,
             speedup_curve: Vec::new(),
+            worst_corner_flip_rate_nominal: Some(0.1),
+            worst_corner_flip_rate_multi_corner: Some(0.01),
         }
     }
 
@@ -732,6 +789,85 @@ mod tests {
                 .any(|n| n.contains("scaling gate skipped") && n.contains("no \"speedup_curve\"")),
             "{notes:?}"
         );
+    }
+
+    /// The must-fail proof for the corner-objective gate: a fabricated
+    /// record where multi-corner enrollment flips *more* than
+    /// nominal-only is exactly the regression the comparison exists to
+    /// catch, and equality fails too (the claim is strict).
+    #[test]
+    fn fabricated_corner_objective_inversion_fails() {
+        let baseline = record(1000.0);
+        let mut inverted = record(1000.0);
+        inverted.worst_corner_flip_rate_multi_corner = Some(0.2);
+        let (violations, _) = compare_with_notes(&baseline, &inverted, &Tolerance::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("fresh corner objective inverted"),
+            "{violations:?}"
+        );
+        inverted.worst_corner_flip_rate_multi_corner = inverted.worst_corner_flip_rate_nominal;
+        let (violations, _) = compare_with_notes(&baseline, &inverted, &Tolerance::default());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("corner objective inverted")),
+            "equality is not strictly below: {violations:?}"
+        );
+        // The same inversion in the committed baseline is flagged too.
+        let (violations, _) = compare_with_notes(&inverted, &baseline, &Tolerance::default());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("baseline corner objective inverted")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn corner_objective_fields_grandfather_and_reject_half_presence() {
+        let fresh = record(1000.0);
+        let mut old = record(1000.0);
+        old.worst_corner_flip_rate_nominal = None;
+        old.worst_corner_flip_rate_multi_corner = None;
+        let (violations, notes) = compare_with_notes(&old, &fresh, &Tolerance::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.contains("corner-objective gate skipped") && n.contains("baseline")),
+            "{notes:?}"
+        );
+        let mut half = record(1000.0);
+        half.worst_corner_flip_rate_multi_corner = None;
+        let (violations, _) = compare_with_notes(&old, &half, &Tolerance::default());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("only one worst_corner_flip_rate field")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn parse_reads_the_corner_objective_fields() {
+        let text = "{\"boards\": 1, \"bits_per_board\": 2, \"boards_per_sec\": 3, \
+             \"deterministic\": true, \
+             \"corner_objective\": {\"years\": 5, \"bits_nominal\": 34816, \
+             \"corner_flips_nominal\": 4100, \"worst_corner_flip_rate_nominal\": 0.1177, \
+             \"bits_multi_corner\": 30000, \"corner_flips_multi_corner\": 60, \
+             \"worst_corner_flip_rate_multi_corner\": 0.002}}";
+        let r = BenchRecord::parse(text).unwrap();
+        assert_eq!(r.worst_corner_flip_rate_nominal, Some(0.1177));
+        assert_eq!(r.worst_corner_flip_rate_multi_corner, Some(0.002));
+        // Pre-objective records parse to the grandfathered shape.
+        let old = BenchRecord::parse(
+            "{\"boards\": 1, \"bits_per_board\": 2, \"boards_per_sec\": 3, \
+             \"deterministic\": true}",
+        )
+        .unwrap();
+        assert_eq!(old.worst_corner_flip_rate_nominal, None);
+        assert_eq!(old.worst_corner_flip_rate_multi_corner, None);
     }
 
     #[test]

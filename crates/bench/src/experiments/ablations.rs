@@ -605,9 +605,8 @@ pub fn ecc(seed: u64) -> EccOutcome {
     let probe = DelayProbe::new(0.25, 1);
     let reads_per_corner = 8;
 
-    let corners: Vec<Environment> = Environment::voltage_sweep(25.0)
+    let corners: Vec<Environment> = Environment::corner_grid()
         .into_iter()
-        .chain(Environment::temperature_sweep(1.20))
         .filter(|e| *e != env0)
         .collect();
 
@@ -814,9 +813,8 @@ pub fn baselines(seed: u64) -> BaselinesOutcome {
     let board = sim.grow_board_with_id(&mut rng, BoardId(0), units, 40);
     let env0 = Environment::nominal();
     let probe = DelayProbe::new(0.25, 1);
-    let corners: Vec<Environment> = Environment::voltage_sweep(25.0)
+    let corners: Vec<Environment> = Environment::corner_grid()
         .into_iter()
-        .chain(Environment::temperature_sweep(1.20))
         .filter(|e| *e != env0)
         .collect();
 

@@ -11,10 +11,12 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use ropuf_core::calibrate::{calibrate, calibrate_per_config};
-use ropuf_core::fleet::{split_seed, FleetConfig, FleetEngine, FleetRun};
+use ropuf_core::fleet::{parallel_map_indexed, split_seed, FleetConfig, FleetEngine, FleetRun};
 use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+use ropuf_core::reenroll::{assess_drift, assessment_corners, ReenrollPolicy};
+use ropuf_silicon::aging::AgingModel;
 use ropuf_silicon::board::BoardId;
-use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+use ropuf_silicon::{CornerSet, DelayProbe, Environment, SiliconSim};
 use ropuf_telemetry::{self as telemetry, MemorySink};
 
 /// Experiment configuration.
@@ -146,6 +148,108 @@ fn compare_calibration_kernels(config: &Config) -> CalibrationComparison {
     }
 }
 
+/// Years of BTI drift the corner-objective comparison applies between
+/// enrollment and assessment.
+const OBJECTIVE_YEARS: f64 = 10.0;
+
+/// Aging-RNG stream of the corner-objective comparison, split off each
+/// board seed. Far from the streams `fleet.rs` draws from the same
+/// board seed (grow 0 / enroll 1 / corners 2.. and aging `u64::MAX` /
+/// faults `u64::MAX - 1`), so sharing the fleet's board derivation
+/// cannot correlate this drift with anything the engine measures.
+const STREAM_OBJECTIVE_AGING: u64 = u64::MAX - 8;
+
+/// One arm of the corner-objective comparison: the fleet enrolled
+/// under one selection objective, then assessed on aged silicon.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ObjectiveArm {
+    /// Total enrolled bits across the fleet.
+    pub bits: usize,
+    /// Enrolled pairs whose bit flips (or ties) at some assessment
+    /// corner on the aged silicon.
+    pub corner_flips: usize,
+}
+
+impl ObjectiveArm {
+    /// Fraction of enrolled bits that flip at their worst corner
+    /// (0 when the arm enrolled no bits).
+    pub fn flip_rate(&self) -> f64 {
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.corner_flips as f64 / self.bits as f64
+        }
+    }
+}
+
+/// Head-to-head reliability of the two selection objectives on the
+/// same fleet: every board is enrolled twice from the same seed — once
+/// with the default nominal-only objective, once under
+/// [`CornerSet::worst_case`] (min-margin-across-corners) — then aged
+/// [`OBJECTIVE_YEARS`] years, and each arm's enrolled bits are
+/// re-derived noiselessly at the worst-case corner set. The
+/// multi-corner arm pays bits for margin, and this comparison is the
+/// receipt: its worst-corner flip rate must sit strictly below the
+/// nominal-only arm's, which is the inequality `check-bench` gates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CornerObjective {
+    /// Years of drift applied before assessment.
+    pub years: f64,
+    /// The fleet enrolled with `EnrollOptions::default()`.
+    pub nominal: ObjectiveArm,
+    /// The fleet enrolled under `CornerSet::worst_case()`.
+    pub multi_corner: ObjectiveArm,
+}
+
+/// Measures [`CornerObjective`] on the benchmark fleet. Boards are
+/// derived exactly as the fleet engine derives them (same per-board
+/// seed, grow stream, and floorplan), so the comparison speaks about
+/// the same silicon the headline passes enrolled. Deterministic in
+/// `config.seed`: assessment is noiseless and the per-board sums are
+/// order-independent.
+fn compare_corner_objectives(config: &Config, threads: usize) -> CornerObjective {
+    let sim = SiliconSim::default_spartan();
+    let tech = *sim.technology();
+    let env = Environment::nominal();
+    let puf = ConfigurableRoPuf::tiled_interleaved(config.units, config.stages);
+    let corners = assessment_corners(env, &ReenrollPolicy::default());
+    let multi_opts = EnrollOptions {
+        corners: CornerSet::worst_case(),
+        ..EnrollOptions::default()
+    };
+    let per_board = parallel_map_indexed(config.boards, threads, |b| {
+        let board_seed = split_seed(config.seed, b as u64);
+        let mut grow_rng = StdRng::seed_from_u64(split_seed(board_seed, 0));
+        let board = sim.grow_board_with_id(&mut grow_rng, BoardId(b as u32), config.units, 16);
+        let mut age_rng = StdRng::seed_from_u64(split_seed(board_seed, STREAM_OBJECTIVE_AGING));
+        // A decade of the default BTI model: both objectives hold
+        // every corner noiselessly on fresh silicon, so the comparison
+        // needs enough drift for margins to start mattering — and not
+        // so much (the pessimistic test-corner model) that random
+        // drift swamps the margin difference between the arms.
+        let aged = AgingModel::default().age_board(&mut age_rng, &board, OBJECTIVE_YEARS);
+        [EnrollOptions::default(), multi_opts].map(|opts| {
+            let enrollment = puf.enroll_seeded(split_seed(board_seed, 1), &board, &tech, env, &opts);
+            let assessment = assess_drift(&enrollment, &aged, &tech, &corners);
+            ObjectiveArm {
+                bits: assessment.bits,
+                corner_flips: assessment.corner_flips,
+            }
+        })
+    });
+    let mut out = CornerObjective {
+        years: OBJECTIVE_YEARS,
+        ..CornerObjective::default()
+    };
+    for [nominal, multi] in per_board {
+        out.nominal.bits += nominal.bits;
+        out.nominal.corner_flips += nominal.corner_flips;
+        out.multi_corner.bits += multi.bits;
+        out.multi_corner.corner_flips += multi.corner_flips;
+    }
+    out
+}
+
 /// One point of the thread-scaling sweep: the fleet evaluated at an
 /// explicit worker count.
 #[derive(Debug, Clone, Copy)]
@@ -192,6 +296,9 @@ pub struct Outcome {
     pub uniqueness: Option<f64>,
     /// Response corners and the mean flip rate at each.
     pub corners: Vec<(Environment, f64)>,
+    /// Worst-corner flip rates of the aged fleet under nominal-only vs
+    /// multi-corner enrollment.
+    pub corner_objective: CornerObjective,
     /// Per-stage timing of the parallel pass (CPU-seconds summed
     /// across workers, so the stage totals can exceed wall-clock).
     pub stages: StageBreakdown,
@@ -235,6 +342,15 @@ impl Outcome {
         for (env, rate) in &self.corners {
             out.push_str(&format!("flip rate at {env}: {:.4}\n", rate));
         }
+        out.push_str(&format!(
+            "worst-corner flip rate after {:.0}y drift: nominal-only {:.4} \
+             ({} bits), multi-corner {:.4} ({} bits)\n",
+            self.corner_objective.years,
+            self.corner_objective.nominal.flip_rate(),
+            self.corner_objective.nominal.bits,
+            self.corner_objective.multi_corner.flip_rate(),
+            self.corner_objective.multi_corner.bits,
+        ));
         out.push_str(&format!(
             "stages (cpu-time across {} boards): grow {:.3}s, enroll {:.3}s, \
              respond {:.3}s; {} work-steals\n",
@@ -292,6 +408,10 @@ impl Outcome {
              \"speedup\": {},\n  \"speedup_curve\": [{}],\n  \
              \"deterministic\": {},\n  \"uniqueness\": {},\n  \
              \"corners\": [{}],\n  \
+             \"corner_objective\": {{\"years\": {}, \"bits_nominal\": {}, \
+             \"corner_flips_nominal\": {}, \"worst_corner_flip_rate_nominal\": {}, \
+             \"bits_multi_corner\": {}, \"corner_flips_multi_corner\": {}, \
+             \"worst_corner_flip_rate_multi_corner\": {}}},\n  \
              \"stages\": {{\"grow_us\": {}, \"enroll_us\": {}, \"respond_us\": {}, \
              \"boards\": {}, \"steals\": {}, \"batched_measurements\": {}, \
              \"fallback_measurements\": {}}},\n  \
@@ -310,6 +430,13 @@ impl Outcome {
             self.uniqueness
                 .map_or("null".to_string(), |u| u.to_string()),
             corners,
+            self.corner_objective.years,
+            self.corner_objective.nominal.bits,
+            self.corner_objective.nominal.corner_flips,
+            self.corner_objective.nominal.flip_rate(),
+            self.corner_objective.multi_corner.bits,
+            self.corner_objective.multi_corner.corner_flips,
+            self.corner_objective.multi_corner.flip_rate(),
             self.stages.grow_us,
             self.stages.enroll_us,
             self.stages.respond_us,
@@ -386,6 +513,7 @@ pub fn run(config: &Config) -> Outcome {
     // Timed outside the sink scope so the reference path's
     // `measure.fallback` counters do not pollute the engine breakdown.
     let calibration = compare_calibration_kernels(config);
+    let corner_objective = compare_corner_objectives(config, threads);
     let speedup = serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-12);
     Outcome {
         boards: config.boards,
@@ -405,6 +533,7 @@ pub fn run(config: &Config) -> Outcome {
             .into_iter()
             .zip(parallel.corner_flip_rates())
             .collect(),
+        corner_objective,
         stages,
         calibration,
     }
@@ -485,6 +614,62 @@ mod tests {
         assert!(threads_key < curve_key, "top-level threads precedes curve");
         assert!(speedup_key < curve_key, "top-level speedup precedes curve");
         assert!(out.render().contains("scaling ("));
+    }
+
+    /// The multi-corner objective is only worth its bit cost if the
+    /// aged fleet's worst-corner flip rate actually drops; the
+    /// comparison must show that even on the small test fleet, and its
+    /// JSON keys must be flat-scan-unique so `check-bench` can gate the
+    /// inequality from the baseline file.
+    #[test]
+    fn corner_objective_comparison_favors_multi_corner_enrollment() {
+        // The real benchmark floorplan at a reduced fleet: the tiny
+        // shapes the other tests use leave both arms' flip counts at
+        // noise level, where the inequality is not yet a property.
+        let config = Config {
+            boards: 64,
+            threads: Some(2),
+            ..Config::default()
+        };
+        let a = compare_corner_objectives(&config, 2);
+        let b = compare_corner_objectives(&config, 1);
+        assert_eq!(a.nominal.bits, b.nominal.bits, "thread-count invariant");
+        assert_eq!(a.multi_corner.corner_flips, b.multi_corner.corner_flips);
+        assert!(a.nominal.bits > 0);
+        assert!(a.multi_corner.bits > 0);
+        assert!(
+            a.nominal.flip_rate() > 0.0,
+            "nominal-only enrollment must flip somewhere at the corners, got {a:?}"
+        );
+        assert!(
+            a.multi_corner.flip_rate() < a.nominal.flip_rate(),
+            "multi-corner must beat nominal-only: {a:?}"
+        );
+    }
+
+    /// The corner-objective figures must reach the JSON under
+    /// flat-scan-unique keys so `check-bench` can gate the inequality
+    /// from the baseline file.
+    #[test]
+    fn corner_objective_fields_reach_the_json_and_render() {
+        let out = run(&Config {
+            boards: 8,
+            units: 80,
+            stages: 4,
+            threads: Some(2),
+            ..Config::default()
+        });
+        let json = out.to_json();
+        assert!(json.contains("\"worst_corner_flip_rate_nominal\": "));
+        assert!(json.contains("\"worst_corner_flip_rate_multi_corner\": "));
+        assert_eq!(
+            json.matches("\"worst_corner_flip_rate_nominal\"").count(),
+            1,
+            "flat-scan parsers need the key to be unique"
+        );
+        assert!(out
+            .render()
+            .contains("worst-corner flip rate after 10y drift"));
     }
 
     /// The recorded thread count must be the count the parallel pass

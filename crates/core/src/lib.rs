@@ -26,6 +26,9 @@
 //!   deterministic per-board seed splitting,
 //! * [`monitor`] — the fleet health observatory: §IV's quality figures
 //!   sampled as classified gauges with drift detection,
+//! * [`reenroll`] — drift-triggered re-enrollment: multi-corner
+//!   selection re-run on aged silicon, accepted only when it beats the
+//!   old configuration's worst-corner margin,
 //! * [`error`] — the unified [`Error`] type every fallible entry point
 //!   returns,
 //! * [`traditional`] / [`one_of_eight`] / [`cooperative`] — the
@@ -72,6 +75,7 @@ pub mod monitor;
 pub mod one_of_eight;
 pub mod persist;
 pub mod puf;
+pub mod reenroll;
 pub mod ro;
 pub mod robust;
 pub mod select;
@@ -85,5 +89,8 @@ pub use fleet::{
 pub use lifecycle::{Device, Enrolled, KeyCode, Started};
 pub use monitor::{FleetHealth, FleetObservatory, MonitorConfig, SweepPlan};
 pub use puf::BoundEnrollment;
+pub use reenroll::{
+    DriftAssessment, ReenrollOutcome, ReenrollPolicy, ReenrollRejected,
+};
 pub use robust::{FaultPlan, FaultSummary, RobustOptions};
 pub use select::{case1, case2, PairSelection, Selection};

@@ -62,6 +62,7 @@ use crate::error::Error;
 use crate::fleet::split_seed;
 use crate::fuzzy::FuzzyExtractor;
 use crate::puf::{ConfigurableRoPuf, EnrollOptions, Enrollment};
+use crate::reenroll::{self, ReenrollOutcome, ReenrollPolicy};
 use crate::robust::{enroll_robust, respond_robust, FaultPlan, FaultSummary};
 
 /// Sub-stream of the enrollment seed reserved for key generation, far
@@ -292,6 +293,76 @@ impl<'a> Device<'a, Enrolled> {
             votes,
             plan,
         )
+    }
+
+    /// Issues a fresh Key Code against the *current* enrollment — the
+    /// re-provisioning step after an accepted [`Device::reenroll`],
+    /// where the old code no longer reproduces (the response bits
+    /// changed with the configuration).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Lifecycle`] when `repetition` is zero or even, or the
+    /// enrollment yields too few usable bits for even one key bit.
+    pub fn issue_key(&self, seed: u64, repetition: usize) -> Result<KeyCode, Error> {
+        if repetition == 0 || repetition.is_multiple_of(2) {
+            return Err(Error::Lifecycle(format!(
+                "repetition factor must be odd, got {repetition}"
+            )));
+        }
+        let fx = FuzzyExtractor::new(repetition);
+        if fx.key_bits(self.state.enrollment.bit_count()) == 0 {
+            return Err(Error::Lifecycle(format!(
+                "enrollment holds {} usable bits, fewer than one repetition-{repetition} block",
+                self.state.enrollment.bit_count()
+            )));
+        }
+        let response = self.state.enrollment.expected_bits();
+        let mut rng = StdRng::seed_from_u64(split_seed(seed, STREAM_KEY));
+        let (_key, helper) = fx.generate(&mut rng, &response);
+        telemetry::counter("lifecycle.keycodes", 1);
+        Ok(KeyCode::from_parts(repetition, helper))
+    }
+
+    /// Attempts a drift-triggered re-enrollment (see
+    /// [`crate::reenroll`]): the device stays `Enrolled` either way —
+    /// on acceptance it carries the replacement enrollment, on a typed
+    /// rejection it keeps the old one. There is no intermediate
+    /// unenrolled state, mirroring the server's generation-supersede
+    /// semantics.
+    ///
+    /// Key codes issued against the *old* enrollment stop reproducing
+    /// after an accepted re-enrollment (the response bits changed);
+    /// callers must re-run [`Device::set_key`]-style provisioning via
+    /// the server, or accept fresh codes.
+    pub fn reenroll(
+        self,
+        seed: u64,
+        policy: &ReenrollPolicy,
+        plan: &FaultPlan,
+    ) -> (Self, ReenrollOutcome) {
+        let _span = telemetry::span("lifecycle.reenroll");
+        let outcome = reenroll::reenroll(
+            &self.puf,
+            seed,
+            self.board,
+            &self.tech,
+            self.env,
+            &self.opts,
+            policy,
+            plan,
+            &self.state.enrollment,
+        );
+        let device = match outcome.accepted() {
+            Some(enrollment) => Self {
+                state: Enrolled {
+                    enrollment: enrollment.clone(),
+                },
+                ..self
+            },
+            None => self,
+        };
+        (device, outcome)
     }
 
     /// Reconstructs the key behind `code` from a fresh measurement (the
@@ -564,6 +635,99 @@ mod tests {
             .generate_key(41, 1, &FaultPlan::scaled(0.0))
             .unwrap_err();
         assert!(matches!(err, Error::Lifecycle(_)));
+    }
+
+    #[test]
+    fn reenroll_on_unaged_silicon_keeps_the_old_enrollment() {
+        let (board, tech) = setup(120);
+        let plan = FaultPlan::scaled(0.0);
+        let device = Device::start(
+            &board,
+            &tech,
+            Environment::nominal(),
+            ConfigurableRoPuf::tiled_interleaved(120, 5),
+            EnrollOptions {
+                threshold_ps: 5.0,
+                ..EnrollOptions::default()
+            },
+        );
+        let (device, code) = device.generate_key(41, 1, &plan).expect("enrolls");
+        let before = device.enrollment().clone();
+        let (device, outcome) =
+            device.reenroll(99, &crate::reenroll::ReenrollPolicy::default(), &plan);
+        assert!(
+            matches!(
+                outcome,
+                ReenrollOutcome::Rejected(crate::reenroll::ReenrollRejected::NotDrifted { .. })
+            ),
+            "{outcome:?}"
+        );
+        assert_eq!(device.enrollment(), &before, "enrollment untouched");
+        // Old key codes still reproduce.
+        assert!(device.get_key(7, 1, &plan, &code).is_ok());
+    }
+
+    #[test]
+    fn issue_key_reprovisions_a_working_code() {
+        let (board, tech) = setup(120);
+        let plan = FaultPlan::scaled(0.0);
+        let device = Device::start(
+            &board,
+            &tech,
+            Environment::nominal(),
+            ConfigurableRoPuf::tiled_interleaved(120, 5),
+            EnrollOptions::default(),
+        );
+        let (device, original) = device.generate_key(41, 3, &plan).expect("enrolls");
+        let reissued = device.issue_key(77, 3).expect("reissues");
+        // Both codes reproduce from live reads, and the reissued key is
+        // stable across read-outs.
+        assert!(device.get_key(5, 1, &plan, &original).is_ok());
+        let a = device.get_key(5, 1, &plan, &reissued).expect("new code");
+        let b = device.get_key(6, 1, &plan, &reissued).expect("fresh read");
+        assert_eq!(a, b, "reissued key is read-out independent");
+        assert!(device.issue_key(1, 2).is_err(), "even repetition rejected");
+    }
+
+    #[test]
+    fn reenroll_on_drifted_silicon_replaces_the_enrollment() {
+        use ropuf_silicon::aging::AgingModel;
+        let (board, tech) = setup(240);
+        let plan = FaultPlan::scaled(0.0);
+        let opts = EnrollOptions {
+            threshold_ps: 5.0,
+            ..EnrollOptions::default()
+        };
+        let puf = ConfigurableRoPuf::tiled_interleaved(240, 5);
+        let old = puf.enroll_seeded(41, &board, &tech, Environment::nominal(), &opts);
+        let policy = crate::reenroll::ReenrollPolicy::default();
+        let corners =
+            crate::reenroll::assessment_corners(Environment::nominal(), &policy);
+        let model = AgingModel {
+            sigma_drift_rel: 0.02,
+            sigma_path_rel: 0.01,
+            ..AgingModel::default()
+        };
+        let aged = (0..64)
+            .map(|s| {
+                let mut rng = StdRng::seed_from_u64(s);
+                model.age_board(&mut rng, &board, 10.0)
+            })
+            .find(|aged| {
+                crate::reenroll::assess_drift(&old, aged, &tech, &corners)
+                    .enrollment_point_flips
+                    > 0
+            })
+            .expect("some aging draw flips a bit");
+        let device =
+            Device::resume(&aged, &tech, Environment::nominal(), opts, old.clone()).unwrap();
+        let (device, outcome) = device.reenroll(43, &policy, &plan);
+        assert!(
+            matches!(outcome, ReenrollOutcome::Accepted { .. }),
+            "{outcome:?}"
+        );
+        assert_ne!(device.enrollment(), &old, "enrollment replaced");
+        assert!(device.enrollment().bit_count() > 0);
     }
 
     #[test]

@@ -11,9 +11,8 @@
 //!
 //! [`FleetObservatory`] packages that loop. One [`sample`] call:
 //!
-//! 1. runs the fleet across an environment sweep
-//!    ([`Environment::voltage_sweep`] / [`Environment::temperature_sweep`])
-//!    on fresh silicon,
+//! 1. runs the fleet across an environment sweep (an edge sweep or the
+//!    full [`Environment::corner_grid`]) on fresh silicon,
 //! 2. optionally repeats the run on *aged* silicon
 //!    ([`FleetAging`] drives [`ropuf_silicon::aging::AgingModel`]) —
 //!    enrollment stays at year zero, responses come from the drifted
@@ -94,7 +93,9 @@ pub enum SweepPlan {
     Voltage,
     /// Nominal plus the temperature sweep at nominal voltage.
     Temperature,
-    /// Nominal plus both sweeps — the paper's full §IV.D grid edge.
+    /// The full V×T grid ([`Environment::corner_grid`]) — every §IV.D
+    /// operating point including the four extreme corners, where
+    /// voltage and temperature stress combine.
     #[default]
     Full,
 }
@@ -116,10 +117,7 @@ impl SweepPlan {
             SweepPlan::Nominal => {}
             SweepPlan::Voltage => extend(Environment::voltage_sweep(nominal.temperature_c)),
             SweepPlan::Temperature => extend(Environment::temperature_sweep(nominal.voltage_v)),
-            SweepPlan::Full => {
-                extend(Environment::voltage_sweep(nominal.temperature_c));
-                extend(Environment::temperature_sweep(nominal.voltage_v));
-            }
+            SweepPlan::Full => extend(Environment::corner_grid()),
         }
         corners
     }
@@ -581,7 +579,12 @@ mod tests {
         assert_eq!(SweepPlan::Nominal.corners().len(), 1);
         assert_eq!(SweepPlan::Voltage.corners().len(), 5);
         assert_eq!(SweepPlan::Temperature.corners().len(), 5);
-        assert_eq!(SweepPlan::Full.corners().len(), 9);
+        // Full is the complete 5×5 V/T grid, including the extreme
+        // corners the edge sweeps never visit.
+        assert_eq!(SweepPlan::Full.corners().len(), 25);
+        for extreme in Environment::extreme_corners() {
+            assert!(SweepPlan::Full.corners().contains(&extreme));
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ropuf_num::bits::BitVec;
-use ropuf_silicon::{Board, DelayProbe, Environment, MeasureArena, Technology};
+use ropuf_silicon::{Board, CornerSet, DelayProbe, Environment, MeasureArena, Technology};
 use ropuf_telemetry as telemetry;
 
 use crate::calibrate::{calibrate, calibrate_from_sweep, Calibration};
@@ -50,7 +50,30 @@ use crate::config::{ConfigVector, ParityPolicy};
 use crate::error::Error;
 use crate::fleet::{parallel_map_indexed, split_seed};
 use crate::ro::{ConfigurableRo, RoPair};
-use crate::select::{case1_with_offset, case2_with_offset};
+use crate::select::{
+    case1_multi_corner, case1_with_offset, case2_multi_corner, case2_with_offset, CornerDelays,
+};
+
+/// Base of the per-pair RNG stream family used for extra-corner
+/// calibration: corner `c ≥ 1` of pair `i` draws from
+/// `split_seed(split_seed(seed, i), BASE + c)`. Corner 0 (the
+/// enrollment environment) keeps the legacy `split_seed(seed, i)`
+/// stream, which is what makes corners-off enrollment byte-identical
+/// to the pre-multi-corner pipeline. The base is chosen clear of the
+/// other pair-seed-derived streams (`u64::MAX - 2 ..= u64::MAX - 4`).
+const STREAM_ENROLL_CORNER_BASE: u64 = u64::MAX - 16;
+
+/// RNG stream seed for calibrating pair `pair` at corner index `corner`
+/// of the enrollment corner list (index 0 = the enrollment
+/// environment).
+pub(crate) fn corner_stream(seed: u64, pair: u64, corner: usize) -> u64 {
+    let pair_seed = split_seed(seed, pair);
+    if corner == 0 {
+        pair_seed
+    } else {
+        split_seed(pair_seed, STREAM_ENROLL_CORNER_BASE + corner as u64)
+    }
+}
 
 /// Which selection algorithm enrollment runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -79,6 +102,15 @@ pub struct EnrollOptions {
     pub plausible_ddiff_ps: Option<(f64, f64)>,
     /// Delay probe used for calibration measurements.
     pub probe: DelayProbe,
+    /// Operating points selection must hold margin at. Empty (the
+    /// default) keeps the paper's nominal-only behavior: only the
+    /// enrollment environment is calibrated and the §III.D solvers run
+    /// unchanged. Non-empty switches to min-margin-across-corners
+    /// selection over the listed corners *plus* the enrollment
+    /// environment (which is deduplicated if listed); pairs degenerate
+    /// at any corner — a tie or a polarity flip — are excluded via the
+    /// §III.C escape hatch.
+    pub corners: CornerSet,
 }
 
 impl Default for EnrollOptions {
@@ -89,6 +121,7 @@ impl Default for EnrollOptions {
             threshold_ps: 0.0,
             plausible_ddiff_ps: None,
             probe: DelayProbe::new(0.25, 4),
+            corners: CornerSet::empty(),
         }
     }
 }
@@ -112,6 +145,14 @@ impl EnrollOptions {
         EnrollOptionsBuilder {
             opts: Self::default(),
         }
+    }
+
+    /// The corners selection evaluates *in addition to* the enrollment
+    /// environment `env`: [`EnrollOptions::corners`] with `env` itself
+    /// removed. Empty means nominal-only enrollment — the exact legacy
+    /// pipeline, byte for byte.
+    pub fn extra_corners(&self, env: Environment) -> Vec<Environment> {
+        self.corners.iter().filter(|&c| c != env).collect()
     }
 }
 
@@ -150,6 +191,13 @@ impl EnrollOptionsBuilder {
     /// Delay probe used for calibration measurements.
     pub fn probe(mut self, probe: DelayProbe) -> Self {
         self.opts.probe = probe;
+        self
+    }
+
+    /// Corner set for min-margin-across-corners selection (see
+    /// [`EnrollOptions::corners`]).
+    pub fn corners(mut self, corners: CornerSet) -> Self {
+        self.opts.corners = corners;
         self
     }
 
@@ -424,6 +472,7 @@ impl ConfigurableRoPuf {
         opts: &EnrollOptions,
         arena: &mut MeasureArena,
     ) -> Enrollment {
+        let extra = opts.extra_corners(env);
         let stages = self.specs.first().map_or(0, PairSpec::stages);
         if stages == 0 || self.specs.iter().any(|spec| spec.stages() != stages) {
             let pairs = self
@@ -431,14 +480,21 @@ impl ConfigurableRoPuf {
                 .iter()
                 .enumerate()
                 .map(|(i, spec)| {
-                    let mut rng = StdRng::seed_from_u64(split_seed(seed, i as u64));
-                    Self::enroll_pair(&mut rng, spec, board, tech, env, opts)
+                    if extra.is_empty() {
+                        let mut rng = StdRng::seed_from_u64(split_seed(seed, i as u64));
+                        Self::enroll_pair(&mut rng, spec, board, tech, env, opts)
+                    } else {
+                        Self::enroll_pair_multi(seed, i, spec, board, tech, env, &extra, opts)
+                    }
                 })
                 .collect();
             return Enrollment {
                 pairs,
                 enrolled_at: env,
             };
+        }
+        if !extra.is_empty() {
+            return self.enroll_multi_corner_in(seed, board, tech, env, &extra, opts, arena);
         }
         arena.begin_block(2 * self.specs.len(), stages);
         for (i, spec) in self.specs.iter().enumerate() {
@@ -466,6 +522,68 @@ impl ConfigurableRoPuf {
         }
     }
 
+    /// The multi-corner arena path of
+    /// [`enroll_seeded_in`](Self::enroll_seeded_in): one
+    /// structure-of-arrays block *per corner* (corner-outermost, so a
+    /// single arena serves every corner sequentially), then per-pair
+    /// min-margin-across-corners selection over the collected
+    /// calibrations. Corner 0 is the enrollment environment on the
+    /// legacy per-pair RNG stream; corner `c ≥ 1` draws from the
+    /// independent [`corner_stream`] family, so the corner loop order
+    /// cannot perturb any draw — which keeps this bit-identical to the
+    /// per-ring kernel in [`enroll_pair_multi`](Self::enroll_pair_multi)
+    /// and hence to [`enroll_par`](Self::enroll_par).
+    #[allow(clippy::too_many_arguments)]
+    fn enroll_multi_corner_in(
+        &self,
+        seed: u64,
+        board: &Board,
+        tech: &Technology,
+        env: Environment,
+        extra: &[Environment],
+        opts: &EnrollOptions,
+        arena: &mut MeasureArena,
+    ) -> Enrollment {
+        let stages = self.specs[0].stages();
+        let n_pairs = self.specs.len();
+        let corners: Vec<Environment> =
+            std::iter::once(env).chain(extra.iter().copied()).collect();
+        let mut cals: Vec<Vec<(Calibration, Calibration)>> = Vec::with_capacity(corners.len());
+        for (c, &corner_env) in corners.iter().enumerate() {
+            arena.begin_block(2 * n_pairs, stages);
+            for (i, spec) in self.specs.iter().enumerate() {
+                let pair = spec.bind(board);
+                pair.top().stage_delays_into(corner_env, tech, arena, 2 * i);
+                pair.bottom()
+                    .stage_delays_into(corner_env, tech, arena, 2 * i + 1);
+            }
+            let sweep = arena.sweep();
+            let mut per_pair = Vec::with_capacity(n_pairs);
+            for i in 0..n_pairs {
+                let mut rng = StdRng::seed_from_u64(corner_stream(seed, i as u64, c));
+                let top = calibrate_from_sweep(&mut rng, &sweep.ring(2 * i), &opts.probe);
+                let bottom = calibrate_from_sweep(&mut rng, &sweep.ring(2 * i + 1), &opts.probe);
+                per_pair.push((top, bottom));
+            }
+            cals.push(per_pair);
+        }
+        let pairs = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let _pair_span = telemetry::span("enroll.pair");
+                let pair_cals: Vec<(&Calibration, &Calibration)> =
+                    cals.iter().map(|c| (&c[i].0, &c[i].1)).collect();
+                Self::select_pair_multi(spec, &pair_cals, opts)
+            })
+            .collect();
+        Enrollment {
+            pairs,
+            enrolled_at: env,
+        }
+    }
+
     /// Like [`enroll_seeded`](Self::enroll_seeded) but fans the per-pair
     /// calibration/selection work out over `threads` workers.
     /// Bit-identical to the serial form for the same `seed`.
@@ -478,9 +596,14 @@ impl ConfigurableRoPuf {
         opts: &EnrollOptions,
         threads: usize,
     ) -> Enrollment {
+        let extra = opts.extra_corners(env);
         let pairs = parallel_map_indexed(self.specs.len(), threads, |i| {
-            let mut rng = StdRng::seed_from_u64(split_seed(seed, i as u64));
-            Self::enroll_pair(&mut rng, &self.specs[i], board, tech, env, opts)
+            if extra.is_empty() {
+                let mut rng = StdRng::seed_from_u64(split_seed(seed, i as u64));
+                Self::enroll_pair(&mut rng, &self.specs[i], board, tech, env, opts)
+            } else {
+                Self::enroll_pair_multi(seed, i, &self.specs[i], board, tech, env, &extra, opts)
+            }
         });
         Enrollment {
             pairs,
@@ -507,7 +630,52 @@ impl ConfigurableRoPuf {
         let pair = spec.bind(board);
         let cal_top = calibrate(rng, pair.top(), &opts.probe, env, tech);
         let cal_bottom = calibrate(rng, pair.bottom(), &opts.probe, env, tech);
-        Self::select_pair(spec, &cal_top, &cal_bottom, opts)
+        let extra = opts.extra_corners(env);
+        if extra.is_empty() {
+            return Self::select_pair(spec, &cal_top, &cal_bottom, opts);
+        }
+        // Shared-RNG multi-corner: extra corners draw sequentially from
+        // the caller's RNG (this path has no parallel counterpart to
+        // stay bit-identical to).
+        let mut cals = vec![(cal_top, cal_bottom)];
+        for corner_env in extra {
+            let top = calibrate(rng, pair.top(), &opts.probe, corner_env, tech);
+            let bottom = calibrate(rng, pair.bottom(), &opts.probe, corner_env, tech);
+            cals.push((top, bottom));
+        }
+        let refs: Vec<(&Calibration, &Calibration)> = cals.iter().map(|(t, b)| (t, b)).collect();
+        Self::select_pair_multi(spec, &refs, opts)
+    }
+
+    /// Per-ring multi-corner kernel: calibrates pair `i` at the
+    /// enrollment environment plus every extra corner, each corner on
+    /// its own [`corner_stream`] RNG stream, then runs
+    /// min-margin-across-corners selection. Bit-identical to the arena
+    /// path in [`enroll_multi_corner_in`](Self::enroll_multi_corner_in)
+    /// for the same seed, which is what lets
+    /// [`enroll_par`](Self::enroll_par) fan pairs out across workers.
+    #[allow(clippy::too_many_arguments)]
+    fn enroll_pair_multi(
+        seed: u64,
+        i: usize,
+        spec: &PairSpec,
+        board: &Board,
+        tech: &Technology,
+        env: Environment,
+        extra: &[Environment],
+        opts: &EnrollOptions,
+    ) -> Option<EnrolledPair> {
+        let _pair_span = telemetry::span("enroll.pair");
+        let pair = spec.bind(board);
+        let mut cals: Vec<(Calibration, Calibration)> = Vec::with_capacity(1 + extra.len());
+        for (c, &corner_env) in std::iter::once(&env).chain(extra).enumerate() {
+            let mut rng = StdRng::seed_from_u64(corner_stream(seed, i as u64, c));
+            let top = calibrate(&mut rng, pair.top(), &opts.probe, corner_env, tech);
+            let bottom = calibrate(&mut rng, pair.bottom(), &opts.probe, corner_env, tech);
+            cals.push((top, bottom));
+        }
+        let refs: Vec<(&Calibration, &Calibration)> = cals.iter().map(|(t, b)| (t, b)).collect();
+        Self::select_pair_multi(spec, &refs, opts)
     }
 
     /// The post-calibration half of [`Self::enroll_pair`]: plausibility
@@ -574,6 +742,89 @@ impl ConfigurableRoPuf {
             // is a selection-convention artifact, not entropy. Surface
             // it so fleet statistics can discount the bit.
             telemetry::counter("enroll.degenerate", 1);
+        }
+        if margin < opts.threshold_ps {
+            telemetry::counter("enroll.excluded.threshold", 1);
+            None
+        } else {
+            Some(EnrolledPair {
+                spec: spec.clone(),
+                top_config,
+                bottom_config,
+                expected_bit: bit,
+                margin_ps: margin,
+            })
+        }
+    }
+
+    /// Multi-corner counterpart of [`Self::select_pair`]: `cals[c]`
+    /// holds the pair's (top, bottom) calibrations at corner `c` of the
+    /// enrollment corner list. The plausibility screen applies at every
+    /// corner, the §III.D solvers are replaced by their
+    /// min-margin-across-corners forms, and — unlike the single-corner
+    /// path, where a degenerate pair is merely flagged — a pair that is
+    /// degenerate at *any* corner is excluded outright (§III.C): its
+    /// bit would flip with the environment. With a single corner this
+    /// defers to [`Self::select_pair`] exactly.
+    pub(crate) fn select_pair_multi(
+        spec: &PairSpec,
+        cals: &[(&Calibration, &Calibration)],
+        opts: &EnrollOptions,
+    ) -> Option<EnrolledPair> {
+        assert!(!cals.is_empty(), "selection needs at least one corner");
+        if cals.len() == 1 {
+            return Self::select_pair(spec, cals[0].0, cals[0].1, opts);
+        }
+        if let Some((lo, hi)) = opts.plausible_ddiff_ps {
+            let suspicious = cals.iter().any(|(t, b)| {
+                t.ddiffs_ps()
+                    .iter()
+                    .chain(b.ddiffs_ps())
+                    .any(|&d| !(lo..=hi).contains(&d))
+            });
+            if suspicious {
+                telemetry::counter("enroll.excluded.implausible", 1);
+                return None;
+            }
+        }
+        let corner_delays: Vec<CornerDelays<'_>> = cals
+            .iter()
+            .map(|(t, b)| CornerDelays {
+                alpha: t.ddiffs_ps(),
+                beta: b.ddiffs_ps(),
+                offset_ps: t.bypass_ps() - b.bypass_ps(),
+            })
+            .collect();
+        let select_span = telemetry::span("enroll.select");
+        let (top_config, bottom_config, margin, bit, degenerate) = match opts.mode {
+            SelectionMode::Case1 => {
+                let s = case1_multi_corner(&corner_delays, opts.parity);
+                telemetry::counter("enroll.pairs.case1", 1);
+                (
+                    s.config().clone(),
+                    s.config().clone(),
+                    s.margin(),
+                    s.bit(),
+                    s.is_degenerate(),
+                )
+            }
+            SelectionMode::Case2 => {
+                let s = case2_multi_corner(&corner_delays, opts.parity);
+                telemetry::counter("enroll.pairs.case2", 1);
+                (
+                    s.top().clone(),
+                    s.bottom().clone(),
+                    s.margin(),
+                    s.bit(),
+                    s.is_degenerate(),
+                )
+            }
+        };
+        drop(select_span);
+        if degenerate {
+            telemetry::counter("enroll.degenerate", 1);
+            telemetry::counter("enroll.excluded.corner_degenerate", 1);
+            return None;
         }
         if margin < opts.threshold_ps {
             telemetry::counter("enroll.excluded.threshold", 1);
@@ -1141,6 +1392,7 @@ mod tests {
             .threshold_ps(1.5)
             .plausible_ddiff_ps(50.0, 200.0)
             .probe(DelayProbe::noiseless())
+            .corners(CornerSet::worst_case())
             .build();
         let literal = EnrollOptions {
             mode: SelectionMode::Case1,
@@ -1148,6 +1400,7 @@ mod tests {
             threshold_ps: 1.5,
             plausible_ddiff_ps: Some((50.0, 200.0)),
             probe: DelayProbe::noiseless(),
+            corners: CornerSet::worst_case(),
         };
         assert_eq!(built, literal);
         // Untouched fields keep the defaults.
@@ -1188,6 +1441,76 @@ mod tests {
         // but the same silicon — bits agree wherever margins are wide.
         let other = puf.enroll_seeded(43, &board, &tech, env, &opts);
         assert_eq!(other.bit_count(), serial.bit_count());
+    }
+
+    #[test]
+    fn nominal_only_corner_set_is_bit_identical_to_default_enrollment() {
+        // corners = {env} deduplicates to nothing extra, which must take
+        // the exact legacy code path — the byte-identity guarantee.
+        let (board, tech, _) = setup(120);
+        let puf = ConfigurableRoPuf::tiled_interleaved(120, 5);
+        let env = Environment::nominal();
+        let nominal_only = EnrollOptions {
+            corners: CornerSet::try_from_slice(&[env]).unwrap(),
+            ..EnrollOptions::default()
+        };
+        let baseline = puf.enroll_seeded(42, &board, &tech, env, &EnrollOptions::default());
+        assert_eq!(
+            puf.enroll_seeded(42, &board, &tech, env, &nominal_only),
+            baseline
+        );
+        assert_eq!(
+            puf.enroll_par(42, &board, &tech, env, &nominal_only, 4),
+            baseline
+        );
+    }
+
+    #[test]
+    fn multi_corner_serial_parallel_and_per_ring_paths_agree() {
+        let (board, tech, _) = setup(120);
+        let puf = ConfigurableRoPuf::tiled_interleaved(120, 5);
+        let env = Environment::nominal();
+        let opts = EnrollOptions {
+            corners: CornerSet::worst_case(),
+            ..EnrollOptions::default()
+        };
+        let serial = puf.enroll_seeded(42, &board, &tech, env, &opts);
+        for threads in [1, 2, 4, 8] {
+            let par = puf.enroll_par(42, &board, &tech, env, &opts, threads);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+        assert!(serial.bit_count() > 0, "multi-corner enrolls some pairs");
+    }
+
+    #[test]
+    fn multi_corner_margin_never_exceeds_nominal_margin() {
+        // The worst-corner margin is a min over a set containing the
+        // enrollment corner, so it cannot beat the nominal-only margin
+        // of the same configuration — and the multi-corner pick holds
+        // margin at every corner, trading nominal slack for it.
+        let (board, tech, _) = setup(120);
+        let puf = ConfigurableRoPuf::tiled_interleaved(120, 5);
+        let env = Environment::nominal();
+        let noiseless = EnrollOptions {
+            probe: DelayProbe::noiseless(),
+            ..EnrollOptions::default()
+        };
+        let multi = EnrollOptions {
+            corners: CornerSet::worst_case(),
+            ..noiseless
+        };
+        let nominal = puf.enroll_seeded(42, &board, &tech, env, &noiseless);
+        let corner = puf.enroll_seeded(42, &board, &tech, env, &multi);
+        for (a, b) in nominal.pairs().iter().zip(corner.pairs()) {
+            if let (Some(a), Some(b)) = (a, b) {
+                assert!(
+                    b.margin_ps() <= a.margin_ps() + 1e-9,
+                    "worst-corner margin {} beats nominal optimum {}",
+                    b.margin_ps(),
+                    a.margin_ps()
+                );
+            }
+        }
     }
 
     #[test]

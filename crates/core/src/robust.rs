@@ -38,7 +38,8 @@ use ropuf_telemetry as telemetry;
 use crate::calibrate::Calibration;
 use crate::fleet::split_seed;
 use crate::puf::{
-    BoundEnrollment, ConfigurableRoPuf, EnrollOptions, EnrolledPair, Enrollment, PairSpec,
+    corner_stream, BoundEnrollment, ConfigurableRoPuf, EnrollOptions, EnrolledPair, Enrollment,
+    PairSpec,
 };
 
 /// Sub-stream index for per-pair / per-corner fault rolls.
@@ -531,6 +532,10 @@ pub fn enroll_robust_in(
     plan: &FaultPlan,
     arena: &mut MeasureArena,
 ) -> RobustEnrollment {
+    let extra = opts.extra_corners(env);
+    if !extra.is_empty() {
+        return enroll_robust_multi_corner_in(puf, seed, board, tech, env, &extra, opts, plan, arena);
+    }
     let mut summary = FaultSummary::default();
     let mut unreadable_pairs = 0;
     let specs = puf.specs();
@@ -578,6 +583,135 @@ pub fn enroll_robust_in(
             ));
         }
     }
+    RobustEnrollment {
+        enrollment: Enrollment::from_parts(pairs, env),
+        unreadable_pairs,
+        total_pairs: puf.pair_count(),
+        summary,
+    }
+}
+
+/// Fault-screens every pair's calibration at one corner of the
+/// enrollment corner list. Pair `i` draws its measurement RNG from
+/// [`corner_stream`]`(seed, i, corner)` and its fault/retry streams from
+/// sub-splits of that corner seed — for corner 0 those are exactly the
+/// legacy per-pair streams, and every (pair, corner) cell is independent
+/// of evaluation order. `None` marks a calibration whose read failed
+/// unrecoverably at this corner.
+#[allow(clippy::too_many_arguments)]
+fn robust_calibrate_corner(
+    puf: &ConfigurableRoPuf,
+    seed: u64,
+    board: &Board,
+    tech: &Technology,
+    corner_env: Environment,
+    corner: usize,
+    opts: &EnrollOptions,
+    plan: &FaultPlan,
+    arena: &mut MeasureArena,
+    summary: &mut FaultSummary,
+) -> Vec<Option<(Calibration, Calibration)>> {
+    let specs = puf.specs();
+    let stages = specs.first().map_or(0, PairSpec::stages);
+    let uniform = stages > 0 && specs.iter().all(|spec| spec.stages() == stages);
+    let mut screen = |top: &RingSweep<'_>, bottom: &RingSweep<'_>, i: usize| {
+        let corner_seed = corner_stream(seed, i as u64, corner);
+        let mut meas_rng = StdRng::seed_from_u64(corner_seed);
+        let mut measurer = RobustMeasurer::new(
+            plan,
+            opts.probe,
+            split_seed(corner_seed, STREAM_FAULT),
+            split_seed(corner_seed, STREAM_RETRY),
+        );
+        let cals = robust_calibrate(&mut measurer, &mut meas_rng, top).and_then(|cal_top| {
+            let cal_bottom = robust_calibrate(&mut measurer, &mut meas_rng, bottom)?;
+            Some((cal_top, cal_bottom))
+        });
+        summary.merge(&measurer.summary);
+        cals
+    };
+    let mut cals = Vec::with_capacity(specs.len());
+    if uniform {
+        arena.begin_block(2 * specs.len(), stages);
+        for (i, spec) in specs.iter().enumerate() {
+            let pair = spec.bind(board);
+            pair.top().stage_delays_into(corner_env, tech, arena, 2 * i);
+            pair.bottom()
+                .stage_delays_into(corner_env, tech, arena, 2 * i + 1);
+        }
+        let sweep = arena.sweep();
+        for i in 0..specs.len() {
+            cals.push(screen(&sweep.ring(2 * i), &sweep.ring(2 * i + 1), i));
+        }
+    } else {
+        for (i, spec) in specs.iter().enumerate() {
+            let pair = spec.bind(board);
+            arena.begin_block(2, spec.stages());
+            pair.top().stage_delays_into(corner_env, tech, arena, 0);
+            pair.bottom().stage_delays_into(corner_env, tech, arena, 1);
+            let sweep = arena.sweep();
+            cals.push(screen(&sweep.ring(0), &sweep.ring(1), i));
+        }
+    }
+    cals
+}
+
+/// Multi-corner form of [`enroll_robust_in`]: calibrates every pair at
+/// the enrollment environment plus each extra corner (one arena block
+/// per corner, fault-screened reads throughout), then runs
+/// min-margin-across-corners selection. A pair whose calibration fails
+/// unrecoverably at *any* corner is excluded via §III.C — a pair that
+/// cannot be read at a corner cannot promise a margin there.
+#[allow(clippy::too_many_arguments)]
+fn enroll_robust_multi_corner_in(
+    puf: &ConfigurableRoPuf,
+    seed: u64,
+    board: &Board,
+    tech: &Technology,
+    env: Environment,
+    extra: &[Environment],
+    opts: &EnrollOptions,
+    plan: &FaultPlan,
+    arena: &mut MeasureArena,
+) -> RobustEnrollment {
+    let mut summary = FaultSummary::default();
+    let mut cals: Vec<Vec<Option<(Calibration, Calibration)>>> =
+        Vec::with_capacity(1 + extra.len());
+    for (c, &corner_env) in std::iter::once(&env).chain(extra).enumerate() {
+        cals.push(robust_calibrate_corner(
+            puf,
+            seed,
+            board,
+            tech,
+            corner_env,
+            c,
+            opts,
+            plan,
+            arena,
+            &mut summary,
+        ));
+    }
+    let mut unreadable_pairs = 0;
+    let pairs = puf
+        .specs()
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let _pair_span = telemetry::span("enroll.pair");
+            let refs: Option<Vec<(&Calibration, &Calibration)>> = cals
+                .iter()
+                .map(|corner| corner[i].as_ref().map(|(t, b)| (t, b)))
+                .collect();
+            match refs {
+                Some(refs) => ConfigurableRoPuf::select_pair_multi(spec, &refs, opts),
+                None => {
+                    unreadable_pairs += 1;
+                    summary.unreadable_pairs += 1;
+                    None
+                }
+            }
+        })
+        .collect();
     RobustEnrollment {
         enrollment: Enrollment::from_parts(pairs, env),
         unreadable_pairs,
@@ -831,6 +965,73 @@ mod tests {
             robust.unreadable_pairs
         );
         // Unreadable pairs show up as exclusions, not bogus bits.
+        assert!(robust.enrollment.bit_count() < robust.total_pairs);
+    }
+
+    #[test]
+    fn zero_rate_multi_corner_plan_reproduces_plain_multi_corner_enrollment() {
+        let (board, tech) = setup(80);
+        let puf = ConfigurableRoPuf::tiled_interleaved(80, 4);
+        let opts = EnrollOptions {
+            corners: ropuf_silicon::CornerSet::worst_case(),
+            ..EnrollOptions::default()
+        };
+        let env = Environment::nominal();
+        let plain = puf.enroll_seeded(41, &board, &tech, env, &opts);
+        let plan = FaultPlan::scaled(0.0);
+        let robust = enroll_robust(&puf, 41, &board, &tech, env, &opts, &plan);
+        assert_eq!(robust.enrollment, plain);
+        assert_eq!(robust.unreadable_pairs, 0);
+        assert!(!robust.summary.has_activity());
+        assert!(robust.summary.reads > 0);
+    }
+
+    #[test]
+    fn faulty_multi_corner_enrollment_is_deterministic() {
+        let (board, tech) = setup(80);
+        let puf = ConfigurableRoPuf::tiled_interleaved(80, 4);
+        let opts = EnrollOptions {
+            corners: ropuf_silicon::CornerSet::worst_case(),
+            ..EnrollOptions::default()
+        };
+        let env = Environment::nominal();
+        let plan = FaultPlan::scaled(10.0);
+        let a = enroll_robust(&puf, 41, &board, &tech, env, &opts, &plan);
+        let b = enroll_robust(&puf, 41, &board, &tech, env, &opts, &plan);
+        assert_eq!(a.enrollment, b.enrollment);
+        assert_eq!(a.summary, b.summary);
+        assert!(a.summary.injected_faults() > 0);
+    }
+
+    #[test]
+    fn multi_corner_unrecoverable_reads_exclude_pairs() {
+        let (board, tech) = setup(80);
+        let puf = ConfigurableRoPuf::tiled_interleaved(80, 4);
+        let opts = EnrollOptions {
+            corners: ropuf_silicon::CornerSet::worst_case(),
+            ..EnrollOptions::default()
+        };
+        let env = Environment::nominal();
+        let plan = FaultPlan {
+            model: ropuf_silicon::FaultModel {
+                drop_rate: 0.6,
+                stuck_rate: 0.2,
+                glitch_rate: 0.0,
+                flaky_rate: 0.0,
+                ..ropuf_silicon::FaultModel::default()
+            },
+            options: RobustOptions {
+                retry_budget: 2,
+                readback_k: 3,
+                ..RobustOptions::default()
+            },
+        };
+        let robust = enroll_robust(&puf, 5, &board, &tech, env, &opts, &plan);
+        assert!(robust.unreadable_pairs > 0);
+        assert_eq!(
+            robust.summary.unreadable_pairs as usize,
+            robust.unreadable_pairs
+        );
         assert!(robust.enrollment.bit_count() < robust.total_pairs);
     }
 

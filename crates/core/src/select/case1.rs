@@ -95,7 +95,11 @@ pub fn case1_with_offset(
 /// Subset extremizing `Σ Δd_i x_i` subject to the parity policy:
 /// the maximum when `maximize`, the minimum otherwise. Returns the chosen
 /// indices (ascending) and the achieved signed sum.
-fn extreme_subset(delta: &[f64], maximize: bool, parity: ParityPolicy) -> (Vec<usize>, f64) {
+pub(super) fn extreme_subset(
+    delta: &[f64],
+    maximize: bool,
+    parity: ParityPolicy,
+) -> (Vec<usize>, f64) {
     let signed = |d: f64| if maximize { d } else { -d };
     let mut class: Vec<usize> = (0..delta.len())
         .filter(|&i| signed(delta[i]) > 0.0)

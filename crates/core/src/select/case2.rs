@@ -107,7 +107,12 @@ pub fn case2_with_offset(
 /// Maximizes `offset + Σ_{i≤k}(slow_desc[i] − fast_asc[i])` over
 /// admissible `k`. Under `ParityPolicy::Ignore` the scan includes `k = 0`
 /// (value `offset`); under `ForceOdd` only odd `k` qualify.
-fn extreme_prefix(slow: &[f64], fast: &[f64], offset: f64, parity: ParityPolicy) -> (usize, f64) {
+pub(super) fn extreme_prefix(
+    slow: &[f64],
+    fast: &[f64],
+    offset: f64,
+    parity: ParityPolicy,
+) -> (usize, f64) {
     let n = slow.len();
     let mut slow_sorted = slow.to_vec();
     slow_sorted.sort_by(|a, b| b.total_cmp(a)); // descending
@@ -129,14 +134,14 @@ fn extreme_prefix(slow: &[f64], fast: &[f64], offset: f64, parity: ParityPolicy)
 }
 
 #[derive(Clone, Copy)]
-enum Extreme {
+pub(super) enum Extreme {
     Slowest,
     Fastest,
 }
 
 /// Indices of the `k` slowest (largest delay) or fastest stages; ties are
 /// broken by original index, matching the sorts in [`extreme_prefix`].
-fn select_extreme(delays: &[f64], k: usize, which: Extreme) -> Vec<usize> {
+pub(super) fn select_extreme(delays: &[f64], k: usize, which: Extreme) -> Vec<usize> {
     let mut order: Vec<usize> = (0..delays.len()).collect();
     match which {
         Extreme::Slowest => order.sort_by(|&a, &b| delays[b].total_cmp(&delays[a]).then(a.cmp(&b))),

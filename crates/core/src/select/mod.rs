@@ -12,7 +12,11 @@
 //!   algorithms optimal,
 //! * [`case1_local_search`] — a restart hill-climbing heuristic kept for
 //!   comparison: what a practitioner without §III.D's closed form would
-//!   write.
+//!   write,
+//! * [`case1_multi_corner`] / [`case2_multi_corner`] — the same two
+//!   problems under the min-margin-across-corners objective: maximize
+//!   the margin at the *worst* V/T corner of a [`CornerDelays`] set
+//!   (single-corner inputs reduce exactly to the solvers above).
 //!
 //! Both solvers accept a [`ParityPolicy`](crate::config::ParityPolicy);
 //! `ForceOdd` restricts to
@@ -22,11 +26,15 @@ mod brute;
 mod case1;
 mod case2;
 mod local_search;
+mod multi_corner;
 
 pub use brute::{brute_force_case1, brute_force_case2};
 pub use case1::{case1, case1_with_offset};
 pub use case2::{case2, case2_with_offset};
 pub use local_search::case1_local_search;
+pub use multi_corner::{
+    case1_local_search_multi, case1_multi_corner, case2_multi_corner, CornerDelays,
+};
 
 use crate::config::ConfigVector;
 

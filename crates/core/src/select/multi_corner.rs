@@ -1,0 +1,652 @@
+//! Min-margin-across-corners selection: §III.D extended over a V/T
+//! corner set.
+//!
+//! The paper selects configuration vectors at a single operating point;
+//! §IV.D then shows that the resulting margins shrink at voltage and
+//! temperature corners, and that the smallest-margin pairs are the ones
+//! that flip. Because per-device V/T sensitivities disperse, the stage
+//! ordering — and hence the optimal selection — is *corner-dependent*:
+//! the nominal optimum can sit on a knife edge at 0.98 V.
+//!
+//! These solvers maximize the **worst-corner margin** instead: for a
+//! candidate selection with signed delay difference `D_c` at corner `c`,
+//! the objective is `min_c |D_c|` when every corner agrees on the sign
+//! of `D_c`, and `0` otherwise — a bit that changes polarity with the
+//! environment is not a PUF bit, so sign-inconsistent selections are
+//! *degenerate* and fall to the §III.C escape hatch.
+//!
+//! Exact optimization of the min-margin objective is no longer a sign
+//! partition (it is NP-hard in general); the solvers here are
+//! deterministic heuristics with a guarantee that matters in practice:
+//! the candidate pool contains every per-corner §III.D optimum, so the
+//! result is never worse *at its worst corner* than the best of the
+//! single-corner optima, and a strict-improvement refinement pass then
+//! climbs from there. With a single corner, each solver reduces exactly
+//! to its §III.D counterpart, bit for bit.
+
+use rand::Rng;
+use ropuf_telemetry as telemetry;
+
+use crate::config::{ConfigVector, ParityPolicy};
+use crate::select::case1::extreme_subset;
+use crate::select::case2::{extreme_prefix, select_extreme, Extreme};
+use crate::select::{
+    case1_with_offset, case2_with_offset, validate_inputs, PairSelection, Selection,
+};
+
+/// Per-corner inputs to a multi-corner selection: the §III.B calibrated
+/// per-stage ddiffs of the two rings and the configuration-independent
+/// bypass offset, all measured at one operating point.
+#[derive(Debug, Clone, Copy)]
+pub struct CornerDelays<'a> {
+    /// Top-ring per-stage ddiffs at this corner, ps.
+    pub alpha: &'a [f64],
+    /// Bottom-ring per-stage ddiffs at this corner, ps.
+    pub beta: &'a [f64],
+    /// Configuration-independent delay offset `B_top − B_bottom`, ps.
+    pub offset_ps: f64,
+}
+
+/// Worst-corner margin of a fixed selection whose signed delay
+/// differences at the corners are `ds`: the minimum `|D_c|` when every
+/// corner agrees on which ring is slower, `0.0` (degenerate) when any
+/// corner ties or the corners disagree. The boolean is the enrolled bit
+/// (`true` = top slower everywhere; `false` by convention when
+/// degenerate).
+pub(crate) fn consistent_min_margin(ds: &[f64]) -> (f64, bool) {
+    if ds.iter().all(|&d| d > 0.0) {
+        (ds.iter().fold(f64::INFINITY, |m, &d| m.min(d)), true)
+    } else if ds.iter().all(|&d| d < 0.0) {
+        (ds.iter().fold(f64::INFINITY, |m, &d| m.min(-d)), false)
+    } else {
+        (0.0, false)
+    }
+}
+
+/// Validates corner inputs and returns the common stage count.
+fn validate_corners(corners: &[CornerDelays<'_>]) -> usize {
+    assert!(
+        !corners.is_empty(),
+        "multi-corner selection needs at least one corner"
+    );
+    let n = corners[0].alpha.len();
+    for c in corners {
+        validate_inputs(c.alpha, c.beta);
+        assert_eq!(
+            c.alpha.len(),
+            n,
+            "all corners must describe the same stages"
+        );
+        assert!(
+            c.offset_ps.is_finite(),
+            "offset must be finite, got {}",
+            c.offset_ps
+        );
+    }
+    n
+}
+
+/// Case-1 selection maximizing the worst-corner margin
+/// `min_c |offset_c + Σ (α_c − β_c)·x|` over a shared configuration.
+///
+/// With one corner this is exactly [`case1_with_offset`]. With several,
+/// the per-corner sign-class optima seed a deterministic
+/// strict-improvement flip search on the min-margin objective.
+///
+/// # Panics
+///
+/// Panics if `corners` is empty, any corner's inputs are invalid, or
+/// the corners disagree on the stage count.
+pub fn case1_multi_corner(corners: &[CornerDelays<'_>], parity: ParityPolicy) -> Selection {
+    let n = validate_corners(corners);
+    if corners.len() == 1 {
+        let c = &corners[0];
+        return case1_with_offset(c.alpha, c.beta, c.offset_ps, parity);
+    }
+    let deltas: Vec<Vec<f64>> = corners
+        .iter()
+        .map(|c| c.alpha.iter().zip(c.beta).map(|(a, b)| a - b).collect())
+        .collect();
+    let eval = |flags: &[bool]| -> (f64, bool) {
+        let ds: Vec<f64> = corners
+            .iter()
+            .zip(&deltas)
+            .map(|(c, delta)| {
+                c.offset_ps
+                    + flags
+                        .iter()
+                        .zip(delta)
+                        .filter_map(|(&on, d)| on.then_some(d))
+                        .sum::<f64>()
+            })
+            .collect();
+        consistent_min_margin(&ds)
+    };
+
+    // Candidate pool: both sign-class optima of every corner.
+    let mut candidates: Vec<Vec<bool>> = Vec::new();
+    for delta in &deltas {
+        for maximize in [true, false] {
+            let (set, _) = extreme_subset(delta, maximize, parity);
+            let mut flags = vec![false; n];
+            for &i in &set {
+                flags[i] = true;
+            }
+            if !candidates.contains(&flags) {
+                candidates.push(flags);
+            }
+        }
+    }
+    let mut best = candidates[0].clone();
+    let (mut best_margin, mut best_bit) = eval(&best);
+    for flags in &candidates[1..] {
+        let (m, bit) = eval(flags);
+        if m > best_margin {
+            best = flags.clone();
+            best_margin = m;
+            best_bit = bit;
+        }
+    }
+
+    // Strict-improvement refinement: single flips (pair flips under
+    // ForceOdd) applied best-first until no move helps. Terminates
+    // because the margin strictly increases over a finite config space.
+    loop {
+        let mut improved = false;
+        let mut round_best = best.clone();
+        let mut round_margin = best_margin;
+        let mut round_bit = best_bit;
+        let mut consider = |flags: Vec<bool>| {
+            let (m, bit) = eval(&flags);
+            if m > round_margin + 1e-15 {
+                round_best = flags;
+                round_margin = m;
+                round_bit = bit;
+            }
+        };
+        match parity {
+            ParityPolicy::Ignore => {
+                for i in 0..n {
+                    let mut flags = best.clone();
+                    flags[i] = !flags[i];
+                    consider(flags);
+                }
+            }
+            ParityPolicy::ForceOdd => {
+                for i in 0..n {
+                    for j in i + 1..n {
+                        let mut flags = best.clone();
+                        flags[i] = !flags[i];
+                        flags[j] = !flags[j];
+                        consider(flags);
+                    }
+                }
+            }
+        }
+        if round_margin > best_margin + 1e-15 {
+            best = round_best;
+            best_margin = round_margin;
+            best_bit = round_bit;
+            improved = true;
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let selection = Selection::new(ConfigVector::from_flags(&best), best_margin, best_bit);
+    if selection.is_degenerate() {
+        telemetry::counter("select.multi.case1.degenerate", 1);
+    }
+    selection
+}
+
+/// Case-2 selection maximizing the worst-corner margin
+/// `min_c |offset_c + Σ α_c x − Σ β_c y|` subject to `Σ x = Σ y`.
+///
+/// With one corner this is exactly [`case2_with_offset`]. With several,
+/// both orientations of every corner's sorted-prefix optimum seed a
+/// deterministic strict-improvement swap search (swaps preserve the
+/// equal-count constraint and the parity of `k`).
+///
+/// # Panics
+///
+/// Panics if `corners` is empty, any corner's inputs are invalid, or
+/// the corners disagree on the stage count.
+pub fn case2_multi_corner(corners: &[CornerDelays<'_>], parity: ParityPolicy) -> PairSelection {
+    let n = validate_corners(corners);
+    if corners.len() == 1 {
+        let c = &corners[0];
+        return case2_with_offset(c.alpha, c.beta, c.offset_ps, parity);
+    }
+    let eval = |top: &[usize], bottom: &[usize]| -> (f64, bool) {
+        let ds: Vec<f64> = corners
+            .iter()
+            .map(|c| {
+                c.offset_ps + top.iter().map(|&i| c.alpha[i]).sum::<f64>()
+                    - bottom.iter().map(|&i| c.beta[i]).sum::<f64>()
+            })
+            .collect();
+        consistent_min_margin(&ds)
+    };
+
+    // Candidate pool: both orientations of every corner's §III.D optimum.
+    let mut candidates: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+    for c in corners {
+        let (k_fwd, _) = extreme_prefix(c.alpha, c.beta, c.offset_ps, parity);
+        let fwd = (
+            select_extreme(c.alpha, k_fwd, Extreme::Slowest),
+            select_extreme(c.beta, k_fwd, Extreme::Fastest),
+        );
+        let (k_rev, _) = extreme_prefix(c.beta, c.alpha, -c.offset_ps, parity);
+        let rev = (
+            select_extreme(c.alpha, k_rev, Extreme::Fastest),
+            select_extreme(c.beta, k_rev, Extreme::Slowest),
+        );
+        for cand in [fwd, rev] {
+            if !candidates.contains(&cand) {
+                candidates.push(cand);
+            }
+        }
+    }
+    let (mut best_top, mut best_bottom) = candidates[0].clone();
+    let (mut best_margin, mut best_bit) = eval(&best_top, &best_bottom);
+    for (top, bottom) in &candidates[1..] {
+        let (m, bit) = eval(top, bottom);
+        if m > best_margin {
+            best_top = top.clone();
+            best_bottom = bottom.clone();
+            best_margin = m;
+            best_bit = bit;
+        }
+    }
+
+    // Strict-improvement refinement over count-preserving swaps in
+    // either ring.
+    loop {
+        let mut round = (best_top.clone(), best_bottom.clone(), best_margin, best_bit);
+        for ring in 0..2 {
+            let current = if ring == 0 { &best_top } else { &best_bottom };
+            for (pos, &out) in current.iter().enumerate() {
+                for add in 0..n {
+                    if current.contains(&add) {
+                        continue;
+                    }
+                    let mut swapped = current.clone();
+                    swapped[pos] = add;
+                    swapped.sort_unstable();
+                    let (top, bottom) = if ring == 0 {
+                        (swapped, best_bottom.clone())
+                    } else {
+                        (best_top.clone(), swapped)
+                    };
+                    let (m, bit) = eval(&top, &bottom);
+                    if m > round.2 + 1e-15 {
+                        round = (top, bottom, m, bit);
+                    }
+                    let _ = out;
+                }
+            }
+        }
+        if round.2 > best_margin + 1e-15 {
+            (best_top, best_bottom, best_margin, best_bit) = round;
+        } else {
+            break;
+        }
+    }
+
+    let selection = PairSelection::new(
+        ConfigVector::from_selected(n, &best_top),
+        ConfigVector::from_selected(n, &best_bottom),
+        best_margin,
+        best_bit,
+    );
+    if selection.is_degenerate() {
+        telemetry::counter("select.multi.case2.degenerate", 1);
+    }
+    selection
+}
+
+/// Case-1 multi-corner selection by restart hill climbing on the
+/// worst-corner margin — the heuristic baseline the exact-seeded
+/// [`case1_multi_corner`] is compared against in benches and tests.
+///
+/// # Panics
+///
+/// Panics if the corner inputs are invalid or `restarts == 0`.
+pub fn case1_local_search_multi<R: Rng + ?Sized>(
+    rng: &mut R,
+    corners: &[CornerDelays<'_>],
+    parity: ParityPolicy,
+    restarts: usize,
+) -> Selection {
+    let n = validate_corners(corners);
+    assert!(restarts > 0, "local search needs at least one restart");
+    let deltas: Vec<Vec<f64>> = corners
+        .iter()
+        .map(|c| c.alpha.iter().zip(c.beta).map(|(a, b)| a - b).collect())
+        .collect();
+    let eval = |flags: &[bool]| -> (f64, bool) {
+        let ds: Vec<f64> = corners
+            .iter()
+            .zip(&deltas)
+            .map(|(c, delta)| {
+                c.offset_ps
+                    + flags
+                        .iter()
+                        .zip(delta)
+                        .filter_map(|(&on, d)| on.then_some(d))
+                        .sum::<f64>()
+            })
+            .collect();
+        consistent_min_margin(&ds)
+    };
+
+    let mut best: Option<(Vec<bool>, f64, bool)> = None;
+    for _ in 0..restarts {
+        let mut x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+        if !parity.admits(x.iter().filter(|&&b| b).count()) {
+            let i = rng.gen_range(0..n);
+            x[i] = !x[i];
+        }
+        let (mut margin, mut bit) = eval(&x);
+        loop {
+            let mut step: Option<(Vec<bool>, f64, bool)> = None;
+            let mut floor = margin;
+            let mut consider = |flags: Vec<bool>| {
+                let (m, b) = eval(&flags);
+                if m > floor + 1e-15 {
+                    floor = m;
+                    step = Some((flags, m, b));
+                }
+            };
+            match parity {
+                ParityPolicy::Ignore => {
+                    for i in 0..n {
+                        let mut flags = x.clone();
+                        flags[i] = !flags[i];
+                        consider(flags);
+                    }
+                }
+                ParityPolicy::ForceOdd => {
+                    for i in 0..n {
+                        for j in i + 1..n {
+                            let mut flags = x.clone();
+                            flags[i] = !flags[i];
+                            flags[j] = !flags[j];
+                            consider(flags);
+                        }
+                    }
+                }
+            }
+            match step {
+                Some((flags, m, b)) => {
+                    x = flags;
+                    margin = m;
+                    bit = b;
+                }
+                None => break,
+            }
+        }
+        if best.as_ref().is_none_or(|(_, m, _)| margin > *m) {
+            best = Some((x, margin, bit));
+        }
+    }
+    let (x, margin, bit) = best.expect("at least one restart ran");
+    Selection::new(ConfigVector::from_flags(&x), margin, bit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::{case1, case2};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn delays(seed: u64, n: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut h = seed | 1;
+        let mut next = move || {
+            h ^= h << 13;
+            h ^= h >> 7;
+            h ^= h << 17;
+            100.0 + (h % 997) as f64 / 100.0
+        };
+        (
+            (0..n).map(|_| next()).collect(),
+            (0..n).map(|_| next()).collect(),
+        )
+    }
+
+    /// A second corner derived from the first by per-stage sensitivity
+    /// dispersion, like a V/T excursion produces on real silicon.
+    fn perturb(v: &[f64], seed: u64, scale: f64) -> Vec<f64> {
+        let mut h = seed | 1;
+        v.iter()
+            .map(|&d| {
+                h ^= h << 13;
+                h ^= h >> 7;
+                h ^= h << 17;
+                d * (1.0 + scale * ((h % 2001) as f64 / 1000.0 - 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_corner_reduces_to_the_exact_solvers() {
+        for seed in 0..20 {
+            for n in 1..=9 {
+                let (a, b) = delays(seed, n);
+                for parity in [ParityPolicy::Ignore, ParityPolicy::ForceOdd] {
+                    let corner = CornerDelays {
+                        alpha: &a,
+                        beta: &b,
+                        offset_ps: 0.75,
+                    };
+                    assert_eq!(
+                        case1_multi_corner(&[corner], parity),
+                        case1_with_offset(&a, &b, 0.75, parity)
+                    );
+                    assert_eq!(
+                        case2_multi_corner(&[corner], parity),
+                        case2_with_offset(&a, &b, 0.75, parity)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worst_corner_margin_never_beats_any_single_corner_optimum() {
+        for seed in 0..20 {
+            let (a0, b0) = delays(seed, 7);
+            let a1 = perturb(&a0, seed.wrapping_add(99), 0.02);
+            let b1 = perturb(&b0, seed.wrapping_add(177), 0.02);
+            let corners = [
+                CornerDelays {
+                    alpha: &a0,
+                    beta: &b0,
+                    offset_ps: 0.0,
+                },
+                CornerDelays {
+                    alpha: &a1,
+                    beta: &b1,
+                    offset_ps: 0.0,
+                },
+            ];
+            let multi = case1_multi_corner(&corners, ParityPolicy::Ignore);
+            let c0 = case1(&a0, &b0, ParityPolicy::Ignore);
+            let c1 = case1(&a1, &b1, ParityPolicy::Ignore);
+            assert!(multi.margin() <= c0.margin() + 1e-9, "seed {seed}");
+            assert!(multi.margin() <= c1.margin() + 1e-9, "seed {seed}");
+            let multi2 = case2_multi_corner(&corners, ParityPolicy::Ignore);
+            let d0 = case2(&a0, &b0, ParityPolicy::Ignore);
+            let d1 = case2(&a1, &b1, ParityPolicy::Ignore);
+            assert!(multi2.margin() <= d0.margin() + 1e-9, "seed {seed}");
+            assert!(multi2.margin() <= d1.margin() + 1e-9, "seed {seed}");
+        }
+    }
+
+    /// The guarantee that matters: the multi-corner result is at least
+    /// as good, at its worst corner, as every per-corner optimum is at
+    /// *its* worst corner.
+    #[test]
+    fn beats_every_single_corner_optimum_at_the_worst_corner() {
+        let worst_corner_of = |cfg: &ConfigVector,
+                               corners: &[CornerDelays<'_>]|
+         -> f64 {
+            let sel = cfg.selected_indices();
+            let ds: Vec<f64> = corners
+                .iter()
+                .map(|c| {
+                    c.offset_ps
+                        + sel
+                            .iter()
+                            .map(|&i| c.alpha[i] - c.beta[i])
+                            .sum::<f64>()
+                })
+                .collect();
+            consistent_min_margin(&ds).0
+        };
+        for seed in 0..30 {
+            let (a0, b0) = delays(seed, 7);
+            let a1 = perturb(&a0, seed.wrapping_add(5), 0.03);
+            let b1 = perturb(&b0, seed.wrapping_add(9), 0.03);
+            let corners = [
+                CornerDelays {
+                    alpha: &a0,
+                    beta: &b0,
+                    offset_ps: 0.0,
+                },
+                CornerDelays {
+                    alpha: &a1,
+                    beta: &b1,
+                    offset_ps: 0.0,
+                },
+            ];
+            let multi = case1_multi_corner(&corners, ParityPolicy::Ignore);
+            for (a, b) in [(&a0, &b0), (&a1, &b1)] {
+                let single = case1(a, b, ParityPolicy::Ignore);
+                assert!(
+                    multi.margin() + 1e-9 >= worst_corner_of(single.config(), &corners),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sign_disagreement_is_degenerate() {
+        // One stage, opposite polarity at the two corners: no selection
+        // can satisfy both.
+        let corners = [
+            CornerDelays {
+                alpha: &[11.0],
+                beta: &[10.0],
+                offset_ps: 0.0,
+            },
+            CornerDelays {
+                alpha: &[10.0],
+                beta: &[11.0],
+                offset_ps: 0.0,
+            },
+        ];
+        let s = case1_multi_corner(&corners, ParityPolicy::ForceOdd);
+        assert!(s.is_degenerate());
+        assert!(!s.bit());
+        let p = case2_multi_corner(&corners, ParityPolicy::ForceOdd);
+        assert!(p.is_degenerate());
+    }
+
+    #[test]
+    fn force_odd_is_respected_across_corners() {
+        for seed in 0..10 {
+            let (a0, b0) = delays(seed, 8);
+            let a1 = perturb(&a0, seed + 31, 0.02);
+            let b1 = perturb(&b0, seed + 47, 0.02);
+            let corners = [
+                CornerDelays {
+                    alpha: &a0,
+                    beta: &b0,
+                    offset_ps: 1.0,
+                },
+                CornerDelays {
+                    alpha: &a1,
+                    beta: &b1,
+                    offset_ps: 1.2,
+                },
+            ];
+            let s = case1_multi_corner(&corners, ParityPolicy::ForceOdd);
+            assert!(s.config().oscillates(), "seed {seed}");
+            let p = case2_multi_corner(&corners, ParityPolicy::ForceOdd);
+            assert_eq!(p.top().selected_count(), p.bottom().selected_count());
+            assert!(p.top().selected_count() % 2 == 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn local_search_never_beats_brute_force_on_small_rings() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for seed in 0..15 {
+            let (a0, b0) = delays(seed, 6);
+            let a1 = perturb(&a0, seed + 3, 0.03);
+            let b1 = perturb(&b0, seed + 8, 0.03);
+            let corners = [
+                CornerDelays {
+                    alpha: &a0,
+                    beta: &b0,
+                    offset_ps: 0.0,
+                },
+                CornerDelays {
+                    alpha: &a1,
+                    beta: &b1,
+                    offset_ps: 0.0,
+                },
+            ];
+            // Brute-force the min-margin optimum over all 2^6 subsets.
+            let mut brute = 0.0f64;
+            for mask in 0u32..(1 << 6) {
+                let flags: Vec<bool> = (0..6).map(|i| mask >> i & 1 == 1).collect();
+                let ds: Vec<f64> = corners
+                    .iter()
+                    .map(|c| {
+                        flags
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &on)| on)
+                            .map(|(i, _)| c.alpha[i] - c.beta[i])
+                            .sum::<f64>()
+                    })
+                    .collect();
+                brute = brute.max(consistent_min_margin(&ds).0);
+            }
+            let heur = case1_local_search_multi(&mut rng, &corners, ParityPolicy::Ignore, 8);
+            let exact_seeded = case1_multi_corner(&corners, ParityPolicy::Ignore);
+            assert!(heur.margin() <= brute + 1e-9, "seed {seed}");
+            assert!(exact_seeded.margin() <= brute + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one corner")]
+    fn empty_corner_list_panics() {
+        let _ = case1_multi_corner(&[], ParityPolicy::Ignore);
+    }
+
+    #[test]
+    #[should_panic(expected = "same stages")]
+    fn mismatched_corner_lengths_panic() {
+        let corners = [
+            CornerDelays {
+                alpha: &[1.0, 2.0],
+                beta: &[1.0, 1.0],
+                offset_ps: 0.0,
+            },
+            CornerDelays {
+                alpha: &[1.0],
+                beta: &[1.0],
+                offset_ps: 0.0,
+            },
+        ];
+        let _ = case1_multi_corner(&corners, ParityPolicy::Ignore);
+    }
+}

@@ -382,6 +382,78 @@ proptest! {
     }
 
     #[test]
+    fn nominal_corner_set_is_bit_identical_to_nominal_only(
+        seed in any::<u64>(),
+        stages in 1usize..=9,
+        fault_scale in proptest::sample::select(vec![0.0f64, 0.25, 1.0]),
+    ) {
+        // A corner set containing only the enrollment environment
+        // deduplicates to nothing extra, which must take the exact
+        // legacy code path — through the plain pipeline and through the
+        // fault-tolerant one, with and without an active fault plan.
+        use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+        use ropuf_core::robust::{enroll_robust, FaultPlan};
+        use ropuf_silicon::CornerSet;
+        let sim = SiliconSim::default_spartan();
+        let mut grow = StdRng::seed_from_u64(seed);
+        let units = stages * 2 * 4;
+        let board = sim.grow_board_with_id(&mut grow, BoardId(0), units, 8);
+        let puf = ConfigurableRoPuf::tiled(units, stages);
+        let env = Environment::nominal();
+        let tech = sim.technology();
+        let nominal_only = EnrollOptions {
+            corners: CornerSet::try_from_slice(&[env]).unwrap(),
+            ..EnrollOptions::default()
+        };
+        let legacy = EnrollOptions::default();
+        prop_assert_eq!(
+            puf.enroll_seeded(seed, &board, tech, env, &nominal_only),
+            puf.enroll_seeded(seed, &board, tech, env, &legacy)
+        );
+        let plan = FaultPlan::scaled(fault_scale);
+        let a = enroll_robust(&puf, seed, &board, tech, env, &nominal_only, &plan);
+        let b = enroll_robust(&puf, seed, &board, tech, env, &legacy, &plan);
+        prop_assert_eq!(a.enrollment, b.enrollment);
+        prop_assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn reenroll_on_unaged_board_is_a_no_op(seed in any::<u64>(), stages in 2usize..6) {
+        // Unaged silicon shows no drift under noiseless assessment, so
+        // re-enrollment must keep the old enrollment and return the
+        // typed NotDrifted rejection.
+        use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+        use ropuf_core::reenroll::{reenroll, ReenrollOutcome, ReenrollPolicy, ReenrollRejected};
+        use ropuf_core::robust::FaultPlan;
+        let sim = SiliconSim::default_spartan();
+        let mut grow = StdRng::seed_from_u64(seed);
+        let units = stages * 2 * 4;
+        let board = sim.grow_board_with_id(&mut grow, BoardId(0), units, 8);
+        let puf = ConfigurableRoPuf::tiled(units, stages);
+        let env = Environment::nominal();
+        let tech = sim.technology();
+        // The margin threshold keeps near-tie pairs out of the old
+        // enrollment, so its bits survive noiseless re-assessment.
+        let opts = EnrollOptions { threshold_ps: 5.0, ..EnrollOptions::default() };
+        let old = puf.enroll_seeded(seed, &board, tech, env, &opts);
+        let outcome = reenroll(
+            &puf,
+            seed ^ 0x5eed,
+            &board,
+            tech,
+            env,
+            &opts,
+            &ReenrollPolicy::default(),
+            &FaultPlan::scaled(0.0),
+            &old,
+        );
+        prop_assert!(matches!(
+            outcome,
+            ReenrollOutcome::Rejected(ReenrollRejected::NotDrifted { .. })
+        ));
+    }
+
+    #[test]
     fn enrollment_text_round_trip(seed in any::<u64>(), stages in 2usize..8) {
         use ropuf_core::persist::{enrollment_from_text, enrollment_to_text};
         use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};

@@ -111,6 +111,7 @@ pub(crate) fn render_record(
         Reply::AuthOk { .. } => "auth_ok",
         Reply::Key { .. } => "key",
         Reply::Revoked => "revoked",
+        Reply::Reenrolled { .. } => "reenrolled",
         Reply::Reject { .. } => "reject",
         Reply::Error { .. } => "error",
     };

@@ -19,14 +19,27 @@ use ropuf_core::fleet::{parallel_map_indexed, split_seed};
 use ropuf_core::lifecycle::Device;
 use ropuf_core::persist::enrollment_to_bytes;
 use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
+use ropuf_core::reenroll::{self, DriftAssessment, ReenrollOutcome, ReenrollPolicy};
 use ropuf_core::robust::FaultPlan;
 use ropuf_num::bits::BitVec;
+use ropuf_silicon::aging::AgingModel;
 use ropuf_silicon::board::BoardId;
 use ropuf_silicon::{Environment, SiliconSim};
 use ropuf_telemetry as telemetry;
+use ropuf_telemetry::health::{Direction, GaugeSpec, HealthBoard, Thresholds};
 
 use crate::net::Client;
 use crate::proto::{RejectReason, Reply, Request, WireBits};
+
+/// Seed stream for the aging draw of the re-enrollment drill. Distinct
+/// from every other reserved high stream (`u64::MAX` / `u64::MAX - 1`
+/// in `fleet`, `- 2`/`- 3` in `robust`, `- 4` in `lifecycle`, `- 9` in
+/// the serve bench, `- 16` down in `puf`) and far above the small
+/// per-op indices the drills split off a device seed.
+const STREAM_DRILL_AGING: u64 = u64::MAX - 6;
+/// Seed stream for the replacement enrollment (and its re-issued key
+/// code) in the re-enrollment drill.
+const STREAM_DRILL_REENROLL: u64 = u64::MAX - 7;
 
 /// What a drill does. Everything that could perturb the transcript is
 /// in here — the transcript is a pure function of this struct.
@@ -107,6 +120,9 @@ fn describe(reply: &Reply) -> String {
         Reply::AuthOk { compared, flips } => format!("auth_ok compared={compared} flips={flips}"),
         Reply::Key { key } => format!("key bits={} hex={}", key.len(), bits_hex(key)),
         Reply::Revoked => "revoked".to_string(),
+        Reply::Reenrolled { bits, generation } => {
+            format!("reenrolled bits={bits} gen={generation}")
+        }
         Reply::Reject { reason } => format!("reject {}", reason.as_str()),
         Reply::Error { message } => format!("error {message}"),
     }
@@ -225,6 +241,454 @@ pub fn run_drill(addr: SocketAddr, spec: &DrillSpec) -> io::Result<DrillReport> 
     Ok(report)
 }
 
+/// The phase a re-enrollment drill stops after — the kill-and-restart
+/// hook: run with `stop_after = Some(Reenroll)`, restart the server on
+/// the same store, and a `resume` run's verify phase must find the
+/// superseded generations the replay resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReenrollStage {
+    /// After provisioning and the fresh-silicon auth.
+    Enroll,
+    /// After the drift assessment (and its fleet gauge line).
+    Assess,
+    /// After the supersede ops — the store holds mixed generations.
+    Reenroll,
+}
+
+impl ReenrollStage {
+    /// Parses the CLI spelling (`enroll` / `assess` / `reenroll`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "enroll" => Some(Self::Enroll),
+            "assess" => Some(Self::Assess),
+            "reenroll" => Some(Self::Reenroll),
+            _ => None,
+        }
+    }
+}
+
+/// What a re-enrollment drill does. As with [`DrillSpec`], the
+/// transcript is a pure function of this struct: every local quantity
+/// (boards, aging, assessments, responses) derives from `seed`, and
+/// the server replies are determined by the op sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct ReenrollDrillSpec {
+    /// Master seed; device `d` derives `split_seed(seed, d)`.
+    pub seed: u64,
+    /// Devices to enroll, age, and (where drifted) re-enroll.
+    pub devices: u64,
+    /// Configurable units per board.
+    pub units: usize,
+    /// Spatial columns per board.
+    pub cols: usize,
+    /// Majority votes per read-out (odd).
+    pub votes: usize,
+    /// Repetition factor of the Key Code sketch (odd).
+    pub repetition: usize,
+    /// Years of BTI aging applied between enrollment and assessment.
+    pub years: f64,
+    /// Client-side fan-out threads.
+    pub client_threads: usize,
+    /// Stop after this phase (leaving the store for a later resume).
+    pub stop_after: Option<ReenrollStage>,
+    /// Skip the already-committed phases and run only the verify phase
+    /// against an existing store; local state is recomputed from the
+    /// seed. Concatenating a `stop_after = Reenroll` transcript with a
+    /// resumed one reproduces the full-run transcript byte for byte.
+    pub resume: bool,
+}
+
+impl Default for ReenrollDrillSpec {
+    fn default() -> Self {
+        Self {
+            seed: 4,
+            devices: 24,
+            units: 240,
+            cols: 12,
+            votes: 1,
+            repetition: 3,
+            years: 10.0,
+            client_threads: 4,
+            stop_after: None,
+            resume: false,
+        }
+    }
+}
+
+/// Aggregate outcome of a re-enrollment drill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReenrollDrillReport {
+    /// Phase-ordered, device-ordered op lines plus the fleet gauge
+    /// lines — the determinism artefact.
+    pub transcript: String,
+    /// Devices provisioned.
+    pub devices: u64,
+    /// Devices whose drift assessment triggered ([`DriftAssessment::drifted`]).
+    pub drifted: u64,
+    /// Devices whose replacement enrollment was accepted and superseded.
+    pub reenrolled: u64,
+    /// Wire ops issued (enrolls, auths, supersedes, derives).
+    pub ops: u64,
+    /// Accepted wire ops.
+    pub accepted: u64,
+    /// Rejected wire ops.
+    pub rejected: u64,
+}
+
+/// Everything device `d` contributes to the drill, computed once up
+/// front as a pure function of the spec (which is what lets a resumed
+/// run rebuild its local state without the earlier phases' wire ops).
+struct ReenrollBundle {
+    /// Serialized original enrollment (the `enroll` op payload).
+    enroll_bytes: Vec<u8>,
+    /// Serialized original key code.
+    code_bytes: Vec<u8>,
+    /// Fresh-silicon auth response (nonce 1).
+    fresh_bits: Vec<Option<bool>>,
+    /// Aged-silicon auth response under the old enrollment (nonce 2).
+    aged_bits: Vec<Option<bool>>,
+    /// The old enrollment re-assessed on the aged silicon.
+    pre: DriftAssessment,
+    /// Whether `pre` triggered the re-enrollment policy.
+    drifted: bool,
+    /// Human-readable decision: the margin improvement, or why the old
+    /// enrollment was kept.
+    decision: String,
+    /// Supersede payload (enrollment, key code) when accepted.
+    replacement: Option<(Vec<u8>, Vec<u8>)>,
+    /// The in-force enrollment (replacement or old) re-assessed on the
+    /// aged silicon — the heal evidence.
+    post: DriftAssessment,
+    /// Post-loop auth response under the in-force enrollment (nonce 3).
+    post_bits: Vec<Option<bool>>,
+    /// Key-derivation response under the in-force enrollment (nonce 4).
+    key_bits: Vec<Option<bool>>,
+}
+
+/// Computes device `d`'s bundle: grow, enroll, age, assess, decide,
+/// and pre-derive every wire response.
+fn reenroll_bundle(spec: &ReenrollDrillSpec, d: u64) -> io::Result<ReenrollBundle> {
+    let device_seed = split_seed(spec.seed, d);
+    let plan = FaultPlan::scaled(0.0);
+    let sim = SiliconSim::default_spartan();
+    let tech = *sim.technology();
+    let env = Environment::nominal();
+    // The threshold keeps near-tie pairs out of the enrollment, so a
+    // noiseless re-assessment on *unaged* silicon never flips — only
+    // actual aging can trigger the loop.
+    let opts = EnrollOptions {
+        threshold_ps: 5.0,
+        ..EnrollOptions::default()
+    };
+    let mut rng = StdRng::seed_from_u64(device_seed);
+    let board = sim.grow_board_with_id(&mut rng, BoardId(d as u32), spec.units, spec.cols);
+    let started = Device::start(
+        &board,
+        &tech,
+        env,
+        ConfigurableRoPuf::tiled_interleaved(board.len(), 4),
+        opts,
+    );
+    let (device, code) = started
+        .generate_key(device_seed, spec.repetition, &plan)
+        .map_err(|e| io::Error::other(format!("device {d} failed to enroll: {e}")))?;
+    let fresh_bits = device.respond(split_seed(device_seed, 1), spec.votes, &plan).0;
+    let old = device.enrollment().clone();
+
+    let model = AgingModel {
+        sigma_drift_rel: 0.02,
+        sigma_path_rel: 0.01,
+        ..AgingModel::default()
+    };
+    let mut aging_rng = StdRng::seed_from_u64(split_seed(device_seed, STREAM_DRILL_AGING));
+    let aged = model.age_board(&mut aging_rng, &board, spec.years);
+
+    let policy = ReenrollPolicy::default();
+    let corners = reenroll::assessment_corners(env, &policy);
+    let pre = reenroll::assess_drift(&old, &aged, &tech, &corners);
+    let aged_device = Device::resume(&aged, &tech, env, opts, old.clone())
+        .map_err(|e| io::Error::other(format!("device {d} failed to resume: {e}")))?;
+    let aged_bits = aged_device
+        .respond(split_seed(device_seed, 2), spec.votes, &plan)
+        .0;
+
+    let outcome = reenroll::reenroll(
+        &ConfigurableRoPuf::tiled_interleaved(board.len(), 4),
+        split_seed(device_seed, STREAM_DRILL_REENROLL),
+        &aged,
+        &tech,
+        env,
+        &opts,
+        &policy,
+        &plan,
+        &old,
+    );
+    let (in_force, decision, replacement) = match outcome {
+        ReenrollOutcome::Accepted {
+            enrollment,
+            old_margin_ps,
+            new_margin_ps,
+        } => {
+            // Old key codes are bound to the old response; re-issue
+            // against the replacement before committing it.
+            let resumed = Device::resume(&aged, &tech, env, opts, enrollment.clone())
+                .map_err(|e| io::Error::other(format!("device {d} failed to resume: {e}")))?;
+            let new_code = resumed
+                .issue_key(split_seed(device_seed, STREAM_DRILL_REENROLL), spec.repetition)
+                .map_err(|e| io::Error::other(format!("device {d} failed to re-key: {e}")))?;
+            let payload = (enrollment_to_bytes(&enrollment), new_code.to_bytes());
+            (
+                enrollment,
+                format!("(margin {old_margin_ps:.2} -> {new_margin_ps:.2} ps)"),
+                Some(payload),
+            )
+        }
+        ReenrollOutcome::Rejected(reason) => (old.clone(), format!("kept ({reason})"), None),
+    };
+    let post = reenroll::assess_drift(&in_force, &aged, &tech, &corners);
+    let final_device = Device::resume(&aged, &tech, env, opts, in_force)
+        .map_err(|e| io::Error::other(format!("device {d} failed to resume: {e}")))?;
+    let post_bits = final_device
+        .respond(split_seed(device_seed, 3), spec.votes, &plan)
+        .0;
+    let key_bits = final_device
+        .respond(split_seed(device_seed, 4), spec.votes, &plan)
+        .0;
+    Ok(ReenrollBundle {
+        enroll_bytes: enrollment_to_bytes(&old),
+        code_bytes: code.to_bytes(),
+        fresh_bits,
+        aged_bits,
+        drifted: pre.drifted(&policy),
+        pre,
+        decision,
+        replacement,
+        post,
+        post_bits,
+        key_bits,
+    })
+}
+
+/// Renders the fleet drift gauge line for one phase: the aggregate
+/// enrollment-point flip rate classified through the same
+/// `aged_flip_rate_nominal` gauge (name and thresholds) the fleet
+/// observatory publishes, plus whether [`reenroll::drift_flagged`]
+/// would nominate the fleet for re-enrollment.
+fn drift_gauge_line(phase: &str, flips: usize, bits: usize) -> String {
+    let value = if bits == 0 {
+        0.0
+    } else {
+        flips as f64 / bits as f64
+    };
+    let mut health = HealthBoard::new(vec![GaugeSpec {
+        name: "aged_flip_rate_nominal",
+        help: "Mean flip fraction at the nominal corner on aged silicon (ideal 0)",
+        direction: Direction::HighIsBad,
+        level: Thresholds {
+            warn: 0.005,
+            critical: 0.05,
+            hysteresis: 0.001,
+        },
+        drift: None,
+    }]);
+    health.observe("aged_flip_rate_nominal", value);
+    let report = health.report();
+    format!(
+        "phase={phase} gauge=aged_flip_rate_nominal value={value:.4} status={} drift_flagged={}\n",
+        report.gauges[0].status,
+        reenroll::drift_flagged(&report)
+    )
+}
+
+/// Classifies one reply into the accepted/rejected tallies.
+fn tally(reply: &Reply, accepted: &mut u64, rejected: &mut u64) {
+    match reply {
+        Reply::Enrolled { .. }
+        | Reply::AuthOk { .. }
+        | Reply::Key { .. }
+        | Reply::Reenrolled { .. } => *accepted += 1,
+        Reply::Reject { .. } => *rejected += 1,
+        _ => {}
+    }
+}
+
+/// Folds per-device phase chunks into the report in device order.
+fn append_chunks(
+    report: &mut ReenrollDrillReport,
+    chunks: Vec<io::Result<(String, u64, u64, u64)>>,
+) -> io::Result<()> {
+    for chunk in chunks {
+        let (transcript, ops, accepted, rejected) = chunk?;
+        report.transcript.push_str(&transcript);
+        report.ops += ops;
+        report.accepted += accepted;
+        report.rejected += rejected;
+    }
+    Ok(())
+}
+
+/// Runs the aged-fleet re-enrollment drill against a live server:
+/// enroll fresh silicon, age it, assess drift (fleet gauge goes
+/// unhealthy), supersede the drifted devices' enrollments over the
+/// wire, and verify the healed fleet authenticates and derives keys
+/// against whatever generation the store now holds.
+///
+/// # Errors
+///
+/// The first per-device transport, enrollment, or re-key failure.
+pub fn run_reenroll_drill(
+    addr: SocketAddr,
+    spec: &ReenrollDrillSpec,
+) -> io::Result<ReenrollDrillReport> {
+    let _span = telemetry::span("serve.reenroll_drill");
+    let n = spec.devices as usize;
+    let bundles = parallel_map_indexed(n, spec.client_threads, |d| reenroll_bundle(spec, d as u64))
+        .into_iter()
+        .collect::<io::Result<Vec<_>>>()?;
+    let mut report = ReenrollDrillReport {
+        transcript: String::new(),
+        devices: spec.devices,
+        drifted: bundles.iter().filter(|b| b.drifted).count() as u64,
+        reenrolled: bundles.iter().filter(|b| b.replacement.is_some()).count() as u64,
+        ops: 0,
+        accepted: 0,
+        rejected: 0,
+    };
+
+    if !spec.resume {
+        // Phase 1 — enroll: provision every device and prove the fresh
+        // silicon authenticates.
+        let chunks = parallel_map_indexed(n, spec.client_threads, |d| {
+            let b = &bundles[d];
+            let d = d as u64;
+            let mut client = Client::connect(addr)?;
+            let mut t = String::new();
+            let (mut acc, mut rej) = (0u64, 0u64);
+            let reply = client.call(&Request::Enroll {
+                device_id: d,
+                enrollment: b.enroll_bytes.clone(),
+                key_code: b.code_bytes.clone(),
+            })?;
+            tally(&reply, &mut acc, &mut rej);
+            writeln!(t, "d={d} op=enroll -> {}", describe(&reply)).expect("write to String");
+            let reply = client.call(&Request::Auth {
+                device_id: d,
+                nonce: 1,
+                response: WireBits::new(b.fresh_bits.clone()),
+            })?;
+            tally(&reply, &mut acc, &mut rej);
+            writeln!(t, "d={d} op=auth_fresh -> {}", describe(&reply)).expect("write to String");
+            Ok((t, 2u64, acc, rej))
+        });
+        append_chunks(&mut report, chunks)?;
+        if spec.stop_after == Some(ReenrollStage::Enroll) {
+            return Ok(report);
+        }
+
+        // Phase 2 — assess: re-evaluate every enrollment on the aged
+        // silicon and show the degraded fleet on the wire.
+        let chunks = parallel_map_indexed(n, spec.client_threads, |d| {
+            let b = &bundles[d];
+            let d = d as u64;
+            let mut client = Client::connect(addr)?;
+            let mut t = String::new();
+            let (mut acc, mut rej) = (0u64, 0u64);
+            writeln!(
+                t,
+                "d={d} op=assess -> drifted={} flips={}/{} margin={:.2} ps worst={:.2} ps",
+                b.drifted,
+                b.pre.enrollment_point_flips,
+                b.pre.bits,
+                b.pre.min_margin_ps,
+                b.pre.worst_corner_margin_ps
+            )
+            .expect("write to String");
+            let reply = client.call(&Request::Auth {
+                device_id: d,
+                nonce: 2,
+                response: WireBits::new(b.aged_bits.clone()),
+            })?;
+            tally(&reply, &mut acc, &mut rej);
+            writeln!(t, "d={d} op=auth_aged -> {}", describe(&reply)).expect("write to String");
+            Ok((t, 1u64, acc, rej))
+        });
+        append_chunks(&mut report, chunks)?;
+        let flips: usize = bundles.iter().map(|b| b.pre.enrollment_point_flips).sum();
+        let bits: usize = bundles.iter().map(|b| b.pre.bits).sum();
+        report
+            .transcript
+            .push_str(&drift_gauge_line("assess", flips, bits));
+        if spec.stop_after == Some(ReenrollStage::Assess) {
+            return Ok(report);
+        }
+
+        // Phase 3 — reenroll: supersede the accepted replacements;
+        // devices the policy kept produce a local line only.
+        let chunks = parallel_map_indexed(n, spec.client_threads, |d| {
+            let b = &bundles[d];
+            let d = d as u64;
+            let mut t = String::new();
+            let (mut acc, mut rej) = (0u64, 0u64);
+            let mut ops = 0u64;
+            match &b.replacement {
+                Some((enrollment, key_code)) => {
+                    let mut client = Client::connect(addr)?;
+                    let reply = client.call(&Request::Reenroll {
+                        device_id: d,
+                        enrollment: enrollment.clone(),
+                        key_code: key_code.clone(),
+                    })?;
+                    ops += 1;
+                    tally(&reply, &mut acc, &mut rej);
+                    writeln!(t, "d={d} op=reenroll {} -> {}", b.decision, describe(&reply))
+                        .expect("write to String");
+                }
+                None => {
+                    writeln!(t, "d={d} op=reenroll -> {}", b.decision).expect("write to String");
+                }
+            }
+            Ok((t, ops, acc, rej))
+        });
+        append_chunks(&mut report, chunks)?;
+        if spec.stop_after == Some(ReenrollStage::Reenroll) {
+            return Ok(report);
+        }
+    }
+
+    // Phase 4 — verify: the fleet authenticates and derives keys
+    // against whatever generation the store resolved (fresh process or
+    // not), and the drift gauge reads healthy again.
+    let chunks = parallel_map_indexed(n, spec.client_threads, |d| {
+        let b = &bundles[d];
+        let d = d as u64;
+        let mut client = Client::connect(addr)?;
+        let mut t = String::new();
+        let (mut acc, mut rej) = (0u64, 0u64);
+        let reply = client.call(&Request::Auth {
+            device_id: d,
+            nonce: 3,
+            response: WireBits::new(b.post_bits.clone()),
+        })?;
+        tally(&reply, &mut acc, &mut rej);
+        writeln!(t, "d={d} op=auth_post -> {}", describe(&reply)).expect("write to String");
+        let reply = client.call(&Request::DeriveKey {
+            device_id: d,
+            nonce: 4,
+            response: WireBits::new(b.key_bits.clone()),
+        })?;
+        tally(&reply, &mut acc, &mut rej);
+        writeln!(t, "d={d} op=derive_key -> {}", describe(&reply)).expect("write to String");
+        Ok((t, 2u64, acc, rej))
+    });
+    append_chunks(&mut report, chunks)?;
+    let flips: usize = bundles.iter().map(|b| b.post.enrollment_point_flips).sum();
+    let bits: usize = bundles.iter().map(|b| b.post.bits).sum();
+    report
+        .transcript
+        .push_str(&drift_gauge_line("verify", flips, bits));
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,4 +730,105 @@ mod tests {
         assert!(report_a.transcript.contains("op=replay -> reject replay"));
         assert!(report_a.transcript.contains("op=derive_key -> key bits="));
     }
+
+    #[test]
+    fn reenroll_drill_heals_the_gauge_and_survives_a_restart() {
+        let spec = ReenrollDrillSpec {
+            devices: 6,
+            client_threads: 2,
+            ..ReenrollDrillSpec::default()
+        };
+
+        // Full run: drift flags the fleet, supersedes heal it.
+        let (server, dir) = spawn("reenroll-full", 2);
+        let full = run_reenroll_drill(server.addr(), &spec).unwrap();
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(full.drifted >= 1, "pinned seed must drift: {full:?}");
+        assert!(
+            full.drifted < spec.devices,
+            "pinned seed must also keep a healthy device: {full:?}"
+        );
+        assert_eq!(
+            full.reenrolled, full.drifted,
+            "every drifted device finds a strictly better enrollment"
+        );
+        assert!(full
+            .transcript
+            .contains("phase=assess gauge=aged_flip_rate_nominal"));
+        let assess_line = full
+            .transcript
+            .lines()
+            .find(|l| l.starts_with("phase=assess gauge="))
+            .unwrap();
+        assert!(
+            assess_line.contains("drift_flagged=true"),
+            "{assess_line}"
+        );
+        let verify_line = full
+            .transcript
+            .lines()
+            .find(|l| l.starts_with("phase=verify gauge="))
+            .unwrap();
+        assert!(
+            verify_line.contains("status=ok drift_flagged=false"),
+            "{verify_line}"
+        );
+        assert!(full.transcript.contains("-> reenrolled bits="));
+        assert!(full.transcript.contains("op=reenroll -> kept ("));
+
+        // Determinism across server worker and client thread counts.
+        let (server_b, dir_b) = spawn("reenroll-threads", 4);
+        let wide = run_reenroll_drill(
+            server_b.addr(),
+            &ReenrollDrillSpec {
+                client_threads: 1,
+                ..spec
+            },
+        )
+        .unwrap();
+        server_b.shutdown();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+        assert_eq!(full.transcript, wide.transcript, "thread-count independent");
+
+        // Kill-and-restart: stop after the supersedes, reopen the store
+        // in a fresh service, and resume. The concatenated transcripts
+        // must equal the full run's.
+        let dir = temp_dir("reenroll-restart");
+        let store = Store::open(&dir, 4, FsyncPolicy::Batched).unwrap();
+        let service = Arc::new(PufService::new(store, ServiceConfig::default()));
+        let server = serve(service.clone(), "127.0.0.1:0".parse().unwrap(), 2).unwrap();
+        let stopped = run_reenroll_drill(
+            server.addr(),
+            &ReenrollDrillSpec {
+                stop_after: Some(ReenrollStage::Reenroll),
+                ..spec
+            },
+        )
+        .unwrap();
+        server.shutdown();
+        service.store().sync_all().unwrap();
+        drop(service);
+
+        let store = Store::open(&dir, 4, FsyncPolicy::Batched).unwrap();
+        let service = Arc::new(PufService::new(store, ServiceConfig::default()));
+        let server = serve(service, "127.0.0.1:0".parse().unwrap(), 2).unwrap();
+        let resumed = run_reenroll_drill(
+            server.addr(),
+            &ReenrollDrillSpec {
+                resume: true,
+                ..spec
+            },
+        )
+        .unwrap();
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(
+            format!("{}{}", stopped.transcript, resumed.transcript),
+            full.transcript,
+            "stop-after + resume reproduces the full run"
+        );
+        assert_eq!(resumed.rejected, 0, "healed fleet authenticates cleanly");
+    }
 }
+

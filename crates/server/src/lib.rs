@@ -40,7 +40,10 @@ pub mod store;
 pub(crate) mod testutil;
 
 pub use access::{AccessLog, RequestId};
-pub use drill::{run_drill, DrillReport, DrillSpec};
+pub use drill::{
+    run_drill, run_reenroll_drill, DrillReport, DrillSpec, ReenrollDrillReport, ReenrollDrillSpec,
+    ReenrollStage,
+};
 pub use net::{serve, serve_with_admin, Client, ServerHandle};
 pub use ops::{OpsConfig, OpsPlane};
 pub use proto::{RejectReason, Reply, Request, WireBits};

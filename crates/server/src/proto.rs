@@ -24,6 +24,7 @@ const OP_ENROLL: u8 = 1;
 const OP_AUTH: u8 = 2;
 const OP_DERIVE_KEY: u8 = 3;
 const OP_REVOKE: u8 = 4;
+const OP_REENROLL: u8 = 5;
 
 const ST_ENROLLED: u8 = 0;
 const ST_AUTH_OK: u8 = 1;
@@ -31,6 +32,7 @@ const ST_KEY: u8 = 2;
 const ST_REVOKED: u8 = 3;
 const ST_REJECT: u8 = 4;
 const ST_ERROR: u8 = 5;
+const ST_REENROLLED: u8 = 6;
 
 /// A fault-screened response read-out in wire form: one `Option<bool>`
 /// per enrolled bit, `None` marking erasures.
@@ -137,6 +139,19 @@ pub enum Request {
         /// Device identity.
         device_id: u64,
     },
+    /// Supersede a live enrollment with a replacement (the
+    /// drift-triggered re-enrollment commit): same payload shape as
+    /// [`Request::Enroll`], but the device must already be enrolled.
+    /// The old generation keeps authenticating until the new record is
+    /// durable — there is no unenrolled window.
+    Reenroll {
+        /// Device identity.
+        device_id: u64,
+        /// `persist::enrollment_to_bytes` output (the replacement).
+        enrollment: Vec<u8>,
+        /// `KeyCode::to_bytes` output (re-issued for the new bits).
+        key_code: Vec<u8>,
+    },
 }
 
 impl Request {
@@ -146,7 +161,8 @@ impl Request {
             Request::Enroll { device_id, .. }
             | Request::Auth { device_id, .. }
             | Request::DeriveKey { device_id, .. }
-            | Request::Revoke { device_id } => *device_id,
+            | Request::Revoke { device_id }
+            | Request::Reenroll { device_id, .. } => *device_id,
         }
     }
 
@@ -157,6 +173,7 @@ impl Request {
             Request::Auth { .. } => "auth",
             Request::DeriveKey { .. } => "derive_key",
             Request::Revoke { .. } => "revoke",
+            Request::Reenroll { .. } => "reenroll",
         }
     }
 
@@ -200,6 +217,18 @@ impl Request {
                 out.push(OP_REVOKE);
                 out.extend_from_slice(&device_id.to_le_bytes());
             }
+            Request::Reenroll {
+                device_id,
+                enrollment,
+                key_code,
+            } => {
+                out.push(OP_REENROLL);
+                out.extend_from_slice(&device_id.to_le_bytes());
+                out.extend_from_slice(&(enrollment.len() as u32).to_le_bytes());
+                out.extend_from_slice(enrollment);
+                out.extend_from_slice(&(key_code.len() as u32).to_le_bytes());
+                out.extend_from_slice(key_code);
+            }
         }
         out
     }
@@ -237,6 +266,17 @@ impl Request {
                 response: WireBits::decode_from(buf, &mut at)?,
             },
             OP_REVOKE => Request::Revoke { device_id },
+            OP_REENROLL => {
+                let elen = take_u32(buf, &mut at)? as usize;
+                let enrollment = take_slice(buf, &mut at, elen)?.to_vec();
+                let klen = take_u32(buf, &mut at)? as usize;
+                let key_code = take_slice(buf, &mut at, klen)?.to_vec();
+                Request::Reenroll {
+                    device_id,
+                    enrollment,
+                    key_code,
+                }
+            }
             other => return Err(ProtoError::new(format!("unknown opcode {other}"))),
         };
         expect_end(buf, at)?;
@@ -254,9 +294,12 @@ pub enum RejectReason {
     AlreadyEnrolled = 2,
     /// The nonce was seen recently — a replayed read-out.
     Replay = 3,
-    /// Too many consecutive failures; locked until revoke/re-enroll.
+    /// Too many consecutive failures. The lockout clears only when the
+    /// enrollment is replaced: revoke-then-enroll, or an accepted
+    /// `reenroll` (generation supersede). It never times out.
     LockedOut = 4,
-    /// The device was quarantined for sustained degradation.
+    /// The device was quarantined for sustained degradation. Like
+    /// lockout, only revoke or a successful `reenroll` clears it.
     Quarantined = 5,
     /// Too many response bits disagree with the helper data.
     TooManyFlips = 6,
@@ -322,6 +365,15 @@ pub enum Reply {
     },
     /// Device removed.
     Revoked,
+    /// Replacement enrollment committed; the device now serves the new
+    /// generation (lockout and quarantine are healed).
+    Reenrolled {
+        /// Usable (non-excluded) bits in the replacement enrollment.
+        bits: u32,
+        /// Generation number of the new record (the original
+        /// enrollment is generation 0).
+        generation: u32,
+    },
     /// Request refused.
     Reject {
         /// Why.
@@ -366,6 +418,11 @@ impl Reply {
                 }
             }
             Reply::Revoked => out.push(ST_REVOKED),
+            Reply::Reenrolled { bits, generation } => {
+                out.push(ST_REENROLLED);
+                out.extend_from_slice(&bits.to_le_bytes());
+                out.extend_from_slice(&generation.to_le_bytes());
+            }
             Reply::Reject { reason } => {
                 out.push(ST_REJECT);
                 out.push(*reason as u8);
@@ -405,6 +462,10 @@ impl Reply {
                 }
             }
             ST_REVOKED => Reply::Revoked,
+            ST_REENROLLED => Reply::Reenrolled {
+                bits: take_u32(buf, &mut at)?,
+                generation: take_u32(buf, &mut at)?,
+            },
             ST_REJECT => Reply::Reject {
                 reason: RejectReason::from_wire(take_u8(buf, &mut at)?)?,
             },
@@ -557,6 +618,11 @@ mod tests {
             ),
         });
         round_trip_request(Request::Revoke { device_id: 42 });
+        round_trip_request(Request::Reenroll {
+            device_id: 9,
+            enrollment: b"ROPF....replacement".to_vec(),
+            key_code: b"RPKC....new".to_vec(),
+        });
     }
 
     #[test]
@@ -570,6 +636,10 @@ mod tests {
             key: (0..65).map(|i| i % 2 == 1).collect(),
         });
         round_trip_reply(Reply::Revoked);
+        round_trip_reply(Reply::Reenrolled {
+            bits: 31,
+            generation: 2,
+        });
         for reason in [
             RejectReason::UnknownDevice,
             RejectReason::AlreadyEnrolled,

@@ -73,6 +73,8 @@ pub struct ServiceStats {
     pub keys_derived: AtomicU64,
     /// Devices revoked.
     pub revokes: AtomicU64,
+    /// Committed re-enrollments (generation supersedes).
+    pub reenrolls: AtomicU64,
     /// Devices pushed into quarantine.
     pub quarantines: AtomicU64,
     /// Devices pushed into lockout.
@@ -268,6 +270,7 @@ impl PufService {
             "enroll" => telemetry::span("serve.enroll"),
             "auth" => telemetry::span("serve.auth"),
             "derive_key" => telemetry::span("serve.derive_key"),
+            "reenroll" => telemetry::span("serve.reenroll"),
             _ => telemetry::span("serve.revoke"),
         };
         // The sampling decision is made up front (deterministic in the
@@ -292,12 +295,18 @@ impl PufService {
                 response,
             } => self.auth(*device_id, *nonce, response, true, timer.as_mut()),
             Request::Revoke { device_id } => self.revoke(*device_id),
+            Request::Reenroll {
+                device_id,
+                enrollment,
+                key_code,
+            } => self.reenroll(*device_id, enrollment, key_code),
         };
         let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         match op {
             "enroll" => telemetry::record("serve.enroll.micros", micros),
             "auth" => telemetry::record("serve.auth.micros", micros),
             "derive_key" => telemetry::record("serve.derive_key.micros", micros),
+            "reenroll" => telemetry::record("serve.reenroll.micros", micros),
             _ => telemetry::record("serve.revoke.micros", micros),
         }
         if matches!(reply, Reply::Error { .. }) {
@@ -328,6 +337,33 @@ impl PufService {
             }
             Err(StoreError::AlreadyEnrolled) => Reply::Reject {
                 reason: RejectReason::AlreadyEnrolled,
+            },
+            Err(StoreError::BadPayload(_)) => Reply::Reject {
+                reason: RejectReason::BadRequest,
+            },
+            Err(StoreError::PayloadVersion { .. }) => Reply::Reject {
+                reason: RejectReason::UnsupportedVersion,
+            },
+            Err(e) => Reply::Error {
+                message: e.to_string(),
+            },
+        }
+    }
+
+    /// Commits a re-enrollment: the acceptance decision (drift trigger,
+    /// worst-corner margin improvement) already ran device-side in
+    /// `ropuf_core::reenroll` — the server's job is the durable
+    /// generation swap and the gate heal, both inside
+    /// [`Store::supersede`] under the shard lock.
+    fn reenroll(&self, device_id: u64, enrollment: &[u8], key_code: &[u8]) -> Reply {
+        match self.store.supersede(device_id, enrollment, key_code) {
+            Ok((bits, generation)) => {
+                ServiceStats::bump(&self.stats.reenrolls);
+                telemetry::counter("serve.reenrolls", 1);
+                Reply::Reenrolled { bits, generation }
+            }
+            Err(StoreError::UnknownDevice) => Reply::Reject {
+                reason: RejectReason::UnknownDevice,
             },
             Err(StoreError::BadPayload(_)) => Reply::Reject {
                 reason: RejectReason::BadRequest,
@@ -645,6 +681,67 @@ mod tests {
             auth(&svc, 1, clean_response(&fx)),
             Reply::AuthOk { .. }
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reenroll_supersedes_in_place_and_heals_the_lockout() {
+        let fx = enrolled_fixture(23);
+        let replacement = enrolled_fixture(28);
+        let (svc, dir) = service("svc-reenroll", &fx);
+        // Drive the device into lockout against generation 0.
+        let inverted = WireBits::new(fx.expected.iter().map(|b| Some(!b)).collect());
+        let threshold = ServiceConfig::default().lockout_threshold as u64;
+        for k in 0..threshold {
+            auth(&svc, 100 + k, inverted.clone());
+        }
+        assert_eq!(svc.store().locked_count(), 1);
+        // The supersede commits without revoking first: the device is
+        // enrolled throughout, and the gate heals.
+        let reply = svc.handle(&Request::Reenroll {
+            device_id: 1,
+            enrollment: replacement.enrollment_bytes.clone(),
+            key_code: replacement.key_code_bytes.clone(),
+        });
+        assert!(
+            matches!(reply, Reply::Reenrolled { bits, generation: 1 } if bits > 0),
+            "{reply:?}"
+        );
+        assert_eq!(svc.store().len(), 1, "no unenrolled window");
+        assert_eq!(svc.store().locked_count(), 0, "re-enroll heals the lockout");
+        // Generation 1's bits authenticate; a pre-supersede nonce is
+        // still burned.
+        assert!(matches!(
+            svc.handle(&Request::Auth {
+                device_id: 1,
+                nonce: 500,
+                response: clean_response(&replacement),
+            }),
+            Reply::AuthOk { flips: 0, .. }
+        ));
+        assert_eq!(
+            svc.handle(&Request::Auth {
+                device_id: 1,
+                nonce: 100,
+                response: clean_response(&replacement),
+            }),
+            Reply::Reject {
+                reason: RejectReason::Replay
+            },
+            "nonce ring survives the supersede"
+        );
+        // Re-enrolling an unknown id is refused.
+        assert_eq!(
+            svc.handle(&Request::Reenroll {
+                device_id: 404,
+                enrollment: replacement.enrollment_bytes.clone(),
+                key_code: replacement.key_code_bytes.clone(),
+            }),
+            Reply::Reject {
+                reason: RejectReason::UnknownDevice
+            }
+        );
+        assert_eq!(svc.stats().reenrolls.load(Ordering::Relaxed), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

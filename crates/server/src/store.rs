@@ -11,11 +11,20 @@
 //! header and then a sequence of records:
 //!
 //! ```text
-//! header  := "RPUFSTOR" u16:version
-//! record  := u8:kind u64:device_id payload
-//! enroll  := kind=1, payload = u32:elen elen*u8 u32:klen klen*u8
-//! revoke  := kind=2, payload empty (tombstone)
+//! header    := "RPUFSTOR" u16:version
+//! record    := u8:kind u64:device_id payload
+//! enroll    := kind=1, payload = u32:elen elen*u8 u32:klen klen*u8
+//! revoke    := kind=2, payload empty (tombstone)
+//! supersede := kind=3, payload = u32:generation u32:elen elen*u8 u32:klen klen*u8
 //! ```
+//!
+//! A supersede record is the commit point of a drift-triggered
+//! re-enrollment: it replaces a *live* enrollment in place (generation
+//! `n` → `n+1`) without an unenrolled window — the old generation
+//! keeps authenticating until the record is durable, and replay-on-open
+//! resolves the latest generation. Committing a supersede also heals
+//! the device's lockout/quarantine state: the gate parked the *old*
+//! configuration, and the operator just replaced it.
 //!
 //! Opening a store replays every shard into a compact in-memory index
 //! (expected bits + Key Code + liveness counters — the enrollment text
@@ -42,6 +51,7 @@ pub const STORE_VERSION: u16 = 1;
 
 const KIND_ENROLL: u8 = 1;
 const KIND_REVOKE: u8 = 2;
+const KIND_SUPERSEDE: u8 = 3;
 
 /// How many recent nonces each device remembers for replay rejection.
 pub const NONCE_WINDOW: usize = 8;
@@ -78,8 +88,12 @@ pub struct DeviceState {
     pub degraded_streak: u32,
     /// Rate-limit lockout: set when failures cross the threshold.
     pub locked: bool,
-    /// Quarantine: set when degradation persists; only revoke clears it.
+    /// Quarantine: set when degradation persists; cleared only by
+    /// revoke or a committed supersede (re-enrollment).
     pub quarantined: bool,
+    /// Which enrollment this state serves: 0 for the original record,
+    /// bumped by every committed supersede.
+    pub generation: u32,
 }
 
 impl DeviceState {
@@ -94,6 +108,7 @@ impl DeviceState {
             degraded_streak: 0,
             locked: false,
             quarantined: false,
+            generation: 0,
         }
     }
 
@@ -147,6 +162,8 @@ pub enum StoreError {
     },
     /// The device id already holds a live enrollment.
     AlreadyEnrolled,
+    /// The device id holds no live enrollment (supersede needs one).
+    UnknownDevice,
     /// The enrollment or Key Code bytes failed validation.
     BadPayload(String),
     /// The payload was written by an incompatible envelope version.
@@ -170,6 +187,7 @@ impl std::fmt::Display for StoreError {
                 "shard format version {found} (this build reads up to {supported})"
             ),
             StoreError::AlreadyEnrolled => write!(f, "device already enrolled"),
+            StoreError::UnknownDevice => write!(f, "device not enrolled"),
             StoreError::BadPayload(detail) => write!(f, "bad payload: {detail}"),
             StoreError::PayloadVersion { found, supported } => write!(
                 f,
@@ -276,6 +294,26 @@ impl Store {
                 KIND_REVOKE => {
                     devices.remove(&device_id);
                 }
+                KIND_SUPERSEDE => {
+                    let mut len4 = [0u8; 4];
+                    len4.copy_from_slice(take(&mut at, 4)?);
+                    let generation = u32::from_le_bytes(len4);
+                    len4.copy_from_slice(take(&mut at, 4)?);
+                    let enrollment = take(&mut at, u32::from_le_bytes(len4) as usize)?.to_vec();
+                    len4.copy_from_slice(take(&mut at, 4)?);
+                    let key_code = take(&mut at, u32::from_le_bytes(len4) as usize)?.to_vec();
+                    // A supersede is only ever appended for a live
+                    // device, so replay must find one to replace.
+                    if !devices.contains_key(&device_id) {
+                        return Err(corrupt(format!(
+                            "supersede for unenrolled device {device_id} at byte {record_start}"
+                        )));
+                    }
+                    let mut state = parse_payload(&enrollment, &key_code)
+                        .map_err(|e| corrupt(format!("record at byte {record_start}: {e}")))?;
+                    state.generation = generation;
+                    devices.insert(device_id, state);
+                }
                 other => {
                     return Err(corrupt(format!(
                         "unknown record kind {other} at byte {record_start}"
@@ -346,6 +384,58 @@ impl Store {
         }
         shard.devices.remove(&device_id);
         Ok(true)
+    }
+
+    /// Validates and commits a replacement enrollment for a *live*
+    /// device (the re-enrollment commit), returning the new record's
+    /// usable bit count and generation number.
+    ///
+    /// The whole operation runs under the shard lock with
+    /// write-record-then-swap-index ordering: the old generation keeps
+    /// serving until the supersede record is durable, and there is no
+    /// instant at which the device is unenrolled. Committing heals the
+    /// gate — lockout, quarantine, and both failure streaks reset (they
+    /// judged the configuration this record just replaced) — while the
+    /// replay-nonce ring is *kept*, so a read-out captured against the
+    /// old generation cannot be replayed against the new one.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownDevice`] when the id holds no live
+    /// enrollment, [`StoreError::BadPayload`] /
+    /// [`StoreError::PayloadVersion`] for malformed bytes,
+    /// [`StoreError::Io`] on write failure.
+    pub fn supersede(
+        &self,
+        device_id: u64,
+        enrollment: &[u8],
+        key_code: &[u8],
+    ) -> Result<(u32, u32), StoreError> {
+        let mut state = parse_payload(enrollment, key_code)?;
+        let bits = state.expected.len() as u32;
+        let mut shard = self.shard(device_id).lock().expect("store shard poisoned");
+        let Some(old) = shard.devices.get(&device_id) else {
+            return Err(StoreError::UnknownDevice);
+        };
+        let generation = old.generation + 1;
+        state.generation = generation;
+        state.nonces = old.nonces;
+        state.nonce_len = old.nonce_len;
+        state.nonce_cursor = old.nonce_cursor;
+        let mut record = Vec::with_capacity(1 + 8 + 12 + enrollment.len() + key_code.len());
+        record.push(KIND_SUPERSEDE);
+        record.extend_from_slice(&device_id.to_le_bytes());
+        record.extend_from_slice(&generation.to_le_bytes());
+        record.extend_from_slice(&(enrollment.len() as u32).to_le_bytes());
+        record.extend_from_slice(enrollment);
+        record.extend_from_slice(&(key_code.len() as u32).to_le_bytes());
+        record.extend_from_slice(key_code);
+        shard.file.write_all(&record)?;
+        if self.fsync == FsyncPolicy::EveryRecord {
+            shard.file.sync_data()?;
+        }
+        shard.devices.insert(device_id, state);
+        Ok((bits, generation))
     }
 
     /// Runs `f` with the device's mutable state under the shard lock,
@@ -551,6 +641,117 @@ mod tests {
         assert!(matches!(
             Store::open(&dir, 1, FsyncPolicy::EveryRecord),
             Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn supersede_bumps_the_generation_and_heals_the_gate() {
+        let dir = temp_dir("store-supersede");
+        let old_fx = enrolled_fixture(16);
+        let new_fx = enrolled_fixture(17);
+        let store = Store::open(&dir, 2, FsyncPolicy::EveryRecord).unwrap();
+        assert!(
+            matches!(
+                store.supersede(9, &new_fx.enrollment_bytes, &new_fx.key_code_bytes),
+                Err(StoreError::UnknownDevice)
+            ),
+            "supersede needs a live enrollment"
+        );
+        store
+            .enroll(9, &old_fx.enrollment_bytes, &old_fx.key_code_bytes)
+            .unwrap();
+        // Park the device and burn a nonce against generation 0.
+        store.with_device(9, |d| {
+            let d = d.unwrap();
+            d.locked = true;
+            d.quarantined = true;
+            d.consecutive_failures = 5;
+            d.degraded_streak = 3;
+            d.remember_nonce(77);
+        });
+        let (bits, generation) = store
+            .supersede(9, &new_fx.enrollment_bytes, &new_fx.key_code_bytes)
+            .unwrap();
+        assert!(bits > 0);
+        assert_eq!(generation, 1);
+        assert_eq!(store.len(), 1, "no unenrolled window");
+        store.with_device(9, |d| {
+            let d = d.unwrap();
+            assert_eq!(d.generation, 1);
+            assert_eq!(d.expected, new_fx.expected, "index swapped to the new bits");
+            assert!(!d.locked && !d.quarantined, "supersede heals the gate");
+            assert_eq!((d.consecutive_failures, d.degraded_streak), (0, 0));
+            assert!(d.nonce_seen(77), "nonce ring survives the supersede");
+        });
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_resolves_the_latest_generation() {
+        let dir = temp_dir("store-supersede-reopen");
+        let old_fx = enrolled_fixture(16);
+        let new_fx = enrolled_fixture(17);
+        {
+            let store = Store::open(&dir, 2, FsyncPolicy::EveryRecord).unwrap();
+            store
+                .enroll(9, &old_fx.enrollment_bytes, &old_fx.key_code_bytes)
+                .unwrap();
+            store
+                .supersede(9, &new_fx.enrollment_bytes, &new_fx.key_code_bytes)
+                .unwrap();
+            store
+                .supersede(9, &old_fx.enrollment_bytes, &old_fx.key_code_bytes)
+                .unwrap();
+            // Dropped without a clean shutdown — EveryRecord already
+            // fsync'd each record (the kill-and-restart scenario).
+        }
+        let store = Store::open(&dir, 2, FsyncPolicy::EveryRecord).unwrap();
+        assert_eq!(store.len(), 1);
+        store.with_device(9, |d| {
+            let d = d.expect("device survived reopen");
+            assert_eq!(d.generation, 2, "latest supersede wins");
+            assert_eq!(d.expected, old_fx.expected);
+        });
+        // Revoke tombstones the whole chain; re-enroll restarts at 0.
+        assert!(store.revoke(9).unwrap());
+        store
+            .enroll(9, &new_fx.enrollment_bytes, &new_fx.key_code_bytes)
+            .unwrap();
+        store.with_device(9, |d| assert_eq!(d.unwrap().generation, 0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn supersede_without_a_live_record_is_corruption_on_replay() {
+        let dir = temp_dir("store-supersede-orphan");
+        let fx = enrolled_fixture(18);
+        {
+            let store = Store::open(&dir, 1, FsyncPolicy::EveryRecord).unwrap();
+            store
+                .enroll(4, &fx.enrollment_bytes, &fx.key_code_bytes)
+                .unwrap();
+            store
+                .supersede(4, &fx.enrollment_bytes, &fx.key_code_bytes)
+                .unwrap();
+        }
+        // Surgically flip the enroll record into a revoke-like orphaning
+        // is fiddly; instead append a supersede for a device that never
+        // enrolled and check the replay refuses it.
+        let path = dir.join("shard_000.log");
+        let mut bytes = fs::read(&path).unwrap();
+        let mut orphan = vec![KIND_SUPERSEDE];
+        orphan.extend_from_slice(&99u64.to_le_bytes());
+        orphan.extend_from_slice(&1u32.to_le_bytes());
+        orphan.extend_from_slice(&(fx.enrollment_bytes.len() as u32).to_le_bytes());
+        orphan.extend_from_slice(&fx.enrollment_bytes);
+        orphan.extend_from_slice(&(fx.key_code_bytes.len() as u32).to_le_bytes());
+        orphan.extend_from_slice(&fx.key_code_bytes);
+        bytes.extend_from_slice(&orphan);
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Store::open(&dir, 1, FsyncPolicy::EveryRecord),
+            Err(StoreError::Corrupt { .. })
         ));
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -79,6 +79,128 @@ impl Environment {
             .map(|&t| Environment::new(voltage_v, t))
             .collect()
     }
+
+    /// The full V×T corner grid of the Virginia Tech dataset: every
+    /// combination of the five supply voltages and five temperatures
+    /// (25 points, voltage-major order). Contains the nominal point and
+    /// each of the four [`extreme_corners`](Self::extreme_corners)
+    /// exactly once.
+    pub fn corner_grid() -> Vec<Environment> {
+        [0.98, 1.08, 1.20, 1.32, 1.44]
+            .iter()
+            .flat_map(|&v| {
+                [25.0, 35.0, 45.0, 55.0, 65.0]
+                    .iter()
+                    .map(move |&t| Environment::new(v, t))
+            })
+            .collect()
+    }
+
+    /// The four extreme corners of the V/T grid — the points where both
+    /// axes sit at a rail: (0.98 V, 25 °C), (0.98 V, 65 °C),
+    /// (1.44 V, 25 °C), (1.44 V, 65 °C).
+    pub fn extreme_corners() -> [Environment; 4] {
+        [
+            Environment::new(0.98, 25.0),
+            Environment::new(0.98, 65.0),
+            Environment::new(1.44, 25.0),
+            Environment::new(1.44, 65.0),
+        ]
+    }
+}
+
+/// Maximum number of operating points a [`CornerSet`] can hold.
+pub const MAX_CORNERS: usize = 8;
+
+/// A small, fixed-capacity set of operating points for multi-corner
+/// enrollment and selection.
+///
+/// `Copy` by design so it can ride inside option structs that are passed
+/// by value throughout the enrollment pipeline. The set lists the
+/// *evaluation* corners for configuration selection; the enrollment
+/// environment itself is always evaluated and need not be listed (it is
+/// deduplicated if present).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CornerSet {
+    corners: [Environment; MAX_CORNERS],
+    len: u8,
+}
+
+impl CornerSet {
+    /// The empty set: selection considers only the enrollment
+    /// environment (the paper's nominal-only behavior).
+    pub fn empty() -> Self {
+        Self {
+            corners: [Environment::nominal(); MAX_CORNERS],
+            len: 0,
+        }
+    }
+
+    /// Nominal plus the four [`Environment::extreme_corners`] — the
+    /// standard worst-case evaluation set.
+    pub fn worst_case() -> Self {
+        let mut set = Self::empty();
+        set.push(Environment::nominal());
+        for c in Environment::extreme_corners() {
+            set.push(c);
+        }
+        set
+    }
+
+    /// Builds a set from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the slice holds more than
+    /// [`MAX_CORNERS`] points or a duplicate point.
+    pub fn try_from_slice(corners: &[Environment]) -> Result<Self, String> {
+        if corners.len() > MAX_CORNERS {
+            return Err(format!(
+                "corner set holds at most {MAX_CORNERS} points, got {}",
+                corners.len()
+            ));
+        }
+        let mut set = Self::empty();
+        for &c in corners {
+            if set.as_slice().contains(&c) {
+                return Err(format!("duplicate corner {c}"));
+            }
+            set.push(c);
+        }
+        Ok(set)
+    }
+
+    fn push(&mut self, env: Environment) {
+        assert!((self.len as usize) < MAX_CORNERS, "corner set full");
+        self.corners[self.len as usize] = env;
+        self.len += 1;
+    }
+
+    /// The corners, in insertion order.
+    pub fn as_slice(&self) -> &[Environment] {
+        &self.corners[..self.len as usize]
+    }
+
+    /// Number of corners in the set.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the set is empty (nominal-only selection).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the corners in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Environment> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl Default for CornerSet {
+    fn default() -> Self {
+        Self::empty()
+    }
 }
 
 impl Default for Environment {
@@ -236,5 +358,41 @@ mod tests {
     fn display_formats_units() {
         let e = Environment::new(1.08, 45.0);
         assert_eq!(e.to_string(), "1.08 V / 45 °C");
+    }
+
+    #[test]
+    fn corner_grid_contains_nominal_and_extremes_exactly_once() {
+        let grid = Environment::corner_grid();
+        assert_eq!(grid.len(), 25);
+        let count = |p: &Environment| grid.iter().filter(|g| *g == p).count();
+        assert_eq!(count(&Environment::nominal()), 1);
+        for corner in Environment::extreme_corners() {
+            assert_eq!(count(&corner), 1, "extreme corner {corner}");
+        }
+        // The grid is exactly the cross product: no duplicates anywhere.
+        for (i, a) in grid.iter().enumerate() {
+            assert!(!grid[i + 1..].contains(a), "duplicate {a}");
+        }
+    }
+
+    #[test]
+    fn corner_set_is_bounded_and_deduplicated() {
+        assert!(CornerSet::empty().is_empty());
+        let worst = CornerSet::worst_case();
+        assert_eq!(worst.len(), 5);
+        assert_eq!(worst.as_slice()[0], Environment::nominal());
+        for corner in Environment::extreme_corners() {
+            assert!(worst.as_slice().contains(&corner));
+        }
+        let too_many: Vec<Environment> = Environment::corner_grid();
+        assert!(CornerSet::try_from_slice(&too_many)
+            .unwrap_err()
+            .contains("at most"));
+        let dup = [Environment::nominal(), Environment::nominal()];
+        assert!(CornerSet::try_from_slice(&dup)
+            .unwrap_err()
+            .contains("duplicate"));
+        let ok = CornerSet::try_from_slice(&Environment::extreme_corners()).unwrap();
+        assert_eq!(ok.iter().count(), 4);
     }
 }

@@ -61,7 +61,7 @@ pub use aging::AgingModel;
 pub use board::{Board, BoardId};
 pub use defects::DefectModel;
 pub use device::DelayUnit;
-pub use env::{Environment, Technology};
+pub use env::{CornerSet, Environment, Technology};
 pub use faults::{FaultModel, InjectedFault};
 pub use measure::{
     BatchMeasurements, BatchProbe, ConfigSweep, DelayProbe, FrequencyCounter, MeasureArena,

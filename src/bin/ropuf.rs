@@ -45,7 +45,8 @@ use ropuf::dataset::ParseCsvError;
 use ropuf::nist::suite::{run_suite, SuiteConfig};
 use ropuf::num::bits::{BitVec, ParseBitsError};
 use ropuf::server::{
-    AccessLog, DrillSpec, FsyncPolicy, OpsConfig, PufService, ServiceConfig, ServiceOptions, Store,
+    AccessLog, DrillSpec, FsyncPolicy, OpsConfig, PufService, ReenrollDrillSpec, ReenrollStage,
+    ServiceConfig, ServiceOptions, Store,
 };
 use ropuf::silicon::aging::AgingModel;
 use ropuf::silicon::{DelayProbe, Environment, SiliconSim};
@@ -200,6 +201,7 @@ fn command_span(command: &str) -> &'static str {
         "enroll" => "cli.enroll",
         "respond" => "cli.respond",
         "serve" => "cli.serve",
+        "reenroll" => "cli.reenroll",
         _ => "cli.unknown",
     }
 }
@@ -248,6 +250,11 @@ fn usage(problem: &str) -> ExitCode {
                              [--threads N=auto] [--faults SCALE=0] [--health true]\n\
                              [--admin HOST:PORT] [--access-log FILE] [--sample N=1]\n\
                              [--linger true] (keep serving after a drill)\n\
+           reenroll          --store DIR [--devices N=24] [--seed N=4] [--years Y=10]\n\
+                             [--units N=240] [--cols N=12] [--votes N=1] [--repetition N=3]\n\
+                             [--threads N=auto] [--workers N=auto] [--shards N=8]\n\
+                             [--fsync every|batched] [--stop-after enroll|assess|reenroll]\n\
+                             [--resume true] (verify against an existing store)\n\
          every command also accepts --trace-out FILE|summary (or set\n\
          ROPUF_TRACE) to write structured telemetry; see docs/OBSERVABILITY.md"
     );
@@ -266,6 +273,7 @@ fn dispatch(command: &str, opts: &HashMap<String, String>) -> Result<(), CliErro
         "enroll" => enroll(opts),
         "respond" => respond(opts),
         "serve" => serve(opts),
+        "reenroll" => reenroll(opts),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?} (run with no arguments for usage)"
         ))),
@@ -925,4 +933,126 @@ fn serve(opts: &HashMap<String, String>) -> Result<(), CliError> {
     loop {
         std::thread::park();
     }
+}
+
+/// Runs the aged-fleet re-enrollment drill against an in-process
+/// server: enroll, age, assess drift (the fleet gauge goes unhealthy),
+/// supersede the drifted enrollments, and verify the healed fleet.
+/// `--stop-after` exits after a phase leaving the store on disk;
+/// `--resume true` reopens it and runs only the verify phase, so a
+/// kill-and-restart check can diff the concatenated transcripts
+/// against a full run's.
+fn reenroll(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let store_dir = required(opts, "store")?;
+    let workers = get(opts, "workers", worker_threads())?;
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".to_string()));
+    }
+    let shards = get(opts, "shards", 8usize)?;
+    if shards == 0 {
+        return Err(CliError::Usage("--shards must be at least 1".to_string()));
+    }
+    let fsync = match opts.get("fsync").map(String::as_str) {
+        None | Some("every") => FsyncPolicy::EveryRecord,
+        Some("batched") => FsyncPolicy::Batched,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--fsync must be every or batched, got {other:?}"
+            )))
+        }
+    };
+    let stop_after = match opts.get("stop-after").map(String::as_str) {
+        None => None,
+        Some(raw) => Some(ReenrollStage::parse(raw).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--stop-after must be enroll, assess, or reenroll, got {raw:?}"
+            ))
+        })?),
+    };
+    let defaults = ReenrollDrillSpec::default();
+    let spec = ReenrollDrillSpec {
+        seed: get(opts, "seed", defaults.seed)?,
+        devices: get(opts, "devices", defaults.devices)?,
+        units: get(opts, "units", defaults.units)?,
+        cols: get(opts, "cols", defaults.cols)?,
+        votes: get(opts, "votes", defaults.votes)?,
+        repetition: get(opts, "repetition", defaults.repetition)?,
+        years: get(opts, "years", defaults.years)?,
+        client_threads: get(opts, "threads", worker_threads())?,
+        stop_after,
+        resume: get(opts, "resume", false)?,
+    };
+    if spec.votes == 0 || spec.votes.is_multiple_of(2) {
+        return Err(CliError::Usage(format!(
+            "--votes must be odd, got {}",
+            spec.votes
+        )));
+    }
+    if spec.repetition == 0 || spec.repetition.is_multiple_of(2) {
+        return Err(CliError::Usage(format!(
+            "--repetition must be odd, got {}",
+            spec.repetition
+        )));
+    }
+    if !(spec.years.is_finite() && spec.years >= 0.0) {
+        return Err(CliError::Usage(format!(
+            "--years must be a finite non-negative span, got {}",
+            spec.years
+        )));
+    }
+    if spec.resume && spec.stop_after.is_some() {
+        return Err(CliError::Usage(
+            "--resume runs only the verify phase; --stop-after does not apply".to_string(),
+        ));
+    }
+
+    let open_span = telemetry::span("cli.reenroll.open");
+    let store = Store::open(std::path::Path::new(store_dir), shards, fsync)?;
+    // Same frozen clock as `serve --drill`: the ops plane must not
+    // leak wall time into anything a harness could diff.
+    let service = std::sync::Arc::new(PufService::with_options(
+        store,
+        ServiceOptions {
+            config: ServiceConfig::default(),
+            ops: OpsConfig {
+                clock: std::sync::Arc::new(telemetry::ManualClock::at(0)),
+                ..OpsConfig::default()
+            },
+            access_log: None,
+        },
+    ));
+    drop(open_span);
+    let server = ropuf::server::serve(
+        std::sync::Arc::clone(&service),
+        "127.0.0.1:0".parse().expect("loopback addr"),
+        workers,
+    )
+    .map_err(|source| CliError::Io {
+        path: "127.0.0.1:0".to_string(),
+        source,
+    })?;
+
+    let drill_span = telemetry::span("cli.reenroll.drill");
+    let report = ropuf::server::run_reenroll_drill(server.addr(), &spec).map_err(|source| {
+        CliError::Io {
+            path: format!("reenroll drill against {}", server.addr()),
+            source,
+        }
+    })?;
+    drop(drill_span);
+    // Stdout carries only the seed-determined transcript; tallies go
+    // to stderr like every other subcommand.
+    print!("{}", report.transcript);
+    eprintln!(
+        "reenroll: {} devices, {} drifted, {} superseded, {} ops ({} accepted, {} rejected)",
+        report.devices,
+        report.drifted,
+        report.reenrolled,
+        report.ops,
+        report.accepted,
+        report.rejected
+    );
+    service.store().sync_all()?;
+    server.shutdown();
+    Ok(())
 }
