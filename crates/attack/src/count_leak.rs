@@ -1,0 +1,116 @@
+//! The unequal-selected-count attack and the degenerate-tie
+//! distinguisher — the two statistics a passive attacker reads straight
+//! off persisted helper data.
+
+use crate::envelope::EnvelopeFleet;
+use crate::AttackOutcome;
+
+/// Guesses every envelope's bit from `sign(count_top − count_bottom)`.
+///
+/// Case-2's forward orientation (top slower, bit 1) selects the *slow*
+/// stages of the top ring, so any kernel that lets the counts float
+/// selects more of the slow ring than of the fast ring — the count
+/// difference is the bit. The guarded kernel pins the counts equal;
+/// the attack then abstains (0.5 credit) on every envelope and lands at
+/// exactly the coin-flip baseline, which is the paper's §III claim made
+/// falsifiable.
+pub fn count_leak(fleet: &EnvelopeFleet) -> AttackOutcome {
+    let mut score = 0.0;
+    let mut samples = 0usize;
+    for e in fleet.boards.iter().flat_map(|b| &b.envelopes) {
+        samples += 1;
+        let top = e.top_selected.len();
+        let bottom = e.bottom_selected.len();
+        if top == bottom {
+            score += 0.5; // abstain
+        } else if (top > bottom) == e.bit {
+            score += 1.0;
+        }
+    }
+    AttackOutcome::from_score("count_leak", score, samples)
+}
+
+/// Exploits the degenerate-tie convention: a zero-margin Case-2
+/// selection resolves its bit to 0, and under `ParityPolicy::Ignore`
+/// such a pair is visible in the helper data as an *empty* selection
+/// (the optimal prefix is `k = 0`). The attacker guesses 0 on every
+/// empty-selection envelope and abstains elsewhere, so the advantage is
+/// `0.5 × degenerate rate` — the distinguisher the
+/// `select.case2.degenerate_zero_bias` telemetry counter tracks from
+/// the inside.
+pub fn degenerate_distinguisher(fleet: &EnvelopeFleet) -> AttackOutcome {
+    let mut score = 0.0;
+    let mut samples = 0usize;
+    for e in fleet.boards.iter().flat_map(|b| &b.envelopes) {
+        samples += 1;
+        if e.top_selected.is_empty() && e.bottom_selected.is_empty() {
+            // Visible tie: the convention says 0.
+            if !e.bit {
+                score += 1.0;
+            }
+        } else {
+            score += 0.5; // abstain
+        }
+    }
+    AttackOutcome::from_score("degenerate_zero_bias", score, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{EnvelopeConfig, EnvelopeFleet, Guard};
+    use ropuf_core::config::ParityPolicy;
+
+    fn config(guard: Guard) -> EnvelopeConfig {
+        EnvelopeConfig {
+            seed: 5,
+            boards: 12,
+            units: 112,
+            cols: 8,
+            stages: 7,
+            parity: ParityPolicy::Ignore,
+            distill: false,
+            quantize_ps: None,
+            guard,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn guarded_kernel_sits_exactly_at_chance() {
+        let fleet = EnvelopeFleet::generate(&config(Guard::Guarded));
+        let out = count_leak(&fleet);
+        assert_eq!(out.accuracy, 0.5, "equal counts force abstention");
+        assert_eq!(out.advantage, 0.0);
+        assert_eq!(out.samples, fleet.len());
+    }
+
+    #[test]
+    fn broken_kernel_is_cleanly_broken() {
+        let fleet = EnvelopeFleet::generate(&config(Guard::Unguarded));
+        let out = count_leak(&fleet);
+        assert!(
+            out.accuracy >= 0.9,
+            "count difference must hand over the bit, got {}",
+            out.accuracy
+        );
+    }
+
+    #[test]
+    fn degenerate_distinguisher_tracks_tie_rate() {
+        let mut c = config(Guard::Guarded);
+        c.quantize_ps = Some(25.0);
+        let fleet = EnvelopeFleet::generate(&c);
+        let rate = fleet.degenerate_rate();
+        assert!(rate > 0.0, "quantization must force ties");
+        let out = degenerate_distinguisher(&fleet);
+        assert!(
+            (out.advantage - 0.5 * rate).abs() < 1e-12,
+            "advantage {} vs 0.5 x tie rate {rate}",
+            out.advantage
+        );
+        // Without ties the distinguisher learns nothing.
+        let clean = EnvelopeFleet::generate(&config(Guard::Guarded));
+        assert_eq!(degenerate_distinguisher(&clean).advantage, 0.0);
+    }
+}

@@ -1,0 +1,433 @@
+//! Deterministic fleets of enrollment envelopes — the attacker's view.
+//!
+//! An *envelope* is what a passive attacker can actually read from a
+//! provisioning database or an enrollment transcript: the pair's
+//! floorplan (which die positions form each ring — public layout) and
+//! the selected-stage sets (the helper data). The response bit and the
+//! measured delays stay secret; they are carried here only so attacks
+//! can be *scored*.
+//!
+//! Two selection kernels produce envelopes:
+//!
+//! * the real guarded [`ropuf_core::select::case2`], whose equal
+//!   selected counts are the paper's §III defense, and
+//! * [`case2_unguarded`], a deliberately broken variant that maximizes
+//!   the same `|Σ α x − Σ β y|` objective but *without* the equal-count
+//!   constraint. The unconstrained optimum degenerates to
+//!   all-of-the-slow-ring / as-little-as-possible-of-the-fast-ring, so
+//!   the count difference hands the bit to anyone who can subtract —
+//!   which is exactly why the paper imposes the constraint.
+//!
+//! Board values come from the simulated silicon's per-unit inverter
+//! delays (inter-die offset + systematic degree-2 surface + random
+//! local variation). Pairs are laid out *split*: each top ring is a
+//! contiguous block in the first half of the die, its bottom ring the
+//! matching block in the second half, so the systematic surface is
+//! *not* cancelled by interleaving — the worst case the spatial-gradient
+//! attack exploits and the distiller defends.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_core::config::{ConfigVector, ParityPolicy};
+use ropuf_core::distill::Distiller;
+use ropuf_core::fleet::{parallel_map_indexed, split_seed};
+use ropuf_core::select::case2;
+use ropuf_silicon::board::BoardId;
+use ropuf_silicon::SiliconSim;
+
+/// Which selection kernel enrolls the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guard {
+    /// The real Case-2 kernel with the equal-selected-count guard.
+    Guarded,
+    /// [`case2_unguarded`]: the same objective with the guard removed.
+    Unguarded,
+}
+
+/// Configuration of one envelope fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvelopeConfig {
+    /// Master seed; board `b` derives its streams from
+    /// `split_seed(seed, b)`.
+    pub seed: u64,
+    /// Boards in the fleet.
+    pub boards: usize,
+    /// Delay units per board (must be `2 * stages * pairs`).
+    pub units: usize,
+    /// Grid width the units are placed on.
+    pub cols: usize,
+    /// Stages per ring.
+    pub stages: usize,
+    /// Parity policy handed to the selection kernel.
+    pub parity: ParityPolicy,
+    /// Run the enrollment values through the degree-2 regression
+    /// distiller before selection (the spatial-gradient defense).
+    pub distill: bool,
+    /// Quantize values to this grid (picoseconds) before selection,
+    /// forcing exact ties and therefore degenerate pairs. `None` leaves
+    /// the silicon untouched.
+    pub quantize_ps: Option<f64>,
+    /// Selection kernel.
+    pub guard: Guard,
+    /// Worker threads (never changes the envelopes).
+    pub threads: usize,
+}
+
+impl EnvelopeConfig {
+    /// Ring pairs per board under the split layout.
+    pub fn pairs_per_board(&self) -> usize {
+        (self.units / 2) / self.stages
+    }
+}
+
+/// One pair's enrollment envelope plus the scoring secrets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Pair index on its board.
+    pub pair: usize,
+    /// Board unit indices of the top ring, in stage order (public
+    /// floorplan).
+    pub top_units: Vec<usize>,
+    /// Board unit indices of the bottom ring (public floorplan).
+    pub bottom_units: Vec<usize>,
+    /// Helper data: which top stages were selected (indices into
+    /// `top_units`).
+    pub top_selected: Vec<usize>,
+    /// Helper data: which bottom stages were selected.
+    pub bottom_selected: Vec<usize>,
+    /// Secret: the enrolled bit (used only to score attacks).
+    pub bit: bool,
+    /// Secret: the selection had zero margin (tie resolved by
+    /// convention).
+    pub degenerate: bool,
+}
+
+/// Every envelope of one board, plus the board-level context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardEnvelopes {
+    /// Board index in the fleet.
+    pub board: usize,
+    /// Die positions of every unit (public floorplan).
+    pub positions: Vec<(f64, f64)>,
+    /// Secret: per-unit delay values the selection ran on *before* any
+    /// distillation (what an attacker with probe access to part of the
+    /// die would measure).
+    pub values: Vec<f64>,
+    /// The board's enrollment envelopes.
+    pub envelopes: Vec<Envelope>,
+}
+
+/// A deterministic fleet of enrollment envelopes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvelopeFleet {
+    /// The configuration that produced the fleet.
+    pub config: EnvelopeConfig,
+    /// Per-board envelopes, in board order regardless of thread count.
+    pub boards: Vec<BoardEnvelopes>,
+}
+
+impl EnvelopeFleet {
+    /// Grows and enrolls the fleet. Deterministic in `config.seed`:
+    /// the per-board work is fanned out with [`parallel_map_indexed`],
+    /// whose output order is the board order at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration admits no pairs
+    /// (`units < 2 * stages`) or a distill fit is impossible
+    /// (fewer units than basis terms).
+    pub fn generate(config: &EnvelopeConfig) -> Self {
+        assert!(
+            config.pairs_per_board() > 0,
+            "envelope fleet needs units >= 2 * stages, got {} units x {} stages",
+            config.units,
+            config.stages
+        );
+        let sim = SiliconSim::default_spartan();
+        let boards = parallel_map_indexed(config.boards, config.threads, |b| {
+            generate_board(&sim, config, b)
+        });
+        Self {
+            config: config.clone(),
+            boards,
+        }
+    }
+
+    /// Total envelopes across the fleet.
+    pub fn len(&self) -> usize {
+        self.boards.iter().map(|b| b.envelopes.len()).sum()
+    }
+
+    /// Whether the fleet holds no envelopes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of envelopes whose selection was degenerate.
+    pub fn degenerate_rate(&self) -> f64 {
+        let total = self.len();
+        if total == 0 {
+            return 0.0;
+        }
+        let degenerate: usize = self
+            .boards
+            .iter()
+            .flat_map(|b| &b.envelopes)
+            .filter(|e| e.degenerate)
+            .count();
+        degenerate as f64 / total as f64
+    }
+}
+
+fn generate_board(sim: &SiliconSim, config: &EnvelopeConfig, b: usize) -> BoardEnvelopes {
+    let board_seed = split_seed(config.seed, b as u64);
+    let mut grow_rng = StdRng::seed_from_u64(split_seed(board_seed, 0));
+    let board = sim.grow_board_with_id(&mut grow_rng, BoardId(b as u32), config.units, config.cols);
+    let positions = board.positions();
+    let mut values: Vec<f64> = board.units().iter().map(|u| u.inverter_ps()).collect();
+    if let Some(q) = config.quantize_ps {
+        for v in &mut values {
+            *v = (*v / q).round() * q;
+        }
+    }
+    let selection_values = if config.distill {
+        Distiller::new(2)
+            .residuals(&values, &positions)
+            .expect("distill fit over a full board is well-posed")
+    } else {
+        values.clone()
+    };
+    let half = config.units / 2;
+    let pairs = config.pairs_per_board();
+    let stages = config.stages;
+    let envelopes = (0..pairs)
+        .map(|p| {
+            let top_units: Vec<usize> = (p * stages..(p + 1) * stages).collect();
+            let bottom_units: Vec<usize> = (half + p * stages..half + (p + 1) * stages).collect();
+            let alpha: Vec<f64> = top_units.iter().map(|&i| selection_values[i]).collect();
+            let beta: Vec<f64> = bottom_units.iter().map(|&i| selection_values[i]).collect();
+            let (top_cfg, bottom_cfg, bit, degenerate) = match config.guard {
+                Guard::Guarded => {
+                    let s = case2(&alpha, &beta, config.parity);
+                    (
+                        s.top().clone(),
+                        s.bottom().clone(),
+                        s.bit(),
+                        s.is_degenerate(),
+                    )
+                }
+                Guard::Unguarded => {
+                    let s = case2_unguarded(&alpha, &beta, config.parity);
+                    (s.top, s.bottom, s.bit, s.margin == 0.0)
+                }
+            };
+            Envelope {
+                pair: p,
+                top_units,
+                bottom_units,
+                top_selected: top_cfg.selected_indices(),
+                bottom_selected: bottom_cfg.selected_indices(),
+                bit,
+                degenerate,
+            }
+        })
+        .collect();
+    BoardEnvelopes {
+        board: b,
+        positions,
+        values,
+        envelopes,
+    }
+}
+
+/// Result of the guard-less Case-2 variant. Deliberately *not*
+/// [`ropuf_core::select::PairSelection`]: that type asserts the
+/// equal-count invariant this variant exists to violate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnguardedSelection {
+    /// Top-ring configuration (selected count unconstrained).
+    pub top: ConfigVector,
+    /// Bottom-ring configuration (selected count unconstrained).
+    pub bottom: ConfigVector,
+    /// Achieved `|Σ α x − Σ β y|`.
+    pub margin: f64,
+    /// `true` when the configured top ring is slower.
+    pub bit: bool,
+}
+
+/// Case-2 selection **without** the equal-selected-count guard: the
+/// broken variant the attack suite exists to catch.
+///
+/// Maximizing `|Σ α x − Σ β y|` over *independent* counts is
+/// unconstrained: delays are positive, so the winning orientation
+/// selects every admissible stage of the slow ring and as few as the
+/// parity policy allows of the fast ring. The selected-count difference
+/// therefore equals ±(near the full ring length) and leaks the bit to
+/// the [`crate::count_leak`] attack almost perfectly — the empirical
+/// proof of the paper's §III argument.
+///
+/// # Panics
+///
+/// Panics on empty or length-mismatched inputs.
+pub fn case2_unguarded(alpha: &[f64], beta: &[f64], parity: ParityPolicy) -> UnguardedSelection {
+    assert!(!alpha.is_empty(), "selection needs non-empty delay vectors");
+    assert_eq!(alpha.len(), beta.len(), "rings must be equally long");
+    let n = alpha.len();
+    // Forward orientation: maximize Σ(selected α) − Σ(selected β).
+    let (top_max, sum_top_max) = extreme_sum(alpha, parity, true);
+    let (bot_min, sum_bot_min) = extreme_sum(beta, parity, false);
+    let d_fwd = sum_top_max - sum_bot_min;
+    // Reverse orientation: minimize the same signed difference.
+    let (top_min, sum_top_min) = extreme_sum(alpha, parity, false);
+    let (bot_max, sum_bot_max) = extreme_sum(beta, parity, true);
+    let d_rev = sum_top_min - sum_bot_max;
+    if d_fwd.abs() >= d_rev.abs() {
+        UnguardedSelection {
+            top: ConfigVector::from_selected(n, &top_max),
+            bottom: ConfigVector::from_selected(n, &bot_min),
+            margin: d_fwd.abs(),
+            bit: d_fwd > 0.0,
+        }
+    } else {
+        UnguardedSelection {
+            top: ConfigVector::from_selected(n, &top_min),
+            bottom: ConfigVector::from_selected(n, &bot_max),
+            margin: d_rev.abs(),
+            bit: d_rev > 0.0,
+        }
+    }
+}
+
+/// The admissible selection of `delays` maximizing (`maximize`) or
+/// minimizing the selected-sum, as (sorted indices, sum). Under
+/// `ParityPolicy::Ignore` the maximizer takes every stage and the
+/// minimizer none; under `ForceOdd` they take the largest odd count and
+/// the single cheapest/dearest stage respectively.
+fn extreme_sum(delays: &[f64], parity: ParityPolicy, maximize: bool) -> (Vec<usize>, f64) {
+    let n = delays.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    if maximize {
+        order.sort_by(|&a, &b| delays[b].total_cmp(&delays[a]).then(a.cmp(&b)));
+    } else {
+        order.sort_by(|&a, &b| delays[a].total_cmp(&delays[b]).then(a.cmp(&b)));
+    }
+    let count = match (parity, maximize) {
+        (ParityPolicy::Ignore, true) => n,
+        (ParityPolicy::Ignore, false) => 0,
+        // Largest admissible count for the maximizer…
+        (ParityPolicy::ForceOdd, true) => {
+            if n % 2 == 1 {
+                n
+            } else {
+                n - 1
+            }
+        }
+        // …and the smallest (1) for the minimizer, taking the cheapest
+        // stage. (For the maximizer's complement the dearest stage —
+        // `order` is already sorted the right way for both.)
+        (ParityPolicy::ForceOdd, false) => 1,
+    };
+    let mut chosen: Vec<usize> = order.into_iter().take(count).collect();
+    let sum = chosen.iter().map(|&i| delays[i]).sum();
+    chosen.sort_unstable();
+    (chosen, sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(guard: Guard) -> EnvelopeConfig {
+        EnvelopeConfig {
+            seed: 11,
+            boards: 4,
+            units: 56,
+            cols: 7,
+            stages: 7,
+            parity: ParityPolicy::Ignore,
+            distill: false,
+            quantize_ps: None,
+            guard,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn unguarded_optimum_dominates_guarded() {
+        let alpha = [10.0, 12.5, 11.0, 9.0, 10.3];
+        let beta = [11.0, 10.0, 12.0, 10.5, 9.9];
+        for parity in [ParityPolicy::Ignore, ParityPolicy::ForceOdd] {
+            let guarded = case2(&alpha, &beta, parity);
+            let broken = case2_unguarded(&alpha, &beta, parity);
+            assert!(
+                broken.margin >= guarded.margin() - 1e-12,
+                "dropping a constraint cannot shrink the optimum"
+            );
+            assert_ne!(
+                broken.top.selected_count(),
+                broken.bottom.selected_count(),
+                "the broken variant leaks through its counts"
+            );
+        }
+    }
+
+    #[test]
+    fn unguarded_count_difference_encodes_the_bit() {
+        let slow = [13.0, 12.0, 14.0];
+        let fast = [9.0, 8.5, 9.5];
+        let s = case2_unguarded(&slow, &fast, ParityPolicy::Ignore);
+        assert!(s.bit, "top is slower");
+        assert!(s.top.selected_count() > s.bottom.selected_count());
+        let s = case2_unguarded(&fast, &slow, ParityPolicy::Ignore);
+        assert!(!s.bit);
+        assert!(s.top.selected_count() < s.bottom.selected_count());
+    }
+
+    #[test]
+    fn unguarded_force_odd_respects_parity() {
+        let alpha = [10.0, 12.0, 11.0, 9.5];
+        let beta = [11.0, 10.5, 9.0, 12.5];
+        let s = case2_unguarded(&alpha, &beta, ParityPolicy::ForceOdd);
+        assert_eq!(s.top.selected_count() % 2, 1);
+        assert_eq!(s.bottom.selected_count() % 2, 1);
+    }
+
+    #[test]
+    fn guarded_fleet_always_has_equal_counts() {
+        let fleet = EnvelopeFleet::generate(&small_config(Guard::Guarded));
+        assert_eq!(fleet.len(), 4 * 4);
+        for e in fleet.boards.iter().flat_map(|b| &b.envelopes) {
+            assert_eq!(e.top_selected.len(), e.bottom_selected.len());
+        }
+    }
+
+    #[test]
+    fn generation_is_thread_invariant() {
+        let mut one = small_config(Guard::Unguarded);
+        one.threads = 1;
+        let mut four = small_config(Guard::Unguarded);
+        four.threads = 4;
+        let a = EnvelopeFleet::generate(&one);
+        let b = EnvelopeFleet::generate(&four);
+        assert_eq!(a.boards, b.boards);
+    }
+
+    #[test]
+    fn quantization_forces_degenerate_pairs() {
+        let mut config = small_config(Guard::Guarded);
+        config.boards = 8;
+        config.quantize_ps = Some(25.0);
+        let fleet = EnvelopeFleet::generate(&config);
+        assert!(
+            fleet.degenerate_rate() > 0.2,
+            "coarse quantization must produce ties, got rate {}",
+            fleet.degenerate_rate()
+        );
+        // Degenerate guarded envelopes resolve to the conventional 0.
+        for e in fleet.boards.iter().flat_map(|b| &b.envelopes) {
+            if e.degenerate {
+                assert!(!e.bit);
+            }
+        }
+    }
+}

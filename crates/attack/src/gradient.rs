@@ -1,0 +1,145 @@
+//! Spatial-gradient inference over enrollment envelopes.
+//!
+//! The simulated silicon (like real FPGA fabric) carries a smooth
+//! systematic delay surface: a per-die degree-2 polynomial that
+//! *dominates* the random per-unit variation. An attacker with probe
+//! access to part of a die — their own sacrificial pairs, a diagnostic
+//! interface, a decapped corner — can fit that surface and then read
+//! *other* pairs' bits straight from public helper data: under a
+//! split layout, "which stages did Case-2 select, and where do they
+//! sit" correlates with which ring the surface made slower.
+//!
+//! The fit uses [`poly2d_design_matrix`] + ridge least squares from
+//! `ropuf_num::linalg` — the attacker needs no access to the
+//! enrollment pipeline, only the public floorplan. The defense under
+//! test is the [`ropuf_core::distill`] regression distiller: when
+//! enrollment selects on distilled residuals, the helper data
+//! decorrelates from the surface and the same attack collapses to the
+//! coin-flip baseline (cf. the randomized-placement line of
+//! arXiv 2006.09290, which removes the gradient by layout instead).
+
+use ropuf_num::linalg::poly2d_design_matrix;
+
+use crate::envelope::{BoardEnvelopes, EnvelopeFleet};
+use crate::AttackOutcome;
+
+/// Degree of the surface the attacker fits (matches the silicon's
+/// systematic field and the defender's distiller).
+const SURFACE_DEGREE: usize = 2;
+/// Ridge regularization of the surface fit.
+const SURFACE_RIDGE: f64 = 1e-9;
+
+/// Runs the gradient attack: on each board, the attacker probes the
+/// units of the first `probed_pairs` pairs (measuring their true
+/// delays), fits the systematic surface, and predicts the bits of every
+/// *remaining* pair from helper data + floorplan alone. Returns the
+/// outcome scored over the unprobed pairs of every board.
+///
+/// # Panics
+///
+/// Panics if `probed_pairs` is 0 or leaves no pair to attack.
+pub fn gradient_attack(fleet: &EnvelopeFleet, probed_pairs: usize) -> AttackOutcome {
+    let pairs = fleet.config.pairs_per_board();
+    assert!(
+        probed_pairs > 0 && probed_pairs < pairs,
+        "need at least one probed and one target pair, got {probed_pairs} of {pairs}"
+    );
+    let mut score = 0.0;
+    let mut samples = 0usize;
+    for board in &fleet.boards {
+        let surface = fit_surface(board, probed_pairs);
+        for e in board.envelopes.iter().filter(|e| e.pair >= probed_pairs) {
+            samples += 1;
+            score += match predict(&surface, e) {
+                Some(guess) if guess == e.bit => 1.0,
+                Some(_) => 0.0,
+                None => 0.5, // abstain
+            };
+        }
+    }
+    AttackOutcome::from_score("gradient", score, samples)
+}
+
+/// Fits the degree-2 surface to the probed units' (position, value)
+/// samples and evaluates it at *every* unit position of the board.
+fn fit_surface(board: &BoardEnvelopes, probed_pairs: usize) -> Vec<f64> {
+    let probed_units: Vec<usize> = board
+        .envelopes
+        .iter()
+        .filter(|e| e.pair < probed_pairs)
+        .flat_map(|e| e.top_units.iter().chain(&e.bottom_units).copied())
+        .collect();
+    let points: Vec<(f64, f64)> = probed_units.iter().map(|&i| board.positions[i]).collect();
+    let values: Vec<f64> = probed_units.iter().map(|&i| board.values[i]).collect();
+    let design = poly2d_design_matrix(&points, SURFACE_DEGREE);
+    let beta = design
+        .least_squares_ridge(&values, SURFACE_RIDGE)
+        .expect("ridge surface fit is positive definite");
+    poly2d_design_matrix(&board.positions, SURFACE_DEGREE).matvec(&beta)
+}
+
+/// Predicts one envelope's bit: mean fitted surface over the selected
+/// top stages minus the mean over the selected bottom stages. Forward
+/// orientation (bit 1) selects the slow side of the top ring and the
+/// fast side of the bottom ring, so a positive difference votes 1.
+/// Abstains on empty selections or an exact tie.
+fn predict(surface: &[f64], e: &crate::envelope::Envelope) -> Option<bool> {
+    let mean = |selected: &[usize], units: &[usize]| -> Option<f64> {
+        if selected.is_empty() {
+            return None;
+        }
+        let sum: f64 = selected.iter().map(|&s| surface[units[s]]).sum();
+        Some(sum / selected.len() as f64)
+    };
+    let top = mean(&e.top_selected, &e.top_units)?;
+    let bottom = mean(&e.bottom_selected, &e.bottom_units)?;
+    if top == bottom {
+        None
+    } else {
+        Some(top > bottom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::{EnvelopeConfig, Guard};
+    use ropuf_core::config::ParityPolicy;
+
+    fn config(distill: bool) -> EnvelopeConfig {
+        EnvelopeConfig {
+            seed: 23,
+            boards: 24,
+            units: 224,
+            cols: 16,
+            stages: 7,
+            parity: ParityPolicy::Ignore,
+            distill,
+            quantize_ps: None,
+            guard: Guard::Guarded,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn gradient_leaks_without_the_distiller_and_not_with_it() {
+        let raw = gradient_attack(&EnvelopeFleet::generate(&config(false)), 8);
+        let distilled = gradient_attack(&EnvelopeFleet::generate(&config(true)), 8);
+        assert!(
+            raw.advantage > 0.15,
+            "split layout + systematic surface must leak, got {}",
+            raw.advantage
+        );
+        assert!(
+            distilled.advantage < raw.advantage / 2.0,
+            "distiller must collapse the leak: raw {} vs distilled {}",
+            raw.advantage,
+            distilled.advantage
+        );
+        assert!(
+            distilled.advantage.abs() < 0.15,
+            "distilled advantage should sit near chance, got {}",
+            distilled.advantage
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Deterministic CRP transcripts of a *reconfigurable* deployment.
+//!
+//! §II of the paper rejects runtime-configurable operation precisely
+//! because it exposes modeling surface; [`ropuf_core::crp`] implements
+//! that mode so the attacks can be demonstrated. This module mass-
+//! produces the attacker's training material: per-board transcripts of
+//! `(challenge, response)` pairs, generated from seed-split RNG streams
+//! ([`split_seed`]) and fanned out with [`parallel_map_indexed`], so a
+//! transcript is bit-identical at any thread count — the property the
+//! CI `attack-smoke` job diffs for.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ropuf_core::config::ParityPolicy;
+use ropuf_core::crp::{respond, Challenge};
+use ropuf_core::fleet::{parallel_map_indexed, split_seed};
+use ropuf_core::ro::{ConfigurableRo, RoPair};
+use ropuf_silicon::board::BoardId;
+use ropuf_silicon::{DelayProbe, Environment, SiliconSim};
+
+/// Configuration of one transcript run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranscriptConfig {
+    /// Master seed; board `b` derives its streams from
+    /// `split_seed(seed, b)`.
+    pub seed: u64,
+    /// Boards (one ring pair each).
+    pub boards: usize,
+    /// Stages per ring.
+    pub stages: usize,
+    /// Challenge-response pairs collected per board.
+    pub crps: usize,
+    /// Parity policy of the drawn challenges.
+    pub parity: ParityPolicy,
+    /// Worker threads (never changes the transcript).
+    pub threads: usize,
+}
+
+impl Default for TranscriptConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1910_07068, // Wilde et al.
+            boards: 6,
+            stages: 9,
+            crps: 400,
+            parity: ParityPolicy::Ignore,
+            threads: 1,
+        }
+    }
+}
+
+/// One board's CRP transcript plus the scoring secrets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoardTranscript {
+    /// Board index in the run.
+    pub board: usize,
+    /// The challenges, in collection order.
+    pub challenges: Vec<Challenge>,
+    /// The responses (noiseless, so exactly reproducible).
+    pub responses: Vec<bool>,
+    /// Secret: the top ring's true per-stage ddiffs (selected minus
+    /// bypass delay) — the quantity a modeling attack implicitly
+    /// estimates, kept for ordering-recovery scoring only.
+    pub true_top_ddiffs: Vec<f64>,
+    /// Secret: the bottom ring's true per-stage ddiffs.
+    pub true_bottom_ddiffs: Vec<f64>,
+}
+
+/// A deterministic multi-board CRP transcript.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transcript {
+    /// Stages per ring.
+    pub stages: usize,
+    /// Per-board transcripts, in board order at any thread count.
+    pub boards: Vec<BoardTranscript>,
+}
+
+impl Transcript {
+    /// Generates the transcript. Each board splits a grow stream
+    /// (index 0) and a challenge stream (index 1) off its board seed;
+    /// responses use the noiseless probe, so the transcript is a pure
+    /// function of `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0`.
+    pub fn generate(config: &TranscriptConfig) -> Self {
+        assert!(config.stages > 0, "transcripts need at least one stage");
+        let sim = SiliconSim::default_spartan();
+        let tech = *sim.technology();
+        let env = Environment::nominal();
+        let probe = DelayProbe::noiseless();
+        let boards = parallel_map_indexed(config.boards, config.threads, |b| {
+            let board_seed = split_seed(config.seed, b as u64);
+            let mut grow_rng = StdRng::seed_from_u64(split_seed(board_seed, 0));
+            let board = sim.grow_board_with_id(
+                &mut grow_rng,
+                BoardId(b as u32),
+                2 * config.stages,
+                config.stages,
+            );
+            // Interleaved layout (top ring on even units, bottom on
+            // odd): adjacent units share the systematic surface, so the
+            // inter-ring bias cancels and the response actually depends
+            // on the challenge — a split layout can leave one ring
+            // wholly in the slow half of the die and the transcript
+            // near-constant.
+            let top = ConfigurableRo::try_new(&board, (0..config.stages).map(|i| 2 * i).collect())
+                .expect("even unit indices are in range and distinct");
+            let bottom =
+                ConfigurableRo::try_new(&board, (0..config.stages).map(|i| 2 * i + 1).collect())
+                    .expect("odd unit indices are in range and distinct");
+            let pair = RoPair::try_new(top, bottom).expect("rings are equal-length");
+            let mut crp_rng = StdRng::seed_from_u64(split_seed(board_seed, 1));
+            let mut challenges = Vec::with_capacity(config.crps);
+            let mut responses = Vec::with_capacity(config.crps);
+            for _ in 0..config.crps {
+                let c = Challenge::random(&mut crp_rng, config.stages, config.parity);
+                let r = respond(&mut crp_rng, &pair, &c, &probe, env, &tech);
+                challenges.push(c);
+                responses.push(r);
+            }
+            BoardTranscript {
+                board: b,
+                challenges,
+                responses,
+                true_top_ddiffs: pair.top().true_ddiffs_ps(env, &tech),
+                true_bottom_ddiffs: pair.bottom().true_ddiffs_ps(env, &tech),
+            }
+        });
+        Self {
+            stages: config.stages,
+            boards,
+        }
+    }
+
+    /// Renders the transcript as deterministic text, one line per CRP
+    /// (`board <b> <top-config> <bottom-config> -> <bit>`), suitable
+    /// for byte-level diffing across runs and thread counts.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for b in &self.boards {
+            for (c, &r) in b.challenges.iter().zip(&b.responses) {
+                out.push_str(&format!(
+                    "board {} {} {} -> {}\n",
+                    b.board,
+                    c.top(),
+                    c.bottom(),
+                    u8::from(r)
+                ));
+            }
+        }
+        out
+    }
+
+    /// Splits each board's transcript into (train, test) halves.
+    pub fn split(&self) -> Vec<(&BoardTranscript, usize)> {
+        self.boards
+            .iter()
+            .map(|b| (b, b.challenges.len() / 2))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transcripts_are_thread_invariant_and_reproducible() {
+        let base = TranscriptConfig {
+            boards: 3,
+            crps: 50,
+            ..TranscriptConfig::default()
+        };
+        let one = Transcript::generate(&TranscriptConfig { threads: 1, ..base });
+        let four = Transcript::generate(&TranscriptConfig { threads: 4, ..base });
+        assert_eq!(one, four);
+        assert_eq!(one.to_text(), four.to_text());
+        let again = Transcript::generate(&TranscriptConfig { threads: 2, ..base });
+        assert_eq!(one, again);
+    }
+
+    #[test]
+    fn transcript_text_is_parseable_and_balanced() {
+        let t = Transcript::generate(&TranscriptConfig {
+            boards: 2,
+            crps: 20,
+            stages: 5,
+            ..TranscriptConfig::default()
+        });
+        let text = t.to_text();
+        assert_eq!(text.lines().count(), 40);
+        for line in text.lines() {
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(fields.len(), 6, "line {line:?}");
+            assert_eq!(fields[0], "board");
+            assert_eq!(fields[4], "->");
+            // The §III structural constraint holds for every challenge.
+            let ones = |s: &str| s.chars().filter(|&c| c == '1').count();
+            assert_eq!(ones(fields[2]), ones(fields[3]), "line {line:?}");
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Determinism and chance-band guarantees of the attack suite.
+//!
+//! Two properties CI leans on: transcripts and envelope fleets are
+//! bit-identical at any thread count (so `attack-smoke` can diff runs
+//! byte-for-byte), and the guarded Case-2 kernel holds the count-leak
+//! attack inside the chance band at *every* seed while the broken
+//! variant is cleanly broken on the same silicon.
+
+use proptest::prelude::*;
+use ropuf_attack::count_leak::count_leak;
+use ropuf_attack::envelope::{EnvelopeConfig, EnvelopeFleet, Guard};
+use ropuf_attack::transcript::{Transcript, TranscriptConfig};
+use ropuf_core::config::ParityPolicy;
+
+fn envelope_config(seed: u64, guard: Guard, parity: ParityPolicy) -> EnvelopeConfig {
+    EnvelopeConfig {
+        seed,
+        boards: 6,
+        units: 84,
+        cols: 7,
+        stages: 7,
+        parity,
+        distill: false,
+        quantize_ps: None,
+        guard,
+        threads: 1,
+    }
+}
+
+proptest! {
+    /// Transcript generation is a pure function of the config: the
+    /// thread count shapes the schedule, never the bits.
+    #[test]
+    fn transcripts_are_bit_identical_across_thread_counts(seed in any::<u64>()) {
+        let config = TranscriptConfig {
+            seed,
+            boards: 3,
+            stages: 5,
+            crps: 40,
+            parity: ParityPolicy::Ignore,
+            threads: 1,
+        };
+        let reference = Transcript::generate(&config);
+        for threads in [2usize, 4, 8] {
+            let run = Transcript::generate(&TranscriptConfig { threads, ..config });
+            prop_assert_eq!(&run.boards, &reference.boards, "threads = {}", threads);
+            prop_assert_eq!(run.to_text(), reference.to_text(), "threads = {}", threads);
+        }
+    }
+
+    /// Envelope fleets (the attacks' input) are equally schedule-free,
+    /// for both kernels.
+    #[test]
+    fn envelope_fleets_are_bit_identical_across_thread_counts(
+        seed in any::<u64>(),
+        guarded in any::<bool>(),
+    ) {
+        let guard = if guarded { Guard::Guarded } else { Guard::Unguarded };
+        let config = envelope_config(seed, guard, ParityPolicy::Ignore);
+        let reference = EnvelopeFleet::generate(&config);
+        for threads in [2usize, 4, 8] {
+            let run = EnvelopeFleet::generate(&EnvelopeConfig { threads, ..config.clone() });
+            prop_assert_eq!(&run.boards, &reference.boards, "threads = {}", threads);
+        }
+    }
+
+    /// §III, falsified-or-verified at every seed: the equal-count guard
+    /// pins the count-leak attack to *exactly* the coin-flip baseline
+    /// (the attacker abstains on every envelope), while the unguarded
+    /// kernel on the same silicon hands over almost every bit.
+    #[test]
+    fn guard_pins_count_leak_to_chance_while_broken_exceeds_it(
+        seed in any::<u64>(),
+        force_odd in any::<bool>(),
+    ) {
+        let parity = if force_odd { ParityPolicy::ForceOdd } else { ParityPolicy::Ignore };
+        let guarded = count_leak(&EnvelopeFleet::generate(&envelope_config(
+            seed,
+            Guard::Guarded,
+            parity,
+        )));
+        prop_assert_eq!(guarded.accuracy, 0.5, "seed {}", seed);
+        prop_assert_eq!(guarded.advantage, 0.0, "seed {}", seed);
+
+        let broken = count_leak(&EnvelopeFleet::generate(&envelope_config(
+            seed,
+            Guard::Unguarded,
+            parity,
+        )));
+        prop_assert!(
+            broken.accuracy >= 0.7,
+            "seed {}: broken kernel must be cleanly broken, got {}",
+            seed,
+            broken.accuracy
+        );
+        prop_assert!(broken.advantage > guarded.advantage + 0.15, "seed {}", seed);
+    }
+}

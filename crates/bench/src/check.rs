@@ -59,6 +59,14 @@ pub struct BenchRecord {
     /// multi-corner objective; the gate demands this sits strictly
     /// below the nominal-only rate.
     pub worst_corner_flip_rate_multi_corner: Option<f64>,
+    /// Count-leak attack advantage against the guarded Case-2 kernel,
+    /// when the record carries the attack headline. The gate demands
+    /// this stays below [`GUARDED_ADVANTAGE_CEILING`].
+    pub attacker_advantage_guarded: Option<f64>,
+    /// The same attack's advantage against the deliberately unguarded
+    /// kernel — the canary proving the attack still has teeth; the gate
+    /// demands it stays above [`BROKEN_ADVANTAGE_FLOOR`].
+    pub attacker_advantage_broken: Option<f64>,
 }
 
 impl BenchRecord {
@@ -92,6 +100,8 @@ impl BenchRecord {
                 text,
                 "worst_corner_flip_rate_multi_corner",
             ),
+            attacker_advantage_guarded: extract_number(text, "attacker_advantage_guarded"),
+            attacker_advantage_broken: extract_number(text, "attacker_advantage_broken"),
         })
     }
 }
@@ -231,6 +241,11 @@ pub fn compare_with_notes(
     // with a note.
     check_corner_objective("baseline", baseline, &mut violations, &mut notes);
     check_corner_objective("fresh", fresh, &mut violations, &mut notes);
+    // The attack claim is also within-record and noiseless: the §III
+    // guard must hold the count-leak attack near chance while the
+    // broken-variant canary proves the attack itself still works.
+    check_attack_guard("baseline", baseline, &mut violations, &mut notes);
+    check_attack_guard("fresh", fresh, &mut violations, &mut notes);
     // Scaling is gated per record (against its own machine), not
     // cross-record: each record's 8-thread point must reach the
     // tolerance fraction of what its core count can deliver. This runs
@@ -307,6 +322,60 @@ fn check_corner_objective(
         _ => violations.push(format!(
             "{label} record carries only one worst_corner_flip_rate field — \
              the corner-objective claim needs both arms"
+        )),
+    }
+}
+
+/// Largest count-leak advantage the guarded kernel may concede. The
+/// attack abstains on every equal-count envelope, so a healthy record
+/// carries exactly 0; the ceiling leaves room only for a future scoring
+/// tweak, never for a real leak (one exploitable bit in ten is far past
+/// broken). Matches the `ropuf attack --assert-guard` threshold.
+const GUARDED_ADVANTAGE_CEILING: f64 = 0.1;
+
+/// Smallest advantage the attack must extract from the deliberately
+/// unguarded kernel. Below this the canary has gone quiet: a suite
+/// that cannot break the broken variant proves nothing by failing to
+/// break the guarded one, so "guarded looks safe" would be vacuous.
+const BROKEN_ADVANTAGE_FLOOR: f64 = 0.2;
+
+/// Applies the within-record §III attack claim to one record: the
+/// guarded kernel must hold the count-leak advantage at (near) zero
+/// while the unguarded canary stays cleanly broken. Both figures are
+/// seed-determined and noiseless, so the bands are constants, not
+/// tolerances. A record without the fields is grandfathered with a
+/// note; one carrying only half the pair is malformed.
+fn check_attack_guard(
+    label: &str,
+    record: &BenchRecord,
+    violations: &mut Vec<String>,
+    notes: &mut Vec<String>,
+) {
+    match (
+        record.attacker_advantage_guarded,
+        record.attacker_advantage_broken,
+    ) {
+        (Some(guarded), Some(broken)) => {
+            if guarded > GUARDED_ADVANTAGE_CEILING {
+                violations.push(format!(
+                    "{label} guarded kernel leaks: count-leak advantage {guarded} exceeds \
+                     {GUARDED_ADVANTAGE_CEILING} — the §III equal-count guard is not holding"
+                ));
+            }
+            if broken < BROKEN_ADVANTAGE_FLOOR {
+                violations.push(format!(
+                    "{label} attack canary went quiet: advantage {broken} against the \
+                     unguarded kernel is below {BROKEN_ADVANTAGE_FLOOR}, so the guarded \
+                     figure proves nothing"
+                ));
+            }
+        }
+        (None, None) => notes.push(format!(
+            "attack gate skipped: {label} record predates the attacker_advantage fields"
+        )),
+        _ => violations.push(format!(
+            "{label} record carries only one attacker_advantage field — the attack \
+             claim needs both the guarded figure and the broken-variant canary"
         )),
     }
 }
@@ -553,6 +622,8 @@ mod tests {
             speedup_curve: Vec::new(),
             worst_corner_flip_rate_nominal: Some(0.1),
             worst_corner_flip_rate_multi_corner: Some(0.01),
+            attacker_advantage_guarded: Some(0.0),
+            attacker_advantage_broken: Some(0.5),
         }
     }
 
@@ -868,6 +939,94 @@ mod tests {
         .unwrap();
         assert_eq!(old.worst_corner_flip_rate_nominal, None);
         assert_eq!(old.worst_corner_flip_rate_multi_corner, None);
+    }
+
+    /// The must-fail proof for the attack gate: a fabricated record
+    /// whose guarded kernel concedes real advantage is exactly the
+    /// regression `check-bench` exists to refuse — and a quiet canary
+    /// (broken variant no longer broken) fails too, because a toothless
+    /// attack would make the guarded figure vacuous.
+    #[test]
+    fn fabricated_guard_leak_fails() {
+        let baseline = record(1000.0);
+        let mut leaky = record(1000.0);
+        leaky.attacker_advantage_guarded = Some(0.3);
+        let (violations, _) = compare_with_notes(&baseline, &leaky, &Tolerance::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("fresh guarded kernel leaks") && violations[0].contains("0.3"),
+            "{violations:?}"
+        );
+        // Exactly at the ceiling still passes (the band is inclusive).
+        leaky.attacker_advantage_guarded = Some(0.1);
+        let (violations, _) = compare_with_notes(&baseline, &leaky, &Tolerance::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        // The same leak in the committed baseline is flagged too.
+        leaky.attacker_advantage_guarded = Some(0.3);
+        let (violations, _) = compare_with_notes(&leaky, &baseline, &Tolerance::default());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("baseline guarded kernel leaks")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn quiet_attack_canary_fails() {
+        let baseline = record(1000.0);
+        let mut quiet = record(1000.0);
+        quiet.attacker_advantage_broken = Some(0.05);
+        let (violations, _) = compare_with_notes(&baseline, &quiet, &Tolerance::default());
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("fresh attack canary went quiet"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn attack_fields_grandfather_and_reject_half_presence() {
+        let fresh = record(1000.0);
+        let mut old = record(1000.0);
+        old.attacker_advantage_guarded = None;
+        old.attacker_advantage_broken = None;
+        let (violations, notes) = compare_with_notes(&old, &fresh, &Tolerance::default());
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(
+            notes
+                .iter()
+                .any(|n| n.contains("attack gate skipped") && n.contains("baseline")),
+            "{notes:?}"
+        );
+        let mut half = record(1000.0);
+        half.attacker_advantage_broken = None;
+        let (violations, _) = compare_with_notes(&old, &half, &Tolerance::default());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("only one attacker_advantage field")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn parse_reads_the_attack_fields() {
+        let text = "{\"boards\": 1, \"bits_per_board\": 2, \"boards_per_sec\": 3, \
+             \"deterministic\": true, \
+             \"attack\": {\"attack_samples\": 96, \"attacker_advantage_guarded\": 0, \
+             \"attacker_advantage_broken\": 0.5, \"attacker_accuracy_broken\": 1}}";
+        let r = BenchRecord::parse(text).unwrap();
+        assert_eq!(r.attacker_advantage_guarded, Some(0.0));
+        assert_eq!(r.attacker_advantage_broken, Some(0.5));
+        // Pre-attack records parse to the grandfathered shape.
+        let old = BenchRecord::parse(
+            "{\"boards\": 1, \"bits_per_board\": 2, \"boards_per_sec\": 3, \
+             \"deterministic\": true}",
+        )
+        .unwrap();
+        assert_eq!(old.attacker_advantage_guarded, None);
+        assert_eq!(old.attacker_advantage_broken, None);
     }
 
     #[test]

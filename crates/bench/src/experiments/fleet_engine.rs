@@ -10,7 +10,10 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ropuf_attack::count_leak::count_leak;
+use ropuf_attack::envelope::{EnvelopeConfig, EnvelopeFleet, Guard};
 use ropuf_core::calibrate::{calibrate, calibrate_per_config};
+use ropuf_core::config::ParityPolicy;
 use ropuf_core::fleet::{parallel_map_indexed, split_seed, FleetConfig, FleetEngine, FleetRun};
 use ropuf_core::puf::{ConfigurableRoPuf, EnrollOptions};
 use ropuf_core::reenroll::{assess_drift, assessment_corners, ReenrollPolicy};
@@ -229,7 +232,8 @@ fn compare_corner_objectives(config: &Config, threads: usize) -> CornerObjective
         // drift swamps the margin difference between the arms.
         let aged = AgingModel::default().age_board(&mut age_rng, &board, OBJECTIVE_YEARS);
         [EnrollOptions::default(), multi_opts].map(|opts| {
-            let enrollment = puf.enroll_seeded(split_seed(board_seed, 1), &board, &tech, env, &opts);
+            let enrollment =
+                puf.enroll_seeded(split_seed(board_seed, 1), &board, &tech, env, &opts);
             let assessment = assess_drift(&enrollment, &aged, &tech, &corners);
             ObjectiveArm {
                 bits: assessment.bits,
@@ -248,6 +252,63 @@ fn compare_corner_objectives(config: &Config, threads: usize) -> CornerObjective
         out.multi_corner.corner_flips += multi.corner_flips;
     }
     out
+}
+
+/// Headline figures of the §III count-leak attack, run against the
+/// real guarded Case-2 kernel and the deliberately unguarded variant
+/// on the same silicon. The guarded advantage is a security claim of
+/// the committed record (`check-bench` fails it above a ceiling); the
+/// broken advantage is the canary proving the attack itself still has
+/// teeth (the gate fails it *below* a floor, so a suite that silently
+/// stopped attacking cannot pass as "secure").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttackHeadline {
+    /// Count-leak advantage over coin-flipping against the guarded
+    /// kernel (exactly 0: the attacker abstains on equal counts).
+    pub guarded_advantage: f64,
+    /// The same attack's advantage against the unguarded kernel.
+    pub broken_advantage: f64,
+    /// Raw accuracy against the unguarded kernel.
+    pub broken_accuracy: f64,
+    /// Envelopes each arm attacked.
+    pub samples: usize,
+}
+
+/// Shape of the attack-headline envelope fleet. Fixed rather than
+/// derived from the benchmark floorplan: the attack figures are a
+/// security claim about the selection kernel, not a throughput claim
+/// about the fleet size, and a fixed shape keeps the committed numbers
+/// comparable across `--boards` overrides.
+const ATTACK_BOARDS: usize = 16;
+const ATTACK_UNITS: usize = 84;
+const ATTACK_COLS: usize = 7;
+const ATTACK_STAGES: usize = 7;
+
+/// Measures [`AttackHeadline`] by enrolling the same silicon under
+/// both kernels and running the count-leak attack on each envelope
+/// fleet. Deterministic in `config.seed` and thread-invariant
+/// (envelope generation fans out with `parallel_map_indexed`).
+fn measure_attack_headline(config: &Config, threads: usize) -> AttackHeadline {
+    let envelope_config = |guard| EnvelopeConfig {
+        seed: config.seed,
+        boards: ATTACK_BOARDS,
+        units: ATTACK_UNITS,
+        cols: ATTACK_COLS,
+        stages: ATTACK_STAGES,
+        parity: ParityPolicy::Ignore,
+        distill: false,
+        quantize_ps: None,
+        guard,
+        threads,
+    };
+    let guarded = count_leak(&EnvelopeFleet::generate(&envelope_config(Guard::Guarded)));
+    let broken = count_leak(&EnvelopeFleet::generate(&envelope_config(Guard::Unguarded)));
+    AttackHeadline {
+        guarded_advantage: guarded.advantage,
+        broken_advantage: broken.advantage,
+        broken_accuracy: broken.accuracy,
+        samples: guarded.samples,
+    }
 }
 
 /// One point of the thread-scaling sweep: the fleet evaluated at an
@@ -299,6 +360,9 @@ pub struct Outcome {
     /// Worst-corner flip rates of the aged fleet under nominal-only vs
     /// multi-corner enrollment.
     pub corner_objective: CornerObjective,
+    /// Count-leak attack advantages against the guarded and unguarded
+    /// selection kernels.
+    pub attack: AttackHeadline,
     /// Per-stage timing of the parallel pass (CPU-seconds summed
     /// across workers, so the stage totals can exceed wall-clock).
     pub stages: StageBreakdown,
@@ -350,6 +414,14 @@ impl Outcome {
             self.corner_objective.nominal.bits,
             self.corner_objective.multi_corner.flip_rate(),
             self.corner_objective.multi_corner.bits,
+        ));
+        out.push_str(&format!(
+            "count-leak attack (§III guard, {} envelopes/arm): guarded advantage \
+             {:+.4}, unguarded advantage {:+.4} (accuracy {:.4})\n",
+            self.attack.samples,
+            self.attack.guarded_advantage,
+            self.attack.broken_advantage,
+            self.attack.broken_accuracy,
         ));
         out.push_str(&format!(
             "stages (cpu-time across {} boards): grow {:.3}s, enroll {:.3}s, \
@@ -412,6 +484,8 @@ impl Outcome {
              \"corner_flips_nominal\": {}, \"worst_corner_flip_rate_nominal\": {}, \
              \"bits_multi_corner\": {}, \"corner_flips_multi_corner\": {}, \
              \"worst_corner_flip_rate_multi_corner\": {}}},\n  \
+             \"attack\": {{\"attack_samples\": {}, \"attacker_advantage_guarded\": {}, \
+             \"attacker_advantage_broken\": {}, \"attacker_accuracy_broken\": {}}},\n  \
              \"stages\": {{\"grow_us\": {}, \"enroll_us\": {}, \"respond_us\": {}, \
              \"boards\": {}, \"steals\": {}, \"batched_measurements\": {}, \
              \"fallback_measurements\": {}}},\n  \
@@ -437,6 +511,10 @@ impl Outcome {
             self.corner_objective.multi_corner.bits,
             self.corner_objective.multi_corner.corner_flips,
             self.corner_objective.multi_corner.flip_rate(),
+            self.attack.samples,
+            self.attack.guarded_advantage,
+            self.attack.broken_advantage,
+            self.attack.broken_accuracy,
             self.stages.grow_us,
             self.stages.enroll_us,
             self.stages.respond_us,
@@ -514,6 +592,7 @@ pub fn run(config: &Config) -> Outcome {
     // `measure.fallback` counters do not pollute the engine breakdown.
     let calibration = compare_calibration_kernels(config);
     let corner_objective = compare_corner_objectives(config, threads);
+    let attack = measure_attack_headline(config, threads);
     let speedup = serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-12);
     Outcome {
         boards: config.boards,
@@ -534,6 +613,7 @@ pub fn run(config: &Config) -> Outcome {
             .zip(parallel.corner_flip_rates())
             .collect(),
         corner_objective,
+        attack,
         stages,
         calibration,
     }
@@ -670,6 +750,58 @@ mod tests {
         assert!(out
             .render()
             .contains("worst-corner flip rate after 10y drift"));
+    }
+
+    /// The attack headline must hold the §III claim on the benchmark
+    /// seed — guarded advantage exactly 0, unguarded cleanly broken —
+    /// and be thread-invariant so the committed record does not depend
+    /// on the machine that measured it.
+    #[test]
+    fn attack_headline_separates_the_kernels_and_ignores_threads() {
+        let config = Config::default();
+        let one = measure_attack_headline(&config, 1);
+        let four = measure_attack_headline(&config, 4);
+        assert_eq!(one.guarded_advantage, four.guarded_advantage);
+        assert_eq!(one.broken_advantage, four.broken_advantage);
+        assert_eq!(one.samples, four.samples);
+        assert_eq!(
+            one.guarded_advantage, 0.0,
+            "the equal-count guard makes the attacker abstain on every envelope"
+        );
+        assert!(one.broken_accuracy >= 0.7, "{one:?}");
+        assert!(one.broken_advantage >= 0.2, "{one:?}");
+        assert_eq!(
+            one.samples,
+            ATTACK_BOARDS * (ATTACK_UNITS / 2 / ATTACK_STAGES)
+        );
+    }
+
+    /// The attack figures must reach the JSON under flat-scan-unique
+    /// keys so `check-bench` can gate both arms from the baseline file.
+    #[test]
+    fn attack_fields_reach_the_json_and_render() {
+        let out = run(&Config {
+            boards: 8,
+            units: 80,
+            stages: 4,
+            threads: Some(2),
+            ..Config::default()
+        });
+        let json = out.to_json();
+        for key in [
+            "\"attacker_advantage_guarded\"",
+            "\"attacker_advantage_broken\"",
+            "\"attacker_accuracy_broken\"",
+            "\"attack_samples\"",
+        ] {
+            assert_eq!(
+                json.matches(key).count(),
+                1,
+                "flat-scan parsers need {key} to be unique"
+            );
+        }
+        assert!(json.contains("\"attacker_advantage_guarded\": 0,"));
+        assert!(out.render().contains("count-leak attack"));
     }
 
     /// The recorded thread count must be the count the parallel pass

@@ -89,8 +89,6 @@ pub use fleet::{
 pub use lifecycle::{Device, Enrolled, KeyCode, Started};
 pub use monitor::{FleetHealth, FleetObservatory, MonitorConfig, SweepPlan};
 pub use puf::BoundEnrollment;
-pub use reenroll::{
-    DriftAssessment, ReenrollOutcome, ReenrollPolicy, ReenrollRejected,
-};
+pub use reenroll::{DriftAssessment, ReenrollOutcome, ReenrollPolicy, ReenrollRejected};
 pub use robust::{FaultPlan, FaultSummary, RobustOptions};
 pub use select::{case1, case2, PairSelection, Selection};

@@ -701,8 +701,7 @@ mod tests {
         let puf = ConfigurableRoPuf::tiled_interleaved(240, 5);
         let old = puf.enroll_seeded(41, &board, &tech, Environment::nominal(), &opts);
         let policy = crate::reenroll::ReenrollPolicy::default();
-        let corners =
-            crate::reenroll::assessment_corners(Environment::nominal(), &policy);
+        let corners = crate::reenroll::assessment_corners(Environment::nominal(), &policy);
         let model = AgingModel {
             sigma_drift_rel: 0.02,
             sigma_path_rel: 0.01,
@@ -714,8 +713,7 @@ mod tests {
                 model.age_board(&mut rng, &board, 10.0)
             })
             .find(|aged| {
-                crate::reenroll::assess_drift(&old, aged, &tech, &corners)
-                    .enrollment_point_flips
+                crate::reenroll::assess_drift(&old, aged, &tech, &corners).enrollment_point_flips
                     > 0
             })
             .expect("some aging draw flips a bit");

@@ -282,6 +282,40 @@ pub fn default_gauges() -> Vec<GaugeSpec> {
             level: level(0.05, 0.25, 0.01),
             drift: None,
         },
+        // Security gauges: attacker advantage (accuracy − 0.5) of the
+        // `ropuf-attack` suite, observed only when a caller supplies the
+        // suite's readings ([`FleetObservatory::sample_with_security`]) —
+        // the core crate cannot run the attacks itself without a
+        // dependency cycle. Plain samples leave them unobserved, so
+        // existing reports are unchanged.
+        GaugeSpec {
+            name: "attacker_advantage_count_leak",
+            help: "Count-leak advantage against the guarded Case-2 kernel (ideal 0; >0 means the equal-count guard broke)",
+            direction: Direction::HighIsBad,
+            level: level(0.02, 0.10, 0.005),
+            drift: Some(level(0.01, 0.05, 0.002)),
+        },
+        GaugeSpec {
+            name: "attacker_advantage_degenerate",
+            help: "Degenerate-tie distinguisher advantage on the production fleet (ideal 0)",
+            direction: Direction::HighIsBad,
+            level: level(0.02, 0.10, 0.005),
+            drift: None,
+        },
+        GaugeSpec {
+            name: "attacker_advantage_gradient",
+            help: "Spatial-gradient inference advantage against the distilled enrollment (ideal 0)",
+            direction: Direction::HighIsBad,
+            level: level(0.10, 0.20, 0.01),
+            drift: None,
+        },
+        GaugeSpec {
+            name: "attacker_advantage_broken_guard",
+            help: "Count-leak advantage against the deliberately unguarded kernel — a canary that must stay HIGH (~0.5); a drop means the attack harness lost its teeth",
+            direction: Direction::LowIsBad,
+            level: level(0.40, 0.20, 0.02),
+            drift: None,
+        },
     ]
 }
 
@@ -378,8 +412,19 @@ impl FleetObservatory {
     /// discarded, so a subsequent [`sample`](Self::sample) starts from
     /// a clean hysteresis state.
     pub fn enroll_baseline(&mut self, master_seed: u64) -> Baseline {
+        self.enroll_baseline_with_security(master_seed, &[])
+    }
+
+    /// [`enroll_baseline`](Self::enroll_baseline) with security-gauge
+    /// readings (see [`sample_with_security`](Self::sample_with_security))
+    /// included, so drift detection covers attacker advantage too.
+    pub fn enroll_baseline_with_security(
+        &mut self,
+        master_seed: u64,
+        security: &[(&'static str, f64)],
+    ) -> Baseline {
         let before = self.health.clone();
-        let health = self.sample(master_seed);
+        let health = self.sample_with_security(master_seed, security);
         self.health = before;
         Baseline {
             values: health
@@ -396,6 +441,19 @@ impl FleetObservatory {
     /// same seed, same silicon, same [`FleetHealth`] (timings aside) at
     /// any thread count.
     pub fn sample(&mut self, master_seed: u64) -> FleetHealth {
+        self.sample_with_security(master_seed, &[])
+    }
+
+    /// [`sample`](Self::sample) plus externally supplied security-gauge
+    /// readings — typically `ropuf_attack::suite::SuiteReport::
+    /// security_readings()`, which the CLI `monitor` command feeds here.
+    /// Readings whose names are not in the gauge catalogue are ignored;
+    /// an empty slice makes this identical to [`sample`](Self::sample).
+    pub fn sample_with_security(
+        &mut self,
+        master_seed: u64,
+        security: &[(&'static str, f64)],
+    ) -> FleetHealth {
         let sink = Arc::new(MemorySink::default());
         let (fresh, aged) = {
             let (fresh_engine, aged_engine, threads) = (&self.fresh, &self.aged, self.threads);
@@ -407,6 +465,11 @@ impl FleetObservatory {
         };
         let counters = sink.snapshot().unwrap_or_default();
         self.observe_gauges(&fresh, aged.as_ref(), &counters);
+        for &(name, value) in security {
+            if self.health.specs().iter().any(|s| s.name == name) {
+                self.health.observe(name, value);
+            }
+        }
         FleetHealth {
             report: self.health.report(),
             fresh,
@@ -658,6 +721,93 @@ mod tests {
         // Same seed as enrollment: drift is exactly zero.
         assert_eq!(nominal.drift, Some(0.0));
         assert!(nominal.drift_status.is_some());
+    }
+
+    #[test]
+    fn security_gauges_appear_only_when_readings_are_supplied() {
+        let mk = || {
+            FleetObservatory::new(
+                SiliconSim::default_spartan(),
+                small_config(SweepPlan::Nominal, None),
+            )
+            .unwrap()
+        };
+        // Plain sample: no security gauge in the report.
+        let plain = mk().sample(7);
+        assert!(plain
+            .report
+            .gauges
+            .iter()
+            .all(|g| !g.name.starts_with("attacker_advantage_")));
+        // With readings: all four classified, the canary via LowIsBad.
+        let readings = [
+            ("attacker_advantage_count_leak", 0.0),
+            ("attacker_advantage_degenerate", 0.0),
+            ("attacker_advantage_gradient", 0.03),
+            ("attacker_advantage_broken_guard", 0.49),
+            ("attacker_advantage_not_in_catalogue", 1.0),
+        ];
+        let health = mk().sample_with_security(7, &readings);
+        let gauge = |name: &str| {
+            health
+                .report
+                .gauges
+                .iter()
+                .find(|g| g.name == name)
+                .unwrap_or_else(|| panic!("missing gauge {name}"))
+        };
+        assert_eq!(gauge("attacker_advantage_count_leak").value, 0.0);
+        assert_eq!(gauge("attacker_advantage_broken_guard").value, 0.49);
+        assert!(health
+            .report
+            .gauges
+            .iter()
+            .all(|g| g.name != "attacker_advantage_not_in_catalogue"));
+        // A guarded-kernel leak and a limp canary both alarm.
+        let bad = [
+            ("attacker_advantage_count_leak", 0.2),
+            ("attacker_advantage_broken_guard", 0.05),
+        ];
+        let health = mk().sample_with_security(7, &bad);
+        assert_eq!(
+            gauge_status(&health, "attacker_advantage_count_leak"),
+            ropuf_telemetry::Status::Critical
+        );
+        assert_eq!(
+            gauge_status(&health, "attacker_advantage_broken_guard"),
+            ropuf_telemetry::Status::Critical
+        );
+    }
+
+    fn gauge_status(health: &FleetHealth, name: &str) -> ropuf_telemetry::Status {
+        health
+            .report
+            .gauges
+            .iter()
+            .find(|g| g.name == name)
+            .unwrap_or_else(|| panic!("missing gauge {name}"))
+            .status
+    }
+
+    #[test]
+    fn security_baseline_covers_the_attack_gauges() {
+        let mut obs = FleetObservatory::new(
+            SiliconSim::default_spartan(),
+            small_config(SweepPlan::Nominal, None),
+        )
+        .unwrap();
+        let readings = [("attacker_advantage_count_leak", 0.0)];
+        let baseline = obs.enroll_baseline_with_security(3, &readings);
+        assert_eq!(baseline.get("attacker_advantage_count_leak"), Some(0.0));
+        obs.set_baseline(baseline);
+        let health = obs.sample_with_security(3, &readings);
+        let gauge = health
+            .report
+            .gauges
+            .iter()
+            .find(|g| g.name == "attacker_advantage_count_leak")
+            .unwrap();
+        assert_eq!(gauge.drift, Some(0.0));
     }
 
     #[test]

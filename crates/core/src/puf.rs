@@ -546,8 +546,7 @@ impl ConfigurableRoPuf {
     ) -> Enrollment {
         let stages = self.specs[0].stages();
         let n_pairs = self.specs.len();
-        let corners: Vec<Environment> =
-            std::iter::once(env).chain(extra.iter().copied()).collect();
+        let corners: Vec<Environment> = std::iter::once(env).chain(extra.iter().copied()).collect();
         let mut cals: Vec<Vec<(Calibration, Calibration)>> = Vec::with_capacity(corners.len());
         for (c, &corner_env) in corners.iter().enumerate() {
             arena.begin_block(2 * n_pairs, stages);

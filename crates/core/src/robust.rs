@@ -534,7 +534,9 @@ pub fn enroll_robust_in(
 ) -> RobustEnrollment {
     let extra = opts.extra_corners(env);
     if !extra.is_empty() {
-        return enroll_robust_multi_corner_in(puf, seed, board, tech, env, &extra, opts, plan, arena);
+        return enroll_robust_multi_corner_in(
+            puf, seed, board, tech, env, &extra, opts, plan, arena,
+        );
     }
     let mut summary = FaultSummary::default();
     let mut unreadable_pairs = 0;

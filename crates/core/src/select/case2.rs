@@ -100,6 +100,16 @@ pub fn case2_with_offset(
     };
     if selection.is_degenerate() {
         telemetry::counter("select.case2.degenerate", 1);
+        // A degenerate pair (margin exactly 0) has no slower ring, and
+        // the strict `d > 0.0` comparison resolves every such tie to
+        // the conventional 0 bit. That bias is unavoidable, but it is a
+        // distinguisher an attacker can exploit on fleets with many
+        // ties — count the zero-resolutions so the attack suite (and
+        // operators) can see exactly how many bits were conventional
+        // rather than silicon-derived.
+        if !selection.bit() {
+            telemetry::counter("select.case2.degenerate_zero_bias", 1);
+        }
     }
     selection
 }
@@ -238,6 +248,26 @@ mod tests {
         let s = case2(&[10.0, 10.0], &[10.0, 10.000001], ParityPolicy::Ignore);
         assert!(!s.is_degenerate());
         assert!(s.margin() > 0.0);
+    }
+
+    /// Every degenerate tie resolves to the conventional 0, and that
+    /// resolution must be observable: the
+    /// `select.case2.degenerate_zero_bias` counter counts exactly the
+    /// degenerate selections whose bit came from convention, not
+    /// silicon. A non-degenerate selection must not bump it.
+    #[test]
+    fn degenerate_zero_bias_is_counted() {
+        use std::sync::Arc;
+        let sink = Arc::new(ropuf_telemetry::MemorySink::default());
+        ropuf_telemetry::scoped(sink.clone(), || {
+            let d = [10.0, 10.0, 10.0];
+            let _ = case2(&d, &d, ParityPolicy::Ignore); // tie → 0 bit
+            let _ = case2(&d, &d, ParityPolicy::ForceOdd); // tie → 0 bit
+            let _ = case2(&[10.0, 12.0], &[11.0, 9.0], ParityPolicy::Ignore);
+        });
+        let snap = sink.snapshot().expect("counters recorded");
+        assert_eq!(snap.counter("select.case2.degenerate"), Some(2));
+        assert_eq!(snap.counter("select.case2.degenerate_zero_bias"), Some(2));
     }
 
     #[test]

@@ -491,19 +491,11 @@ mod tests {
     /// *its* worst corner.
     #[test]
     fn beats_every_single_corner_optimum_at_the_worst_corner() {
-        let worst_corner_of = |cfg: &ConfigVector,
-                               corners: &[CornerDelays<'_>]|
-         -> f64 {
+        let worst_corner_of = |cfg: &ConfigVector, corners: &[CornerDelays<'_>]| -> f64 {
             let sel = cfg.selected_indices();
             let ds: Vec<f64> = corners
                 .iter()
-                .map(|c| {
-                    c.offset_ps
-                        + sel
-                            .iter()
-                            .map(|&i| c.alpha[i] - c.beta[i])
-                            .sum::<f64>()
-                })
+                .map(|c| c.offset_ps + sel.iter().map(|&i| c.alpha[i] - c.beta[i]).sum::<f64>())
                 .collect();
             consistent_min_margin(&ds).0
         };

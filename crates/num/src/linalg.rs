@@ -275,6 +275,61 @@ impl Matrix {
         let aty = at.matvec(y);
         ata.solve(&aty)
     }
+
+    /// Weighted ridge least squares: solves
+    /// `(AᵀWA + λI) β = AᵀWy` for a diagonal weight matrix
+    /// `W = diag(weights)`. This is the inner solve of iteratively
+    /// reweighted least squares (IRLS), so logistic-regression fitters
+    /// can reuse the same Gaussian-elimination core as the linear
+    /// modeling paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::DimensionMismatch`] if `y` or `weights`
+    /// differ in length from the row count, and [`SolveError::Singular`]
+    /// when the weighted normal matrix is rank-deficient (impossible for
+    /// `λ > 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or not finite, or any weight is
+    /// negative or not finite.
+    pub fn weighted_least_squares_ridge(
+        &self,
+        y: &[f64],
+        weights: &[f64],
+        lambda: f64,
+    ) -> Result<Vec<f64>, SolveError> {
+        assert!(
+            lambda.is_finite() && lambda >= 0.0,
+            "ridge parameter must be finite and non-negative, got {lambda}"
+        );
+        if y.len() != self.rows {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.rows,
+                found: y.len(),
+            });
+        }
+        if weights.len() != self.rows {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.rows,
+                found: weights.len(),
+            });
+        }
+        for &w in weights {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and non-negative, got {w}"
+            );
+        }
+        // Scale each row of A (and y) by √w once: AᵀWA = (√W·A)ᵀ(√W·A)
+        // and AᵀWy = (√W·A)ᵀ(√W·y), so the plain ridge path applies.
+        let scaled = Matrix::from_fn(self.rows, self.cols, |i, j| {
+            self[(i, j)] * weights[i].sqrt()
+        });
+        let wy: Vec<f64> = y.iter().zip(weights).map(|(v, w)| v * w.sqrt()).collect();
+        scaled.least_squares_ridge(&wy, lambda)
+    }
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {
@@ -517,6 +572,49 @@ mod tests {
             a.least_squares(&y).unwrap(),
             a.least_squares_ridge(&y, 0.0).unwrap()
         );
+    }
+
+    #[test]
+    fn weighted_ls_with_unit_weights_matches_plain() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0][..], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let y = [1.0, 3.0, 5.2, 6.9];
+        let plain = a.least_squares_ridge(&y, 1e-9).unwrap();
+        let weighted = a.weighted_least_squares_ridge(&y, &[1.0; 4], 1e-9).unwrap();
+        for (u, v) in plain.iter().zip(&weighted) {
+            assert!((u - v).abs() < 1e-10, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn weighted_ls_downweights_outliers() {
+        // Points on y = 2x except one gross outlier; with the outlier's
+        // weight at ~0 the fit recovers the clean line exactly.
+        let a = Matrix::from_rows(&[&[1.0, 0.0][..], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let y = [0.0, 2.0, 100.0, 6.0];
+        let beta = a
+            .weighted_least_squares_ridge(&y, &[1.0, 1.0, 1e-12, 1.0], 0.0)
+            .unwrap();
+        assert!(beta[0].abs() < 1e-6, "intercept {beta:?}");
+        assert!((beta[1] - 2.0).abs() < 1e-6, "slope {beta:?}");
+    }
+
+    #[test]
+    fn weighted_ls_rejects_bad_weight_length() {
+        let a = Matrix::from_rows(&[&[1.0][..], &[1.0]]);
+        assert!(matches!(
+            a.weighted_least_squares_ridge(&[1.0, 2.0], &[1.0], 0.0),
+            Err(SolveError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be finite and non-negative")]
+    fn weighted_ls_rejects_negative_weight() {
+        let a = Matrix::from_rows(&[&[1.0][..], &[1.0]]);
+        let _ = a.weighted_least_squares_ridge(&[1.0, 2.0], &[1.0, -1.0], 0.0);
     }
 
     #[test]

@@ -63,9 +63,14 @@ pub fn max(xs: &[f64]) -> Option<f64> {
 /// cross-crate test (`quantile_convention` in `ropuf-core`) enforces the
 /// agreement.
 ///
+/// **NaN contract:** like [`min`] and [`max`], `NaN` samples are
+/// skipped — the rank is taken over the non-NaN values only, and an
+/// all-NaN slice yields `None`. (Fault-injected measurement paths feed
+/// these reducers, so a poisoned read must not panic the pipeline.)
+///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+/// Panics if `q` is outside `[0, 1]`.
 ///
 /// # Examples
 ///
@@ -81,23 +86,26 @@ pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
         (0.0..=1.0).contains(&q),
         "quantile must be in [0, 1], got {q}"
     );
-    if xs.is_empty() {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
         return None;
     }
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("percentile does not support NaN"));
+    v.sort_by(f64::total_cmp);
     let idx = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len()) - 1;
     Some(v[idx])
 }
 
 /// Median (average of the two central order statistics for even n), or
 /// `None` for an empty slice.
+///
+/// **NaN contract:** like [`min`], [`max`], and [`percentile`], `NaN`
+/// samples are skipped; an all-NaN slice yields `None`.
 pub fn median(xs: &[f64]) -> Option<f64> {
-    if xs.is_empty() {
+    let mut v: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if v.is_empty() {
         return None;
     }
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("median does not support NaN"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     Some(if n % 2 == 1 {
         v[n / 2]
@@ -140,13 +148,18 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 /// A histogram over equal-width bins on a closed interval.
 ///
 /// Out-of-range samples are clamped into the first/last bin and counted in
-/// [`Histogram::clamped`], so totals always reconcile.
+/// [`Histogram::clamped`], so totals always reconcile. `NaN` samples are
+/// never binned — they are counted in [`Histogram::nan`] instead (a NaN
+/// has no place on the axis, and silently dropping it into bin 0 — which
+/// is what `NaN as usize` does — would skew attack statistics over faulty
+/// reads).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
     counts: Vec<usize>,
     clamped: usize,
+    nan: usize,
 }
 
 impl Histogram {
@@ -174,11 +187,17 @@ impl Histogram {
             hi,
             counts: vec![0; bins],
             clamped: 0,
+            nan: 0,
         }
     }
 
-    /// Adds one sample.
+    /// Adds one sample. `NaN` is counted in [`Histogram::nan`] and does
+    /// not touch any bin.
     pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan += 1;
+            return;
+        }
         let bins = self.counts.len();
         let raw = ((x - self.lo) / (self.hi - self.lo) * bins as f64).floor();
         let idx = if raw < 0.0 {
@@ -215,6 +234,11 @@ impl Histogram {
     /// Number of samples that fell outside `[lo, hi]` and were clamped.
     pub fn clamped(&self) -> usize {
         self.clamped
+    }
+
+    /// Number of `NaN` samples rejected by [`Histogram::add`].
+    pub fn nan(&self) -> usize {
+        self.nan
     }
 
     /// `(low_edge, high_edge)` of bin `i`.
@@ -301,6 +325,22 @@ mod tests {
         assert_eq!(max(&xs), Some(5.0));
     }
 
+    /// Regression: `median` used to panic through
+    /// `partial_cmp().expect(...)` the moment a NaN reached it. The
+    /// contract is now the same as `min`/`max`: NaNs are skipped, and
+    /// an all-NaN sample is `None`, not a panic.
+    #[test]
+    fn median_and_percentile_skip_nan() {
+        let xs = [3.0, f64::NAN, 1.0, 2.0];
+        assert_eq!(median(&xs), Some(2.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(3.0));
+        assert_eq!(median(&[f64::NAN, f64::NAN]), None);
+        assert_eq!(percentile(&[f64::NAN], 0.5), None);
+        // Even-n median still averages the two central non-NaN values.
+        assert_eq!(median(&[4.0, f64::NAN, 1.0, 3.0, 2.0, f64::NAN]), Some(2.5));
+    }
+
     #[test]
     fn pearson_anticorrelated() {
         let x = [1.0, 2.0, 3.0];
@@ -332,6 +372,20 @@ mod tests {
         h.add(7.0);
         assert_eq!(h.counts(), &[1, 1]);
         assert_eq!(h.clamped(), 2);
+    }
+
+    /// Regression: a NaN sample used to fall through both range tests
+    /// (`NaN < 0.0` is false, `NaN as usize` is 0) and land in bin 0
+    /// with `clamped` untouched, so totals silently over-counted bin 0.
+    /// NaN is now tracked in its own counter and never binned.
+    #[test]
+    fn histogram_counts_nan_separately() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add_all([0.1, f64::NAN, 0.6, f64::NAN, f64::NAN].iter().copied());
+        assert_eq!(h.counts(), &[1, 0, 1, 0], "NaN must not reach bin 0");
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.clamped(), 0, "NaN is not a clamped out-of-range value");
+        assert_eq!(h.nan(), 3);
     }
 
     #[test]

@@ -392,7 +392,9 @@ fn reenroll_bundle(spec: &ReenrollDrillSpec, d: u64) -> io::Result<ReenrollBundl
     let (device, code) = started
         .generate_key(device_seed, spec.repetition, &plan)
         .map_err(|e| io::Error::other(format!("device {d} failed to enroll: {e}")))?;
-    let fresh_bits = device.respond(split_seed(device_seed, 1), spec.votes, &plan).0;
+    let fresh_bits = device
+        .respond(split_seed(device_seed, 1), spec.votes, &plan)
+        .0;
     let old = device.enrollment().clone();
 
     let model = AgingModel {
@@ -434,7 +436,10 @@ fn reenroll_bundle(spec: &ReenrollDrillSpec, d: u64) -> io::Result<ReenrollBundl
             let resumed = Device::resume(&aged, &tech, env, opts, enrollment.clone())
                 .map_err(|e| io::Error::other(format!("device {d} failed to resume: {e}")))?;
             let new_code = resumed
-                .issue_key(split_seed(device_seed, STREAM_DRILL_REENROLL), spec.repetition)
+                .issue_key(
+                    split_seed(device_seed, STREAM_DRILL_REENROLL),
+                    spec.repetition,
+                )
                 .map_err(|e| io::Error::other(format!("device {d} failed to re-key: {e}")))?;
             let payload = (enrollment_to_bytes(&enrollment), new_code.to_bytes());
             (
@@ -640,8 +645,13 @@ pub fn run_reenroll_drill(
                     })?;
                     ops += 1;
                     tally(&reply, &mut acc, &mut rej);
-                    writeln!(t, "d={d} op=reenroll {} -> {}", b.decision, describe(&reply))
-                        .expect("write to String");
+                    writeln!(
+                        t,
+                        "d={d} op=reenroll {} -> {}",
+                        b.decision,
+                        describe(&reply)
+                    )
+                    .expect("write to String");
                 }
                 None => {
                     writeln!(t, "d={d} op=reenroll -> {}", b.decision).expect("write to String");
@@ -761,10 +771,7 @@ mod tests {
             .lines()
             .find(|l| l.starts_with("phase=assess gauge="))
             .unwrap();
-        assert!(
-            assess_line.contains("drift_flagged=true"),
-            "{assess_line}"
-        );
+        assert!(assess_line.contains("drift_flagged=true"), "{assess_line}");
         let verify_line = full
             .transcript
             .lines()
@@ -831,4 +838,3 @@ mod tests {
         assert_eq!(resumed.rejected, 0, "healed fleet authenticates cleanly");
     }
 }
-

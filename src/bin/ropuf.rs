@@ -30,6 +30,8 @@ use std::process::ExitCode;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use ropuf::attack::suite::{SuiteConfig as AttackSuiteConfig, SuiteReport as AttackSuiteReport};
+use ropuf::attack::transcript::Transcript as AttackTranscript;
 use ropuf::core::distill::DistillError;
 use ropuf::core::fleet::{worker_threads, FleetAging, FleetConfig, FleetEngine};
 use ropuf::core::monitor::{FleetObservatory, MonitorConfig, SweepPlan};
@@ -75,6 +77,9 @@ enum CliError {
     /// `monitor --fail-on` tripped: the fleet health verdict reached
     /// the configured severity.
     Unhealthy(Status),
+    /// `attack --assert-guard` tripped: the guarded kernel leaked, or
+    /// the deliberately broken canary stopped being broken.
+    Insecure(String),
     /// The enrollment store could not be opened or mutated.
     Store(ropuf::server::StoreError),
 }
@@ -89,6 +94,7 @@ impl fmt::Display for CliError {
             Self::Bits(e) => write!(f, "{e}"),
             Self::Distill(e) => write!(f, "{e}"),
             Self::Unhealthy(status) => write!(f, "fleet health is {status}"),
+            Self::Insecure(msg) => write!(f, "{msg}"),
             Self::Store(e) => write!(f, "{e}"),
         }
     }
@@ -103,7 +109,7 @@ impl std::error::Error for CliError {
             Self::Bits(e) => Some(e),
             Self::Distill(e) => Some(e),
             Self::Store(e) => Some(e),
-            Self::Usage(_) | Self::Unhealthy(_) => None,
+            Self::Usage(_) | Self::Unhealthy(_) | Self::Insecure(_) => None,
         }
     }
 }
@@ -198,6 +204,7 @@ fn command_span(command: &str) -> &'static str {
         "rth" => "cli.rth",
         "fleet" => "cli.fleet",
         "monitor" => "cli.monitor",
+        "attack" => "cli.attack",
         "enroll" => "cli.enroll",
         "respond" => "cli.respond",
         "serve" => "cli.serve",
@@ -238,7 +245,12 @@ fn usage(problem: &str) -> ExitCode {
                              [--cols N=8] [--threads N=auto] [--sweep nominal|voltage|temperature|full]\n\
                              [--years Y=5] [--format human|json|prometheus]\n\
                              [--baseline FILE] [--enroll-baseline FILE] [--fail-on warn|critical|never]\n\
-                             [--faults SCALE=off]\n\
+                             [--faults SCALE=off] [--security true] (adds attacker_advantage_* gauges)\n\
+           attack            [--seed N=191007068] [--boards N=16] [--units N=224] [--cols N=16]\n\
+                             [--stages N=7] [--probed-pairs N=8] [--crp-boards N=3] [--crps N=400]\n\
+                             [--threads N=auto] [--format human|json]\n\
+                             [--dump-transcript FILE] (write the CRP transcript for diffing)\n\
+                             [--assert-guard true] (exit nonzero unless guarded<=chance, broken>=0.7)\n\
            enroll            --out FILE [--seed N=1] [--units N=480] [--stages N=7]\n\
                              [--mode case1|case2] [--threshold PS=0]\n\
            respond           --enrollment FILE [--seed N=1] [--units N=480]\n\
@@ -270,6 +282,7 @@ fn dispatch(command: &str, opts: &HashMap<String, String>) -> Result<(), CliErro
         "rth" => rth(opts),
         "fleet" => fleet(opts),
         "monitor" => monitor(opts),
+        "attack" => attack(opts),
         "enroll" => enroll(opts),
         "respond" => respond(opts),
         "serve" => serve(opts),
@@ -635,9 +648,24 @@ fn monitor(opts: &HashMap<String, String>) -> Result<(), CliError> {
     let setup_span = telemetry::span("cli.monitor.setup");
     let mut obs = FleetObservatory::new(SiliconSim::default_spartan(), config)?;
     drop(setup_span);
+    // `--security true` runs the attack suite (seeded from --seed, so
+    // the readings are as deterministic as the fleet sample) and feeds
+    // its attacker-advantage figures to the security gauges.
+    let security: Vec<(&'static str, f64)> = if get(opts, "security", false)? {
+        let attack_span = telemetry::span("cli.monitor.attack-suite");
+        let report = AttackSuiteReport::run(&AttackSuiteConfig {
+            seed,
+            threads,
+            ..AttackSuiteConfig::default()
+        });
+        drop(attack_span);
+        report.security_readings()
+    } else {
+        Vec::new()
+    };
     if let Some(path) = opts.get("enroll-baseline") {
         let enroll_span = telemetry::span("cli.monitor.enroll-baseline");
-        let baseline = obs.enroll_baseline(seed);
+        let baseline = obs.enroll_baseline_with_security(seed, &security);
         drop(enroll_span);
         write_file(path, &baseline.to_json())?;
         eprintln!(
@@ -652,7 +680,7 @@ fn monitor(opts: &HashMap<String, String>) -> Result<(), CliError> {
         obs.set_baseline(baseline);
     }
     let sample_span = telemetry::span("cli.monitor.sample");
-    let health = obs.sample(seed);
+    let health = obs.sample_with_security(seed, &security);
     drop(sample_span);
     match format {
         "json" => print!("{}", health.report.to_json()),
@@ -676,6 +704,101 @@ fn monitor(opts: &HashMap<String, String>) -> Result<(), CliError> {
         }
         _ => Ok(()),
     }
+}
+
+/// Runs the `ropuf-attack` suite: every attack in the catalogue against
+/// deterministic seed-split envelope fleets and CRP transcripts.
+///
+/// Stdout carries only the seed-determined report (human table or JSON
+/// per `--format`), byte-identical at any thread count — CI diffs it
+/// across runs and `--threads` values. `--dump-transcript FILE` writes
+/// the exact CRP transcript the modeling arms attacked (also
+/// thread-invariant). `--assert-guard true` turns the §III claim into
+/// an exit code: fail unless the guarded kernel stays at chance AND the
+/// deliberately broken variant is broken to at least 0.7 accuracy.
+fn attack(opts: &HashMap<String, String>) -> Result<(), CliError> {
+    let defaults = AttackSuiteConfig::default();
+    let config = AttackSuiteConfig {
+        seed: get(opts, "seed", defaults.seed)?,
+        boards: get(opts, "boards", defaults.boards)?,
+        units: get(opts, "units", defaults.units)?,
+        cols: get(opts, "cols", defaults.cols)?,
+        stages: get(opts, "stages", defaults.stages)?,
+        probed_pairs: get(opts, "probed-pairs", defaults.probed_pairs)?,
+        crp_boards: get(opts, "crp-boards", defaults.crp_boards)?,
+        crps: get(opts, "crps", defaults.crps)?,
+        parity: ParityPolicy::Ignore,
+        threads: get(opts, "threads", worker_threads())?,
+    };
+    let format = opts.get("format").map(String::as_str).unwrap_or("human");
+    if !matches!(format, "human" | "json") {
+        return Err(CliError::Usage(format!(
+            "--format must be human or json, got {format:?}"
+        )));
+    }
+    let pairs = config.pairs_per_board();
+    if pairs == 0 {
+        return Err(CliError::Usage(format!(
+            "--units {} leaves no ring pairs at --stages {} (need units >= 2 x stages)",
+            config.units, config.stages
+        )));
+    }
+    if config.probed_pairs == 0 || config.probed_pairs >= pairs {
+        return Err(CliError::Usage(format!(
+            "--probed-pairs must leave at least one unprobed pair (1..{pairs}), got {}",
+            config.probed_pairs
+        )));
+    }
+    let params = 2 * config.stages + 1;
+    if config.crps / 2 < params || config.crp_boards == 0 {
+        return Err(CliError::Usage(format!(
+            "--crps {} cannot train a {params}-parameter model on half the transcript",
+            config.crps
+        )));
+    }
+    if let Some(path) = opts.get("dump-transcript") {
+        let dump_span = telemetry::span("cli.attack.transcript");
+        let transcript = AttackTranscript::generate(&config.transcript_config());
+        drop(dump_span);
+        write_file(path, &transcript.to_text())?;
+        eprintln!(
+            "wrote {} CRPs x {} boards to {path}",
+            config.crps, config.crp_boards
+        );
+    }
+    let run_span = telemetry::span("cli.attack.suite");
+    let report = AttackSuiteReport::run(&config);
+    drop(run_span);
+    match format {
+        "json" => println!("{}", report.to_json()),
+        _ => print!("{}", report.render()),
+    }
+    if get(opts, "assert-guard", false)? {
+        let fetch = |name: &str| {
+            report
+                .outcome(name)
+                .map(|o| (o.accuracy, o.advantage))
+                .unwrap_or((0.5, 0.0))
+        };
+        let (_, guarded_adv) = fetch("count_leak_guarded");
+        let (broken_acc, _) = fetch("count_leak_broken");
+        if guarded_adv > 0.1 {
+            return Err(CliError::Insecure(format!(
+                "guarded kernel leaked: count-leak advantage {guarded_adv:.4} exceeds 0.1"
+            )));
+        }
+        if broken_acc < 0.7 {
+            return Err(CliError::Insecure(format!(
+                "broken-kernel canary limp: count-leak accuracy {broken_acc:.4} below 0.7 \
+                 (the attack harness lost its teeth)"
+            )));
+        }
+        eprintln!(
+            "guard assertion held: guarded advantage {guarded_adv:.4} <= 0.1, \
+             broken accuracy {broken_acc:.4} >= 0.7"
+        );
+    }
+    Ok(())
 }
 
 /// Regenerates the deterministic demo board for `seed`/`units`.
@@ -1033,12 +1156,11 @@ fn reenroll(opts: &HashMap<String, String>) -> Result<(), CliError> {
     })?;
 
     let drill_span = telemetry::span("cli.reenroll.drill");
-    let report = ropuf::server::run_reenroll_drill(server.addr(), &spec).map_err(|source| {
-        CliError::Io {
+    let report =
+        ropuf::server::run_reenroll_drill(server.addr(), &spec).map_err(|source| CliError::Io {
             path: format!("reenroll drill against {}", server.addr()),
             source,
-        }
-    })?;
+        })?;
     drop(drill_span);
     // Stdout carries only the seed-determined transcript; tallies go
     // to stderr like every other subcommand.

@@ -4,6 +4,7 @@
 //!
 //! See the [README](https://example.invalid/ropuf) for a tour; the
 //! typical imports live in [`prelude`].
+pub use ropuf_attack as attack;
 pub use ropuf_core as core;
 pub use ropuf_dataset as dataset;
 pub use ropuf_metrics as metrics;
@@ -35,6 +36,9 @@ pub use ropuf_telemetry as telemetry;
 /// assert_eq!(e.bit_count(), 5);
 /// ```
 pub mod prelude {
+    pub use ropuf_attack::suite::{
+        SuiteConfig as AttackSuiteConfig, SuiteReport as AttackSuiteReport,
+    };
     pub use ropuf_core::crp::{respond as crp_respond, Challenge, LinearDelayAttack};
     pub use ropuf_core::error::Error;
     pub use ropuf_core::fleet::{
